@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Shared utilities for the table/figure reproduction binaries:
+ * fixed-width table printing and text bar charts.
+ */
+
+#ifndef AIB_BENCH_BENCH_UTIL_H
+#define AIB_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace aib::bench {
+
+/** Print a horizontal rule sized to the given width. */
+inline void
+rule(int width)
+{
+    for (int i = 0; i < width; ++i)
+        std::putchar('-');
+    std::putchar('\n');
+}
+
+/** Print a section header. */
+inline void
+header(const std::string &title)
+{
+    std::printf("\n== %s ==\n", title.c_str());
+}
+
+/** A 0..1 value as a small text bar. */
+inline std::string
+bar(double value, int width = 20)
+{
+    if (value < 0.0)
+        value = 0.0;
+    if (value > 1.0)
+        value = 1.0;
+    const int filled = static_cast<int>(value * width + 0.5);
+    std::string out;
+    for (int i = 0; i < width; ++i)
+        out += i < filled ? '#' : '.';
+    return out;
+}
+
+/** Format seconds human-readably. */
+inline std::string
+fmtSeconds(double seconds)
+{
+    char buf[64];
+    if (seconds < 120.0)
+        std::snprintf(buf, sizeof(buf), "%.2fs", seconds);
+    else
+        std::snprintf(buf, sizeof(buf), "%.1fmin", seconds / 60.0);
+    return buf;
+}
+
+} // namespace aib::bench
+
+#endif // AIB_BENCH_BENCH_UTIL_H

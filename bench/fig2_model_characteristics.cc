@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Reproduces Fig. 2 and Fig. 1(a): model complexity (parameters),
+ * computational cost (forward FLOPs) and convergence rate (epochs to
+ * convergent quality) for the seventeen AIBench benchmarks and the
+ * MLPerf benchmarks, plus the coverage-ratio comparison
+ * ("AIBench covers a 1.3x-6.4x broader range than MLPerf").
+ *
+ * As in the paper, the reinforcement-learning style benchmarks
+ * (AIBench NAS, MLPerf RL) are excluded from the FLOPs/parameter
+ * listing because their cost varies across epochs.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/characterize.h"
+#include "analysis/stats.h"
+#include "bench_util.h"
+#include "core/registry.h"
+
+using namespace aib;
+
+namespace {
+
+bool
+excludedFromFig2(const std::string &id)
+{
+    // Reinforcement-learning models: FLOPs/parameters vary by epoch.
+    return id == "DC-AI-C17" || id == "MLPerf-RL";
+}
+
+void
+printRows(const std::vector<analysis::BenchmarkProfile> &profiles)
+{
+    for (const auto &p : profiles) {
+        if (excludedFromFig2(p.id))
+            continue;
+        std::printf("%-20s %-26s %12.3f %12.4f %8d\n", p.id.c_str(),
+                    p.name.c_str(), p.complexity.forwardMFlops(),
+                    p.complexity.millionParams(), p.epochsToTarget);
+    }
+}
+
+struct AxisData {
+    std::vector<double> flops, params, epochs;
+};
+
+AxisData
+collect(const std::vector<analysis::BenchmarkProfile> &profiles)
+{
+    AxisData data;
+    for (const auto &p : profiles) {
+        if (excludedFromFig2(p.id))
+            continue;
+        data.flops.push_back(p.complexity.forwardMFlops());
+        data.params.push_back(p.complexity.millionParams());
+        if (p.epochsToTarget > 0)
+            data.epochs.push_back(p.epochsToTarget);
+    }
+    return data;
+}
+
+} // namespace
+
+int
+main()
+{
+    analysis::ProfileOptions options;
+    options.maxEpochs = 40;
+
+    std::printf("Fig. 2: model complexity, computational cost, "
+                "convergence rate\n");
+    std::printf("(scaled models on synthetic data; epochs capped at "
+                "%d)\n\n",
+                options.maxEpochs);
+    bench::rule(84);
+    std::printf("%-20s %-26s %12s %12s %8s\n", "Benchmark", "Task",
+                "M-FLOPs fwd", "M-params", "epochs");
+    bench::rule(84);
+
+    auto aibench = analysis::profileSuite(
+        [] {
+            std::vector<const core::ComponentBenchmark *> v;
+            for (const auto &b : core::aibenchSuite())
+                v.push_back(&b);
+            return v;
+        }(),
+        options);
+    printRows(aibench);
+    bench::rule(84);
+    auto mlperf = analysis::profileSuite(
+        [] {
+            std::vector<const core::ComponentBenchmark *> v;
+            for (const auto &b : core::mlperfSuite())
+                v.push_back(&b);
+            return v;
+        }(),
+        options);
+    printRows(mlperf);
+    bench::rule(84);
+
+    // Fig. 1(a): peak-coverage comparison.
+    const AxisData a = collect(aibench);
+    const AxisData m = collect(mlperf);
+    const analysis::Range af = analysis::rangeOf(a.flops);
+    const analysis::Range ap = analysis::rangeOf(a.params);
+    const analysis::Range ae = analysis::rangeOf(a.epochs);
+    const analysis::Range mf = analysis::rangeOf(m.flops);
+    const analysis::Range mp = analysis::rangeOf(m.params);
+    const analysis::Range me = analysis::rangeOf(m.epochs);
+
+    bench::header("Fig. 1(a): coverage of the three model axes");
+    std::printf("%-22s %18s %18s %14s\n", "", "M-FLOPs (lo..hi)",
+                "M-params (lo..hi)", "epochs (lo..hi)");
+    std::printf("%-22s %8.3f..%-9.1f %8.4f..%-9.4f %6.0f..%-7.0f\n",
+                "AIBench (17)", af.lo, af.hi, ap.lo, ap.hi, ae.lo,
+                ae.hi);
+    std::printf("%-22s %8.3f..%-9.1f %8.4f..%-9.4f %6.0f..%-7.0f\n",
+                "MLPerf", mf.lo, mf.hi, mp.lo, mp.hi, me.lo, me.hi);
+
+    std::printf("\nPeak-number ratios (AIBench peak / MLPerf peak):\n");
+    std::printf("  computational cost (FLOPs): %.2fx\n",
+                mf.hi > 0 ? af.hi / mf.hi : 0.0);
+    std::printf("  model complexity (params):  %.2fx\n",
+                mp.hi > 0 ? ap.hi / mp.hi : 0.0);
+    std::printf("  convergence (epochs):       %.2fx\n",
+                me.hi > 0 ? ae.hi / me.hi : 0.0);
+    std::printf("\nRange-span ratios (AIBench hi/lo over MLPerf "
+                "hi/lo):\n");
+    std::printf("  FLOPs:  %.2fx   params: %.2fx   epochs: %.2fx\n",
+                mf.ratio() > 0 ? af.ratio() / mf.ratio() : 0.0,
+                mp.ratio() > 0 ? ap.ratio() / mp.ratio() : 0.0,
+                me.ratio() > 0 ? ae.ratio() / me.ratio() : 0.0);
+    std::printf("\nPaper's finding: MLPerf covers a much narrower "
+                "range on every axis; AIBench extremes (detection / "
+                "3D reconstruction FLOPs, Image-to-Text parameters, "
+                "Text-to-Text epochs, Learning-to-Rank minimum "
+                "FLOPs) lie outside MLPerf's span.\n");
+    return 0;
+}

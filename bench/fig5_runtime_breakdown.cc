@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Reproduces Fig. 5: runtime breakdown of the seventeen AIBench
+ * benchmarks into the eight kernel categories (data arrangement,
+ * convolution, GEMM, batch normalization, element-wise, relu,
+ * pooling, memory copy), from a traced training epoch timed by the
+ * analytical GPU model.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "analysis/characterize.h"
+#include "bench_util.h"
+#include "core/registry.h"
+#include "profiler/kernel_info.h"
+
+using namespace aib;
+
+int
+main()
+{
+    analysis::ProfileOptions options;
+    options.skipTraining = true;
+
+    std::vector<const core::ComponentBenchmark *> suite;
+    for (const auto &b : core::aibenchSuite())
+        suite.push_back(&b);
+    auto profiles = analysis::profileSuite(suite, options);
+
+    std::printf("Fig. 5: runtime breakdown into the eight kernel "
+                "categories (%% of simulated GPU time per training "
+                "epoch)\n\n");
+    std::printf("%-12s", "Benchmark");
+    for (int c = 0; c < profiler::kNumKernelCategories; ++c) {
+        std::printf(" %9s",
+                    std::string(
+                        profiler::categoryName(
+                            static_cast<profiler::KernelCategory>(c)))
+                        .substr(0, 9)
+                        .c_str());
+    }
+    std::printf("\n");
+    bench::rule(12 + 10 * profiler::kNumKernelCategories);
+    for (const auto &p : profiles) {
+        const auto share = p.epochSim.categoryShare();
+        std::printf("%-12s", p.id.c_str());
+        for (double s : share)
+            std::printf(" %8.1f%%", 100.0 * s);
+        std::printf("\n");
+    }
+    bench::rule(12 + 10 * profiler::kNumKernelCategories);
+
+    // Highlight the paper's observation about Learning-to-Rank.
+    for (const auto &p : profiles) {
+        if (p.id != "DC-AI-C16")
+            continue;
+        const auto share = p.epochSim.categoryShare();
+        std::printf("\nLearning-to-Rank spends %.1f%% of its time on "
+                    "data arrangement kernels (embedding gathers and "
+                    "scatters), the paper's explanation for its "
+                    "lowest-of-suite IPC (ipc_efficiency %.2f).\n",
+                    100.0 * share[static_cast<int>(
+                        profiler::KernelCategory::DataArrangement)],
+                    p.epochSim.aggregate.ipcEfficiency);
+    }
+    return 0;
+}

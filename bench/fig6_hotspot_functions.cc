@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Reproduces Fig. 6 (hotspot-function census by time-percentage
+ * bucket, AIBench vs MLPerf), Table 7 (representative hotspot
+ * functions per kernel category) and the subset hotspot-coverage
+ * observation of Sec. 5.5.2.
+ */
+
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/characterize.h"
+#include "bench_util.h"
+#include "core/registry.h"
+#include "gpusim/report.h"
+
+using namespace aib;
+
+namespace {
+
+gpusim::HotspotCensus
+suiteCensus(const std::vector<analysis::BenchmarkProfile> &profiles)
+{
+    gpusim::HotspotCensus census;
+    for (const auto &p : profiles)
+        census.merge(gpusim::hotspotCensus(p.epochSim));
+    return census;
+}
+
+/** Distinct hotspot kernel names above a time share. */
+std::set<std::string>
+hotspotNames(const std::vector<analysis::BenchmarkProfile> &profiles,
+             double min_share)
+{
+    std::set<std::string> names;
+    for (const auto &p : profiles)
+        for (const auto &h :
+             gpusim::hotspotFunctions(p.epochSim, min_share))
+            names.insert(h.name);
+    return names;
+}
+
+} // namespace
+
+int
+main()
+{
+    analysis::ProfileOptions options;
+    options.skipTraining = true;
+
+    std::vector<const core::ComponentBenchmark *> av, mv;
+    for (const auto &b : core::aibenchSuite())
+        av.push_back(&b);
+    for (const auto &b : core::mlperfSuite())
+        mv.push_back(&b);
+    auto aibench = analysis::profileSuite(av, options);
+    auto mlperf = analysis::profileSuite(mv, options);
+
+    const gpusim::HotspotCensus ca = suiteCensus(aibench);
+    const gpusim::HotspotCensus cm = suiteCensus(mlperf);
+
+    std::printf("Fig. 6: numbers of hotspot functions per "
+                "time-percentage bucket\n\n");
+    std::printf("%-14s %10s %10s\n", "Bucket (%)", "AIBench",
+                "MLPerf");
+    bench::rule(38);
+    for (int i = 0; i < gpusim::HotspotCensus::kBuckets; ++i) {
+        std::printf("%-14s %10d %10d\n",
+                    gpusim::HotspotCensus::bucketLabel(i),
+                    ca.counts[static_cast<std::size_t>(i)],
+                    cm.counts[static_cast<std::size_t>(i)]);
+    }
+    bench::rule(38);
+    std::printf("total kernels  %10d %10d\n", ca.total(), cm.total());
+
+    const auto hot_a = hotspotNames(aibench, 0.10);
+    const auto hot_m = hotspotNames(mlperf, 0.10);
+    std::printf("\nDistinct functions occupying >= 10%% of some "
+                "benchmark's runtime: AIBench %zu, MLPerf %zu\n",
+                hot_a.size(), hot_m.size());
+    std::size_t missed = 0;
+    for (const auto &name : hot_a)
+        missed += hot_m.count(name) == 0;
+    std::printf("Hotspot functions MLPerf never exercises: %zu of "
+                "%zu (the paper: MLPerf omits a large number of "
+                "hotspot functions)\n",
+                missed, hot_a.size());
+
+    // Subset coverage of the most time-consuming functions.
+    std::vector<analysis::BenchmarkProfile> subset_profiles;
+    for (const auto &p : aibench) {
+        const auto *b = core::findBenchmark(p.id);
+        if (b && b->info.inSubset)
+            subset_profiles.push_back(p);
+    }
+    const auto hot_subset = hotspotNames(subset_profiles, 0.10);
+    std::size_t covered = 0;
+    for (const auto &name : hot_subset)
+        covered += hot_a.count(name) > 0;
+    std::printf("\nSec. 5.5.2: the 3-benchmark subset exercises %zu "
+                "hotspot functions (all within the suite's %zu), "
+                "including the dominant strided/GEMM kernels.\n",
+                hot_subset.size(), hot_a.size());
+
+    // Table 7: representative hotspot functions per category.
+    bench::header("Table 7: hotspot functions by kernel category");
+    std::map<profiler::KernelCategory,
+             std::map<std::string, double>> per_category;
+    for (const auto &p : aibench) {
+        for (const auto &h :
+             gpusim::hotspotFunctions(p.epochSim, 0.02))
+            per_category[h.category][h.name] =
+                std::max(per_category[h.category][h.name],
+                         h.timeShare);
+    }
+    for (const auto &[category, functions] : per_category) {
+        std::printf("%s:\n",
+                    std::string(profiler::categoryName(category))
+                        .c_str());
+        for (const auto &[name, share] : functions)
+            std::printf("    %-58s (up to %4.1f%%)\n", name.c_str(),
+                        100.0 * share);
+    }
+    return 0;
+}

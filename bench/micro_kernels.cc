@@ -1,0 +1,151 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the tensor substrate's
+ * primitive kernels (GEMM, conv2d, batch-norm, element-wise,
+ * pooling, softmax, grid-sample) — the DeepBench-style layer below
+ * the component benchmarks. Parameterized over problem sizes.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace {
+
+using namespace aib;
+
+Rng &
+rng()
+{
+    static Rng r(7);
+    return r;
+}
+
+void
+BM_Gemm(benchmark::State &state)
+{
+    const auto n = state.range(0);
+    Tensor a = Tensor::randn({n, n}, rng());
+    Tensor b = Tensor::randn({n, n}, rng());
+    NoGradGuard no_grad;
+    for (auto _ : state) {
+        Tensor c = ops::matmul(a, b);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128);
+
+void
+BM_Conv2d(benchmark::State &state)
+{
+    const auto c = state.range(0);
+    Tensor x = Tensor::randn({4, c, 16, 16}, rng());
+    Tensor w = Tensor::randn({c, c, 3, 3}, rng());
+    NoGradGuard no_grad;
+    for (auto _ : state) {
+        Tensor y = ops::conv2d(x, w, Tensor(), 1, 1);
+        benchmark::DoNotOptimize(y.data());
+    }
+}
+BENCHMARK(BM_Conv2d)->Arg(4)->Arg(8)->Arg(16);
+
+void
+BM_BatchNorm(benchmark::State &state)
+{
+    Tensor x = Tensor::randn({8, 16, 16, 16}, rng());
+    Tensor gamma = Tensor::ones({16});
+    Tensor beta = Tensor::zeros({16});
+    NoGradGuard no_grad;
+    for (auto _ : state) {
+        Tensor y = ops::batchNorm2d(x, gamma, beta, 1e-5f);
+        benchmark::DoNotOptimize(y.data());
+    }
+}
+BENCHMARK(BM_BatchNorm);
+
+void
+BM_ElementwiseAdd(benchmark::State &state)
+{
+    const auto n = state.range(0);
+    Tensor a = Tensor::randn({n}, rng());
+    Tensor b = Tensor::randn({n}, rng());
+    NoGradGuard no_grad;
+    for (auto _ : state) {
+        Tensor c = ops::add(a, b);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ElementwiseAdd)->Arg(1 << 10)->Arg(1 << 16);
+
+void
+BM_Relu(benchmark::State &state)
+{
+    Tensor a = Tensor::randn({1 << 16}, rng());
+    NoGradGuard no_grad;
+    for (auto _ : state) {
+        Tensor c = ops::relu(a);
+        benchmark::DoNotOptimize(c.data());
+    }
+}
+BENCHMARK(BM_Relu);
+
+void
+BM_MaxPool(benchmark::State &state)
+{
+    Tensor x = Tensor::randn({8, 8, 16, 16}, rng());
+    NoGradGuard no_grad;
+    for (auto _ : state) {
+        Tensor y = ops::maxPool2d(x, 2, 2);
+        benchmark::DoNotOptimize(y.data());
+    }
+}
+BENCHMARK(BM_MaxPool);
+
+void
+BM_Softmax(benchmark::State &state)
+{
+    Tensor x = Tensor::randn({128, 64}, rng());
+    NoGradGuard no_grad;
+    for (auto _ : state) {
+        Tensor y = ops::softmax(x);
+        benchmark::DoNotOptimize(y.data());
+    }
+}
+BENCHMARK(BM_Softmax);
+
+void
+BM_GridSample(benchmark::State &state)
+{
+    Tensor x = Tensor::randn({4, 2, 16, 16}, rng());
+    Tensor theta = Tensor::fromVector(
+        {1, 2, 3}, {1.0f, 0.1f, 0.0f, -0.1f, 1.0f, 0.0f});
+    Tensor theta4 = ops::concat({theta, theta, theta, theta}, 0);
+    Tensor grid = ops::affineGrid(theta4, 4, 16, 16);
+    NoGradGuard no_grad;
+    for (auto _ : state) {
+        Tensor y = ops::gridSample(x, grid);
+        benchmark::DoNotOptimize(y.data());
+    }
+}
+BENCHMARK(BM_GridSample);
+
+void
+BM_TrainingStepBackward(benchmark::State &state)
+{
+    Tensor w = Tensor::randn({64, 64}, rng()).setRequiresGrad(true);
+    Tensor x = Tensor::randn({16, 64}, rng());
+    for (auto _ : state) {
+        w.zeroGrad();
+        Tensor loss = ops::mean(ops::square(ops::matmul(x, w)));
+        loss.backward();
+        benchmark::DoNotOptimize(w.grad().data());
+    }
+}
+BENCHMARK(BM_TrainingStepBackward);
+
+} // namespace
+
+BENCHMARK_MAIN();

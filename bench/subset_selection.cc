@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Reproduces Sec. 5.4: subset selection and its implications.
+ * Characterizes the seventeen AIBench benchmarks (measured FLOPs /
+ * parameters / epochs, Table 5 variation, metric acceptance), runs
+ * the criteria-driven selector, and reports the resulting subset's
+ * coverage and the benchmarking-cost savings (41% vs AIBench full,
+ * 63% vs MLPerf, in the paper's hour accounting), plus a
+ * random-subset ablation.
+ */
+
+#include <cstdio>
+#include <random>
+#include <vector>
+
+#include "analysis/characterize.h"
+#include "bench_util.h"
+#include "core/cost.h"
+#include "core/registry.h"
+#include "core/subset.h"
+
+using namespace aib;
+
+int
+main()
+{
+    analysis::ProfileOptions options;
+    options.maxEpochs = 40;
+
+    std::vector<const core::ComponentBenchmark *> suite;
+    for (const auto &b : core::aibenchSuite())
+        suite.push_back(&b);
+    auto profiles = analysis::profileSuite(suite, options);
+
+    // Assemble the selector inputs: measured model axes + the
+    // paper's Table 5 variation + metric acceptance.
+    std::vector<core::BenchmarkCharacter> characters;
+    for (std::size_t i = 0; i < profiles.size(); ++i) {
+        core::BenchmarkCharacter c;
+        c.id = profiles[i].id;
+        c.forwardMFlops = profiles[i].complexity.forwardMFlops();
+        c.millionParams = profiles[i].complexity.millionParams();
+        c.epochsToQuality =
+            profiles[i].epochsToTarget > 0
+                ? profiles[i].epochsToTarget
+                : options.maxEpochs;
+        c.variationPct = suite[i]->info.paperVariationPct >= 0.0
+                             ? suite[i]->info.paperVariationPct
+                             : 100.0;
+        c.hasWidelyAcceptedMetric =
+            suite[i]->info.hasWidelyAcceptedMetric;
+        characters.push_back(c);
+    }
+
+    std::printf("Sec. 5.4: subset selection inputs\n\n");
+    std::printf("%-12s %12s %12s %8s %10s %8s\n", "Benchmark",
+                "M-FLOPs", "M-params", "epochs", "var.%",
+                "metric?");
+    bench::rule(70);
+    for (const auto &c : characters) {
+        std::printf("%-12s %12.3f %12.4f %8.0f %10.2f %8s\n",
+                    c.id.c_str(), c.forwardMFlops, c.millionParams,
+                    c.epochsToQuality, c.variationPct,
+                    c.hasWidelyAcceptedMetric ? "yes" : "no");
+    }
+    bench::rule(70);
+
+    auto selected = core::selectSubset(characters, 3, 2.0);
+    std::printf("\nSelected subset (variation <= 2%%, accepted "
+                "metric, max diversity coverage):");
+    for (const auto &id : selected)
+        std::printf(" %s", id.c_str());
+    std::printf("\nPaper's subset: DC-AI-C1 (Image Classification), "
+                "DC-AI-C9 (Object Detection), DC-AI-C16 "
+                "(Learning-to-Rank)\n");
+
+    std::vector<core::BenchmarkCharacter> chosen;
+    for (const auto &c : characters)
+        for (const auto &id : selected)
+            if (c.id == id)
+                chosen.push_back(c);
+    const double chosen_cov = core::coverageScore(chosen, characters);
+    std::printf("Subset diversity coverage: %.3f (1.0 = spans the "
+                "full suite on every axis)\n",
+                chosen_cov);
+
+    // Ablation: random 3-subsets (no criteria) for comparison.
+    std::mt19937_64 engine(99);
+    double random_cov = 0.0;
+    const int trials = 200;
+    for (int t = 0; t < trials; ++t) {
+        std::vector<core::BenchmarkCharacter> pool = characters;
+        std::shuffle(pool.begin(), pool.end(), engine);
+        pool.resize(3);
+        random_cov += core::coverageScore(pool, characters);
+    }
+    random_cov /= trials;
+    std::printf("Mean coverage of random 3-subsets (no criteria): "
+                "%.3f -> the criteria-selected subset covers %.1f%% "
+                "more of the suite's diversity\n",
+                random_cov,
+                100.0 * (chosen_cov - random_cov) /
+                    std::max(random_cov, 1e-9));
+
+    // Cost savings, in the paper's hour accounting.
+    bench::header("Benchmarking-cost savings (paper hours)");
+    const double full_hours =
+        core::paperSuiteHours([&] {
+            std::vector<const core::ComponentBenchmark *> v;
+            for (const auto &b : core::aibenchSuite())
+                v.push_back(&b);
+            return v;
+        }());
+    const double subset_hours =
+        core::paperSuiteHours(core::subsetBenchmarks());
+    const double mlperf_hours = core::paperSuiteHours([&] {
+        std::vector<const core::ComponentBenchmark *> v;
+        for (const auto &b : core::mlperfSuite())
+            v.push_back(&b);
+        return v;
+    }());
+    std::printf("AIBench full: %.2f h, subset: %.2f h, MLPerf: "
+                "%.2f h\n",
+                full_hours, subset_hours, mlperf_hours);
+    std::printf("subset vs AIBench full: %.1f%% shorter (paper: "
+                "41%%)\n",
+                core::reductionPct(subset_hours, full_hours));
+    std::printf("subset vs MLPerf:       %.1f%% shorter (paper: "
+                "63%%)\n",
+                core::reductionPct(subset_hours, mlperf_hours));
+    std::printf("AIBench vs MLPerf:      %.1f%% shorter (paper: "
+                "37%%)\n",
+                core::reductionPct(full_hours, mlperf_hours));
+
+    // Measured (scaled) savings on this machine.
+    core::RunOptions run;
+    run.maxEpochs = 40;
+    core::CostReport subset_cost =
+        core::measureSuiteCost(core::subsetBenchmarks(), 42, run);
+    double full_measured = 0.0;
+    for (const auto &p : profiles)
+        (void)p;
+    // Reuse profiles' epochs with fresh timing for the full suite.
+    core::CostReport full_cost = core::measureSuiteCost(
+        [&] {
+            std::vector<const core::ComponentBenchmark *> v;
+            for (const auto &b : core::aibenchSuite())
+                v.push_back(&b);
+            return v;
+        }(),
+        42, run);
+    full_measured = full_cost.measuredTotalSeconds;
+    std::printf("\nMeasured on this machine: subset %s vs full %s "
+                "-> %.1f%% shorter\n",
+                bench::fmtSeconds(subset_cost.measuredTotalSeconds)
+                    .c_str(),
+                bench::fmtSeconds(full_measured).c_str(),
+                core::reductionPct(
+                    subset_cost.measuredTotalSeconds, full_measured));
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Early-stage architecture evaluation with the affordable subset
+ * (the paper's Sec. 3.4 methodology): when a new GPU design exists
+ * only as a spec, run the lightweight subset's traced workloads
+ * through the analytical device model and compare designs — here,
+ * the paper's two devices (TITAN XP vs TITAN RTX) plus a
+ * hypothetical bandwidth-starved variant, showing how the projected
+ * speedups differ per benchmark and why bandwidth matters for the
+ * memory-bound members.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "core/registry.h"
+#include "core/runner.h"
+#include "gpusim/kernel_model.h"
+
+using namespace aib;
+
+int
+main()
+{
+    std::vector<gpusim::DeviceSpec> devices{gpusim::titanXp(),
+                                            gpusim::titanRtx()};
+    // A hypothetical design: RTX compute with half the bandwidth.
+    gpusim::DeviceSpec starved = gpusim::titanRtx();
+    starved.name = "Hypothetical (RTX compute, 1/2 bandwidth)";
+    starved.memBandwidthGBs /= 2.0;
+    devices.push_back(starved);
+
+    std::printf("early-stage evaluation with the AIBench subset\n");
+    std::printf("(simulated time of one traced training epoch per "
+                "device)\n\n");
+    std::printf("%-14s", "Benchmark");
+    for (const auto &d : devices)
+        std::printf(" %28s", d.name.substr(0, 28).c_str());
+    std::printf("\n");
+
+    for (const auto *benchmark : core::subsetBenchmarks()) {
+        profiler::TraceSession trace =
+            core::traceTrainingEpochs(*benchmark, 42, 0, 1);
+        std::printf("%-14s", benchmark->info.id.c_str());
+        double baseline = 0.0;
+        for (std::size_t d = 0; d < devices.size(); ++d) {
+            gpusim::TraceSimResult sim =
+                gpusim::simulateTrace(trace, devices[d]);
+            if (d == 0)
+                baseline = sim.totalTimeSec;
+            std::printf(" %18.3f ms (%.2fx)", sim.totalTimeSec * 1e3,
+                        baseline / sim.totalTimeSec);
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\nReading the result: the convolution-heavy subset "
+                "members (C1, C9) gain from the RTX and lose that "
+                "gain — and more — when bandwidth is halved, because "
+                "their im2col/element-wise phases are memory-bound. "
+                "Learning-to-Rank (C16) is insensitive to the device "
+                "entirely: its many tiny embedding kernels are "
+                "launch-overhead dominated, so neither FLOPs nor "
+                "bandwidth help. Exactly the kind of design input "
+                "the paper's methodology feeds to early-stage "
+                "evaluation.\n");
+    return 0;
+}

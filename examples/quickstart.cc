@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Quickstart: pick a component benchmark from the registry, run an
+ * entire training session (train to the target quality), and print
+ * the measurements AIBench defines for offline training — epochs and
+ * wall-clock time to the convergent quality, and samples-equivalent
+ * throughput per epoch.
+ *
+ * Usage: quickstart [benchmark-id]   (default: DC-AI-C10)
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "core/registry.h"
+#include "core/runner.h"
+
+using namespace aib;
+
+int
+main(int argc, char **argv)
+{
+    const std::string id = argc > 1 ? argv[1] : "DC-AI-C10";
+    const core::ComponentBenchmark *benchmark =
+        core::findBenchmark(id);
+    if (!benchmark) {
+        std::fprintf(stderr,
+                     "unknown benchmark '%s'; available ids:\n",
+                     id.c_str());
+        for (const auto *b : core::allBenchmarks())
+            std::fprintf(stderr, "  %s (%s)\n", b->info.id.c_str(),
+                         b->info.name.c_str());
+        return 1;
+    }
+
+    std::printf("AIBench quickstart\n");
+    std::printf("  benchmark: %s — %s\n", benchmark->info.id.c_str(),
+                benchmark->info.name.c_str());
+    std::printf("  model:     %s\n", benchmark->info.model.c_str());
+    std::printf("  dataset:   %s\n", benchmark->info.dataset.c_str());
+    std::printf("  target:    %s %s %.4g\n",
+                benchmark->info.metric.c_str(),
+                benchmark->info.direction ==
+                        core::Direction::HigherIsBetter
+                    ? ">="
+                    : "<=",
+                benchmark->info.target);
+
+    core::RunOptions options;
+    options.maxEpochs = 40;
+    std::printf("\ntraining to the convergent quality (seed 42, "
+                "max %d epochs)...\n",
+                options.maxEpochs);
+    core::TrainResult result =
+        core::trainToQuality(*benchmark, 42, options);
+
+    for (std::size_t e = 0; e < result.qualityByEpoch.size(); ++e)
+        std::printf("  epoch %2zu: %s = %.4f\n", e + 1,
+                    benchmark->info.metric.c_str(),
+                    result.qualityByEpoch[e]);
+
+    if (result.reached()) {
+        std::printf("\nreached the target in %d epochs "
+                    "(%.2f s wall-clock, %.3f s/epoch)\n",
+                    result.epochsToTarget, result.trainSeconds,
+                    result.secondsPerEpoch);
+    } else {
+        std::printf("\ndid not reach the target within %d epochs "
+                    "(final %s = %.4f)\n",
+                    options.maxEpochs, benchmark->info.metric.c_str(),
+                    result.finalQuality);
+    }
+    return result.reached() ? 0 : 2;
+}

@@ -1,0 +1,40 @@
+#include "analysis/characterize.h"
+
+namespace aib::analysis {
+
+BenchmarkProfile
+profileBenchmark(const core::ComponentBenchmark &benchmark,
+                 const ProfileOptions &options)
+{
+    BenchmarkProfile profile;
+    profile.id = benchmark.info.id;
+    profile.name = benchmark.info.name;
+    profile.suite = benchmark.info.suite;
+    profile.complexity = countOps(benchmark, options.seed);
+
+    profiler::TraceSession trace = core::traceTrainingEpochs(
+        benchmark, options.seed, /*warmup_epochs=*/0, /*epochs=*/1);
+    profile.epochSim = gpusim::simulateTrace(trace, options.device);
+
+    if (!options.skipTraining) {
+        core::RunOptions run;
+        run.maxEpochs = options.maxEpochs;
+        core::TrainResult result =
+            core::trainToQuality(benchmark, options.seed, run);
+        profile.epochsToTarget = result.epochsToTarget;
+    }
+    return profile;
+}
+
+std::vector<BenchmarkProfile>
+profileSuite(const std::vector<const core::ComponentBenchmark *> &suite,
+             const ProfileOptions &options)
+{
+    std::vector<BenchmarkProfile> out;
+    out.reserve(suite.size());
+    for (const core::ComponentBenchmark *b : suite)
+        out.push_back(profileBenchmark(*b, options));
+    return out;
+}
+
+} // namespace aib::analysis

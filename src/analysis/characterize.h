@@ -1,0 +1,81 @@
+/**
+ * @file
+ * One-stop benchmark characterization: combines the OpCounter
+ * (parameters, forward FLOPs), the training runner (epochs to
+ * convergent quality) and the analytical GPU model (simulated
+ * per-epoch trace and micro-architectural metrics) into the record
+ * that Figs. 1-7 and the subset selector consume.
+ */
+
+#ifndef AIB_ANALYSIS_CHARACTERIZE_H
+#define AIB_ANALYSIS_CHARACTERIZE_H
+
+#include <string>
+#include <vector>
+
+#include "analysis/opcounter.h"
+#include "core/benchmark.h"
+#include "core/runner.h"
+#include "gpusim/kernel_model.h"
+
+namespace aib::analysis {
+
+/** Everything the characterization experiments need, per benchmark. */
+struct BenchmarkProfile {
+    std::string id;
+    std::string name;
+    core::Suite suite = core::Suite::AIBench;
+    ModelComplexity complexity;
+    /** Epochs to convergent quality (-1 if the cap was hit). */
+    int epochsToTarget = -1;
+    /** Simulated one-epoch execution on the characterization GPU. */
+    gpusim::TraceSimResult epochSim;
+
+    /** The 5 micro-architectural metrics as a feature vector. */
+    std::vector<double>
+    metricVector() const
+    {
+        const auto a = epochSim.aggregate.asArray();
+        return std::vector<double>(a.begin(), a.end());
+    }
+
+    /**
+     * Full computation/memory-access-pattern vector: the 5
+     * micro-architectural metrics plus the 8 kernel-category time
+     * shares (the Fig. 3 + Fig. 5 view of a benchmark), used for
+     * the Fig. 4 clustering.
+     */
+    std::vector<double>
+    patternVector() const
+    {
+        std::vector<double> v = metricVector();
+        for (double share : epochSim.categoryShare())
+            v.push_back(share);
+        return v;
+    }
+};
+
+/** Characterization options. */
+struct ProfileOptions {
+    std::uint64_t seed = 42;
+    /** Cap when measuring epochs-to-quality. */
+    int maxEpochs = 40;
+    /** Skip the (expensive) training session; epochsToTarget = -1. */
+    bool skipTraining = false;
+    /** Device for the simulated trace (default: TITAN XP). */
+    gpusim::DeviceSpec device = gpusim::titanXp();
+};
+
+/** Characterize one benchmark. */
+BenchmarkProfile profileBenchmark(
+    const core::ComponentBenchmark &benchmark,
+    const ProfileOptions &options = {});
+
+/** Characterize a whole suite. */
+std::vector<BenchmarkProfile> profileSuite(
+    const std::vector<const core::ComponentBenchmark *> &suite,
+    const ProfileOptions &options = {});
+
+} // namespace aib::analysis
+
+#endif // AIB_ANALYSIS_CHARACTERIZE_H

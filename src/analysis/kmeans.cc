@@ -1,0 +1,134 @@
+#include "analysis/kmeans.h"
+
+#include <cmath>
+#include <limits>
+#include <random>
+#include <stdexcept>
+
+namespace aib::analysis {
+
+namespace {
+
+double
+sqDist(const std::vector<double> &a, const std::vector<double> &b)
+{
+    double d = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        d += (a[i] - b[i]) * (a[i] - b[i]);
+    return d;
+}
+
+KMeansResult
+runOnce(const std::vector<std::vector<double>> &points, int k,
+        std::mt19937_64 &engine, int max_iters)
+{
+    const std::size_t n = points.size();
+    KMeansResult result;
+    result.centers.reserve(static_cast<std::size_t>(k));
+
+    // k-means++ seeding.
+    std::uniform_int_distribution<std::size_t> pick(0, n - 1);
+    result.centers.push_back(points[pick(engine)]);
+    std::vector<double> dist(n,
+                             std::numeric_limits<double>::infinity());
+    while (static_cast<int>(result.centers.size()) < k) {
+        double total = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            dist[i] = std::min(dist[i],
+                               sqDist(points[i],
+                                      result.centers.back()));
+            total += dist[i];
+        }
+        std::uniform_real_distribution<double> u(0.0, total);
+        double target = u(engine);
+        std::size_t chosen = n - 1;
+        for (std::size_t i = 0; i < n; ++i) {
+            target -= dist[i];
+            if (target <= 0.0) {
+                chosen = i;
+                break;
+            }
+        }
+        result.centers.push_back(points[chosen]);
+    }
+
+    result.assignment.assign(n, -1);
+    for (int iter = 0; iter < max_iters; ++iter) {
+        bool changed = false;
+        for (std::size_t i = 0; i < n; ++i) {
+            int best = 0;
+            double best_d =
+                std::numeric_limits<double>::infinity();
+            for (int c = 0; c < k; ++c) {
+                const double d = sqDist(
+                    points[i],
+                    result.centers[static_cast<std::size_t>(c)]);
+                if (d < best_d) {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            if (result.assignment[i] != best) {
+                result.assignment[i] = best;
+                changed = true;
+            }
+        }
+        if (!changed)
+            break;
+        // Recompute centroids.
+        const std::size_t dims = points.front().size();
+        std::vector<std::vector<double>> sums(
+            static_cast<std::size_t>(k),
+            std::vector<double>(dims, 0.0));
+        std::vector<int> counts(static_cast<std::size_t>(k), 0);
+        for (std::size_t i = 0; i < n; ++i) {
+            const auto c =
+                static_cast<std::size_t>(result.assignment[i]);
+            ++counts[c];
+            for (std::size_t d = 0; d < dims; ++d)
+                sums[c][d] += points[i][d];
+        }
+        for (int c = 0; c < k; ++c) {
+            const auto cc = static_cast<std::size_t>(c);
+            if (counts[cc] == 0)
+                continue; // keep the old centroid for empty clusters
+            for (std::size_t d = 0; d < points.front().size(); ++d)
+                result.centers[cc][d] = sums[cc][d] / counts[cc];
+        }
+    }
+
+    result.inertia = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+        result.inertia += sqDist(
+            points[i], result.centers[static_cast<std::size_t>(
+                           result.assignment[i])]);
+    return result;
+}
+
+} // namespace
+
+KMeansResult
+kmeans(const std::vector<std::vector<double>> &points, int k,
+       std::uint64_t seed, int restarts, int max_iters)
+{
+    if (points.empty())
+        throw std::invalid_argument("kmeans: no points");
+    if (k <= 0 || k > static_cast<int>(points.size()))
+        throw std::invalid_argument("kmeans: bad k");
+    for (const auto &p : points) {
+        if (p.size() != points.front().size())
+            throw std::invalid_argument("kmeans: ragged points");
+    }
+
+    std::mt19937_64 engine(seed);
+    KMeansResult best;
+    best.inertia = std::numeric_limits<double>::infinity();
+    for (int r = 0; r < restarts; ++r) {
+        KMeansResult candidate = runOnce(points, k, engine, max_iters);
+        if (candidate.inertia < best.inertia)
+            best = std::move(candidate);
+    }
+    return best;
+}
+
+} // namespace aib::analysis

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Seeded k-means clustering (k-means++ initialization) used to
+ * assign the Fig. 4 cluster labels over the benchmarks'
+ * micro-architectural feature vectors.
+ */
+
+#ifndef AIB_ANALYSIS_KMEANS_H
+#define AIB_ANALYSIS_KMEANS_H
+
+#include <cstdint>
+#include <vector>
+
+namespace aib::analysis {
+
+/** Result of a k-means run. */
+struct KMeansResult {
+    std::vector<int> assignment;              ///< cluster per point
+    std::vector<std::vector<double>> centers; ///< k centroids
+    double inertia = 0.0; ///< sum of squared distances to centroids
+};
+
+/**
+ * Cluster @p points (each a feature vector of equal length) into
+ * @p k clusters. Deterministic for a given seed; restarts a few
+ * times and keeps the lowest-inertia solution.
+ */
+KMeansResult kmeans(const std::vector<std::vector<double>> &points,
+                    int k, std::uint64_t seed = 1, int restarts = 8,
+                    int max_iters = 100);
+
+} // namespace aib::analysis
+
+#endif // AIB_ANALYSIS_KMEANS_H

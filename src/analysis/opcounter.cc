@@ -1,0 +1,25 @@
+#include "analysis/opcounter.h"
+
+#include "core/runner.h"
+
+namespace aib::analysis {
+
+ModelComplexity
+countOps(const core::ComponentBenchmark &benchmark, std::uint64_t seed)
+{
+    ModelComplexity out;
+    seedGlobalRng(seed);
+    auto task = benchmark.makeTask(seed);
+    out.parameters = task->model().parameterCount();
+
+    profiler::TraceSession trace;
+    {
+        profiler::ScopedTrace scope(trace);
+        task->forwardOnce();
+    }
+    out.forwardFlops = trace.totalFlops();
+    out.forwardBytes = trace.totalBytes();
+    return out;
+}
+
+} // namespace aib::analysis

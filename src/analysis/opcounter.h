@@ -1,0 +1,38 @@
+/**
+ * @file
+ * OpCounter: model complexity and computational cost measurement,
+ * the stand-in for the pytorch-OpCounter tool the paper uses
+ * (Sec. 5.2.1). Parameters come from the module tree; forward FLOPs
+ * come from tracing one single-sample inference pass through the
+ * instrumented kernel layer.
+ */
+
+#ifndef AIB_ANALYSIS_OPCOUNTER_H
+#define AIB_ANALYSIS_OPCOUNTER_H
+
+#include <cstdint>
+
+#include "core/benchmark.h"
+
+namespace aib::analysis {
+
+/** The two model axes of Fig. 2 (plus raw bytes moved). */
+struct ModelComplexity {
+    std::int64_t parameters = 0; ///< learnable parameter count
+    double forwardFlops = 0.0;   ///< FLOPs of one forward pass
+    double forwardBytes = 0.0;   ///< bytes moved by one forward pass
+
+    double millionParams() const { return parameters / 1e6; }
+    double forwardMFlops() const { return forwardFlops / 1e6; }
+};
+
+/**
+ * Measure parameters and single-forward FLOPs of a benchmark's
+ * model. Deterministic for a given seed.
+ */
+ModelComplexity countOps(const core::ComponentBenchmark &benchmark,
+                         std::uint64_t seed = 42);
+
+} // namespace aib::analysis
+
+#endif // AIB_ANALYSIS_OPCOUNTER_H

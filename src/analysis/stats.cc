@@ -1,0 +1,51 @@
+#include "analysis/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aib::analysis {
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+double
+stddev(const std::vector<double> &values)
+{
+    if (values.size() < 2)
+        return 0.0;
+    const double m = mean(values);
+    double sq = 0.0;
+    for (double v : values)
+        sq += (v - m) * (v - m);
+    return std::sqrt(sq / static_cast<double>(values.size()));
+}
+
+double
+coefficientOfVariationPct(const std::vector<double> &values)
+{
+    const double m = mean(values);
+    if (m == 0.0)
+        return 0.0;
+    return 100.0 * stddev(values) / m;
+}
+
+Range
+rangeOf(const std::vector<double> &values)
+{
+    Range r;
+    if (values.empty())
+        return r;
+    r.lo = *std::min_element(values.begin(), values.end());
+    r.hi = *std::max_element(values.begin(), values.end());
+    return r;
+}
+
+} // namespace aib::analysis

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Small statistics helpers used across the evaluation: mean, standard
+ * deviation, coefficient of variation (the paper's run-to-run
+ * variation measure), and min/max coverage ratios (Fig. 1's "peak
+ * number" comparisons).
+ */
+
+#ifndef AIB_ANALYSIS_STATS_H
+#define AIB_ANALYSIS_STATS_H
+
+#include <vector>
+
+namespace aib::analysis {
+
+/** Arithmetic mean (0 for empty input). */
+double mean(const std::vector<double> &values);
+
+/** Population standard deviation. */
+double stddev(const std::vector<double> &values);
+
+/**
+ * Coefficient of variation in percent: 100 * stddev / mean
+ * (the Table 5 statistic). Zero when the mean is zero.
+ */
+double coefficientOfVariationPct(const std::vector<double> &values);
+
+/** Range (max, min) of a value list. */
+struct Range {
+    double lo = 0.0;
+    double hi = 0.0;
+
+    double span() const { return hi - lo; }
+    /** hi / lo ratio (0 if lo <= 0). */
+    double ratio() const { return lo > 0.0 ? hi / lo : 0.0; }
+};
+
+Range rangeOf(const std::vector<double> &values);
+
+} // namespace aib::analysis
+
+#endif // AIB_ANALYSIS_STATS_H

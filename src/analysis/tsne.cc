@@ -1,0 +1,176 @@
+#include "analysis/tsne.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+namespace aib::analysis {
+
+namespace {
+
+/** Squared Euclidean distance matrix. */
+std::vector<double>
+pairwiseSq(const std::vector<std::vector<double>> &points)
+{
+    const std::size_t n = points.size();
+    std::vector<double> d(n * n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i + 1; j < n; ++j) {
+            double s = 0.0;
+            for (std::size_t k = 0; k < points[i].size(); ++k) {
+                const double diff = points[i][k] - points[j][k];
+                s += diff * diff;
+            }
+            d[i * n + j] = s;
+            d[j * n + i] = s;
+        }
+    }
+    return d;
+}
+
+/**
+ * Conditional probabilities p_{j|i} with the precision beta_i found
+ * by binary search so that the row entropy matches log(perplexity).
+ */
+std::vector<double>
+conditionalP(const std::vector<double> &dist_sq, std::size_t n,
+             double perplexity)
+{
+    std::vector<double> p(n * n, 0.0);
+    const double target_entropy = std::log(perplexity);
+    for (std::size_t i = 0; i < n; ++i) {
+        double beta = 1.0, beta_lo = 0.0, beta_hi = 1e12;
+        for (int iter = 0; iter < 64; ++iter) {
+            double sum = 0.0;
+            for (std::size_t j = 0; j < n; ++j) {
+                if (j == i)
+                    continue;
+                p[i * n + j] =
+                    std::exp(-beta * dist_sq[i * n + j]);
+                sum += p[i * n + j];
+            }
+            if (sum <= 0.0)
+                sum = 1e-12;
+            // Entropy H = log(sum) + beta * <d>.
+            double weighted = 0.0;
+            for (std::size_t j = 0; j < n; ++j) {
+                if (j != i)
+                    weighted += p[i * n + j] * dist_sq[i * n + j];
+            }
+            const double entropy =
+                std::log(sum) + beta * weighted / sum;
+            if (std::fabs(entropy - target_entropy) < 1e-5)
+                break;
+            if (entropy > target_entropy) {
+                beta_lo = beta;
+                beta = beta_hi >= 1e12 ? beta * 2.0
+                                       : 0.5 * (beta + beta_hi);
+            } else {
+                beta_hi = beta;
+                beta = 0.5 * (beta + beta_lo);
+            }
+        }
+        double sum = 0.0;
+        for (std::size_t j = 0; j < n; ++j)
+            sum += j == i ? 0.0 : p[i * n + j];
+        if (sum <= 0.0)
+            sum = 1e-12;
+        for (std::size_t j = 0; j < n; ++j) {
+            if (j != i)
+                p[i * n + j] /= sum;
+        }
+        p[i * n + i] = 0.0;
+    }
+    return p;
+}
+
+} // namespace
+
+std::vector<std::array<double, 2>>
+tsne(const std::vector<std::vector<double>> &points,
+     const TsneOptions &options)
+{
+    const std::size_t n = points.size();
+    if (n < 2)
+        throw std::invalid_argument("tsne: need at least two points");
+    for (const auto &p : points) {
+        if (p.size() != points.front().size())
+            throw std::invalid_argument("tsne: ragged points");
+    }
+    // Perplexity must be < n; clamp for small inputs.
+    const double perplexity = std::min(
+        options.perplexity, static_cast<double>(n - 1) / 3.0 + 1.0);
+
+    const std::vector<double> dist_sq = pairwiseSq(points);
+    std::vector<double> p = conditionalP(dist_sq, n, perplexity);
+
+    // Symmetrize: P_ij = (p_{j|i} + p_{i|j}) / (2n).
+    std::vector<double> big_p(n * n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            big_p[i * n + j] = (p[i * n + j] + p[j * n + i]) /
+                               (2.0 * static_cast<double>(n));
+            big_p[i * n + j] =
+                std::max(big_p[i * n + j], 1e-12);
+        }
+    }
+
+    std::mt19937_64 engine(options.seed);
+    std::normal_distribution<double> init(0.0, 1e-2);
+    std::vector<std::array<double, 2>> y(n);
+    std::vector<std::array<double, 2>> velocity(n, {0.0, 0.0});
+    for (auto &point : y) {
+        point[0] = init(engine);
+        point[1] = init(engine);
+    }
+
+    std::vector<double> q(n * n, 0.0);
+    for (int iter = 0; iter < options.iterations; ++iter) {
+        const double exaggeration =
+            iter < options.exaggerationIters
+                ? options.earlyExaggeration
+                : 1.0;
+        const double momentum = iter < 250 ? 0.5 : 0.8;
+
+        // Student-t affinities in the embedding.
+        double qsum = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            for (std::size_t j = i + 1; j < n; ++j) {
+                const double dx = y[i][0] - y[j][0];
+                const double dy = y[i][1] - y[j][1];
+                const double w = 1.0 / (1.0 + dx * dx + dy * dy);
+                q[i * n + j] = w;
+                q[j * n + i] = w;
+                qsum += 2.0 * w;
+            }
+        }
+        if (qsum <= 0.0)
+            qsum = 1e-12;
+
+        for (std::size_t i = 0; i < n; ++i) {
+            double gx = 0.0, gy = 0.0;
+            for (std::size_t j = 0; j < n; ++j) {
+                if (j == i)
+                    continue;
+                const double w = q[i * n + j];
+                const double coeff =
+                    (exaggeration * big_p[i * n + j] - w / qsum) * w;
+                gx += coeff * (y[i][0] - y[j][0]);
+                gy += coeff * (y[i][1] - y[j][1]);
+            }
+            velocity[i][0] = momentum * velocity[i][0] -
+                             options.learningRate * 4.0 * gx;
+            velocity[i][1] = momentum * velocity[i][1] -
+                             options.learningRate * 4.0 * gy;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+            y[i][0] += velocity[i][0];
+            y[i][1] += velocity[i][1];
+        }
+    }
+    return y;
+}
+
+} // namespace aib::analysis

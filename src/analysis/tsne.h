@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Exact t-distributed stochastic neighbor embedding (t-SNE) for the
+ * Fig. 4 cluster visualization. With seventeen benchmarks the exact
+ * O(n^2) gradient is trivial; no Barnes-Hut approximation is needed.
+ */
+
+#ifndef AIB_ANALYSIS_TSNE_H
+#define AIB_ANALYSIS_TSNE_H
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace aib::analysis {
+
+/** t-SNE hyperparameters. */
+struct TsneOptions {
+    double perplexity = 5.0;
+    int iterations = 600;
+    double learningRate = 40.0;
+    double earlyExaggeration = 4.0;
+    int exaggerationIters = 100;
+    std::uint64_t seed = 7;
+};
+
+/**
+ * Embed @p points (n x d feature vectors) into 2-D.
+ * @return n (x, y) pairs.
+ */
+std::vector<std::array<double, 2>>
+tsne(const std::vector<std::vector<double>> &points,
+     const TsneOptions &options = {});
+
+} // namespace aib::analysis
+
+#endif // AIB_ANALYSIS_TSNE_H

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * The component-benchmark abstraction of AIBench.
+ *
+ * A component benchmark (paper Sec. 4) is an independent AI task
+ * with a specified model, dataset and target quality; training it to
+ * that quality is the measured unit of work. @c TrainableTask is the
+ * runnable instance (fresh model + fresh synthetic dataset per seed);
+ * @c ComponentBenchmark couples the task factory with the metadata
+ * that drives every table of the paper.
+ */
+
+#ifndef AIB_CORE_BENCHMARK_H
+#define AIB_CORE_BENCHMARK_H
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "nn/module.h"
+
+namespace aib::core {
+
+/** Whether larger or smaller metric values are better. */
+enum class Direction {
+    HigherIsBetter,
+    LowerIsBetter,
+};
+
+/** Which suite a benchmark belongs to. */
+enum class Suite {
+    AIBench,
+    MLPerf,
+};
+
+/**
+ * One runnable training task: a freshly initialized model plus a
+ * seeded synthetic dataset.
+ */
+class TrainableTask
+{
+  public:
+    virtual ~TrainableTask() = default;
+
+    /** Run one training epoch (a fixed pass of optimizer steps). */
+    virtual void runEpoch() = 0;
+
+    /** Evaluate the quality metric on held-out data. */
+    virtual double evaluate() = 0;
+
+    /** The trainable model (for parameter counting). */
+    virtual nn::Module &model() = 0;
+
+    /**
+     * One inference forward pass on a single canonical sample — the
+     * unit whose FLOPs the OpCounter reports (the paper's
+     * "FLOPs of a single forward computation").
+     */
+    virtual void forwardOnce() = 0;
+};
+
+/** Static description + metadata of one component benchmark. */
+struct BenchmarkInfo {
+    std::string id;       ///< e.g. "DC-AI-C1"
+    std::string name;     ///< e.g. "Image classification"
+    std::string model;    ///< algorithm per Table 3
+    std::string dataset;  ///< paper dataset -> synthetic stand-in
+    std::string metric;   ///< quality metric name
+    double target = 0.0;  ///< scaled target quality for this repo
+    std::string paperTarget; ///< the paper's Table 3 target, verbatim
+    Direction direction = Direction::HigherIsBetter;
+    Suite suite = Suite::AIBench;
+    /** Member of the affordable subset (Sec. 5.4). */
+    bool inSubset = false;
+    /** GAN-style tasks lack a widely accepted metric (Sec. 5.4.1). */
+    bool hasWidelyAcceptedMetric = true;
+    /** Table 6: seconds per epoch measured by the paper. */
+    double paperEpochSeconds = 0.0;
+    /** Table 6: total training hours measured by the paper. */
+    double paperTotalHours = 0.0;
+    /** Table 5: run-to-run variation (%) reported by the paper. */
+    double paperVariationPct = -1.0; ///< negative = not available
+    /** Table 5: repeat count used by the paper. */
+    int paperRepeats = 0;
+
+    /** True when @p value meets the scaled target. */
+    bool
+    metTarget(double value) const
+    {
+        return direction == Direction::HigherIsBetter ? value >= target
+                                                      : value <= target;
+    }
+};
+
+/** A component benchmark: metadata plus a seeded task factory. */
+struct ComponentBenchmark {
+    BenchmarkInfo info;
+    std::function<std::unique_ptr<TrainableTask>(std::uint64_t seed)>
+        makeTask;
+};
+
+} // namespace aib::core
+
+#endif // AIB_CORE_BENCHMARK_H

@@ -1,0 +1,46 @@
+#include "core/cost.h"
+
+namespace aib::core {
+
+CostReport
+measureSuiteCost(const std::vector<const ComponentBenchmark *> &suite,
+                 std::uint64_t seed, const RunOptions &options)
+{
+    CostReport report;
+    for (const ComponentBenchmark *b : suite) {
+        TrainResult result = trainToQuality(*b, seed, options);
+        CostRow row;
+        row.id = b->info.id;
+        row.name = b->info.name;
+        row.measuredEpochSeconds = result.secondsPerEpoch;
+        row.measuredTotalSeconds = result.trainSeconds;
+        row.measuredEpochs =
+            static_cast<int>(result.qualityByEpoch.size());
+        row.reachedTarget = result.reached();
+        row.paperEpochSeconds = b->info.paperEpochSeconds;
+        row.paperTotalHours = b->info.paperTotalHours;
+        report.measuredTotalSeconds += row.measuredTotalSeconds;
+        report.paperTotalHours += row.paperTotalHours;
+        report.rows.push_back(std::move(row));
+    }
+    return report;
+}
+
+double
+paperSuiteHours(const std::vector<const ComponentBenchmark *> &suite)
+{
+    double total = 0.0;
+    for (const ComponentBenchmark *b : suite)
+        total += b->info.paperTotalHours;
+    return total;
+}
+
+double
+reductionPct(double reduced, double baseline)
+{
+    if (baseline <= 0.0)
+        return 0.0;
+    return 100.0 * (baseline - reduced) / baseline;
+}
+
+} // namespace aib::core

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Benchmarking-cost accounting (Sec. 5.3.2, Table 6, Sec. 5.4.2).
+ *
+ * Two views are maintained side by side:
+ *  - the *measured* cost of this repository's scaled benchmarks
+ *    (wall-clock of entire training sessions on this machine), and
+ *  - the *paper-reported* cost (Table 6 / Sec. 5.3.2 hours on the
+ *    TITAN RTX), from which the paper's headline savings follow:
+ *    subset vs AIBench ~41%, subset vs MLPerf ~63%, AIBench vs
+ *    MLPerf ~37%.
+ */
+
+#ifndef AIB_CORE_COST_H
+#define AIB_CORE_COST_H
+
+#include <string>
+#include <vector>
+
+#include "core/benchmark.h"
+#include "core/runner.h"
+
+namespace aib::core {
+
+/** Cost of one benchmark's training session. */
+struct CostRow {
+    std::string id;
+    std::string name;
+    double measuredEpochSeconds = 0.0;
+    double measuredTotalSeconds = 0.0;
+    int measuredEpochs = 0;
+    bool reachedTarget = false;
+    double paperEpochSeconds = 0.0;
+    double paperTotalHours = 0.0; ///< 0 = N/A in the paper
+};
+
+/** Cost of a whole suite. */
+struct CostReport {
+    std::vector<CostRow> rows;
+    double measuredTotalSeconds = 0.0;
+    double paperTotalHours = 0.0;
+};
+
+/**
+ * Run entire training sessions for every benchmark in @p suite and
+ * assemble the cost report.
+ */
+CostReport measureSuiteCost(
+    const std::vector<const ComponentBenchmark *> &suite,
+    std::uint64_t seed, const RunOptions &options = {});
+
+/** Sum of the paper's Table 6 total hours over a suite. */
+double paperSuiteHours(
+    const std::vector<const ComponentBenchmark *> &suite);
+
+/** Percentage reduction going from @p baseline to @p reduced. */
+double reductionPct(double reduced, double baseline);
+
+} // namespace aib::core
+
+#endif // AIB_CORE_COST_H

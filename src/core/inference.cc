@@ -1,0 +1,85 @@
+#include "core/inference.h"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+#include "gpusim/kernel_model.h"
+#include "profiler/trace.h"
+
+namespace aib::core {
+
+double
+percentile(std::vector<double> values, double pct)
+{
+    if (values.empty())
+        throw std::invalid_argument("percentile: empty sample");
+    std::sort(values.begin(), values.end());
+    const double rank =
+        pct / 100.0 * static_cast<double>(values.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, values.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+InferenceResult
+measureInference(const ComponentBenchmark &benchmark,
+                 std::uint64_t seed, const InferenceOptions &options)
+{
+    using Clock = std::chrono::steady_clock;
+
+    seedGlobalRng(seed);
+    auto task = benchmark.makeTask(seed);
+    for (int e = 0; e < options.trainEpochs; ++e)
+        task->runEpoch();
+
+    for (int q = 0; q < options.warmupQueries; ++q)
+        task->forwardOnce();
+
+    // Simulated single-query latency/energy from one traced pass.
+    profiler::TraceSession trace;
+    {
+        profiler::ScopedTrace scope(trace);
+        task->forwardOnce();
+    }
+    const gpusim::TraceSimResult sim =
+        gpusim::simulateTrace(trace, options.device);
+
+    InferenceResult result;
+    result.simulatedLatencyMs = sim.totalTimeSec * 1e3;
+    result.simulatedEnergyMj =
+        gpusim::simulatedEnergyJoules(sim, options.device) * 1e3;
+
+    std::vector<double> latencies;
+    latencies.reserve(static_cast<std::size_t>(options.queries));
+    const auto run_start = Clock::now();
+    for (int q = 0; q < options.queries; ++q) {
+        const auto start = Clock::now();
+        task->forwardOnce();
+        latencies.push_back(
+            std::chrono::duration<double, std::milli>(Clock::now() -
+                                                      start)
+                .count());
+    }
+    const double total_seconds =
+        std::chrono::duration<double>(Clock::now() - run_start).count();
+
+    result.queries = options.queries;
+    double sum = 0.0;
+    for (double v : latencies) {
+        sum += v;
+        result.maxLatencyMs = std::max(result.maxLatencyMs, v);
+    }
+    result.meanLatencyMs = sum / static_cast<double>(latencies.size());
+    result.p50LatencyMs = percentile(latencies, 50.0);
+    result.p90LatencyMs = percentile(latencies, 90.0);
+    result.p99LatencyMs = percentile(latencies, 99.0);
+    result.throughputQps =
+        total_seconds > 0.0
+            ? static_cast<double>(options.queries) / total_seconds
+            : 0.0;
+    return result;
+}
+
+} // namespace aib::core

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Online-inference metrics (paper Sec. 4.2.1): AIBench measures
+ * query response latency, tail latency and throughput for the
+ * inference side of every component benchmark. This harness runs
+ * repeated single-sample inference passes of a trained (or fresh)
+ * task, collects the wall-clock latency distribution, and also
+ * projects per-query latency on a simulated device from the traced
+ * kernel work.
+ */
+
+#ifndef AIB_CORE_INFERENCE_H
+#define AIB_CORE_INFERENCE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/benchmark.h"
+#include "gpusim/device.h"
+
+namespace aib::core {
+
+/** Latency distribution summary of an inference run. */
+struct InferenceResult {
+    int queries = 0;
+    double meanLatencyMs = 0.0;
+    double p50LatencyMs = 0.0;
+    double p90LatencyMs = 0.0;
+    double p99LatencyMs = 0.0;    ///< tail latency
+    double maxLatencyMs = 0.0;
+    double throughputQps = 0.0;   ///< queries per wall-clock second
+    /** Simulated single-query execution time on the device (ms). */
+    double simulatedLatencyMs = 0.0;
+    /** Simulated energy per query on the device (millijoules). */
+    double simulatedEnergyMj = 0.0;
+};
+
+/** Options for an inference measurement run. */
+struct InferenceOptions {
+    int queries = 50;
+    int warmupQueries = 3;
+    /** Train this many epochs before measuring (0 = fresh model). */
+    int trainEpochs = 0;
+    gpusim::DeviceSpec device = gpusim::titanXp();
+};
+
+/**
+ * Measure the single-query inference latency distribution of a
+ * benchmark's model via repeated @c forwardOnce calls.
+ */
+InferenceResult measureInference(const ComponentBenchmark &benchmark,
+                                 std::uint64_t seed,
+                                 const InferenceOptions &options = {});
+
+/** Percentile (0..100) of a latency sample set, by interpolation. */
+double percentile(std::vector<double> values, double pct);
+
+} // namespace aib::core
+
+#endif // AIB_CORE_INFERENCE_H

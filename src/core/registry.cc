@@ -1,0 +1,448 @@
+#include "core/registry.h"
+
+#include "models/tasks.h"
+
+namespace aib::core {
+
+namespace {
+
+ComponentBenchmark
+make(BenchmarkInfo info,
+     std::unique_ptr<TrainableTask> (*factory)(std::uint64_t))
+{
+    ComponentBenchmark b;
+    b.info = std::move(info);
+    b.makeTask = [factory](std::uint64_t seed) { return factory(seed); };
+    return b;
+}
+
+std::vector<ComponentBenchmark>
+buildAibench()
+{
+    std::vector<ComponentBenchmark> out;
+
+    {
+        BenchmarkInfo info;
+        info.id = "DC-AI-C1";
+        info.name = "Image classification";
+        info.model = "ResNet50 (scaled residual network)";
+        info.dataset = "ImageNet -> synthetic shape images";
+        info.metric = "accuracy";
+        info.target = 0.737;
+        info.paperTarget = "74.9% (accuracy)";
+        info.direction = Direction::HigherIsBetter;
+        info.inSubset = true;
+        info.paperEpochSeconds = 10516.91;
+        info.paperTotalHours = 130.0;
+        info.paperVariationPct = 1.12;
+        info.paperRepeats = 5;
+        out.push_back(make(info, models::makeImageClassificationTask));
+    }
+    {
+        BenchmarkInfo info;
+        info.id = "DC-AI-C2";
+        info.name = "Image generation";
+        info.model = "WassersteinGAN (4-layer ReLU MLP G/D)";
+        info.dataset = "LSUN -> 2-D ring mixture";
+        info.metric = "EM distance";
+        info.target = 0.35;
+        info.paperTarget = "N/A (EM distance 0.5 +/- 0.005)";
+        info.direction = Direction::LowerIsBetter;
+        info.hasWidelyAcceptedMetric = false;
+        info.paperEpochSeconds = 3935.75;
+        info.paperTotalHours = 0.0; // N/A in Table 6
+        out.push_back(make(info, models::makeImageGenerationTask));
+    }
+    {
+        BenchmarkInfo info;
+        info.id = "DC-AI-C3";
+        info.name = "Text-to-Text translation";
+        info.model = "Transformer (encoder-decoder attention)";
+        info.dataset = "WMT English-German -> hidden-permutation pairs";
+        info.metric = "token accuracy";
+        info.target = 0.55;
+        info.paperTarget = "55% (accuracy)";
+        info.direction = Direction::HigherIsBetter;
+        info.paperEpochSeconds = 64.83;
+        info.paperTotalHours = 1.72;
+        info.paperVariationPct = 9.38;
+        info.paperRepeats = 6;
+        out.push_back(make(info, models::makeTextToTextTask));
+    }
+    {
+        BenchmarkInfo info;
+        info.id = "DC-AI-C4";
+        info.name = "Image-to-Text";
+        info.model = "Neural Image Caption (CNN + GRU)";
+        info.dataset = "Microsoft COCO -> shape images + captions";
+        info.metric = "perplexity";
+        info.target = 1.35;
+        info.paperTarget = "4.2 (perplexity)";
+        info.direction = Direction::LowerIsBetter;
+        info.paperEpochSeconds = 845.02;
+        info.paperTotalHours = 10.21;
+        info.paperVariationPct = 23.53;
+        info.paperRepeats = 5;
+        out.push_back(make(info, models::makeImageToTextTask));
+    }
+    {
+        BenchmarkInfo info;
+        info.id = "DC-AI-C5";
+        info.name = "Image-to-Image";
+        info.model = "CycleGAN (2 generators + 2 patch critics)";
+        info.dataset = "Cityscapes -> paired style domains";
+        info.metric = "per-pixel accuracy";
+        info.target = 0.65;
+        info.paperTarget = "N/A (per-pixel accuracy 0.52 +/- 0.005)";
+        info.direction = Direction::HigherIsBetter;
+        info.hasWidelyAcceptedMetric = false;
+        info.paperEpochSeconds = 251.67;
+        info.paperTotalHours = 0.0; // N/A in Table 6
+        out.push_back(make(info, models::makeImageToImageTask));
+    }
+    {
+        BenchmarkInfo info;
+        info.id = "DC-AI-C6";
+        info.name = "Speech recognition";
+        info.model = "DeepSpeech2 (context conv + BiGRU)";
+        info.dataset = "Librispeech -> synthetic formant utterances";
+        info.metric = "WER";
+        info.target = 0.235;
+        info.paperTarget = "5.33% (WER)";
+        info.direction = Direction::LowerIsBetter;
+        info.paperEpochSeconds = 14326.86;
+        info.paperTotalHours = 42.78;
+        info.paperVariationPct = 12.08;
+        info.paperRepeats = 4;
+        out.push_back(make(info, models::makeSpeechRecognitionTask));
+    }
+    {
+        BenchmarkInfo info;
+        info.id = "DC-AI-C7";
+        info.name = "Face embedding";
+        info.model = "FaceNet (CNN + triplet loss)";
+        info.dataset = "VGGFace2 -> identity-clustered images";
+        info.metric = "verification accuracy";
+        info.target = 0.89;
+        info.paperTarget = "98.97% (accuracy)";
+        info.direction = Direction::HigherIsBetter;
+        info.paperEpochSeconds = 214.73;
+        info.paperTotalHours = 3.43;
+        info.paperVariationPct = 5.73;
+        info.paperRepeats = 8;
+        out.push_back(make(info, models::makeFaceEmbeddingTask));
+    }
+    {
+        BenchmarkInfo info;
+        info.id = "DC-AI-C8";
+        info.name = "3D Face Recognition";
+        info.model = "RGB-D ResNet (4-channel input)";
+        info.dataset = "Intellifusion RGB-D -> synthetic RGB-D faces";
+        info.metric = "accuracy";
+        info.target = 0.9459;
+        info.paperTarget = "94.64% (accuracy)";
+        info.direction = Direction::HigherIsBetter;
+        info.paperEpochSeconds = 36.99;
+        info.paperTotalHours = 12.02;
+        info.paperVariationPct = 38.46;
+        info.paperRepeats = 4;
+        out.push_back(make(info, models::makeFace3dTask));
+    }
+    {
+        BenchmarkInfo info;
+        info.id = "DC-AI-C9";
+        info.name = "Object detection";
+        info.model = "Faster R-CNN (ResNet backbone + proposal head)";
+        info.dataset = "VOC2007 -> synthetic box scenes";
+        info.metric = "mAP";
+        info.target = 0.62;
+        info.paperTarget = "75% (mAP)";
+        info.direction = Direction::HigherIsBetter;
+        info.inSubset = true;
+        info.paperEpochSeconds = 1627.39;
+        info.paperTotalHours = 2.52;
+        info.paperVariationPct = 0.0;
+        info.paperRepeats = 10;
+        out.push_back(make(info, models::makeObjectDetectionTask));
+    }
+    {
+        BenchmarkInfo info;
+        info.id = "DC-AI-C10";
+        info.name = "Recommendation";
+        info.model = "Neural collaborative filtering";
+        info.dataset = "MovieLens -> latent-factor interactions";
+        info.metric = "HR@10";
+        info.target = 0.60;
+        info.paperTarget = "63.5% (HR@10)";
+        info.direction = Direction::HigherIsBetter;
+        info.paperEpochSeconds = 36.72;
+        info.paperTotalHours = 0.16;
+        info.paperVariationPct = 9.95;
+        info.paperRepeats = 5;
+        out.push_back(make(info, models::makeRecommendationTask));
+    }
+    {
+        BenchmarkInfo info;
+        info.id = "DC-AI-C11";
+        info.name = "Video prediction";
+        info.model = "Motion-focused predictive model (conv + GRU)";
+        info.dataset = "Robot pushing -> moving-sprite clips";
+        info.metric = "MSE (0-255 scale)";
+        info.target = 1950.0;
+        info.paperTarget = "72 (MSE)";
+        info.direction = Direction::LowerIsBetter;
+        info.paperEpochSeconds = 24.99;
+        info.paperTotalHours = 2.11;
+        info.paperVariationPct = 11.83;
+        info.paperRepeats = 4;
+        out.push_back(make(info, models::makeVideoPredictionTask));
+    }
+    {
+        BenchmarkInfo info;
+        info.id = "DC-AI-C12";
+        info.name = "Image compression";
+        info.model = "Recurrent-refinement conv autoencoder";
+        info.dataset = "ImageNet -> synthetic shape images";
+        info.metric = "MS-SSIM";
+        info.target = 0.90;
+        info.paperTarget = "0.99 (MS-SSIM)";
+        info.direction = Direction::HigherIsBetter;
+        info.paperEpochSeconds = 763.44;
+        info.paperTotalHours = 5.67;
+        info.paperVariationPct = 22.49;
+        info.paperRepeats = 4;
+        out.push_back(make(info, models::makeImageCompressionTask));
+    }
+    {
+        BenchmarkInfo info;
+        info.id = "DC-AI-C13";
+        info.name = "3D object reconstruction";
+        info.model = "Convolutional encoder + volume decoder";
+        info.dataset = "ShapeNet -> parametric voxel solids";
+        info.metric = "IoU";
+        info.target = 0.70;
+        info.paperTarget = "45.83% (IU)";
+        info.direction = Direction::HigherIsBetter;
+        info.paperEpochSeconds = 28.41;
+        info.paperTotalHours = 0.38;
+        info.paperVariationPct = 16.07;
+        info.paperRepeats = 4;
+        out.push_back(make(info, models::makeReconstruction3dTask));
+    }
+    {
+        BenchmarkInfo info;
+        info.id = "DC-AI-C14";
+        info.name = "Text summarization";
+        info.model = "Attentional seq2seq (GRU)";
+        info.dataset = "Gigaword -> keyword-headline corpus";
+        info.metric = "ROUGE-L";
+        info.target = 0.60;
+        info.paperTarget = "41 (Rouge-L)";
+        info.direction = Direction::HigherIsBetter;
+        info.paperEpochSeconds = 1923.33;
+        info.paperTotalHours = 6.41;
+        info.paperVariationPct = 24.72;
+        info.paperRepeats = 5;
+        out.push_back(make(info, models::makeTextSummarizationTask));
+    }
+    {
+        BenchmarkInfo info;
+        info.id = "DC-AI-C15";
+        info.name = "Spatial transformer";
+        info.model = "Spatial transformer network";
+        info.dataset = "MNIST -> translated glyphs";
+        info.metric = "accuracy";
+        info.target = 0.94;
+        info.paperTarget = "99% (accuracy)";
+        info.direction = Direction::HigherIsBetter;
+        info.paperEpochSeconds = 6.38;
+        info.paperTotalHours = 0.06;
+        info.paperVariationPct = 7.29;
+        info.paperRepeats = 4;
+        out.push_back(make(info, models::makeSpatialTransformerTask));
+    }
+    {
+        BenchmarkInfo info;
+        info.id = "DC-AI-C16";
+        info.name = "Learning to rank";
+        info.model = "Ranking distillation (MF teacher -> student)";
+        info.dataset = "Gowalla -> latent-factor interactions";
+        info.metric = "precision@10";
+        info.target = 0.30;
+        info.paperTarget = "14.58% (accuracy)";
+        info.direction = Direction::HigherIsBetter;
+        info.inSubset = true;
+        info.paperEpochSeconds = 74.16;
+        info.paperTotalHours = 0.47;
+        info.paperVariationPct = 1.90;
+        info.paperRepeats = 4;
+        out.push_back(make(info, models::makeLearningToRankTask));
+    }
+    {
+        BenchmarkInfo info;
+        info.id = "DC-AI-C17";
+        info.name = "Neural architecture search";
+        info.model = "ENAS (GRU controller + shared child)";
+        info.dataset = "PTB -> Markov-chain text";
+        info.metric = "perplexity";
+        info.target = 3.5;
+        info.paperTarget = "100 (perplexity)";
+        info.direction = Direction::LowerIsBetter;
+        info.paperEpochSeconds = 932.79;
+        info.paperTotalHours = 7.47;
+        info.paperVariationPct = 6.15;
+        info.paperRepeats = 6;
+        out.push_back(make(info, models::makeNasTask));
+    }
+    return out;
+}
+
+std::vector<ComponentBenchmark>
+buildMlperf()
+{
+    std::vector<ComponentBenchmark> out;
+    {
+        BenchmarkInfo info;
+        info.id = "MLPerf-IC";
+        info.name = "Image Classification";
+        info.model = "ResNet50 (scaled residual network)";
+        info.dataset = "ImageNet -> synthetic shape images";
+        info.metric = "accuracy";
+        info.target = 0.737;
+        info.paperTarget = "74.9% (accuracy)";
+        info.suite = Suite::MLPerf;
+        info.paperTotalHours = 130.0;
+        out.push_back(make(info, models::makeImageClassificationTask));
+    }
+    {
+        BenchmarkInfo info;
+        info.id = "MLPerf-OD-heavy";
+        info.name = "Object Detection (heavyweight)";
+        info.model = "Mask/Faster R-CNN class detector (wide)";
+        info.dataset = "COCO -> synthetic box scenes";
+        info.metric = "mAP";
+        info.target = 0.70;
+        info.paperTarget = "37.7 (BBOX)";
+        info.suite = Suite::MLPerf;
+        info.paperTotalHours = 73.34;
+        out.push_back(make(info, models::makeDetectionHeavyTask));
+    }
+    {
+        BenchmarkInfo info;
+        info.id = "MLPerf-OD-light";
+        info.name = "Object Detection (lightweight)";
+        info.model = "SSD class detector (thin)";
+        info.dataset = "COCO -> synthetic box scenes";
+        info.metric = "mAP";
+        info.target = 0.65;
+        info.paperTarget = "22.47 (mAP)";
+        info.suite = Suite::MLPerf;
+        info.paperTotalHours = 23.7;
+        out.push_back(make(info, models::makeDetectionLightTask));
+    }
+    {
+        BenchmarkInfo info;
+        info.id = "MLPerf-NMT";
+        info.name = "Translation (recurrent)";
+        info.model = "GNMT class (LSTM encoder-decoder)";
+        info.dataset = "WMT English-German -> hidden-permutation pairs";
+        info.metric = "token accuracy";
+        info.target = 0.55;
+        info.paperTarget = "22.21 (BLEU)";
+        info.suite = Suite::MLPerf;
+        info.paperTotalHours = 16.52;
+        out.push_back(make(info, models::makeTranslationRecurrentTask));
+    }
+    {
+        BenchmarkInfo info;
+        info.id = "MLPerf-Transformer";
+        info.name = "Translation (nonrecurrent)";
+        info.model = "Transformer (2 blocks, wide)";
+        info.dataset = "WMT English-German -> hidden-permutation pairs";
+        info.metric = "token accuracy";
+        info.target = 0.60;
+        info.paperTarget = "25.25 (BLEU)";
+        info.suite = Suite::MLPerf;
+        info.paperTotalHours = 22.0;
+        out.push_back(
+            make(info, models::makeTranslationNonRecurrentTask));
+    }
+    {
+        BenchmarkInfo info;
+        info.id = "MLPerf-NCF";
+        info.name = "Recommendation";
+        info.model = "Neural collaborative filtering";
+        info.dataset = "MovieLens -> latent-factor interactions";
+        info.metric = "HR@10";
+        info.target = 0.60;
+        info.paperTarget = "63.5% (HR@10)";
+        info.suite = Suite::MLPerf;
+        info.paperTotalHours = 0.16;
+        out.push_back(make(info, models::makeRecommendationTask));
+    }
+    {
+        BenchmarkInfo info;
+        info.id = "MLPerf-RL";
+        info.name = "Reinforcement Learning";
+        info.model = "Policy gradient board-game player";
+        info.dataset = "Go self-play -> grid board episodes";
+        info.metric = "success rate";
+        info.target = 0.95;
+        info.paperTarget = "40% (pro move prediction)";
+        info.suite = Suite::MLPerf;
+        info.paperTotalHours = 96.0; // ">96h, target not reached"
+        out.push_back(
+            make(info, models::makeReinforcementLearningTask));
+    }
+    return out;
+}
+
+} // namespace
+
+const std::vector<ComponentBenchmark> &
+aibenchSuite()
+{
+    static const std::vector<ComponentBenchmark> suite = buildAibench();
+    return suite;
+}
+
+const std::vector<ComponentBenchmark> &
+mlperfSuite()
+{
+    static const std::vector<ComponentBenchmark> suite = buildMlperf();
+    return suite;
+}
+
+std::vector<const ComponentBenchmark *>
+allBenchmarks()
+{
+    std::vector<const ComponentBenchmark *> out;
+    for (const ComponentBenchmark &b : aibenchSuite())
+        out.push_back(&b);
+    for (const ComponentBenchmark &b : mlperfSuite())
+        out.push_back(&b);
+    return out;
+}
+
+const ComponentBenchmark *
+findBenchmark(std::string_view id)
+{
+    for (const ComponentBenchmark *b : allBenchmarks()) {
+        if (b->info.id == id)
+            return b;
+    }
+    return nullptr;
+}
+
+std::vector<const ComponentBenchmark *>
+subsetBenchmarks()
+{
+    std::vector<const ComponentBenchmark *> out;
+    for (const ComponentBenchmark &b : aibenchSuite()) {
+        if (b.info.inSubset)
+            out.push_back(&b);
+    }
+    return out;
+}
+
+} // namespace aib::core

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * The benchmark registry: the seventeen AIBench component benchmarks
+ * (Table 3) and the seven MLPerf training benchmarks, with the
+ * paper's metadata (targets, Table 5 variation, Table 6 costs) and
+ * this repository's scaled targets.
+ */
+
+#ifndef AIB_CORE_REGISTRY_H
+#define AIB_CORE_REGISTRY_H
+
+#include <string_view>
+#include <vector>
+
+#include "core/benchmark.h"
+
+namespace aib::core {
+
+/** The seventeen AIBench component benchmarks, in Table 3 order. */
+const std::vector<ComponentBenchmark> &aibenchSuite();
+
+/** The seven MLPerf training benchmarks. */
+const std::vector<ComponentBenchmark> &mlperfSuite();
+
+/** Both suites concatenated (AIBench first). */
+std::vector<const ComponentBenchmark *> allBenchmarks();
+
+/** Find a benchmark by id (e.g. "DC-AI-C9") in either suite. */
+const ComponentBenchmark *findBenchmark(std::string_view id);
+
+/** The affordable subset of Sec. 5.4 (C1, C9, C16). */
+std::vector<const ComponentBenchmark *> subsetBenchmarks();
+
+} // namespace aib::core
+
+#endif // AIB_CORE_REGISTRY_H

@@ -1,0 +1,115 @@
+#include "core/runner.h"
+
+#include <chrono>
+#include <cmath>
+
+namespace aib::core {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+} // namespace
+
+TrainResult
+trainToQuality(const ComponentBenchmark &benchmark, std::uint64_t seed,
+               const RunOptions &options)
+{
+    seedGlobalRng(seed);
+    auto task = benchmark.makeTask(seed);
+    TrainResult result;
+    int epochs_after_target = 0;
+    for (int epoch = 1; epoch <= options.maxEpochs; ++epoch) {
+        const auto start = Clock::now();
+        task->runEpoch();
+        result.trainSeconds += secondsSince(start);
+        const double quality = task->evaluate();
+        result.qualityByEpoch.push_back(quality);
+        result.finalQuality = quality;
+        if (benchmark.info.metTarget(quality)) {
+            if (result.epochsToTarget < 0)
+                result.epochsToTarget = epoch;
+            if (++epochs_after_target > options.patienceAfterTarget)
+                break;
+        }
+    }
+    if (!result.qualityByEpoch.empty()) {
+        result.secondsPerEpoch =
+            result.trainSeconds /
+            static_cast<double>(result.qualityByEpoch.size());
+    }
+    return result;
+}
+
+RepeatResult
+repeatSessions(const ComponentBenchmark &benchmark, int repeats,
+               std::uint64_t base_seed, const RunOptions &options)
+{
+    RepeatResult out;
+    for (int r = 0; r < repeats; ++r) {
+        TrainResult result = trainToQuality(
+            benchmark, base_seed + static_cast<std::uint64_t>(r) * 7919,
+            options);
+        if (result.reached())
+            out.epochs.push_back(result.epochsToTarget);
+        else
+            ++out.failures;
+    }
+    if (!out.epochs.empty()) {
+        double sum = 0.0;
+        for (int e : out.epochs)
+            sum += e;
+        out.meanEpochs = sum / static_cast<double>(out.epochs.size());
+        double sq = 0.0;
+        for (int e : out.epochs) {
+            const double d = e - out.meanEpochs;
+            sq += d * d;
+        }
+        out.stddevEpochs = std::sqrt(
+            sq / static_cast<double>(out.epochs.size()));
+        out.variationPct = out.meanEpochs > 0.0
+                               ? 100.0 * out.stddevEpochs /
+                                     out.meanEpochs
+                               : 0.0;
+    }
+    return out;
+}
+
+profiler::TraceSession
+traceTrainingEpochs(const ComponentBenchmark &benchmark,
+                    std::uint64_t seed, int warmup_epochs, int epochs)
+{
+    seedGlobalRng(seed);
+    auto task = benchmark.makeTask(seed);
+    for (int i = 0; i < warmup_epochs; ++i)
+        task->runEpoch();
+    profiler::TraceSession trace;
+    {
+        profiler::ScopedTrace scope(trace);
+        for (int i = 0; i < epochs; ++i)
+            task->runEpoch();
+    }
+    return trace;
+}
+
+profiler::TraceSession
+traceForwardPass(const ComponentBenchmark &benchmark,
+                 std::uint64_t seed)
+{
+    seedGlobalRng(seed);
+    auto task = benchmark.makeTask(seed);
+    profiler::TraceSession trace;
+    {
+        profiler::ScopedTrace scope(trace);
+        task->forwardOnce();
+    }
+    return trace;
+}
+
+} // namespace aib::core

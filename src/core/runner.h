@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Training runner: executes entire or quasi-entire training sessions
+ * (Sec. 3.4) — train a benchmark until its target quality is reached
+ * — and collects the measurements every experiment consumes: epochs
+ * to convergent quality, per-epoch wall time, quality trajectory,
+ * and kernel traces for the characterization experiments.
+ */
+
+#ifndef AIB_CORE_RUNNER_H
+#define AIB_CORE_RUNNER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/benchmark.h"
+#include "profiler/trace.h"
+
+namespace aib::core {
+
+/** Result of one training session. */
+struct TrainResult {
+    /** Epochs needed to first reach the target (-1 if never). */
+    int epochsToTarget = -1;
+    /** Quality after each epoch. */
+    std::vector<double> qualityByEpoch;
+    /** Final quality at session end. */
+    double finalQuality = 0.0;
+    /** Wall-clock seconds spent training (excludes evaluation). */
+    double trainSeconds = 0.0;
+    /** Mean wall-clock seconds per epoch. */
+    double secondsPerEpoch = 0.0;
+
+    bool reached() const { return epochsToTarget >= 0; }
+};
+
+/** Options controlling a training session. */
+struct RunOptions {
+    int maxEpochs = 40;
+    /** Keep training after the target for this many extra epochs. */
+    int patienceAfterTarget = 0;
+};
+
+/**
+ * Run an entire training session of @p benchmark with @p seed:
+ * train epoch by epoch, evaluating after each, until the target
+ * quality is reached or @c maxEpochs elapse.
+ */
+TrainResult trainToQuality(const ComponentBenchmark &benchmark,
+                           std::uint64_t seed,
+                           const RunOptions &options = {});
+
+/** Statistics of repeated sessions (the Table 5 protocol). */
+struct RepeatResult {
+    std::vector<int> epochs; ///< epochs-to-target per repeat
+    int failures = 0;        ///< repeats that never reached target
+    double meanEpochs = 0.0;
+    double stddevEpochs = 0.0;
+    /** Coefficient of variation in percent (Table 5's number). */
+    double variationPct = 0.0;
+};
+
+/**
+ * Repeat entire training sessions with distinct seeds and compute
+ * the run-to-run variation of epochs-to-quality (Sec. 5.3.1).
+ */
+RepeatResult repeatSessions(const ComponentBenchmark &benchmark,
+                            int repeats, std::uint64_t base_seed,
+                            const RunOptions &options = {});
+
+/**
+ * Record the kernel trace of @p epochs training epochs (after
+ * @p warmup_epochs untraced warm-up epochs). This is the nvprof
+ * substitute feeding Figs. 1(b), 3, 5, 6, 7.
+ */
+profiler::TraceSession traceTrainingEpochs(
+    const ComponentBenchmark &benchmark, std::uint64_t seed,
+    int warmup_epochs = 1, int epochs = 1);
+
+/**
+ * Record the kernel trace of one single-sample inference forward
+ * pass (the OpCounter's FLOPs measurement).
+ */
+profiler::TraceSession traceForwardPass(
+    const ComponentBenchmark &benchmark, std::uint64_t seed);
+
+} // namespace aib::core
+
+#endif // AIB_CORE_RUNNER_H

@@ -1,0 +1,119 @@
+#include "core/subset.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+
+namespace aib::core {
+
+namespace {
+
+/** Log-scale a strictly positive axis value. */
+double
+logScale(double v)
+{
+    return std::log10(std::max(v, 1e-9));
+}
+
+struct AxisRange {
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+
+    void
+    include(double v)
+    {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+
+    double span() const { return hi - lo; }
+};
+
+void
+axisValues(const BenchmarkCharacter &c, double out[3])
+{
+    out[0] = logScale(c.forwardMFlops);
+    out[1] = logScale(c.millionParams);
+    out[2] = logScale(c.epochsToQuality);
+}
+
+} // namespace
+
+double
+coverageScore(const std::vector<BenchmarkCharacter> &subset,
+              const std::vector<BenchmarkCharacter> &all)
+{
+    if (subset.empty() || all.empty())
+        return 0.0;
+    AxisRange full[3], sub[3];
+    for (const BenchmarkCharacter &c : all) {
+        double v[3];
+        axisValues(c, v);
+        for (int a = 0; a < 3; ++a)
+            full[a].include(v[a]);
+    }
+    for (const BenchmarkCharacter &c : subset) {
+        double v[3];
+        axisValues(c, v);
+        for (int a = 0; a < 3; ++a)
+            sub[a].include(v[a]);
+    }
+    double score = 0.0;
+    for (int a = 0; a < 3; ++a) {
+        score += full[a].span() > 0.0
+                     ? sub[a].span() / full[a].span()
+                     : 1.0;
+    }
+    return score / 3.0;
+}
+
+std::vector<std::string>
+selectSubset(const std::vector<BenchmarkCharacter> &all, int k,
+             double max_variation_pct)
+{
+    // Filter: repeatable benchmarks with accepted metrics.
+    std::vector<BenchmarkCharacter> eligible;
+    for (const BenchmarkCharacter &c : all) {
+        if (c.hasWidelyAcceptedMetric &&
+            c.variationPct <= max_variation_pct)
+            eligible.push_back(c);
+    }
+    if (static_cast<int>(eligible.size()) < k)
+        return {};
+
+    // Exhaustive search over k-combinations of the eligible set
+    // (the eligible set is small by construction).
+    std::vector<int> best_combo;
+    double best_score = -1.0;
+    std::vector<int> combo(static_cast<std::size_t>(k));
+    const int n = static_cast<int>(eligible.size());
+
+    std::function<void(int, int)> recurse = [&](int start, int depth) {
+        if (depth == k) {
+            std::vector<BenchmarkCharacter> subset;
+            for (int idx : combo)
+                subset.push_back(
+                    eligible[static_cast<std::size_t>(idx)]);
+            const double score = coverageScore(subset, all);
+            if (score > best_score) {
+                best_score = score;
+                best_combo = combo;
+            }
+            return;
+        }
+        for (int i = start; i <= n - (k - depth); ++i) {
+            combo[static_cast<std::size_t>(depth)] = i;
+            recurse(i + 1, depth + 1);
+        }
+    };
+    recurse(0, 0);
+
+    std::vector<std::string> out;
+    for (int idx : best_combo)
+        out.push_back(eligible[static_cast<std::size_t>(idx)].id);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+} // namespace aib::core

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Subset selection (Sec. 5.4.1): keep the benchmark subset to a
+ * minimum under three criteria — diversity of model complexity /
+ * computational cost / convergence rate, run-to-run repeatability
+ * (variation under a threshold), and having a widely accepted
+ * quality metric.
+ */
+
+#ifndef AIB_CORE_SUBSET_H
+#define AIB_CORE_SUBSET_H
+
+#include <string>
+#include <vector>
+
+namespace aib::core {
+
+/** Characterization inputs the selector consumes, per benchmark. */
+struct BenchmarkCharacter {
+    std::string id;
+    double forwardMFlops = 0.0;   ///< computational cost axis
+    double millionParams = 0.0;   ///< model complexity axis
+    double epochsToQuality = 0.0; ///< convergence rate axis
+    double variationPct = 0.0;    ///< run-to-run variation (Table 5)
+    bool hasWidelyAcceptedMetric = true;
+};
+
+/**
+ * Diversity coverage of a candidate subset: mean over the three
+ * log-scaled axes of the fraction of the full suite's range the
+ * subset spans. 1.0 means the subset touches both extremes of every
+ * axis.
+ */
+double coverageScore(const std::vector<BenchmarkCharacter> &subset,
+                     const std::vector<BenchmarkCharacter> &all);
+
+/**
+ * Select the size-@p k subset maximizing @c coverageScore among
+ * benchmarks that pass the repeatability filter
+ * (variation <= @p max_variation_pct, the paper uses 2%) and have a
+ * widely accepted metric.
+ *
+ * @return ids of the selected benchmarks (empty if fewer than k
+ *         candidates pass the filters).
+ */
+std::vector<std::string>
+selectSubset(const std::vector<BenchmarkCharacter> &all, int k,
+             double max_variation_pct = 2.0);
+
+} // namespace aib::core
+
+#endif // AIB_CORE_SUBSET_H

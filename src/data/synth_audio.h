@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Synthetic speech-like feature sequences (the LibriSpeech stand-in).
+ *
+ * An utterance is a phoneme sequence; each phoneme emits a run of
+ * frames drawn around a class-specific spectral template (formant
+ * pattern) with duration jitter and noise. The acoustic model learns
+ * framewise phoneme posteriors; decoding collapses repeated frames
+ * and WER is computed against the phoneme sequence.
+ */
+
+#ifndef AIB_DATA_SYNTH_AUDIO_H
+#define AIB_DATA_SYNTH_AUDIO_H
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace aib::data {
+
+/** One synthetic utterance. */
+struct Utterance {
+    Tensor frames;                 ///< (T, D) acoustic features
+    std::vector<int> frameLabels;  ///< per-frame phoneme id (T)
+    std::vector<int> phonemes;     ///< collapsed phoneme sequence
+};
+
+class UtteranceGenerator
+{
+  public:
+    /**
+     * @param phoneme_classes number of phonemes
+     * @param feature_dim frame feature dimensionality
+     * @param min_phonemes..max_phonemes utterance length range
+     * @param noise feature noise stddev
+     */
+    UtteranceGenerator(int phoneme_classes, int feature_dim,
+                       int min_phonemes, int max_phonemes, float noise,
+                       std::uint64_t seed);
+
+    Utterance sample();
+
+    int phonemeClasses() const { return classes_; }
+    int featureDim() const { return featureDim_; }
+
+    /**
+     * Collapse a framewise label sequence to a phoneme sequence by
+     * merging consecutive repeats (greedy CTC-style decoding).
+     */
+    static std::vector<int> collapse(const std::vector<int> &frames);
+
+  private:
+    int classes_;
+    int featureDim_;
+    int minPhonemes_, maxPhonemes_;
+    float noise_;
+    Rng rng_;
+    std::vector<std::vector<float>> templates_; ///< per-class spectra
+};
+
+} // namespace aib::data
+
+#endif // AIB_DATA_SYNTH_AUDIO_H

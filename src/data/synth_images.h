@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Synthetic image generators.
+ *
+ * These replace the paper's image corpora (ImageNet, VOC2007,
+ * VGGFace2, Cityscapes, the Intellifusion RGB-D set, MNIST): each
+ * generator plants a learnable ground-truth structure — shape class,
+ * identity prototype, bounding box, paired style domains — with
+ * controlled nuisance variation (position/scale jitter, noise), so
+ * that the corresponding model genuinely has to learn the task and
+ * converges to its quality target.
+ */
+
+#ifndef AIB_DATA_SYNTH_IMAGES_H
+#define AIB_DATA_SYNTH_IMAGES_H
+
+#include <vector>
+
+#include "metrics/detection.h"
+#include "tensor/tensor.h"
+
+namespace aib::data {
+
+/** One labelled image sample. */
+struct ImageSample {
+    Tensor image; ///< (C, H, W)
+    int label = 0;
+};
+
+/** A batch of labelled images. */
+struct ImageBatch {
+    Tensor images; ///< (N, C, H, W)
+    std::vector<int> labels;
+};
+
+/**
+ * Renders noisy geometric-shape images for classification-style
+ * tasks (the ImageNet stand-in).
+ */
+class ShapeImageGenerator
+{
+  public:
+    /**
+     * @param classes number of shape classes (<= 10).
+     * @param channels image channels (3 = RGB, 4 adds a depth plane).
+     * @param size square image size.
+     * @param noise additive pixel-noise standard deviation.
+     */
+    /**
+     * @param color_by_class when true each class has a distinctive
+     *        color (an easy cue); when false every sample gets a
+     *        random color so only the geometry identifies the class.
+     */
+    ShapeImageGenerator(int classes, int channels, int size, float noise,
+                        std::uint64_t seed, bool color_by_class = true);
+
+    /** Draw one labelled sample. */
+    ImageSample sample();
+
+    /** Draw a batch of @p n labelled samples. */
+    ImageBatch batch(int n);
+
+    int classes() const { return classes_; }
+    int channels() const { return channels_; }
+    int size() const { return size_; }
+
+    /** Render a clean (noise-free, centered) exemplar of a class. */
+    Tensor exemplar(int label);
+
+  private:
+    void renderShape(float *img, int label, float cx, float cy,
+                     float scale, float brightness, int color) const;
+
+    int classes_;
+    int channels_;
+    int size_;
+    float noise_;
+    bool colorByClass_;
+    Rng rng_;
+};
+
+/**
+ * Identity-clustered face-like images: each identity has a fixed
+ * random appearance prototype, samples perturb pose and lighting
+ * (the VGGFace2 / RGB-D identity stand-in).
+ */
+class IdentityImageGenerator
+{
+  public:
+    IdentityImageGenerator(int identities, int channels, int size,
+                           float pose_noise, std::uint64_t seed);
+
+    /** Sample an image of the given identity. */
+    Tensor sampleOf(int identity);
+
+    /** Sample a random identity; label is the identity index. */
+    ImageSample sample();
+
+    /** An (anchor, positive, negative) identity triplet batch. */
+    struct Triplet {
+        Tensor anchor, positive, negative; ///< each (N, C, H, W)
+    };
+    Triplet tripletBatch(int n);
+
+    int identities() const { return identities_; }
+
+  private:
+    int identities_;
+    int channels_;
+    int size_;
+    float poseNoise_;
+    Rng rng_;
+    std::vector<std::vector<float>> prototypes_; ///< per-identity basis
+};
+
+/** One detection scene: image plus ground-truth objects. */
+struct DetectionScene {
+    Tensor image; ///< (C, H, W)
+    std::vector<metrics::GroundTruth> objects; ///< image index unset
+};
+
+/**
+ * Scenes with one or two colored rectangles of class-dependent color
+ * at random positions/sizes (the VOC2007 stand-in).
+ */
+class DetectionSceneGenerator
+{
+  public:
+    DetectionSceneGenerator(int classes, int size, float noise,
+                            std::uint64_t seed);
+
+    DetectionScene sample();
+
+    int classes() const { return classes_; }
+    int size() const { return size_; }
+
+  private:
+    int classes_;
+    int size_;
+    float noise_;
+    Rng rng_;
+};
+
+/**
+ * Paired style domains for image-to-image translation: domain A is
+ * an outline rendering, domain B the filled rendering of the same
+ * scene, plus the pixel-level class map for Cityscapes-style
+ * evaluation.
+ */
+struct PairedScene {
+    Tensor domainA;  ///< (C, H, W) outlines
+    Tensor domainB;  ///< (C, H, W) filled
+    Tensor labelMap; ///< (H, W) integer classes {0 = bg, 1.. = shapes}
+};
+
+class PairedDomainGenerator
+{
+  public:
+    PairedDomainGenerator(int classes, int size, float noise,
+                          std::uint64_t seed);
+
+    PairedScene sample();
+
+    int classes() const { return classes_; }
+
+  private:
+    int classes_;
+    int size_;
+    float noise_;
+    Rng rng_;
+};
+
+/**
+ * Translated digit-like glyphs for the spatial-transformer task
+ * (the MNIST stand-in): a canonical glyph per class is placed with a
+ * random offset; the STN must undo the translation.
+ */
+class TranslatedGlyphGenerator
+{
+  public:
+    TranslatedGlyphGenerator(int classes, int size, int max_shift,
+                             float noise, std::uint64_t seed);
+
+    ImageSample sample();
+    ImageBatch batch(int n);
+
+    int classes() const { return classes_; }
+
+  private:
+    int classes_;
+    int size_;
+    int maxShift_;
+    float noise_;
+    Rng rng_;
+};
+
+} // namespace aib::data
+
+#endif // AIB_DATA_SYNTH_IMAGES_H

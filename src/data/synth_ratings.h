@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Synthetic interaction data for recommendation and learning-to-rank.
+ *
+ * Stand-ins for MovieLens (explicit/implicit ratings) and Gowalla
+ * (implicit check-ins): users and items carry hidden latent factors;
+ * a user interacts with an item with probability sigmoid(u·v + b).
+ * Models that learn the latent structure achieve high HR@K /
+ * precision@K; leave-one-out evaluation follows the NCF protocol.
+ */
+
+#ifndef AIB_DATA_SYNTH_RATINGS_H
+#define AIB_DATA_SYNTH_RATINGS_H
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "tensor/random.h"
+
+namespace aib::data {
+
+/** One implicit interaction. */
+struct Interaction {
+    int user = 0;
+    int item = 0;
+};
+
+/** Latent-factor implicit feedback dataset. */
+class InteractionGenerator
+{
+  public:
+    /**
+     * @param users user count
+     * @param items item count
+     * @param factors latent dimensionality of the hidden structure
+     * @param per_user observed interactions per user
+     */
+    InteractionGenerator(int users, int items, int factors, int per_user,
+                         std::uint64_t seed);
+
+    /** Observed training interactions (the held-out one excluded). */
+    const std::vector<Interaction> &trainSet() const { return train_; }
+
+    /** Held-out positive item per user (leave-one-out protocol). */
+    const std::vector<int> &heldOut() const { return heldOut_; }
+
+    /** Item set a user interacted with (train + held-out). */
+    const std::vector<std::unordered_set<int>> &
+    userItems() const
+    {
+        return userItems_;
+    }
+
+    /**
+     * Negative candidates for evaluation: @p n random items the user
+     * never interacted with (the NCF "99 negatives" protocol).
+     */
+    std::vector<int> sampleNegatives(int user, int n);
+
+    /** A random item the user never interacted with (training). */
+    int sampleNegative(int user);
+
+    /** True affinity score of (user, item) under the latent model. */
+    float trueAffinity(int user, int item) const;
+
+    int users() const { return users_; }
+    int items() const { return items_; }
+
+  private:
+    int users_;
+    int items_;
+    int factors_;
+    Rng rng_;
+    std::vector<float> userFactors_; ///< (users * factors)
+    std::vector<float> itemFactors_; ///< (items * factors)
+    std::vector<Interaction> train_;
+    std::vector<int> heldOut_;
+    std::vector<std::unordered_set<int>> userItems_;
+};
+
+} // namespace aib::data
+
+#endif // AIB_DATA_SYNTH_RATINGS_H

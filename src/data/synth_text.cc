@@ -1,0 +1,168 @@
+#include "data/synth_text.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace aib::data {
+
+TranslationPairGenerator::TranslationPairGenerator(int vocab,
+                                                   int min_len,
+                                                   int max_len,
+                                                   std::uint64_t seed)
+    : vocab_(vocab), minLen_(min_len), maxLen_(max_len), rng_(seed)
+{
+    if (vocab < 2)
+        throw std::invalid_argument("TranslationPairGenerator: vocab");
+    mapping_.resize(static_cast<std::size_t>(vocab));
+    std::iota(mapping_.begin(), mapping_.end(), 0);
+    // The hidden permutation is derived from the seed so different
+    // corpora (different seeds) have different mappings.
+    std::shuffle(mapping_.begin(), mapping_.end(), rng_.engine());
+}
+
+SeqPair
+TranslationPairGenerator::sample()
+{
+    const int len =
+        static_cast<int>(rng_.uniformInt(minLen_, maxLen_));
+    SeqPair pair;
+    pair.source.reserve(static_cast<std::size_t>(len));
+    for (int i = 0; i < len; ++i)
+        pair.source.push_back(
+            static_cast<int>(rng_.uniformInt(0, vocab_ - 1)));
+    pair.target.resize(pair.source.size());
+    for (std::size_t i = 0; i < pair.source.size(); ++i) {
+        pair.target[pair.source.size() - 1 - i] =
+            mapping_[static_cast<std::size_t>(pair.source[i])];
+    }
+    return pair;
+}
+
+SummarizationGenerator::SummarizationGenerator(int vocab, int doc_len,
+                                               int summary_len,
+                                               std::uint64_t seed)
+    : vocab_(vocab), docLen_(doc_len), summaryLen_(summary_len),
+      rng_(seed)
+{
+    if (vocab < 4 || summary_len >= doc_len)
+        throw std::invalid_argument("SummarizationGenerator: sizes");
+}
+
+SeqPair
+SummarizationGenerator::sample()
+{
+    // Keywords live in [0, vocab/2), filler in [vocab/2, vocab).
+    const int half = vocab_ / 2;
+    SeqPair pair;
+    pair.target.reserve(static_cast<std::size_t>(summaryLen_));
+    for (int i = 0; i < summaryLen_; ++i)
+        pair.target.push_back(
+            static_cast<int>(rng_.uniformInt(0, half - 1)));
+
+    // Choose keyword positions within the document, in order.
+    std::vector<int> positions(static_cast<std::size_t>(docLen_));
+    std::iota(positions.begin(), positions.end(), 0);
+    std::shuffle(positions.begin(), positions.end(), rng_.engine());
+    positions.resize(static_cast<std::size_t>(summaryLen_));
+    std::sort(positions.begin(), positions.end());
+
+    pair.source.resize(static_cast<std::size_t>(docLen_));
+    for (int i = 0; i < docLen_; ++i)
+        pair.source[static_cast<std::size_t>(i)] =
+            static_cast<int>(rng_.uniformInt(half, vocab_ - 1));
+    for (int i = 0; i < summaryLen_; ++i)
+        pair.source[static_cast<std::size_t>(positions[
+            static_cast<std::size_t>(i)])] =
+            pair.target[static_cast<std::size_t>(i)];
+    return pair;
+}
+
+MarkovTextGenerator::MarkovTextGenerator(int vocab, int branching,
+                                         std::uint64_t seed)
+    : vocab_(vocab), branching_(branching), rng_(seed), state_(0)
+{
+    if (branching < 1 || branching > vocab)
+        throw std::invalid_argument("MarkovTextGenerator: branching");
+    successors_.resize(static_cast<std::size_t>(vocab));
+    probs_.resize(static_cast<std::size_t>(vocab));
+    std::vector<int> all(static_cast<std::size_t>(vocab));
+    std::iota(all.begin(), all.end(), 0);
+    for (int s = 0; s < vocab; ++s) {
+        std::shuffle(all.begin(), all.end(), rng_.engine());
+        auto &succ = successors_[static_cast<std::size_t>(s)];
+        auto &prob = probs_[static_cast<std::size_t>(s)];
+        succ.assign(all.begin(), all.begin() + branching);
+        // Dirichlet-ish weights: exponential draws, normalized.
+        prob.resize(static_cast<std::size_t>(branching));
+        float total = 0.0f;
+        for (float &p : prob) {
+            p = -std::log(std::max(rng_.uniform(), 1e-6f));
+            total += p;
+        }
+        for (float &p : prob)
+            p /= total;
+    }
+}
+
+std::vector<int>
+MarkovTextGenerator::sampleTokens(int n)
+{
+    std::vector<int> out;
+    out.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        const auto &succ = successors_[static_cast<std::size_t>(state_)];
+        const auto &prob = probs_[static_cast<std::size_t>(state_)];
+        float u = rng_.uniform();
+        int next = succ.back();
+        for (std::size_t k = 0; k < prob.size(); ++k) {
+            if (u < prob[k]) {
+                next = succ[k];
+                break;
+            }
+            u -= prob[k];
+        }
+        out.push_back(next);
+        state_ = next;
+    }
+    return out;
+}
+
+double
+MarkovTextGenerator::idealPerplexity() const
+{
+    // Mean per-state entropy (uniform stationary approximation).
+    double entropy = 0.0;
+    for (const auto &prob : probs_) {
+        double h = 0.0;
+        for (float p : prob) {
+            if (p > 0.0f)
+                h -= static_cast<double>(p) * std::log(p);
+        }
+        entropy += h;
+    }
+    entropy /= static_cast<double>(probs_.size());
+    return std::exp(entropy);
+}
+
+CaptionGenerator::CaptionGenerator(int classes) : classes_(classes) {}
+
+std::vector<int>
+CaptionGenerator::captionFor(int label) const
+{
+    if (label < 0 || label >= classes_)
+        throw std::out_of_range("CaptionGenerator: bad label");
+    // <bos> <color-word(label)> <shape-word(label)> <eos>
+    const int color_word = 2 + label;
+    const int shape_word = 2 + classes_ + label;
+    return {kBos, color_word, shape_word, kEos};
+}
+
+int
+CaptionGenerator::vocab() const
+{
+    return 2 + 2 * classes_;
+}
+
+} // namespace aib::data

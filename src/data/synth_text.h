@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Synthetic text/sequence generators.
+ *
+ * Stand-ins for WMT (translation), Gigaword (summarization), PTB
+ * (language modelling / NAS) and the caption annotations of MSCOCO:
+ * each plants a deterministic latent mapping (token permutation +
+ * reversal, keyword extraction, a Markov grammar) that the sequence
+ * models must learn.
+ */
+
+#ifndef AIB_DATA_SYNTH_TEXT_H
+#define AIB_DATA_SYNTH_TEXT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/random.h"
+
+namespace aib::data {
+
+/** One source/target sequence pair. */
+struct SeqPair {
+    std::vector<int> source;
+    std::vector<int> target;
+};
+
+/**
+ * Translation pairs: the "translation" of a source sequence is the
+ * token-wise image under a hidden vocabulary permutation, with the
+ * sequence order reversed — a structure attention models pick up.
+ */
+class TranslationPairGenerator
+{
+  public:
+    TranslationPairGenerator(int vocab, int min_len, int max_len,
+                             std::uint64_t seed);
+
+    SeqPair sample();
+
+    int vocab() const { return vocab_; }
+
+  private:
+    int vocab_;
+    int minLen_, maxLen_;
+    Rng rng_;
+    std::vector<int> mapping_; ///< hidden permutation
+};
+
+/**
+ * Summarization corpus: a document interleaves salient keywords with
+ * filler tokens; the reference summary is the keywords in order.
+ * Keywords and filler come from disjoint vocabulary halves.
+ */
+class SummarizationGenerator
+{
+  public:
+    SummarizationGenerator(int vocab, int doc_len, int summary_len,
+                           std::uint64_t seed);
+
+    SeqPair sample(); ///< source = document, target = summary
+
+    int vocab() const { return vocab_; }
+    int docLen() const { return docLen_; }
+    int summaryLen() const { return summaryLen_; }
+
+  private:
+    int vocab_;
+    int docLen_, summaryLen_;
+    Rng rng_;
+};
+
+/**
+ * Markov-chain character stream for language modelling: a random
+ * sparse transition matrix over the vocabulary gives the text
+ * predictable local structure (finite achievable perplexity well
+ * below the vocabulary size).
+ */
+class MarkovTextGenerator
+{
+  public:
+    MarkovTextGenerator(int vocab, int branching, std::uint64_t seed);
+
+    /** Next token ids continuing the internal stream. */
+    std::vector<int> sampleTokens(int n);
+
+    int vocab() const { return vocab_; }
+
+    /** Entropy-rate perplexity of the underlying chain. */
+    double idealPerplexity() const;
+
+  private:
+    int vocab_;
+    int branching_;
+    Rng rng_;
+    int state_;
+    std::vector<std::vector<int>> successors_;
+    std::vector<std::vector<float>> probs_;
+};
+
+/**
+ * Captioning pairs: given the labels present in a shape image, the
+ * caption follows a fixed template grammar
+ * ("<bos> a <color-word> <shape-word> <eos>").
+ */
+class CaptionGenerator
+{
+  public:
+    explicit CaptionGenerator(int classes);
+
+    /** Caption token sequence for an image of class @p label. */
+    std::vector<int> captionFor(int label) const;
+
+    /** Vocabulary size (special tokens + class words). */
+    int vocab() const;
+
+    /** Caption length (fixed by the template). */
+    int captionLen() const { return 4; }
+
+    static constexpr int kBos = 0;
+    static constexpr int kEos = 1;
+
+  private:
+    int classes_;
+};
+
+} // namespace aib::data
+
+#endif // AIB_DATA_SYNTH_TEXT_H

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Synthetic video sequences (the Robot Pushing stand-in): a sprite
+ * moves with constant velocity and bounces off walls; the next-frame
+ * predictor must learn the motion dynamics.
+ */
+
+#ifndef AIB_DATA_SYNTH_VIDEO_H
+#define AIB_DATA_SYNTH_VIDEO_H
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace aib::data {
+
+/** One video clip. */
+struct VideoClip {
+    Tensor frames; ///< (T, C, H, W)
+};
+
+class MovingSpriteGenerator
+{
+  public:
+    /**
+     * @param size frame size
+     * @param frames clip length
+     * @param sprite sprite edge length in pixels
+     */
+    MovingSpriteGenerator(int size, int frames, int sprite, float noise,
+                          std::uint64_t seed);
+
+    VideoClip sample();
+
+    int size() const { return size_; }
+    int frames() const { return frames_; }
+
+  private:
+    int size_;
+    int frames_;
+    int sprite_;
+    float noise_;
+    Rng rng_;
+};
+
+} // namespace aib::data
+
+#endif // AIB_DATA_SYNTH_VIDEO_H

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Synthetic 3-D shapes (the ShapeNet stand-in): parametric voxel
+ * solids (box, sphere, cylinder, pyramid) with random scale, plus a
+ * 2-D silhouette rendering the single-view reconstruction model
+ * consumes.
+ */
+
+#ifndef AIB_DATA_SYNTH_VOXEL_H
+#define AIB_DATA_SYNTH_VOXEL_H
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace aib::data {
+
+/** One 3-D reconstruction sample. */
+struct VoxelSample {
+    Tensor view;   ///< (1, H, W) front-view silhouette
+    Tensor voxels; ///< (D, D, D) occupancy in {0,1}
+    int label = 0; ///< shape family
+};
+
+class VoxelShapeGenerator
+{
+  public:
+    /**
+     * @param resolution voxel grid edge length (also view size)
+     * @param families number of shape families (<= 4)
+     */
+    VoxelShapeGenerator(int resolution, int families, float noise,
+                        std::uint64_t seed);
+
+    VoxelSample sample();
+
+    int resolution() const { return resolution_; }
+    int families() const { return families_; }
+
+  private:
+    int resolution_;
+    int families_;
+    float noise_;
+    Rng rng_;
+};
+
+} // namespace aib::data
+
+#endif // AIB_DATA_SYNTH_VOXEL_H

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * GPU device specifications, mirroring Table 4 of the paper
+ * ("Hardware Configuration Details"): the TITAN XP used for
+ * workload characterization and the TITAN RTX used for training
+ * sessions, plus the host CPU.
+ */
+
+#ifndef AIB_GPUSIM_DEVICE_H
+#define AIB_GPUSIM_DEVICE_H
+
+#include <cstdint>
+#include <string>
+
+namespace aib::gpusim {
+
+/** Analytical GPU device model. */
+struct DeviceSpec {
+    std::string name;
+    int cudaCores = 0;
+    int smCount = 0;
+    double clockGhz = 0.0;
+    double memBandwidthGBs = 0.0; ///< peak DRAM bandwidth
+    double memGB = 0.0;
+    int maxWarpsPerSm = 64;
+    double launchOverheadUs = 3.0; ///< per-kernel launch latency
+    double tdpWatts = 250.0;       ///< board power at full load
+    double idleWatts = 15.0;       ///< board power when idle
+
+    /** Peak single-precision throughput in FLOP/s (FMA = 2 FLOPs). */
+    double
+    peakFlops() const
+    {
+        return static_cast<double>(cudaCores) * clockGhz * 1e9 * 2.0;
+    }
+
+    /** Peak DRAM bandwidth in bytes/s. */
+    double
+    peakBandwidth() const
+    {
+        return memBandwidthGBs * 1e9;
+    }
+
+    /**
+     * Critical arithmetic intensity (FLOP/byte) where the roofline
+     * transitions from memory- to compute-bound.
+     */
+    double
+    criticalIntensity() const
+    {
+        return peakFlops() / peakBandwidth();
+    }
+};
+
+/** Host CPU of the paper's servers (Table 4). */
+struct CpuSpec {
+    std::string name = "Intel Xeon E5-2620 v3";
+    int cores = 12;
+    double clockGhz = 2.4;
+    double l1DataKb = 32.0;  ///< per core
+    double l2Kb = 256.0;     ///< per core
+    double l3Mb = 15.0;
+    double memoryGb = 64.0;
+    std::string memoryType = "DDR3";
+    std::string ethernet = "1Gb";
+    bool hyperThreading = false;
+};
+
+/** TITAN XP (characterization server, "GPU Configurations v1"). */
+DeviceSpec titanXp();
+
+/** TITAN RTX (training server, "GPU Configurations v2"). */
+DeviceSpec titanRtx();
+
+/** Host CPU configuration of both servers. */
+CpuSpec xeonE52620v3();
+
+} // namespace aib::gpusim
+
+#endif // AIB_GPUSIM_DEVICE_H

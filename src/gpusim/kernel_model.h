@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Analytical per-kernel GPU model.
+ *
+ * This substitutes for the nvprof measurements of the paper: given a
+ * recorded kernel trace (what ran, how many FLOPs, how many bytes,
+ * how much parallelism) and a device spec, it assigns each kernel a
+ * simulated execution time (roofline with category-specific
+ * efficiencies) and derives the five micro-architectural metrics of
+ * Sec. 5.2.2 — achieved_occupancy, ipc_efficiency, gld_efficiency,
+ * gst_efficiency, dram_utilization — and the eight-way stall
+ * breakdown of Sec. 5.5.3.
+ *
+ * The category traits encode first-order architectural behaviour:
+ * GEMM/conv kernels are compute-efficient and well-coalesced;
+ * element-wise and batch-norm kernels are bandwidth-bound;
+ * data-arrangement (im2col, gather, transpose) kernels have poor
+ * coalescing; memcpy saturates DRAM. Because the *mix* of kernels
+ * differs per benchmark (measured, not assumed), benchmarks acquire
+ * distinct metric signatures, which is the property Fig. 1(b)/Fig. 3
+ * of the paper demonstrates.
+ */
+
+#ifndef AIB_GPUSIM_KERNEL_MODEL_H
+#define AIB_GPUSIM_KERNEL_MODEL_H
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "gpusim/device.h"
+#include "profiler/trace.h"
+
+namespace aib::gpusim {
+
+/** The five micro-architectural metrics of the paper (Fig. 3). */
+struct MicroArchMetrics {
+    double achievedOccupancy = 0.0;
+    double ipcEfficiency = 0.0;
+    double gldEfficiency = 0.0;
+    double gstEfficiency = 0.0;
+    double dramUtilization = 0.0;
+
+    /** Metrics as a 5-vector (ordering follows Fig. 3's axes). */
+    std::array<double, 5> asArray() const;
+
+    /** Axis names in Fig. 3 order. */
+    static const char *axisName(int i);
+};
+
+/** The eight stall reasons of the paper (Fig. 7). */
+enum class StallReason : int {
+    InstFetch = 0,
+    ExecDependency,
+    MemDependency,
+    Texture,
+    Sync,
+    ConstMemDependency,
+    PipeBusy,
+    MemThrottle,
+    NumReasons,
+};
+
+inline constexpr int kNumStallReasons =
+    static_cast<int>(StallReason::NumReasons);
+
+/** Human-readable stall-reason name. */
+const char *stallReasonName(StallReason reason);
+
+/** Stall shares (fractions summing to ~1). */
+using StallBreakdown = std::array<double, kNumStallReasons>;
+
+/** Per-category efficiency traits driving the analytical model. */
+struct KernelTraits {
+    double computeEfficiency;  ///< attainable fraction of peak FLOPs
+    double memEfficiency;      ///< attainable fraction of peak BW
+    double gldEfficiency;      ///< load coalescing quality
+    double gstEfficiency;      ///< store coalescing quality
+    double occupancyBase;      ///< occupancy at full parallelism
+    double ipcBase;            ///< IPC efficiency anchor (well-fed)
+};
+
+/** Traits of one kernel category. */
+const KernelTraits &traitsFor(profiler::KernelCategory category);
+
+/** Simulated execution result of one kernel's aggregate. */
+struct KernelSimResult {
+    std::string name;
+    profiler::KernelCategory category =
+        profiler::KernelCategory::Elementwise;
+    double timeSec = 0.0;
+    double memBoundedness = 0.0; ///< 1 = fully memory-bound
+    MicroArchMetrics metrics;
+    StallBreakdown stalls{};
+    double timeShare = 0.0; ///< fraction of the benchmark's GPU time
+};
+
+/** Whole-trace simulation result. */
+struct TraceSimResult {
+    std::vector<KernelSimResult> kernels; ///< sorted by time, desc.
+    double totalTimeSec = 0.0;
+    /** Time-weighted benchmark-level metrics (Fig. 3 radar). */
+    MicroArchMetrics aggregate;
+    /** Time per kernel category (Fig. 5 runtime breakdown). */
+    std::array<double, profiler::kNumKernelCategories> categoryTime{};
+
+    /** Category time as a share of total (Fig. 5's stacked bars). */
+    std::array<double, profiler::kNumKernelCategories>
+    categoryShare() const;
+};
+
+/** Simulate one aggregated kernel on a device. */
+KernelSimResult simulateKernel(std::string_view name,
+                               const profiler::KernelStats &stats,
+                               const DeviceSpec &device);
+
+/** Simulate a whole trace on a device. */
+TraceSimResult simulateTrace(const profiler::TraceSession &trace,
+                             const DeviceSpec &device);
+
+/**
+ * Simulated board energy of a trace (joules): per kernel,
+ * time x (idle + (tdp - idle) x utilization), where utilization is
+ * the larger of the kernel's occupancy and DRAM utilization. This is
+ * the energy-consumption metric AIBench reports for training a model
+ * to its target quality (Sec. 4.2.1).
+ */
+double simulatedEnergyJoules(const TraceSimResult &sim,
+                             const DeviceSpec &device);
+
+} // namespace aib::gpusim
+
+#endif // AIB_GPUSIM_KERNEL_MODEL_H

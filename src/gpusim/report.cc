@@ -1,0 +1,64 @@
+#include "gpusim/report.h"
+
+namespace aib::gpusim {
+
+const char *
+HotspotCensus::bucketLabel(int i)
+{
+    static const char *labels[kBuckets] = {"0 - 5", "5 - 10", "10 - 15",
+                                           "15+"};
+    return labels[i];
+}
+
+HotspotCensus
+hotspotCensus(const TraceSimResult &sim)
+{
+    HotspotCensus census;
+    for (const KernelSimResult &k : sim.kernels) {
+        const double pct = 100.0 * k.timeShare;
+        int bucket = 0;
+        if (pct >= 15.0)
+            bucket = 3;
+        else if (pct >= 10.0)
+            bucket = 2;
+        else if (pct >= 5.0)
+            bucket = 1;
+        ++census.counts[static_cast<std::size_t>(bucket)];
+    }
+    return census;
+}
+
+std::vector<HotspotFunction>
+hotspotFunctions(const TraceSimResult &sim, double min_share)
+{
+    std::vector<HotspotFunction> out;
+    for (const KernelSimResult &k : sim.kernels) {
+        if (k.timeShare >= min_share)
+            out.push_back(
+                HotspotFunction{k.name, k.category, k.timeShare});
+    }
+    return out;
+}
+
+std::array<StallBreakdown, profiler::kNumKernelCategories>
+categoryStalls(const TraceSimResult &sim)
+{
+    std::array<StallBreakdown, profiler::kNumKernelCategories> out{};
+    std::array<double, profiler::kNumKernelCategories> weight{};
+    for (const KernelSimResult &k : sim.kernels) {
+        const auto c = static_cast<std::size_t>(k.category);
+        for (int s = 0; s < kNumStallReasons; ++s)
+            out[c][static_cast<std::size_t>(s)] +=
+                k.timeSec * k.stalls[static_cast<std::size_t>(s)];
+        weight[c] += k.timeSec;
+    }
+    for (std::size_t c = 0; c < out.size(); ++c) {
+        if (weight[c] <= 0.0)
+            continue;
+        for (int s = 0; s < kNumStallReasons; ++s)
+            out[c][static_cast<std::size_t>(s)] /= weight[c];
+    }
+    return out;
+}
+
+} // namespace aib::gpusim

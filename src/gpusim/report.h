@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Derived characterization reports: the hotspot-function census of
+ * Fig. 6 / Table 7 and the per-category stall aggregation of Fig. 7.
+ */
+
+#ifndef AIB_GPUSIM_REPORT_H
+#define AIB_GPUSIM_REPORT_H
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "gpusim/kernel_model.h"
+
+namespace aib::gpusim {
+
+/**
+ * Hotspot census: kernel counts per time-percentage bucket
+ * (0-5%, 5-10%, 10-15%, 15%+), as plotted in Fig. 6.
+ */
+struct HotspotCensus {
+    static constexpr int kBuckets = 4;
+    std::array<int, kBuckets> counts{};
+
+    /** Human-readable bucket label. */
+    static const char *bucketLabel(int i);
+
+    void
+    merge(const HotspotCensus &other)
+    {
+        for (int i = 0; i < kBuckets; ++i)
+            counts[static_cast<std::size_t>(i)] +=
+                other.counts[static_cast<std::size_t>(i)];
+    }
+
+    int
+    total() const
+    {
+        int t = 0;
+        for (int c : counts)
+            t += c;
+        return t;
+    }
+};
+
+/** Census of one simulated trace. */
+HotspotCensus hotspotCensus(const TraceSimResult &sim);
+
+/** One hotspot entry for the Table 7 style listing. */
+struct HotspotFunction {
+    std::string name;
+    profiler::KernelCategory category;
+    double timeShare;
+};
+
+/** Kernels occupying at least @p min_share of the trace time. */
+std::vector<HotspotFunction> hotspotFunctions(const TraceSimResult &sim,
+                                              double min_share);
+
+/**
+ * Time-weighted stall breakdown per kernel category over a trace
+ * (Fig. 7's stacked bars). Categories with zero time get all-zero
+ * rows.
+ */
+std::array<StallBreakdown, profiler::kNumKernelCategories>
+categoryStalls(const TraceSimResult &sim);
+
+} // namespace aib::gpusim
+
+#endif // AIB_GPUSIM_REPORT_H

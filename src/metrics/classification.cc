@@ -1,0 +1,69 @@
+#include "metrics/classification.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace aib::metrics {
+
+double
+accuracy(const Tensor &logits, const std::vector<int> &labels)
+{
+    return topKAccuracy(logits, labels, 1);
+}
+
+double
+topKAccuracy(const Tensor &logits, const std::vector<int> &labels, int k)
+{
+    if (logits.ndim() != 2)
+        throw std::invalid_argument("topKAccuracy: expected (N, C)");
+    const std::int64_t n = logits.dim(0), c = logits.dim(1);
+    if (static_cast<std::int64_t>(labels.size()) != n)
+        throw std::invalid_argument("topKAccuracy: label count mismatch");
+    if (n == 0)
+        return 0.0;
+    const float *p = logits.data();
+    std::int64_t hits = 0;
+    for (std::int64_t i = 0; i < n; ++i) {
+        const float target_score =
+            p[i * c + labels[static_cast<std::size_t>(i)]];
+        int better = 0;
+        for (std::int64_t j = 0; j < c; ++j) {
+            if (p[i * c + j] > target_score)
+                ++better;
+        }
+        if (better < k)
+            ++hits;
+    }
+    return static_cast<double>(hits) / static_cast<double>(n);
+}
+
+double
+perplexity(const Tensor &logits, const std::vector<int> &labels)
+{
+    if (logits.ndim() != 2)
+        throw std::invalid_argument("perplexity: expected (N, C)");
+    const std::int64_t n = logits.dim(0), c = logits.dim(1);
+    if (static_cast<std::int64_t>(labels.size()) != n || n == 0)
+        throw std::invalid_argument("perplexity: label count mismatch");
+    const float *p = logits.data();
+    double total_nll = 0.0;
+    for (std::int64_t i = 0; i < n; ++i) {
+        const float *row = p + i * c;
+        float m = -std::numeric_limits<float>::infinity();
+        for (std::int64_t j = 0; j < c; ++j)
+            m = std::max(m, row[j]);
+        double z = 0.0;
+        for (std::int64_t j = 0; j < c; ++j)
+            z += std::exp(static_cast<double>(row[j] - m));
+        const double log_prob =
+            static_cast<double>(
+                row[labels[static_cast<std::size_t>(i)]] - m) -
+            std::log(z);
+        total_nll -= log_prob;
+    }
+    return std::exp(total_nll / static_cast<double>(n));
+}
+
+} // namespace aib::metrics

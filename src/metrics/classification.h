@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Classification quality metrics: accuracy and top-k accuracy.
+ */
+
+#ifndef AIB_METRICS_CLASSIFICATION_H
+#define AIB_METRICS_CLASSIFICATION_H
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace aib::metrics {
+
+/** Fraction of rows of (N, C) logits whose argmax equals the label. */
+double accuracy(const Tensor &logits, const std::vector<int> &labels);
+
+/** Fraction of rows whose label is within the top-k scores. */
+double topKAccuracy(const Tensor &logits, const std::vector<int> &labels,
+                    int k);
+
+/** Mean perplexity exp(mean NLL) of (N, C) logits at labels. */
+double perplexity(const Tensor &logits, const std::vector<int> &labels);
+
+} // namespace aib::metrics
+
+#endif // AIB_METRICS_CLASSIFICATION_H

@@ -1,0 +1,121 @@
+#include "metrics/detection.h"
+
+#include <algorithm>
+#include <map>
+
+namespace aib::metrics {
+
+float
+boxIou(const Box &a, const Box &b)
+{
+    const float x1 = std::max(a.x1, b.x1);
+    const float y1 = std::max(a.y1, b.y1);
+    const float x2 = std::min(a.x2, b.x2);
+    const float y2 = std::min(a.y2, b.y2);
+    const float iw = x2 - x1, ih = y2 - y1;
+    if (iw <= 0.0f || ih <= 0.0f)
+        return 0.0f;
+    const float inter = iw * ih;
+    const float uni = a.area() + b.area() - inter;
+    return uni <= 0.0f ? 0.0f : inter / uni;
+}
+
+double
+averagePrecision(std::vector<Detection> detections,
+                 const std::vector<GroundTruth> &truths, int label,
+                 float iou_threshold)
+{
+    // Collect ground truths of this class per image.
+    std::map<int, std::vector<const GroundTruth *>> gt_by_image;
+    std::size_t total_gt = 0;
+    for (const GroundTruth &gt : truths) {
+        if (gt.label == label) {
+            gt_by_image[gt.image].push_back(&gt);
+            ++total_gt;
+        }
+    }
+    if (total_gt == 0)
+        return 0.0;
+
+    // Keep detections of this class, sorted by descending score.
+    detections.erase(
+        std::remove_if(detections.begin(), detections.end(),
+                       [label](const Detection &d) {
+                           return d.label != label;
+                       }),
+        detections.end());
+    std::stable_sort(detections.begin(), detections.end(),
+                     [](const Detection &a, const Detection &b) {
+                         return a.score > b.score;
+                     });
+
+    std::map<int, std::vector<bool>> matched;
+    for (auto &[img, gts] : gt_by_image)
+        matched[img].assign(gts.size(), false);
+
+    std::vector<double> precision, recall;
+    std::size_t tp = 0, fp = 0;
+    for (const Detection &d : detections) {
+        auto it = gt_by_image.find(d.image);
+        float best_iou = 0.0f;
+        std::size_t best_idx = 0;
+        if (it != gt_by_image.end()) {
+            for (std::size_t i = 0; i < it->second.size(); ++i) {
+                const float iou = boxIou(d.box, it->second[i]->box);
+                if (iou > best_iou) {
+                    best_iou = iou;
+                    best_idx = i;
+                }
+            }
+        }
+        if (best_iou >= iou_threshold &&
+            !matched[d.image][best_idx]) {
+            matched[d.image][best_idx] = true;
+            ++tp;
+        } else {
+            ++fp;
+        }
+        precision.push_back(static_cast<double>(tp) /
+                            static_cast<double>(tp + fp));
+        recall.push_back(static_cast<double>(tp) /
+                         static_cast<double>(total_gt));
+    }
+
+    // All-point interpolated AP.
+    double ap = 0.0;
+    double prev_recall = 0.0;
+    for (std::size_t i = 0; i < precision.size(); ++i) {
+        // Max precision at recall >= recall[i].
+        double pmax = 0.0;
+        for (std::size_t j = i; j < precision.size(); ++j)
+            pmax = std::max(pmax, precision[j]);
+        ap += pmax * (recall[i] - prev_recall);
+        prev_recall = recall[i];
+    }
+    return ap;
+}
+
+double
+meanAveragePrecision(const std::vector<Detection> &detections,
+                     const std::vector<GroundTruth> &truths,
+                     int num_classes, float iou_threshold)
+{
+    double total = 0.0;
+    int present = 0;
+    for (int c = 0; c < num_classes; ++c) {
+        bool has_gt = false;
+        for (const GroundTruth &gt : truths) {
+            if (gt.label == c) {
+                has_gt = true;
+                break;
+            }
+        }
+        if (!has_gt)
+            continue;
+        ++present;
+        total += averagePrecision(detections, truths, c, iou_threshold);
+    }
+    return present == 0 ? 0.0 : total / present;
+}
+
+} // namespace aib::metrics

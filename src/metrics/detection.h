@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Object detection metrics: box IoU and VOC-style mean average
+ * precision, used as the quality target of the object-detection
+ * benchmarks (AIBench DC-AI-C9 and the MLPerf variants).
+ */
+
+#ifndef AIB_METRICS_DETECTION_H
+#define AIB_METRICS_DETECTION_H
+
+#include <vector>
+
+namespace aib::metrics {
+
+/** Axis-aligned box in (x1, y1, x2, y2) corner form. */
+struct Box {
+    float x1 = 0.0f, y1 = 0.0f, x2 = 0.0f, y2 = 0.0f;
+
+    float
+    area() const
+    {
+        const float w = x2 - x1, h = y2 - y1;
+        return (w > 0.0f && h > 0.0f) ? w * h : 0.0f;
+    }
+};
+
+/** A scored detection on one image. */
+struct Detection {
+    int image = 0;
+    int label = 0;
+    float score = 0.0f;
+    Box box;
+};
+
+/** A ground-truth object on one image. */
+struct GroundTruth {
+    int image = 0;
+    int label = 0;
+    Box box;
+};
+
+/** Intersection-over-union of two boxes. */
+float boxIou(const Box &a, const Box &b);
+
+/**
+ * Average precision for one class at the given IoU threshold,
+ * using all-point interpolation over the precision-recall curve.
+ */
+double averagePrecision(std::vector<Detection> detections,
+                        const std::vector<GroundTruth> &truths,
+                        int label, float iou_threshold = 0.5f);
+
+/** Mean AP over @p num_classes classes with ground-truth instances. */
+double meanAveragePrecision(const std::vector<Detection> &detections,
+                            const std::vector<GroundTruth> &truths,
+                            int num_classes,
+                            float iou_threshold = 0.5f);
+
+} // namespace aib::metrics
+
+#endif // AIB_METRICS_DETECTION_H

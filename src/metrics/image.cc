@@ -1,0 +1,275 @@
+#include "metrics/image.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace aib::metrics {
+
+namespace {
+
+/** View any image tensor as (planes, H, W). */
+struct PlaneView {
+    const float *data;
+    std::int64_t planes, h, w;
+};
+
+PlaneView
+asPlanes(const Tensor &t)
+{
+    if (t.ndim() == 4)
+        return {t.data(), t.dim(0) * t.dim(1), t.dim(2), t.dim(3)};
+    if (t.ndim() == 3)
+        return {t.data(), t.dim(0), t.dim(1), t.dim(2)};
+    if (t.ndim() == 2)
+        return {t.data(), 1, t.dim(0), t.dim(1)};
+    throw std::invalid_argument("image metric: expected 2/3/4-D tensor");
+}
+
+/** SSIM luminance and contrast-structure terms, window-averaged. */
+void
+ssimTerms(const Tensor &a, const Tensor &b, int window,
+          double data_range, double *luminance, double *contrast)
+{
+    const PlaneView pa = asPlanes(a);
+    const PlaneView pb = asPlanes(b);
+    if (pa.planes != pb.planes || pa.h != pb.h || pa.w != pb.w)
+        throw std::invalid_argument("ssim: shape mismatch");
+    const int win =
+        std::max(1, std::min<int>(window, static_cast<int>(
+                                              std::min(pa.h, pa.w))));
+    const double c1 = (0.01 * data_range) * (0.01 * data_range);
+    const double c2 = (0.03 * data_range) * (0.03 * data_range);
+
+    double lum_total = 0.0, cs_total = 0.0;
+    std::int64_t windows = 0;
+    for (std::int64_t p = 0; p < pa.planes; ++p) {
+        const float *xa = pa.data + p * pa.h * pa.w;
+        const float *xb = pb.data + p * pa.h * pa.w;
+        for (std::int64_t i = 0; i + win <= pa.h; i += win) {
+            for (std::int64_t j = 0; j + win <= pa.w; j += win) {
+                double ma = 0.0, mb = 0.0;
+                for (int di = 0; di < win; ++di)
+                    for (int dj = 0; dj < win; ++dj) {
+                        ma += xa[(i + di) * pa.w + j + dj];
+                        mb += xb[(i + di) * pa.w + j + dj];
+                    }
+                const double inv = 1.0 / (win * win);
+                ma *= inv;
+                mb *= inv;
+                double va = 0.0, vb = 0.0, cov = 0.0;
+                for (int di = 0; di < win; ++di)
+                    for (int dj = 0; dj < win; ++dj) {
+                        const double da =
+                            xa[(i + di) * pa.w + j + dj] - ma;
+                        const double db =
+                            xb[(i + di) * pa.w + j + dj] - mb;
+                        va += da * da;
+                        vb += db * db;
+                        cov += da * db;
+                    }
+                va *= inv;
+                vb *= inv;
+                cov *= inv;
+                lum_total +=
+                    (2.0 * ma * mb + c1) / (ma * ma + mb * mb + c1);
+                cs_total += (2.0 * cov + c2) / (va + vb + c2);
+                ++windows;
+            }
+        }
+    }
+    if (windows == 0)
+        throw std::invalid_argument("ssim: image smaller than window");
+    *luminance = lum_total / static_cast<double>(windows);
+    *contrast = cs_total / static_cast<double>(windows);
+}
+
+/** 2x average-pool downsample of all planes. */
+Tensor
+downsample2(const Tensor &t)
+{
+    const PlaneView v = asPlanes(t);
+    const std::int64_t ho = v.h / 2, wo = v.w / 2;
+    Tensor out = Tensor::empty({v.planes, ho, wo});
+    float *po = out.data();
+    for (std::int64_t p = 0; p < v.planes; ++p) {
+        const float *src = v.data + p * v.h * v.w;
+        float *dst = po + p * ho * wo;
+        for (std::int64_t i = 0; i < ho; ++i)
+            for (std::int64_t j = 0; j < wo; ++j) {
+                dst[i * wo + j] =
+                    0.25f * (src[(2 * i) * v.w + 2 * j] +
+                             src[(2 * i) * v.w + 2 * j + 1] +
+                             src[(2 * i + 1) * v.w + 2 * j] +
+                             src[(2 * i + 1) * v.w + 2 * j + 1]);
+            }
+    }
+    return out;
+}
+
+} // namespace
+
+double
+ssim(const Tensor &a, const Tensor &b, int window, double data_range)
+{
+    double lum = 0.0, cs = 0.0;
+    ssimTerms(a, b, window, data_range, &lum, &cs);
+    return lum * cs;
+}
+
+double
+msSsim(const Tensor &a, const Tensor &b, int scales, int window,
+       double data_range)
+{
+    static const double weights[5] = {0.0448, 0.2856, 0.3001, 0.2363,
+                                      0.1333};
+    scales = std::clamp(scales, 1, 5);
+    // Limit scales so the smallest level still holds one window.
+    PlaneView v = asPlanes(a);
+    int usable = 1;
+    std::int64_t h = v.h, w = v.w;
+    while (usable < scales && (h / 2) >= window && (w / 2) >= window) {
+        h /= 2;
+        w /= 2;
+        ++usable;
+    }
+    scales = usable;
+
+    // Renormalize the weights over the scales actually used.
+    double wsum = 0.0;
+    for (int s = 0; s < scales; ++s)
+        wsum += weights[s];
+
+    Tensor xa = a, xb = b;
+    double result = 1.0;
+    for (int s = 0; s < scales; ++s) {
+        double lum = 0.0, cs = 0.0;
+        ssimTerms(xa, xb, window, data_range, &lum, &cs);
+        const double weight = weights[s] / wsum;
+        // Contrast-structure at every scale; luminance at the last.
+        result *= std::pow(std::max(cs, 1e-9), weight);
+        if (s == scales - 1)
+            result *= std::pow(std::max(lum, 1e-9), weight);
+        if (s + 1 < scales) {
+            xa = downsample2(xa);
+            xb = downsample2(xb);
+        }
+    }
+    return result;
+}
+
+double
+psnr(const Tensor &a, const Tensor &b, double data_range)
+{
+    if (a.numel() != b.numel())
+        throw std::invalid_argument("psnr: shape mismatch");
+    const float *pa = a.data();
+    const float *pb = b.data();
+    double mse = 0.0;
+    for (std::int64_t i = 0; i < a.numel(); ++i) {
+        const double d = static_cast<double>(pa[i]) - pb[i];
+        mse += d * d;
+    }
+    mse /= static_cast<double>(a.numel());
+    if (mse <= 0.0)
+        return 100.0;
+    return 10.0 * std::log10(data_range * data_range / mse);
+}
+
+double
+perPixelAccuracy(const Tensor &pred_labels, const Tensor &true_labels)
+{
+    if (pred_labels.numel() != true_labels.numel())
+        throw std::invalid_argument("perPixelAccuracy: shape mismatch");
+    const float *pp = pred_labels.data();
+    const float *pt = true_labels.data();
+    std::int64_t hits = 0;
+    for (std::int64_t i = 0; i < pred_labels.numel(); ++i)
+        hits += static_cast<int>(pp[i]) == static_cast<int>(pt[i]);
+    return static_cast<double>(hits) /
+           static_cast<double>(pred_labels.numel());
+}
+
+double
+perClassAccuracy(const Tensor &pred_labels, const Tensor &true_labels,
+                 int num_classes)
+{
+    std::vector<std::int64_t> correct(
+        static_cast<std::size_t>(num_classes), 0);
+    std::vector<std::int64_t> total(
+        static_cast<std::size_t>(num_classes), 0);
+    const float *pp = pred_labels.data();
+    const float *pt = true_labels.data();
+    for (std::int64_t i = 0; i < pred_labels.numel(); ++i) {
+        const int t = static_cast<int>(pt[i]);
+        if (t < 0 || t >= num_classes)
+            continue;
+        ++total[static_cast<std::size_t>(t)];
+        if (static_cast<int>(pp[i]) == t)
+            ++correct[static_cast<std::size_t>(t)];
+    }
+    double acc = 0.0;
+    int present = 0;
+    for (int c = 0; c < num_classes; ++c) {
+        if (total[static_cast<std::size_t>(c)] == 0)
+            continue;
+        ++present;
+        acc += static_cast<double>(correct[static_cast<std::size_t>(c)]) /
+               static_cast<double>(total[static_cast<std::size_t>(c)]);
+    }
+    return present == 0 ? 0.0 : acc / present;
+}
+
+double
+classIou(const Tensor &pred_labels, const Tensor &true_labels,
+         int num_classes)
+{
+    std::vector<std::int64_t> inter(
+        static_cast<std::size_t>(num_classes), 0);
+    std::vector<std::int64_t> uni(static_cast<std::size_t>(num_classes),
+                                  0);
+    const float *pp = pred_labels.data();
+    const float *pt = true_labels.data();
+    for (std::int64_t i = 0; i < pred_labels.numel(); ++i) {
+        const int p = static_cast<int>(pp[i]);
+        const int t = static_cast<int>(pt[i]);
+        if (t >= 0 && t < num_classes) {
+            ++uni[static_cast<std::size_t>(t)];
+            if (p == t)
+                ++inter[static_cast<std::size_t>(t)];
+        }
+        if (p >= 0 && p < num_classes && p != t)
+            ++uni[static_cast<std::size_t>(p)];
+    }
+    double iou = 0.0;
+    int present = 0;
+    for (int c = 0; c < num_classes; ++c) {
+        if (uni[static_cast<std::size_t>(c)] == 0)
+            continue;
+        ++present;
+        iou += static_cast<double>(inter[static_cast<std::size_t>(c)]) /
+               static_cast<double>(uni[static_cast<std::size_t>(c)]);
+    }
+    return present == 0 ? 0.0 : iou / present;
+}
+
+double
+voxelIou(const Tensor &pred, const Tensor &target, float threshold)
+{
+    if (pred.numel() != target.numel())
+        throw std::invalid_argument("voxelIou: shape mismatch");
+    const float *pp = pred.data();
+    const float *pt = target.data();
+    std::int64_t inter = 0, uni = 0;
+    for (std::int64_t i = 0; i < pred.numel(); ++i) {
+        const bool a = pp[i] >= threshold;
+        const bool b = pt[i] >= threshold;
+        inter += a && b;
+        uni += a || b;
+    }
+    return uni == 0 ? 1.0
+                    : static_cast<double>(inter) /
+                          static_cast<double>(uni);
+}
+
+} // namespace aib::metrics

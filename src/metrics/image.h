@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Image quality metrics: SSIM / MS-SSIM (image compression), PSNR,
+ * and per-pixel / per-class accuracy + class IoU for image-to-image
+ * translation, following the Cityscapes-style evaluation the paper
+ * adopts for CycleGAN.
+ */
+
+#ifndef AIB_METRICS_IMAGE_H
+#define AIB_METRICS_IMAGE_H
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace aib::metrics {
+
+/**
+ * Mean structural similarity between two same-shape images
+ * (N,C,H,W or C,H,W), uniform window.
+ *
+ * @param window sliding window size (clamped to the image).
+ * @param data_range dynamic range of the pixel values.
+ */
+double ssim(const Tensor &a, const Tensor &b, int window = 7,
+            double data_range = 1.0);
+
+/**
+ * Multi-scale SSIM with standard per-scale weights; scales are
+ * limited so the smallest pyramid level still fits the window.
+ */
+double msSsim(const Tensor &a, const Tensor &b, int scales = 5,
+              int window = 7, double data_range = 1.0);
+
+/** Peak signal-to-noise ratio in dB. */
+double psnr(const Tensor &a, const Tensor &b, double data_range = 1.0);
+
+/**
+ * Per-pixel accuracy of predicted label map vs ground truth (both
+ * integer-valued tensors of identical shape).
+ */
+double perPixelAccuracy(const Tensor &pred_labels,
+                        const Tensor &true_labels);
+
+/** Mean per-class accuracy over @p num_classes. */
+double perClassAccuracy(const Tensor &pred_labels,
+                        const Tensor &true_labels, int num_classes);
+
+/** Mean intersection-over-union over @p num_classes label maps. */
+double classIou(const Tensor &pred_labels, const Tensor &true_labels,
+                int num_classes);
+
+/** Voxel-grid IoU between binarized occupancy grids (threshold 0.5). */
+double voxelIou(const Tensor &pred, const Tensor &target,
+                float threshold = 0.5f);
+
+} // namespace aib::metrics
+
+#endif // AIB_METRICS_IMAGE_H

@@ -1,0 +1,119 @@
+#include "metrics/ranking.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace aib::metrics {
+
+std::vector<int>
+topKIndices(const std::vector<float> &scores, int k)
+{
+    std::vector<int> order(scores.size());
+    std::iota(order.begin(), order.end(), 0);
+    const std::size_t kk =
+        std::min<std::size_t>(static_cast<std::size_t>(k), scores.size());
+    std::partial_sort(order.begin(), order.begin() + kk, order.end(),
+                      [&scores](int a, int b) {
+                          if (scores[static_cast<std::size_t>(a)] !=
+                              scores[static_cast<std::size_t>(b)])
+                              return scores[static_cast<std::size_t>(a)] >
+                                     scores[static_cast<std::size_t>(b)];
+                          return a < b;
+                      });
+    order.resize(kk);
+    return order;
+}
+
+double
+hitRateAtK(const std::vector<std::vector<float>> &user_scores,
+           const std::vector<int> &true_items, int k)
+{
+    if (user_scores.size() != true_items.size())
+        throw std::invalid_argument("hitRateAtK: size mismatch");
+    if (user_scores.empty())
+        return 0.0;
+    std::size_t hits = 0;
+    for (std::size_t u = 0; u < user_scores.size(); ++u) {
+        const auto top = topKIndices(user_scores[u], k);
+        if (std::find(top.begin(), top.end(), true_items[u]) != top.end())
+            ++hits;
+    }
+    return static_cast<double>(hits) /
+           static_cast<double>(user_scores.size());
+}
+
+double
+precisionAtK(const std::vector<int> &ranked_items,
+             const std::unordered_set<int> &relevant, int k)
+{
+    if (k <= 0)
+        return 0.0;
+    const std::size_t kk = std::min<std::size_t>(
+        static_cast<std::size_t>(k), ranked_items.size());
+    std::size_t hits = 0;
+    for (std::size_t i = 0; i < kk; ++i)
+        hits += relevant.count(ranked_items[i]) > 0;
+    return static_cast<double>(hits) / static_cast<double>(k);
+}
+
+double
+meanPrecisionAtK(const std::vector<std::vector<int>> &ranked_per_user,
+                 const std::vector<std::unordered_set<int>> &relevant,
+                 int k)
+{
+    if (ranked_per_user.size() != relevant.size())
+        throw std::invalid_argument("meanPrecisionAtK: size mismatch");
+    if (ranked_per_user.empty())
+        return 0.0;
+    double total = 0.0;
+    for (std::size_t u = 0; u < ranked_per_user.size(); ++u)
+        total += precisionAtK(ranked_per_user[u], relevant[u], k);
+    return total / static_cast<double>(ranked_per_user.size());
+}
+
+double
+ndcgAtK(const std::vector<int> &ranked_items,
+        const std::unordered_set<int> &relevant, int k)
+{
+    const std::size_t kk = std::min<std::size_t>(
+        static_cast<std::size_t>(k), ranked_items.size());
+    double dcg = 0.0;
+    for (std::size_t i = 0; i < kk; ++i) {
+        if (relevant.count(ranked_items[i]))
+            dcg += 1.0 / std::log2(static_cast<double>(i) + 2.0);
+    }
+    double ideal = 0.0;
+    const std::size_t ideal_hits =
+        std::min<std::size_t>(relevant.size(), kk);
+    for (std::size_t i = 0; i < ideal_hits; ++i)
+        ideal += 1.0 / std::log2(static_cast<double>(i) + 2.0);
+    return ideal == 0.0 ? 0.0 : dcg / ideal;
+}
+
+double
+wasserstein1d(std::vector<float> a, std::vector<float> b)
+{
+    if (a.empty() || b.empty())
+        throw std::invalid_argument("wasserstein1d: empty sample");
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    // Evaluate the quantile-function difference on a common grid.
+    const std::size_t n = std::max(a.size(), b.size());
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double q =
+            (static_cast<double>(i) + 0.5) / static_cast<double>(n);
+        const std::size_t ia = std::min<std::size_t>(
+            static_cast<std::size_t>(q * static_cast<double>(a.size())),
+            a.size() - 1);
+        const std::size_t ib = std::min<std::size_t>(
+            static_cast<std::size_t>(q * static_cast<double>(b.size())),
+            b.size() - 1);
+        total += std::fabs(static_cast<double>(a[ia]) - b[ib]);
+    }
+    return total / static_cast<double>(n);
+}
+
+} // namespace aib::metrics

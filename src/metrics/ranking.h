@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Ranking and recommendation metrics: HR@K, precision@K, NDCG@K and
+ * the 1-D empirical Wasserstein (Earth-Mover) distance used by the
+ * image-generation benchmark's quality target.
+ */
+
+#ifndef AIB_METRICS_RANKING_H
+#define AIB_METRICS_RANKING_H
+
+#include <unordered_set>
+#include <vector>
+
+namespace aib::metrics {
+
+/**
+ * Hit rate at K: fraction of users whose true item index appears in
+ * the top-K of their score vector.
+ */
+double hitRateAtK(const std::vector<std::vector<float>> &user_scores,
+                  const std::vector<int> &true_items, int k);
+
+/**
+ * Precision@K of one ranked item list vs the set of relevant items.
+ */
+double precisionAtK(const std::vector<int> &ranked_items,
+                    const std::unordered_set<int> &relevant, int k);
+
+/** Mean precision@K over users. */
+double
+meanPrecisionAtK(const std::vector<std::vector<int>> &ranked_per_user,
+                 const std::vector<std::unordered_set<int>> &relevant,
+                 int k);
+
+/** Normalized discounted cumulative gain at K for one user. */
+double ndcgAtK(const std::vector<int> &ranked_items,
+               const std::unordered_set<int> &relevant, int k);
+
+/** Indices of the top-K scores, descending. */
+std::vector<int> topKIndices(const std::vector<float> &scores, int k);
+
+/**
+ * Empirical 1-D Wasserstein-1 distance between two samples (the
+ * Earth-Mover distance the WGAN benchmark trains down).
+ */
+double wasserstein1d(std::vector<float> a, std::vector<float> b);
+
+} // namespace aib::metrics
+
+#endif // AIB_METRICS_RANKING_H

@@ -1,0 +1,124 @@
+#include "metrics/text.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace aib::metrics {
+
+int
+editDistance(const std::vector<int> &a, const std::vector<int> &b)
+{
+    const std::size_t n = a.size(), m = b.size();
+    std::vector<int> prev(m + 1), cur(m + 1);
+    for (std::size_t j = 0; j <= m; ++j)
+        prev[j] = static_cast<int>(j);
+    for (std::size_t i = 1; i <= n; ++i) {
+        cur[0] = static_cast<int>(i);
+        for (std::size_t j = 1; j <= m; ++j) {
+            const int subst = prev[j - 1] + (a[i - 1] != b[j - 1]);
+            cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, subst});
+        }
+        std::swap(prev, cur);
+    }
+    return prev[m];
+}
+
+double
+wordErrorRate(const std::vector<int> &reference,
+              const std::vector<int> &hypothesis)
+{
+    if (reference.empty())
+        throw std::invalid_argument("wordErrorRate: empty reference");
+    return static_cast<double>(editDistance(reference, hypothesis)) /
+           static_cast<double>(reference.size());
+}
+
+double
+corpusWer(const std::vector<std::vector<int>> &references,
+          const std::vector<std::vector<int>> &hypotheses)
+{
+    if (references.size() != hypotheses.size())
+        throw std::invalid_argument("corpusWer: size mismatch");
+    std::size_t edits = 0, total = 0;
+    for (std::size_t i = 0; i < references.size(); ++i) {
+        edits += static_cast<std::size_t>(
+            editDistance(references[i], hypotheses[i]));
+        total += references[i].size();
+    }
+    return total == 0 ? 0.0
+                      : static_cast<double>(edits) /
+                            static_cast<double>(total);
+}
+
+int
+longestCommonSubsequence(const std::vector<int> &a,
+                         const std::vector<int> &b)
+{
+    const std::size_t n = a.size(), m = b.size();
+    std::vector<int> prev(m + 1, 0), cur(m + 1, 0);
+    for (std::size_t i = 1; i <= n; ++i) {
+        for (std::size_t j = 1; j <= m; ++j) {
+            if (a[i - 1] == b[j - 1])
+                cur[j] = prev[j - 1] + 1;
+            else
+                cur[j] = std::max(prev[j], cur[j - 1]);
+        }
+        std::swap(prev, cur);
+    }
+    return prev[m];
+}
+
+double
+rougeL(const std::vector<int> &reference,
+       const std::vector<int> &candidate)
+{
+    if (reference.empty() || candidate.empty())
+        return 0.0;
+    const double lcs =
+        static_cast<double>(longestCommonSubsequence(reference,
+                                                     candidate));
+    const double recall = lcs / static_cast<double>(reference.size());
+    const double precision = lcs / static_cast<double>(candidate.size());
+    if (recall <= 0.0 || precision <= 0.0)
+        return 0.0;
+    const double beta2 = 1.2 * 1.2;
+    return (1.0 + beta2) * recall * precision /
+           (recall + beta2 * precision);
+}
+
+double
+corpusRougeL(const std::vector<std::vector<int>> &references,
+             const std::vector<std::vector<int>> &candidates)
+{
+    if (references.size() != candidates.size())
+        throw std::invalid_argument("corpusRougeL: size mismatch");
+    if (references.empty())
+        return 0.0;
+    double total = 0.0;
+    for (std::size_t i = 0; i < references.size(); ++i)
+        total += rougeL(references[i], candidates[i]);
+    return total / static_cast<double>(references.size());
+}
+
+double
+tokenAccuracy(const std::vector<std::vector<int>> &references,
+              const std::vector<std::vector<int>> &hypotheses)
+{
+    if (references.size() != hypotheses.size())
+        throw std::invalid_argument("tokenAccuracy: size mismatch");
+    std::size_t hits = 0, total = 0;
+    for (std::size_t i = 0; i < references.size(); ++i) {
+        const auto &ref = references[i];
+        const auto &hyp = hypotheses[i];
+        for (std::size_t j = 0; j < ref.size(); ++j) {
+            ++total;
+            if (j < hyp.size() && hyp[j] == ref[j])
+                ++hits;
+        }
+    }
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits) /
+                            static_cast<double>(total);
+}
+
+} // namespace aib::metrics

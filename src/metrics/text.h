@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Sequence/text quality metrics: word error rate (speech
+ * recognition), ROUGE-L (summarization) and token accuracy
+ * (translation).
+ */
+
+#ifndef AIB_METRICS_TEXT_H
+#define AIB_METRICS_TEXT_H
+
+#include <vector>
+
+namespace aib::metrics {
+
+/** Levenshtein distance between token sequences. */
+int editDistance(const std::vector<int> &a, const std::vector<int> &b);
+
+/**
+ * Word error rate of a hypothesis against a reference:
+ * edit distance / reference length.
+ */
+double wordErrorRate(const std::vector<int> &reference,
+                     const std::vector<int> &hypothesis);
+
+/** Corpus WER: total edits / total reference tokens. */
+double corpusWer(const std::vector<std::vector<int>> &references,
+                 const std::vector<std::vector<int>> &hypotheses);
+
+/** Length of the longest common subsequence. */
+int longestCommonSubsequence(const std::vector<int> &a,
+                             const std::vector<int> &b);
+
+/**
+ * ROUGE-L F-score of a candidate summary against a reference
+ * (beta = 1.2 following the summarization literature).
+ */
+double rougeL(const std::vector<int> &reference,
+              const std::vector<int> &candidate);
+
+/** Mean ROUGE-L over a corpus. */
+double corpusRougeL(const std::vector<std::vector<int>> &references,
+                    const std::vector<std::vector<int>> &candidates);
+
+/** Position-wise token accuracy over equal-length sequences. */
+double tokenAccuracy(const std::vector<std::vector<int>> &references,
+                     const std::vector<std::vector<int>> &hypotheses);
+
+} // namespace aib::metrics
+
+#endif // AIB_METRICS_TEXT_H

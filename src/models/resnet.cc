@@ -1,0 +1,70 @@
+#include "models/resnet.h"
+
+#include "tensor/ops.h"
+
+namespace aib::models {
+
+ResidualBlock::ResidualBlock(std::int64_t in_channels,
+                             std::int64_t out_channels, int stride,
+                             Rng &rng)
+    : conv1_(in_channels, out_channels, 3, stride, 1, rng, false),
+      conv2_(out_channels, out_channels, 3, 1, 1, rng, false),
+      bn1_(out_channels), bn2_(out_channels)
+{
+    registerModule("conv1", &conv1_);
+    registerModule("conv2", &conv2_);
+    registerModule("bn1", &bn1_);
+    registerModule("bn2", &bn2_);
+    if (stride != 1 || in_channels != out_channels) {
+        shortcut_ = std::make_unique<nn::Conv2d>(
+            in_channels, out_channels, 1, stride, 0, rng, false);
+        registerModule("shortcut", shortcut_.get());
+    }
+}
+
+Tensor
+ResidualBlock::forward(const Tensor &x)
+{
+    Tensor h = ops::relu(bn1_.forward(conv1_.forward(x)));
+    h = bn2_.forward(conv2_.forward(h));
+    Tensor identity = shortcut_ ? shortcut_->forward(x) : x;
+    return ops::relu(ops::add(h, identity));
+}
+
+SmallResNet::SmallResNet(const ResNetConfig &config, Rng &rng)
+    : stem_(config.inChannels, config.baseWidth, 3, 1, 1, rng, false),
+      stemBn_(config.baseWidth),
+      head_(config.baseWidth << config.stages, config.classes, rng),
+      featureChannels_(config.baseWidth << config.stages)
+{
+    registerModule("stem", &stem_);
+    registerModule("stemBn", &stemBn_);
+    std::int64_t channels = config.baseWidth;
+    for (int s = 0; s < config.stages; ++s) {
+        auto block =
+            std::make_shared<ResidualBlock>(channels, channels * 2, 2,
+                                            rng);
+        registerModule("stage" + std::to_string(s), block.get());
+        blocks_.push_back(std::move(block));
+        channels *= 2;
+    }
+    registerModule("head", &head_);
+}
+
+Tensor
+SmallResNet::features(const Tensor &x)
+{
+    Tensor h = ops::relu(stemBn_.forward(stem_.forward(x)));
+    for (auto &block : blocks_)
+        h = block->forward(h);
+    return h;
+}
+
+Tensor
+SmallResNet::forward(const Tensor &x)
+{
+    Tensor h = features(x);
+    return head_.forward(ops::globalAvgPool2d(h));
+}
+
+} // namespace aib::models

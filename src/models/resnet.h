@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Scaled-down residual network (the ResNet-50 stand-in).
+ *
+ * Preserves the structural signature of the paper's image backbone —
+ * stem convolution, batch-normalized residual blocks with strided
+ * downsampling and identity shortcuts, global average pooling, a
+ * linear classifier — at laptop scale. Used by Image Classification
+ * (DC-AI-C1), 3D Face Recognition (DC-AI-C8, 4-channel input) and as
+ * the detection backbone (DC-AI-C9).
+ */
+
+#ifndef AIB_MODELS_RESNET_H
+#define AIB_MODELS_RESNET_H
+
+#include <memory>
+#include <vector>
+
+#include "nn/layers.h"
+#include "nn/module.h"
+
+namespace aib::models {
+
+/** One basic residual block: two 3x3 convs + projection shortcut. */
+class ResidualBlock : public nn::Layer
+{
+  public:
+    ResidualBlock(std::int64_t in_channels, std::int64_t out_channels,
+                  int stride, Rng &rng);
+
+    Tensor forward(const Tensor &x) override;
+
+  private:
+    nn::Conv2d conv1_, conv2_;
+    nn::BatchNorm2d bn1_, bn2_;
+    std::unique_ptr<nn::Conv2d> shortcut_; ///< 1x1 when shape changes
+};
+
+/** Configuration of the scaled residual network. */
+struct ResNetConfig {
+    std::int64_t inChannels = 3;
+    std::int64_t baseWidth = 8;
+    int stages = 2;      ///< each stage halves the resolution
+    std::int64_t classes = 10;
+};
+
+/**
+ * The backbone + classifier. @c features() exposes the final feature
+ * map for detection heads; @c forward() classifies.
+ */
+class SmallResNet : public nn::Layer
+{
+  public:
+    SmallResNet(const ResNetConfig &config, Rng &rng);
+
+    /** Class logits (N, classes). */
+    Tensor forward(const Tensor &x) override;
+
+    /** Final feature map (N, C_out, H/2^stages, W/2^stages). */
+    Tensor features(const Tensor &x);
+
+    /** Channel count of the final feature map. */
+    std::int64_t featureChannels() const { return featureChannels_; }
+
+  private:
+    nn::Conv2d stem_;
+    nn::BatchNorm2d stemBn_;
+    std::vector<std::shared_ptr<ResidualBlock>> blocks_;
+    nn::Linear head_;
+    std::int64_t featureChannels_;
+};
+
+} // namespace aib::models
+
+#endif // AIB_MODELS_RESNET_H

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Internal helpers shared by the task implementations.
+ */
+
+#ifndef AIB_MODELS_TASK_COMMON_H
+#define AIB_MODELS_TASK_COMMON_H
+
+#include "core/benchmark.h"
+#include "nn/module.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace aib::models::detail {
+
+/** RAII eval-mode: switch module to eval and back to train. */
+class EvalGuard
+{
+  public:
+    explicit EvalGuard(nn::Module &module) : module_(module)
+    {
+        module_.eval();
+    }
+    ~EvalGuard() { module_.train(); }
+    EvalGuard(const EvalGuard &) = delete;
+    EvalGuard &operator=(const EvalGuard &) = delete;
+
+  private:
+    nn::Module &module_;
+};
+
+/** L2-normalize rows of a (N, D) tensor (for embedding models). */
+inline Tensor
+l2NormalizeRows(const Tensor &x)
+{
+    Tensor sq = ops::sumDim(ops::square(x), 1, /*keepdim=*/true);
+    Tensor norm = ops::sqrt(ops::addScalar(sq, 1e-8f));
+    return ops::div(x, norm);
+}
+
+} // namespace aib::models::detail
+
+#endif // AIB_MODELS_TASK_COMMON_H

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Factories for the 24 trainable component-benchmark tasks:
+ * the seventeen AIBench benchmarks (DC-AI-C1..C17, Table 3) and the
+ * seven MLPerf training benchmarks the paper compares against.
+ *
+ * Each factory builds a fresh, seeded @c TrainableTask: a scaled
+ * model that is structurally faithful to the paper's algorithm, a
+ * synthetic dataset with learnable ground-truth structure, the
+ * training loop, and the quality-metric evaluation.
+ */
+
+#ifndef AIB_MODELS_TASKS_H
+#define AIB_MODELS_TASKS_H
+
+#include <cstdint>
+#include <memory>
+
+#include "core/benchmark.h"
+
+namespace aib::models {
+
+/** @name AIBench component benchmarks (Table 3)
+ * @{
+ */
+/** DC-AI-C1: ResNet image classification (also MLPerf). */
+std::unique_ptr<core::TrainableTask>
+makeImageClassificationTask(std::uint64_t seed);
+/** DC-AI-C2: WGAN image/sample generation. */
+std::unique_ptr<core::TrainableTask>
+makeImageGenerationTask(std::uint64_t seed);
+/** DC-AI-C3: Transformer text-to-text translation. */
+std::unique_ptr<core::TrainableTask>
+makeTextToTextTask(std::uint64_t seed);
+/** DC-AI-C4: neural image caption model (CNN + RNN). */
+std::unique_ptr<core::TrainableTask>
+makeImageToTextTask(std::uint64_t seed);
+/** DC-AI-C5: CycleGAN image-to-image translation. */
+std::unique_ptr<core::TrainableTask>
+makeImageToImageTask(std::uint64_t seed);
+/** DC-AI-C6: DeepSpeech2-style speech recognition. */
+std::unique_ptr<core::TrainableTask>
+makeSpeechRecognitionTask(std::uint64_t seed);
+/** DC-AI-C7: FaceNet-style triplet face embedding. */
+std::unique_ptr<core::TrainableTask>
+makeFaceEmbeddingTask(std::uint64_t seed);
+/** DC-AI-C8: RGB-D ResNet 3D face recognition. */
+std::unique_ptr<core::TrainableTask> makeFace3dTask(std::uint64_t seed);
+/** DC-AI-C9: Faster R-CNN-style object detection (also basis of the
+ * MLPerf variants). */
+std::unique_ptr<core::TrainableTask>
+makeObjectDetectionTask(std::uint64_t seed);
+/** DC-AI-C10: neural collaborative filtering (also MLPerf). */
+std::unique_ptr<core::TrainableTask>
+makeRecommendationTask(std::uint64_t seed);
+/** DC-AI-C11: motion-focused video prediction. */
+std::unique_ptr<core::TrainableTask>
+makeVideoPredictionTask(std::uint64_t seed);
+/** DC-AI-C12: recurrent-refinement image compression. */
+std::unique_ptr<core::TrainableTask>
+makeImageCompressionTask(std::uint64_t seed);
+/** DC-AI-C13: encoder-decoder 3D object reconstruction. */
+std::unique_ptr<core::TrainableTask>
+makeReconstruction3dTask(std::uint64_t seed);
+/** DC-AI-C14: attentional seq2seq text summarization. */
+std::unique_ptr<core::TrainableTask>
+makeTextSummarizationTask(std::uint64_t seed);
+/** DC-AI-C15: spatial transformer network. */
+std::unique_ptr<core::TrainableTask>
+makeSpatialTransformerTask(std::uint64_t seed);
+/** DC-AI-C16: ranking distillation learning-to-rank. */
+std::unique_ptr<core::TrainableTask>
+makeLearningToRankTask(std::uint64_t seed);
+/** DC-AI-C17: ENAS-style neural architecture search. */
+std::unique_ptr<core::TrainableTask> makeNasTask(std::uint64_t seed);
+/** @} */
+
+/** @name MLPerf-only benchmarks
+ * @{
+ */
+/** Object detection, heavy weight (Mask/Faster R-CNN class). */
+std::unique_ptr<core::TrainableTask>
+makeDetectionHeavyTask(std::uint64_t seed);
+/** Object detection, light weight (SSD class). */
+std::unique_ptr<core::TrainableTask>
+makeDetectionLightTask(std::uint64_t seed);
+/** Translation, recurrent (GNMT class, LSTM seq2seq). */
+std::unique_ptr<core::TrainableTask>
+makeTranslationRecurrentTask(std::uint64_t seed);
+/** Translation, non-recurrent (Transformer class). */
+std::unique_ptr<core::TrainableTask>
+makeTranslationNonRecurrentTask(std::uint64_t seed);
+/** Reinforcement learning (Go-playing class, policy gradient). */
+std::unique_ptr<core::TrainableTask>
+makeReinforcementLearningTask(std::uint64_t seed);
+/** @} */
+
+} // namespace aib::models
+
+#endif // AIB_MODELS_TASKS_H

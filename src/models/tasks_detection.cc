@@ -1,0 +1,396 @@
+/**
+ * @file
+ * Object detection tasks: DC-AI-C9 (Faster R-CNN class, the AIBench
+ * benchmark and subset member) plus the MLPerf heavy and light
+ * detection variants, all sharing one grid-proposal architecture at
+ * different scales.
+ *
+ * The model is a ResNet backbone plus a dense proposal head that
+ * predicts, per feature-map cell, an objectness logit, a box
+ * regression (center offset within the cell and log size), and class
+ * scores — the region-proposal structure of Faster R-CNN collapsed
+ * to a single stage so a full training session stays laptop-sized.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "data/synth_images.h"
+#include "metrics/detection.h"
+#include "models/resnet.h"
+#include "models/task_common.h"
+#include "models/tasks.h"
+#include "nn/losses.h"
+#include "nn/optim.h"
+
+namespace aib::models {
+
+namespace {
+
+using core::TrainableTask;
+using metrics::Box;
+using metrics::Detection;
+using metrics::GroundTruth;
+
+/** Scale preset for the three detection benchmarks. */
+struct DetectorConfig {
+    int imageSize = 32;
+    std::int64_t baseWidth = 8;
+    int stages = 2; ///< grid = imageSize >> stages
+    int classes = 5;
+    int stepsPerEpoch = 10;
+    int evalScenes = 40;
+    float lr = 0.02f;
+};
+
+class GridDetector : public nn::Module
+{
+  public:
+    GridDetector(const DetectorConfig &config, Rng &rng)
+        : config_(config),
+          backbone_({3, config.baseWidth, config.stages, 1}, rng),
+          head_(backbone_.featureChannels(),
+                5 + config.classes, 1, 1, 0, rng),
+          roiHead_(9 * backbone_.featureChannels(),
+                   config.classes + 1, rng) // + background class
+    {
+        registerModule("backbone", &backbone_);
+        registerModule("head", &head_);
+        registerModule("roiHead", &roiHead_);
+    }
+
+    /** Backbone feature map (N, C, G, G). */
+    Tensor features(const Tensor &images)
+    {
+        return backbone_.features(images);
+    }
+
+    /** Dense proposal output (N, 5+K, G, G) from features. */
+    Tensor proposals(const Tensor &feat)
+    {
+        return head_.forward(feat);
+    }
+
+    /** Raw head output (N, 5+K, G, G) from images. */
+    Tensor
+    forward(const Tensor &images)
+    {
+        return proposals(features(images));
+    }
+
+    /**
+     * Second stage, as in Faster R-CNN: gather the 3x3 feature
+     * neighborhood of each positive proposal (an ROI-pooling-style
+     * data-arrangement gather) and classify it with a per-ROI head.
+     *
+     * @param feat backbone features (N, C, G, G)
+     * @param patch_indices 9 cell indices per ROI into the
+     *        (N*G*G)-row cell table.
+     */
+    Tensor
+    roiClassify(const Tensor &feat,
+                const std::vector<int> &patch_indices)
+    {
+        const std::int64_t c = backbone_.featureChannels();
+        const int g = grid();
+        Tensor cells = ops::reshape(
+            ops::permute(feat, {0, 2, 3, 1}),
+            {feat.dim(0) * g * g, c});
+        Tensor patches = ops::embeddingLookup(cells, patch_indices);
+        const auto rois =
+            static_cast<std::int64_t>(patch_indices.size()) / 9;
+        return roiHead_.forward(
+            ops::reshape(patches, {rois, 9 * c}));
+    }
+
+    int grid() const { return config_.imageSize >> config_.stages; }
+
+  private:
+    DetectorConfig config_;
+    SmallResNet backbone_;
+    nn::Conv2d head_;
+    nn::Linear roiHead_;
+};
+
+class ObjectDetectionTask : public TrainableTask
+{
+  public:
+    ObjectDetectionTask(const DetectorConfig &config, std::uint64_t seed)
+        : config_(config), rng_(seed),
+          gen_(config.classes, config.imageSize, 0.03f, /*fixed data seed*/ 0x55 * 2654435761ULL),
+          net_(config, rng_), opt_(net_.parameters(), config.lr)
+    {
+        for (int i = 0; i < config_.evalScenes; ++i)
+            evalScenes_.push_back(gen_.sample());
+    }
+
+    void
+    runEpoch() override
+    {
+        for (int step = 0; step < config_.stepsPerEpoch; ++step)
+            trainStep();
+    }
+
+    double
+    evaluate() override
+    {
+        detail::EvalGuard guard(net_);
+        NoGradGuard no_grad;
+        std::vector<Detection> detections;
+        std::vector<GroundTruth> truths;
+        for (int i = 0; i < static_cast<int>(evalScenes_.size()); ++i) {
+            const data::DetectionScene &scene =
+                evalScenes_[static_cast<std::size_t>(i)];
+            for (GroundTruth gt : scene.objects) {
+                gt.image = i;
+                truths.push_back(gt);
+            }
+            decodeScene(scene.image, i, &detections);
+        }
+        return metrics::meanAveragePrecision(detections, truths,
+                                             config_.classes);
+    }
+
+    nn::Module &model() override { return net_; }
+
+    void
+    forwardOnce() override
+    {
+        detail::EvalGuard guard(net_);
+        NoGradGuard no_grad;
+        data::DetectionScene s = gen_.sample();
+        (void)net_.forward(ops::reshape(
+            s.image, {1, 3, config_.imageSize, config_.imageSize}));
+    }
+
+  private:
+    void
+    trainStep()
+    {
+        const int n = 12;
+        const int g = net_.grid();
+        const int cell = config_.imageSize / g;
+        Tensor images =
+            Tensor::empty({n, 3, config_.imageSize, config_.imageSize});
+        Tensor obj_target = Tensor::zeros({n * g * g});
+        std::vector<int> pos_rows;
+        std::vector<int> pos_labels;
+        std::vector<float> pos_boxes; // (P, 4) targets
+
+        const std::int64_t stride =
+            3LL * config_.imageSize * config_.imageSize;
+        for (int i = 0; i < n; ++i) {
+            data::DetectionScene scene = gen_.sample();
+            std::copy(scene.image.data(), scene.image.data() + stride,
+                      images.data() + i * stride);
+            for (const GroundTruth &gt : scene.objects) {
+                const float cx = 0.5f * (gt.box.x1 + gt.box.x2);
+                const float cy = 0.5f * (gt.box.y1 + gt.box.y2);
+                int gx = static_cast<int>(cx) / cell;
+                int gy = static_cast<int>(cy) / cell;
+                gx = std::min(gx, g - 1);
+                gy = std::min(gy, g - 1);
+                const int row = (i * g + gy) * g + gx;
+                obj_target.data()[row] = 1.0f;
+                pos_rows.push_back(row);
+                pos_labels.push_back(gt.label);
+                // Targets: center offset within the cell in [0,1],
+                // log size relative to the image.
+                pos_boxes.push_back(cx / cell - static_cast<float>(gx));
+                pos_boxes.push_back(cy / cell - static_cast<float>(gy));
+                pos_boxes.push_back(std::log(
+                    (gt.box.x2 - gt.box.x1) / config_.imageSize));
+                pos_boxes.push_back(std::log(
+                    (gt.box.y2 - gt.box.y1) / config_.imageSize));
+            }
+        }
+        ops::recordHostToDeviceCopy(images);
+
+        opt_.zeroGrad();
+        Tensor feat = net_.features(images);
+        Tensor pred = net_.proposals(feat); // (N, 5+K, G, G)
+        // Rearrange to rows of (5+K) per cell.
+        Tensor rows = ops::reshape(
+            ops::permute(pred, {0, 2, 3, 1}),
+            {static_cast<std::int64_t>(n) * g * g, 5 + config_.classes});
+
+        Tensor obj_logits =
+            ops::reshape(ops::sliceDim(rows, 1, 0, 1),
+                         {static_cast<std::int64_t>(n) * g * g});
+        Tensor obj_loss = nn::bceWithLogits(obj_logits, obj_target);
+
+        Tensor loss = obj_loss;
+        if (!pos_rows.empty()) {
+            Tensor pos = ops::embeddingLookup(rows, pos_rows);
+            Tensor box_pred = ops::sliceDim(pos, 1, 1, 5);
+            Tensor box_target = Tensor::fromVector(
+                {static_cast<std::int64_t>(pos_rows.size()), 4},
+                pos_boxes);
+            Tensor box_loss =
+                nn::smoothL1Loss(box_pred, box_target, 0.5f);
+            Tensor cls_logits =
+                ops::sliceDim(pos, 1, 5, 5 + config_.classes);
+            Tensor cls_loss =
+                ops::crossEntropyLogits(cls_logits, pos_labels);
+            loss = ops::add(loss,
+                            ops::add(ops::mulScalar(box_loss, 2.0f),
+                                     cls_loss));
+
+        }
+
+        // Second stage, as in Faster R-CNN: every cell is a region
+        // proposal. Gather each proposal's 3x3 feature neighborhood
+        // (an ROI-pooling-style data-arrangement pass) and classify
+        // it against the object classes plus background.
+        std::vector<int> patch_indices;
+        std::vector<int> roi_labels(
+            static_cast<std::size_t>(n) * g * g, config_.classes);
+        for (std::size_t k = 0; k < pos_rows.size(); ++k)
+            roi_labels[static_cast<std::size_t>(pos_rows[k])] =
+                pos_labels[k];
+        patch_indices.reserve(static_cast<std::size_t>(n) * g * g * 9);
+        for (int img = 0; img < n; ++img) {
+            for (int gy = 0; gy < g; ++gy) {
+                for (int gx = 0; gx < g; ++gx) {
+                    for (int dy = -1; dy <= 1; ++dy) {
+                        for (int dx = -1; dx <= 1; ++dx) {
+                            const int yy =
+                                std::clamp(gy + dy, 0, g - 1);
+                            const int xx =
+                                std::clamp(gx + dx, 0, g - 1);
+                            patch_indices.push_back(
+                                (img * g + yy) * g + xx);
+                        }
+                    }
+                }
+            }
+        }
+        Tensor roi_logits = net_.roiClassify(feat, patch_indices);
+        loss = ops::add(loss, ops::crossEntropyLogits(roi_logits,
+                                                      roi_labels));
+        loss.backward();
+        opt_.clipGradNorm(5.0f);
+        opt_.step();
+    }
+
+    void
+    decodeScene(const Tensor &image, int image_index,
+                std::vector<Detection> *out)
+    {
+        const int g = net_.grid();
+        const int cell = config_.imageSize / g;
+        Tensor pred = net_.forward(ops::reshape(
+            image, {1, 3, config_.imageSize, config_.imageSize}));
+        Tensor rows =
+            ops::reshape(ops::permute(pred, {0, 2, 3, 1}),
+                         {static_cast<std::int64_t>(g) * g,
+                          5 + config_.classes});
+        const float *p = rows.data();
+        const std::int64_t width = 5 + config_.classes;
+        std::vector<Detection> candidates;
+        for (int gy = 0; gy < g; ++gy) {
+            for (int gx = 0; gx < g; ++gx) {
+                const float *row = p + (gy * g + gx) * width;
+                const float obj =
+                    1.0f / (1.0f + std::exp(-row[0]));
+                if (obj < 0.3f)
+                    continue;
+                Detection d;
+                d.image = image_index;
+                d.score = obj;
+                const float cx =
+                    (static_cast<float>(gx) + row[1]) * cell;
+                const float cy =
+                    (static_cast<float>(gy) + row[2]) * cell;
+                const float w =
+                    std::exp(row[3]) * config_.imageSize;
+                const float h =
+                    std::exp(row[4]) * config_.imageSize;
+                d.box = Box{cx - 0.5f * w, cy - 0.5f * h,
+                            cx + 0.5f * w, cy + 0.5f * h};
+                int best = 0;
+                for (int k = 1; k < config_.classes; ++k)
+                    if (row[5 + k] > row[5 + best])
+                        best = k;
+                d.label = best;
+                candidates.push_back(d);
+            }
+        }
+        // Non-maximum suppression, as in Faster R-CNN: keep the
+        // highest-scoring box, drop overlapping lower-scored ones.
+        std::stable_sort(candidates.begin(), candidates.end(),
+                         [](const Detection &a, const Detection &b) {
+                             return a.score > b.score;
+                         });
+        std::vector<Detection> kept;
+        for (const Detection &d : candidates) {
+            bool suppressed = false;
+            for (const Detection &k : kept) {
+                if (metrics::boxIou(d.box, k.box) > 0.45f) {
+                    suppressed = true;
+                    break;
+                }
+            }
+            if (!suppressed)
+                kept.push_back(d);
+        }
+        out->insert(out->end(), kept.begin(), kept.end());
+    }
+
+    DetectorConfig config_;
+    Rng rng_;
+    data::DetectionSceneGenerator gen_;
+    GridDetector net_;
+    nn::Adam opt_;
+    std::vector<data::DetectionScene> evalScenes_;
+};
+
+} // namespace
+
+std::unique_ptr<core::TrainableTask>
+makeObjectDetectionTask(std::uint64_t seed)
+{
+    // The largest-FLOPs AIBench benchmark (Fig. 2): a wide backbone.
+    DetectorConfig config;
+    config.imageSize = 32;
+    config.baseWidth = 10;
+    config.stages = 2;
+    config.classes = 5;
+    config.stepsPerEpoch = 12;
+    config.evalScenes = 40;
+    config.lr = 0.008f;
+    return std::make_unique<ObjectDetectionTask>(config, seed);
+}
+
+std::unique_ptr<core::TrainableTask>
+makeDetectionHeavyTask(std::uint64_t seed)
+{
+    // MLPerf heavy-weight detection: deeper and wider.
+    DetectorConfig config;
+    config.imageSize = 32;
+    config.baseWidth = 8;
+    config.stages = 2;
+    config.classes = 5;
+    config.stepsPerEpoch = 12;
+    config.evalScenes = 24;
+    config.lr = 0.01f;
+    return std::make_unique<ObjectDetectionTask>(config, seed);
+}
+
+std::unique_ptr<core::TrainableTask>
+makeDetectionLightTask(std::uint64_t seed)
+{
+    // MLPerf light-weight (SSD class): smaller input, thin backbone.
+    DetectorConfig config;
+    config.imageSize = 24;
+    config.baseWidth = 6;
+    config.stages = 2;
+    config.classes = 5;
+    config.stepsPerEpoch = 12;
+    config.evalScenes = 24;
+    config.lr = 0.012f;
+    return std::make_unique<ObjectDetectionTask>(config, seed);
+}
+
+} // namespace aib::models

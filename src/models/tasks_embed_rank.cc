@@ -1,0 +1,473 @@
+/**
+ * @file
+ * Embedding and ranking tasks: Face Embedding (DC-AI-C7, FaceNet
+ * triplet training), Recommendation (DC-AI-C10, neural collaborative
+ * filtering, shared with MLPerf) and Learning to Rank (DC-AI-C16,
+ * ranking distillation: a pre-trained matrix-factorization teacher
+ * supervises a compact student).
+ */
+
+#include <algorithm>
+#include <memory>
+#include <unordered_set>
+
+#include "data/synth_images.h"
+#include "data/synth_ratings.h"
+#include "metrics/ranking.h"
+#include "models/task_common.h"
+#include "models/tasks.h"
+#include "nn/layers.h"
+#include "nn/losses.h"
+#include "nn/optim.h"
+
+namespace aib::models {
+
+namespace {
+
+using core::TrainableTask;
+
+/** Small CNN producing L2-normalized embeddings. */
+class EmbeddingNet : public nn::Module
+{
+  public:
+    explicit EmbeddingNet(Rng &rng)
+        : conv1_(3, 8, 3, 2, 1, rng), conv2_(8, 16, 3, 2, 1, rng),
+          fc_(16, 16, rng)
+    {
+        registerModule("conv1", &conv1_);
+        registerModule("conv2", &conv2_);
+        registerModule("fc", &fc_);
+    }
+
+    Tensor
+    forward(const Tensor &images)
+    {
+        Tensor h = ops::relu(conv1_.forward(images));
+        h = ops::relu(conv2_.forward(h));
+        Tensor e = fc_.forward(ops::globalAvgPool2d(h));
+        return detail::l2NormalizeRows(e);
+    }
+
+  private:
+    nn::Conv2d conv1_, conv2_;
+    nn::Linear fc_;
+};
+
+/** DC-AI-C7: triplet-trained verification. */
+class FaceEmbeddingTask : public TrainableTask
+{
+  public:
+    explicit FaceEmbeddingTask(std::uint64_t seed)
+        : rng_(seed), gen_(12, 3, 12, 0.06f, /*fixed data seed*/ 0xcc * 2654435761ULL), net_(rng_),
+          opt_(net_.parameters(), 0.003f)
+    {
+        // Fixed verification pairs: half same-identity, half not.
+        for (int i = 0; i < 60; ++i) {
+            const int id =
+                static_cast<int>(rng_.uniformInt(0, 11));
+            evalA_.push_back(gen_.sampleOf(id));
+            evalB_.push_back(gen_.sampleOf(id));
+            evalSame_.push_back(true);
+            int other = static_cast<int>(rng_.uniformInt(0, 10));
+            if (other >= id)
+                ++other;
+            evalA_.push_back(gen_.sampleOf(id));
+            evalB_.push_back(gen_.sampleOf(other));
+            evalSame_.push_back(false);
+        }
+    }
+
+    void
+    runEpoch() override
+    {
+        for (int step = 0; step < 10; ++step) {
+            auto triplet = gen_.tripletBatch(12);
+            ops::recordHostToDeviceCopy(triplet.anchor);
+            opt_.zeroGrad();
+            Tensor loss = nn::tripletLoss(
+                net_.forward(triplet.anchor),
+                net_.forward(triplet.positive),
+                net_.forward(triplet.negative), 0.3f);
+            loss.backward();
+            opt_.step();
+        }
+    }
+
+    double
+    evaluate() override
+    {
+        detail::EvalGuard guard(net_);
+        NoGradGuard no_grad;
+        // Verification accuracy at the best distance threshold.
+        std::vector<float> dists;
+        for (std::size_t i = 0; i < evalA_.size(); ++i) {
+            Tensor ea = net_.forward(asBatch(evalA_[i]));
+            Tensor eb = net_.forward(asBatch(evalB_[i]));
+            float d = 0.0f;
+            for (std::int64_t k = 0; k < ea.numel(); ++k) {
+                const float diff = ea.data()[k] - eb.data()[k];
+                d += diff * diff;
+            }
+            dists.push_back(d);
+        }
+        double best = 0.0;
+        for (float threshold = 0.05f; threshold < 2.0f;
+             threshold += 0.05f) {
+            int correct = 0;
+            for (std::size_t i = 0; i < dists.size(); ++i) {
+                const bool predicted_same = dists[i] < threshold;
+                correct += predicted_same == evalSame_[i];
+            }
+            best = std::max(
+                best, static_cast<double>(correct) /
+                          static_cast<double>(dists.size()));
+        }
+        return best;
+    }
+
+    nn::Module &model() override { return net_; }
+
+    void
+    forwardOnce() override
+    {
+        detail::EvalGuard guard(net_);
+        NoGradGuard no_grad;
+        (void)net_.forward(asBatch(gen_.sampleOf(0)));
+    }
+
+  private:
+    static Tensor
+    asBatch(const Tensor &img)
+    {
+        return ops::reshape(
+            img, {1, img.dim(0), img.dim(1), img.dim(2)});
+    }
+
+    Rng rng_;
+    data::IdentityImageGenerator gen_;
+    EmbeddingNet net_;
+    nn::Adam opt_;
+    std::vector<Tensor> evalA_, evalB_;
+    std::vector<bool> evalSame_;
+};
+
+/** Neural collaborative filtering: GMF + MLP fusion, as in [49]. */
+class NcfNet : public nn::Module
+{
+  public:
+    NcfNet(int users, int items, std::int64_t dim, Rng &rng)
+        : userEmbed_(users, dim, rng), itemEmbed_(items, dim, rng),
+          userMlp_(users, dim, rng), itemMlp_(items, dim, rng),
+          mlp1_(2 * dim, dim, rng), mlp2_(dim, dim / 2, rng),
+          fuse_(dim + dim / 2, 1, rng)
+    {
+        registerModule("userEmbed", &userEmbed_);
+        registerModule("itemEmbed", &itemEmbed_);
+        registerModule("userMlp", &userMlp_);
+        registerModule("itemMlp", &itemMlp_);
+        registerModule("mlp1", &mlp1_);
+        registerModule("mlp2", &mlp2_);
+        registerModule("fuse", &fuse_);
+    }
+
+    /** Interaction logits (N) for (user, item) index pairs. */
+    Tensor
+    forward(const std::vector<int> &users,
+            const std::vector<int> &items)
+    {
+        Tensor gmf = ops::mul(userEmbed_.forward(users),
+                              itemEmbed_.forward(items));
+        Tensor mlp_in = ops::concat(
+            {userMlp_.forward(users), itemMlp_.forward(items)}, 1);
+        Tensor mlp = ops::relu(mlp2_.forward(
+            ops::relu(mlp1_.forward(mlp_in))));
+        Tensor fused = fuse_.forward(ops::concat({gmf, mlp}, 1));
+        return ops::reshape(fused,
+                            {static_cast<std::int64_t>(users.size())});
+    }
+
+  private:
+    nn::Embedding userEmbed_, itemEmbed_, userMlp_, itemMlp_;
+    nn::Linear mlp1_, mlp2_, fuse_;
+};
+
+/** DC-AI-C10 / MLPerf recommendation. */
+class RecommendationTask : public TrainableTask
+{
+  public:
+    explicit RecommendationTask(std::uint64_t seed)
+        : rng_(seed), gen_(64, 120, 5, 8, /*fixed data seed*/ 0xdd * 2654435761ULL),
+          net_(64, 120, 16, rng_), opt_(net_.parameters(), 0.01f)
+    {
+        // Pre-sample the evaluation negatives once (NCF protocol).
+        for (int u = 0; u < gen_.users(); ++u)
+            evalNegatives_.push_back(gen_.sampleNegatives(u, 50));
+    }
+
+    void
+    runEpoch() override
+    {
+        const auto &train = gen_.trainSet();
+        for (int step = 0; step < 8; ++step) {
+            std::vector<int> users, items;
+            Tensor labels = Tensor::empty({64});
+            for (int i = 0; i < 64; ++i) {
+                if (i % 2 == 0) {
+                    const auto &inter = train[static_cast<std::size_t>(
+                        rng_.uniformInt(
+                            0, static_cast<std::int64_t>(
+                                   train.size()) - 1))];
+                    users.push_back(inter.user);
+                    items.push_back(inter.item);
+                    labels.data()[i] = 1.0f;
+                } else {
+                    const int u = static_cast<int>(
+                        rng_.uniformInt(0, gen_.users() - 1));
+                    users.push_back(u);
+                    items.push_back(gen_.sampleNegative(u));
+                    labels.data()[i] = 0.0f;
+                }
+            }
+            opt_.zeroGrad();
+            nn::bceWithLogits(net_.forward(users, items), labels)
+                .backward();
+            opt_.step();
+        }
+    }
+
+    double
+    evaluate() override
+    {
+        detail::EvalGuard guard(net_);
+        NoGradGuard no_grad;
+        // HR@10 over held-out positives vs 50 sampled negatives.
+        std::vector<std::vector<float>> scores;
+        std::vector<int> truth;
+        for (int u = 0; u < gen_.users(); ++u) {
+            std::vector<int> users, items;
+            items.push_back(
+                gen_.heldOut()[static_cast<std::size_t>(u)]);
+            for (int neg :
+                 evalNegatives_[static_cast<std::size_t>(u)])
+                items.push_back(neg);
+            users.assign(items.size(), u);
+            Tensor s = net_.forward(users, items);
+            scores.emplace_back(s.data(), s.data() + s.numel());
+            truth.push_back(0); // held-out item is index 0
+        }
+        return metrics::hitRateAtK(scores, truth, 10);
+    }
+
+    nn::Module &model() override { return net_; }
+
+    void
+    forwardOnce() override
+    {
+        detail::EvalGuard guard(net_);
+        NoGradGuard no_grad;
+        (void)net_.forward({0}, {0});
+    }
+
+  private:
+    Rng rng_;
+    data::InteractionGenerator gen_;
+    NcfNet net_;
+    nn::Adam opt_;
+    std::vector<std::vector<int>> evalNegatives_;
+};
+
+/** Plain matrix factorization scorer (teacher and student bodies). */
+class MfNet : public nn::Module
+{
+  public:
+    MfNet(int users, int items, std::int64_t dim, Rng &rng)
+        : userEmbed_(users, dim, rng), itemEmbed_(items, dim, rng)
+    {
+        registerModule("userEmbed", &userEmbed_);
+        registerModule("itemEmbed", &itemEmbed_);
+    }
+
+    Tensor
+    forward(const std::vector<int> &users,
+            const std::vector<int> &items)
+    {
+        Tensor prod = ops::mul(userEmbed_.forward(users),
+                               itemEmbed_.forward(items));
+        return ops::reshape(ops::sumDim(prod, 1),
+                            {static_cast<std::int64_t>(users.size())});
+    }
+
+  private:
+    nn::Embedding userEmbed_, itemEmbed_;
+};
+
+/**
+ * DC-AI-C16: ranking distillation. A 16-dim teacher is trained with
+ * BPR at construction; the 4-dim student learns from observed
+ * interactions plus the teacher's top-ranked unobserved items,
+ * as in Tang & Wang's ranking distillation.
+ */
+class LearningToRankTask : public TrainableTask
+{
+  public:
+    explicit LearningToRankTask(std::uint64_t seed)
+        : rng_(seed), gen_(30, 100, 4, 6, /*fixed data seed*/ 0xee * 2654435761ULL),
+          teacher_(30, 100, 16, rng_), student_(30, 100, 4, rng_),
+          teacherOpt_(teacher_.parameters(), 0.05f),
+          studentOpt_(student_.parameters(), 0.0025f)
+    {
+        // True relevant set per user: top-10 items by latent affinity.
+        for (int u = 0; u < gen_.users(); ++u) {
+            std::vector<float> affinity;
+            for (int i = 0; i < gen_.items(); ++i)
+                affinity.push_back(gen_.trueAffinity(u, i));
+            auto top = metrics::topKIndices(affinity, 10);
+            relevant_.emplace_back(top.begin(), top.end());
+        }
+        trainTeacher();
+        cacheTeacherTopK();
+    }
+
+    void
+    runEpoch() override
+    {
+        const auto &train = gen_.trainSet();
+        for (int step = 0; step < 4; ++step) {
+            std::vector<int> users, pos, neg;
+            for (int i = 0; i < 32; ++i) {
+                const auto &inter = train[static_cast<std::size_t>(
+                    rng_.uniformInt(
+                        0, static_cast<std::int64_t>(train.size()) -
+                               1))];
+                users.push_back(inter.user);
+                pos.push_back(inter.item);
+                neg.push_back(gen_.sampleNegative(inter.user));
+            }
+            // Distillation half: teacher's top items act as extra
+            // positives for the student.
+            std::vector<int> dusers, dpos, dneg;
+            for (int i = 0; i < 32; ++i) {
+                const int u = static_cast<int>(
+                    rng_.uniformInt(0, gen_.users() - 1));
+                const auto &top =
+                    teacherTop_[static_cast<std::size_t>(u)];
+                dusers.push_back(u);
+                dpos.push_back(top[static_cast<std::size_t>(
+                    rng_.uniformInt(
+                        0,
+                        static_cast<std::int64_t>(top.size()) - 1))]);
+                dneg.push_back(gen_.sampleNegative(u));
+            }
+            studentOpt_.zeroGrad();
+            Tensor loss = ops::add(
+                nn::bprLoss(student_.forward(users, pos),
+                            student_.forward(users, neg)),
+                ops::mulScalar(
+                    nn::bprLoss(student_.forward(dusers, dpos),
+                                student_.forward(dusers, dneg)),
+                    0.5f));
+            loss.backward();
+            studentOpt_.step();
+        }
+    }
+
+    double
+    evaluate() override
+    {
+        detail::EvalGuard guard(student_);
+        NoGradGuard no_grad;
+        std::vector<std::vector<int>> ranked;
+        for (int u = 0; u < gen_.users(); ++u) {
+            std::vector<int> users(
+                static_cast<std::size_t>(gen_.items()), u);
+            std::vector<int> items;
+            for (int i = 0; i < gen_.items(); ++i)
+                items.push_back(i);
+            Tensor s = student_.forward(users, items);
+            std::vector<float> scores(s.data(),
+                                      s.data() + s.numel());
+            ranked.push_back(metrics::topKIndices(scores, 10));
+        }
+        return metrics::meanPrecisionAtK(ranked, relevant_, 10);
+    }
+
+    nn::Module &model() override { return student_; }
+
+    void
+    forwardOnce() override
+    {
+        detail::EvalGuard guard(student_);
+        NoGradGuard no_grad;
+        (void)student_.forward({0}, {0});
+    }
+
+  private:
+    void
+    trainTeacher()
+    {
+        const auto &train = gen_.trainSet();
+        for (int step = 0; step < 120; ++step) {
+            std::vector<int> users, pos, neg;
+            for (int i = 0; i < 32; ++i) {
+                const auto &inter = train[static_cast<std::size_t>(
+                    rng_.uniformInt(
+                        0, static_cast<std::int64_t>(train.size()) -
+                               1))];
+                users.push_back(inter.user);
+                pos.push_back(inter.item);
+                neg.push_back(gen_.sampleNegative(inter.user));
+            }
+            teacherOpt_.zeroGrad();
+            nn::bprLoss(teacher_.forward(users, pos),
+                        teacher_.forward(users, neg))
+                .backward();
+            teacherOpt_.step();
+        }
+    }
+
+    void
+    cacheTeacherTopK()
+    {
+        NoGradGuard no_grad;
+        for (int u = 0; u < gen_.users(); ++u) {
+            std::vector<int> users(
+                static_cast<std::size_t>(gen_.items()), u);
+            std::vector<int> items;
+            for (int i = 0; i < gen_.items(); ++i)
+                items.push_back(i);
+            Tensor s = teacher_.forward(users, items);
+            std::vector<float> scores(s.data(),
+                                      s.data() + s.numel());
+            teacherTop_.push_back(metrics::topKIndices(scores, 10));
+        }
+    }
+
+    Rng rng_;
+    data::InteractionGenerator gen_;
+    MfNet teacher_, student_;
+    nn::Adam teacherOpt_, studentOpt_;
+    std::vector<std::unordered_set<int>> relevant_;
+    std::vector<std::vector<int>> teacherTop_;
+};
+
+} // namespace
+
+std::unique_ptr<core::TrainableTask>
+makeFaceEmbeddingTask(std::uint64_t seed)
+{
+    return std::make_unique<FaceEmbeddingTask>(seed);
+}
+
+std::unique_ptr<core::TrainableTask>
+makeRecommendationTask(std::uint64_t seed)
+{
+    return std::make_unique<RecommendationTask>(seed);
+}
+
+std::unique_ptr<core::TrainableTask>
+makeLearningToRankTask(std::uint64_t seed)
+{
+    return std::make_unique<LearningToRankTask>(seed);
+}
+
+} // namespace aib::models

@@ -1,0 +1,395 @@
+/**
+ * @file
+ * Generative adversarial tasks: Image Generation (DC-AI-C2,
+ * Wasserstein GAN with weight clipping and an RMSProp critic, as in
+ * Arjovsky et al.) and Image-to-Image translation (DC-AI-C5,
+ * CycleGAN with two generators, two patch discriminators and a
+ * cycle-consistency loss).
+ *
+ * Following the paper (Sec. 5.4.1), these two tasks have no widely
+ * accepted quality metric; the registry marks them accordingly, so
+ * they are excluded from the run-to-run variation study and from
+ * subset candidacy. For monitoring we report the estimated
+ * Earth-Mover distance (C2) and Cityscapes-style per-pixel accuracy
+ * (C5).
+ */
+
+#include <memory>
+
+#include "data/synth_images.h"
+#include "metrics/image.h"
+#include "metrics/ranking.h"
+#include "models/task_common.h"
+#include "models/tasks.h"
+#include "nn/layers.h"
+#include "nn/optim.h"
+
+namespace aib::models {
+
+namespace {
+
+using core::TrainableTask;
+
+/** Four-layer ReLU MLP, the WGAN generator/critic body of [34]. */
+class Mlp4 : public nn::Layer
+{
+  public:
+    Mlp4(std::int64_t in, std::int64_t hidden, std::int64_t out,
+         bool sigmoid_out, Rng &rng)
+        : l1_(in, hidden, rng), l2_(hidden, hidden, rng),
+          l3_(hidden, hidden, rng), l4_(hidden, out, rng),
+          sigmoidOut_(sigmoid_out)
+    {
+        registerModule("l1", &l1_);
+        registerModule("l2", &l2_);
+        registerModule("l3", &l3_);
+        registerModule("l4", &l4_);
+    }
+
+    Tensor
+    forward(const Tensor &x) override
+    {
+        Tensor h = ops::relu(l1_.forward(x));
+        h = ops::relu(l2_.forward(h));
+        h = ops::relu(l3_.forward(h));
+        Tensor out = l4_.forward(h);
+        return sigmoidOut_ ? ops::sigmoid(out) : out;
+    }
+
+  private:
+    nn::Linear l1_, l2_, l3_, l4_;
+    bool sigmoidOut_;
+};
+
+/** DC-AI-C2: WGAN on a 2-D ring mixture. */
+class WganTask : public TrainableTask
+{
+  public:
+    explicit WganTask(std::uint64_t seed)
+        : rng_(seed), generator_(4, 48, 2, false, rng_),
+          critic_(2, 48, 1, false, rng_),
+          genOpt_(generator_.parameters(), 0.003f),
+          criticOpt_(critic_.parameters(), 0.003f)
+    {
+        evalReal_ = realBatch(512);
+    }
+
+    void
+    runEpoch() override
+    {
+        for (int step = 0; step < 12; ++step) {
+            // n_critic updates of the critic with weight clipping.
+            for (int k = 0; k < 3; ++k) {
+                Tensor real = realBatch(32);
+                Tensor fake = generate(32).detach();
+                criticOpt_.zeroGrad();
+                Tensor loss = ops::sub(ops::mean(critic_.forward(fake)),
+                                       ops::mean(critic_.forward(real)));
+                loss.backward();
+                criticOpt_.step();
+                clipCriticWeights(0.1f);
+            }
+            genOpt_.zeroGrad();
+            Tensor fake = generate(32);
+            Tensor gen_loss = ops::neg(ops::mean(critic_.forward(fake)));
+            gen_loss.backward();
+            genOpt_.step();
+        }
+    }
+
+    double
+    evaluate() override
+    {
+        NoGradGuard no_grad;
+        // Estimated EM distance: sliced Wasserstein over 8 fixed
+        // projection directions between real and generated samples.
+        Tensor fake = generate(512);
+        double total = 0.0;
+        const int directions = 8;
+        for (int d = 0; d < directions; ++d) {
+            const float angle = 3.14159265f *
+                                static_cast<float>(d) / directions;
+            const float cx = std::cos(angle), sy = std::sin(angle);
+            std::vector<float> pr, pf;
+            const float *r = evalReal_.data();
+            const float *f = fake.data();
+            for (std::int64_t i = 0; i < 512; ++i) {
+                pr.push_back(r[2 * i] * cx + r[2 * i + 1] * sy);
+                pf.push_back(f[2 * i] * cx + f[2 * i + 1] * sy);
+            }
+            total += metrics::wasserstein1d(pr, pf);
+        }
+        return total / directions;
+    }
+
+    nn::Module &model() override { return generator_; }
+
+    void
+    forwardOnce() override
+    {
+        NoGradGuard no_grad;
+        (void)generate(1);
+    }
+
+  private:
+    Tensor
+    realBatch(int n)
+    {
+        // Ring of 8 Gaussians, radius 2 (the classic WGAN toy set).
+        Tensor out = Tensor::empty({n, 2});
+        float *p = out.data();
+        for (int i = 0; i < n; ++i) {
+            const int mode = static_cast<int>(rng_.uniformInt(0, 7));
+            const float angle = 2.0f * 3.14159265f * mode / 8.0f;
+            p[2 * i] = 2.0f * std::cos(angle) + 0.05f * rng_.normal();
+            p[2 * i + 1] =
+                2.0f * std::sin(angle) + 0.05f * rng_.normal();
+        }
+        ops::recordHostToDeviceCopy(out);
+        return out;
+    }
+
+    Tensor
+    generate(int n)
+    {
+        return generator_.forward(Tensor::randn({n, 4}, rng_));
+    }
+
+    void
+    clipCriticWeights(float c)
+    {
+        for (Tensor &p : critic_.parameters()) {
+            float *d = p.data();
+            for (std::int64_t i = 0; i < p.numel(); ++i)
+                d[i] = std::clamp(d[i], -c, c);
+        }
+    }
+
+    Rng rng_;
+    Mlp4 generator_, critic_;
+    nn::RmsProp genOpt_, criticOpt_;
+    Tensor evalReal_;
+};
+
+/** Small conv generator for same-resolution image translation. */
+class ConvTranslator : public nn::Layer
+{
+  public:
+    explicit ConvTranslator(Rng &rng)
+        : c1_(3, 8, 3, 1, 1, rng), c2_(8, 8, 3, 1, 1, rng),
+          c3_(8, 3, 3, 1, 1, rng)
+    {
+        registerModule("c1", &c1_);
+        registerModule("c2", &c2_);
+        registerModule("c3", &c3_);
+    }
+
+    Tensor
+    forward(const Tensor &x) override
+    {
+        Tensor h = ops::relu(c1_.forward(x));
+        h = ops::relu(c2_.forward(h));
+        return ops::sigmoid(c3_.forward(h));
+    }
+
+  private:
+    nn::Conv2d c1_, c2_, c3_;
+};
+
+/** 70x70-PatchGAN-style discriminator, scaled to small images. */
+class PatchDiscriminator : public nn::Layer
+{
+  public:
+    explicit PatchDiscriminator(Rng &rng)
+        : c1_(3, 8, 3, 2, 1, rng), c2_(8, 1, 3, 2, 1, rng)
+    {
+        registerModule("c1", &c1_);
+        registerModule("c2", &c2_);
+    }
+
+    /** Patch logits (N, 1, H/4, W/4). */
+    Tensor
+    forward(const Tensor &x) override
+    {
+        return c2_.forward(ops::leakyRelu(c1_.forward(x), 0.2f));
+    }
+
+  private:
+    nn::Conv2d c1_, c2_;
+};
+
+/** DC-AI-C5: CycleGAN-style unpaired domain translation. */
+class CycleGanTask : public TrainableTask
+{
+  public:
+    explicit CycleGanTask(std::uint64_t seed)
+        : rng_(seed), gen_(3, 16, 0.02f, /*fixed data seed*/ 0x99 * 2654435761ULL), gAB_(rng_),
+          gBA_(rng_), dA_(rng_), dB_(rng_),
+          genOpt_(collectParams({&gAB_, &gBA_}), 0.002f),
+          discOpt_(collectParams({&dA_, &dB_}), 0.002f)
+    {
+        for (int i = 0; i < 40; ++i)
+            evalScenes_.push_back(gen_.sample());
+    }
+
+    void
+    runEpoch() override
+    {
+        for (int step = 0; step < 8; ++step) {
+            auto [a, b] = unpairedBatch(8);
+
+            // Discriminator phase (LSGAN objectives).
+            discOpt_.zeroGrad();
+            Tensor fake_b = gAB_.forward(a).detach();
+            Tensor fake_a = gBA_.forward(b).detach();
+            Tensor d_loss = ops::add(
+                ops::add(lsgan(dB_.forward(b), 1.0f),
+                         lsgan(dB_.forward(fake_b), 0.0f)),
+                ops::add(lsgan(dA_.forward(a), 1.0f),
+                         lsgan(dA_.forward(fake_a), 0.0f)));
+            d_loss.backward();
+            discOpt_.step();
+
+            // Generator phase: adversarial + cycle consistency.
+            genOpt_.zeroGrad();
+            Tensor fb = gAB_.forward(a);
+            Tensor fa = gBA_.forward(b);
+            Tensor cycle_a = gBA_.forward(fb);
+            Tensor cycle_b = gAB_.forward(fa);
+            Tensor g_loss = ops::add(
+                ops::add(lsgan(dB_.forward(fb), 1.0f),
+                         lsgan(dA_.forward(fa), 1.0f)),
+                ops::mulScalar(
+                    ops::add(ops::mseLoss(cycle_a, a),
+                             ops::mseLoss(cycle_b, b)),
+                    10.0f));
+            g_loss.backward();
+            genOpt_.step();
+        }
+    }
+
+    double
+    evaluate() override
+    {
+        detail::EvalGuard guard_ab(gAB_);
+        NoGradGuard no_grad;
+        // Cityscapes-style per-pixel accuracy: translate A->B and
+        // classify each pixel by nearest class color.
+        double total = 0.0;
+        for (const data::PairedScene &scene : evalScenes_) {
+            Tensor translated = gAB_.forward(
+                ops::reshape(scene.domainA, {1, 3, 16, 16}));
+            Tensor pred_map = classifyPixels(translated);
+            total += metrics::perPixelAccuracy(pred_map,
+                                               scene.labelMap);
+        }
+        return total / static_cast<double>(evalScenes_.size());
+    }
+
+    nn::Module &model() override { return gAB_; }
+
+    void
+    forwardOnce() override
+    {
+        NoGradGuard no_grad;
+        data::PairedScene s = gen_.sample();
+        (void)gAB_.forward(ops::reshape(s.domainA, {1, 3, 16, 16}));
+    }
+
+  private:
+    static std::vector<Tensor>
+    collectParams(std::initializer_list<nn::Module *> modules)
+    {
+        std::vector<Tensor> out;
+        for (nn::Module *m : modules) {
+            auto p = m->parameters();
+            out.insert(out.end(), p.begin(), p.end());
+        }
+        return out;
+    }
+
+    Tensor
+    lsgan(const Tensor &logits, float target)
+    {
+        return ops::mseLoss(logits, Tensor::full(logits.shape(),
+                                                 target));
+    }
+
+    std::pair<Tensor, Tensor>
+    unpairedBatch(int n)
+    {
+        Tensor a = Tensor::empty({n, 3, 16, 16});
+        Tensor b = Tensor::empty({n, 3, 16, 16});
+        const std::int64_t stride = 3 * 16 * 16;
+        for (int i = 0; i < n; ++i) {
+            // Draw A and B from different scenes: unpaired training.
+            data::PairedScene sa = gen_.sample();
+            data::PairedScene sb = gen_.sample();
+            std::copy(sa.domainA.data(), sa.domainA.data() + stride,
+                      a.data() + i * stride);
+            std::copy(sb.domainB.data(), sb.domainB.data() + stride,
+                      b.data() + i * stride);
+        }
+        ops::recordHostToDeviceCopy(a);
+        ops::recordHostToDeviceCopy(b);
+        return {a, b};
+    }
+
+    /** Nearest-class-color pixel labelling of a (1,3,H,W) image. */
+    Tensor
+    classifyPixels(const Tensor &image)
+    {
+        static const float palette[4][3] = {
+            {0.0f, 0.0f, 0.0f},  // background
+            {0.9f, 0.2f, 0.2f},  // class 1 (shape class 0)
+            {0.2f, 0.9f, 0.2f},  // class 2
+            {0.2f, 0.2f, 0.9f},  // class 3
+        };
+        Tensor out = Tensor::zeros({16, 16});
+        const float *img = image.data();
+        for (int y = 0; y < 16; ++y) {
+            for (int x = 0; x < 16; ++x) {
+                int best = 0;
+                float best_d = 1e9f;
+                for (int c = 0; c < 4; ++c) {
+                    float d = 0.0f;
+                    for (int ch = 0; ch < 3; ++ch) {
+                        const float diff =
+                            img[(ch * 16 + y) * 16 + x] -
+                            palette[c][ch];
+                        d += diff * diff;
+                    }
+                    if (d < best_d) {
+                        best_d = d;
+                        best = c;
+                    }
+                }
+                out.data()[y * 16 + x] = static_cast<float>(best);
+            }
+        }
+        return out;
+    }
+
+    Rng rng_;
+    data::PairedDomainGenerator gen_;
+    ConvTranslator gAB_, gBA_;
+    PatchDiscriminator dA_, dB_;
+    nn::Adam genOpt_, discOpt_;
+    std::vector<data::PairedScene> evalScenes_;
+};
+
+} // namespace
+
+std::unique_ptr<core::TrainableTask>
+makeImageGenerationTask(std::uint64_t seed)
+{
+    return std::make_unique<WganTask>(seed);
+}
+
+std::unique_ptr<core::TrainableTask>
+makeImageToImageTask(std::uint64_t seed)
+{
+    return std::make_unique<CycleGanTask>(seed);
+}
+
+} // namespace aib::models

@@ -1,0 +1,321 @@
+/**
+ * @file
+ * Multimodal tasks: Image-to-Text captioning (DC-AI-C4, a vision CNN
+ * feeding a language-generating RNN, the "Show and Tell" structure)
+ * and Speech Recognition (DC-AI-C6, DeepSpeech2-style convolutional
+ * input layer + bidirectional GRU + framewise softmax).
+ */
+
+#include <memory>
+
+#include "data/synth_audio.h"
+#include "data/synth_images.h"
+#include "data/synth_text.h"
+#include "metrics/classification.h"
+#include "metrics/text.h"
+#include "models/task_common.h"
+#include "models/tasks.h"
+#include "nn/layers.h"
+#include "nn/optim.h"
+#include "nn/rnn.h"
+
+namespace aib::models {
+
+namespace {
+
+using core::TrainableTask;
+
+/**
+ * DC-AI-C4: CNN encoder + GRU decoder. Deliberately the
+ * parameter-heaviest benchmark of the suite, mirroring Fig. 2 where
+ * Image-to-Text has the most complex model.
+ */
+class CaptionerNet : public nn::Module
+{
+  public:
+    CaptionerNet(int classes, Rng &rng)
+        : vocab_(2 + 2 * classes), hidden_(160),
+          conv1_(3, 8, 3, 2, 1, rng), conv2_(8, 16, 3, 2, 1, rng),
+          proj_(16, hidden_, rng), embed_(vocab_, hidden_, rng),
+          cell_(hidden_, hidden_, rng), out_(hidden_, vocab_, rng)
+    {
+        registerModule("conv1", &conv1_);
+        registerModule("conv2", &conv2_);
+        registerModule("proj", &proj_);
+        registerModule("embed", &embed_);
+        registerModule("cell", &cell_);
+        registerModule("out", &out_);
+    }
+
+    int vocab() const { return vocab_; }
+
+    /** Initial decoder state from an image batch. */
+    Tensor
+    encode(const Tensor &images)
+    {
+        Tensor h = ops::relu(conv1_.forward(images));
+        h = ops::relu(conv2_.forward(h));
+        return ops::tanh(proj_.forward(ops::globalAvgPool2d(h)));
+    }
+
+    /**
+     * Teacher-forced logits (B, steps, V) given per-step input
+     * tokens (the caption without its final token).
+     */
+    Tensor
+    decode(Tensor h, const std::vector<std::vector<int>> &inputs)
+    {
+        const auto b = static_cast<std::int64_t>(inputs.size());
+        const auto steps =
+            static_cast<std::int64_t>(inputs.front().size());
+        std::vector<Tensor> logits;
+        for (std::int64_t t = 0; t < steps; ++t) {
+            std::vector<int> tokens;
+            tokens.reserve(static_cast<std::size_t>(b));
+            for (const auto &row : inputs)
+                tokens.push_back(row[static_cast<std::size_t>(t)]);
+            h = cell_.forward(embed_.forward(tokens), h);
+            logits.push_back(ops::reshape(
+                out_.forward(h),
+                {b, 1, static_cast<std::int64_t>(vocab_)}));
+        }
+        return ops::concat(logits, 1);
+    }
+
+  private:
+    int vocab_;
+    std::int64_t hidden_;
+    nn::Conv2d conv1_, conv2_;
+    nn::Linear proj_;
+    nn::Embedding embed_;
+    nn::GRUCell cell_;
+    nn::Linear out_;
+};
+
+class ImageToTextTask : public TrainableTask
+{
+  public:
+    explicit ImageToTextTask(std::uint64_t seed)
+        : rng_(seed), gen_(8, 3, 16, 0.08f, /*fixed data seed*/ 0xaa * 2654435761ULL), captions_(8),
+          net_(8, rng_), opt_(net_.parameters(), 0.004f),
+          evalSet_(gen_.batch(80))
+    {}
+
+    void
+    runEpoch() override
+    {
+        for (int step = 0; step < 10; ++step) {
+            data::ImageBatch b = gen_.batch(12);
+            ops::recordHostToDeviceCopy(b.images);
+            opt_.zeroGrad();
+            ops::crossEntropyLogits(
+                ops::reshape(logitsFor(b), {-1, net_.vocab()}),
+                targetTokens(b.labels))
+                .backward();
+            opt_.step();
+        }
+    }
+
+    double
+    evaluate() override
+    {
+        detail::EvalGuard guard(net_);
+        NoGradGuard no_grad;
+        Tensor logits = ops::reshape(logitsFor(evalSet_),
+                                     {-1, net_.vocab()});
+        return metrics::perplexity(logits,
+                                   targetTokens(evalSet_.labels));
+    }
+
+    nn::Module &model() override { return net_; }
+
+    void
+    forwardOnce() override
+    {
+        detail::EvalGuard guard(net_);
+        NoGradGuard no_grad;
+        data::ImageBatch b = gen_.batch(1);
+        (void)logitsFor(b);
+    }
+
+  private:
+    /** Teacher inputs = caption[:-1]; targets = caption[1:]. */
+    Tensor
+    logitsFor(const data::ImageBatch &batch)
+    {
+        std::vector<std::vector<int>> inputs;
+        for (int label : batch.labels) {
+            auto cap = captions_.captionFor(label);
+            cap.pop_back();
+            inputs.push_back(std::move(cap));
+        }
+        return net_.decode(net_.encode(batch.images), inputs);
+    }
+
+    std::vector<int>
+    targetTokens(const std::vector<int> &labels) const
+    {
+        std::vector<int> out;
+        for (int label : labels) {
+            auto cap = captions_.captionFor(label);
+            out.insert(out.end(), cap.begin() + 1, cap.end());
+        }
+        return out;
+    }
+
+    Rng rng_;
+    data::ShapeImageGenerator gen_;
+    data::CaptionGenerator captions_;
+    CaptionerNet net_;
+    nn::Adam opt_;
+    data::ImageBatch evalSet_;
+};
+
+/**
+ * DC-AI-C6: DeepSpeech2-style acoustic model — a context
+ * (convolution-like) input layer over neighbouring frames, a
+ * bidirectional GRU, and a framewise classifier.
+ */
+class SpeechNet : public nn::Module
+{
+  public:
+    SpeechNet(int feature_dim, int classes, Rng &rng)
+        : featureDim_(feature_dim), hidden_(20),
+          input_(3 * feature_dim, hidden_, rng),
+          fwd_(hidden_, hidden_, rng), bwd_(hidden_, hidden_, rng),
+          out_(2 * hidden_, classes, rng)
+    {
+        registerModule("input", &input_);
+        registerModule("fwd", &fwd_);
+        registerModule("bwd", &bwd_);
+        registerModule("out", &out_);
+    }
+
+    /** Framewise logits (T, classes) for one utterance (T, D). */
+    Tensor
+    forward(const Tensor &frames)
+    {
+        const std::int64_t t = frames.dim(0);
+        // Context stacking: frame t sees frames t-1, t, t+1.
+        std::vector<Tensor> context_steps;
+        for (std::int64_t i = 0; i < t; ++i) {
+            const std::int64_t lo = std::max<std::int64_t>(i - 1, 0);
+            const std::int64_t hi = std::min<std::int64_t>(i + 1, t - 1);
+            Tensor ctx = ops::concat(
+                {ops::sliceDim(frames, 0, lo, lo + 1),
+                 ops::sliceDim(frames, 0, i, i + 1),
+                 ops::sliceDim(frames, 0, hi, hi + 1)},
+                1);
+            context_steps.push_back(ctx);
+        }
+        Tensor stacked = ops::concat(context_steps, 0); // (T, 3D)
+        Tensor features = ops::relu(input_.forward(stacked));
+
+        // Bidirectional GRU over frames (batch of one utterance).
+        std::vector<Tensor> steps;
+        for (std::int64_t i = 0; i < t; ++i)
+            steps.push_back(ops::sliceDim(features, 0, i, i + 1));
+        std::vector<Tensor> forward_states = nn::runGru(fwd_, steps);
+        std::vector<Tensor> reversed(steps.rbegin(), steps.rend());
+        std::vector<Tensor> backward_states =
+            nn::runGru(bwd_, reversed);
+        std::vector<Tensor> joined;
+        for (std::int64_t i = 0; i < t; ++i) {
+            joined.push_back(ops::concat(
+                {forward_states[static_cast<std::size_t>(i)],
+                 backward_states[static_cast<std::size_t>(t - 1 - i)]},
+                1));
+        }
+        return out_.forward(ops::concat(joined, 0));
+    }
+
+  private:
+    std::int64_t featureDim_;
+    std::int64_t hidden_;
+    nn::Linear input_;
+    nn::GRUCell fwd_, bwd_;
+    nn::Linear out_;
+};
+
+class SpeechRecognitionTask : public TrainableTask
+{
+  public:
+    explicit SpeechRecognitionTask(std::uint64_t seed)
+        : rng_(seed), gen_(8, 12, 3, 5, 0.25f, /*fixed data seed*/ 0xbb * 2654435761ULL),
+          net_(12, 8, rng_), opt_(net_.parameters(), 0.004f)
+    {
+        for (int i = 0; i < 25; ++i)
+            evalSet_.push_back(gen_.sample());
+    }
+
+    void
+    runEpoch() override
+    {
+        for (int step = 0; step < 6; ++step) {
+            opt_.zeroGrad();
+            Tensor loss;
+            for (int i = 0; i < 4; ++i) {
+                data::Utterance utt = gen_.sample();
+                ops::recordHostToDeviceCopy(utt.frames);
+                Tensor utt_loss = ops::crossEntropyLogits(
+                    net_.forward(utt.frames), utt.frameLabels);
+                loss = loss.defined() ? ops::add(loss, utt_loss)
+                                      : utt_loss;
+            }
+            ops::mulScalar(loss, 0.25f).backward();
+            opt_.clipGradNorm(5.0f);
+            opt_.step();
+        }
+    }
+
+    double
+    evaluate() override
+    {
+        detail::EvalGuard guard(net_);
+        NoGradGuard no_grad;
+        std::vector<std::vector<int>> refs, hyps;
+        for (const data::Utterance &utt : evalSet_) {
+            Tensor pred = ops::argmaxLastDim(net_.forward(utt.frames));
+            std::vector<int> frames;
+            for (std::int64_t i = 0; i < pred.numel(); ++i)
+                frames.push_back(static_cast<int>(pred.data()[i]));
+            refs.push_back(utt.phonemes);
+            hyps.push_back(data::UtteranceGenerator::collapse(frames));
+        }
+        return metrics::corpusWer(refs, hyps);
+    }
+
+    nn::Module &model() override { return net_; }
+
+    void
+    forwardOnce() override
+    {
+        detail::EvalGuard guard(net_);
+        NoGradGuard no_grad;
+        data::Utterance utt = gen_.sample();
+        (void)net_.forward(utt.frames);
+    }
+
+  private:
+    Rng rng_;
+    data::UtteranceGenerator gen_;
+    SpeechNet net_;
+    nn::Adam opt_;
+    std::vector<data::Utterance> evalSet_;
+};
+
+} // namespace
+
+std::unique_ptr<core::TrainableTask>
+makeImageToTextTask(std::uint64_t seed)
+{
+    return std::make_unique<ImageToTextTask>(seed);
+}
+
+std::unique_ptr<core::TrainableTask>
+makeSpeechRecognitionTask(std::uint64_t seed)
+{
+    return std::make_unique<SpeechRecognitionTask>(seed);
+}
+
+} // namespace aib::models

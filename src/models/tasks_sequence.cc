@@ -1,0 +1,731 @@
+/**
+ * @file
+ * Sequence tasks: Text-to-Text translation (DC-AI-C3, Transformer),
+ * the MLPerf recurrent (GNMT-class LSTM) and non-recurrent
+ * (Transformer-class) translation variants, Text Summarization
+ * (DC-AI-C14, attentional seq2seq) and Neural Architecture Search
+ * (DC-AI-C17, ENAS-style controller with shared child weights).
+ */
+
+#include <cmath>
+#include <memory>
+
+#include "data/synth_text.h"
+#include "metrics/classification.h"
+#include "metrics/text.h"
+#include "models/task_common.h"
+#include "models/tasks.h"
+#include "nn/attention.h"
+#include "nn/layers.h"
+#include "nn/losses.h"
+#include "nn/optim.h"
+#include "nn/rnn.h"
+
+namespace aib::models {
+
+namespace {
+
+using core::TrainableTask;
+
+/** Flatten token rows into one index vector. */
+std::vector<int>
+flatten(const std::vector<std::vector<int>> &rows)
+{
+    std::vector<int> out;
+    for (const auto &r : rows)
+        out.insert(out.end(), r.begin(), r.end());
+    return out;
+}
+
+/** Fixed-length batch of translation pairs. */
+struct PairBatch {
+    std::vector<std::vector<int>> sources, targets;
+};
+
+PairBatch
+samplePairs(data::TranslationPairGenerator &gen, int n)
+{
+    PairBatch batch;
+    for (int i = 0; i < n; ++i) {
+        data::SeqPair p = gen.sample();
+        batch.sources.push_back(std::move(p.source));
+        batch.targets.push_back(std::move(p.target));
+    }
+    return batch;
+}
+
+/** Transformer encoder-decoder over fixed-length token sequences. */
+class TransformerTranslator : public nn::Module
+{
+  public:
+    TransformerTranslator(int vocab, int len, std::int64_t dim,
+                          int heads, int blocks, Rng &rng)
+        : vocab_(vocab), len_(len), dim_(dim),
+          srcEmbed_(vocab, dim, rng), dstEmbed_(vocab + 1, dim, rng),
+          proj_(dim, vocab, rng), pe_(nn::positionalEncoding(len, dim)),
+          mask_(nn::causalMask(len))
+    {
+        registerModule("srcEmbed", &srcEmbed_);
+        registerModule("dstEmbed", &dstEmbed_);
+        registerModule("proj", &proj_);
+        for (int b = 0; b < blocks; ++b) {
+            encoder_.push_back(std::make_shared<nn::TransformerBlock>(
+                dim, heads, 2 * dim, rng));
+            decoder_.push_back(
+                std::make_shared<nn::TransformerDecoderBlock>(
+                    dim, heads, 2 * dim, rng));
+            registerModule("enc" + std::to_string(b),
+                           encoder_.back().get());
+            registerModule("dec" + std::to_string(b),
+                           decoder_.back().get());
+        }
+    }
+
+    int bosToken() const { return vocab_; }
+
+    /** Teacher-forced logits (B, L, V). */
+    Tensor
+    forward(const PairBatch &batch)
+    {
+        const auto b = static_cast<std::int64_t>(batch.sources.size());
+        Tensor src = ops::reshape(
+            srcEmbed_.forward(flatten(batch.sources)), {b, len_, dim_});
+        src = ops::add(src, pe_);
+        for (auto &block : encoder_)
+            src = block->forward(src);
+
+        // Decoder input: <bos> + target shifted right.
+        std::vector<int> dec_in;
+        for (const auto &t : batch.targets) {
+            dec_in.push_back(bosToken());
+            dec_in.insert(dec_in.end(), t.begin(), t.end() - 1);
+        }
+        Tensor dst = ops::reshape(dstEmbed_.forward(dec_in),
+                                  {b, len_, dim_});
+        dst = ops::add(dst, pe_);
+        for (auto &block : decoder_)
+            dst = block->forward(dst, src, mask_);
+        return proj_.forward(dst);
+    }
+
+  private:
+    int vocab_;
+    std::int64_t len_;
+    std::int64_t dim_;
+    nn::Embedding srcEmbed_, dstEmbed_;
+    nn::Linear proj_;
+    Tensor pe_;
+    Tensor mask_;
+    std::vector<std::shared_ptr<nn::TransformerBlock>> encoder_;
+    std::vector<std::shared_ptr<nn::TransformerDecoderBlock>> decoder_;
+};
+
+/** Shared training shell for the translation benchmarks. */
+class TranslationTaskBase : public TrainableTask
+{
+  public:
+    TranslationTaskBase(int vocab, int len, std::uint64_t seed)
+        : rng_(seed), vocab_(vocab), len_(len),
+          gen_(vocab, len, len, /*fixed data seed*/ 0x66 * 2654435761ULL),
+          evalBatch_(samplePairs(gen_, 80))
+    {}
+
+    double
+    evaluate() override
+    {
+        detail::EvalGuard guard(model());
+        NoGradGuard no_grad;
+        Tensor logits = logitsFor(evalBatch_);
+        Tensor pred = ops::argmaxLastDim(
+            ops::reshape(logits, {-1, vocab_}));
+        std::vector<std::vector<int>> hyp(evalBatch_.targets.size());
+        const float *p = pred.data();
+        std::size_t idx = 0;
+        for (auto &h : hyp)
+            for (std::int64_t t = 0; t < len_; ++t)
+                h.push_back(static_cast<int>(p[idx++]));
+        return metrics::tokenAccuracy(evalBatch_.targets, hyp);
+    }
+
+  protected:
+    virtual Tensor logitsFor(const PairBatch &batch) = 0;
+
+    Tensor
+    lossOn(const PairBatch &batch)
+    {
+        Tensor logits = logitsFor(batch);
+        return ops::crossEntropyLogits(
+            ops::reshape(logits, {-1, vocab_}),
+            flatten(batch.targets));
+    }
+
+    Rng rng_;
+    int vocab_;
+    std::int64_t len_;
+    data::TranslationPairGenerator gen_;
+    PairBatch evalBatch_;
+};
+
+/** DC-AI-C3 / MLPerf non-recurrent translation. */
+class TransformerTranslationTask : public TranslationTaskBase
+{
+  public:
+    TransformerTranslationTask(int vocab, int len, std::int64_t dim,
+                               int heads, int blocks, float lr,
+                               int steps, std::uint64_t seed)
+        : TranslationTaskBase(vocab, len, seed),
+          net_(vocab, len, dim, heads, blocks, rng_),
+          opt_(net_.parameters(), lr), steps_(steps)
+    {}
+
+    void
+    runEpoch() override
+    {
+        for (int s = 0; s < steps_; ++s) {
+            PairBatch batch = samplePairs(gen_, 16);
+            opt_.zeroGrad();
+            lossOn(batch).backward();
+            opt_.clipGradNorm(5.0f);
+            opt_.step();
+        }
+    }
+
+    nn::Module &model() override { return net_; }
+
+    void
+    forwardOnce() override
+    {
+        detail::EvalGuard guard(net_);
+        NoGradGuard no_grad;
+        (void)net_.forward(samplePairs(gen_, 1));
+    }
+
+  protected:
+    Tensor
+    logitsFor(const PairBatch &batch) override
+    {
+        return net_.forward(batch);
+    }
+
+  private:
+    TransformerTranslator net_;
+    nn::Adam opt_;
+    int steps_;
+};
+
+/** MLPerf recurrent translation: LSTM encoder-decoder (GNMT class). */
+class LstmTranslator : public nn::Module
+{
+  public:
+    LstmTranslator(int vocab, int len, std::int64_t dim, Rng &rng)
+        : vocab_(vocab), len_(len), dim_(dim),
+          srcEmbed_(vocab, dim, rng), dstEmbed_(vocab + 1, dim, rng),
+          encoder_(dim, dim, rng), decoder_(dim, dim, rng),
+          proj_(dim, vocab, rng)
+    {
+        registerModule("srcEmbed", &srcEmbed_);
+        registerModule("dstEmbed", &dstEmbed_);
+        registerModule("encoder", &encoder_);
+        registerModule("decoder", &decoder_);
+        registerModule("proj", &proj_);
+    }
+
+    int bosToken() const { return vocab_; }
+
+    Tensor
+    forward(const PairBatch &batch)
+    {
+        const auto b = static_cast<std::int64_t>(batch.sources.size());
+        Tensor src = ops::reshape(
+            srcEmbed_.forward(flatten(batch.sources)),
+            {b, len_, dim_});
+        Tensor h = Tensor::zeros({b, dim_});
+        Tensor c = Tensor::zeros({b, dim_});
+        for (std::int64_t t = 0; t < len_; ++t) {
+            Tensor x = ops::reshape(
+                ops::sliceDim(src, 1, t, t + 1), {b, dim_});
+            auto [h2, c2] = encoder_.forward(x, h, c);
+            h = h2;
+            c = c2;
+        }
+        std::vector<int> dec_in;
+        for (const auto &tgt : batch.targets) {
+            dec_in.push_back(bosToken());
+            dec_in.insert(dec_in.end(), tgt.begin(), tgt.end() - 1);
+        }
+        Tensor dst = ops::reshape(dstEmbed_.forward(dec_in),
+                                  {b, len_, dim_});
+        std::vector<Tensor> outputs;
+        for (std::int64_t t = 0; t < len_; ++t) {
+            Tensor x = ops::reshape(
+                ops::sliceDim(dst, 1, t, t + 1), {b, dim_});
+            auto [h2, c2] = decoder_.forward(x, h, c);
+            h = h2;
+            c = c2;
+            outputs.push_back(
+                ops::reshape(proj_.forward(h), {b, 1,
+                                                static_cast<std::int64_t>(
+                                                    vocab_)}));
+        }
+        return ops::concat(outputs, 1);
+    }
+
+  private:
+    int vocab_;
+    std::int64_t len_;
+    std::int64_t dim_;
+    nn::Embedding srcEmbed_, dstEmbed_;
+    nn::LSTMCell encoder_, decoder_;
+    nn::Linear proj_;
+};
+
+class LstmTranslationTask : public TranslationTaskBase
+{
+  public:
+    explicit LstmTranslationTask(std::uint64_t seed)
+        : TranslationTaskBase(16, 8, seed), net_(16, 8, 32, rng_),
+          opt_(net_.parameters(), 0.012f)
+    {}
+
+    void
+    runEpoch() override
+    {
+        for (int s = 0; s < 8; ++s) {
+            PairBatch batch = samplePairs(gen_, 16);
+            opt_.zeroGrad();
+            lossOn(batch).backward();
+            opt_.clipGradNorm(5.0f);
+            opt_.step();
+        }
+    }
+
+    nn::Module &model() override { return net_; }
+
+    void
+    forwardOnce() override
+    {
+        detail::EvalGuard guard(net_);
+        NoGradGuard no_grad;
+        (void)net_.forward(samplePairs(gen_, 1));
+    }
+
+  protected:
+    Tensor
+    logitsFor(const PairBatch &batch) override
+    {
+        return net_.forward(batch);
+    }
+
+  private:
+    LstmTranslator net_;
+    nn::Adam opt_;
+};
+
+/**
+ * DC-AI-C14: attentional GRU seq2seq summarizer. The decoder attends
+ * over encoder outputs with dot-product attention at every step.
+ */
+class Seq2SeqSummarizer : public nn::Module
+{
+  public:
+    Seq2SeqSummarizer(int vocab, int doc_len, int sum_len,
+                      std::int64_t dim, Rng &rng)
+        : vocab_(vocab), docLen_(doc_len), sumLen_(sum_len), dim_(dim),
+          embed_(vocab + 1, dim, rng), encoder_(dim, dim, rng),
+          decoder_(dim, dim, rng), proj_(2 * dim, vocab, rng)
+    {
+        registerModule("embed", &embed_);
+        registerModule("encoder", &encoder_);
+        registerModule("decoder", &decoder_);
+        registerModule("proj", &proj_);
+    }
+
+    int bosToken() const { return vocab_; }
+
+    /**
+     * Teacher-forced logits (B, sumLen, V); when @p teacher_tokens is
+     * null, decodes greedily from its own predictions.
+     */
+    Tensor
+    forward(const std::vector<std::vector<int>> &docs,
+            const std::vector<std::vector<int>> *teacher_tokens)
+    {
+        const auto b = static_cast<std::int64_t>(docs.size());
+        Tensor src = ops::reshape(embed_.forward(flatten(docs)),
+                                  {b, docLen_, dim_});
+        Tensor h = Tensor::zeros({b, dim_});
+        std::vector<Tensor> enc_steps;
+        for (std::int64_t t = 0; t < docLen_; ++t) {
+            Tensor x = ops::reshape(
+                ops::sliceDim(src, 1, t, t + 1), {b, dim_});
+            h = encoder_.forward(x, h);
+            enc_steps.push_back(
+                ops::reshape(h, {b, 1, dim_}));
+        }
+        Tensor memory = ops::concat(enc_steps, 1); // (B, L, D)
+
+        std::vector<int> prev(static_cast<std::size_t>(b), bosToken());
+        Tensor dh = h;
+        std::vector<Tensor> logits;
+        for (int t = 0; t < sumLen_; ++t) {
+            Tensor x = embed_.forward(prev); // (B, D)
+            dh = decoder_.forward(x, dh);
+            // Dot-product attention over the encoder memory.
+            Tensor q = ops::reshape(dh, {b, 1, dim_});
+            Tensor scores = ops::bmm(q, ops::transposeLast2(memory));
+            Tensor attn = ops::softmax(scores); // (B, 1, L)
+            Tensor ctx =
+                ops::reshape(ops::bmm(attn, memory), {b, dim_});
+            Tensor step_logits =
+                proj_.forward(ops::concat({dh, ctx}, 1));
+            logits.push_back(ops::reshape(
+                step_logits, {b, 1, static_cast<std::int64_t>(vocab_)}));
+            if (teacher_tokens) {
+                for (std::int64_t i = 0; i < b; ++i)
+                    prev[static_cast<std::size_t>(i)] =
+                        (*teacher_tokens)[static_cast<std::size_t>(i)][
+                            static_cast<std::size_t>(t)];
+            } else {
+                Tensor am = ops::argmaxLastDim(ops::reshape(
+                    step_logits, {b, static_cast<std::int64_t>(
+                                         vocab_)}));
+                for (std::int64_t i = 0; i < b; ++i)
+                    prev[static_cast<std::size_t>(i)] =
+                        static_cast<int>(am.data()[i]);
+            }
+        }
+        return ops::concat(logits, 1);
+    }
+
+  private:
+    int vocab_;
+    std::int64_t docLen_;
+    int sumLen_;
+    std::int64_t dim_;
+    nn::Embedding embed_;
+    nn::GRUCell encoder_, decoder_;
+    nn::Linear proj_;
+};
+
+class SummarizationTask : public TrainableTask
+{
+  public:
+    explicit SummarizationTask(std::uint64_t seed)
+        : rng_(seed), gen_(24, 12, 4, /*fixed data seed*/ 0x77 * 2654435761ULL),
+          net_(24, 12, 4, 24, rng_), opt_(net_.parameters(), 0.005f)
+    {
+        for (int i = 0; i < 60; ++i) {
+            data::SeqPair p = gen_.sample();
+            evalDocs_.push_back(std::move(p.source));
+            evalSummaries_.push_back(std::move(p.target));
+        }
+    }
+
+    void
+    runEpoch() override
+    {
+        for (int s = 0; s < 8; ++s) {
+            std::vector<std::vector<int>> docs, sums;
+            for (int i = 0; i < 12; ++i) {
+                data::SeqPair p = gen_.sample();
+                docs.push_back(std::move(p.source));
+                sums.push_back(std::move(p.target));
+            }
+            opt_.zeroGrad();
+            Tensor logits = net_.forward(docs, &sums);
+            Tensor loss = ops::crossEntropyLogits(
+                ops::reshape(logits, {-1, 24}), flatten(sums));
+            loss.backward();
+            opt_.clipGradNorm(5.0f);
+            opt_.step();
+        }
+    }
+
+    double
+    evaluate() override
+    {
+        detail::EvalGuard guard(net_);
+        NoGradGuard no_grad;
+        Tensor logits = net_.forward(evalDocs_, nullptr);
+        Tensor pred =
+            ops::argmaxLastDim(ops::reshape(logits, {-1, 24}));
+        std::vector<std::vector<int>> hyp(evalDocs_.size());
+        const float *p = pred.data();
+        std::size_t idx = 0;
+        for (auto &h : hyp)
+            for (int t = 0; t < 4; ++t)
+                h.push_back(static_cast<int>(p[idx++]));
+        return metrics::corpusRougeL(evalSummaries_, hyp);
+    }
+
+    nn::Module &model() override { return net_; }
+
+    void
+    forwardOnce() override
+    {
+        detail::EvalGuard guard(net_);
+        NoGradGuard no_grad;
+        data::SeqPair p = gen_.sample();
+        (void)net_.forward({p.source}, nullptr);
+    }
+
+  private:
+    Rng rng_;
+    data::SummarizationGenerator gen_;
+    Seq2SeqSummarizer net_;
+    nn::Adam opt_;
+    std::vector<std::vector<int>> evalDocs_, evalSummaries_;
+};
+
+/**
+ * DC-AI-C17: ENAS-style NAS. A GRU controller emits two
+ * architecture decisions (recurrent activation, hidden width) for a
+ * shared-weight character-model child trained on a Markov stream;
+ * REINFORCE rewards architectures by validation perplexity.
+ */
+class SharedChildLm : public nn::Module
+{
+  public:
+    SharedChildLm(int vocab, std::int64_t max_hidden, Rng &rng)
+        : vocab_(vocab), maxHidden_(max_hidden),
+          embed_(vocab, max_hidden, rng),
+          wx_(max_hidden, max_hidden, rng),
+          wh_(max_hidden, max_hidden, rng),
+          proj_(max_hidden, vocab, rng)
+    {
+        registerModule("embed", &embed_);
+        registerModule("wx", &wx_);
+        registerModule("wh", &wh_);
+        registerModule("proj", &proj_);
+    }
+
+    /**
+     * Teacher-forced logits over a token window under an
+     * architecture: activation in {tanh, sigmoid, relu}, width
+     * selects how many hidden units are active.
+     */
+    Tensor
+    forward(const std::vector<int> &tokens, int activation, int width)
+    {
+        const auto t =
+            static_cast<std::int64_t>(tokens.size()) - 1;
+        const std::int64_t hidden =
+            width == 0 ? maxHidden_ / 2 : maxHidden_;
+        Tensor h = Tensor::zeros({1, maxHidden_});
+        std::vector<Tensor> logits;
+        for (std::int64_t i = 0; i < t; ++i) {
+            Tensor x = embed_.forward({tokens[
+                static_cast<std::size_t>(i)]});
+            Tensor pre = ops::add(wx_.forward(x), wh_.forward(h));
+            Tensor act;
+            switch (activation) {
+              case 0: act = ops::tanh(pre); break;
+              case 1: act = ops::sigmoid(pre); break;
+              default: act = ops::tanh(ops::relu(pre)); break;
+            }
+            if (hidden < maxHidden_) {
+                // Narrow architecture: zero the upper half by slicing
+                // and re-concatenating zeros (shared-weight slicing).
+                Tensor low = ops::sliceDim(act, 1, 0, hidden);
+                Tensor zero = Tensor::zeros({1, maxHidden_ - hidden});
+                act = ops::concat({low, zero}, 1);
+            }
+            h = act;
+            logits.push_back(proj_.forward(h));
+        }
+        return ops::concat(logits, 0); // (T, V)
+    }
+
+  private:
+    int vocab_;
+    std::int64_t maxHidden_;
+    nn::Embedding embed_;
+    nn::Linear wx_, wh_, proj_;
+};
+
+class NasController : public nn::Module
+{
+  public:
+    explicit NasController(Rng &rng)
+        : cell_(4, 12, rng), actHead_(12, 3, rng), widthHead_(12, 2, rng)
+    {
+        registerModule("cell", &cell_);
+        registerModule("actHead", &actHead_);
+        registerModule("widthHead", &widthHead_);
+    }
+
+    /** Two decision logit vectors from a two-step GRU rollout. */
+    std::pair<Tensor, Tensor>
+    decisionLogits()
+    {
+        Tensor h = Tensor::zeros({1, 12});
+        Tensor x = Tensor::zeros({1, 4});
+        h = cell_.forward(x, h);
+        Tensor act_logits = actHead_.forward(h);
+        h = cell_.forward(x, h);
+        Tensor width_logits = widthHead_.forward(h);
+        return {act_logits, width_logits};
+    }
+
+  private:
+    nn::GRUCell cell_;
+    nn::Linear actHead_, widthHead_;
+};
+
+class NasTask : public TrainableTask
+{
+  public:
+    explicit NasTask(std::uint64_t seed)
+        : rng_(seed), gen_(12, 3, /*fixed data seed*/ 0x88 * 2654435761ULL),
+          child_(12, 24, rng_), controller_(rng_),
+          childOpt_(child_.parameters(), 0.01f),
+          ctrlOpt_(controller_.parameters(), 0.02f),
+          valTokens_(gen_.sampleTokens(60))
+    {}
+
+    void
+    runEpoch() override
+    {
+        // Alternate shared-weight child training and controller
+        // REINFORCE updates, as in ENAS.
+        for (int round = 0; round < 3; ++round) {
+            auto [act, width] = sampleArchitecture();
+            // Child phase: a few LM steps under the sampled arch.
+            for (int s = 0; s < 2; ++s) {
+                auto tokens = gen_.sampleTokens(24);
+                childOpt_.zeroGrad();
+                Tensor logits = child_.forward(tokens, act, width);
+                std::vector<int> targets(tokens.begin() + 1,
+                                         tokens.end());
+                ops::crossEntropyLogits(logits, targets).backward();
+                childOpt_.clipGradNorm(5.0f);
+                childOpt_.step();
+            }
+            // Controller phase: reward = -val loss of the arch.
+            const double reward = -validationLoss(act, width);
+            baseline_ = baseline_ == 0.0
+                            ? reward
+                            : 0.8 * baseline_ + 0.2 * reward;
+            ctrlOpt_.zeroGrad();
+            auto [act_logits, width_logits] =
+                controller_.decisionLogits();
+            Tensor logp = ops::add(
+                ops::nllLoss(ops::logSoftmax(act_logits), {act}),
+                ops::nllLoss(ops::logSoftmax(width_logits), {width}));
+            // nllLoss is -log pi; REINFORCE ascends reward * log pi.
+            const float advantage =
+                static_cast<float>(reward - baseline_);
+            ops::mulScalar(logp, advantage).backward();
+            ctrlOpt_.step();
+        }
+    }
+
+    double
+    evaluate() override
+    {
+        detail::EvalGuard child_guard(child_);
+        NoGradGuard no_grad;
+        // Best (argmax) architecture's validation perplexity.
+        auto [act_logits, width_logits] =
+            controller_.decisionLogits();
+        const int act = static_cast<int>(
+            ops::argmaxLastDim(act_logits).item());
+        const int width = static_cast<int>(
+            ops::argmaxLastDim(width_logits).item());
+        Tensor logits = child_.forward(valTokens_, act, width);
+        std::vector<int> targets(valTokens_.begin() + 1,
+                                 valTokens_.end());
+        return metrics::perplexity(logits, targets);
+    }
+
+    nn::Module &model() override { return child_; }
+
+    void
+    forwardOnce() override
+    {
+        detail::EvalGuard guard(child_);
+        NoGradGuard no_grad;
+        auto tokens = gen_.sampleTokens(24);
+        (void)child_.forward(tokens, 0, 1);
+    }
+
+  private:
+    std::pair<int, int>
+    sampleArchitecture()
+    {
+        NoGradGuard no_grad;
+        auto [act_logits, width_logits] =
+            controller_.decisionLogits();
+        return {sampleFrom(act_logits), sampleFrom(width_logits)};
+    }
+
+    int
+    sampleFrom(const Tensor &logits)
+    {
+        Tensor probs = ops::softmax(logits);
+        float u = rng_.uniform();
+        const float *p = probs.data();
+        for (std::int64_t i = 0; i < probs.numel(); ++i) {
+            if (u < p[i])
+                return static_cast<int>(i);
+            u -= p[i];
+        }
+        return static_cast<int>(probs.numel() - 1);
+    }
+
+    double
+    validationLoss(int act, int width)
+    {
+        NoGradGuard no_grad;
+        Tensor logits = child_.forward(valTokens_, act, width);
+        std::vector<int> targets(valTokens_.begin() + 1,
+                                 valTokens_.end());
+        return ops::crossEntropyLogits(logits, targets).item();
+    }
+
+    Rng rng_;
+    data::MarkovTextGenerator gen_;
+    SharedChildLm child_;
+    NasController controller_;
+    nn::Adam childOpt_, ctrlOpt_;
+    std::vector<int> valTokens_;
+    double baseline_ = 0.0;
+};
+
+} // namespace
+
+std::unique_ptr<core::TrainableTask>
+makeTextToTextTask(std::uint64_t seed)
+{
+    // Slow-converging per Fig. 2 (most epochs): small learning rate.
+    return std::make_unique<TransformerTranslationTask>(
+        16, 8, 24, 2, 1, 0.0009f, 10, seed);
+}
+
+std::unique_ptr<core::TrainableTask>
+makeTranslationNonRecurrentTask(std::uint64_t seed)
+{
+    // MLPerf Transformer variant: wider, two blocks, faster LR.
+    return std::make_unique<TransformerTranslationTask>(
+        16, 8, 32, 4, 2, 0.006f, 8, seed);
+}
+
+std::unique_ptr<core::TrainableTask>
+makeTranslationRecurrentTask(std::uint64_t seed)
+{
+    return std::make_unique<LstmTranslationTask>(seed);
+}
+
+std::unique_ptr<core::TrainableTask>
+makeTextSummarizationTask(std::uint64_t seed)
+{
+    return std::make_unique<SummarizationTask>(seed);
+}
+
+std::unique_ptr<core::TrainableTask>
+makeNasTask(std::uint64_t seed)
+{
+    return std::make_unique<NasTask>(seed);
+}
+
+} // namespace aib::models

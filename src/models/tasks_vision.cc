@@ -1,0 +1,389 @@
+/**
+ * @file
+ * Vision tasks: Image Classification (DC-AI-C1, shared with MLPerf),
+ * 3D Face Recognition (DC-AI-C8), Spatial Transformer (DC-AI-C15)
+ * and Image Compression (DC-AI-C12).
+ */
+
+#include <memory>
+
+#include "data/synth_images.h"
+#include "metrics/classification.h"
+#include "metrics/image.h"
+#include "models/resnet.h"
+#include "models/task_common.h"
+#include "models/tasks.h"
+#include "nn/optim.h"
+
+namespace aib::models {
+
+namespace {
+
+using core::TrainableTask;
+
+/** Wrap a (C,H,W) image as a single-sample (1,C,H,W) batch. */
+Tensor
+asBatch(const Tensor &img)
+{
+    return ops::reshape(img,
+                        {1, img.dim(0), img.dim(1), img.dim(2)});
+}
+
+/** DC-AI-C1: ResNet on synthetic shape images (ImageNet stand-in). */
+class ImageClassificationTask : public TrainableTask
+{
+  public:
+    explicit ImageClassificationTask(std::uint64_t seed)
+        : rng_(seed),
+          gen_(10, 3, 16, 0.12f, /*fixed data seed*/ 0x11 * 2654435761ULL,
+               /*color_by_class=*/false),
+          net_({3, 8, 2, 10}, rng_),
+          opt_(net_.parameters(), 0.008f, 0.9f),
+          evalSet_(gen_.batch(600))
+    {}
+
+    void
+    runEpoch() override
+    {
+        for (int step = 0; step < 20; ++step) {
+            data::ImageBatch b = gen_.batch(24);
+            ops::recordHostToDeviceCopy(b.images);
+            opt_.zeroGrad();
+            Tensor loss = ops::crossEntropyLogits(
+                net_.forward(b.images), b.labels);
+            loss.backward();
+            opt_.step();
+        }
+    }
+
+    double
+    evaluate() override
+    {
+        detail::EvalGuard guard(net_);
+        NoGradGuard no_grad;
+        return metrics::accuracy(net_.forward(evalSet_.images),
+                                 evalSet_.labels);
+    }
+
+    nn::Module &model() override { return net_; }
+
+    void
+    forwardOnce() override
+    {
+        detail::EvalGuard guard(net_);
+        NoGradGuard no_grad;
+        (void)net_.forward(asBatch(gen_.exemplar(0)));
+    }
+
+  private:
+    Rng rng_;
+    data::ShapeImageGenerator gen_;
+    SmallResNet net_;
+    nn::Sgd opt_;
+    data::ImageBatch evalSet_;
+};
+
+/**
+ * DC-AI-C8: RGB-D ResNet identity recognition. The first layer takes
+ * a 4-channel image, as in the paper's RGB-D ResNet-50 adjustment.
+ */
+class Face3dTask : public TrainableTask
+{
+  public:
+    explicit Face3dTask(std::uint64_t seed)
+        : rng_(seed), gen_(10, 4, 12, 0.08f, /*fixed data seed*/ 0x22 * 2654435761ULL),
+          net_({4, 8, 2, 10}, rng_), opt_(net_.parameters(), 0.02f)
+    {
+        // Fixed eval set of identity-labelled RGB-D images.
+        evalImages_ = Tensor::empty({120, 4, 12, 12});
+        const std::int64_t stride = 4 * 12 * 12;
+        for (int i = 0; i < 120; ++i) {
+            data::ImageSample s = gen_.sample();
+            std::copy(s.image.data(), s.image.data() + stride,
+                      evalImages_.data() + i * stride);
+            evalLabels_.push_back(s.label);
+        }
+    }
+
+    void
+    runEpoch() override
+    {
+        for (int step = 0; step < 12; ++step) {
+            const int n = 16;
+            Tensor images = Tensor::empty({n, 4, 12, 12});
+            std::vector<int> labels;
+            const std::int64_t stride = 4 * 12 * 12;
+            for (int i = 0; i < n; ++i) {
+                data::ImageSample s = gen_.sample();
+                std::copy(s.image.data(), s.image.data() + stride,
+                          images.data() + i * stride);
+                labels.push_back(s.label);
+            }
+            ops::recordHostToDeviceCopy(images);
+            opt_.zeroGrad();
+            Tensor loss = ops::crossEntropyLogits(
+                net_.forward(images), labels);
+            loss.backward();
+            opt_.step();
+        }
+    }
+
+    double
+    evaluate() override
+    {
+        detail::EvalGuard guard(net_);
+        NoGradGuard no_grad;
+        return metrics::accuracy(net_.forward(evalImages_),
+                                 evalLabels_);
+    }
+
+    nn::Module &model() override { return net_; }
+
+    void
+    forwardOnce() override
+    {
+        detail::EvalGuard guard(net_);
+        NoGradGuard no_grad;
+        (void)net_.forward(asBatch(gen_.sampleOf(0)));
+    }
+
+  private:
+    Rng rng_;
+    data::IdentityImageGenerator gen_;
+    SmallResNet net_;
+    nn::Adam opt_;
+    Tensor evalImages_;
+    std::vector<int> evalLabels_;
+};
+
+/**
+ * DC-AI-C15: spatial transformer network — a localization net
+ * predicts an affine warp, grid sampling undoes the translation, a
+ * small classifier labels the canonicalized glyph.
+ */
+class SpatialTransformerNet : public nn::Module
+{
+  public:
+    explicit SpatialTransformerNet(Rng &rng)
+        : locConv_(1, 4, 3, 2, 1, rng), locFc1_(4 * 10 * 10, 24, rng),
+          locFc2_(24, 6, rng), clsConv1_(1, 8, 3, 2, 1, rng),
+          clsConv2_(8, 8, 3, 2, 1, rng), clsFc_(8 * 5 * 5, 6, rng)
+    {
+        registerModule("locConv", &locConv_);
+        registerModule("locFc1", &locFc1_);
+        registerModule("locFc2", &locFc2_);
+        registerModule("clsConv1", &clsConv1_);
+        registerModule("clsConv2", &clsConv2_);
+        registerModule("clsFc", &clsFc_);
+        // Initialize the regression head to the identity transform.
+        locFc2_.weight.fill(0.0f);
+        locFc2_.bias.fill(0.0f);
+        float *b = locFc2_.bias.data();
+        b[0] = 1.0f; // [1 0 0; 0 1 0]
+        b[4] = 1.0f;
+    }
+
+    Tensor
+    forward(const Tensor &x)
+    {
+        const std::int64_t n = x.dim(0);
+        Tensor loc = ops::relu(locConv_.forward(x));
+        loc = ops::reshape(loc, {n, -1});
+        Tensor theta = locFc2_.forward(ops::relu(locFc1_.forward(loc)));
+        theta = ops::reshape(theta, {n, 2, 3});
+        Tensor grid = ops::affineGrid(theta, n, x.dim(2), x.dim(3));
+        Tensor warped = ops::gridSample(x, grid);
+        Tensor h = ops::relu(clsConv1_.forward(warped));
+        h = ops::relu(clsConv2_.forward(h));
+        return clsFc_.forward(ops::reshape(h, {n, -1}));
+    }
+
+  private:
+    nn::Conv2d locConv_;
+    nn::Linear locFc1_, locFc2_;
+    nn::Conv2d clsConv1_, clsConv2_;
+    nn::Linear clsFc_;
+};
+
+class SpatialTransformerTask : public TrainableTask
+{
+  public:
+    explicit SpatialTransformerTask(std::uint64_t seed)
+        : rng_(seed), gen_(6, 20, 4, 0.05f, /*fixed data seed*/ 0x33 * 2654435761ULL), net_(rng_),
+          opt_(net_.parameters(), 0.01f), evalSet_(gen_.batch(150))
+    {}
+
+    void
+    runEpoch() override
+    {
+        for (int step = 0; step < 20; ++step) {
+            data::ImageBatch b = gen_.batch(16);
+            ops::recordHostToDeviceCopy(b.images);
+            opt_.zeroGrad();
+            Tensor loss = ops::crossEntropyLogits(
+                net_.forward(b.images), b.labels);
+            loss.backward();
+            opt_.step();
+        }
+    }
+
+    double
+    evaluate() override
+    {
+        detail::EvalGuard guard(net_);
+        NoGradGuard no_grad;
+        return metrics::accuracy(net_.forward(evalSet_.images),
+                                 evalSet_.labels);
+    }
+
+    nn::Module &model() override { return net_; }
+
+    void
+    forwardOnce() override
+    {
+        detail::EvalGuard guard(net_);
+        NoGradGuard no_grad;
+        data::ImageBatch b = gen_.batch(1);
+        (void)net_.forward(b.images);
+    }
+
+  private:
+    Rng rng_;
+    data::TranslatedGlyphGenerator gen_;
+    SpatialTransformerNet net_;
+    nn::Adam opt_;
+    data::ImageBatch evalSet_;
+};
+
+/**
+ * DC-AI-C12: image compression with a convolutional encoder, a tanh
+ * bottleneck code and a residual refinement pass — the two-iteration
+ * recurrent structure of the RNN-based compressor the paper uses.
+ */
+class CompressionNet : public nn::Module
+{
+  public:
+    explicit CompressionNet(Rng &rng)
+        : enc1_(3, 12, 3, 2, 1, rng), enc2_(12, 8, 3, 2, 1, rng),
+          dec1_(8, 12, 4, 2, 1, rng), dec2_(12, 3, 4, 2, 1, rng)
+    {
+        registerModule("enc1", &enc1_);
+        registerModule("enc2", &enc2_);
+        registerModule("dec1", &dec1_);
+        registerModule("dec2", &dec2_);
+    }
+
+    /** One encode/decode iteration. */
+    Tensor
+    reconstructOnce(const Tensor &x)
+    {
+        Tensor code =
+            ops::tanh(enc2_.forward(ops::relu(enc1_.forward(x))));
+        Tensor h = ops::relu(dec1_.forward(code));
+        return ops::sigmoid(dec2_.forward(h));
+    }
+
+    /**
+     * Two-pass recurrent refinement, as in the RNN-based compressor:
+     * the second iteration encodes the first pass's residual and
+     * emits a bounded correction.
+     */
+    Tensor
+    forward(const Tensor &x)
+    {
+        Tensor recon = reconstructOnce(x);
+        Tensor residual = ops::sub(x, recon);
+        // Map the residual from [-1,1] into [0,1] for the encoder,
+        // decode a correction back in [-0.5, 0.5].
+        Tensor correction = ops::affineScalar(
+            reconstructOnce(ops::affineScalar(residual, 0.5f, 0.5f)),
+            1.0f, -0.5f);
+        return ops::add(recon, correction);
+    }
+
+  private:
+    nn::Conv2d enc1_, enc2_;
+    nn::ConvTranspose2d dec1_, dec2_;
+};
+
+class ImageCompressionTask : public TrainableTask
+{
+  public:
+    explicit ImageCompressionTask(std::uint64_t seed)
+        : rng_(seed), gen_(10, 3, 16, 0.03f, /*fixed data seed*/ 0x44 * 2654435761ULL), net_(rng_),
+          opt_(net_.parameters(), 0.01f), evalSet_(gen_.batch(48))
+    {}
+
+    void
+    runEpoch() override
+    {
+        for (int step = 0; step < 15; ++step) {
+            data::ImageBatch b = gen_.batch(12);
+            ops::recordHostToDeviceCopy(b.images);
+            opt_.zeroGrad();
+            // Train both refinement stages: the single pass and the
+            // refined output.
+            Tensor first = net_.reconstructOnce(b.images);
+            Tensor refined = net_.forward(b.images);
+            Tensor loss = ops::add(ops::mseLoss(first, b.images),
+                                   ops::mseLoss(refined, b.images));
+            loss.backward();
+            opt_.step();
+        }
+    }
+
+    double
+    evaluate() override
+    {
+        detail::EvalGuard guard(net_);
+        NoGradGuard no_grad;
+        Tensor recon =
+            ops::clamp(net_.forward(evalSet_.images), 0.0f, 1.0f);
+        return metrics::msSsim(recon, evalSet_.images, 3, 5);
+    }
+
+    nn::Module &model() override { return net_; }
+
+    void
+    forwardOnce() override
+    {
+        detail::EvalGuard guard(net_);
+        NoGradGuard no_grad;
+        (void)net_.forward(asBatch(gen_.exemplar(0)));
+    }
+
+  private:
+    Rng rng_;
+    data::ShapeImageGenerator gen_;
+    CompressionNet net_;
+    nn::Adam opt_;
+    data::ImageBatch evalSet_;
+};
+
+} // namespace
+
+std::unique_ptr<core::TrainableTask>
+makeImageClassificationTask(std::uint64_t seed)
+{
+    return std::make_unique<ImageClassificationTask>(seed);
+}
+
+std::unique_ptr<core::TrainableTask>
+makeFace3dTask(std::uint64_t seed)
+{
+    return std::make_unique<Face3dTask>(seed);
+}
+
+std::unique_ptr<core::TrainableTask>
+makeSpatialTransformerTask(std::uint64_t seed)
+{
+    return std::make_unique<SpatialTransformerTask>(seed);
+}
+
+std::unique_ptr<core::TrainableTask>
+makeImageCompressionTask(std::uint64_t seed)
+{
+    return std::make_unique<ImageCompressionTask>(seed);
+}
+
+} // namespace aib::models

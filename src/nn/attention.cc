@@ -1,0 +1,141 @@
+#include "nn/attention.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.h"
+
+namespace aib::nn {
+
+MultiHeadAttention::MultiHeadAttention(std::int64_t dim, int heads,
+                                       Rng &rng)
+    : dim_(dim), heads_(heads), wq_(dim, dim, rng), wk_(dim, dim, rng),
+      wv_(dim, dim, rng), wo_(dim, dim, rng)
+{
+    if (dim % heads != 0)
+        throw std::invalid_argument(
+            "MultiHeadAttention: dim must be divisible by heads");
+    registerModule("wq", &wq_);
+    registerModule("wk", &wk_);
+    registerModule("wv", &wv_);
+    registerModule("wo", &wo_);
+}
+
+Tensor
+MultiHeadAttention::forward(const Tensor &query, const Tensor &key,
+                            const Tensor &value, const Tensor &mask)
+{
+    const std::int64_t b = query.dim(0);
+    const std::int64_t tq = query.dim(1);
+    const std::int64_t tk = key.dim(1);
+    const std::int64_t hd = dim_ / heads_;
+
+    auto split_heads = [&](const Tensor &x, std::int64_t t) {
+        // (B, T, D) -> (B*H, T, Dh)
+        Tensor y = ops::reshape(x, {b, t, heads_, hd});
+        y = ops::permute(y, {0, 2, 1, 3});
+        return ops::reshape(y, {b * heads_, t, hd});
+    };
+
+    Tensor q = split_heads(wq_.forward(query), tq);
+    Tensor k = split_heads(wk_.forward(key), tk);
+    Tensor v = split_heads(wv_.forward(value), tk);
+
+    const float scale = 1.0f / std::sqrt(static_cast<float>(hd));
+    Tensor scores =
+        ops::mulScalar(ops::bmm(q, ops::transposeLast2(k)), scale);
+    if (mask.defined())
+        scores = ops::add(scores, mask);
+    Tensor attn = ops::softmax(scores);
+    Tensor ctx = ops::bmm(attn, v); // (B*H, Tq, Dh)
+
+    // Merge heads back: (B*H, Tq, Dh) -> (B, Tq, D)
+    Tensor merged = ops::reshape(ctx, {b, heads_, tq, hd});
+    merged = ops::permute(merged, {0, 2, 1, 3});
+    merged = ops::reshape(merged, {b, tq, dim_});
+    return wo_.forward(merged);
+}
+
+TransformerBlock::TransformerBlock(std::int64_t dim, int heads,
+                                   std::int64_t ff_dim, Rng &rng)
+    : attn_(dim, heads, rng), norm1_(dim), norm2_(dim),
+      ff1_(dim, ff_dim, rng), ff2_(ff_dim, dim, rng)
+{
+    registerModule("attn", &attn_);
+    registerModule("norm1", &norm1_);
+    registerModule("norm2", &norm2_);
+    registerModule("ff1", &ff1_);
+    registerModule("ff2", &ff2_);
+}
+
+Tensor
+TransformerBlock::forward(const Tensor &x, const Tensor &mask)
+{
+    Tensor h = norm1_.forward(x);
+    Tensor attended = attn_.forward(h, h, h, mask);
+    Tensor y = ops::add(x, attended);
+    Tensor ff = ff2_.forward(ops::relu(ff1_.forward(norm2_.forward(y))));
+    return ops::add(y, ff);
+}
+
+TransformerDecoderBlock::TransformerDecoderBlock(std::int64_t dim,
+                                                 int heads,
+                                                 std::int64_t ff_dim,
+                                                 Rng &rng)
+    : selfAttn_(dim, heads, rng), crossAttn_(dim, heads, rng),
+      norm1_(dim), norm2_(dim), norm3_(dim), ff1_(dim, ff_dim, rng),
+      ff2_(ff_dim, dim, rng)
+{
+    registerModule("selfAttn", &selfAttn_);
+    registerModule("crossAttn", &crossAttn_);
+    registerModule("norm1", &norm1_);
+    registerModule("norm2", &norm2_);
+    registerModule("norm3", &norm3_);
+    registerModule("ff1", &ff1_);
+    registerModule("ff2", &ff2_);
+}
+
+Tensor
+TransformerDecoderBlock::forward(const Tensor &x, const Tensor &memory,
+                                 const Tensor &self_mask)
+{
+    Tensor h = norm1_.forward(x);
+    Tensor y = ops::add(x, selfAttn_.forward(h, h, h, self_mask));
+    Tensor h2 = norm2_.forward(y);
+    Tensor y2 = ops::add(y, crossAttn_.forward(h2, memory, memory));
+    Tensor ff =
+        ff2_.forward(ops::relu(ff1_.forward(norm3_.forward(y2))));
+    return ops::add(y2, ff);
+}
+
+Tensor
+positionalEncoding(std::int64_t t, std::int64_t d)
+{
+    Tensor out = Tensor::empty({t, d});
+    float *p = out.data();
+    for (std::int64_t pos = 0; pos < t; ++pos) {
+        for (std::int64_t i = 0; i < d; ++i) {
+            const double angle =
+                static_cast<double>(pos) /
+                std::pow(10000.0,
+                         2.0 * static_cast<double>(i / 2) /
+                             static_cast<double>(d));
+            p[pos * d + i] = static_cast<float>(
+                (i % 2 == 0) ? std::sin(angle) : std::cos(angle));
+        }
+    }
+    return out;
+}
+
+Tensor
+causalMask(std::int64_t t)
+{
+    Tensor mask = Tensor::zeros({t, t});
+    float *p = mask.data();
+    for (std::int64_t i = 0; i < t; ++i)
+        for (std::int64_t j = i + 1; j < t; ++j)
+            p[i * t + j] = -1e9f;
+    return mask;
+}
+
+} // namespace aib::nn

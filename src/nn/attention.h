@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Multi-head scaled dot-product attention and transformer blocks
+ * (the Text-to-Text translation model of the suite).
+ */
+
+#ifndef AIB_NN_ATTENTION_H
+#define AIB_NN_ATTENTION_H
+
+#include <memory>
+
+#include "nn/layers.h"
+#include "nn/module.h"
+
+namespace aib::nn {
+
+/** Multi-head attention over (B, T, D) tensors. */
+class MultiHeadAttention : public Module
+{
+  public:
+    MultiHeadAttention(std::int64_t dim, int heads, Rng &rng);
+
+    /**
+     * @param query (B, Tq, D)
+     * @param key   (B, Tk, D)
+     * @param value (B, Tk, D)
+     * @param mask  optional additive mask (Tq, Tk); use large negative
+     *              values to block positions.
+     * @return (B, Tq, D)
+     */
+    Tensor forward(const Tensor &query, const Tensor &key,
+                   const Tensor &value, const Tensor &mask = Tensor());
+
+  private:
+    std::int64_t dim_;
+    int heads_;
+    Linear wq_, wk_, wv_, wo_;
+};
+
+/** Pre-norm transformer encoder block: MHA + feed-forward. */
+class TransformerBlock : public Module
+{
+  public:
+    TransformerBlock(std::int64_t dim, int heads, std::int64_t ff_dim,
+                     Rng &rng);
+
+    /** Self-attention block over (B, T, D). */
+    Tensor forward(const Tensor &x, const Tensor &mask = Tensor());
+
+  private:
+    MultiHeadAttention attn_;
+    LayerNorm norm1_, norm2_;
+    Linear ff1_, ff2_;
+};
+
+/** Transformer decoder block with cross-attention. */
+class TransformerDecoderBlock : public Module
+{
+  public:
+    TransformerDecoderBlock(std::int64_t dim, int heads,
+                            std::int64_t ff_dim, Rng &rng);
+
+    /**
+     * @param x (B, Tq, D) target-side activations
+     * @param memory (B, Tk, D) encoder output
+     * @param self_mask causal mask (Tq, Tq)
+     */
+    Tensor forward(const Tensor &x, const Tensor &memory,
+                   const Tensor &self_mask = Tensor());
+
+  private:
+    MultiHeadAttention selfAttn_, crossAttn_;
+    LayerNorm norm1_, norm2_, norm3_;
+    Linear ff1_, ff2_;
+};
+
+/** Sinusoidal positional encoding table (T, D); not trainable. */
+Tensor positionalEncoding(std::int64_t t, std::int64_t d);
+
+/** Additive causal mask (T, T) with -1e9 above the diagonal. */
+Tensor causalMask(std::int64_t t);
+
+} // namespace aib::nn
+
+#endif // AIB_NN_ATTENTION_H

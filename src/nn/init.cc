@@ -1,0 +1,42 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+namespace aib::nn::init {
+
+Tensor
+kaimingNormal(const Shape &shape, std::int64_t fan_in, Rng &rng)
+{
+    const float stddev =
+        std::sqrt(2.0f / static_cast<float>(std::max<std::int64_t>(
+                              fan_in, 1)));
+    return normal(shape, stddev, rng);
+}
+
+Tensor
+xavierUniform(const Shape &shape, std::int64_t fan_in,
+              std::int64_t fan_out, Rng &rng)
+{
+    const float bound = std::sqrt(
+        6.0f / static_cast<float>(std::max<std::int64_t>(
+                   fan_in + fan_out, 1)));
+    return uniform(shape, bound, rng);
+}
+
+Tensor
+uniform(const Shape &shape, float bound, Rng &rng)
+{
+    return Tensor::rand(shape, rng, -bound, bound);
+}
+
+Tensor
+normal(const Shape &shape, float stddev, Rng &rng)
+{
+    Tensor t = Tensor::randn(shape, rng);
+    float *p = t.data();
+    for (std::int64_t i = 0; i < t.numel(); ++i)
+        p[i] *= stddev;
+    return t;
+}
+
+} // namespace aib::nn::init

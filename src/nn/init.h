@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Weight initialization schemes.
+ */
+
+#ifndef AIB_NN_INIT_H
+#define AIB_NN_INIT_H
+
+#include "tensor/tensor.h"
+
+namespace aib::nn::init {
+
+/** Kaiming/He normal init for ReLU fan-in @p fan_in. */
+Tensor kaimingNormal(const Shape &shape, std::int64_t fan_in, Rng &rng);
+
+/** Xavier/Glorot uniform init with the given fan-in/out. */
+Tensor xavierUniform(const Shape &shape, std::int64_t fan_in,
+                     std::int64_t fan_out, Rng &rng);
+
+/** Uniform init in [-bound, bound]. */
+Tensor uniform(const Shape &shape, float bound, Rng &rng);
+
+/** Normal init with the given standard deviation. */
+Tensor normal(const Shape &shape, float stddev, Rng &rng);
+
+} // namespace aib::nn::init
+
+#endif // AIB_NN_INIT_H

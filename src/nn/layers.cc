@@ -1,0 +1,148 @@
+#include "nn/layers.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/init.h"
+
+namespace aib::nn {
+
+Linear::Linear(std::int64_t in_features, std::int64_t out_features,
+               Rng &rng, bool use_bias)
+    : inFeatures_(in_features)
+{
+    weight = registerParameter(
+        "weight",
+        init::kaimingNormal({in_features, out_features}, in_features,
+                            rng));
+    if (use_bias)
+        bias = registerParameter("bias", Tensor::zeros({out_features}));
+}
+
+Tensor
+Linear::forward(const Tensor &input)
+{
+    Tensor x = input;
+    if (x.ndim() != 2) {
+        // Fold leading dimensions into the batch.
+        x = ops::reshape(x, {-1, inFeatures_});
+    }
+    Tensor y = ops::matmul(x, weight);
+    if (bias.defined())
+        y = ops::add(y, bias);
+    if (input.ndim() != 2) {
+        Shape out_shape = input.shape();
+        out_shape.back() = weight.dim(1);
+        y = ops::reshape(y, out_shape);
+    }
+    return y;
+}
+
+Conv2d::Conv2d(std::int64_t in_channels, std::int64_t out_channels,
+               int kernel, int stride, int padding, Rng &rng,
+               bool use_bias)
+    : stride_(stride), padding_(padding)
+{
+    const std::int64_t fan_in = in_channels * kernel * kernel;
+    weight = registerParameter(
+        "weight",
+        init::kaimingNormal({out_channels, in_channels, kernel, kernel},
+                            fan_in, rng));
+    if (use_bias)
+        bias = registerParameter("bias", Tensor::zeros({out_channels}));
+}
+
+Tensor
+Conv2d::forward(const Tensor &input)
+{
+    return ops::conv2d(input, weight, bias, stride_, padding_);
+}
+
+ConvTranspose2d::ConvTranspose2d(std::int64_t in_channels,
+                                 std::int64_t out_channels, int kernel,
+                                 int stride, int padding, Rng &rng,
+                                 bool use_bias)
+    : stride_(stride), padding_(padding)
+{
+    const std::int64_t fan_in = in_channels * kernel * kernel;
+    weight = registerParameter(
+        "weight",
+        init::kaimingNormal({in_channels, out_channels, kernel, kernel},
+                            fan_in, rng));
+    if (use_bias)
+        bias = registerParameter("bias", Tensor::zeros({out_channels}));
+}
+
+Tensor
+ConvTranspose2d::forward(const Tensor &input)
+{
+    return ops::convTranspose2d(input, weight, bias, stride_, padding_);
+}
+
+BatchNorm2d::BatchNorm2d(std::int64_t channels, float eps,
+                         float momentum)
+    : eps_(eps), momentum_(momentum)
+{
+    gamma = registerParameter("gamma", Tensor::ones({channels}));
+    beta = registerParameter("beta", Tensor::zeros({channels}));
+    runningMean = Tensor::zeros({channels});
+    runningVar = Tensor::ones({channels});
+}
+
+Tensor
+BatchNorm2d::forward(const Tensor &input)
+{
+    if (isTraining()) {
+        Tensor batch_mean, batch_var;
+        Tensor y = ops::batchNorm2d(input, gamma, beta, eps_,
+                                    &batch_mean, &batch_var);
+        // Update running statistics (no autograd involvement).
+        float *rm = runningMean.data();
+        float *rv = runningVar.data();
+        const float *bm = batch_mean.data();
+        const float *bv = batch_var.data();
+        for (std::int64_t c = 0; c < runningMean.numel(); ++c) {
+            rm[c] = (1.0f - momentum_) * rm[c] + momentum_ * bm[c];
+            rv[c] = (1.0f - momentum_) * rv[c] + momentum_ * bv[c];
+        }
+        return y;
+    }
+    // Eval mode: normalize with running statistics via composite ops.
+    const std::int64_t c = input.dim(1);
+    Tensor mean_b = ops::reshape(runningMean, {1, c, 1, 1});
+    Tensor scale = Tensor::empty({1, c, 1, 1});
+    const float *rv = runningVar.data();
+    float *ps = scale.data();
+    for (std::int64_t i = 0; i < c; ++i)
+        ps[i] = 1.0f / std::sqrt(rv[i] + eps_);
+    Tensor gamma_b = ops::reshape(gamma, {1, c, 1, 1});
+    Tensor beta_b = ops::reshape(beta, {1, c, 1, 1});
+    Tensor xhat = ops::mul(ops::sub(input, mean_b), scale);
+    return ops::add(ops::mul(xhat, gamma_b), beta_b);
+}
+
+LayerNorm::LayerNorm(std::int64_t dim, float eps) : eps_(eps)
+{
+    gamma = registerParameter("gamma", Tensor::ones({dim}));
+    beta = registerParameter("beta", Tensor::zeros({dim}));
+}
+
+Tensor
+LayerNorm::forward(const Tensor &input)
+{
+    return ops::layerNorm(input, gamma, beta, eps_);
+}
+
+Embedding::Embedding(std::int64_t vocab, std::int64_t dim, Rng &rng)
+{
+    weight = registerParameter("weight",
+                               init::normal({vocab, dim}, 0.1f, rng));
+}
+
+Tensor
+Embedding::forward(const std::vector<int> &indices)
+{
+    return ops::embeddingLookup(weight, indices);
+}
+
+} // namespace aib::nn

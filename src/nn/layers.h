@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Standard layers: linear, convolutional, normalization, embedding,
+ * pooling, dropout and activation wrappers.
+ */
+
+#ifndef AIB_NN_LAYERS_H
+#define AIB_NN_LAYERS_H
+
+#include <vector>
+
+#include "nn/module.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace aib::nn {
+
+/** Fully connected layer: y = x W + b. Weight is (in, out). */
+class Linear : public Layer
+{
+  public:
+    Linear(std::int64_t in_features, std::int64_t out_features, Rng &rng,
+           bool bias = true);
+
+    Tensor forward(const Tensor &input) override;
+
+    Tensor weight; ///< (in, out)
+    Tensor bias;   ///< (out) or undefined
+
+  private:
+    std::int64_t inFeatures_;
+};
+
+/** 2-D convolution layer (NCHW), square kernel. */
+class Conv2d : public Layer
+{
+  public:
+    Conv2d(std::int64_t in_channels, std::int64_t out_channels,
+           int kernel, int stride, int padding, Rng &rng,
+           bool bias = true);
+
+    Tensor forward(const Tensor &input) override;
+
+    Tensor weight; ///< (out, in, k, k)
+    Tensor bias;   ///< (out) or undefined
+
+  private:
+    int stride_;
+    int padding_;
+};
+
+/** 2-D transposed convolution layer (NCHW), square kernel. */
+class ConvTranspose2d : public Layer
+{
+  public:
+    ConvTranspose2d(std::int64_t in_channels, std::int64_t out_channels,
+                    int kernel, int stride, int padding, Rng &rng,
+                    bool bias = true);
+
+    Tensor forward(const Tensor &input) override;
+
+    Tensor weight; ///< (in, out, k, k)
+    Tensor bias;   ///< (out) or undefined
+
+  private:
+    int stride_;
+    int padding_;
+};
+
+/**
+ * Batch normalization over (N,H,W) per channel, with running
+ * statistics used in eval mode.
+ */
+class BatchNorm2d : public Layer
+{
+  public:
+    explicit BatchNorm2d(std::int64_t channels, float eps = 1e-5f,
+                         float momentum = 0.1f);
+
+    Tensor forward(const Tensor &input) override;
+
+    Tensor gamma;       ///< scale (C)
+    Tensor beta;        ///< shift (C)
+    Tensor runningMean; ///< (C), not trainable
+    Tensor runningVar;  ///< (C), not trainable
+
+  private:
+    float eps_;
+    float momentum_;
+};
+
+/** Layer normalization over the last dimension. */
+class LayerNorm : public Layer
+{
+  public:
+    explicit LayerNorm(std::int64_t dim, float eps = 1e-5f);
+
+    Tensor forward(const Tensor &input) override;
+
+    Tensor gamma;
+    Tensor beta;
+
+  private:
+    float eps_;
+};
+
+/** Token embedding table. */
+class Embedding : public Module
+{
+  public:
+    Embedding(std::int64_t vocab, std::int64_t dim, Rng &rng);
+
+    /** (len(indices), dim) rows of the table. */
+    Tensor forward(const std::vector<int> &indices);
+
+    Tensor weight; ///< (vocab, dim)
+};
+
+/** Inverted dropout; identity in eval mode. */
+class Dropout : public Layer
+{
+  public:
+    explicit Dropout(float p, Rng &rng) : p_(p), rng_(&rng) {}
+
+    Tensor
+    forward(const Tensor &input) override
+    {
+        return ops::dropout(input, p_, isTraining(), *rng_);
+    }
+
+  private:
+    float p_;
+    Rng *rng_;
+};
+
+/** @name Activation / pooling / reshape wrappers
+ * @{
+ */
+class ReLU : public Layer
+{
+  public:
+    Tensor forward(const Tensor &x) override { return ops::relu(x); }
+};
+
+class LeakyReLU : public Layer
+{
+  public:
+    explicit LeakyReLU(float slope = 0.2f) : slope_(slope) {}
+    Tensor
+    forward(const Tensor &x) override
+    {
+        return ops::leakyRelu(x, slope_);
+    }
+
+  private:
+    float slope_;
+};
+
+class Tanh : public Layer
+{
+  public:
+    Tensor forward(const Tensor &x) override { return ops::tanh(x); }
+};
+
+class Sigmoid : public Layer
+{
+  public:
+    Tensor forward(const Tensor &x) override { return ops::sigmoid(x); }
+};
+
+class MaxPool2d : public Layer
+{
+  public:
+    MaxPool2d(int kernel, int stride) : kernel_(kernel), stride_(stride) {}
+    Tensor
+    forward(const Tensor &x) override
+    {
+        return ops::maxPool2d(x, kernel_, stride_);
+    }
+
+  private:
+    int kernel_;
+    int stride_;
+};
+
+class AvgPool2d : public Layer
+{
+  public:
+    AvgPool2d(int kernel, int stride) : kernel_(kernel), stride_(stride) {}
+    Tensor
+    forward(const Tensor &x) override
+    {
+        return ops::avgPool2d(x, kernel_, stride_);
+    }
+
+  private:
+    int kernel_;
+    int stride_;
+};
+
+class GlobalAvgPool2d : public Layer
+{
+  public:
+    Tensor
+    forward(const Tensor &x) override
+    {
+        return ops::globalAvgPool2d(x);
+    }
+};
+
+/** Flatten all but the leading (batch) dimension. */
+class Flatten : public Layer
+{
+  public:
+    Tensor
+    forward(const Tensor &x) override
+    {
+        return ops::reshape(x, {x.dim(0), -1});
+    }
+};
+/** @} */
+
+} // namespace aib::nn
+
+#endif // AIB_NN_LAYERS_H

@@ -1,0 +1,56 @@
+#include "nn/losses.h"
+
+#include "tensor/ops.h"
+
+namespace aib::nn {
+
+Tensor
+bceWithLogits(const Tensor &logits, const Tensor &targets)
+{
+    // log(1 + exp(-|x|)) + max(x,0) - x*t, stable for both signs.
+    Tensor abs_x = ops::abs(logits);
+    Tensor softplus =
+        ops::log(ops::addScalar(ops::exp(ops::neg(abs_x)), 1.0f));
+    Tensor max_part =
+        ops::mulScalar(ops::add(logits, abs_x), 0.5f); // max(x, 0)
+    Tensor loss =
+        ops::sub(ops::add(softplus, max_part), ops::mul(logits, targets));
+    return ops::mean(loss);
+}
+
+Tensor
+tripletLoss(const Tensor &anchor, const Tensor &positive,
+            const Tensor &negative, float margin)
+{
+    Tensor dp = ops::sumDim(ops::square(ops::sub(anchor, positive)), 1);
+    Tensor dn = ops::sumDim(ops::square(ops::sub(anchor, negative)), 1);
+    Tensor raw = ops::addScalar(ops::sub(dp, dn), margin);
+    return ops::mean(ops::relu(raw));
+}
+
+Tensor
+smoothL1Loss(const Tensor &pred, const Tensor &target, float beta)
+{
+    // 0.5*d^2/beta for |d| < beta, |d| - 0.5*beta otherwise.
+    Tensor d = ops::sub(pred, target);
+    Tensor ad = ops::abs(d);
+    Tensor clipped = ops::clamp(ad, 0.0f, beta);
+    // 0.5*clipped^2/beta + (ad - clipped) * 1
+    Tensor quad = ops::mulScalar(ops::square(clipped), 0.5f / beta);
+    Tensor lin = ops::sub(ad, clipped);
+    return ops::mean(ops::add(quad, lin));
+}
+
+Tensor
+bprLoss(const Tensor &positive_scores, const Tensor &negative_scores)
+{
+    Tensor diff = ops::sub(positive_scores, negative_scores);
+    // -log(sigmoid(d)) = softplus(-d), computed stably.
+    Tensor abs_d = ops::abs(diff);
+    Tensor softplus =
+        ops::log(ops::addScalar(ops::exp(ops::neg(abs_d)), 1.0f));
+    Tensor max_part = ops::mulScalar(ops::sub(abs_d, diff), 0.5f);
+    return ops::mean(ops::add(softplus, max_part));
+}
+
+} // namespace aib::nn

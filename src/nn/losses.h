@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Loss functions beyond the core cross-entropy/MSE provided in ops.
+ */
+
+#ifndef AIB_NN_LOSSES_H
+#define AIB_NN_LOSSES_H
+
+#include "tensor/tensor.h"
+
+namespace aib::nn {
+
+/**
+ * Numerically stable binary cross-entropy on raw logits against
+ * targets in {0,1} (same shape); returns the mean.
+ */
+Tensor bceWithLogits(const Tensor &logits, const Tensor &targets);
+
+/**
+ * Triplet margin loss over row embeddings (N, D):
+ * mean(max(0, ||a-p||^2 - ||a-n||^2 + margin)).
+ */
+Tensor tripletLoss(const Tensor &anchor, const Tensor &positive,
+                   const Tensor &negative, float margin);
+
+/** Smooth-L1 (Huber) loss, mean over all elements. */
+Tensor smoothL1Loss(const Tensor &pred, const Tensor &target,
+                    float beta = 1.0f);
+
+/**
+ * Bayesian personalized ranking loss: -mean(log sigmoid(pos - neg)).
+ * Used by the learning-to-rank benchmark.
+ */
+Tensor bprLoss(const Tensor &positive_scores,
+               const Tensor &negative_scores);
+
+} // namespace aib::nn
+
+#endif // AIB_NN_LOSSES_H

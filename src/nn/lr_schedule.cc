@@ -1,0 +1,34 @@
+#include "nn/lr_schedule.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aib::nn {
+
+float
+StepDecay::learningRateAt(int epoch) const
+{
+    return baseLearningRate() *
+           std::pow(gamma_, static_cast<float>(epoch / period_));
+}
+
+float
+CosineAnnealing::learningRateAt(int epoch) const
+{
+    const float t = std::min(
+        1.0f, static_cast<float>(epoch) /
+                  static_cast<float>(std::max(totalEpochs_, 1)));
+    return minLr_ + 0.5f * (baseLearningRate() - minLr_) *
+                        (1.0f + std::cos(3.14159265f * t));
+}
+
+float
+LinearWarmup::learningRateAt(int epoch) const
+{
+    if (epoch >= warmupEpochs_)
+        return baseLearningRate();
+    return baseLearningRate() * static_cast<float>(epoch + 1) /
+           static_cast<float>(warmupEpochs_ + 1);
+}
+
+} // namespace aib::nn

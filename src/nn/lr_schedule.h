@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Learning-rate schedules. The paper's reimplementation rules allow
+ * tuning the learning rate per system under test; schedules are the
+ * standard way reference implementations expose that tuning.
+ */
+
+#ifndef AIB_NN_LR_SCHEDULE_H
+#define AIB_NN_LR_SCHEDULE_H
+
+#include "nn/optim.h"
+
+namespace aib::nn {
+
+/** Epoch-wise learning-rate schedule applied to an optimizer. */
+class LrScheduler
+{
+  public:
+    explicit LrScheduler(Optimizer &optimizer)
+        : optimizer_(optimizer), baseLr_(optimizer.learningRate())
+    {}
+    virtual ~LrScheduler() = default;
+
+    /** Advance one epoch and update the optimizer's learning rate. */
+    void
+    step()
+    {
+        ++epoch_;
+        optimizer_.setLearningRate(learningRateAt(epoch_));
+    }
+
+    /** Epochs stepped so far. */
+    int epoch() const { return epoch_; }
+
+    /** The schedule function (epoch 0 = initial rate). */
+    virtual float learningRateAt(int epoch) const = 0;
+
+  protected:
+    float baseLearningRate() const { return baseLr_; }
+
+  private:
+    Optimizer &optimizer_;
+    float baseLr_;
+    int epoch_ = 0;
+};
+
+/** Multiply the rate by @p gamma every @p period epochs. */
+class StepDecay : public LrScheduler
+{
+  public:
+    StepDecay(Optimizer &optimizer, float gamma, int period)
+        : LrScheduler(optimizer), gamma_(gamma), period_(period)
+    {}
+
+    float learningRateAt(int epoch) const override;
+
+  private:
+    float gamma_;
+    int period_;
+};
+
+/** Cosine annealing from the base rate down to @p min_lr. */
+class CosineAnnealing : public LrScheduler
+{
+  public:
+    CosineAnnealing(Optimizer &optimizer, int total_epochs,
+                    float min_lr = 0.0f)
+        : LrScheduler(optimizer), totalEpochs_(total_epochs),
+          minLr_(min_lr)
+    {}
+
+    float learningRateAt(int epoch) const override;
+
+  private:
+    int totalEpochs_;
+    float minLr_;
+};
+
+/** Linear warmup to the base rate over @p warmup_epochs. */
+class LinearWarmup : public LrScheduler
+{
+  public:
+    LinearWarmup(Optimizer &optimizer, int warmup_epochs)
+        : LrScheduler(optimizer), warmupEpochs_(warmup_epochs)
+    {
+        optimizer.setLearningRate(learningRateAt(0));
+    }
+
+    float learningRateAt(int epoch) const override;
+
+  private:
+    int warmupEpochs_;
+};
+
+} // namespace aib::nn
+
+#endif // AIB_NN_LR_SCHEDULE_H

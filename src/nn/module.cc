@@ -1,0 +1,72 @@
+#include "nn/module.h"
+
+namespace aib::nn {
+
+std::vector<Tensor>
+Module::parameters() const
+{
+    std::vector<Tensor> out;
+    for (const NamedParam &p : params_)
+        out.push_back(p.tensor);
+    for (const ChildEntry &c : children_) {
+        auto sub = c.module->parameters();
+        out.insert(out.end(), sub.begin(), sub.end());
+    }
+    return out;
+}
+
+std::vector<NamedParam>
+Module::namedParameters() const
+{
+    std::vector<NamedParam> out;
+    for (const NamedParam &p : params_)
+        out.push_back(p);
+    for (const ChildEntry &c : children_) {
+        for (NamedParam sub : c.module->namedParameters()) {
+            sub.name = c.name + "." + sub.name;
+            out.push_back(std::move(sub));
+        }
+    }
+    return out;
+}
+
+std::int64_t
+Module::parameterCount() const
+{
+    std::int64_t count = 0;
+    for (const Tensor &p : parameters())
+        count += p.numel();
+    return count;
+}
+
+void
+Module::zeroGrad()
+{
+    for (Tensor &p : parameters())
+        p.zeroGrad();
+}
+
+void
+Module::train(bool mode)
+{
+    training_ = mode;
+    onTrainModeChanged();
+    for (const ChildEntry &c : children_)
+        c.module->train(mode);
+}
+
+Tensor
+Module::registerParameter(std::string name, Tensor t)
+{
+    t.setRequiresGrad(true);
+    params_.push_back(NamedParam{std::move(name), t});
+    return t;
+}
+
+void
+Module::registerModule(std::string name, Module *child)
+{
+    children_.push_back(ChildEntry{std::move(name), child});
+}
+
+} // namespace aib::nn

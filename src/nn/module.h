@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Module base class: parameter registration, recursive traversal,
+ * train/eval mode, and the unary-layer abstraction used by
+ * Sequential containers.
+ */
+
+#ifndef AIB_NN_MODULE_H
+#define AIB_NN_MODULE_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace aib::nn {
+
+/** A named trainable parameter, as returned by namedParameters(). */
+struct NamedParam {
+    std::string name;
+    Tensor tensor;
+};
+
+/**
+ * Base class for neural network building blocks.
+ *
+ * Derived classes register their parameters and child modules in
+ * their constructors; @c parameters() then yields every trainable
+ * tensor in the subtree, which is what optimizers consume and what
+ * the OpCounter uses for the paper's model-complexity axis.
+ */
+class Module
+{
+  public:
+    virtual ~Module() = default;
+
+    /** All trainable parameters in this subtree. */
+    std::vector<Tensor> parameters() const;
+
+    /** All parameters with hierarchical dotted names. */
+    std::vector<NamedParam> namedParameters() const;
+
+    /** Total learnable scalar count (the paper's "parameters" axis). */
+    std::int64_t parameterCount() const;
+
+    /** Clear gradients of every parameter in the subtree. */
+    void zeroGrad();
+
+    /** Switch training mode for this subtree. */
+    void train(bool mode = true);
+
+    /** Switch to inference mode for this subtree. */
+    void eval() { train(false); }
+
+    /** True when in training mode. */
+    bool isTraining() const { return training_; }
+
+  protected:
+    Module() = default;
+
+    /**
+     * Register a trainable parameter (marks it requires-grad).
+     * @return the registered tensor for storing in a member.
+     */
+    Tensor registerParameter(std::string name, Tensor t);
+
+    /** Register a child module (non-owning; member lifetime). */
+    void registerModule(std::string name, Module *child);
+
+    /** Hook for layers whose behaviour depends on mode (BN, dropout). */
+    virtual void onTrainModeChanged() {}
+
+  private:
+    struct ChildEntry {
+        std::string name;
+        Module *module;
+    };
+    std::vector<NamedParam> params_;
+    std::vector<ChildEntry> children_;
+    bool training_ = true;
+};
+
+/**
+ * A module with a single-tensor forward, composable in Sequential.
+ */
+class Layer : public Module
+{
+  public:
+    /** Apply the layer. */
+    virtual Tensor forward(const Tensor &input) = 0;
+};
+
+/** Ordered container of unary layers. */
+class Sequential : public Layer
+{
+  public:
+    Sequential() = default;
+
+    /** Append a layer (takes shared ownership). */
+    void
+    add(std::shared_ptr<Layer> layer)
+    {
+        registerModule("layer" + std::to_string(layers_.size()),
+                       layer.get());
+        layers_.push_back(std::move(layer));
+    }
+
+    /** Emplace-construct and append a layer of type L. */
+    template <typename L, typename... Args>
+    L &
+    emplace(Args &&...args)
+    {
+        auto layer = std::make_shared<L>(std::forward<Args>(args)...);
+        L &ref = *layer;
+        add(std::move(layer));
+        return ref;
+    }
+
+    Tensor
+    forward(const Tensor &input) override
+    {
+        Tensor x = input;
+        for (auto &layer : layers_)
+            x = layer->forward(x);
+        return x;
+    }
+
+    /** Number of layers. */
+    std::size_t size() const { return layers_.size(); }
+
+  private:
+    std::vector<std::shared_ptr<Layer>> layers_;
+};
+
+} // namespace aib::nn
+
+#endif // AIB_NN_MODULE_H

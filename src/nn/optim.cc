@@ -1,0 +1,142 @@
+#include "nn/optim.h"
+
+#include <cmath>
+
+namespace aib::nn {
+
+float
+Optimizer::clipGradNorm(float max_norm)
+{
+    double total = 0.0;
+    for (Tensor &p : params_) {
+        Tensor g = p.grad();
+        if (!g.defined())
+            continue;
+        const float *pg = g.data();
+        for (std::int64_t i = 0; i < g.numel(); ++i)
+            total += static_cast<double>(pg[i]) * pg[i];
+    }
+    const float norm = static_cast<float>(std::sqrt(total));
+    if (norm > max_norm && norm > 0.0f) {
+        const float scale = max_norm / norm;
+        for (Tensor &p : params_) {
+            Tensor g = p.grad();
+            if (!g.defined())
+                continue;
+            float *pg = g.data();
+            for (std::int64_t i = 0; i < g.numel(); ++i)
+                pg[i] *= scale;
+        }
+    }
+    return norm;
+}
+
+Sgd::Sgd(std::vector<Tensor> params, float lr, float momentum,
+         float weight_decay)
+    : Optimizer(std::move(params), lr), momentum_(momentum),
+      weightDecay_(weight_decay)
+{
+    velocity_.resize(params_.size());
+}
+
+void
+Sgd::step()
+{
+    for (std::size_t i = 0; i < params_.size(); ++i) {
+        Tensor &p = params_[i];
+        Tensor g = p.grad();
+        if (!g.defined())
+            continue;
+        float *pd = p.data();
+        const float *pg = g.data();
+        const std::int64_t n = p.numel();
+        if (momentum_ > 0.0f) {
+            auto &vel = velocity_[i];
+            if (vel.empty())
+                vel.assign(static_cast<std::size_t>(n), 0.0f);
+            for (std::int64_t k = 0; k < n; ++k) {
+                float grad = pg[k] + weightDecay_ * pd[k];
+                vel[static_cast<std::size_t>(k)] =
+                    momentum_ * vel[static_cast<std::size_t>(k)] + grad;
+                pd[k] -= lr_ * vel[static_cast<std::size_t>(k)];
+            }
+        } else {
+            for (std::int64_t k = 0; k < n; ++k)
+                pd[k] -= lr_ * (pg[k] + weightDecay_ * pd[k]);
+        }
+    }
+}
+
+Adam::Adam(std::vector<Tensor> params, float lr, float beta1,
+           float beta2, float eps, float weight_decay)
+    : Optimizer(std::move(params), lr), beta1_(beta1), beta2_(beta2),
+      eps_(eps), weightDecay_(weight_decay)
+{
+    m_.resize(params_.size());
+    v_.resize(params_.size());
+}
+
+void
+Adam::step()
+{
+    ++t_;
+    const float bias1 =
+        1.0f - std::pow(beta1_, static_cast<float>(t_));
+    const float bias2 =
+        1.0f - std::pow(beta2_, static_cast<float>(t_));
+    for (std::size_t i = 0; i < params_.size(); ++i) {
+        Tensor &p = params_[i];
+        Tensor g = p.grad();
+        if (!g.defined())
+            continue;
+        float *pd = p.data();
+        const float *pg = g.data();
+        const std::int64_t n = p.numel();
+        auto &m = m_[i];
+        auto &v = v_[i];
+        if (m.empty()) {
+            m.assign(static_cast<std::size_t>(n), 0.0f);
+            v.assign(static_cast<std::size_t>(n), 0.0f);
+        }
+        for (std::int64_t k = 0; k < n; ++k) {
+            const float grad = pg[k] + weightDecay_ * pd[k];
+            auto ks = static_cast<std::size_t>(k);
+            m[ks] = beta1_ * m[ks] + (1.0f - beta1_) * grad;
+            v[ks] = beta2_ * v[ks] + (1.0f - beta2_) * grad * grad;
+            const float mhat = m[ks] / bias1;
+            const float vhat = v[ks] / bias2;
+            pd[k] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+        }
+    }
+}
+
+RmsProp::RmsProp(std::vector<Tensor> params, float lr, float alpha,
+                 float eps)
+    : Optimizer(std::move(params), lr), alpha_(alpha), eps_(eps)
+{
+    sq_.resize(params_.size());
+}
+
+void
+RmsProp::step()
+{
+    for (std::size_t i = 0; i < params_.size(); ++i) {
+        Tensor &p = params_[i];
+        Tensor g = p.grad();
+        if (!g.defined())
+            continue;
+        float *pd = p.data();
+        const float *pg = g.data();
+        const std::int64_t n = p.numel();
+        auto &sq = sq_[i];
+        if (sq.empty())
+            sq.assign(static_cast<std::size_t>(n), 0.0f);
+        for (std::int64_t k = 0; k < n; ++k) {
+            auto ks = static_cast<std::size_t>(k);
+            sq[ks] = alpha_ * sq[ks] + (1.0f - alpha_) * pg[k] * pg[k];
+            pd[k] -= lr_ * pg[k] / (std::sqrt(sq[ks]) + eps_);
+        }
+    }
+}
+
+} // namespace aib::nn

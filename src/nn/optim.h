@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Optimizers: SGD (momentum + weight decay), Adam, RMSProp.
+ *
+ * The paper's reimplementation rules allow tuning hyperparameters
+ * (learning rate, batch size) but not changing the model; optimizers
+ * therefore expose their hyperparameters mutably.
+ */
+
+#ifndef AIB_NN_OPTIM_H
+#define AIB_NN_OPTIM_H
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace aib::nn {
+
+/** Base optimizer over a fixed parameter list. */
+class Optimizer
+{
+  public:
+    explicit Optimizer(std::vector<Tensor> params, float lr)
+        : params_(std::move(params)), lr_(lr)
+    {}
+    virtual ~Optimizer() = default;
+
+    /** Apply one update from the accumulated gradients. */
+    virtual void step() = 0;
+
+    /** Clear all parameter gradients. */
+    void
+    zeroGrad()
+    {
+        for (Tensor &p : params_)
+            p.zeroGrad();
+    }
+
+    float learningRate() const { return lr_; }
+    void setLearningRate(float lr) { lr_ = lr; }
+
+    /**
+     * Clip gradients by global L2 norm; returns the pre-clip norm.
+     */
+    float clipGradNorm(float max_norm);
+
+  protected:
+    std::vector<Tensor> params_;
+    float lr_;
+};
+
+/** Stochastic gradient descent with momentum and weight decay. */
+class Sgd : public Optimizer
+{
+  public:
+    Sgd(std::vector<Tensor> params, float lr, float momentum = 0.0f,
+        float weight_decay = 0.0f);
+
+    void step() override;
+
+  private:
+    float momentum_;
+    float weightDecay_;
+    std::vector<std::vector<float>> velocity_;
+};
+
+/** Adam optimizer. */
+class Adam : public Optimizer
+{
+  public:
+    Adam(std::vector<Tensor> params, float lr, float beta1 = 0.9f,
+         float beta2 = 0.999f, float eps = 1e-8f,
+         float weight_decay = 0.0f);
+
+    void step() override;
+
+  private:
+    float beta1_, beta2_, eps_, weightDecay_;
+    std::int64_t t_ = 0;
+    std::vector<std::vector<float>> m_, v_;
+};
+
+/** RMSProp optimizer (used by the WGAN benchmark, following [34]). */
+class RmsProp : public Optimizer
+{
+  public:
+    RmsProp(std::vector<Tensor> params, float lr, float alpha = 0.99f,
+            float eps = 1e-8f);
+
+    void step() override;
+
+  private:
+    float alpha_, eps_;
+    std::vector<std::vector<float>> sq_;
+};
+
+} // namespace aib::nn
+
+#endif // AIB_NN_OPTIM_H

@@ -1,0 +1,43 @@
+#include "nn/quantize.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace aib::nn {
+
+QuantizationReport
+quantizeParameters(Module &module, int bits)
+{
+    if (bits < 2 || bits > 16)
+        throw std::invalid_argument(
+            "quantizeParameters: bits must be in [2, 16]");
+    QuantizationReport report;
+    report.bits = bits;
+    const float levels =
+        static_cast<float>((1 << (bits - 1)) - 1); // symmetric range
+
+    double abs_err = 0.0;
+    for (Tensor &p : module.parameters()) {
+        float max_abs = 0.0f;
+        float *d = p.data();
+        const std::int64_t n = p.numel();
+        for (std::int64_t i = 0; i < n; ++i)
+            max_abs = std::max(max_abs, std::fabs(d[i]));
+        const float scale = max_abs > 0.0f ? max_abs / levels : 1.0f;
+        report.maxScale = std::max(report.maxScale,
+                                   static_cast<double>(scale));
+        for (std::int64_t i = 0; i < n; ++i) {
+            const float q =
+                std::round(d[i] / scale) * scale;
+            abs_err += std::fabs(q - d[i]);
+            d[i] = q;
+        }
+        report.parameters += n;
+    }
+    if (report.parameters > 0)
+        report.meanAbsError =
+            abs_err / static_cast<double>(report.parameters);
+    return report;
+}
+
+} // namespace aib::nn

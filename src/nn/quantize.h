@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Post-training fake quantization.
+ *
+ * The paper's introduction motivates end-to-end quality targets with
+ * precisely this effect: "some mixed-precision optimizations
+ * immediately improve traditional performance metrics like
+ * throughput, while adversely affecting the quality of the final
+ * model, which can only be observed by running an entire training
+ * session." This module quantizes a trained module's parameters to a
+ * reduced bit width (symmetric, per-tensor) so the quality impact
+ * can be measured with the benchmark's own metric — the
+ * `ablation_quantization` bench does exactly that.
+ */
+
+#ifndef AIB_NN_QUANTIZE_H
+#define AIB_NN_QUANTIZE_H
+
+#include "nn/module.h"
+
+namespace aib::nn {
+
+/** Summary of a quantization pass. */
+struct QuantizationReport {
+    int bits = 0;
+    std::int64_t parameters = 0;
+    /** Mean absolute rounding error introduced. */
+    double meanAbsError = 0.0;
+    /** Largest per-tensor scale used. */
+    double maxScale = 0.0;
+    /** Model size ratio vs float32 (e.g. 0.25 for int8). */
+    double
+    sizeRatio() const
+    {
+        return bits / 32.0;
+    }
+};
+
+/**
+ * Fake-quantize every parameter of @p module in place: values are
+ * rounded to the nearest of 2^bits symmetric levels per tensor
+ * (scale = max|w| / (2^(bits-1) - 1)) and written back as float —
+ * the standard simulation of integer inference arithmetic.
+ *
+ * @param bits target bit width, in [2, 16].
+ */
+QuantizationReport quantizeParameters(Module &module, int bits);
+
+} // namespace aib::nn
+
+#endif // AIB_NN_QUANTIZE_H

@@ -1,0 +1,108 @@
+#include "nn/rnn.h"
+
+#include "nn/init.h"
+#include "tensor/ops.h"
+
+namespace aib::nn {
+
+GRUCell::GRUCell(std::int64_t input_size, std::int64_t hidden_size,
+                 Rng &rng)
+    : hiddenSize_(hidden_size)
+{
+    wx = registerParameter(
+        "wx", init::xavierUniform({input_size, 3 * hidden_size},
+                                  input_size, hidden_size, rng));
+    wh = registerParameter(
+        "wh", init::xavierUniform({hidden_size, 3 * hidden_size},
+                                  hidden_size, hidden_size, rng));
+    bias = registerParameter("bias", Tensor::zeros({3 * hidden_size}));
+}
+
+Tensor
+GRUCell::forward(const Tensor &x, const Tensor &h)
+{
+    const std::int64_t hs = hiddenSize_;
+    Tensor gates_x = ops::add(ops::matmul(x, wx), bias);
+    Tensor gates_h = ops::matmul(h, wh);
+
+    Tensor r = ops::sigmoid(ops::add(ops::sliceDim(gates_x, 1, 0, hs),
+                                     ops::sliceDim(gates_h, 1, 0, hs)));
+    Tensor z =
+        ops::sigmoid(ops::add(ops::sliceDim(gates_x, 1, hs, 2 * hs),
+                              ops::sliceDim(gates_h, 1, hs, 2 * hs)));
+    Tensor n = ops::tanh(ops::add(
+        ops::sliceDim(gates_x, 1, 2 * hs, 3 * hs),
+        ops::mul(r, ops::sliceDim(gates_h, 1, 2 * hs, 3 * hs))));
+    // h' = (1 - z) * n + z * h
+    Tensor one_minus_z = ops::affineScalar(z, -1.0f, 1.0f);
+    return ops::add(ops::mul(one_minus_z, n), ops::mul(z, h));
+}
+
+LSTMCell::LSTMCell(std::int64_t input_size, std::int64_t hidden_size,
+                   Rng &rng)
+    : hiddenSize_(hidden_size)
+{
+    wx = registerParameter(
+        "wx", init::xavierUniform({input_size, 4 * hidden_size},
+                                  input_size, hidden_size, rng));
+    wh = registerParameter(
+        "wh", init::xavierUniform({hidden_size, 4 * hidden_size},
+                                  hidden_size, hidden_size, rng));
+    bias = registerParameter("bias", Tensor::zeros({4 * hidden_size}));
+    // Forget-gate bias starts at 1 for training stability.
+    float *b = bias.data();
+    for (std::int64_t i = hidden_size; i < 2 * hidden_size; ++i)
+        b[i] = 1.0f;
+}
+
+std::pair<Tensor, Tensor>
+LSTMCell::forward(const Tensor &x, const Tensor &h, const Tensor &c)
+{
+    const std::int64_t hs = hiddenSize_;
+    Tensor gates = ops::add(ops::add(ops::matmul(x, wx), bias),
+                            ops::matmul(h, wh));
+    Tensor i = ops::sigmoid(ops::sliceDim(gates, 1, 0, hs));
+    Tensor f = ops::sigmoid(ops::sliceDim(gates, 1, hs, 2 * hs));
+    Tensor g = ops::tanh(ops::sliceDim(gates, 1, 2 * hs, 3 * hs));
+    Tensor o = ops::sigmoid(ops::sliceDim(gates, 1, 3 * hs, 4 * hs));
+    Tensor c_next = ops::add(ops::mul(f, c), ops::mul(i, g));
+    Tensor h_next = ops::mul(o, ops::tanh(c_next));
+    return {h_next, c_next};
+}
+
+std::vector<Tensor>
+runGru(GRUCell &cell, const std::vector<Tensor> &steps, Tensor h0)
+{
+    std::vector<Tensor> outputs;
+    outputs.reserve(steps.size());
+    Tensor h = h0;
+    for (const Tensor &x : steps) {
+        if (!h.defined())
+            h = Tensor::zeros({x.dim(0), cell.hiddenSize()});
+        h = cell.forward(x, h);
+        outputs.push_back(h);
+    }
+    return outputs;
+}
+
+std::pair<std::vector<Tensor>, Tensor>
+runLstm(LSTMCell &cell, const std::vector<Tensor> &steps, Tensor h0,
+        Tensor c0)
+{
+    std::vector<Tensor> outputs;
+    outputs.reserve(steps.size());
+    Tensor h = h0, c = c0;
+    for (const Tensor &x : steps) {
+        if (!h.defined())
+            h = Tensor::zeros({x.dim(0), cell.hiddenSize()});
+        if (!c.defined())
+            c = Tensor::zeros({x.dim(0), cell.hiddenSize()});
+        auto [h2, c2] = cell.forward(x, h, c);
+        h = h2;
+        c = c2;
+        outputs.push_back(h);
+    }
+    return {outputs, c};
+}
+
+} // namespace aib::nn

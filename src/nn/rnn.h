@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Recurrent cells (GRU, LSTM) built from GEMM + element-wise
+ * primitives, plus a sequence-runner convenience.
+ */
+
+#ifndef AIB_NN_RNN_H
+#define AIB_NN_RNN_H
+
+#include <utility>
+#include <vector>
+
+#include "nn/module.h"
+#include "tensor/tensor.h"
+
+namespace aib::nn {
+
+/** Gated recurrent unit cell. */
+class GRUCell : public Module
+{
+  public:
+    GRUCell(std::int64_t input_size, std::int64_t hidden_size, Rng &rng);
+
+    /**
+     * One step: @p x is (B, input), @p h is (B, hidden).
+     * @return the next hidden state (B, hidden).
+     */
+    Tensor forward(const Tensor &x, const Tensor &h);
+
+    std::int64_t hiddenSize() const { return hiddenSize_; }
+
+    Tensor wx; ///< (input, 3*hidden): reset | update | candidate
+    Tensor wh; ///< (hidden, 3*hidden)
+    Tensor bias; ///< (3*hidden)
+
+  private:
+    std::int64_t hiddenSize_;
+};
+
+/** Long short-term memory cell. */
+class LSTMCell : public Module
+{
+  public:
+    LSTMCell(std::int64_t input_size, std::int64_t hidden_size, Rng &rng);
+
+    /**
+     * One step: @return (h', c') given @p x (B,in), @p h and @p c
+     * (B, hidden).
+     */
+    std::pair<Tensor, Tensor> forward(const Tensor &x, const Tensor &h,
+                                      const Tensor &c);
+
+    std::int64_t hiddenSize() const { return hiddenSize_; }
+
+    Tensor wx; ///< (input, 4*hidden): input | forget | cell | output
+    Tensor wh; ///< (hidden, 4*hidden)
+    Tensor bias; ///< (4*hidden)
+
+  private:
+    std::int64_t hiddenSize_;
+};
+
+/**
+ * Run a GRU over a sequence of (B, input) steps.
+ * @return all hidden states, last one is the summary state.
+ */
+std::vector<Tensor> runGru(GRUCell &cell, const std::vector<Tensor> &steps,
+                           Tensor h0 = Tensor());
+
+/** Run an LSTM over a sequence; @return (outputs, final cell state). */
+std::pair<std::vector<Tensor>, Tensor>
+runLstm(LSTMCell &cell, const std::vector<Tensor> &steps,
+        Tensor h0 = Tensor(), Tensor c0 = Tensor());
+
+} // namespace aib::nn
+
+#endif // AIB_NN_RNN_H

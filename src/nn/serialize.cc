@@ -1,0 +1,113 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace aib::nn {
+
+namespace {
+
+constexpr char kMagic[8] = {'A', 'I', 'B', 'C', 'K', 'P', 'T', '1'};
+
+void
+writeU32(std::ostream &out, std::uint32_t v)
+{
+    out.write(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+void
+writeI64(std::ostream &out, std::int64_t v)
+{
+    out.write(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+std::uint32_t
+readU32(std::istream &in)
+{
+    std::uint32_t v = 0;
+    in.read(reinterpret_cast<char *>(&v), sizeof(v));
+    if (!in)
+        throw std::runtime_error("checkpoint: truncated file");
+    return v;
+}
+
+std::int64_t
+readI64(std::istream &in)
+{
+    std::int64_t v = 0;
+    in.read(reinterpret_cast<char *>(&v), sizeof(v));
+    if (!in)
+        throw std::runtime_error("checkpoint: truncated file");
+    return v;
+}
+
+} // namespace
+
+void
+saveCheckpoint(const Module &module, const std::string &path)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        throw std::runtime_error("checkpoint: cannot open " + path);
+    out.write(kMagic, sizeof(kMagic));
+    const auto params = module.namedParameters();
+    writeU32(out, static_cast<std::uint32_t>(params.size()));
+    for (const NamedParam &p : params) {
+        writeU32(out, static_cast<std::uint32_t>(p.name.size()));
+        out.write(p.name.data(),
+                  static_cast<std::streamsize>(p.name.size()));
+        const Shape &shape = p.tensor.shape();
+        writeU32(out, static_cast<std::uint32_t>(shape.size()));
+        for (std::int64_t d : shape)
+            writeI64(out, d);
+        out.write(reinterpret_cast<const char *>(p.tensor.data()),
+                  static_cast<std::streamsize>(p.tensor.numel() *
+                                               sizeof(float)));
+    }
+    if (!out)
+        throw std::runtime_error("checkpoint: write failed for " +
+                                 path);
+}
+
+void
+loadCheckpoint(Module &module, const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw std::runtime_error("checkpoint: cannot open " + path);
+    char magic[8] = {};
+    in.read(magic, sizeof(magic));
+    if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+        throw std::runtime_error("checkpoint: bad magic in " + path);
+
+    auto params = module.namedParameters();
+    const std::uint32_t count = readU32(in);
+    if (count != params.size())
+        throw std::runtime_error(
+            "checkpoint: parameter count mismatch");
+    for (NamedParam &p : params) {
+        const std::uint32_t name_len = readU32(in);
+        std::string name(name_len, '\0');
+        in.read(name.data(), name_len);
+        if (!in || name != p.name)
+            throw std::runtime_error(
+                "checkpoint: parameter name mismatch: expected '" +
+                p.name + "', found '" + name + "'");
+        const std::uint32_t rank = readU32(in);
+        Shape shape(rank);
+        for (std::uint32_t d = 0; d < rank; ++d)
+            shape[d] = readI64(in);
+        if (shape != p.tensor.shape())
+            throw std::runtime_error(
+                "checkpoint: shape mismatch for '" + p.name + "'");
+        in.read(reinterpret_cast<char *>(p.tensor.data()),
+                static_cast<std::streamsize>(p.tensor.numel() *
+                                             sizeof(float)));
+        if (!in)
+            throw std::runtime_error("checkpoint: truncated data");
+    }
+}
+
+} // namespace aib::nn

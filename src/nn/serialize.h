@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Checkpoint serialization: save/load a module's named parameters to
+ * a simple self-describing binary format. Supports the paper's
+ * reimplementation workflow — a reference implementation's weights
+ * can be saved, reloaded, and resumed (retraining a *different*
+ * model is what the rules forbid, not checkpointing).
+ *
+ * Format (little-endian):
+ *   magic "AIBCKPT1"
+ *   u32 parameter count
+ *   per parameter: u32 name length, name bytes,
+ *                  u32 rank, i64 dims..., f32 data...
+ */
+
+#ifndef AIB_NN_SERIALIZE_H
+#define AIB_NN_SERIALIZE_H
+
+#include <string>
+
+#include "nn/module.h"
+
+namespace aib::nn {
+
+/** Save every named parameter of @p module to @p path.
+ *  @throws std::runtime_error on I/O failure. */
+void saveCheckpoint(const Module &module, const std::string &path);
+
+/**
+ * Load a checkpoint into @p module. Parameter names and shapes must
+ * match exactly.
+ * @throws std::runtime_error on I/O failure, format error, or
+ *         name/shape mismatch.
+ */
+void loadCheckpoint(Module &module, const std::string &path);
+
+} // namespace aib::nn
+
+#endif // AIB_NN_SERIALIZE_H

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Kernel taxonomy shared by the tensor runtime, the profiler, and the
+ * analytical GPU model.
+ *
+ * The paper (Sec. 5.5.1) classifies the hotspot functions of all
+ * seventeen AIBench benchmarks into eight categories of kernels:
+ * data arrangement, convolution, general matrix multiply, batch
+ * normalization, element-wise operation, relu activation, pooling and
+ * memory copy. Every operator in this library dispatches its work
+ * through named kernels tagged with one of these categories, so that
+ * the per-benchmark kernel mix can be recorded and characterized the
+ * same way nvprof traces were in the paper.
+ */
+
+#ifndef AIB_PROFILER_KERNEL_INFO_H
+#define AIB_PROFILER_KERNEL_INFO_H
+
+#include <cstdint>
+#include <string_view>
+
+namespace aib::profiler {
+
+/** The eight kernel categories of the paper's runtime breakdown. */
+enum class KernelCategory : std::uint8_t {
+    DataArrangement = 0,
+    Convolution,
+    Gemm,
+    BatchNorm,
+    Elementwise,
+    Relu,
+    Pooling,
+    Memcpy,
+    NumCategories,
+};
+
+/** Number of kernel categories (for fixed-size aggregation arrays). */
+inline constexpr int kNumKernelCategories =
+    static_cast<int>(KernelCategory::NumCategories);
+
+/** Human-readable name of a kernel category. */
+std::string_view categoryName(KernelCategory category);
+
+/**
+ * One kernel launch as recorded by the tensor runtime.
+ *
+ * @c name must point at a string with static storage duration (all
+ * runtime kernels use string literals); the profiler aggregates by
+ * this pointer without copying.
+ */
+struct KernelLaunch {
+    /** Static kernel name, mimicking the CUDA function names of Table 7. */
+    std::string_view name;
+    /** Category for the eight-way runtime breakdown. */
+    KernelCategory category = KernelCategory::Elementwise;
+    /** Floating point operations performed by the launch. */
+    double flops = 0.0;
+    /** Bytes read from device memory. */
+    double bytesRead = 0.0;
+    /** Bytes written to device memory. */
+    double bytesWritten = 0.0;
+    /** Logical parallel work items (e.g. output elements). */
+    double threads = 0.0;
+};
+
+} // namespace aib::profiler
+
+#endif // AIB_PROFILER_KERNEL_INFO_H

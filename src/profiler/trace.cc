@@ -1,0 +1,163 @@
+#include "profiler/trace.h"
+
+#include <algorithm>
+
+namespace aib::profiler {
+
+namespace {
+
+thread_local TraceSession *tl_active_session = nullptr;
+
+} // namespace
+
+std::string_view
+categoryName(KernelCategory category)
+{
+    switch (category) {
+      case KernelCategory::DataArrangement: return "DataArrangement";
+      case KernelCategory::Convolution: return "Convolution";
+      case KernelCategory::Gemm: return "GEMM";
+      case KernelCategory::BatchNorm: return "BatchNorm";
+      case KernelCategory::Elementwise: return "ElementWise";
+      case KernelCategory::Relu: return "Relu";
+      case KernelCategory::Pooling: return "Pooling";
+      case KernelCategory::Memcpy: return "Memcpy";
+      default: return "Unknown";
+    }
+}
+
+void
+TraceSession::record(const KernelLaunch &launch)
+{
+    KernelStats &stats = stats_[launch.name];
+    stats.category = launch.category;
+    stats.launches += 1;
+    stats.flops += launch.flops;
+    stats.bytesRead += launch.bytesRead;
+    stats.bytesWritten += launch.bytesWritten;
+    stats.threads += launch.threads;
+
+    totalLaunches_ += 1;
+    totalFlops_ += launch.flops;
+    totalBytes_ += launch.bytesRead + launch.bytesWritten;
+}
+
+void
+TraceSession::clear()
+{
+    stats_.clear();
+    totalLaunches_ = 0;
+    totalFlops_ = 0.0;
+    totalBytes_ = 0.0;
+}
+
+const KernelStats *
+TraceSession::find(std::string_view name) const
+{
+    auto it = stats_.find(name);
+    return it == stats_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::pair<std::string_view, KernelStats>>
+TraceSession::kernels() const
+{
+    std::vector<std::pair<std::string_view, KernelStats>> out(
+        stats_.begin(), stats_.end());
+    std::sort(out.begin(), out.end(), [](const auto &a, const auto &b) {
+        if (a.second.flops != b.second.flops)
+            return a.second.flops > b.second.flops;
+        return a.first < b.first;
+    });
+    return out;
+}
+
+std::vector<KernelStats>
+TraceSession::categoryTotals() const
+{
+    std::vector<KernelStats> totals(kNumKernelCategories);
+    for (int i = 0; i < kNumKernelCategories; ++i)
+        totals[i].category = static_cast<KernelCategory>(i);
+    for (const auto &[name, stats] : stats_) {
+        KernelStats &t = totals[static_cast<int>(stats.category)];
+        t.launches += stats.launches;
+        t.flops += stats.flops;
+        t.bytesRead += stats.bytesRead;
+        t.bytesWritten += stats.bytesWritten;
+        t.threads += stats.threads;
+    }
+    return totals;
+}
+
+void
+TraceSession::merge(const TraceSession &other)
+{
+    for (const auto &[name, stats] : other.stats_) {
+        KernelStats &mine = stats_[name];
+        mine.category = stats.category;
+        mine.launches += stats.launches;
+        mine.flops += stats.flops;
+        mine.bytesRead += stats.bytesRead;
+        mine.bytesWritten += stats.bytesWritten;
+        mine.threads += stats.threads;
+    }
+    totalLaunches_ += other.totalLaunches_;
+    totalFlops_ += other.totalFlops_;
+    totalBytes_ += other.totalBytes_;
+}
+
+std::string
+toCsv(const TraceSession &session)
+{
+    std::string out =
+        "kernel,category,launches,flops,bytes_read,bytes_written,"
+        "threads\n";
+    for (const auto &[name, stats] : session.kernels()) {
+        out += std::string(name);
+        out += ',';
+        out += std::string(categoryName(stats.category));
+        out += ',';
+        out += std::to_string(stats.launches);
+        out += ',';
+        out += std::to_string(stats.flops);
+        out += ',';
+        out += std::to_string(stats.bytesRead);
+        out += ',';
+        out += std::to_string(stats.bytesWritten);
+        out += ',';
+        out += std::to_string(stats.threads);
+        out += '\n';
+    }
+    return out;
+}
+
+void
+record(const KernelLaunch &launch)
+{
+    if (tl_active_session)
+        tl_active_session->record(launch);
+}
+
+TraceSession *
+activeSession()
+{
+    return tl_active_session;
+}
+
+bool
+tracingEnabled()
+{
+    return tl_active_session != nullptr;
+}
+
+ScopedTrace::ScopedTrace(TraceSession &session)
+    : previous_(tl_active_session)
+{
+    tl_active_session = &session;
+}
+
+ScopedTrace::~ScopedTrace()
+{
+    tl_active_session = previous_;
+}
+
+} // namespace aib::profiler

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Kernel-trace recording session.
+ *
+ * A @c TraceSession plays the role nvprof played in the paper: while a
+ * session is active (see @c ScopedTrace), every kernel launched by the
+ * tensor runtime is aggregated into per-kernel statistics (launch
+ * count, FLOPs, bytes moved, logical threads). The analytical GPU
+ * model (src/gpusim) later assigns simulated time to each kernel, and
+ * the analysis layer derives the paper's runtime breakdown, hotspot
+ * census, micro-architectural metrics and stall profiles from the
+ * trace.
+ */
+
+#ifndef AIB_PROFILER_TRACE_H
+#define AIB_PROFILER_TRACE_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "profiler/kernel_info.h"
+
+namespace aib::profiler {
+
+/** Aggregated statistics for one named kernel within a session. */
+struct KernelStats {
+    KernelCategory category = KernelCategory::Elementwise;
+    std::uint64_t launches = 0;
+    double flops = 0.0;
+    double bytesRead = 0.0;
+    double bytesWritten = 0.0;
+    double threads = 0.0;
+
+    /** Total bytes moved (read + written). */
+    double bytesTotal() const { return bytesRead + bytesWritten; }
+
+    /**
+     * Arithmetic intensity in FLOPs per byte; 0 when no bytes move.
+     */
+    double
+    arithmeticIntensity() const
+    {
+        const double bytes = bytesTotal();
+        return bytes > 0.0 ? flops / bytes : 0.0;
+    }
+};
+
+/**
+ * Aggregating recorder for kernel launches.
+ *
+ * Aggregation is keyed by the kernel-name pointer, which is why
+ * @c KernelLaunch::name must be a string literal (static storage).
+ */
+class TraceSession
+{
+  public:
+    TraceSession() = default;
+
+    /** Record one kernel launch into the aggregate. */
+    void record(const KernelLaunch &launch);
+
+    /** Drop all recorded statistics. */
+    void clear();
+
+    /** Number of distinct kernels observed. */
+    std::size_t kernelCount() const { return stats_.size(); }
+
+    /** Total launches across all kernels. */
+    std::uint64_t totalLaunches() const { return totalLaunches_; }
+
+    /** Total FLOPs across all kernels. */
+    double totalFlops() const { return totalFlops_; }
+
+    /** Total bytes moved across all kernels. */
+    double totalBytes() const { return totalBytes_; }
+
+    /** Stats for one kernel name, or nullptr if never launched. */
+    const KernelStats *find(std::string_view name) const;
+
+    /**
+     * Snapshot of all kernels as (name, stats) pairs, sorted by
+     * descending FLOPs then name for deterministic output.
+     */
+    std::vector<std::pair<std::string_view, KernelStats>> kernels() const;
+
+    /** Per-category totals (indexed by KernelCategory). */
+    std::vector<KernelStats> categoryTotals() const;
+
+    /** Merge another session's aggregates into this one. */
+    void merge(const TraceSession &other);
+
+  private:
+    std::unordered_map<std::string_view, KernelStats> stats_;
+    std::uint64_t totalLaunches_ = 0;
+    double totalFlops_ = 0.0;
+    double totalBytes_ = 0.0;
+};
+
+/**
+ * Record a kernel launch into the active session, if any.
+ *
+ * This is the single hook the tensor runtime calls; it is a no-op when
+ * profiling is disabled, keeping training loops cheap.
+ */
+void record(const KernelLaunch &launch);
+
+/** Convenience overload assembling the launch in place. */
+inline void
+record(std::string_view name, KernelCategory category, double flops,
+       double bytes_read, double bytes_written, double threads)
+{
+    record(KernelLaunch{name, category, flops, bytes_read, bytes_written,
+                        threads});
+}
+
+/** @return the currently active session, or nullptr. */
+TraceSession *activeSession();
+
+/** @return true when a session is active (fast check for callers). */
+bool tracingEnabled();
+
+/**
+ * Render a session as CSV (header + one row per kernel, sorted as in
+ * TraceSession::kernels) for offline analysis and spreadsheets.
+ */
+std::string toCsv(const TraceSession &session);
+
+/**
+ * RAII activation of a trace session on the current thread.
+ *
+ * Sessions nest; the innermost active session receives the records.
+ */
+class ScopedTrace
+{
+  public:
+    explicit ScopedTrace(TraceSession &session);
+    ~ScopedTrace();
+
+    ScopedTrace(const ScopedTrace &) = delete;
+    ScopedTrace &operator=(const ScopedTrace &) = delete;
+
+  private:
+    TraceSession *previous_;
+};
+
+} // namespace aib::profiler
+
+#endif // AIB_PROFILER_TRACE_H

@@ -1,0 +1,149 @@
+#include "tensor/autograd.h"
+
+#include <cassert>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace aib::autograd {
+
+bool
+needsGrad(const Tensor &t)
+{
+    return t.defined() && (t.requiresGrad() || t.gradFn() != nullptr);
+}
+
+bool
+anyNeedsGrad(const std::vector<Tensor> &ts)
+{
+    for (const Tensor &t : ts) {
+        if (needsGrad(t))
+            return true;
+    }
+    return false;
+}
+
+Tensor
+makeOutput(Tensor value, std::string_view name, std::vector<Tensor> inputs,
+           std::function<std::vector<Tensor>(const Tensor &)> backward_fn)
+{
+    if (!gradModeEnabled() || !anyNeedsGrad(inputs))
+        return value;
+    auto node = std::make_shared<Node>();
+    node->name = name;
+    node->inputs = std::move(inputs);
+    node->backward = std::move(backward_fn);
+    value.setGradFn(std::move(node));
+    return value;
+}
+
+namespace {
+
+/**
+ * Depth-first post-order over the node graph reachable from @p root,
+ * so that reversing the result yields a valid topological order for
+ * gradient propagation.
+ */
+void
+topoSort(const std::shared_ptr<Node> &root,
+         std::vector<std::shared_ptr<Node>> &order)
+{
+    std::unordered_set<Node *> visited;
+    // Iterative DFS to survive deep RNN graphs.
+    struct Frame {
+        std::shared_ptr<Node> node;
+        std::size_t next_input = 0;
+    };
+    std::vector<Frame> stack;
+    if (!root || visited.count(root.get()))
+        return;
+    visited.insert(root.get());
+    stack.push_back({root, 0});
+    while (!stack.empty()) {
+        Frame &frame = stack.back();
+        bool descended = false;
+        while (frame.next_input < frame.node->inputs.size()) {
+            const Tensor &input = frame.node->inputs[frame.next_input++];
+            if (!input.defined())
+                continue;
+            const auto &fn = input.gradFn();
+            if (fn && !visited.count(fn.get())) {
+                visited.insert(fn.get());
+                stack.push_back({fn, 0});
+                descended = true;
+                break;
+            }
+        }
+        if (!descended && frame.next_input >= frame.node->inputs.size()) {
+            order.push_back(frame.node);
+            stack.pop_back();
+        }
+    }
+}
+
+} // namespace
+
+void
+backward(const Tensor &root, const Tensor &grad)
+{
+    if (!root.defined())
+        throw std::logic_error("autograd::backward: undefined root");
+    if (!root.gradFn()) {
+        if (root.requiresGrad())
+            root.impl()->grad = grad.impl();
+        return;
+    }
+
+    // Gradient computations must not record new autograd nodes.
+    NoGradGuard no_grad;
+
+    std::vector<std::shared_ptr<Node>> order;
+    topoSort(root.gradFn(), order);
+
+    // Accumulated gradient of each node's output tensor.
+    std::unordered_map<Node *, Tensor> node_grads;
+    node_grads[root.gradFn().get()] = grad;
+
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+        Node *node = it->get();
+        auto found = node_grads.find(node);
+        if (found == node_grads.end())
+            continue; // Unreachable from the seed (no gradient flows).
+        Tensor out_grad = found->second;
+        node_grads.erase(found);
+
+        std::vector<Tensor> input_grads = node->backward(out_grad);
+        if (input_grads.size() != node->inputs.size()) {
+            throw std::logic_error(
+                std::string("autograd: backward of '") +
+                std::string(node->name) +
+                "' returned wrong number of gradients");
+        }
+        for (std::size_t i = 0; i < node->inputs.size(); ++i) {
+            const Tensor &input = node->inputs[i];
+            Tensor &g = input_grads[i];
+            if (!g.defined() || !input.defined())
+                continue;
+            assert(sameShape(g.shape(), input.shape()));
+            const auto &fn = input.gradFn();
+            if (fn) {
+                auto slot = node_grads.find(fn.get());
+                if (slot == node_grads.end()) {
+                    node_grads.emplace(fn.get(), g.clone());
+                } else {
+                    Tensor &acc = slot->second;
+                    float *dst = acc.data();
+                    const float *src = g.data();
+                    const std::int64_t n = acc.numel();
+                    for (std::int64_t k = 0; k < n; ++k)
+                        dst[k] += src[k];
+                }
+            } else if (input.requiresGrad()) {
+                const_cast<Tensor &>(input).accumulateGrad(g);
+            }
+        }
+    }
+}
+
+} // namespace aib::autograd

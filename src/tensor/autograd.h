@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Tape-based reverse-mode automatic differentiation.
+ *
+ * Every differentiable operator produces a single output tensor whose
+ * @c gradFn points at a @c Node capturing the inputs and a backward
+ * closure. @c backward() on the final scalar performs a topological
+ * traversal, feeding each node the gradient of its output and
+ * accumulating the returned input gradients into leaf tensors.
+ */
+
+#ifndef AIB_TENSOR_AUTOGRAD_H
+#define AIB_TENSOR_AUTOGRAD_H
+
+#include <functional>
+#include <string_view>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace aib::autograd {
+
+/** One recorded operation in the autograd tape. */
+struct Node {
+    /** Operator name, for debugging. */
+    std::string_view name;
+    /** Input tensors of the forward op (keeps the graph alive). */
+    std::vector<Tensor> inputs;
+    /**
+     * Backward closure: maps the output gradient to one gradient per
+     * input. An undefined Tensor in the result means "no gradient for
+     * this input" (e.g. integer-like index inputs).
+     */
+    std::function<std::vector<Tensor>(const Tensor &grad_out)> backward;
+};
+
+/**
+ * Create the output tensor of a differentiable op.
+ *
+ * When grad mode is on and any input needs a gradient, attaches a
+ * Node with the given name, inputs and backward closure; otherwise
+ * returns @p value untouched.
+ */
+Tensor makeOutput(Tensor value, std::string_view name,
+                  std::vector<Tensor> inputs,
+                  std::function<std::vector<Tensor>(const Tensor &)>
+                      backward);
+
+/** True when @p t participates in differentiation. */
+bool needsGrad(const Tensor &t);
+
+/** True when any tensor in @p ts participates in differentiation. */
+bool anyNeedsGrad(const std::vector<Tensor> &ts);
+
+/**
+ * Run reverse-mode differentiation from @p root with seed gradient
+ * @p grad (must match root's shape).
+ */
+void backward(const Tensor &root, const Tensor &grad);
+
+} // namespace aib::autograd
+
+#endif // AIB_TENSOR_AUTOGRAD_H

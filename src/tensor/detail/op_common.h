@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Internal helpers shared by operator implementations: the kernel-name
+ * registry mirroring the paper's Table 7, and broadcasting machinery.
+ * Not part of the public API.
+ */
+
+#ifndef AIB_TENSOR_DETAIL_OP_COMMON_H
+#define AIB_TENSOR_DETAIL_OP_COMMON_H
+
+#include <cstdint>
+#include <vector>
+
+#include "profiler/trace.h"
+#include "tensor/tensor.h"
+
+namespace aib::ops::detail {
+
+using profiler::KernelCategory;
+
+/**
+ * Kernel names used by the runtime. They mirror the CUDA hotspot
+ * function names the paper reports in Table 7 so the hotspot census
+ * (Fig. 6) and the hotspot table reproduce with recognizable entries.
+ */
+namespace kn {
+
+// GEMM
+inline constexpr char sgemm_nn[] = "maxwell_sgemm_128x64_nn";
+inline constexpr char sgemm_nt[] = "maxwell_sgemm_128x64_nt";
+inline constexpr char sgemm_tn[] = "maxwell_sgemm_128x64_tn";
+inline constexpr char sgemm_vec[] = "sgemm_32x32x32_NN_vec";
+inline constexpr char sgemm_batched[] = "maxwell_sgemm_64x64_batched_nn";
+
+// Convolution
+inline constexpr char conv_winograd[] =
+    "maxwell_scudnn_winograd_128x128_ldg1_ldg4_tile148n_nt";
+inline constexpr char conv_wgrad[] = "wgrad_alg0_engine";
+inline constexpr char conv_fft[] = "fft2d_r2c_32x32";
+
+// Data arrangement
+inline constexpr char im2col[] =
+    "maxwell_scudnn_128x128_stridedB_splitK_interior_nn";
+inline constexpr char col2im[] =
+    "maxwell_scudnn_128x32_stridedB_splitK_interior_nn";
+inline constexpr char gather_scatter[] =
+    "maxwell_scudnn_128x128_stridedB_interior_nn";
+
+// BatchNorm
+inline constexpr char bn_fwd[] = "cudnn_bn_fw_tr_1C11_kernel_NCHW";
+inline constexpr char bn_bwd[] = "cudnn_bn_bw_1C11_kernel_new";
+inline constexpr char bn_bwd_native[] = "batch_norm_backward_kernel";
+inline constexpr char ln_fwd[] = "layer_norm_forward_kernel";
+inline constexpr char ln_bwd[] = "layer_norm_backward_kernel";
+
+// Relu
+inline constexpr char relu_fwd[] = "maxwell_scudnn_128x128_relu_small_nn";
+inline constexpr char relu_bwd[] =
+    "maxwell_scudnn_128x128_relu_interior_nn";
+inline constexpr char relu_leaky[] = "maxwell_scudnn_128x32_relu_interior_nn";
+
+// Element-wise
+inline constexpr char ew_add[] = "elementwise_add_kernel";
+inline constexpr char ew_mul[] = "elementwise_mul_kernel";
+inline constexpr char ew_div[] = "elementwise_div_kernel";
+inline constexpr char ew_threshold[] = "elementwise_threshold_kernel";
+inline constexpr char ew_unary[] = "elementwise_unary_kernel";
+inline constexpr char ew_exp[] = "elementwise_exp_kernel";
+inline constexpr char ew_softmax[] = "softmax_warp_forward_kernel";
+inline constexpr char ew_softmax_bwd[] = "softmax_warp_backward_kernel";
+inline constexpr char ew_reduce[] = "reduce_kernel";
+inline constexpr char ew_dropout[] = "fused_dropout_kernel";
+inline constexpr char ew_sample[] = "grid_sampler_2d_kernel";
+inline constexpr char ew_sample_bwd[] = "grid_sampler_2d_backward_kernel";
+
+// Pooling
+inline constexpr char pool_max_fwd[] = "MaxPoolForward";
+inline constexpr char pool_max_bwd[] = "MaxPoolBackward";
+inline constexpr char pool_avg_fwd[] = "AvePoolForward";
+inline constexpr char pool_avg_bwd[] = "AvePoolBackward";
+
+// Memcpy
+inline constexpr char memcpy_h2d[] = "CUDA_memcpy_HtoD";
+inline constexpr char memcpy_d2d[] = "CUDA_memcpy_DtoD";
+
+} // namespace kn
+
+/** Record an element-wise style kernel over @p n output elements. */
+inline void
+recordMap(const char *name, KernelCategory category, double n,
+          double inputs_per_element, double flops_per_element)
+{
+    profiler::record(name, category, flops_per_element * n,
+                     4.0 * inputs_per_element * n, 4.0 * n, n);
+}
+
+/** Record a plain device-to-device copy of @p n elements. */
+inline void
+recordCopy(double n)
+{
+    profiler::record(kn::memcpy_d2d, KernelCategory::Memcpy, 0.0, 4.0 * n,
+                     4.0 * n, n);
+}
+
+/** Record a data-arrangement (gather/scatter/layout) kernel. */
+inline void
+recordArrange(double n)
+{
+    profiler::record(kn::gather_scatter, KernelCategory::DataArrangement,
+                     0.0, 4.0 * n, 4.0 * n, n);
+}
+
+/**
+ * Strides of @p shape broadcast against @p out_shape: 0 where the
+ * input dimension is 1 (or missing), the contiguous stride otherwise.
+ */
+std::vector<std::int64_t> broadcastStrides(const Shape &shape,
+                                           const Shape &out_shape);
+
+/** True when @p shape broadcast to @p out requires no expansion. */
+inline bool
+noBroadcastNeeded(const Shape &shape, const Shape &out)
+{
+    return shape == out;
+}
+
+} // namespace aib::ops::detail
+
+#endif // AIB_TENSOR_DETAIL_OP_COMMON_H

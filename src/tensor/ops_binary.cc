@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Broadcasting binary element-wise operators and their gradients.
+ */
+
+#include "tensor/ops.h"
+
+#include <cassert>
+#include <functional>
+
+#include "tensor/autograd.h"
+#include "tensor/detail/op_common.h"
+
+namespace aib::ops {
+
+namespace {
+
+using detail::KernelCategory;
+namespace kn = detail::kn;
+
+/**
+ * Apply @p fn element-wise over the broadcast of @p a and @p b.
+ * Fast paths cover the same-shape and scalar cases; the general path
+ * walks an incremental multi-index with zero-strides on broadcast
+ * dimensions.
+ */
+template <typename Fn>
+Tensor
+broadcastBinary(const Tensor &a, const Tensor &b, Fn fn)
+{
+    const Shape out_shape = broadcastShapes(a.shape(), b.shape());
+    Tensor out = Tensor::empty(out_shape);
+    const std::int64_t n = out.numel();
+    const float *pa = a.data();
+    const float *pb = b.data();
+    float *po = out.data();
+
+    if (a.shape() == out_shape && b.shape() == out_shape) {
+        for (std::int64_t i = 0; i < n; ++i)
+            po[i] = fn(pa[i], pb[i]);
+        return out;
+    }
+    if (b.numel() == 1) {
+        const float s = pb[0];
+        for (std::int64_t i = 0; i < n; ++i)
+            po[i] = fn(pa[i], s);
+        return out;
+    }
+    if (a.numel() == 1) {
+        const float s = pa[0];
+        for (std::int64_t i = 0; i < n; ++i)
+            po[i] = fn(s, pb[i]);
+        return out;
+    }
+    // Trailing broadcast: b's shape equals the trailing dims of out
+    // and a is full-shape (the common bias-add pattern).
+    if (a.shape() == out_shape) {
+        const std::int64_t bn = b.numel();
+        bool trailing = true;
+        const Shape &bs = b.shape();
+        const std::size_t off = out_shape.size() - bs.size();
+        for (std::size_t i = 0; i < bs.size(); ++i) {
+            if (bs[i] != out_shape[off + i]) {
+                trailing = false;
+                break;
+            }
+        }
+        if (trailing && n % bn == 0) {
+            for (std::int64_t i = 0; i < n; ++i)
+                po[i] = fn(pa[i], pb[i % bn]);
+            return out;
+        }
+    }
+
+    // General strided walk.
+    const auto sa = detail::broadcastStrides(a.shape(), out_shape);
+    const auto sb = detail::broadcastStrides(b.shape(), out_shape);
+    const int nd = static_cast<int>(out_shape.size());
+    std::vector<std::int64_t> index(nd, 0);
+    std::int64_t oa = 0, ob = 0;
+    for (std::int64_t i = 0; i < n; ++i) {
+        po[i] = fn(pa[oa], pb[ob]);
+        for (int d = nd - 1; d >= 0; --d) {
+            ++index[d];
+            oa += sa[d];
+            ob += sb[d];
+            if (index[d] < out_shape[d])
+                break;
+            index[d] = 0;
+            oa -= sa[d] * out_shape[d];
+            ob -= sb[d] * out_shape[d];
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+Tensor
+reduceToShape(const Tensor &a, const Shape &target_shape)
+{
+    if (a.shape() == target_shape)
+        return a;
+    Tensor out = Tensor::zeros(target_shape);
+    const Shape &as = a.shape();
+    const auto st = detail::broadcastStrides(target_shape, as);
+    const int nd = static_cast<int>(as.size());
+    std::vector<std::int64_t> index(nd, 0);
+    const float *pa = a.data();
+    float *po = out.data();
+    const std::int64_t n = a.numel();
+    std::int64_t ot = 0;
+    for (std::int64_t i = 0; i < n; ++i) {
+        po[ot] += pa[i];
+        for (int d = nd - 1; d >= 0; --d) {
+            ++index[d];
+            ot += st[d];
+            if (index[d] < as[d])
+                break;
+            index[d] = 0;
+            ot -= st[d] * as[d];
+        }
+    }
+    detail::recordMap(kn::ew_reduce, KernelCategory::Elementwise,
+                      static_cast<double>(n), 1.0, 1.0);
+    return out;
+}
+
+namespace detail {
+
+std::vector<std::int64_t>
+broadcastStrides(const Shape &shape, const Shape &out_shape)
+{
+    const auto strides = contiguousStrides(shape);
+    std::vector<std::int64_t> out(out_shape.size(), 0);
+    const std::size_t off = out_shape.size() - shape.size();
+    for (std::size_t i = 0; i < shape.size(); ++i) {
+        if (shape[i] != 1)
+            out[off + i] = strides[i];
+    }
+    return out;
+}
+
+} // namespace detail
+
+Tensor
+add(const Tensor &a, const Tensor &b)
+{
+    Tensor out = broadcastBinary(a, b, std::plus<float>());
+    detail::recordMap(kn::ew_add, KernelCategory::Elementwise,
+                      static_cast<double>(out.numel()), 2.0, 1.0);
+    return autograd::makeOutput(
+        std::move(out), "add", {a, b}, [a, b](const Tensor &g) {
+            return std::vector<Tensor>{reduceToShape(g, a.shape()),
+                                       reduceToShape(g, b.shape())};
+        });
+}
+
+Tensor
+sub(const Tensor &a, const Tensor &b)
+{
+    Tensor out = broadcastBinary(a, b, std::minus<float>());
+    detail::recordMap(kn::ew_add, KernelCategory::Elementwise,
+                      static_cast<double>(out.numel()), 2.0, 1.0);
+    return autograd::makeOutput(
+        std::move(out), "sub", {a, b}, [a, b](const Tensor &g) {
+            // reduceToShape may alias g, so negate into a fresh buffer.
+            Tensor gb_src = reduceToShape(g, b.shape());
+            Tensor gb = Tensor::empty(gb_src.shape());
+            const float *src = gb_src.data();
+            float *dst = gb.data();
+            for (std::int64_t i = 0; i < gb.numel(); ++i)
+                dst[i] = -src[i];
+            return std::vector<Tensor>{reduceToShape(g, a.shape()),
+                                       std::move(gb)};
+        });
+}
+
+Tensor
+mul(const Tensor &a, const Tensor &b)
+{
+    Tensor out = broadcastBinary(a, b, std::multiplies<float>());
+    detail::recordMap(kn::ew_mul, KernelCategory::Elementwise,
+                      static_cast<double>(out.numel()), 2.0, 1.0);
+    return autograd::makeOutput(
+        std::move(out), "mul", {a, b}, [a, b](const Tensor &g) {
+            Tensor ga = broadcastBinary(g, b, std::multiplies<float>());
+            Tensor gb = broadcastBinary(g, a, std::multiplies<float>());
+            return std::vector<Tensor>{reduceToShape(ga, a.shape()),
+                                       reduceToShape(gb, b.shape())};
+        });
+}
+
+Tensor
+div(const Tensor &a, const Tensor &b)
+{
+    Tensor out = broadcastBinary(a, b, std::divides<float>());
+    detail::recordMap(kn::ew_div, KernelCategory::Elementwise,
+                      static_cast<double>(out.numel()), 2.0, 1.0);
+    return autograd::makeOutput(
+        std::move(out), "div", {a, b}, [a, b](const Tensor &g) {
+            Tensor ga = broadcastBinary(g, b, std::divides<float>());
+            // gb = -g * a / b^2
+            Tensor gb = broadcastBinary(
+                broadcastBinary(g, a, std::multiplies<float>()), b,
+                [](float x, float y) { return -x / (y * y); });
+            return std::vector<Tensor>{reduceToShape(ga, a.shape()),
+                                       reduceToShape(gb, b.shape())};
+        });
+}
+
+Tensor
+addScalar(const Tensor &a, float s)
+{
+    Tensor out = Tensor::empty(a.shape());
+    const float *pa = a.data();
+    float *po = out.data();
+    const std::int64_t n = a.numel();
+    for (std::int64_t i = 0; i < n; ++i)
+        po[i] = pa[i] + s;
+    detail::recordMap(kn::ew_add, KernelCategory::Elementwise,
+                      static_cast<double>(n), 1.0, 1.0);
+    return autograd::makeOutput(std::move(out), "addScalar", {a},
+                                [](const Tensor &g) {
+                                    return std::vector<Tensor>{g};
+                                });
+}
+
+Tensor
+mulScalar(const Tensor &a, float s)
+{
+    Tensor out = Tensor::empty(a.shape());
+    const float *pa = a.data();
+    float *po = out.data();
+    const std::int64_t n = a.numel();
+    for (std::int64_t i = 0; i < n; ++i)
+        po[i] = pa[i] * s;
+    detail::recordMap(kn::ew_mul, KernelCategory::Elementwise,
+                      static_cast<double>(n), 1.0, 1.0);
+    return autograd::makeOutput(std::move(out), "mulScalar", {a},
+                                [s](const Tensor &g) {
+                                    return std::vector<Tensor>{
+                                        mulScalar(g, s)};
+                                });
+}
+
+Tensor
+affineScalar(const Tensor &a, float s, float b)
+{
+    Tensor out = Tensor::empty(a.shape());
+    const float *pa = a.data();
+    float *po = out.data();
+    const std::int64_t n = a.numel();
+    for (std::int64_t i = 0; i < n; ++i)
+        po[i] = pa[i] * s + b;
+    detail::recordMap(kn::ew_mul, KernelCategory::Elementwise,
+                      static_cast<double>(n), 1.0, 2.0);
+    return autograd::makeOutput(std::move(out), "affineScalar", {a},
+                                [s](const Tensor &g) {
+                                    return std::vector<Tensor>{
+                                        mulScalar(g, s)};
+                                });
+}
+
+} // namespace aib::ops

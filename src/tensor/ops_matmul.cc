@@ -1,0 +1,190 @@
+/**
+ * @file
+ * GEMM-backed linear algebra: matmul, batched matmul, transposes.
+ */
+
+#include "tensor/ops.h"
+
+#include <stdexcept>
+
+#include "tensor/autograd.h"
+#include "tensor/detail/op_common.h"
+
+namespace aib::ops {
+
+namespace {
+
+using detail::KernelCategory;
+namespace kn = detail::kn;
+
+/**
+ * C (M,N) = op(A) * op(B), with op controlled by trans flags.
+ * A is (M,K) or (K,M) when transposed; B is (K,N) or (N,K).
+ * C must be zero-initialized by the caller.
+ */
+void
+gemmRaw(const float *a, const float *b, float *c, std::int64_t m,
+        std::int64_t n, std::int64_t k, bool trans_a, bool trans_b)
+{
+    if (!trans_a && !trans_b) {
+        for (std::int64_t i = 0; i < m; ++i) {
+            for (std::int64_t p = 0; p < k; ++p) {
+                const float av = a[i * k + p];
+                if (av == 0.0f)
+                    continue;
+                const float *brow = b + p * n;
+                float *crow = c + i * n;
+                for (std::int64_t j = 0; j < n; ++j)
+                    crow[j] += av * brow[j];
+            }
+        }
+    } else if (!trans_a && trans_b) {
+        for (std::int64_t i = 0; i < m; ++i) {
+            const float *arow = a + i * k;
+            float *crow = c + i * n;
+            for (std::int64_t j = 0; j < n; ++j) {
+                const float *brow = b + j * k;
+                float acc = 0.0f;
+                for (std::int64_t p = 0; p < k; ++p)
+                    acc += arow[p] * brow[p];
+                crow[j] += acc;
+            }
+        }
+    } else if (trans_a && !trans_b) {
+        for (std::int64_t p = 0; p < k; ++p) {
+            const float *arow = a + p * m;
+            const float *brow = b + p * n;
+            for (std::int64_t i = 0; i < m; ++i) {
+                const float av = arow[i];
+                if (av == 0.0f)
+                    continue;
+                float *crow = c + i * n;
+                for (std::int64_t j = 0; j < n; ++j)
+                    crow[j] += av * brow[j];
+            }
+        }
+    } else {
+        for (std::int64_t i = 0; i < m; ++i) {
+            for (std::int64_t j = 0; j < n; ++j) {
+                float acc = 0.0f;
+                for (std::int64_t p = 0; p < k; ++p)
+                    acc += a[p * m + i] * b[j * k + p];
+                c[i * n + j] += acc;
+            }
+        }
+    }
+}
+
+void
+recordGemm(const char *name, std::int64_t m, std::int64_t n,
+           std::int64_t k)
+{
+    const double flops = 2.0 * static_cast<double>(m) *
+                         static_cast<double>(n) * static_cast<double>(k);
+    const double reads = 4.0 * (static_cast<double>(m) * k +
+                                static_cast<double>(k) * n);
+    const double writes = 4.0 * static_cast<double>(m) * n;
+    profiler::record(name, KernelCategory::Gemm, flops, reads, writes,
+                     static_cast<double>(m) * n);
+}
+
+} // namespace
+
+Tensor
+matmul(const Tensor &a, const Tensor &b)
+{
+    if (a.ndim() != 2 || b.ndim() != 2)
+        throw std::invalid_argument("matmul: expected 2-D tensors");
+    const std::int64_t m = a.dim(0), k = a.dim(1);
+    if (b.dim(0) != k) {
+        throw std::invalid_argument(
+            "matmul: inner dimensions differ: " +
+            shapeToString(a.shape()) + " x " + shapeToString(b.shape()));
+    }
+    const std::int64_t n = b.dim(1);
+    Tensor out = Tensor::zeros({m, n});
+    gemmRaw(a.data(), b.data(), out.data(), m, n, k, false, false);
+    recordGemm(kn::sgemm_nn, m, n, k);
+    return autograd::makeOutput(
+        std::move(out), "matmul", {a, b},
+        [a, b, m, n, k](const Tensor &g) {
+            Tensor ga = Tensor::zeros(a.shape());
+            Tensor gb = Tensor::zeros(b.shape());
+            // dA = g * B^T, dB = A^T * g
+            gemmRaw(g.data(), b.data(), ga.data(), m, k, n, false, true);
+            recordGemm(kn::sgemm_nt, m, k, n);
+            gemmRaw(a.data(), g.data(), gb.data(), k, n, m, true, false);
+            recordGemm(kn::sgemm_tn, k, n, m);
+            return std::vector<Tensor>{std::move(ga), std::move(gb)};
+        });
+}
+
+Tensor
+bmm(const Tensor &a, const Tensor &b)
+{
+    if (a.ndim() != 3 || b.ndim() != 3)
+        throw std::invalid_argument("bmm: expected 3-D tensors");
+    const std::int64_t bs = a.dim(0), m = a.dim(1), k = a.dim(2);
+    if (b.dim(0) != bs || b.dim(1) != k)
+        throw std::invalid_argument("bmm: shape mismatch");
+    const std::int64_t n = b.dim(2);
+    Tensor out = Tensor::zeros({bs, m, n});
+    for (std::int64_t i = 0; i < bs; ++i) {
+        gemmRaw(a.data() + i * m * k, b.data() + i * k * n,
+                out.data() + i * m * n, m, n, k, false, false);
+    }
+    recordGemm(kn::sgemm_batched, bs * m, n, k);
+    return autograd::makeOutput(
+        std::move(out), "bmm", {a, b},
+        [a, b, bs, m, n, k](const Tensor &g) {
+            Tensor ga = Tensor::zeros(a.shape());
+            Tensor gb = Tensor::zeros(b.shape());
+            for (std::int64_t i = 0; i < bs; ++i) {
+                gemmRaw(g.data() + i * m * n, b.data() + i * k * n,
+                        ga.data() + i * m * k, m, k, n, false, true);
+                gemmRaw(a.data() + i * m * k, g.data() + i * m * n,
+                        gb.data() + i * k * n, k, n, m, true, false);
+            }
+            recordGemm(kn::sgemm_batched, bs * m, k, n);
+            recordGemm(kn::sgemm_batched, bs * k, n, m);
+            return std::vector<Tensor>{std::move(ga), std::move(gb)};
+        });
+}
+
+Tensor
+transpose(const Tensor &a)
+{
+    if (a.ndim() != 2)
+        throw std::invalid_argument("transpose: expected a 2-D tensor");
+    return transposeLast2(a);
+}
+
+Tensor
+transposeLast2(const Tensor &a)
+{
+    if (a.ndim() < 2)
+        throw std::invalid_argument("transposeLast2: rank must be >= 2");
+    const std::int64_t r = a.dim(-2), c = a.dim(-1);
+    const std::int64_t batch = a.numel() / (r * c);
+    Shape out_shape = a.shape();
+    std::swap(out_shape[out_shape.size() - 2],
+              out_shape[out_shape.size() - 1]);
+    Tensor out = Tensor::empty(out_shape);
+    const float *pa = a.data();
+    float *po = out.data();
+    for (std::int64_t b = 0; b < batch; ++b) {
+        const float *src = pa + b * r * c;
+        float *dst = po + b * r * c;
+        for (std::int64_t i = 0; i < r; ++i)
+            for (std::int64_t j = 0; j < c; ++j)
+                dst[j * r + i] = src[i * c + j];
+    }
+    detail::recordArrange(static_cast<double>(a.numel()));
+    return autograd::makeOutput(std::move(out), "transposeLast2", {a},
+                                [](const Tensor &g) {
+                                    return std::vector<Tensor>{
+                                        transposeLast2(g)};
+                                });
+}
+
+} // namespace aib::ops

@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Spatial-transformer primitives, dropout and host-copy accounting.
+ */
+
+#include "tensor/ops.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/autograd.h"
+#include "tensor/detail/op_common.h"
+
+namespace aib::ops {
+
+namespace {
+
+using detail::KernelCategory;
+namespace kn = detail::kn;
+
+} // namespace
+
+Tensor
+affineGrid(const Tensor &theta, std::int64_t n, std::int64_t h,
+           std::int64_t w)
+{
+    if (theta.ndim() != 3 || theta.dim(0) != n || theta.dim(1) != 2 ||
+        theta.dim(2) != 3)
+        throw std::invalid_argument("affineGrid: theta must be (N,2,3)");
+
+    Tensor out = Tensor::empty({n, h, w, 2});
+    const float *pt = theta.data();
+    float *po = out.data();
+    for (std::int64_t b = 0; b < n; ++b) {
+        const float *t = pt + b * 6;
+        for (std::int64_t i = 0; i < h; ++i) {
+            const float y =
+                h > 1 ? 2.0f * static_cast<float>(i) / (h - 1) - 1.0f
+                      : 0.0f;
+            for (std::int64_t j = 0; j < w; ++j) {
+                const float x =
+                    w > 1 ? 2.0f * static_cast<float>(j) / (w - 1) - 1.0f
+                          : 0.0f;
+                float *g = po + ((b * h + i) * w + j) * 2;
+                g[0] = t[0] * x + t[1] * y + t[2];
+                g[1] = t[3] * x + t[4] * y + t[5];
+            }
+        }
+    }
+    detail::recordMap(kn::ew_mul, KernelCategory::Elementwise,
+                      static_cast<double>(out.numel()), 1.0, 3.0);
+    return autograd::makeOutput(
+        std::move(out), "affineGrid", {theta},
+        [n, h, w](const Tensor &g) {
+            Tensor gt = Tensor::zeros({n, 2, 3});
+            const float *pg = g.data();
+            float *pt2 = gt.data();
+            for (std::int64_t b = 0; b < n; ++b) {
+                float *t = pt2 + b * 6;
+                for (std::int64_t i = 0; i < h; ++i) {
+                    const float y =
+                        h > 1
+                            ? 2.0f * static_cast<float>(i) / (h - 1) - 1.0f
+                            : 0.0f;
+                    for (std::int64_t j = 0; j < w; ++j) {
+                        const float x =
+                            w > 1 ? 2.0f * static_cast<float>(j) / (w - 1) -
+                                        1.0f
+                                  : 0.0f;
+                        const float *gg = pg + ((b * h + i) * w + j) * 2;
+                        t[0] += gg[0] * x;
+                        t[1] += gg[0] * y;
+                        t[2] += gg[0];
+                        t[3] += gg[1] * x;
+                        t[4] += gg[1] * y;
+                        t[5] += gg[1];
+                    }
+                }
+            }
+            return std::vector<Tensor>{std::move(gt)};
+        });
+}
+
+Tensor
+gridSample(const Tensor &input, const Tensor &grid)
+{
+    if (input.ndim() != 4 || grid.ndim() != 4 || grid.dim(3) != 2)
+        throw std::invalid_argument(
+            "gridSample: expected (N,C,H,W) input and (N,Ho,Wo,2) grid");
+    const std::int64_t n = input.dim(0), c = input.dim(1),
+                       h = input.dim(2), w = input.dim(3);
+    const std::int64_t ho = grid.dim(1), wo = grid.dim(2);
+    if (grid.dim(0) != n)
+        throw std::invalid_argument("gridSample: batch mismatch");
+
+    Tensor out = Tensor::zeros({n, c, ho, wo});
+    const float *px = input.data();
+    const float *pgrid = grid.data();
+    float *po = out.data();
+
+    auto sample_one = [&](std::int64_t b, std::int64_t oi,
+                          std::int64_t oj, float gx, float gy,
+                          auto &&emit) {
+        // Map normalized [-1,1] to pixel coordinates.
+        const float fx = (gx + 1.0f) * 0.5f * static_cast<float>(w - 1);
+        const float fy = (gy + 1.0f) * 0.5f * static_cast<float>(h - 1);
+        const std::int64_t x0 =
+            static_cast<std::int64_t>(std::floor(fx));
+        const std::int64_t y0 =
+            static_cast<std::int64_t>(std::floor(fy));
+        const float wx = fx - static_cast<float>(x0);
+        const float wy = fy - static_cast<float>(y0);
+        const std::int64_t corners[4][2] = {
+            {y0, x0}, {y0, x0 + 1}, {y0 + 1, x0}, {y0 + 1, x0 + 1}};
+        const float weights[4] = {(1 - wy) * (1 - wx), (1 - wy) * wx,
+                                  wy * (1 - wx), wy * wx};
+        for (int k = 0; k < 4; ++k) {
+            const std::int64_t yy = corners[k][0], xx = corners[k][1];
+            if (yy < 0 || yy >= h || xx < 0 || xx >= w)
+                continue;
+            emit(b, oi, oj, yy, xx, weights[k], wx, wy, x0, y0, k);
+        }
+    };
+
+    for (std::int64_t b = 0; b < n; ++b) {
+        for (std::int64_t oi = 0; oi < ho; ++oi) {
+            for (std::int64_t oj = 0; oj < wo; ++oj) {
+                const float *g = pgrid + ((b * ho + oi) * wo + oj) * 2;
+                sample_one(b, oi, oj, g[0], g[1],
+                           [&](std::int64_t bb, std::int64_t yi,
+                               std::int64_t xj, std::int64_t yy,
+                               std::int64_t xx, float weight, float,
+                               float, std::int64_t, std::int64_t, int) {
+                               for (std::int64_t ch = 0; ch < c; ++ch) {
+                                   po[((bb * c + ch) * ho + yi) * wo +
+                                      xj] +=
+                                       weight *
+                                       px[((bb * c + ch) * h + yy) * w +
+                                          xx];
+                               }
+                           });
+            }
+        }
+    }
+    profiler::record(kn::ew_sample, KernelCategory::DataArrangement,
+                     8.0 * static_cast<double>(out.numel()),
+                     16.0 * static_cast<double>(out.numel()),
+                     4.0 * static_cast<double>(out.numel()),
+                     static_cast<double>(out.numel()));
+
+    return autograd::makeOutput(
+        std::move(out), "gridSample", {input, grid},
+        [input, grid, n, c, h, w, ho, wo](const Tensor &g) {
+            Tensor gx_t = Tensor::zeros(input.shape());
+            Tensor ggrid = Tensor::zeros(grid.shape());
+            const float *px = input.data();
+            const float *pgrid = grid.data();
+            const float *pg = g.data();
+            float *pgx = gx_t.data();
+            float *pgg = ggrid.data();
+            for (std::int64_t b = 0; b < n; ++b) {
+                for (std::int64_t oi = 0; oi < ho; ++oi) {
+                    for (std::int64_t oj = 0; oj < wo; ++oj) {
+                        const float *gv =
+                            pgrid + ((b * ho + oi) * wo + oj) * 2;
+                        const float fx = (gv[0] + 1.0f) * 0.5f *
+                                         static_cast<float>(w - 1);
+                        const float fy = (gv[1] + 1.0f) * 0.5f *
+                                         static_cast<float>(h - 1);
+                        const std::int64_t x0 =
+                            static_cast<std::int64_t>(std::floor(fx));
+                        const std::int64_t y0 =
+                            static_cast<std::int64_t>(std::floor(fy));
+                        const float wx = fx - static_cast<float>(x0);
+                        const float wy = fy - static_cast<float>(y0);
+                        float dfx = 0.0f, dfy = 0.0f;
+                        for (int k = 0; k < 4; ++k) {
+                            const std::int64_t yy = y0 + (k >> 1);
+                            const std::int64_t xx = x0 + (k & 1);
+                            if (yy < 0 || yy >= h || xx < 0 || xx >= w)
+                                continue;
+                            const float weight =
+                                ((k >> 1) ? wy : 1.0f - wy) *
+                                ((k & 1) ? wx : 1.0f - wx);
+                            const float dw_dx =
+                                ((k >> 1) ? wy : 1.0f - wy) *
+                                ((k & 1) ? 1.0f : -1.0f);
+                            const float dw_dy =
+                                ((k & 1) ? wx : 1.0f - wx) *
+                                ((k >> 1) ? 1.0f : -1.0f);
+                            for (std::int64_t ch = 0; ch < c; ++ch) {
+                                const float go =
+                                    pg[((b * c + ch) * ho + oi) * wo +
+                                       oj];
+                                const float xv =
+                                    px[((b * c + ch) * h + yy) * w + xx];
+                                pgx[((b * c + ch) * h + yy) * w + xx] +=
+                                    weight * go;
+                                dfx += go * xv * dw_dx;
+                                dfy += go * xv * dw_dy;
+                            }
+                        }
+                        float *gg =
+                            pgg + ((b * ho + oi) * wo + oj) * 2;
+                        gg[0] = dfx * 0.5f * static_cast<float>(w - 1);
+                        gg[1] = dfy * 0.5f * static_cast<float>(h - 1);
+                    }
+                }
+            }
+            profiler::record(kn::ew_sample_bwd,
+                             KernelCategory::DataArrangement,
+                             16.0 * static_cast<double>(g.numel()),
+                             24.0 * static_cast<double>(g.numel()),
+                             8.0 * static_cast<double>(g.numel()),
+                             static_cast<double>(g.numel()));
+            return std::vector<Tensor>{std::move(gx_t),
+                                       std::move(ggrid)};
+        });
+}
+
+Tensor
+dropout(const Tensor &a, float p, bool training, Rng &rng)
+{
+    if (!training || p <= 0.0f)
+        return a;
+    if (p >= 1.0f)
+        throw std::invalid_argument("dropout: p must be < 1");
+    const float scale = 1.0f / (1.0f - p);
+    auto mask = std::make_shared<std::vector<float>>(
+        static_cast<std::size_t>(a.numel()));
+    Tensor out = Tensor::empty(a.shape());
+    const float *pa = a.data();
+    float *po = out.data();
+    const std::int64_t n = a.numel();
+    for (std::int64_t i = 0; i < n; ++i) {
+        const float m = rng.uniform() < p ? 0.0f : scale;
+        (*mask)[static_cast<std::size_t>(i)] = m;
+        po[i] = pa[i] * m;
+    }
+    profiler::record(kn::ew_dropout, KernelCategory::Elementwise,
+                     2.0 * static_cast<double>(n),
+                     4.0 * static_cast<double>(n),
+                     4.0 * static_cast<double>(n),
+                     static_cast<double>(n));
+    return autograd::makeOutput(
+        std::move(out), "dropout", {a}, [mask](const Tensor &g) {
+            Tensor gx = Tensor::empty(g.shape());
+            const float *pg = g.data();
+            float *px = gx.data();
+            const std::int64_t m = g.numel();
+            for (std::int64_t i = 0; i < m; ++i)
+                px[i] = pg[i] * (*mask)[static_cast<std::size_t>(i)];
+            return std::vector<Tensor>{std::move(gx)};
+        });
+}
+
+void
+recordHostToDeviceCopy(const Tensor &batch)
+{
+    const double bytes = 4.0 * static_cast<double>(batch.numel());
+    profiler::record(kn::memcpy_h2d, KernelCategory::Memcpy, 0.0, bytes,
+                     bytes, static_cast<double>(batch.numel()));
+}
+
+} // namespace aib::ops

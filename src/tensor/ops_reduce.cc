@@ -1,0 +1,325 @@
+/**
+ * @file
+ * Reductions, softmax family and classification losses.
+ */
+
+#include "tensor/ops.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "tensor/autograd.h"
+#include "tensor/detail/op_common.h"
+
+namespace aib::ops {
+
+namespace {
+
+using detail::KernelCategory;
+namespace kn = detail::kn;
+
+/** Row-wise softmax into @p y (both length rows*c). */
+void
+softmaxRaw(const float *x, float *y, std::int64_t rows, std::int64_t c)
+{
+    for (std::int64_t r = 0; r < rows; ++r) {
+        const float *xi = x + r * c;
+        float *yi = y + r * c;
+        float m = -std::numeric_limits<float>::infinity();
+        for (std::int64_t i = 0; i < c; ++i)
+            m = std::max(m, xi[i]);
+        float z = 0.0f;
+        for (std::int64_t i = 0; i < c; ++i) {
+            yi[i] = std::exp(xi[i] - m);
+            z += yi[i];
+        }
+        const float inv = 1.0f / z;
+        for (std::int64_t i = 0; i < c; ++i)
+            yi[i] *= inv;
+    }
+}
+
+int
+normalizeDim(const Tensor &a, int dim)
+{
+    const int nd = a.ndim();
+    if (dim < 0)
+        dim += nd;
+    if (dim < 0 || dim >= nd)
+        throw std::invalid_argument("reduction dim out of range");
+    return dim;
+}
+
+} // namespace
+
+Tensor
+sum(const Tensor &a)
+{
+    double acc = 0.0;
+    const float *pa = a.data();
+    const std::int64_t n = a.numel();
+    for (std::int64_t i = 0; i < n; ++i)
+        acc += pa[i];
+    detail::recordMap(kn::ew_reduce, KernelCategory::Elementwise,
+                      static_cast<double>(n), 1.0, 1.0);
+    Tensor out = Tensor::scalar(static_cast<float>(acc));
+    return autograd::makeOutput(
+        std::move(out), "sum", {a}, [a](const Tensor &g) {
+            return std::vector<Tensor>{
+                Tensor::full(a.shape(), g.item())};
+        });
+}
+
+Tensor
+mean(const Tensor &a)
+{
+    const float inv = 1.0f / static_cast<float>(a.numel());
+    return mulScalar(sum(a), inv);
+}
+
+Tensor
+sumDim(const Tensor &a, int dim, bool keepdim)
+{
+    const int d = normalizeDim(a, dim);
+    const Shape &as = a.shape();
+    std::int64_t outer = 1, inner = 1;
+    for (int i = 0; i < d; ++i)
+        outer *= as[i];
+    for (int i = d + 1; i < a.ndim(); ++i)
+        inner *= as[i];
+    const std::int64_t len = as[d];
+
+    Shape out_shape;
+    for (int i = 0; i < a.ndim(); ++i) {
+        if (i == d) {
+            if (keepdim)
+                out_shape.push_back(1);
+        } else {
+            out_shape.push_back(as[i]);
+        }
+    }
+    Tensor out = Tensor::zeros(out_shape);
+    const float *pa = a.data();
+    float *po = out.data();
+    for (std::int64_t o = 0; o < outer; ++o) {
+        for (std::int64_t k = 0; k < len; ++k) {
+            const float *row = pa + (o * len + k) * inner;
+            float *dst = po + o * inner;
+            for (std::int64_t i = 0; i < inner; ++i)
+                dst[i] += row[i];
+        }
+    }
+    detail::recordMap(kn::ew_reduce, KernelCategory::Elementwise,
+                      static_cast<double>(a.numel()), 1.0, 1.0);
+    return autograd::makeOutput(
+        std::move(out), "sumDim", {a},
+        [a, d, outer, inner, len](const Tensor &g) {
+            Tensor gx = Tensor::empty(a.shape());
+            const float *pg = g.data();
+            float *px = gx.data();
+            for (std::int64_t o = 0; o < outer; ++o) {
+                for (std::int64_t k = 0; k < len; ++k) {
+                    float *row = px + (o * len + k) * inner;
+                    const float *src = pg + o * inner;
+                    for (std::int64_t i = 0; i < inner; ++i)
+                        row[i] = src[i];
+                }
+            }
+            return std::vector<Tensor>{std::move(gx)};
+        });
+}
+
+Tensor
+meanDim(const Tensor &a, int dim, bool keepdim)
+{
+    const int d = normalizeDim(a, dim);
+    const float inv = 1.0f / static_cast<float>(a.shape()[d]);
+    return mulScalar(sumDim(a, d, keepdim), inv);
+}
+
+Tensor
+maxLastDim(const Tensor &a)
+{
+    const std::int64_t c = a.dim(-1);
+    const std::int64_t rows = a.numel() / c;
+    Shape out_shape(a.shape().begin(), a.shape().end() - 1);
+    Tensor out = Tensor::empty(out_shape);
+    const float *pa = a.data();
+    float *po = out.data();
+    for (std::int64_t r = 0; r < rows; ++r) {
+        float best = -std::numeric_limits<float>::infinity();
+        for (std::int64_t i = 0; i < c; ++i)
+            best = std::max(best, pa[r * c + i]);
+        po[r] = best;
+    }
+    detail::recordMap(kn::ew_reduce, KernelCategory::Elementwise,
+                      static_cast<double>(a.numel()), 1.0, 1.0);
+    return out;
+}
+
+Tensor
+argmaxLastDim(const Tensor &a)
+{
+    const std::int64_t c = a.dim(-1);
+    const std::int64_t rows = a.numel() / c;
+    Shape out_shape(a.shape().begin(), a.shape().end() - 1);
+    Tensor out = Tensor::empty(out_shape);
+    const float *pa = a.data();
+    float *po = out.data();
+    for (std::int64_t r = 0; r < rows; ++r) {
+        std::int64_t best = 0;
+        float best_v = pa[r * c];
+        for (std::int64_t i = 1; i < c; ++i) {
+            if (pa[r * c + i] > best_v) {
+                best_v = pa[r * c + i];
+                best = i;
+            }
+        }
+        po[r] = static_cast<float>(best);
+    }
+    detail::recordMap(kn::ew_reduce, KernelCategory::Elementwise,
+                      static_cast<double>(a.numel()), 1.0, 1.0);
+    return out;
+}
+
+Tensor
+softmax(const Tensor &a)
+{
+    const std::int64_t c = a.dim(-1);
+    const std::int64_t rows = a.numel() / c;
+    Tensor out = Tensor::empty(a.shape());
+    softmaxRaw(a.data(), out.data(), rows, c);
+    profiler::record(kn::ew_softmax, KernelCategory::Elementwise,
+                     5.0 * static_cast<double>(a.numel()),
+                     4.0 * static_cast<double>(a.numel()),
+                     4.0 * static_cast<double>(a.numel()),
+                     static_cast<double>(rows));
+    // Backward recomputes the softmax from the saved *input* — the
+    // output must not be captured in its own node (shared_ptr cycle).
+    return autograd::makeOutput(
+        std::move(out), "softmax", {a},
+        [a, c, rows](const Tensor &g) {
+            Tensor gx = Tensor::empty(g.shape());
+            Tensor y_t = Tensor::empty(g.shape());
+            softmaxRaw(a.data(), y_t.data(), rows, c);
+            const float *py = y_t.data();
+            const float *pg = g.data();
+            float *px = gx.data();
+            for (std::int64_t r = 0; r < rows; ++r) {
+                const float *y = py + r * c;
+                const float *go = pg + r * c;
+                float *gi = px + r * c;
+                float dot = 0.0f;
+                for (std::int64_t i = 0; i < c; ++i)
+                    dot += y[i] * go[i];
+                for (std::int64_t i = 0; i < c; ++i)
+                    gi[i] = y[i] * (go[i] - dot);
+            }
+            profiler::record(kn::ew_softmax_bwd,
+                             KernelCategory::Elementwise,
+                             4.0 * static_cast<double>(g.numel()),
+                             8.0 * static_cast<double>(g.numel()),
+                             4.0 * static_cast<double>(g.numel()),
+                             static_cast<double>(rows));
+            return std::vector<Tensor>{std::move(gx)};
+        });
+}
+
+Tensor
+logSoftmax(const Tensor &a)
+{
+    const std::int64_t c = a.dim(-1);
+    const std::int64_t rows = a.numel() / c;
+    Tensor out = Tensor::empty(a.shape());
+    const float *pa = a.data();
+    float *po = out.data();
+    for (std::int64_t r = 0; r < rows; ++r) {
+        const float *x = pa + r * c;
+        float *y = po + r * c;
+        float m = -std::numeric_limits<float>::infinity();
+        for (std::int64_t i = 0; i < c; ++i)
+            m = std::max(m, x[i]);
+        float z = 0.0f;
+        for (std::int64_t i = 0; i < c; ++i)
+            z += std::exp(x[i] - m);
+        const float logz = std::log(z) + m;
+        for (std::int64_t i = 0; i < c; ++i)
+            y[i] = x[i] - logz;
+    }
+    profiler::record(kn::ew_softmax, KernelCategory::Elementwise,
+                     5.0 * static_cast<double>(a.numel()),
+                     4.0 * static_cast<double>(a.numel()),
+                     4.0 * static_cast<double>(a.numel()),
+                     static_cast<double>(rows));
+    // As with softmax: recompute in backward from the input.
+    return autograd::makeOutput(
+        std::move(out), "logSoftmax", {a},
+        [a, c, rows](const Tensor &g) {
+            Tensor gx = Tensor::empty(g.shape());
+            Tensor y_t = Tensor::empty(g.shape());
+            softmaxRaw(a.data(), y_t.data(), rows, c);
+            const float *py = y_t.data();
+            const float *pg = g.data();
+            float *px = gx.data();
+            for (std::int64_t r = 0; r < rows; ++r) {
+                const float *y = py + r * c;
+                const float *go = pg + r * c;
+                float *gi = px + r * c;
+                float gsum = 0.0f;
+                for (std::int64_t i = 0; i < c; ++i)
+                    gsum += go[i];
+                for (std::int64_t i = 0; i < c; ++i)
+                    gi[i] = go[i] - y[i] * gsum;
+            }
+            profiler::record(kn::ew_softmax_bwd,
+                             KernelCategory::Elementwise,
+                             4.0 * static_cast<double>(g.numel()),
+                             8.0 * static_cast<double>(g.numel()),
+                             4.0 * static_cast<double>(g.numel()),
+                             static_cast<double>(rows));
+            return std::vector<Tensor>{std::move(gx)};
+        });
+}
+
+Tensor
+nllLoss(const Tensor &log_probs, const std::vector<int> &targets)
+{
+    if (log_probs.ndim() != 2)
+        throw std::invalid_argument("nllLoss: expected (N, C) log probs");
+    const std::int64_t n = log_probs.dim(0);
+    const std::int64_t c = log_probs.dim(1);
+    if (static_cast<std::int64_t>(targets.size()) != n)
+        throw std::invalid_argument("nllLoss: target count mismatch");
+    double acc = 0.0;
+    const float *p = log_probs.data();
+    for (std::int64_t i = 0; i < n; ++i)
+        acc -= p[i * c + targets[static_cast<std::size_t>(i)]];
+    detail::recordMap(kn::ew_reduce, KernelCategory::Elementwise,
+                      static_cast<double>(n), 1.0, 1.0);
+    Tensor out = Tensor::scalar(static_cast<float>(acc / n));
+    return autograd::makeOutput(
+        std::move(out), "nllLoss", {log_probs},
+        [targets, n, c, shape = log_probs.shape()](const Tensor &g) {
+            Tensor gx = Tensor::zeros(shape);
+            float *px = gx.data();
+            const float scale = -g.item() / static_cast<float>(n);
+            for (std::int64_t i = 0; i < n; ++i)
+                px[i * c + targets[static_cast<std::size_t>(i)]] = scale;
+            return std::vector<Tensor>{std::move(gx)};
+        });
+}
+
+Tensor
+crossEntropyLogits(const Tensor &logits, const std::vector<int> &targets)
+{
+    return nllLoss(logSoftmax(logits), targets);
+}
+
+Tensor
+mseLoss(const Tensor &a, const Tensor &b)
+{
+    return mean(square(sub(a, b)));
+}
+
+} // namespace aib::ops

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Deterministic random number generation for the whole suite.
+ *
+ * The paper's run-to-run variation study (Table 5) depends on seeds:
+ * each repeat of a benchmark uses a different random seed (except
+ * speech recognition, which fixes it). All randomness in this library
+ * flows through @c Rng instances so experiments are reproducible and
+ * seed-controlled.
+ */
+
+#ifndef AIB_TENSOR_RANDOM_H
+#define AIB_TENSOR_RANDOM_H
+
+#include <cstdint>
+#include <random>
+
+namespace aib {
+
+/** Seeded pseudo-random generator used across the suite. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x5eedULL) : engine_(seed) {}
+
+    /** Reseed the generator. */
+    void seed(std::uint64_t s) { engine_.seed(s); }
+
+    /** Uniform float in [0, 1). */
+    float
+    uniform()
+    {
+        return std::uniform_real_distribution<float>(0.0f, 1.0f)(engine_);
+    }
+
+    /** Uniform float in [lo, hi). */
+    float
+    uniform(float lo, float hi)
+    {
+        return std::uniform_real_distribution<float>(lo, hi)(engine_);
+    }
+
+    /** Standard normal sample. */
+    float
+    normal()
+    {
+        return std::normal_distribution<float>(0.0f, 1.0f)(engine_);
+    }
+
+    /** Normal sample with given mean and stddev. */
+    float
+    normal(float mean, float stddev)
+    {
+        return std::normal_distribution<float>(mean, stddev)(engine_);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    uniformInt(std::int64_t lo, std::int64_t hi)
+    {
+        return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+    }
+
+    /** Bernoulli draw with probability p of true. */
+    bool bernoulli(double p) { return std::bernoulli_distribution(p)(engine_); }
+
+    /** Underlying engine, for std::shuffle and distributions. */
+    std::mt19937_64 &engine() { return engine_; }
+
+  private:
+    std::mt19937_64 engine_;
+};
+
+/**
+ * Process-global generator used by default tensor initializers.
+ *
+ * Benchmarks reseed it per run via @c seedGlobalRng to model the
+ * paper's seed policy.
+ */
+Rng &globalRng();
+
+/** Reseed the global generator. */
+void seedGlobalRng(std::uint64_t seed);
+
+} // namespace aib
+
+#endif // AIB_TENSOR_RANDOM_H

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Shape type and helpers for the tensor runtime.
+ */
+
+#ifndef AIB_TENSOR_SHAPE_H
+#define AIB_TENSOR_SHAPE_H
+
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <vector>
+
+namespace aib {
+
+/** Tensor shape: dimension sizes, outermost first. */
+using Shape = std::vector<std::int64_t>;
+
+/** Total element count of a shape (1 for a scalar/rank-0 shape). */
+inline std::int64_t
+numel(const Shape &shape)
+{
+    std::int64_t n = 1;
+    for (std::int64_t d : shape)
+        n *= d;
+    return n;
+}
+
+/** Row-major strides for a contiguous tensor of the given shape. */
+inline std::vector<std::int64_t>
+contiguousStrides(const Shape &shape)
+{
+    std::vector<std::int64_t> strides(shape.size(), 1);
+    for (int i = static_cast<int>(shape.size()) - 2; i >= 0; --i)
+        strides[i] = strides[i + 1] * shape[i + 1];
+    return strides;
+}
+
+/** "[2, 3, 4]"-style rendering for error messages. */
+inline std::string
+shapeToString(const Shape &shape)
+{
+    std::string out = "[";
+    for (std::size_t i = 0; i < shape.size(); ++i) {
+        if (i)
+            out += ", ";
+        out += std::to_string(shape[i]);
+    }
+    out += "]";
+    return out;
+}
+
+/** True when both shapes are identical. */
+inline bool
+sameShape(const Shape &a, const Shape &b)
+{
+    return a == b;
+}
+
+/**
+ * NumPy-style broadcast of two shapes.
+ *
+ * @return the broadcast shape.
+ * @throws std::invalid_argument when the shapes are incompatible.
+ */
+Shape broadcastShapes(const Shape &a, const Shape &b);
+
+} // namespace aib
+
+#endif // AIB_TENSOR_SHAPE_H

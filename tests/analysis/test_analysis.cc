@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Tests for the analysis toolkit: stats, k-means, t-SNE.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "analysis/kmeans.h"
+#include "analysis/stats.h"
+#include "analysis/tsne.h"
+
+namespace aib::analysis {
+namespace {
+
+TEST(Stats, MeanStdCv)
+{
+    EXPECT_DOUBLE_EQ(mean({2, 4, 6}), 4.0);
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_NEAR(stddev({2, 4, 6}), std::sqrt(8.0 / 3.0), 1e-12);
+    EXPECT_DOUBLE_EQ(stddev({5}), 0.0);
+    // CV of identical values is 0 (the paper's Object Detection row).
+    EXPECT_DOUBLE_EQ(coefficientOfVariationPct({7, 7, 7, 7}), 0.0);
+    EXPECT_NEAR(coefficientOfVariationPct({2, 4, 6}),
+                100.0 * std::sqrt(8.0 / 3.0) / 4.0, 1e-9);
+}
+
+TEST(Stats, RangeAndRatio)
+{
+    Range r = rangeOf({0.5, 8.0, 2.0});
+    EXPECT_DOUBLE_EQ(r.lo, 0.5);
+    EXPECT_DOUBLE_EQ(r.hi, 8.0);
+    EXPECT_DOUBLE_EQ(r.ratio(), 16.0);
+    EXPECT_DOUBLE_EQ(rangeOf({}).span(), 0.0);
+    Range z = rangeOf({0.0, 3.0});
+    EXPECT_DOUBLE_EQ(z.ratio(), 0.0);
+}
+
+TEST(KMeans, RecoversWellSeparatedClusters)
+{
+    // Three tight blobs in 2-D.
+    std::vector<std::vector<double>> points;
+    const double centers[3][2] = {{0, 0}, {10, 0}, {0, 10}};
+    for (int c = 0; c < 3; ++c)
+        for (int i = 0; i < 6; ++i)
+            points.push_back({centers[c][0] + 0.1 * i,
+                              centers[c][1] - 0.1 * i});
+    KMeansResult result = kmeans(points, 3, 5);
+    ASSERT_EQ(result.assignment.size(), 18u);
+    // All members of each blob share a label; labels differ across
+    // blobs.
+    for (int c = 0; c < 3; ++c) {
+        const int label =
+            result.assignment[static_cast<std::size_t>(c * 6)];
+        for (int i = 1; i < 6; ++i)
+            EXPECT_EQ(result.assignment[static_cast<std::size_t>(
+                          c * 6 + i)],
+                      label);
+    }
+    EXPECT_NE(result.assignment[0], result.assignment[6]);
+    EXPECT_NE(result.assignment[0], result.assignment[12]);
+    EXPECT_NE(result.assignment[6], result.assignment[12]);
+    EXPECT_LT(result.inertia, 5.0);
+}
+
+TEST(KMeans, DeterministicForSeed)
+{
+    std::vector<std::vector<double>> points;
+    for (int i = 0; i < 12; ++i)
+        points.push_back({static_cast<double>(i % 4),
+                          static_cast<double>(i / 4)});
+    KMeansResult a = kmeans(points, 3, 42);
+    KMeansResult b = kmeans(points, 3, 42);
+    EXPECT_EQ(a.assignment, b.assignment);
+}
+
+TEST(KMeans, Validation)
+{
+    EXPECT_THROW(kmeans({}, 2), std::invalid_argument);
+    EXPECT_THROW(kmeans({{1.0}}, 2), std::invalid_argument);
+    EXPECT_THROW(kmeans({{1.0}, {1.0, 2.0}}, 1),
+                 std::invalid_argument);
+}
+
+TEST(Tsne, PreservesClusterStructure)
+{
+    // Two separated blobs in 5-D must stay separated in 2-D.
+    std::vector<std::vector<double>> points;
+    for (int i = 0; i < 8; ++i) {
+        std::vector<double> a(5, 0.0), b(5, 8.0);
+        a[static_cast<std::size_t>(i % 5)] += 0.2 * i;
+        b[static_cast<std::size_t>(i % 5)] -= 0.2 * i;
+        points.push_back(a);
+        points.push_back(b);
+    }
+    auto embedding = tsne(points);
+    ASSERT_EQ(embedding.size(), 16u);
+
+    // Mean intra-blob distance should be far below inter-blob.
+    double intra = 0.0, inter = 0.0;
+    int n_intra = 0, n_inter = 0;
+    for (std::size_t i = 0; i < 16; ++i) {
+        for (std::size_t j = i + 1; j < 16; ++j) {
+            const double dx = embedding[i][0] - embedding[j][0];
+            const double dy = embedding[i][1] - embedding[j][1];
+            const double d = std::sqrt(dx * dx + dy * dy);
+            if ((i % 2) == (j % 2)) {
+                intra += d;
+                ++n_intra;
+            } else {
+                inter += d;
+                ++n_inter;
+            }
+        }
+    }
+    intra /= n_intra;
+    inter /= n_inter;
+    EXPECT_GT(inter, 2.0 * intra);
+}
+
+TEST(Tsne, DeterministicAndValidated)
+{
+    std::vector<std::vector<double>> points{
+        {0, 0}, {1, 0}, {0, 1}, {5, 5}};
+    auto a = tsne(points);
+    auto b = tsne(points);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a[i][0], b[i][0]);
+        EXPECT_DOUBLE_EQ(a[i][1], b[i][1]);
+    }
+    EXPECT_THROW(tsne({{1.0}}), std::invalid_argument);
+    EXPECT_THROW(tsne({{1.0}, {1.0, 2.0}}), std::invalid_argument);
+}
+
+} // namespace
+} // namespace aib::analysis

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Integration tests: the characterization pipeline (OpCounter +
+ * trace + GPU model) applied to real registered benchmarks, checking
+ * the cross-module invariants the figures depend on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/characterize.h"
+#include "analysis/opcounter.h"
+#include "core/registry.h"
+#include "gpusim/report.h"
+
+namespace aib::analysis {
+namespace {
+
+TEST(OpCounterIntegration, CountsMatchModuleParameters)
+{
+    const auto *b = core::findBenchmark("DC-AI-C16");
+    ModelComplexity c = countOps(*b, 11);
+    EXPECT_EQ(c.parameters, b->makeTask(11)->model().parameterCount());
+    EXPECT_GT(c.forwardFlops, 0.0);
+    EXPECT_GT(c.forwardBytes, 0.0);
+}
+
+TEST(OpCounterIntegration, DeterministicForSeed)
+{
+    const auto *b = core::findBenchmark("DC-AI-C10");
+    ModelComplexity a = countOps(*b, 5);
+    ModelComplexity c = countOps(*b, 5);
+    EXPECT_EQ(a.parameters, c.parameters);
+    EXPECT_DOUBLE_EQ(a.forwardFlops, c.forwardFlops);
+}
+
+TEST(OpCounterIntegration, Fig2ExtremesHold)
+{
+    // The Fig. 2 shape constraints this repository commits to:
+    // Learning-to-Rank has the smallest forward FLOPs; Object
+    // Detection the largest; Image-to-Text the most parameters.
+    ModelComplexity ltr =
+        countOps(*core::findBenchmark("DC-AI-C16"), 3);
+    ModelComplexity det =
+        countOps(*core::findBenchmark("DC-AI-C9"), 3);
+    ModelComplexity cap =
+        countOps(*core::findBenchmark("DC-AI-C4"), 3);
+    ModelComplexity cls =
+        countOps(*core::findBenchmark("DC-AI-C1"), 3);
+    ModelComplexity recon =
+        countOps(*core::findBenchmark("DC-AI-C13"), 3);
+
+    EXPECT_LT(ltr.forwardFlops, cls.forwardFlops);
+    EXPECT_LT(cls.forwardFlops, det.forwardFlops);
+    EXPECT_GT(cap.parameters, det.parameters);
+    EXPECT_GT(cap.parameters, recon.parameters);
+    // Detection and 3D reconstruction are the two FLOPs heavyweights.
+    EXPECT_GT(recon.forwardFlops, cls.forwardFlops);
+}
+
+TEST(CharacterizeIntegration, ProfileHasConsistentPieces)
+{
+    const auto *b = core::findBenchmark("DC-AI-C15");
+    ProfileOptions options;
+    options.skipTraining = true;
+    BenchmarkProfile p = profileBenchmark(*b, options);
+    EXPECT_EQ(p.id, "DC-AI-C15");
+    EXPECT_EQ(p.epochsToTarget, -1); // training skipped
+    EXPECT_GT(p.epochSim.totalTimeSec, 0.0);
+    EXPECT_EQ(p.metricVector().size(), 5u);
+    EXPECT_EQ(p.patternVector().size(),
+              5u + profiler::kNumKernelCategories);
+    // Pattern-vector shares sum to ~1 past the metric block.
+    double share = 0.0;
+    const auto v = p.patternVector();
+    for (std::size_t i = 5; i < v.size(); ++i)
+        share += v[i];
+    EXPECT_NEAR(share, 1.0, 1e-9);
+}
+
+TEST(CharacterizeIntegration, SubsetMembersAreMicroArchDistinct)
+{
+    // C16 must have lower IPC efficiency and occupancy than C1 (the
+    // data-arrangement-dominated vs convolution-dominated contrast
+    // the paper highlights in Sec. 5.5.1).
+    ProfileOptions options;
+    options.skipTraining = true;
+    BenchmarkProfile c1 =
+        profileBenchmark(*core::findBenchmark("DC-AI-C1"), options);
+    BenchmarkProfile c16 =
+        profileBenchmark(*core::findBenchmark("DC-AI-C16"), options);
+    EXPECT_LT(c16.epochSim.aggregate.ipcEfficiency,
+              c1.epochSim.aggregate.ipcEfficiency);
+    EXPECT_LT(c16.epochSim.aggregate.achievedOccupancy,
+              c1.epochSim.aggregate.achievedOccupancy);
+}
+
+TEST(CharacterizeIntegration, HotspotsComeFromTableSevenNames)
+{
+    ProfileOptions options;
+    options.skipTraining = true;
+    BenchmarkProfile p =
+        profileBenchmark(*core::findBenchmark("DC-AI-C1"), options);
+    auto hotspots = gpusim::hotspotFunctions(p.epochSim, 0.05);
+    ASSERT_FALSE(hotspots.empty());
+    // The heaviest classification kernels are the cudnn-style
+    // strided/winograd functions of Table 7.
+    bool found_cudnn_style = false;
+    for (const auto &h : hotspots)
+        found_cudnn_style |=
+            h.name.find("scudnn") != std::string::npos ||
+            h.name.find("winograd") != std::string::npos;
+    EXPECT_TRUE(found_cudnn_style);
+}
+
+TEST(CharacterizeIntegration, EnergyOfEpochIsPositiveAndDeviceBound)
+{
+    const auto *b = core::findBenchmark("DC-AI-C16");
+    ProfileOptions options;
+    options.skipTraining = true;
+    BenchmarkProfile p = profileBenchmark(*b, options);
+    const auto device = gpusim::titanXp();
+    const double joules =
+        gpusim::simulatedEnergyJoules(p.epochSim, device);
+    EXPECT_GT(joules, 0.0);
+    EXPECT_LE(joules, p.epochSim.totalTimeSec * device.tdpWatts);
+    EXPECT_GE(joules, p.epochSim.totalTimeSec * device.idleWatts);
+}
+
+} // namespace
+} // namespace aib::analysis

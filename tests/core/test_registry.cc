@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Registry invariants: suite composition matches the paper's tables.
+ */
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/registry.h"
+
+namespace aib::core {
+namespace {
+
+TEST(Registry, SeventeenAibenchBenchmarks)
+{
+    const auto &suite = aibenchSuite();
+    EXPECT_EQ(suite.size(), 17u);
+    std::set<std::string> ids;
+    for (const auto &b : suite) {
+        EXPECT_EQ(b.info.suite, Suite::AIBench);
+        EXPECT_TRUE(ids.insert(b.info.id).second)
+            << "duplicate id " << b.info.id;
+        EXPECT_TRUE(b.info.id.rfind("DC-AI-C", 0) == 0);
+        EXPECT_NE(b.makeTask, nullptr);
+    }
+}
+
+TEST(Registry, SevenMlperfBenchmarks)
+{
+    const auto &suite = mlperfSuite();
+    EXPECT_EQ(suite.size(), 7u);
+    for (const auto &b : suite)
+        EXPECT_EQ(b.info.suite, Suite::MLPerf);
+}
+
+TEST(Registry, SubsetIsC1C9C16)
+{
+    auto subset = subsetBenchmarks();
+    ASSERT_EQ(subset.size(), 3u);
+    std::set<std::string> ids;
+    for (const auto *b : subset)
+        ids.insert(b->info.id);
+    EXPECT_TRUE(ids.count("DC-AI-C1"));
+    EXPECT_TRUE(ids.count("DC-AI-C9"));
+    EXPECT_TRUE(ids.count("DC-AI-C16"));
+}
+
+TEST(Registry, FindById)
+{
+    const ComponentBenchmark *det = findBenchmark("DC-AI-C9");
+    ASSERT_NE(det, nullptr);
+    EXPECT_EQ(det->info.name, "Object detection");
+    EXPECT_EQ(findBenchmark("DC-AI-C99"), nullptr);
+    EXPECT_NE(findBenchmark("MLPerf-RL"), nullptr);
+}
+
+TEST(Registry, GanTasksLackAcceptedMetrics)
+{
+    // Sec. 5.4.1: GAN-based models are excluded for lacking widely
+    // accepted metrics — exactly C2 and C5.
+    for (const auto &b : aibenchSuite()) {
+        const bool is_gan =
+            b.info.id == "DC-AI-C2" || b.info.id == "DC-AI-C5";
+        EXPECT_EQ(b.info.hasWidelyAcceptedMetric, !is_gan)
+            << b.info.id;
+    }
+}
+
+TEST(Registry, PaperTable5MetadataPresent)
+{
+    // Every non-GAN AIBench benchmark carries the paper's variation.
+    for (const auto &b : aibenchSuite()) {
+        if (!b.info.hasWidelyAcceptedMetric) {
+            EXPECT_LT(b.info.paperVariationPct, 0.0) << b.info.id;
+            continue;
+        }
+        EXPECT_GE(b.info.paperVariationPct, 0.0) << b.info.id;
+        EXPECT_GT(b.info.paperRepeats, 0) << b.info.id;
+    }
+    // Spot values from Table 5.
+    EXPECT_DOUBLE_EQ(
+        findBenchmark("DC-AI-C8")->info.paperVariationPct, 38.46);
+    EXPECT_DOUBLE_EQ(
+        findBenchmark("DC-AI-C9")->info.paperVariationPct, 0.0);
+    EXPECT_DOUBLE_EQ(
+        findBenchmark("DC-AI-C1")->info.paperVariationPct, 1.12);
+}
+
+TEST(Registry, PaperTable6CostsSumCorrectly)
+{
+    // Sec. 5.3.2: AIBench totals ~223h (excluding the two N/A GANs),
+    // MLPerf totals >362h.
+    double aibench_hours = 0.0;
+    for (const auto &b : aibenchSuite())
+        aibench_hours += b.info.paperTotalHours;
+    EXPECT_NEAR(aibench_hours, 225.41, 0.5);
+
+    double mlperf_hours = 0.0;
+    for (const auto &b : mlperfSuite())
+        mlperf_hours += b.info.paperTotalHours;
+    EXPECT_GT(mlperf_hours, 361.0);
+}
+
+TEST(Registry, MetTargetRespectsDirection)
+{
+    const ComponentBenchmark *wer = findBenchmark("DC-AI-C6");
+    ASSERT_NE(wer, nullptr);
+    EXPECT_EQ(wer->info.direction, Direction::LowerIsBetter);
+    EXPECT_TRUE(wer->info.metTarget(0.1));
+    EXPECT_FALSE(wer->info.metTarget(0.9));
+
+    const ComponentBenchmark *acc = findBenchmark("DC-AI-C1");
+    EXPECT_TRUE(acc->info.metTarget(0.9));
+    EXPECT_FALSE(acc->info.metTarget(0.1));
+}
+
+TEST(Registry, AllBenchmarksCombinesSuites)
+{
+    EXPECT_EQ(allBenchmarks().size(), 24u);
+}
+
+TEST(Registry, TaskFactoriesProduceDistinctInstances)
+{
+    const ComponentBenchmark *b = findBenchmark("DC-AI-C16");
+    auto t1 = b->makeTask(1);
+    auto t2 = b->makeTask(2);
+    EXPECT_NE(t1.get(), t2.get());
+    EXPECT_GT(t1->model().parameterCount(), 0);
+}
+
+} // namespace
+} // namespace aib::core

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Tests for the training runner, subset selector, and cost model.
+ * Training tests use the cheapest benchmarks to stay fast.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/cost.h"
+#include "core/registry.h"
+#include "core/runner.h"
+#include "core/subset.h"
+
+namespace aib::core {
+namespace {
+
+TEST(Runner, TrainsRecommendationToTarget)
+{
+    const ComponentBenchmark *b = findBenchmark("DC-AI-C10");
+    ASSERT_NE(b, nullptr);
+    RunOptions options;
+    options.maxEpochs = 30;
+    TrainResult result = trainToQuality(*b, 3, options);
+    EXPECT_TRUE(result.reached());
+    EXPECT_GT(result.epochsToTarget, 0);
+    EXPECT_LE(result.epochsToTarget, 30);
+    EXPECT_TRUE(b->info.metTarget(result.finalQuality));
+    EXPECT_EQ(result.qualityByEpoch.size(),
+              static_cast<std::size_t>(result.epochsToTarget));
+    EXPECT_GT(result.trainSeconds, 0.0);
+    EXPECT_GT(result.secondsPerEpoch, 0.0);
+}
+
+TEST(Runner, MaxEpochsCapIsRespected)
+{
+    const ComponentBenchmark *b = findBenchmark("DC-AI-C10");
+    RunOptions options;
+    options.maxEpochs = 1;
+    TrainResult result = trainToQuality(*b, 3, options);
+    EXPECT_EQ(result.qualityByEpoch.size(), 1u);
+}
+
+TEST(Runner, PatienceKeepsTrainingPastTarget)
+{
+    const ComponentBenchmark *b = findBenchmark("DC-AI-C16");
+    RunOptions options;
+    options.maxEpochs = 30;
+    options.patienceAfterTarget = 2;
+    TrainResult result = trainToQuality(*b, 3, options);
+    ASSERT_TRUE(result.reached());
+    EXPECT_EQ(static_cast<int>(result.qualityByEpoch.size()),
+              result.epochsToTarget + 2);
+}
+
+TEST(Runner, RepeatSessionsComputesVariation)
+{
+    const ComponentBenchmark *b = findBenchmark("DC-AI-C16");
+    RunOptions options;
+    options.maxEpochs = 30;
+    RepeatResult result = repeatSessions(*b, 3, 100, options);
+    EXPECT_EQ(result.epochs.size() + result.failures, 3u);
+    if (result.epochs.size() >= 2) {
+        EXPECT_GE(result.variationPct, 0.0);
+        EXPECT_GT(result.meanEpochs, 0.0);
+    }
+}
+
+TEST(Runner, TraceCapturesKernels)
+{
+    const ComponentBenchmark *b = findBenchmark("DC-AI-C16");
+    profiler::TraceSession trace = traceTrainingEpochs(*b, 7, 0, 1);
+    EXPECT_GT(trace.kernelCount(), 0u);
+    EXPECT_GT(trace.totalFlops(), 0.0);
+
+    profiler::TraceSession fwd = traceForwardPass(*b, 7);
+    EXPECT_GT(fwd.kernelCount(), 0u);
+    // One forward pass is far cheaper than a training epoch.
+    EXPECT_LT(fwd.totalFlops(), trace.totalFlops());
+}
+
+TEST(Runner, SeedsChangeTrajectories)
+{
+    const ComponentBenchmark *b = findBenchmark("DC-AI-C10");
+    RunOptions options;
+    options.maxEpochs = 3;
+    TrainResult a = trainToQuality(*b, 1, options);
+    TrainResult c = trainToQuality(*b, 2, options);
+    // Different seeds give a different model/data and so (almost
+    // surely) different first-epoch quality.
+    EXPECT_NE(a.qualityByEpoch.front(), c.qualityByEpoch.front());
+
+    TrainResult a2 = trainToQuality(*b, 1, options);
+    EXPECT_EQ(a.qualityByEpoch, a2.qualityByEpoch)
+        << "same seed must reproduce the same trajectory";
+}
+
+BenchmarkCharacter
+character(const char *id, double mflops, double mparams, double epochs,
+          double variation, bool accepted = true)
+{
+    BenchmarkCharacter c;
+    c.id = id;
+    c.forwardMFlops = mflops;
+    c.millionParams = mparams;
+    c.epochsToQuality = epochs;
+    c.variationPct = variation;
+    c.hasWidelyAcceptedMetric = accepted;
+    return c;
+}
+
+TEST(Subset, CoverageScoreFullSuiteIsOne)
+{
+    std::vector<BenchmarkCharacter> all{
+        character("a", 0.1, 0.03, 6, 1.0),
+        character("b", 100, 1.0, 30, 1.0),
+        character("c", 10000, 70, 96, 1.0),
+    };
+    EXPECT_NEAR(coverageScore(all, all), 1.0, 1e-12);
+    // A single middle point covers nothing.
+    EXPECT_NEAR(coverageScore({all[1]}, all), 0.0, 1e-12);
+}
+
+TEST(Subset, SelectsExtremesUnderFilters)
+{
+    // Mirror the paper: only three benchmarks pass the 2% variation
+    // filter, so they are selected regardless of coverage.
+    std::vector<BenchmarkCharacter> all{
+        character("C1", 4000, 25, 60, 1.12),
+        character("C3", 100, 13, 96, 9.38),
+        character("C9", 150000, 40, 12, 0.0),
+        character("C16", 0.09, 0.5, 30, 1.90),
+        character("C8", 500, 20, 20, 38.46),
+        character("C2", 50, 5, 10, 1.0, /*accepted=*/false),
+    };
+    auto ids = selectSubset(all, 3, 2.0);
+    ASSERT_EQ(ids.size(), 3u);
+    EXPECT_EQ(ids[0], "C1");
+    EXPECT_EQ(ids[1], "C16");
+    EXPECT_EQ(ids[2], "C9");
+}
+
+TEST(Subset, PrefersDiverseCombination)
+{
+    // Five eligible benchmarks; the best 3-subset must include both
+    // extremes of every axis (here: a and e), plus any third.
+    std::vector<BenchmarkCharacter> all{
+        character("a", 0.1, 0.1, 5, 0.5),
+        character("b", 1, 1, 10, 0.5),
+        character("c", 10, 10, 20, 0.5),
+        character("d", 100, 100, 40, 0.5),
+        character("e", 1000, 1000, 80, 0.5),
+    };
+    auto ids = selectSubset(all, 3, 2.0);
+    ASSERT_EQ(ids.size(), 3u);
+    EXPECT_NE(std::find(ids.begin(), ids.end(), "a"), ids.end());
+    EXPECT_NE(std::find(ids.begin(), ids.end(), "e"), ids.end());
+}
+
+TEST(Subset, TooFewCandidatesReturnsEmpty)
+{
+    std::vector<BenchmarkCharacter> all{
+        character("a", 1, 1, 5, 50.0),
+        character("b", 2, 2, 6, 0.5),
+    };
+    EXPECT_TRUE(selectSubset(all, 3, 2.0).empty());
+}
+
+TEST(Cost, ReductionPct)
+{
+    EXPECT_NEAR(reductionPct(132.99, 225.41), 41.0, 0.3);
+    EXPECT_NEAR(reductionPct(132.99, 361.72), 63.2, 0.3);
+    EXPECT_NEAR(reductionPct(223.41, 361.72), 38.2, 0.5);
+    EXPECT_DOUBLE_EQ(reductionPct(1.0, 0.0), 0.0);
+}
+
+TEST(Cost, PaperSuiteHoursMatchSection532)
+{
+    EXPECT_NEAR(paperSuiteHours(allBenchmarks()) -
+                    paperSuiteHours(subsetBenchmarks()),
+                225.41 + 361.72 - 132.99, 1.0);
+    // Subset hours: C1 130 + C9 2.52 + C16 0.47.
+    EXPECT_NEAR(paperSuiteHours(subsetBenchmarks()), 132.99, 0.01);
+}
+
+TEST(Cost, MeasureSuiteCostOnCheapBenchmarks)
+{
+    std::vector<const ComponentBenchmark *> cheap{
+        findBenchmark("DC-AI-C10"), findBenchmark("DC-AI-C16")};
+    RunOptions options;
+    options.maxEpochs = 30;
+    CostReport report = measureSuiteCost(cheap, 5, options);
+    ASSERT_EQ(report.rows.size(), 2u);
+    for (const CostRow &row : report.rows) {
+        EXPECT_TRUE(row.reachedTarget) << row.id;
+        EXPECT_GT(row.measuredTotalSeconds, 0.0);
+        EXPECT_GT(row.measuredEpochs, 0);
+    }
+    EXPECT_GT(report.measuredTotalSeconds, 0.0);
+    EXPECT_NEAR(report.paperTotalHours, 0.16 + 0.47, 1e-9);
+}
+
+} // namespace
+} // namespace aib::core

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Tests for the analytical GPU model: roofline behaviour, metric
+ * ranges, stall signatures, hotspot census.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpusim/kernel_model.h"
+#include "gpusim/report.h"
+
+namespace aib::gpusim {
+namespace {
+
+using profiler::KernelCategory;
+using profiler::KernelStats;
+
+KernelStats
+makeStats(KernelCategory cat, double flops, double bytes,
+          std::uint64_t launches = 1, double threads = 1e6)
+{
+    KernelStats s;
+    s.category = cat;
+    s.flops = flops;
+    s.bytesRead = bytes * 0.7;
+    s.bytesWritten = bytes * 0.3;
+    s.launches = launches;
+    s.threads = threads * static_cast<double>(launches);
+    return s;
+}
+
+TEST(Device, SpecsMatchTable4)
+{
+    const DeviceSpec xp = titanXp();
+    EXPECT_EQ(xp.cudaCores, 3840);
+    EXPECT_DOUBLE_EQ(xp.memGB, 12.0);
+    const DeviceSpec rtx = titanRtx();
+    EXPECT_EQ(rtx.cudaCores, 4608);
+    EXPECT_DOUBLE_EQ(rtx.memGB, 24.0);
+    // RTX is the faster device on both axes.
+    EXPECT_GT(rtx.peakFlops(), xp.peakFlops());
+    EXPECT_GT(rtx.peakBandwidth(), xp.peakBandwidth());
+    const CpuSpec cpu = xeonE52620v3();
+    EXPECT_EQ(cpu.cores, 12);
+    EXPECT_FALSE(cpu.hyperThreading);
+}
+
+TEST(KernelModel, RooflineComputeVsMemoryBound)
+{
+    const DeviceSpec dev = titanXp();
+    // High arithmetic intensity GEMM: compute-bound.
+    auto gemm = simulateKernel(
+        "g", makeStats(KernelCategory::Gemm, 1e12, 1e9), dev);
+    EXPECT_LT(gemm.memBoundedness, 0.5);
+    // Element-wise with AI ~ 0.25: memory-bound.
+    auto ew = simulateKernel(
+        "e", makeStats(KernelCategory::Elementwise, 1e9, 4e9), dev);
+    EXPECT_GT(ew.memBoundedness, 0.5);
+    // Compute-bound kernels get higher IPC efficiency.
+    EXPECT_GT(gemm.metrics.ipcEfficiency, ew.metrics.ipcEfficiency);
+}
+
+TEST(KernelModel, TimeScalesWithWork)
+{
+    const DeviceSpec dev = titanXp();
+    auto small = simulateKernel(
+        "s", makeStats(KernelCategory::Gemm, 1e10, 1e8), dev);
+    auto big = simulateKernel(
+        "b", makeStats(KernelCategory::Gemm, 1e12, 1e10), dev);
+    EXPECT_GT(big.timeSec, small.timeSec * 50.0);
+}
+
+TEST(KernelModel, FasterDeviceIsFaster)
+{
+    auto stats = makeStats(KernelCategory::Convolution, 1e12, 1e10);
+    auto on_xp = simulateKernel("k", stats, titanXp());
+    auto on_rtx = simulateKernel("k", stats, titanRtx());
+    EXPECT_LT(on_rtx.timeSec, on_xp.timeSec);
+}
+
+TEST(KernelModel, MetricsAreInUnitRange)
+{
+    const DeviceSpec dev = titanXp();
+    for (int c = 0; c < profiler::kNumKernelCategories; ++c) {
+        auto r = simulateKernel(
+            "k",
+            makeStats(static_cast<KernelCategory>(c), 1e10, 1e9, 100),
+            dev);
+        for (double m : r.metrics.asArray()) {
+            EXPECT_GE(m, 0.0);
+            EXPECT_LE(m, 1.0);
+        }
+        // Stall shares sum to 1.
+        double total = 0.0;
+        for (double s : r.stalls)
+            total += s;
+        EXPECT_NEAR(total, 1.0, 1e-9);
+    }
+}
+
+TEST(KernelModel, MemoryBoundKernelsStallOnMemory)
+{
+    const DeviceSpec dev = titanXp();
+    auto ew = simulateKernel(
+        "e", makeStats(KernelCategory::Elementwise, 1e8, 8e9), dev);
+    // Memory dependency should dominate, as in Fig. 7.
+    const double mem_dep =
+        ew.stalls[static_cast<int>(StallReason::MemDependency)];
+    for (int s = 0; s < kNumStallReasons; ++s) {
+        if (s == static_cast<int>(StallReason::MemDependency))
+            continue;
+        EXPECT_GE(mem_dep, ew.stalls[static_cast<std::size_t>(s)]);
+    }
+}
+
+TEST(KernelModel, GemmStallsFavorExecDependency)
+{
+    const DeviceSpec dev = titanXp();
+    auto gemm = simulateKernel(
+        "g", makeStats(KernelCategory::Gemm, 1e13, 1e9), dev);
+    EXPECT_GT(
+        gemm.stalls[static_cast<int>(StallReason::ExecDependency)],
+        gemm.stalls[static_cast<int>(StallReason::MemThrottle)]);
+}
+
+TEST(KernelModel, OccupancyGrowsWithParallelism)
+{
+    const DeviceSpec dev = titanXp();
+    auto narrow = simulateKernel(
+        "n", makeStats(KernelCategory::Gemm, 1e9, 1e8, 1, 256), dev);
+    auto wide = simulateKernel(
+        "w", makeStats(KernelCategory::Gemm, 1e9, 1e8, 1, 1e7), dev);
+    EXPECT_GT(wide.metrics.achievedOccupancy,
+              narrow.metrics.achievedOccupancy);
+}
+
+TEST(KernelModel, DataArrangementHasPoorCoalescing)
+{
+    EXPECT_LT(traitsFor(KernelCategory::DataArrangement).gldEfficiency,
+              traitsFor(KernelCategory::Elementwise).gldEfficiency);
+    EXPECT_LT(traitsFor(KernelCategory::DataArrangement).gldEfficiency,
+              traitsFor(KernelCategory::Gemm).gldEfficiency);
+}
+
+TEST(TraceSim, AggregatesAndSharesSumToOne)
+{
+    profiler::TraceSession trace;
+    {
+        profiler::ScopedTrace scope(trace);
+        profiler::record("gemm_k", KernelCategory::Gemm, 1e12, 1e9,
+                         1e9, 1e6);
+        profiler::record("relu_k", KernelCategory::Relu, 1e8, 4e8, 4e8,
+                         1e6);
+        profiler::record("copy_k", KernelCategory::Memcpy, 0.0, 1e9,
+                         1e9, 1e6);
+    }
+    TraceSimResult sim = simulateTrace(trace, titanXp());
+    ASSERT_EQ(sim.kernels.size(), 3u);
+    EXPECT_GT(sim.totalTimeSec, 0.0);
+    double share = 0.0;
+    for (const auto &k : sim.kernels) {
+        EXPECT_GE(k.timeShare, 0.0);
+        share += k.timeShare;
+    }
+    EXPECT_NEAR(share, 1.0, 1e-9);
+    auto cat_share = sim.categoryShare();
+    double cat_total = 0.0;
+    for (double c : cat_share)
+        cat_total += c;
+    EXPECT_NEAR(cat_total, 1.0, 1e-9);
+    // Kernels are sorted by descending time.
+    for (std::size_t i = 1; i < sim.kernels.size(); ++i)
+        EXPECT_GE(sim.kernels[i - 1].timeSec, sim.kernels[i].timeSec);
+    // Aggregate metrics in range.
+    for (double m : sim.aggregate.asArray()) {
+        EXPECT_GE(m, 0.0);
+        EXPECT_LE(m, 1.0);
+    }
+}
+
+TEST(Report, HotspotCensusBuckets)
+{
+    profiler::TraceSession trace;
+    {
+        profiler::ScopedTrace scope(trace);
+        // One dominant kernel and many small ones.
+        profiler::record("big", KernelCategory::Gemm, 1e13, 1e10, 1e10,
+                         1e6);
+        for (int i = 0; i < 20; ++i)
+            profiler::record("small", KernelCategory::Relu, 1e8, 4e8,
+                             4e8, 1e5);
+    }
+    TraceSimResult sim = simulateTrace(trace, titanXp());
+    HotspotCensus census = hotspotCensus(sim);
+    EXPECT_EQ(census.total(), 2); // two distinct kernels
+    EXPECT_EQ(census.counts[3], 1); // "big" is in the 15%+ bucket
+    EXPECT_EQ(census.counts[0], 1); // aggregated "small" is tiny
+
+    auto hot = hotspotFunctions(sim, 0.15);
+    ASSERT_EQ(hot.size(), 1u);
+    EXPECT_EQ(hot[0].name, "big");
+}
+
+TEST(Report, CategoryStallsNormalized)
+{
+    profiler::TraceSession trace;
+    {
+        profiler::ScopedTrace scope(trace);
+        profiler::record("g", KernelCategory::Gemm, 1e12, 1e9, 1e9,
+                         1e6);
+        profiler::record("e", KernelCategory::Elementwise, 1e8, 4e9,
+                         1e9, 1e6);
+    }
+    TraceSimResult sim = simulateTrace(trace, titanXp());
+    auto stalls = categoryStalls(sim);
+    const auto &gemm_stalls =
+        stalls[static_cast<int>(KernelCategory::Gemm)];
+    double total = 0.0;
+    for (double s : gemm_stalls)
+        total += s;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+    // Unused category rows are all zero.
+    const auto &pool_stalls =
+        stalls[static_cast<int>(KernelCategory::Pooling)];
+    for (double s : pool_stalls)
+        EXPECT_DOUBLE_EQ(s, 0.0);
+}
+
+} // namespace
+} // namespace aib::gpusim

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Unit tests for all quality metrics used as benchmark targets.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "metrics/classification.h"
+#include "metrics/detection.h"
+#include "metrics/image.h"
+#include "metrics/ranking.h"
+#include "metrics/text.h"
+
+namespace aib::metrics {
+namespace {
+
+TEST(Classification, AccuracyAndTopK)
+{
+    Tensor logits = Tensor::fromVector(
+        {3, 3}, {5, 1, 0, /**/ 0, 1, 5, /**/ 2, 3, 1});
+    EXPECT_DOUBLE_EQ(accuracy(logits, {0, 2, 1}), 1.0);
+    EXPECT_DOUBLE_EQ(accuracy(logits, {1, 2, 1}), 2.0 / 3.0);
+    EXPECT_DOUBLE_EQ(topKAccuracy(logits, {1, 1, 0}, 2), 1.0);
+    EXPECT_THROW(accuracy(logits, {0}), std::invalid_argument);
+}
+
+TEST(Classification, PerplexityUniformEqualsClassCount)
+{
+    Tensor logits = Tensor::zeros({4, 8});
+    EXPECT_NEAR(perplexity(logits, {0, 1, 2, 3}), 8.0, 1e-6);
+}
+
+TEST(Classification, PerplexityPerfectModelIsOne)
+{
+    Tensor logits = Tensor::fromVector({2, 2}, {100, 0, 0, 100});
+    EXPECT_NEAR(perplexity(logits, {0, 1}), 1.0, 1e-6);
+}
+
+TEST(Text, EditDistanceBasics)
+{
+    EXPECT_EQ(editDistance({}, {}), 0);
+    EXPECT_EQ(editDistance({1, 2, 3}, {1, 2, 3}), 0);
+    EXPECT_EQ(editDistance({1, 2, 3}, {1, 3}), 1);       // deletion
+    EXPECT_EQ(editDistance({1, 2}, {1, 5, 2}), 1);       // insertion
+    EXPECT_EQ(editDistance({1, 2, 3}, {1, 9, 3}), 1);    // substitution
+    EXPECT_EQ(editDistance({1, 2, 3}, {}), 3);
+}
+
+TEST(Text, WerAndCorpusWer)
+{
+    EXPECT_DOUBLE_EQ(wordErrorRate({1, 2, 3, 4}, {1, 2, 3, 4}), 0.0);
+    EXPECT_DOUBLE_EQ(wordErrorRate({1, 2, 3, 4}, {1, 9, 3, 4}), 0.25);
+    EXPECT_DOUBLE_EQ(
+        corpusWer({{1, 2}, {3, 4, 5, 6}}, {{1, 9}, {3, 4, 5, 6}}),
+        1.0 / 6.0);
+    EXPECT_THROW(wordErrorRate({}, {1}), std::invalid_argument);
+}
+
+TEST(Text, LcsAndRougeL)
+{
+    EXPECT_EQ(longestCommonSubsequence({1, 2, 3, 4}, {2, 4}), 2);
+    EXPECT_EQ(longestCommonSubsequence({1, 2, 3}, {4, 5, 6}), 0);
+    EXPECT_NEAR(rougeL({1, 2, 3}, {1, 2, 3}), 1.0, 1e-9);
+    EXPECT_DOUBLE_EQ(rougeL({1, 2, 3}, {4, 5, 6}), 0.0);
+    // Partial overlap gives an intermediate score.
+    const double r = rougeL({1, 2, 3, 4}, {1, 2});
+    EXPECT_GT(r, 0.0);
+    EXPECT_LT(r, 1.0);
+}
+
+TEST(Text, TokenAccuracy)
+{
+    EXPECT_DOUBLE_EQ(
+        tokenAccuracy({{1, 2, 3}, {4}}, {{1, 9, 3}, {4}}), 0.75);
+    EXPECT_DOUBLE_EQ(tokenAccuracy({{1, 2}}, {{1}}), 0.5);
+}
+
+TEST(Image, SsimIdenticalIsOne)
+{
+    Rng rng(4);
+    Tensor a = Tensor::rand({1, 16, 16}, rng);
+    EXPECT_NEAR(ssim(a, a), 1.0, 1e-9);
+    EXPECT_NEAR(msSsim(a, a), 1.0, 1e-6);
+}
+
+TEST(Image, SsimDecreasesWithNoise)
+{
+    Rng rng(5);
+    Tensor a = Tensor::rand({1, 16, 16}, rng);
+    Tensor small_noise = a.clone();
+    Tensor big_noise = a.clone();
+    for (std::int64_t i = 0; i < a.numel(); ++i) {
+        small_noise.data()[i] += 0.02f * rng.normal();
+        big_noise.data()[i] += 0.3f * rng.normal();
+    }
+    const double s_small = ssim(a, small_noise);
+    const double s_big = ssim(a, big_noise);
+    EXPECT_GT(s_small, s_big);
+    EXPECT_GT(s_small, 0.8);
+    EXPECT_LT(s_big, 0.8);
+}
+
+TEST(Image, MsSsimHandlesSmallImages)
+{
+    Rng rng(6);
+    Tensor a = Tensor::rand({1, 8, 8}, rng);
+    Tensor b = Tensor::rand({1, 8, 8}, rng);
+    const double v = msSsim(a, b, 5, 7);
+    EXPECT_GE(v, -1.0);
+    EXPECT_LE(v, 1.0);
+}
+
+TEST(Image, PsnrKnownValue)
+{
+    Tensor a = Tensor::zeros({10});
+    Tensor b = Tensor::full({10}, 0.1f);
+    // MSE = 0.01, PSNR = 10*log10(1/0.01) = 20 dB.
+    EXPECT_NEAR(psnr(a, b), 20.0, 1e-6);
+    EXPECT_DOUBLE_EQ(psnr(a, a), 100.0);
+}
+
+TEST(Image, LabelMapMetrics)
+{
+    Tensor truth = Tensor::fromVector({2, 2}, {0, 0, 1, 1});
+    Tensor pred = Tensor::fromVector({2, 2}, {0, 1, 1, 1});
+    EXPECT_DOUBLE_EQ(perPixelAccuracy(pred, truth), 0.75);
+    // Class 0: 1/2 correct; class 1: 2/2 correct.
+    EXPECT_DOUBLE_EQ(perClassAccuracy(pred, truth, 2), 0.75);
+    // IoU class 0: inter 1, union 2 -> 0.5; class 1: inter 2, union 3.
+    EXPECT_NEAR(classIou(pred, truth, 2), 0.5 * (0.5 + 2.0 / 3.0), 1e-9);
+}
+
+TEST(Image, VoxelIou)
+{
+    Tensor a = Tensor::fromVector({4}, {1, 1, 0, 0});
+    Tensor b = Tensor::fromVector({4}, {1, 0, 1, 0});
+    EXPECT_NEAR(voxelIou(a, b), 1.0 / 3.0, 1e-9);
+    EXPECT_DOUBLE_EQ(voxelIou(a, a), 1.0);
+    EXPECT_DOUBLE_EQ(
+        voxelIou(Tensor::zeros({4}), Tensor::zeros({4})), 1.0);
+}
+
+TEST(Ranking, TopKIndicesOrdered)
+{
+    auto top = topKIndices({0.1f, 0.9f, 0.5f, 0.7f}, 2);
+    ASSERT_EQ(top.size(), 2u);
+    EXPECT_EQ(top[0], 1);
+    EXPECT_EQ(top[1], 3);
+}
+
+TEST(Ranking, HitRateAtK)
+{
+    std::vector<std::vector<float>> scores{
+        {0.9f, 0.1f, 0.5f}, // true item 0 -> top-1 hit
+        {0.1f, 0.2f, 0.9f}, // true item 0 -> miss at k=2? top2={2,1}
+    };
+    EXPECT_DOUBLE_EQ(hitRateAtK(scores, {0, 0}, 1), 0.5);
+    EXPECT_DOUBLE_EQ(hitRateAtK(scores, {0, 0}, 3), 1.0);
+}
+
+TEST(Ranking, PrecisionAndNdcg)
+{
+    std::unordered_set<int> relevant{1, 3, 5};
+    EXPECT_DOUBLE_EQ(precisionAtK({1, 2, 3, 4}, relevant, 4), 0.5);
+    EXPECT_DOUBLE_EQ(precisionAtK({7, 8}, relevant, 2), 0.0);
+    // Perfect ranking gives NDCG 1.
+    EXPECT_NEAR(ndcgAtK({1, 3, 5}, relevant, 3), 1.0, 1e-9);
+    EXPECT_GT(ndcgAtK({1, 2, 3}, relevant, 3),
+              ndcgAtK({2, 4, 1}, relevant, 3));
+}
+
+TEST(Ranking, Wasserstein1d)
+{
+    std::vector<float> a{0, 0, 0, 0};
+    std::vector<float> b{1, 1, 1, 1};
+    EXPECT_NEAR(wasserstein1d(a, b), 1.0, 1e-6);
+    EXPECT_NEAR(wasserstein1d(a, a), 0.0, 1e-9);
+    // Shift invariance: W(x, x + c) = c.
+    std::vector<float> c{0.0f, 0.5f, 1.0f, 1.5f};
+    std::vector<float> d{2.0f, 2.5f, 3.0f, 3.5f};
+    EXPECT_NEAR(wasserstein1d(c, d), 2.0, 1e-6);
+}
+
+TEST(Detection, BoxIou)
+{
+    Box a{0, 0, 2, 2};
+    Box b{1, 1, 3, 3};
+    EXPECT_NEAR(boxIou(a, b), 1.0f / 7.0f, 1e-6f);
+    EXPECT_FLOAT_EQ(boxIou(a, a), 1.0f);
+    EXPECT_FLOAT_EQ(boxIou(a, Box{5, 5, 6, 6}), 0.0f);
+    const Box degenerate{2, 2, 1, 1};
+    EXPECT_FLOAT_EQ(degenerate.area(), 0.0f);
+}
+
+TEST(Detection, PerfectDetectionsGiveApOne)
+{
+    std::vector<GroundTruth> gts{{0, 0, {0, 0, 2, 2}},
+                                 {1, 0, {1, 1, 3, 3}}};
+    std::vector<Detection> dets{{0, 0, 0.9f, {0, 0, 2, 2}},
+                                {1, 0, 0.8f, {1, 1, 3, 3}}};
+    EXPECT_NEAR(averagePrecision(dets, gts, 0), 1.0, 1e-9);
+}
+
+TEST(Detection, FalsePositivesLowerAp)
+{
+    std::vector<GroundTruth> gts{{0, 0, {0, 0, 2, 2}}};
+    std::vector<Detection> perfect{{0, 0, 0.9f, {0, 0, 2, 2}}};
+    std::vector<Detection> noisy{
+        {0, 0, 0.95f, {5, 5, 7, 7}}, // high-scoring miss
+        {0, 0, 0.9f, {0, 0, 2, 2}},
+    };
+    EXPECT_GT(averagePrecision(perfect, gts, 0),
+              averagePrecision(noisy, gts, 0));
+}
+
+TEST(Detection, DuplicateDetectionsCountOnce)
+{
+    std::vector<GroundTruth> gts{{0, 0, {0, 0, 2, 2}}};
+    std::vector<Detection> dets{{0, 0, 0.9f, {0, 0, 2, 2}},
+                                {0, 0, 0.8f, {0, 0, 2, 2}}};
+    // Second match of the same GT is a false positive; AP stays 1.0
+    // until recall saturates at the first, then the duplicate cannot
+    // raise recall. AP should remain 1.0 (all recall mass covered at
+    // precision 1).
+    EXPECT_NEAR(averagePrecision(dets, gts, 0), 1.0, 1e-9);
+}
+
+TEST(Detection, MeanApSkipsAbsentClasses)
+{
+    std::vector<GroundTruth> gts{{0, 1, {0, 0, 2, 2}}};
+    std::vector<Detection> dets{{0, 1, 0.9f, {0, 0, 2, 2}}};
+    EXPECT_NEAR(meanAveragePrecision(dets, gts, 5), 1.0, 1e-9);
+}
+
+} // namespace
+} // namespace aib::metrics

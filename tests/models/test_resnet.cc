@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Unit tests for the shared ResNet backbone.
+ */
+
+#include <gtest/gtest.h>
+
+#include "models/resnet.h"
+#include "tensor/ops.h"
+
+namespace aib::models {
+namespace {
+
+Rng &
+rng()
+{
+    static Rng r(55);
+    return r;
+}
+
+TEST(ResNet, ClassifierOutputShape)
+{
+    SmallResNet net({3, 8, 2, 10}, rng());
+    Tensor x = Tensor::randn({4, 3, 16, 16}, rng());
+    Tensor logits = net.forward(x);
+    EXPECT_EQ(logits.shape(), (Shape{4, 10}));
+}
+
+TEST(ResNet, FeatureMapShapeAndChannels)
+{
+    SmallResNet net({3, 8, 2, 10}, rng());
+    EXPECT_EQ(net.featureChannels(), 32); // 8 << 2
+    Tensor x = Tensor::randn({2, 3, 16, 16}, rng());
+    Tensor features = net.features(x);
+    EXPECT_EQ(features.shape(), (Shape{2, 32, 4, 4}));
+}
+
+TEST(ResNet, SupportsFourChannelInput)
+{
+    // The DC-AI-C8 RGB-D adjustment: 4-channel first layer.
+    SmallResNet net({4, 8, 2, 10}, rng());
+    Tensor x = Tensor::randn({2, 4, 12, 12}, rng());
+    EXPECT_EQ(net.forward(x).shape(), (Shape{2, 10}));
+}
+
+TEST(ResNet, StageCountControlsDownsampling)
+{
+    SmallResNet shallow({3, 8, 1, 5}, rng());
+    Tensor x = Tensor::randn({1, 3, 16, 16}, rng());
+    EXPECT_EQ(shallow.features(x).shape(), (Shape{1, 16, 8, 8}));
+
+    SmallResNet deep({3, 8, 3, 5}, rng());
+    EXPECT_EQ(deep.features(x).shape(), (Shape{1, 64, 2, 2}));
+}
+
+TEST(ResNet, ResidualBlockPreservesShapeAtStride1)
+{
+    ResidualBlock block(8, 8, 1, rng());
+    Tensor x = Tensor::randn({2, 8, 6, 6}, rng());
+    EXPECT_EQ(block.forward(x).shape(), x.shape());
+}
+
+TEST(ResNet, ResidualBlockProjectsOnChannelChange)
+{
+    ResidualBlock block(4, 12, 2, rng());
+    Tensor x = Tensor::randn({2, 4, 8, 8}, rng());
+    EXPECT_EQ(block.forward(x).shape(), (Shape{2, 12, 4, 4}));
+}
+
+TEST(ResNet, GradientsReachEveryParameter)
+{
+    SmallResNet net({3, 4, 2, 4}, rng());
+    Tensor x = Tensor::randn({2, 3, 8, 8}, rng());
+    Tensor loss = ops::mean(ops::square(net.forward(x)));
+    loss.backward();
+    for (const auto &p : net.namedParameters()) {
+        ASSERT_TRUE(p.tensor.grad().defined())
+            << "no gradient for " << p.name;
+    }
+}
+
+TEST(ResNet, IdentityShortcutCarriesSignal)
+{
+    // With all conv weights zeroed, the stride-1 block reduces to
+    // relu(identity): positive inputs pass through unchanged.
+    ResidualBlock block(4, 4, 1, rng());
+    for (Tensor &p : block.parameters()) {
+        // Keep BN affine at its (1, 0) default; zero the convs only.
+        if (p.ndim() == 4)
+            p.fill(0.0f);
+    }
+    Tensor x = Tensor::rand({1, 4, 4, 4}, rng(), 0.1f, 1.0f);
+    Tensor y = block.forward(x);
+    for (std::int64_t i = 0; i < x.numel(); ++i)
+        EXPECT_NEAR(y.data()[i], x.data()[i], 1e-5f);
+}
+
+} // namespace
+} // namespace aib::models

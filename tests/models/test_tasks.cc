@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Parameterized contract tests over all 24 component-benchmark
+ * tasks, plus convergence tests for the fast ones.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/registry.h"
+#include "core/runner.h"
+#include "profiler/trace.h"
+
+namespace aib::core {
+namespace {
+
+class TaskContract : public ::testing::TestWithParam<const char *>
+{
+  protected:
+    const ComponentBenchmark &
+    benchmark() const
+    {
+        const ComponentBenchmark *b = findBenchmark(GetParam());
+        EXPECT_NE(b, nullptr);
+        return *b;
+    }
+};
+
+TEST_P(TaskContract, ConstructsWithParameters)
+{
+    auto task = benchmark().makeTask(11);
+    ASSERT_NE(task, nullptr);
+    EXPECT_GT(task->model().parameterCount(), 0);
+    for (const Tensor &p : task->model().parameters()) {
+        EXPECT_TRUE(p.requiresGrad());
+        for (float v : p.toVector())
+            EXPECT_TRUE(std::isfinite(v));
+    }
+}
+
+TEST_P(TaskContract, ForwardOnceRecordsKernels)
+{
+    auto task = benchmark().makeTask(12);
+    profiler::TraceSession trace;
+    {
+        profiler::ScopedTrace scope(trace);
+        task->forwardOnce();
+    }
+    EXPECT_GT(trace.kernelCount(), 0u);
+    EXPECT_GT(trace.totalLaunches(), 0u);
+}
+
+TEST_P(TaskContract, EpochRunsAndEvaluates)
+{
+    seedGlobalRng(13);
+    auto task = benchmark().makeTask(13);
+    const double before = task->evaluate();
+    EXPECT_TRUE(std::isfinite(before));
+    task->runEpoch();
+    const double after = task->evaluate();
+    EXPECT_TRUE(std::isfinite(after));
+    // Parameters stay finite after an optimization epoch.
+    for (const Tensor &p : task->model().parameters())
+        for (float v : p.toVector())
+            ASSERT_TRUE(std::isfinite(v));
+}
+
+TEST_P(TaskContract, TrainingModifiesParameters)
+{
+    seedGlobalRng(14);
+    auto task = benchmark().makeTask(14);
+    std::vector<std::vector<float>> before;
+    for (const Tensor &p : task->model().parameters())
+        before.push_back(p.toVector());
+    task->runEpoch();
+    bool changed = false;
+    std::size_t idx = 0;
+    for (const Tensor &p : task->model().parameters()) {
+        if (p.toVector() != before[idx++]) {
+            changed = true;
+            break;
+        }
+    }
+    EXPECT_TRUE(changed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, TaskContract,
+    ::testing::Values(
+        "DC-AI-C1", "DC-AI-C2", "DC-AI-C3", "DC-AI-C4", "DC-AI-C5",
+        "DC-AI-C6", "DC-AI-C7", "DC-AI-C8", "DC-AI-C9", "DC-AI-C10",
+        "DC-AI-C11", "DC-AI-C12", "DC-AI-C13", "DC-AI-C14",
+        "DC-AI-C15", "DC-AI-C16", "DC-AI-C17", "MLPerf-IC",
+        "MLPerf-OD-heavy", "MLPerf-OD-light", "MLPerf-NMT",
+        "MLPerf-Transformer", "MLPerf-NCF", "MLPerf-RL"),
+    [](const ::testing::TestParamInfo<const char *> &info) {
+        std::string name = info.param;
+        for (char &c : name)
+            if (c == '-')
+                c = '_';
+        return name;
+    });
+
+/** Fast benchmarks must actually converge to their targets. */
+class FastConvergence : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(FastConvergence, ReachesTarget)
+{
+    const ComponentBenchmark *b = findBenchmark(GetParam());
+    ASSERT_NE(b, nullptr);
+    RunOptions options;
+    options.maxEpochs = 35;
+    TrainResult result = trainToQuality(*b, 21, options);
+    EXPECT_TRUE(result.reached())
+        << b->info.id << " final quality " << result.finalQuality
+        << " vs target " << b->info.target;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CheapOnes, FastConvergence,
+    ::testing::Values("DC-AI-C10", "DC-AI-C16", "DC-AI-C13",
+                      "DC-AI-C4", "DC-AI-C17"),
+    [](const ::testing::TestParamInfo<const char *> &info) {
+        std::string name = info.param;
+        for (char &c : name)
+            if (c == '-')
+                c = '_';
+        return name;
+    });
+
+} // namespace
+} // namespace aib::core

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Unit tests for nn layers and the Module registration machinery.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nn/layers.h"
+#include "nn/module.h"
+#include "tensor/ops.h"
+#include "testing/gradcheck.h"
+
+namespace aib::nn {
+namespace {
+
+Rng &
+rng()
+{
+    static Rng r(99);
+    return r;
+}
+
+TEST(Module, ParameterRegistrationAndCount)
+{
+    Linear lin(4, 3, rng());
+    EXPECT_EQ(lin.parameterCount(), 4 * 3 + 3);
+    auto named = lin.namedParameters();
+    ASSERT_EQ(named.size(), 2u);
+    EXPECT_EQ(named[0].name, "weight");
+    EXPECT_EQ(named[1].name, "bias");
+    for (const auto &p : lin.parameters())
+        EXPECT_TRUE(p.requiresGrad());
+}
+
+TEST(Module, NestedNamesAndTrainMode)
+{
+    Sequential seq;
+    seq.emplace<Linear>(2, 2, rng());
+    seq.emplace<ReLU>();
+    seq.emplace<Linear>(2, 1, rng());
+    auto named = seq.namedParameters();
+    ASSERT_EQ(named.size(), 4u);
+    EXPECT_EQ(named[0].name, "layer0.weight");
+    EXPECT_EQ(named[2].name, "layer2.weight");
+    EXPECT_EQ(seq.parameterCount(), 2 * 2 + 2 + 2 * 1 + 1);
+
+    EXPECT_TRUE(seq.isTraining());
+    seq.eval();
+    EXPECT_FALSE(seq.isTraining());
+}
+
+TEST(Module, ZeroGradClearsAll)
+{
+    Linear lin(3, 2, rng());
+    Tensor x = Tensor::randn({4, 3}, rng());
+    ops::sum(lin.forward(x)).backward();
+    EXPECT_TRUE(lin.weight.grad().defined());
+    lin.zeroGrad();
+    EXPECT_FALSE(lin.weight.grad().defined());
+}
+
+TEST(Layers, LinearShapeAndLeadingFold)
+{
+    Linear lin(6, 4, rng());
+    Tensor x2 = Tensor::randn({5, 6}, rng());
+    EXPECT_EQ(lin.forward(x2).shape(), (Shape{5, 4}));
+    Tensor x3 = Tensor::randn({2, 3, 6}, rng());
+    EXPECT_EQ(lin.forward(x3).shape(), (Shape{2, 3, 4}));
+}
+
+TEST(Layers, LinearGradientsFlowToParameters)
+{
+    Linear lin(3, 2, rng());
+    Tensor x = Tensor::randn({4, 3}, rng());
+    Tensor loss = ops::mean(ops::square(lin.forward(x)));
+    loss.backward();
+    EXPECT_TRUE(lin.weight.grad().defined());
+    EXPECT_TRUE(lin.bias.grad().defined());
+    EXPECT_EQ(lin.weight.grad().shape(), lin.weight.shape());
+}
+
+TEST(Layers, Conv2dShapes)
+{
+    Conv2d conv(3, 8, 3, 2, 1, rng());
+    Tensor x = Tensor::randn({2, 3, 8, 8}, rng());
+    EXPECT_EQ(conv.forward(x).shape(), (Shape{2, 8, 4, 4}));
+
+    ConvTranspose2d up(8, 3, 4, 2, 1, rng());
+    Tensor y = Tensor::randn({2, 8, 4, 4}, rng());
+    EXPECT_EQ(up.forward(y).shape(), (Shape{2, 3, 8, 8}));
+}
+
+TEST(Layers, BatchNormTrainEvalConsistency)
+{
+    BatchNorm2d bn(4);
+    Rng data_rng(5);
+    // Feed several batches in train mode to build running stats.
+    for (int i = 0; i < 50; ++i) {
+        Tensor x = Tensor::randn({8, 4, 3, 3}, data_rng);
+        // Shift channel means so running stats are non-trivial.
+        float *p = x.data();
+        for (std::int64_t j = 0; j < x.numel(); ++j)
+            p[j] = p[j] * 2.0f + 1.0f;
+        (void)bn.forward(x);
+    }
+    // Running stats should approximate mean 1, var 4.
+    for (std::int64_t c = 0; c < 4; ++c) {
+        EXPECT_NEAR(bn.runningMean.at({c}), 1.0f, 0.2f);
+        EXPECT_NEAR(bn.runningVar.at({c}), 4.0f, 0.8f);
+    }
+    bn.eval();
+    Tensor x = Tensor::randn({4, 4, 3, 3}, data_rng);
+    Tensor y = bn.forward(x);
+    EXPECT_EQ(y.shape(), x.shape());
+    // Eval output uses running stats: y = (x - rm)/sqrt(rv+eps).
+    const float expected =
+        (x.at({0, 0, 0, 0}) - bn.runningMean.at({0})) /
+        std::sqrt(bn.runningVar.at({0}) + 1e-5f);
+    EXPECT_NEAR(y.at({0, 0, 0, 0}), expected, 1e-4f);
+}
+
+TEST(Layers, DropoutRespectsMode)
+{
+    Rng r(1);
+    Dropout drop(0.5f, r);
+    Tensor x = Tensor::ones({100});
+    Tensor train_out = drop.forward(x);
+    std::int64_t zeros = 0;
+    for (float v : train_out.toVector())
+        zeros += v == 0.0f;
+    EXPECT_GT(zeros, 20);
+    drop.eval();
+    Tensor eval_out = drop.forward(x);
+    for (float v : eval_out.toVector())
+        EXPECT_EQ(v, 1.0f);
+}
+
+TEST(Layers, EmbeddingForward)
+{
+    Embedding emb(10, 4, rng());
+    Tensor out = emb.forward({1, 1, 7});
+    EXPECT_EQ(out.shape(), (Shape{3, 4}));
+    EXPECT_EQ(out.at({0, 0}), out.at({1, 0}));
+}
+
+TEST(Layers, SequentialComposesAndFlattens)
+{
+    Sequential net;
+    net.emplace<Conv2d>(1, 2, 3, 1, 1, rng());
+    net.emplace<ReLU>();
+    net.emplace<MaxPool2d>(2, 2);
+    net.emplace<Flatten>();
+    net.emplace<Linear>(2 * 4 * 4, 5, rng());
+    Tensor x = Tensor::randn({3, 1, 8, 8}, rng());
+    EXPECT_EQ(net.forward(x).shape(), (Shape{3, 5}));
+    EXPECT_EQ(net.size(), 5u);
+}
+
+TEST(Layers, LayerNormGradcheckThroughLayer)
+{
+    LayerNorm ln(4);
+    testing::expectGradientsMatch(
+        [&ln](const std::vector<Tensor> &in) {
+            return ops::mean(ops::square(ln.forward(in[0])));
+        },
+        {Tensor::randn({3, 4}, rng())}, 1e-2f, 5e-2f);
+}
+
+} // namespace
+} // namespace aib::nn

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Tests for learning-rate schedules.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/lr_schedule.h"
+#include "tensor/ops.h"
+
+namespace aib::nn {
+namespace {
+
+Sgd
+makeOpt(float lr)
+{
+    Tensor w = Tensor::scalar(0.0f).setRequiresGrad(true);
+    return Sgd({w}, lr);
+}
+
+TEST(LrSchedule, StepDecayHalvesAtPeriod)
+{
+    Sgd opt = makeOpt(0.1f);
+    StepDecay schedule(opt, 0.5f, 3);
+    EXPECT_FLOAT_EQ(schedule.learningRateAt(0), 0.1f);
+    EXPECT_FLOAT_EQ(schedule.learningRateAt(2), 0.1f);
+    EXPECT_FLOAT_EQ(schedule.learningRateAt(3), 0.05f);
+    EXPECT_FLOAT_EQ(schedule.learningRateAt(6), 0.025f);
+
+    for (int i = 0; i < 3; ++i)
+        schedule.step();
+    EXPECT_EQ(schedule.epoch(), 3);
+    EXPECT_FLOAT_EQ(opt.learningRate(), 0.05f);
+}
+
+TEST(LrSchedule, CosineAnnealsToMinimum)
+{
+    Sgd opt = makeOpt(0.2f);
+    CosineAnnealing schedule(opt, 10, 0.02f);
+    EXPECT_FLOAT_EQ(schedule.learningRateAt(0), 0.2f);
+    // Midpoint: average of base and min.
+    EXPECT_NEAR(schedule.learningRateAt(5), 0.11f, 1e-6f);
+    EXPECT_NEAR(schedule.learningRateAt(10), 0.02f, 1e-6f);
+    // Past the horizon it stays at the minimum.
+    EXPECT_NEAR(schedule.learningRateAt(20), 0.02f, 1e-6f);
+    // Monotone non-increasing over the horizon.
+    for (int e = 1; e <= 10; ++e)
+        EXPECT_LE(schedule.learningRateAt(e),
+                  schedule.learningRateAt(e - 1) + 1e-7f);
+}
+
+TEST(LrSchedule, LinearWarmupRampsUp)
+{
+    Sgd opt = makeOpt(0.3f);
+    LinearWarmup schedule(opt, 4);
+    // Constructor applies the epoch-0 rate immediately.
+    EXPECT_LT(opt.learningRate(), 0.3f);
+    EXPECT_GT(opt.learningRate(), 0.0f);
+    for (int e = 0; e < 4; ++e)
+        schedule.step();
+    EXPECT_FLOAT_EQ(opt.learningRate(), 0.3f);
+    // Rates are strictly increasing during warmup.
+    for (int e = 1; e < 4; ++e)
+        EXPECT_GT(schedule.learningRateAt(e),
+                  schedule.learningRateAt(e - 1));
+}
+
+TEST(LrSchedule, DrivesOptimizerThroughTraining)
+{
+    // Cosine-scheduled SGD still solves the quadratic.
+    Tensor x = Tensor::scalar(0.0f).setRequiresGrad(true);
+    Sgd opt({x}, 0.2f);
+    CosineAnnealing schedule(opt, 60, 0.001f);
+    for (int epoch = 0; epoch < 60; ++epoch) {
+        opt.zeroGrad();
+        ops::square(ops::addScalar(x, -3.0f)).backward();
+        opt.step();
+        schedule.step();
+    }
+    EXPECT_NEAR(x.item(), 3.0f, 1e-2f);
+}
+
+} // namespace
+} // namespace aib::nn

@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Optimizer and loss-function tests, including small end-to-end
+ * training sanity checks.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/layers.h"
+#include "nn/losses.h"
+#include "nn/optim.h"
+#include "tensor/ops.h"
+#include "testing/gradcheck.h"
+
+namespace aib::nn {
+namespace {
+
+Rng &
+rng()
+{
+    static Rng r(2024);
+    return r;
+}
+
+/** Minimize f(x) = (x-3)^2 with the given optimizer factory. */
+template <typename MakeOpt>
+float
+minimizeQuadratic(MakeOpt make_opt, int steps)
+{
+    Tensor x = Tensor::scalar(0.0f).setRequiresGrad(true);
+    auto opt = make_opt(std::vector<Tensor>{x});
+    for (int i = 0; i < steps; ++i) {
+        opt->zeroGrad();
+        Tensor loss = ops::square(ops::addScalar(x, -3.0f));
+        loss.backward();
+        opt->step();
+    }
+    return x.item();
+}
+
+TEST(Optim, SgdConvergesOnQuadratic)
+{
+    const float x = minimizeQuadratic(
+        [](std::vector<Tensor> p) {
+            return std::make_unique<Sgd>(std::move(p), 0.1f);
+        },
+        100);
+    EXPECT_NEAR(x, 3.0f, 1e-3f);
+}
+
+TEST(Optim, SgdMomentumConvergesFaster)
+{
+    const float plain = minimizeQuadratic(
+        [](std::vector<Tensor> p) {
+            return std::make_unique<Sgd>(std::move(p), 0.02f);
+        },
+        40);
+    const float momentum = minimizeQuadratic(
+        [](std::vector<Tensor> p) {
+            return std::make_unique<Sgd>(std::move(p), 0.02f, 0.9f);
+        },
+        40);
+    EXPECT_LT(std::fabs(momentum - 3.0f), std::fabs(plain - 3.0f));
+}
+
+TEST(Optim, AdamConvergesOnQuadratic)
+{
+    const float x = minimizeQuadratic(
+        [](std::vector<Tensor> p) {
+            return std::make_unique<Adam>(std::move(p), 0.3f);
+        },
+        200);
+    EXPECT_NEAR(x, 3.0f, 1e-2f);
+}
+
+TEST(Optim, RmsPropConvergesOnQuadratic)
+{
+    const float x = minimizeQuadratic(
+        [](std::vector<Tensor> p) {
+            return std::make_unique<RmsProp>(std::move(p), 0.05f);
+        },
+        300);
+    EXPECT_NEAR(x, 3.0f, 5e-2f);
+}
+
+TEST(Optim, WeightDecayShrinksWeights)
+{
+    Tensor w = Tensor::full({4}, 1.0f).setRequiresGrad(true);
+    Sgd opt({w}, 0.1f, 0.0f, 0.5f);
+    // Zero task gradient: decay alone should shrink the weights.
+    Tensor loss = ops::mulScalar(ops::sum(w), 0.0f);
+    loss.backward();
+    opt.step();
+    for (float v : w.toVector())
+        EXPECT_NEAR(v, 1.0f - 0.1f * 0.5f, 1e-6f);
+}
+
+TEST(Optim, ClipGradNormScalesDown)
+{
+    Tensor w = Tensor::zeros({4}).setRequiresGrad(true);
+    Tensor loss = ops::sum(ops::mulScalar(w, 100.0f));
+    loss.backward();
+    Sgd opt({w}, 0.1f);
+    const float norm = opt.clipGradNorm(1.0f);
+    EXPECT_NEAR(norm, 200.0f, 1e-2f); // sqrt(4 * 100^2)
+    double clipped = 0.0;
+    const Tensor g = w.grad();
+    for (std::int64_t i = 0; i < g.numel(); ++i)
+        clipped += static_cast<double>(g.data()[i]) * g.data()[i];
+    EXPECT_NEAR(std::sqrt(clipped), 1.0, 1e-4);
+}
+
+TEST(Optim, SkipsParametersWithoutGradients)
+{
+    Tensor used = Tensor::scalar(1.0f).setRequiresGrad(true);
+    Tensor unused = Tensor::scalar(5.0f).setRequiresGrad(true);
+    Adam opt({used, unused}, 0.1f);
+    ops::square(used).backward();
+    opt.step();
+    EXPECT_FLOAT_EQ(unused.item(), 5.0f);
+    EXPECT_NE(used.item(), 1.0f);
+}
+
+TEST(Losses, BceWithLogitsMatchesManual)
+{
+    Tensor logits = Tensor::fromVector({2}, {2.0f, -1.0f});
+    Tensor targets = Tensor::fromVector({2}, {1.0f, 0.0f});
+    Tensor loss = bceWithLogits(logits, targets);
+    const float l0 = -std::log(1.0f / (1.0f + std::exp(-2.0f)));
+    const float l1 = -std::log(1.0f - 1.0f / (1.0f + std::exp(1.0f)));
+    EXPECT_NEAR(loss.item(), 0.5f * (l0 + l1), 1e-5f);
+}
+
+TEST(Losses, BceWithLogitsStableAtExtremes)
+{
+    Tensor logits = Tensor::fromVector({2}, {50.0f, -50.0f});
+    Tensor targets = Tensor::fromVector({2}, {1.0f, 0.0f});
+    Tensor loss = bceWithLogits(logits, targets);
+    EXPECT_FALSE(std::isnan(loss.item()));
+    EXPECT_NEAR(loss.item(), 0.0f, 1e-4f);
+}
+
+TEST(Losses, BceGradcheck)
+{
+    Tensor targets = Tensor::fromVector({4}, {1, 0, 1, 0});
+    testing::expectGradientsMatch(
+        [targets](const std::vector<Tensor> &in) {
+            return bceWithLogits(in[0], targets);
+        },
+        {Tensor::randn({4}, rng())});
+}
+
+TEST(Losses, TripletLossZeroWhenWellSeparated)
+{
+    Tensor anchor = Tensor::zeros({2, 3});
+    Tensor positive = Tensor::zeros({2, 3});
+    Tensor negative = Tensor::full({2, 3}, 10.0f);
+    EXPECT_FLOAT_EQ(tripletLoss(anchor, positive, negative, 1.0f).item(),
+                    0.0f);
+    // Swapped: loss is dp - dn + margin = 300 - 0 + 1.
+    EXPECT_FLOAT_EQ(tripletLoss(anchor, negative, positive, 1.0f).item(),
+                    301.0f);
+}
+
+TEST(Losses, TripletGradcheck)
+{
+    testing::expectGradientsMatch(
+        [](const std::vector<Tensor> &in) {
+            return tripletLoss(in[0], in[1], in[2], 0.5f);
+        },
+        {Tensor::randn({3, 4}, rng()), Tensor::randn({3, 4}, rng()),
+         Tensor::randn({3, 4}, rng())});
+}
+
+TEST(Losses, SmoothL1QuadraticInsideLinearOutside)
+{
+    Tensor zero = Tensor::zeros({1});
+    EXPECT_NEAR(
+        smoothL1Loss(Tensor::fromVector({1}, {0.5f}), zero).item(),
+        0.5f * 0.25f, 1e-6f);
+    EXPECT_NEAR(
+        smoothL1Loss(Tensor::fromVector({1}, {3.0f}), zero).item(),
+        3.0f - 0.5f, 1e-6f);
+}
+
+TEST(Losses, BprLossDecreasesWithMargin)
+{
+    Tensor neg = Tensor::zeros({4});
+    Tensor close = Tensor::full({4}, 0.1f);
+    Tensor far = Tensor::full({4}, 5.0f);
+    EXPECT_GT(bprLoss(close, neg).item(), bprLoss(far, neg).item());
+    EXPECT_NEAR(bprLoss(far, neg).item(), 0.0f, 0.01f);
+}
+
+TEST(Losses, BprGradcheck)
+{
+    testing::expectGradientsMatch(
+        [](const std::vector<Tensor> &in) {
+            return bprLoss(in[0], in[1]);
+        },
+        {Tensor::randn({5}, rng()), Tensor::randn({5}, rng())});
+}
+
+TEST(EndToEnd, LinearRegressionConverges)
+{
+    // y = 2x + 1 with noise; a Linear(1,1) should recover it.
+    Rng data_rng(7);
+    Linear model(1, 1, rng());
+    Adam opt(model.parameters(), 0.05f);
+    for (int epoch = 0; epoch < 300; ++epoch) {
+        Tensor x = Tensor::rand({16, 1}, data_rng, -1.0f, 1.0f);
+        Tensor noise = Tensor::randn({16, 1}, data_rng);
+        Tensor y = ops::add(ops::affineScalar(x, 2.0f, 1.0f),
+                            ops::mulScalar(noise, 0.01f));
+        opt.zeroGrad();
+        Tensor loss = ops::mseLoss(model.forward(x), y);
+        loss.backward();
+        opt.step();
+    }
+    EXPECT_NEAR(model.weight.item(), 2.0f, 0.1f);
+    EXPECT_NEAR(model.bias.item(), 1.0f, 0.1f);
+}
+
+TEST(EndToEnd, TinyClassifierLearnsXor)
+{
+    Rng local(31);
+    Sequential net;
+    net.emplace<Linear>(2, 16, local);
+    net.emplace<Tanh>();
+    net.emplace<Linear>(16, 2, local);
+    Adam opt(net.parameters(), 0.05f);
+
+    const std::vector<std::vector<float>> inputs{
+        {0, 0}, {0, 1}, {1, 0}, {1, 1}};
+    const std::vector<int> labels{0, 1, 1, 0};
+    Tensor x = Tensor::fromVector({4, 2}, {0, 0, 0, 1, 1, 0, 1, 1});
+    for (int epoch = 0; epoch < 400; ++epoch) {
+        opt.zeroGrad();
+        Tensor logits = net.forward(x);
+        Tensor loss = ops::crossEntropyLogits(logits, labels);
+        loss.backward();
+        opt.step();
+    }
+    Tensor pred = ops::argmaxLastDim(net.forward(x));
+    for (std::size_t i = 0; i < labels.size(); ++i)
+        EXPECT_EQ(static_cast<int>(pred.at(
+                      {static_cast<std::int64_t>(i)})),
+                  labels[i]);
+}
+
+} // namespace
+} // namespace aib::nn

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Tests for post-training fake quantization.
+ */
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "nn/layers.h"
+#include "nn/quantize.h"
+#include "tensor/ops.h"
+
+namespace aib::nn {
+namespace {
+
+TEST(Quantize, ReportCountsAndValidates)
+{
+    Rng rng(1);
+    Linear lin(8, 4, rng);
+    QuantizationReport report = quantizeParameters(lin, 8);
+    EXPECT_EQ(report.bits, 8);
+    EXPECT_EQ(report.parameters, 8 * 4 + 4);
+    EXPECT_GE(report.meanAbsError, 0.0);
+    EXPECT_NEAR(report.sizeRatio(), 0.25, 1e-12);
+    EXPECT_THROW(quantizeParameters(lin, 1), std::invalid_argument);
+    EXPECT_THROW(quantizeParameters(lin, 32), std::invalid_argument);
+}
+
+TEST(Quantize, ValuesLandOnLevels)
+{
+    Rng rng(2);
+    Linear lin(16, 16, rng);
+    quantizeParameters(lin, 4);
+    // With 4 bits the weight tensor holds at most 2^4 - 1 = 15
+    // distinct symmetric levels (plus zero).
+    std::set<float> distinct;
+    for (float v : lin.weight.toVector())
+        distinct.insert(v);
+    EXPECT_LE(distinct.size(), 16u);
+}
+
+TEST(Quantize, ErrorShrinksWithMoreBits)
+{
+    Rng rng(3);
+    Linear a(32, 32, rng);
+    Linear b(32, 32, rng);
+    b.weight.copyFrom(a.weight);
+    b.bias.copyFrom(a.bias);
+    const double err8 = quantizeParameters(a, 8).meanAbsError;
+    const double err3 = quantizeParameters(b, 3).meanAbsError;
+    EXPECT_LT(err8, err3);
+    EXPECT_LT(err8, 0.01);
+}
+
+TEST(Quantize, Int8PreservesOutputsClosely)
+{
+    Rng rng(4);
+    Linear lin(10, 5, rng);
+    Tensor x = Tensor::randn({6, 10}, rng);
+    Tensor before = lin.forward(x);
+    quantizeParameters(lin, 8);
+    Tensor after = lin.forward(x);
+    for (std::int64_t i = 0; i < before.numel(); ++i)
+        EXPECT_NEAR(before.data()[i], after.data()[i], 0.05f);
+}
+
+TEST(Quantize, ZeroTensorIsStable)
+{
+    Rng rng(5);
+    Linear lin(4, 4, rng);
+    lin.weight.fill(0.0f);
+    lin.bias.fill(0.0f);
+    QuantizationReport report = quantizeParameters(lin, 4);
+    EXPECT_DOUBLE_EQ(report.meanAbsError, 0.0);
+    for (float v : lin.weight.toVector())
+        EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Quantize, IdempotentAtSameWidth)
+{
+    Rng rng(6);
+    Linear lin(12, 12, rng);
+    quantizeParameters(lin, 6);
+    const auto once = lin.weight.toVector();
+    QuantizationReport second = quantizeParameters(lin, 6);
+    EXPECT_EQ(lin.weight.toVector(), once);
+    EXPECT_NEAR(second.meanAbsError, 0.0, 1e-7);
+}
+
+} // namespace
+} // namespace aib::nn

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Tests for recurrent cells and multi-head attention.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nn/attention.h"
+#include "nn/rnn.h"
+#include "tensor/ops.h"
+#include "testing/gradcheck.h"
+
+namespace aib::nn {
+namespace {
+
+Rng &
+rng()
+{
+    static Rng r(123);
+    return r;
+}
+
+TEST(Rnn, GruShapesAndDeterminism)
+{
+    GRUCell cell(3, 5, rng());
+    Tensor x = Tensor::randn({2, 3}, rng());
+    Tensor h = Tensor::zeros({2, 5});
+    Tensor h1 = cell.forward(x, h);
+    Tensor h2 = cell.forward(x, h);
+    EXPECT_EQ(h1.shape(), (Shape{2, 5}));
+    EXPECT_EQ(h1.toVector(), h2.toVector());
+    // Hidden values stay bounded by tanh/sigmoid gating.
+    for (float v : h1.toVector())
+        EXPECT_LT(std::fabs(v), 1.0f);
+}
+
+TEST(Rnn, LstmShapesAndCellState)
+{
+    LSTMCell cell(3, 4, rng());
+    Tensor x = Tensor::randn({2, 3}, rng());
+    Tensor h = Tensor::zeros({2, 4});
+    Tensor c = Tensor::zeros({2, 4});
+    auto [h1, c1] = cell.forward(x, h, c);
+    EXPECT_EQ(h1.shape(), (Shape{2, 4}));
+    EXPECT_EQ(c1.shape(), (Shape{2, 4}));
+}
+
+TEST(Rnn, RunGruUnrollsSequence)
+{
+    GRUCell cell(2, 3, rng());
+    std::vector<Tensor> steps{Tensor::randn({1, 2}, rng()),
+                              Tensor::randn({1, 2}, rng()),
+                              Tensor::randn({1, 2}, rng())};
+    auto outs = runGru(cell, steps);
+    EXPECT_EQ(outs.size(), 3u);
+    for (const Tensor &o : outs)
+        EXPECT_EQ(o.shape(), (Shape{1, 3}));
+}
+
+TEST(Rnn, GruGradcheck)
+{
+    GRUCell cell(2, 3, rng());
+    Tensor h0 = Tensor::zeros({2, 3});
+    testing::expectGradientsMatch(
+        [&](const std::vector<Tensor> &in) {
+            Tensor h = cell.forward(in[0], h0);
+            h = cell.forward(in[0], h);
+            return ops::mean(ops::square(h));
+        },
+        {Tensor::randn({2, 2}, rng())}, 1e-2f, 5e-2f);
+}
+
+TEST(Rnn, LstmGradcheck)
+{
+    LSTMCell cell(2, 3, rng());
+    Tensor h0 = Tensor::zeros({2, 3});
+    Tensor c0 = Tensor::zeros({2, 3});
+    testing::expectGradientsMatch(
+        [&](const std::vector<Tensor> &in) {
+            auto [h, c] = cell.forward(in[0], h0, c0);
+            auto [h2, c2] = cell.forward(in[0], h, c);
+            (void)c2;
+            return ops::mean(ops::square(h2));
+        },
+        {Tensor::randn({2, 2}, rng())}, 1e-2f, 5e-2f);
+}
+
+TEST(Attention, OutputShapeAndMaskEffect)
+{
+    MultiHeadAttention mha(8, 2, rng());
+    Tensor x = Tensor::randn({2, 4, 8}, rng());
+    Tensor out = mha.forward(x, x, x);
+    EXPECT_EQ(out.shape(), (Shape{2, 4, 8}));
+
+    // A causal mask must change the result (off-diagonal attention
+    // is blocked).
+    Tensor masked = mha.forward(x, x, x, causalMask(4));
+    bool differs = false;
+    auto a = out.toVector();
+    auto b = masked.toVector();
+    for (std::size_t i = 0; i < a.size(); ++i)
+        differs |= std::fabs(a[i] - b[i]) > 1e-6f;
+    EXPECT_TRUE(differs);
+}
+
+TEST(Attention, CrossAttentionDifferentLengths)
+{
+    MultiHeadAttention mha(8, 4, rng());
+    Tensor q = Tensor::randn({1, 3, 8}, rng());
+    Tensor kv = Tensor::randn({1, 6, 8}, rng());
+    EXPECT_EQ(mha.forward(q, kv, kv).shape(), (Shape{1, 3, 8}));
+}
+
+TEST(Attention, GradcheckThroughMha)
+{
+    MultiHeadAttention mha(4, 2, rng());
+    testing::expectGradientsMatch(
+        [&](const std::vector<Tensor> &in) {
+            return ops::mean(
+                ops::square(mha.forward(in[0], in[0], in[0])));
+        },
+        {Tensor::randn({1, 3, 4}, rng())}, 1e-2f, 5e-2f);
+}
+
+TEST(Attention, TransformerBlockShape)
+{
+    TransformerBlock block(8, 2, 16, rng());
+    Tensor x = Tensor::randn({2, 5, 8}, rng());
+    EXPECT_EQ(block.forward(x).shape(), (Shape{2, 5, 8}));
+    EXPECT_GT(block.parameterCount(), 0);
+}
+
+TEST(Attention, DecoderBlockShape)
+{
+    TransformerDecoderBlock block(8, 2, 16, rng());
+    Tensor x = Tensor::randn({2, 4, 8}, rng());
+    Tensor mem = Tensor::randn({2, 6, 8}, rng());
+    EXPECT_EQ(block.forward(x, mem, causalMask(4)).shape(),
+              (Shape{2, 4, 8}));
+}
+
+TEST(Attention, PositionalEncodingProperties)
+{
+    Tensor pe = positionalEncoding(10, 8);
+    EXPECT_EQ(pe.shape(), (Shape{10, 8}));
+    // Position 0: sin(0)=0 on even dims, cos(0)=1 on odd dims.
+    for (std::int64_t d = 0; d < 8; d += 2)
+        EXPECT_FLOAT_EQ(pe.at({0, d}), 0.0f);
+    for (std::int64_t d = 1; d < 8; d += 2)
+        EXPECT_FLOAT_EQ(pe.at({0, d}), 1.0f);
+    for (float v : pe.toVector())
+        EXPECT_LE(std::fabs(v), 1.0f);
+}
+
+TEST(Attention, CausalMaskBlocksUpperTriangle)
+{
+    Tensor m = causalMask(3);
+    EXPECT_FLOAT_EQ(m.at({0, 0}), 0.0f);
+    EXPECT_FLOAT_EQ(m.at({2, 1}), 0.0f);
+    EXPECT_LT(m.at({0, 1}), -1e8f);
+    EXPECT_LT(m.at({1, 2}), -1e8f);
+}
+
+} // namespace
+} // namespace aib::nn

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Unit tests for the kernel-trace profiler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "profiler/trace.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace aib::profiler {
+namespace {
+
+TEST(Profiler, NoSessionMeansNoRecording)
+{
+    EXPECT_FALSE(tracingEnabled());
+    EXPECT_EQ(activeSession(), nullptr);
+    record("k", KernelCategory::Gemm, 1.0, 1.0, 1.0, 1.0); // no crash
+}
+
+TEST(Profiler, RecordsAggregatePerKernel)
+{
+    TraceSession session;
+    {
+        ScopedTrace scope(session);
+        EXPECT_TRUE(tracingEnabled());
+        record("gemm_a", KernelCategory::Gemm, 100.0, 40.0, 20.0, 10.0);
+        record("gemm_a", KernelCategory::Gemm, 100.0, 40.0, 20.0, 10.0);
+        record("relu_b", KernelCategory::Relu, 5.0, 4.0, 4.0, 5.0);
+    }
+    EXPECT_FALSE(tracingEnabled());
+    EXPECT_EQ(session.kernelCount(), 2u);
+    EXPECT_EQ(session.totalLaunches(), 3u);
+    EXPECT_DOUBLE_EQ(session.totalFlops(), 205.0);
+    EXPECT_DOUBLE_EQ(session.totalBytes(), 128.0);
+
+    const KernelStats *gemm = session.find("gemm_a");
+    ASSERT_NE(gemm, nullptr);
+    EXPECT_EQ(gemm->launches, 2u);
+    EXPECT_DOUBLE_EQ(gemm->flops, 200.0);
+    EXPECT_DOUBLE_EQ(gemm->bytesTotal(), 120.0);
+    EXPECT_NEAR(gemm->arithmeticIntensity(), 200.0 / 120.0, 1e-12);
+    EXPECT_EQ(session.find("nonexistent"), nullptr);
+}
+
+TEST(Profiler, KernelsSortedByFlops)
+{
+    TraceSession session;
+    {
+        ScopedTrace scope(session);
+        record("small", KernelCategory::Elementwise, 1.0, 1, 1, 1);
+        record("big", KernelCategory::Gemm, 1000.0, 1, 1, 1);
+    }
+    auto kernels = session.kernels();
+    ASSERT_EQ(kernels.size(), 2u);
+    EXPECT_EQ(kernels[0].first, "big");
+    EXPECT_EQ(kernels[1].first, "small");
+}
+
+TEST(Profiler, CategoryTotals)
+{
+    TraceSession session;
+    {
+        ScopedTrace scope(session);
+        record("a", KernelCategory::Gemm, 10.0, 1, 1, 1);
+        record("b", KernelCategory::Gemm, 20.0, 1, 1, 1);
+        record("c", KernelCategory::Pooling, 5.0, 1, 1, 1);
+    }
+    auto totals = session.categoryTotals();
+    ASSERT_EQ(static_cast<int>(totals.size()), kNumKernelCategories);
+    EXPECT_DOUBLE_EQ(
+        totals[static_cast<int>(KernelCategory::Gemm)].flops, 30.0);
+    EXPECT_DOUBLE_EQ(
+        totals[static_cast<int>(KernelCategory::Pooling)].flops, 5.0);
+    EXPECT_EQ(totals[static_cast<int>(KernelCategory::Gemm)].launches,
+              2u);
+}
+
+TEST(Profiler, NestedSessionsInnermostWins)
+{
+    TraceSession outer, inner;
+    {
+        ScopedTrace so(outer);
+        record("x", KernelCategory::Gemm, 1.0, 1, 1, 1);
+        {
+            ScopedTrace si(inner);
+            record("y", KernelCategory::Gemm, 1.0, 1, 1, 1);
+        }
+        record("z", KernelCategory::Gemm, 1.0, 1, 1, 1);
+    }
+    EXPECT_EQ(outer.kernelCount(), 2u);
+    EXPECT_EQ(inner.kernelCount(), 1u);
+    EXPECT_NE(outer.find("x"), nullptr);
+    EXPECT_NE(outer.find("z"), nullptr);
+    EXPECT_NE(inner.find("y"), nullptr);
+}
+
+TEST(Profiler, MergeCombinesSessions)
+{
+    TraceSession a, b;
+    {
+        ScopedTrace s(a);
+        record("k", KernelCategory::Gemm, 10.0, 4, 4, 2);
+    }
+    {
+        ScopedTrace s(b);
+        record("k", KernelCategory::Gemm, 30.0, 4, 4, 2);
+        record("m", KernelCategory::Relu, 1.0, 1, 1, 1);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.kernelCount(), 2u);
+    EXPECT_DOUBLE_EQ(a.find("k")->flops, 40.0);
+    EXPECT_EQ(a.totalLaunches(), 3u);
+}
+
+TEST(Profiler, ClearResets)
+{
+    TraceSession s;
+    {
+        ScopedTrace scope(s);
+        record("k", KernelCategory::Gemm, 10.0, 4, 4, 2);
+    }
+    s.clear();
+    EXPECT_EQ(s.kernelCount(), 0u);
+    EXPECT_EQ(s.totalLaunches(), 0u);
+    EXPECT_DOUBLE_EQ(s.totalFlops(), 0.0);
+}
+
+TEST(Profiler, MatmulRecordsGemmKernels)
+{
+    Rng rng(1);
+    Tensor a = Tensor::randn({8, 8}, rng).setRequiresGrad(true);
+    Tensor b = Tensor::randn({8, 8}, rng);
+    TraceSession session;
+    {
+        ScopedTrace scope(session);
+        Tensor loss = ops::sum(ops::matmul(a, b));
+        loss.backward();
+    }
+    auto totals = session.categoryTotals();
+    const auto &gemm = totals[static_cast<int>(KernelCategory::Gemm)];
+    // Forward gemm (2*8^3) plus one backward gemm for dA (dB is not
+    // needed because b does not require grad... it is still computed
+    // by the closure, so expect at least the forward's FLOPs).
+    EXPECT_GE(gemm.flops, 2.0 * 8 * 8 * 8);
+    EXPECT_GE(gemm.launches, 1u);
+}
+
+TEST(Profiler, ConvRecordsConvolutionAndDataArrangement)
+{
+    Rng rng(2);
+    Tensor x = Tensor::randn({1, 2, 6, 6}, rng);
+    Tensor w = Tensor::randn({3, 2, 3, 3}, rng).setRequiresGrad(true);
+    TraceSession session;
+    {
+        ScopedTrace scope(session);
+        Tensor y = ops::conv2d(x, w, Tensor(), 1, 1);
+        ops::sum(y).backward();
+    }
+    auto totals = session.categoryTotals();
+    EXPECT_GT(
+        totals[static_cast<int>(KernelCategory::Convolution)].flops, 0.0);
+    EXPECT_GT(totals[static_cast<int>(KernelCategory::DataArrangement)]
+                  .launches,
+              0u);
+}
+
+} // namespace
+} // namespace aib::profiler

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Numerical gradient checking utilities for the autograd tests.
+ */
+
+#ifndef AIB_TESTS_TESTING_GRADCHECK_H
+#define AIB_TESTS_TESTING_GRADCHECK_H
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace aib::testing {
+
+/**
+ * Verify analytic gradients of @p fn against central differences.
+ *
+ * @param fn Scalar-valued function of the inputs (must be
+ *           deterministic and reasonably smooth at the given points).
+ * @param inputs Leaf tensors; each is marked requires-grad.
+ * @param eps Finite-difference step.
+ * @param tol Absolute/relative tolerance for the comparison.
+ */
+inline void
+expectGradientsMatch(
+    const std::function<Tensor(const std::vector<Tensor> &)> &fn,
+    std::vector<Tensor> inputs, float eps = 1e-3f, float tol = 2e-2f)
+{
+    for (Tensor &t : inputs) {
+        t.setRequiresGrad(true);
+        t.zeroGrad();
+    }
+    Tensor loss = fn(inputs);
+    ASSERT_EQ(loss.numel(), 1) << "gradcheck needs a scalar loss";
+    loss.backward();
+
+    for (std::size_t which = 0; which < inputs.size(); ++which) {
+        Tensor &t = inputs[which];
+        Tensor analytic = t.grad();
+        ASSERT_TRUE(analytic.defined())
+            << "no gradient reached input " << which;
+        float *p = t.data();
+        const float *pa = analytic.data();
+        for (std::int64_t i = 0; i < t.numel(); ++i) {
+            const float saved = p[i];
+            p[i] = saved + eps;
+            float up;
+            {
+                NoGradGuard ng;
+                up = fn(inputs).item();
+            }
+            p[i] = saved - eps;
+            float down;
+            {
+                NoGradGuard ng;
+                down = fn(inputs).item();
+            }
+            p[i] = saved;
+            const float numeric = (up - down) / (2.0f * eps);
+            const float scale =
+                std::max({1.0f, std::fabs(numeric), std::fabs(pa[i])});
+            EXPECT_NEAR(pa[i], numeric, tol * scale)
+                << "input " << which << " element " << i;
+        }
+    }
+}
+
+} // namespace aib::testing
+
+#endif // AIB_TESTS_TESTING_GRADCHECK_H

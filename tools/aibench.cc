@@ -1,0 +1,263 @@
+/**
+ * @file
+ * The `aibench` command-line tool: run, characterize and compare the
+ * component benchmarks without writing any code.
+ *
+ *   aibench list
+ *   aibench run <id> [--seed N] [--max-epochs N]
+ *   aibench characterize <id> [--csv]
+ *   aibench inference <id> [--queries N]
+ *   aibench subset
+ *   aibench devices
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "analysis/characterize.h"
+#include "core/cost.h"
+#include "core/inference.h"
+#include "core/registry.h"
+#include "core/runner.h"
+#include "core/subset.h"
+#include "gpusim/report.h"
+
+using namespace aib;
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: aibench <command> [args]\n"
+        "  list                      all registered benchmarks\n"
+        "  run <id> [--seed N] [--max-epochs N]\n"
+        "                            entire training session to the\n"
+        "                            target quality\n"
+        "  characterize <id> [--csv] parameters, FLOPs, microarch\n"
+        "                            metrics, runtime breakdown\n"
+        "  inference <id> [--queries N]\n"
+        "                            latency / tail latency /\n"
+        "                            throughput / energy per query\n"
+        "  subset                    the affordable subset and its\n"
+        "                            cost savings\n"
+        "  devices                   simulated device catalogue\n");
+    return 2;
+}
+
+long
+argValue(int argc, char **argv, const char *flag, long fallback)
+{
+    for (int i = 0; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], flag) == 0)
+            return std::strtol(argv[i + 1], nullptr, 10);
+    }
+    return fallback;
+}
+
+bool
+hasFlag(int argc, char **argv, const char *flag)
+{
+    for (int i = 0; i < argc; ++i)
+        if (std::strcmp(argv[i], flag) == 0)
+            return true;
+    return false;
+}
+
+const core::ComponentBenchmark *
+requireBenchmark(const char *id)
+{
+    const auto *b = core::findBenchmark(id);
+    if (!b) {
+        std::fprintf(stderr, "unknown benchmark '%s' (try: aibench "
+                             "list)\n",
+                     id);
+        std::exit(2);
+    }
+    return b;
+}
+
+int
+cmdList()
+{
+    std::printf("%-20s %-32s %-22s %-10s %s\n", "id", "task", "metric",
+                "target", "suite");
+    for (const auto *b : core::allBenchmarks()) {
+        std::printf("%-20s %-32s %-22s %-10.4g %s%s\n",
+                    b->info.id.c_str(), b->info.name.c_str(),
+                    b->info.metric.c_str(), b->info.target,
+                    b->info.suite == core::Suite::AIBench ? "AIBench"
+                                                          : "MLPerf",
+                    b->info.inSubset ? " [subset]" : "");
+    }
+    return 0;
+}
+
+int
+cmdRun(int argc, char **argv)
+{
+    if (argc < 1)
+        return usage();
+    const auto *b = requireBenchmark(argv[0]);
+    core::RunOptions options;
+    options.maxEpochs =
+        static_cast<int>(argValue(argc, argv, "--max-epochs", 40));
+    const auto seed = static_cast<std::uint64_t>(
+        argValue(argc, argv, "--seed", 42));
+
+    std::printf("%s (%s): training to %s %s %.4g, seed %llu\n",
+                b->info.id.c_str(), b->info.name.c_str(),
+                b->info.metric.c_str(),
+                b->info.direction == core::Direction::HigherIsBetter
+                    ? ">="
+                    : "<=",
+                b->info.target,
+                static_cast<unsigned long long>(seed));
+    core::TrainResult result =
+        core::trainToQuality(*b, seed, options);
+    for (std::size_t e = 0; e < result.qualityByEpoch.size(); ++e)
+        std::printf("  epoch %2zu: %.4f\n", e + 1,
+                    result.qualityByEpoch[e]);
+    if (result.reached())
+        std::printf("converged in %d epochs (%.2fs, %.3fs/epoch)\n",
+                    result.epochsToTarget, result.trainSeconds,
+                    result.secondsPerEpoch);
+    else
+        std::printf("target not reached in %d epochs (final %.4f)\n",
+                    options.maxEpochs, result.finalQuality);
+    return result.reached() ? 0 : 1;
+}
+
+int
+cmdCharacterize(int argc, char **argv)
+{
+    if (argc < 1)
+        return usage();
+    const auto *b = requireBenchmark(argv[0]);
+    analysis::ProfileOptions options;
+    options.skipTraining = true;
+    analysis::BenchmarkProfile p =
+        analysis::profileBenchmark(*b, options);
+
+    std::printf("%s — %s\n", p.id.c_str(), p.name.c_str());
+    std::printf("  parameters:     %lld\n",
+                static_cast<long long>(p.complexity.parameters));
+    std::printf("  forward FLOPs:  %.3f M\n",
+                p.complexity.forwardMFlops());
+    std::printf("  forward bytes:  %.3f MB\n",
+                p.complexity.forwardBytes / 1e6);
+    std::printf("  simulated epoch on %s: %.3f ms, %.2f J\n",
+                options.device.name.c_str(),
+                p.epochSim.totalTimeSec * 1e3,
+                gpusim::simulatedEnergyJoules(p.epochSim,
+                                              options.device));
+    std::printf("  microarch metrics:\n");
+    const auto metrics = p.epochSim.aggregate.asArray();
+    for (int i = 0; i < 5; ++i)
+        std::printf("    %-22s %.3f\n",
+                    gpusim::MicroArchMetrics::axisName(i),
+                    metrics[static_cast<std::size_t>(i)]);
+    std::printf("  runtime breakdown:\n");
+    const auto share = p.epochSim.categoryShare();
+    for (int c = 0; c < profiler::kNumKernelCategories; ++c) {
+        if (share[static_cast<std::size_t>(c)] < 0.005)
+            continue;
+        std::printf("    %-18s %5.1f%%\n",
+                    std::string(
+                        profiler::categoryName(
+                            static_cast<profiler::KernelCategory>(c)))
+                        .c_str(),
+                    100.0 * share[static_cast<std::size_t>(c)]);
+    }
+    if (hasFlag(argc, argv, "--csv")) {
+        profiler::TraceSession trace =
+            core::traceTrainingEpochs(*b, options.seed, 0, 1);
+        std::printf("\n%s", profiler::toCsv(trace).c_str());
+    }
+    return 0;
+}
+
+int
+cmdInference(int argc, char **argv)
+{
+    if (argc < 1)
+        return usage();
+    const auto *b = requireBenchmark(argv[0]);
+    core::InferenceOptions options;
+    options.queries =
+        static_cast<int>(argValue(argc, argv, "--queries", 50));
+    options.trainEpochs = 1;
+    core::InferenceResult r = core::measureInference(*b, 42, options);
+    std::printf("%s inference over %d queries:\n", b->info.id.c_str(),
+                r.queries);
+    std::printf("  latency mean/p50/p90/p99/max: "
+                "%.3f / %.3f / %.3f / %.3f / %.3f ms\n",
+                r.meanLatencyMs, r.p50LatencyMs, r.p90LatencyMs,
+                r.p99LatencyMs, r.maxLatencyMs);
+    std::printf("  host throughput: %.0f qps\n", r.throughputQps);
+    std::printf("  simulated (%s): %.4f ms, %.4f mJ per query\n",
+                options.device.name.c_str(), r.simulatedLatencyMs,
+                r.simulatedEnergyMj);
+    return 0;
+}
+
+int
+cmdSubset()
+{
+    std::printf("affordable subset (Sec. 5.4):\n");
+    for (const auto *b : core::subsetBenchmarks())
+        std::printf("  %s — %s\n", b->info.id.c_str(),
+                    b->info.name.c_str());
+    const double full = core::paperSuiteHours([] {
+        std::vector<const core::ComponentBenchmark *> v;
+        for (const auto &b : core::aibenchSuite())
+            v.push_back(&b);
+        return v;
+    }());
+    const double subset =
+        core::paperSuiteHours(core::subsetBenchmarks());
+    std::printf("paper-hour savings vs the full suite: %.1f%%\n",
+                core::reductionPct(subset, full));
+    return 0;
+}
+
+int
+cmdDevices()
+{
+    for (const auto &d : {gpusim::titanXp(), gpusim::titanRtx()}) {
+        std::printf("%s\n", d.name.c_str());
+        std::printf("  %d CUDA cores @ %.2f GHz, %.0f GB, "
+                    "%.0f GB/s, %.1f TFLOPS peak, TDP %.0f W\n",
+                    d.cudaCores, d.clockGhz, d.memGB,
+                    d.memBandwidthGBs, d.peakFlops() / 1e12,
+                    d.tdpWatts);
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string command = argv[1];
+    if (command == "list")
+        return cmdList();
+    if (command == "run")
+        return cmdRun(argc - 2, argv + 2);
+    if (command == "characterize")
+        return cmdCharacterize(argc - 2, argv + 2);
+    if (command == "inference")
+        return cmdInference(argc - 2, argv + 2);
+    if (command == "subset")
+        return cmdSubset();
+    if (command == "devices")
+        return cmdDevices();
+    return usage();
+}
