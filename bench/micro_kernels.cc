@@ -8,6 +8,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "tensor/detail/gemm.h"
 #include "tensor/ops.h"
 #include "tensor/tensor.h"
 
@@ -22,6 +23,21 @@ rng()
     return r;
 }
 
+/** FLOP-rate counter shared by the GEMM benchmarks. */
+void
+setGemmCounters(benchmark::State &state, std::int64_t n)
+{
+    const double flops = 2.0 * static_cast<double>(n) * n * n;
+    state.counters["GFLOPS"] = benchmark::Counter(
+        flops * static_cast<double>(state.iterations()) * 1e-9,
+        benchmark::Counter::kIsRate);
+    state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+
+/**
+ * GFLOP/s sweep of the blocked multi-threaded GEMM backend across
+ * square sizes 64..1024; the perf trajectory future PRs track.
+ */
 void
 BM_Gemm(benchmark::State &state)
 {
@@ -33,9 +49,48 @@ BM_Gemm(benchmark::State &state)
         Tensor c = ops::matmul(a, b);
         benchmark::DoNotOptimize(c.data());
     }
-    state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+    setGemmCounters(state, n);
 }
-BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128);
+BENCHMARK(BM_Gemm)->RangeMultiplier(2)->Range(64, 1024);
+
+/** Naive triple-loop reference — the seed implementation's speed. */
+void
+BM_GemmNaive(benchmark::State &state)
+{
+    const auto n = state.range(0);
+    Tensor a = Tensor::randn({n, n}, rng());
+    Tensor b = Tensor::randn({n, n}, rng());
+    Tensor c = Tensor::zeros({n, n});
+    for (auto _ : state) {
+        ops::detail::gemmNaive(a.data(), b.data(), c.data(), n, n, n,
+                               false, false);
+        benchmark::DoNotOptimize(c.data());
+    }
+    setGemmCounters(state, n);
+}
+BENCHMARK(BM_GemmNaive)->Arg(256)->Arg(512);
+
+/** The transpose variants hit by backward passes. */
+void
+BM_GemmTransposed(benchmark::State &state)
+{
+    const auto n = state.range(0);
+    const bool ta = state.range(1) != 0;
+    const bool tb = state.range(2) != 0;
+    Tensor a = Tensor::randn({n, n}, rng());
+    Tensor b = Tensor::randn({n, n}, rng());
+    Tensor c = Tensor::zeros({n, n});
+    for (auto _ : state) {
+        ops::detail::gemm(a.data(), b.data(), c.data(), n, n, n, ta,
+                          tb);
+        benchmark::DoNotOptimize(c.data());
+    }
+    setGemmCounters(state, n);
+}
+BENCHMARK(BM_GemmTransposed)
+    ->Args({512, 0, 1})
+    ->Args({512, 1, 0})
+    ->Args({512, 1, 1});
 
 void
 BM_Conv2d(benchmark::State &state)

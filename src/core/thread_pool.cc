@@ -1,0 +1,227 @@
+#include "core/thread_pool.h"
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "profiler/trace.h"
+
+namespace aib::core {
+
+namespace {
+
+thread_local bool tl_in_parallel = false;
+
+} // namespace
+
+bool
+ThreadPool::inParallelRegion()
+{
+    return tl_in_parallel;
+}
+
+int
+ThreadPool::defaultThreads()
+{
+    if (const char *env = std::getenv("AIBENCH_NUM_THREADS")) {
+        const long v = std::strtol(env, nullptr, 10);
+        if (v >= 1)
+            return static_cast<int>(v);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw >= 1 ? static_cast<int>(hw) : 1;
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    static ThreadPool pool(0);
+    return pool;
+}
+
+ThreadPool::ThreadPool(int threads)
+{
+    if (threads <= 0)
+        threads = defaultThreads();
+    workers_.reserve(static_cast<std::size_t>(threads - 1));
+    for (int w = 0; w + 1 < threads; ++w)
+        workers_.emplace_back([this, w] { workerLoop(w); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (auto &t : workers_)
+        t.join();
+}
+
+int
+ThreadPool::numChunks(std::int64_t range, std::int64_t grain) const
+{
+    if (range <= 0)
+        return 0;
+    if (grain < 1)
+        grain = 1;
+    const std::int64_t by_grain = (range + grain - 1) / grain;
+    const std::int64_t cap = numThreads();
+    return static_cast<int>(by_grain < cap ? by_grain : cap);
+}
+
+void
+ThreadPool::chunkBounds(const Job &job, int chunk, std::int64_t *b,
+                        std::int64_t *e) const
+{
+    // Chunk c gets chunkSize indices, the first `remainder` chunks one
+    // extra; boundaries depend only on (range, chunks), never timing.
+    const std::int64_t c = chunk;
+    const std::int64_t extra = c < job.remainder ? c : job.remainder;
+    *b = job.begin + c * job.chunkSize + extra;
+    *e = *b + job.chunkSize + (c < job.remainder ? 1 : 0);
+}
+
+void
+ThreadPool::runChunks(const Job &job, int participant) noexcept
+{
+    auto *session =
+        static_cast<profiler::TraceSession *>(job.session);
+    profiler::TraceSession *prev =
+        profiler::exchangeActiveSession(session);
+    const bool was_parallel = tl_in_parallel;
+    tl_in_parallel = true;
+    // Static assignment: participant p owns chunks p, p+P, p+2P, ...
+    for (int c = participant; c < job.chunks; c += job.participants) {
+        std::int64_t b, e;
+        chunkBounds(job, c, &b, &e);
+        try {
+            (*job.body)(c, b, e);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (!firstError_)
+                firstError_ = std::current_exception();
+        }
+    }
+    tl_in_parallel = was_parallel;
+    profiler::exchangeActiveSession(prev);
+}
+
+void
+ThreadPool::workerLoop(int worker_id)
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        Job job;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock, [&] {
+                return stop_ || generation_ != seen;
+            });
+            if (stop_)
+                return;
+            seen = generation_;
+            job = job_;
+        }
+        const int participant = worker_id + 1;
+        if (participant < job.participants) {
+            runChunks(job, participant);
+            bool last = false;
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                last = --pending_ == 0;
+            }
+            if (last)
+                done_.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::parallelForChunked(
+    std::int64_t begin, std::int64_t end, std::int64_t grain,
+    const std::function<void(int, std::int64_t, std::int64_t)> &body)
+{
+    const std::int64_t range = end - begin;
+    if (range <= 0)
+        return;
+    if (grain < 1)
+        grain = 1;
+
+    Job job;
+    job.body = &body;
+    job.begin = begin;
+    job.chunks = numChunks(range, grain);
+    job.chunkSize = range / job.chunks;
+    job.remainder = range % job.chunks;
+    job.session = profiler::activeSession();
+
+    // Nested calls (from a worker or from inside another parallelFor
+    // on this thread) and single-chunk ranges run inline and serially
+    // on the calling thread. tl_in_parallel is deliberately left
+    // untouched here: an inline body may still fan out nested work
+    // (e.g. a single-sample conv whose GEMM threads internally).
+    if (tl_in_parallel || job.chunks == 1 || numThreads() == 1) {
+        for (int chunk = 0; chunk < job.chunks; ++chunk) {
+            std::int64_t b, e;
+            chunkBounds(job, chunk, &b, &e);
+            body(chunk, b, e);
+        }
+        return;
+    }
+
+    job.participants =
+        job.chunks < numThreads() ? job.chunks : numThreads();
+
+    std::lock_guard<std::mutex> submit(submitMutex_);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        job_ = job;
+        pending_ = job.participants - 1;
+        ++generation_;
+    }
+    wake_.notify_all();
+    runChunks(job, 0);
+    std::exception_ptr err;
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        done_.wait(lock, [&] { return pending_ == 0; });
+        std::swap(err, firstError_);
+    }
+    if (err)
+        std::rethrow_exception(err);
+}
+
+void
+ThreadPool::parallelFor(
+    std::int64_t begin, std::int64_t end, std::int64_t grain,
+    const std::function<void(std::int64_t, std::int64_t)> &body)
+{
+    parallelForChunked(begin, end, grain,
+                       [&body](int, std::int64_t b, std::int64_t e) {
+                           body(b, e);
+                       });
+}
+
+int
+numThreads()
+{
+    return ThreadPool::global().numThreads();
+}
+
+void
+parallelFor(std::int64_t begin, std::int64_t end, std::int64_t grain,
+            const std::function<void(std::int64_t, std::int64_t)> &body)
+{
+    ThreadPool::global().parallelFor(begin, end, grain, body);
+}
+
+void
+parallelForChunked(
+    std::int64_t begin, std::int64_t end, std::int64_t grain,
+    const std::function<void(int, std::int64_t, std::int64_t)> &body)
+{
+    ThreadPool::global().parallelForChunked(begin, end, grain, body);
+}
+
+} // namespace aib::core

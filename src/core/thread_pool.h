@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Shared-memory parallel runtime for the tensor substrate.
+ *
+ * A @c ThreadPool keeps a fixed set of persistent worker threads and
+ * executes loop bodies over statically partitioned index ranges
+ * (PBBS-style shared-memory parallelism). It is the single mechanism
+ * every operator uses for multi-threading, so thread creation cost is
+ * paid once per process, not per kernel launch.
+ *
+ * Design points:
+ *  - Static range partitioning: a range [begin, end) is split into at
+ *    most numThreads() contiguous chunks. Chunk boundaries depend only
+ *    on the range, the grain and the thread count, never on timing, so
+ *    any reduction that combines per-chunk partials in chunk order is
+ *    deterministic run-to-run.
+ *  - Nested-call safety: a parallelFor issued from inside a worker (or
+ *    from inside another parallelFor on the caller thread) runs the
+ *    body inline and serially instead of deadlocking the pool.
+ *  - Profiler propagation: the caller's active profiler::TraceSession
+ *    is bound in each worker for the duration of the loop, so kernels
+ *    recorded from inside a parallel region land in the same trace as
+ *    serial ones (TraceSession itself is thread-safe).
+ *
+ * The global pool size is chosen from the AIBENCH_NUM_THREADS
+ * environment variable when set, otherwise from
+ * std::thread::hardware_concurrency().
+ */
+
+#ifndef AIB_CORE_THREAD_POOL_H
+#define AIB_CORE_THREAD_POOL_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace aib::core {
+
+class ThreadPool
+{
+  public:
+    /**
+     * Create a pool with @p threads participants (including the
+     * calling thread); 0 means "auto": AIBENCH_NUM_THREADS when set,
+     * otherwise the hardware concurrency. A pool of size 1 spawns no
+     * workers and runs everything inline.
+     */
+    explicit ThreadPool(int threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of participants (worker threads + the caller), >= 1. */
+    int numThreads() const { return static_cast<int>(workers_.size()) + 1; }
+
+    /**
+     * Number of chunks parallelForChunked will split [0, range) into
+     * given @p grain: min(numThreads, ceil(range / grain)), and 0 for
+     * an empty range. Use it to size per-chunk scratch buffers.
+     */
+    int numChunks(std::int64_t range, std::int64_t grain) const;
+
+    /**
+     * Execute @p body over [begin, end) split into numChunks
+     * contiguous chunks; body(chunk, chunk_begin, chunk_end) is called
+     * exactly once per chunk, each index covered exactly once.
+     * Chunks are assigned statically to participants. Blocks until
+     * every chunk has finished. Exceptions from the body are rethrown
+     * on the calling thread (the first one encountered).
+     */
+    void parallelForChunked(
+        std::int64_t begin, std::int64_t end, std::int64_t grain,
+        const std::function<void(int, std::int64_t, std::int64_t)> &body);
+
+    /** parallelForChunked without the chunk index. */
+    void parallelFor(
+        std::int64_t begin, std::int64_t end, std::int64_t grain,
+        const std::function<void(std::int64_t, std::int64_t)> &body);
+
+    /** True while the current thread executes a parallelFor body. */
+    static bool inParallelRegion();
+
+    /** The process-wide pool used by the tensor operators. */
+    static ThreadPool &global();
+
+    /**
+     * Thread count the global pool is created with:
+     * AIBENCH_NUM_THREADS when set to a positive integer, otherwise
+     * std::thread::hardware_concurrency() (at least 1).
+     */
+    static int defaultThreads();
+
+  private:
+    struct Job {
+        const std::function<void(int, std::int64_t, std::int64_t)> *body =
+            nullptr;
+        std::int64_t begin = 0;
+        std::int64_t chunkSize = 0;
+        std::int64_t remainder = 0;
+        int chunks = 0;
+        int participants = 0;
+        void *session = nullptr; // profiler::TraceSession of the caller
+    };
+
+    void workerLoop(int worker_id);
+    void runChunks(const Job &job, int participant) noexcept;
+    void chunkBounds(const Job &job, int chunk, std::int64_t *b,
+                     std::int64_t *e) const;
+
+    std::vector<std::thread> workers_;
+    std::mutex submitMutex_; // one job in flight at a time
+    mutable std::mutex mutex_;
+    std::condition_variable wake_;
+    std::condition_variable done_;
+    Job job_;
+    std::uint64_t generation_ = 0;
+    int pending_ = 0;
+    bool stop_ = false;
+    std::exception_ptr firstError_;
+};
+
+/** Convenience: thread count of the global pool. */
+int numThreads();
+
+/** Convenience: parallelFor on the global pool. */
+void parallelFor(
+    std::int64_t begin, std::int64_t end, std::int64_t grain,
+    const std::function<void(std::int64_t, std::int64_t)> &body);
+
+/** Convenience: parallelForChunked on the global pool. */
+void parallelForChunked(
+    std::int64_t begin, std::int64_t end, std::int64_t grain,
+    const std::function<void(int, std::int64_t, std::int64_t)> &body);
+
+} // namespace aib::core
+
+#endif // AIB_CORE_THREAD_POOL_H

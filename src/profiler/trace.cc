@@ -26,9 +26,32 @@ categoryName(KernelCategory category)
     }
 }
 
+TraceSession::TraceSession(const TraceSession &other)
+{
+    std::lock_guard<std::mutex> lock(other.mutex_);
+    stats_ = other.stats_;
+    totalLaunches_ = other.totalLaunches_;
+    totalFlops_ = other.totalFlops_;
+    totalBytes_ = other.totalBytes_;
+}
+
+TraceSession &
+TraceSession::operator=(const TraceSession &other)
+{
+    if (this == &other)
+        return *this;
+    std::scoped_lock lock(mutex_, other.mutex_);
+    stats_ = other.stats_;
+    totalLaunches_ = other.totalLaunches_;
+    totalFlops_ = other.totalFlops_;
+    totalBytes_ = other.totalBytes_;
+    return *this;
+}
+
 void
 TraceSession::record(const KernelLaunch &launch)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     KernelStats &stats = stats_[launch.name];
     stats.category = launch.category;
     stats.launches += 1;
@@ -45,15 +68,45 @@ TraceSession::record(const KernelLaunch &launch)
 void
 TraceSession::clear()
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     stats_.clear();
     totalLaunches_ = 0;
     totalFlops_ = 0.0;
     totalBytes_ = 0.0;
 }
 
+std::size_t
+TraceSession::kernelCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_.size();
+}
+
+std::uint64_t
+TraceSession::totalLaunches() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return totalLaunches_;
+}
+
+double
+TraceSession::totalFlops() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return totalFlops_;
+}
+
+double
+TraceSession::totalBytes() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return totalBytes_;
+}
+
 const KernelStats *
 TraceSession::find(std::string_view name) const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     auto it = stats_.find(name);
     return it == stats_.end() ? nullptr : &it->second;
 }
@@ -61,6 +114,7 @@ TraceSession::find(std::string_view name) const
 std::vector<std::pair<std::string_view, KernelStats>>
 TraceSession::kernels() const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     std::vector<std::pair<std::string_view, KernelStats>> out(
         stats_.begin(), stats_.end());
     std::sort(out.begin(), out.end(), [](const auto &a, const auto &b) {
@@ -74,6 +128,7 @@ TraceSession::kernels() const
 std::vector<KernelStats>
 TraceSession::categoryTotals() const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     std::vector<KernelStats> totals(kNumKernelCategories);
     for (int i = 0; i < kNumKernelCategories; ++i)
         totals[i].category = static_cast<KernelCategory>(i);
@@ -91,6 +146,9 @@ TraceSession::categoryTotals() const
 void
 TraceSession::merge(const TraceSession &other)
 {
+    if (this == &other)
+        return;
+    std::scoped_lock lock(mutex_, other.mutex_);
     for (const auto &[name, stats] : other.stats_) {
         KernelStats &mine = stats_[name];
         mine.category = stats.category;
@@ -141,6 +199,14 @@ TraceSession *
 activeSession()
 {
     return tl_active_session;
+}
+
+TraceSession *
+exchangeActiveSession(TraceSession *session)
+{
+    TraceSession *previous = tl_active_session;
+    tl_active_session = session;
+    return previous;
 }
 
 bool

@@ -16,6 +16,7 @@
 #define AIB_PROFILER_TRACE_H
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -53,11 +54,18 @@ struct KernelStats {
  *
  * Aggregation is keyed by the kernel-name pointer, which is why
  * @c KernelLaunch::name must be a string literal (static storage).
+ *
+ * Thread-safe: operators may record from thread-pool workers while a
+ * session is active, so all mutation and snapshot methods lock an
+ * internal mutex. Pointers returned by find() are only stable while
+ * no other thread mutates the session.
  */
 class TraceSession
 {
   public:
     TraceSession() = default;
+    TraceSession(const TraceSession &other);
+    TraceSession &operator=(const TraceSession &other);
 
     /** Record one kernel launch into the aggregate. */
     void record(const KernelLaunch &launch);
@@ -66,16 +74,16 @@ class TraceSession
     void clear();
 
     /** Number of distinct kernels observed. */
-    std::size_t kernelCount() const { return stats_.size(); }
+    std::size_t kernelCount() const;
 
     /** Total launches across all kernels. */
-    std::uint64_t totalLaunches() const { return totalLaunches_; }
+    std::uint64_t totalLaunches() const;
 
     /** Total FLOPs across all kernels. */
-    double totalFlops() const { return totalFlops_; }
+    double totalFlops() const;
 
     /** Total bytes moved across all kernels. */
-    double totalBytes() const { return totalBytes_; }
+    double totalBytes() const;
 
     /** Stats for one kernel name, or nullptr if never launched. */
     const KernelStats *find(std::string_view name) const;
@@ -93,6 +101,7 @@ class TraceSession
     void merge(const TraceSession &other);
 
   private:
+    mutable std::mutex mutex_;
     std::unordered_map<std::string_view, KernelStats> stats_;
     std::uint64_t totalLaunches_ = 0;
     double totalFlops_ = 0.0;
@@ -118,6 +127,14 @@ record(std::string_view name, KernelCategory category, double flops,
 
 /** @return the currently active session, or nullptr. */
 TraceSession *activeSession();
+
+/**
+ * Bind @p session as this thread's active session and return the
+ * previous binding. Used by the thread pool to propagate the caller's
+ * session into workers for the duration of a parallel region; callers
+ * must restore the returned previous value.
+ */
+TraceSession *exchangeActiveSession(TraceSession *session);
 
 /** @return true when a session is active (fast check for callers). */
 bool tracingEnabled();

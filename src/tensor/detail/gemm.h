@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The single-precision GEMM backend of the tensor substrate.
+ *
+ * Every workload in the suite funnels through this entry point
+ * (matmul, bmm, and the im2col decomposition of conv2d), so it is
+ * implemented as a proper high-performance CPU GEMM rather than a
+ * textbook triple loop: BLIS-style MC/KC/NC cache blocking with packed
+ * A/B panels, a register-tiled micro-kernel the compiler can
+ * auto-vectorize, and multi-threading over row blocks via
+ * core::ThreadPool.
+ *
+ * Results are bitwise identical for any thread count: threads split
+ * only the M dimension, and every C element accumulates its K-blocks
+ * in the same order regardless of partitioning.
+ *
+ * Not part of the public API.
+ */
+
+#ifndef AIB_TENSOR_DETAIL_GEMM_H
+#define AIB_TENSOR_DETAIL_GEMM_H
+
+#include <cstdint>
+
+namespace aib::core {
+class ThreadPool;
+}
+
+namespace aib::ops::detail {
+
+/**
+ * C (M,N) += op(A) * op(B), with op controlled by the trans flags.
+ * A is (M,K) row-major, or (K,M) when trans_a; B is (K,N) or (N,K)
+ * when trans_b. All matrices are dense row-major with no padding.
+ *
+ * Blocked, packed and multi-threaded. @p pool selects the thread pool
+ * (nullptr = the process-global pool); with a 1-thread pool the call
+ * is fully serial.
+ */
+void gemm(const float *a, const float *b, float *c, std::int64_t m,
+          std::int64_t n, std::int64_t k, bool trans_a, bool trans_b,
+          core::ThreadPool *pool = nullptr);
+
+/**
+ * Naive single-threaded reference GEMM with identical semantics,
+ * retained for correctness tests and as a baseline in benchmarks.
+ */
+void gemmNaive(const float *a, const float *b, float *c, std::int64_t m,
+               std::int64_t n, std::int64_t k, bool trans_a,
+               bool trans_b);
+
+} // namespace aib::ops::detail
+
+#endif // AIB_TENSOR_DETAIL_GEMM_H

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * ISA-specific instantiations of the blocked GEMM kernel.
+ *
+ * The same implementation (gemm_blocked.inc) is compiled once per
+ * SIMD level — the portable baseline plus, on x86-64, AVX2+FMA and
+ * AVX-512 translation units built with the matching -m flags — and
+ * gemm_backend.cc picks the widest one the running CPU supports via
+ * __builtin_cpu_supports. This keeps the default Release binary
+ * portable while still using the full vector width of the host
+ * (OpenBLAS-style dynamic dispatch). Not part of the public API.
+ */
+
+#ifndef AIB_TENSOR_DETAIL_GEMM_KERNELS_H
+#define AIB_TENSOR_DETAIL_GEMM_KERNELS_H
+
+#include <cstdint>
+
+namespace aib::core {
+class ThreadPool;
+}
+
+namespace aib::ops::detail {
+
+/** Blocked kernel signature; C += op(A)*op(B), pool never null. */
+using GemmKernelFn = void (*)(const float *a, const float *b, float *c,
+                              std::int64_t m, std::int64_t n,
+                              std::int64_t k, bool trans_a, bool trans_b,
+                              core::ThreadPool &pool);
+
+void gemmKernelGeneric(const float *a, const float *b, float *c,
+                       std::int64_t m, std::int64_t n, std::int64_t k,
+                       bool trans_a, bool trans_b,
+                       core::ThreadPool &pool);
+
+#if defined(AIB_GEMM_X86_VARIANTS)
+void gemmKernelAvx2(const float *a, const float *b, float *c,
+                    std::int64_t m, std::int64_t n, std::int64_t k,
+                    bool trans_a, bool trans_b, core::ThreadPool &pool);
+
+void gemmKernelAvx512(const float *a, const float *b, float *c,
+                      std::int64_t m, std::int64_t n, std::int64_t k,
+                      bool trans_a, bool trans_b,
+                      core::ThreadPool &pool);
+#endif
+
+} // namespace aib::ops::detail
+
+#endif // AIB_TENSOR_DETAIL_GEMM_KERNELS_H

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Entry point of the GEMM backend (see detail/gemm.h): dispatches to
+ * the widest blocked-kernel instantiation the running CPU supports
+ * (detail/gemm_kernels.h) and retains the naive triple-loop reference
+ * for tests and baseline benchmarks.
+ */
+
+#include "tensor/detail/gemm.h"
+
+#include "core/thread_pool.h"
+#include "tensor/detail/gemm_kernels.h"
+
+namespace aib::ops::detail {
+
+namespace {
+
+GemmKernelFn
+pickKernel()
+{
+#if defined(AIB_GEMM_X86_VARIANTS)
+    if (__builtin_cpu_supports("avx512f") &&
+        __builtin_cpu_supports("fma"))
+        return gemmKernelAvx512;
+    if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma"))
+        return gemmKernelAvx2;
+#endif
+    return gemmKernelGeneric;
+}
+
+} // namespace
+
+void
+gemm(const float *a, const float *b, float *c, std::int64_t m,
+     std::int64_t n, std::int64_t k, bool trans_a, bool trans_b,
+     core::ThreadPool *pool)
+{
+    if (m <= 0 || n <= 0 || k <= 0)
+        return;
+    static const GemmKernelFn kernel = pickKernel();
+    kernel(a, b, c, m, n, k, trans_a, trans_b,
+           pool ? *pool : core::ThreadPool::global());
+}
+
+void
+gemmNaive(const float *a, const float *b, float *c, std::int64_t m,
+          std::int64_t n, std::int64_t k, bool trans_a, bool trans_b)
+{
+    if (!trans_a && !trans_b) {
+        for (std::int64_t i = 0; i < m; ++i) {
+            for (std::int64_t p = 0; p < k; ++p) {
+                const float av = a[i * k + p];
+                if (av == 0.0f)
+                    continue;
+                const float *brow = b + p * n;
+                float *crow = c + i * n;
+                for (std::int64_t j = 0; j < n; ++j)
+                    crow[j] += av * brow[j];
+            }
+        }
+    } else if (!trans_a && trans_b) {
+        for (std::int64_t i = 0; i < m; ++i) {
+            const float *arow = a + i * k;
+            float *crow = c + i * n;
+            for (std::int64_t j = 0; j < n; ++j) {
+                const float *brow = b + j * k;
+                float acc = 0.0f;
+                for (std::int64_t p = 0; p < k; ++p)
+                    acc += arow[p] * brow[p];
+                crow[j] += acc;
+            }
+        }
+    } else if (trans_a && !trans_b) {
+        for (std::int64_t p = 0; p < k; ++p) {
+            const float *arow = a + p * m;
+            const float *brow = b + p * n;
+            for (std::int64_t i = 0; i < m; ++i) {
+                const float av = arow[i];
+                if (av == 0.0f)
+                    continue;
+                float *crow = c + i * n;
+                for (std::int64_t j = 0; j < n; ++j)
+                    crow[j] += av * brow[j];
+            }
+        }
+    } else {
+        for (std::int64_t i = 0; i < m; ++i) {
+            for (std::int64_t j = 0; j < n; ++j) {
+                float acc = 0.0f;
+                for (std::int64_t p = 0; p < k; ++p)
+                    acc += a[p * m + i] * b[j * k + p];
+                c[i * n + j] += acc;
+            }
+        }
+    }
+}
+
+} // namespace aib::ops::detail

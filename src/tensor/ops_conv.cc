@@ -10,11 +10,15 @@
 
 #include "tensor/ops.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
+#include <vector>
 
+#include "core/thread_pool.h"
 #include "tensor/autograd.h"
+#include "tensor/detail/gemm.h"
 #include "tensor/detail/op_common.h"
 
 namespace aib::ops {
@@ -33,13 +37,16 @@ convOutSize(std::int64_t in, int kernel, int stride, int padding)
 
 /**
  * Expand one sample (C,H,W) into columns (C*K*K, Ho*Wo).
+ * Parallel across channels (each channel writes a disjoint block of
+ * rows); runs inline when already inside a parallel region.
  */
 void
 im2colRaw(const float *x, float *col, std::int64_t c, std::int64_t h,
           std::int64_t w, int kernel, int stride, int padding,
           std::int64_t ho, std::int64_t wo)
 {
-    for (std::int64_t ch = 0; ch < c; ++ch) {
+    core::parallelFor(0, c, 1, [=](std::int64_t c0, std::int64_t c1) {
+    for (std::int64_t ch = c0; ch < c1; ++ch) {
         for (int ki = 0; ki < kernel; ++ki) {
             for (int kj = 0; kj < kernel; ++kj) {
                 float *dst =
@@ -62,18 +69,22 @@ im2colRaw(const float *x, float *col, std::int64_t c, std::int64_t h,
             }
         }
     }
+    });
 }
 
 /**
  * Scatter-add columns (C*K*K, Ho*Wo) back into a sample (C,H,W).
- * The destination must be zero-initialized by the caller.
+ * The destination must be zero-initialized by the caller. Parallel
+ * across channels: every channel scatters into its own (H,W) plane,
+ * so there are no write conflicts.
  */
 void
 col2imRaw(const float *col, float *x, std::int64_t c, std::int64_t h,
           std::int64_t w, int kernel, int stride, int padding,
           std::int64_t ho, std::int64_t wo)
 {
-    for (std::int64_t ch = 0; ch < c; ++ch) {
+    core::parallelFor(0, c, 1, [=](std::int64_t c0, std::int64_t c1) {
+    for (std::int64_t ch = c0; ch < c1; ++ch) {
         for (int ki = 0; ki < kernel; ++ki) {
             for (int kj = 0; kj < kernel; ++kj) {
                 const float *src =
@@ -92,24 +103,15 @@ col2imRaw(const float *col, float *x, std::int64_t c, std::int64_t h,
             }
         }
     }
+    });
 }
 
-/** C (M,N) += A (M,K) * B (K,N). */
+/** C (M,N) += A (M,K) * B (K,N), via the blocked GEMM backend. */
 void
 gemmAccNN(const float *a, const float *b, float *c, std::int64_t m,
           std::int64_t n, std::int64_t k)
 {
-    for (std::int64_t i = 0; i < m; ++i) {
-        for (std::int64_t p = 0; p < k; ++p) {
-            const float av = a[i * k + p];
-            if (av == 0.0f)
-                continue;
-            const float *brow = b + p * n;
-            float *crow = c + i * n;
-            for (std::int64_t j = 0; j < n; ++j)
-                crow[j] += av * brow[j];
-        }
-    }
+    detail::gemm(a, b, c, m, n, k, false, false);
 }
 
 /** C (M,N) += A (M,K) * B^T where B is (N,K). */
@@ -117,17 +119,7 @@ void
 gemmAccNT(const float *a, const float *b, float *c, std::int64_t m,
           std::int64_t n, std::int64_t k)
 {
-    for (std::int64_t i = 0; i < m; ++i) {
-        const float *arow = a + i * k;
-        float *crow = c + i * n;
-        for (std::int64_t j = 0; j < n; ++j) {
-            const float *brow = b + j * k;
-            float acc = 0.0f;
-            for (std::int64_t p = 0; p < k; ++p)
-                acc += arow[p] * brow[p];
-            crow[j] += acc;
-        }
-    }
+    detail::gemm(a, b, c, m, n, k, false, true);
 }
 
 /** C (M,N) += A^T * B where A is (K,M), B is (K,N). */
@@ -135,18 +127,7 @@ void
 gemmAccTN(const float *a, const float *b, float *c, std::int64_t m,
           std::int64_t n, std::int64_t k)
 {
-    for (std::int64_t p = 0; p < k; ++p) {
-        const float *arow = a + p * m;
-        const float *brow = b + p * n;
-        for (std::int64_t i = 0; i < m; ++i) {
-            const float av = arow[i];
-            if (av == 0.0f)
-                continue;
-            float *crow = c + i * n;
-            for (std::int64_t j = 0; j < n; ++j)
-                crow[j] += av * brow[j];
-        }
-    }
+    detail::gemm(a, b, c, m, n, k, true, false);
 }
 
 void
@@ -197,16 +178,23 @@ conv2d(const Tensor &input, const Tensor &weight, const Tensor &bias,
     const std::int64_t ckk = c * kernel * kernel;
     const std::int64_t hw_out = ho * wo;
     Tensor out = Tensor::zeros({n, f, ho, wo});
-    std::vector<float> col(static_cast<std::size_t>(ckk * hw_out));
 
     const float *px = input.data();
     const float *pw = weight.data();
     float *po = out.data();
-    for (std::int64_t i = 0; i < n; ++i) {
-        im2colRaw(px + i * c * h * w, col.data(), c, h, w, kernel, stride,
-                  padding, ho, wo);
-        gemmAccNN(pw, col.data(), po + i * f * hw_out, f, hw_out, ckk);
-    }
+    // Parallel across the batch; each chunk owns a private column
+    // buffer, and each sample writes a disjoint slice of the output.
+    core::parallelForChunked(
+        0, n, 1, [&](int, std::int64_t b0, std::int64_t b1) {
+            std::vector<float> col(
+                static_cast<std::size_t>(ckk * hw_out));
+            for (std::int64_t i = b0; i < b1; ++i) {
+                im2colRaw(px + i * c * h * w, col.data(), c, h, w,
+                          kernel, stride, padding, ho, wo);
+                gemmAccNN(pw, col.data(), po + i * f * hw_out, f,
+                          hw_out, ckk);
+            }
+        });
     recordIm2col(static_cast<double>(n) * ckk * hw_out);
     recordConvGemm(kn::conv_winograd, f, hw_out, ckk, n);
 
@@ -250,25 +238,49 @@ conv2d(const Tensor &input, const Tensor &weight, const Tensor &bias,
                                   1.0);
             }
 
-            std::vector<float> col(static_cast<std::size_t>(ckk * hw_out));
-            std::vector<float> col_grad(
-                static_cast<std::size_t>(ckk * hw_out));
             const float *px = input.data();
             const float *pw = weight.data();
             float *pgx = gx.data();
             float *pgw = gw.data();
-            for (std::int64_t i = 0; i < n; ++i) {
-                im2colRaw(px + i * c * h * w, col.data(), c, h, w, kernel,
-                          stride, padding, ho, wo);
-                // dW += g_i * col^T
-                gemmAccNT(pg + i * f * hw_out, col.data(), pgw, f, ckk,
-                          hw_out);
-                // dcol = W^T * g_i
-                std::fill(col_grad.begin(), col_grad.end(), 0.0f);
-                gemmAccTN(pw, pg + i * f * hw_out, col_grad.data(), ckk,
-                          hw_out, f);
-                col2imRaw(col_grad.data(), pgx + i * c * h * w, c, h, w,
-                          kernel, stride, padding, ho, wo);
+            // Parallel across the batch. dX writes are disjoint per
+            // sample; dW accumulates into per-chunk partials merged in
+            // chunk order below (chunk boundaries are static, so the
+            // merge order is reproducible).
+            core::ThreadPool &pool = core::ThreadPool::global();
+            const int chunks = std::max(1, pool.numChunks(n, 1));
+            std::vector<std::vector<float>> gw_parts(
+                static_cast<std::size_t>(chunks));
+            pool.parallelForChunked(
+                0, n, 1,
+                [&](int chunk, std::int64_t b0, std::int64_t b1) {
+                    std::vector<float> col(
+                        static_cast<std::size_t>(ckk * hw_out));
+                    std::vector<float> col_grad(
+                        static_cast<std::size_t>(ckk * hw_out));
+                    auto &gwp =
+                        gw_parts[static_cast<std::size_t>(chunk)];
+                    gwp.assign(static_cast<std::size_t>(f * ckk), 0.0f);
+                    for (std::int64_t i = b0; i < b1; ++i) {
+                        im2colRaw(px + i * c * h * w, col.data(), c, h,
+                                  w, kernel, stride, padding, ho, wo);
+                        // dW += g_i * col^T
+                        gemmAccNT(pg + i * f * hw_out, col.data(),
+                                  gwp.data(), f, ckk, hw_out);
+                        // dcol = W^T * g_i
+                        std::fill(col_grad.begin(), col_grad.end(),
+                                  0.0f);
+                        gemmAccTN(pw, pg + i * f * hw_out,
+                                  col_grad.data(), ckk, hw_out, f);
+                        col2imRaw(col_grad.data(), pgx + i * c * h * w,
+                                  c, h, w, kernel, stride, padding, ho,
+                                  wo);
+                    }
+                });
+            for (const auto &gwp : gw_parts) {
+                if (gwp.empty())
+                    continue;
+                for (std::int64_t j = 0; j < f * ckk; ++j)
+                    pgw[j] += gwp[static_cast<std::size_t>(j)];
             }
             recordIm2col(static_cast<double>(n) * ckk * hw_out);
             recordConvGemm(kn::conv_wgrad, f, ckk, hw_out, n);
@@ -301,18 +313,24 @@ convTranspose2d(const Tensor &input, const Tensor &weight,
     const std::int64_t fkk = f * kernel * kernel;
     const std::int64_t hw_in = h * w;
     Tensor out = Tensor::zeros({n, f, ho, wo});
-    std::vector<float> col(static_cast<std::size_t>(fkk * hw_in));
 
     const float *px = input.data();
     const float *pw = weight.data();
     float *po = out.data();
-    for (std::int64_t i = 0; i < n; ++i) {
-        // col (F*K*K, H*W) = W^T (FKK, C) * x_i (C, H*W)
-        std::fill(col.begin(), col.end(), 0.0f);
-        gemmAccTN(pw, px + i * c * hw_in, col.data(), fkk, hw_in, c);
-        col2imRaw(col.data(), po + i * f * ho * wo, f, ho, wo, kernel,
-                  stride, padding, h, w);
-    }
+    // Parallel across the batch with a per-chunk column buffer.
+    core::parallelForChunked(
+        0, n, 1, [&](int, std::int64_t b0, std::int64_t b1) {
+            std::vector<float> col(
+                static_cast<std::size_t>(fkk * hw_in));
+            for (std::int64_t i = b0; i < b1; ++i) {
+                // col (F*K*K, H*W) = W^T (FKK, C) * x_i (C, H*W)
+                std::fill(col.begin(), col.end(), 0.0f);
+                gemmAccTN(pw, px + i * c * hw_in, col.data(), fkk,
+                          hw_in, c);
+                col2imRaw(col.data(), po + i * f * ho * wo, f, ho, wo,
+                          kernel, stride, padding, h, w);
+            }
+        });
     recordConvGemm(kn::conv_winograd, fkk, hw_in, c, n);
     recordCol2im(static_cast<double>(n) * fkk * hw_in);
 
@@ -351,21 +369,42 @@ convTranspose2d(const Tensor &input, const Tensor &weight,
                     }
             }
 
-            std::vector<float> col(static_cast<std::size_t>(fkk * hw_in));
             const float *px = input.data();
             const float *pw = weight.data();
             float *pgx = gx.data();
             float *pgw = gw.data();
-            for (std::int64_t i = 0; i < n; ++i) {
-                // dcol = im2col(g_i) with F channels at output size.
-                im2colRaw(pg + i * f * hw_out, col.data(), f, ho, wo,
-                          kernel, stride, padding, h, w);
-                // dX_i (C, HW) += W (C, FKK) * dcol (FKK, HW)
-                gemmAccNN(pw, col.data(), pgx + i * c * hw_in, c, hw_in,
-                          fkk);
-                // dW (C, FKK) += x_i (C, HW) * dcol^T (HW, FKK)
-                gemmAccNT(px + i * c * hw_in, col.data(), pgw, c, fkk,
-                          hw_in);
+            // Parallel across the batch; dW goes through per-chunk
+            // partials merged in chunk order (see conv2d backward).
+            core::ThreadPool &pool = core::ThreadPool::global();
+            const int chunks = std::max(1, pool.numChunks(n, 1));
+            std::vector<std::vector<float>> gw_parts(
+                static_cast<std::size_t>(chunks));
+            pool.parallelForChunked(
+                0, n, 1,
+                [&](int chunk, std::int64_t b0, std::int64_t b1) {
+                    std::vector<float> col(
+                        static_cast<std::size_t>(fkk * hw_in));
+                    auto &gwp =
+                        gw_parts[static_cast<std::size_t>(chunk)];
+                    gwp.assign(static_cast<std::size_t>(c * fkk), 0.0f);
+                    for (std::int64_t i = b0; i < b1; ++i) {
+                        // dcol = im2col(g_i), F channels, output size.
+                        im2colRaw(pg + i * f * hw_out, col.data(), f,
+                                  ho, wo, kernel, stride, padding, h,
+                                  w);
+                        // dX_i (C, HW) += W (C, FKK) * dcol (FKK, HW)
+                        gemmAccNN(pw, col.data(), pgx + i * c * hw_in,
+                                  c, hw_in, fkk);
+                        // dW (C, FKK) += x_i (C, HW) * dcol^T
+                        gemmAccNT(px + i * c * hw_in, col.data(),
+                                  gwp.data(), c, fkk, hw_in);
+                    }
+                });
+            for (const auto &gwp : gw_parts) {
+                if (gwp.empty())
+                    continue;
+                for (std::int64_t j = 0; j < c * fkk; ++j)
+                    pgw[j] += gwp[static_cast<std::size_t>(j)];
             }
             recordIm2col(static_cast<double>(n) * fkk * hw_in);
             recordConvGemm(kn::conv_wgrad, c, fkk, hw_in, n);

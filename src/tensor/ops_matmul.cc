@@ -1,13 +1,22 @@
 /**
  * @file
  * GEMM-backed linear algebra: matmul, batched matmul, transposes.
+ *
+ * The GEMM itself lives in gemm_backend.cc (blocked, packed,
+ * multi-threaded); this file wires it into the tensor/autograd layer.
+ * bmm parallelizes across the batch dimension when that exposes more
+ * work than GEMM-internal threading would.
  */
 
 #include "tensor/ops.h"
 
+#include <algorithm>
+#include <functional>
 #include <stdexcept>
 
+#include "core/thread_pool.h"
 #include "tensor/autograd.h"
+#include "tensor/detail/gemm.h"
 #include "tensor/detail/op_common.h"
 
 namespace aib::ops {
@@ -16,64 +25,6 @@ namespace {
 
 using detail::KernelCategory;
 namespace kn = detail::kn;
-
-/**
- * C (M,N) = op(A) * op(B), with op controlled by trans flags.
- * A is (M,K) or (K,M) when transposed; B is (K,N) or (N,K).
- * C must be zero-initialized by the caller.
- */
-void
-gemmRaw(const float *a, const float *b, float *c, std::int64_t m,
-        std::int64_t n, std::int64_t k, bool trans_a, bool trans_b)
-{
-    if (!trans_a && !trans_b) {
-        for (std::int64_t i = 0; i < m; ++i) {
-            for (std::int64_t p = 0; p < k; ++p) {
-                const float av = a[i * k + p];
-                if (av == 0.0f)
-                    continue;
-                const float *brow = b + p * n;
-                float *crow = c + i * n;
-                for (std::int64_t j = 0; j < n; ++j)
-                    crow[j] += av * brow[j];
-            }
-        }
-    } else if (!trans_a && trans_b) {
-        for (std::int64_t i = 0; i < m; ++i) {
-            const float *arow = a + i * k;
-            float *crow = c + i * n;
-            for (std::int64_t j = 0; j < n; ++j) {
-                const float *brow = b + j * k;
-                float acc = 0.0f;
-                for (std::int64_t p = 0; p < k; ++p)
-                    acc += arow[p] * brow[p];
-                crow[j] += acc;
-            }
-        }
-    } else if (trans_a && !trans_b) {
-        for (std::int64_t p = 0; p < k; ++p) {
-            const float *arow = a + p * m;
-            const float *brow = b + p * n;
-            for (std::int64_t i = 0; i < m; ++i) {
-                const float av = arow[i];
-                if (av == 0.0f)
-                    continue;
-                float *crow = c + i * n;
-                for (std::int64_t j = 0; j < n; ++j)
-                    crow[j] += av * brow[j];
-            }
-        }
-    } else {
-        for (std::int64_t i = 0; i < m; ++i) {
-            for (std::int64_t j = 0; j < n; ++j) {
-                float acc = 0.0f;
-                for (std::int64_t p = 0; p < k; ++p)
-                    acc += a[p * m + i] * b[j * k + p];
-                c[i * n + j] += acc;
-            }
-        }
-    }
-}
 
 void
 recordGemm(const char *name, std::int64_t m, std::int64_t n,
@@ -86,6 +37,27 @@ recordGemm(const char *name, std::int64_t m, std::int64_t n,
     const double writes = 4.0 * static_cast<double>(m) * n;
     profiler::record(name, KernelCategory::Gemm, flops, reads, writes,
                      static_cast<double>(m) * n);
+}
+
+/**
+ * Run @p body(i) for every batch index. Parallelizes across the batch
+ * when it exposes at least as much concurrency as the pool; otherwise
+ * stays serial so each per-batch GEMM can thread internally.
+ */
+void
+forEachBatch(std::int64_t bs,
+             const std::function<void(std::int64_t)> &body)
+{
+    if (bs >= core::numThreads()) {
+        core::parallelFor(0, bs, 1,
+                          [&](std::int64_t b0, std::int64_t b1) {
+                              for (std::int64_t i = b0; i < b1; ++i)
+                                  body(i);
+                          });
+    } else {
+        for (std::int64_t i = 0; i < bs; ++i)
+            body(i);
+    }
 }
 
 } // namespace
@@ -103,7 +75,7 @@ matmul(const Tensor &a, const Tensor &b)
     }
     const std::int64_t n = b.dim(1);
     Tensor out = Tensor::zeros({m, n});
-    gemmRaw(a.data(), b.data(), out.data(), m, n, k, false, false);
+    detail::gemm(a.data(), b.data(), out.data(), m, n, k, false, false);
     recordGemm(kn::sgemm_nn, m, n, k);
     return autograd::makeOutput(
         std::move(out), "matmul", {a, b},
@@ -111,9 +83,11 @@ matmul(const Tensor &a, const Tensor &b)
             Tensor ga = Tensor::zeros(a.shape());
             Tensor gb = Tensor::zeros(b.shape());
             // dA = g * B^T, dB = A^T * g
-            gemmRaw(g.data(), b.data(), ga.data(), m, k, n, false, true);
+            detail::gemm(g.data(), b.data(), ga.data(), m, k, n, false,
+                         true);
             recordGemm(kn::sgemm_nt, m, k, n);
-            gemmRaw(a.data(), g.data(), gb.data(), k, n, m, true, false);
+            detail::gemm(a.data(), g.data(), gb.data(), k, n, m, true,
+                         false);
             recordGemm(kn::sgemm_tn, k, n, m);
             return std::vector<Tensor>{std::move(ga), std::move(gb)};
         });
@@ -129,9 +103,14 @@ bmm(const Tensor &a, const Tensor &b)
         throw std::invalid_argument("bmm: shape mismatch");
     const std::int64_t n = b.dim(2);
     Tensor out = Tensor::zeros({bs, m, n});
-    for (std::int64_t i = 0; i < bs; ++i) {
-        gemmRaw(a.data() + i * m * k, b.data() + i * k * n,
-                out.data() + i * m * n, m, n, k, false, false);
+    {
+        const float *pa = a.data();
+        const float *pb = b.data();
+        float *po = out.data();
+        forEachBatch(bs, [=](std::int64_t i) {
+            detail::gemm(pa + i * m * k, pb + i * k * n, po + i * m * n,
+                         m, n, k, false, false);
+        });
     }
     recordGemm(kn::sgemm_batched, bs * m, n, k);
     return autograd::makeOutput(
@@ -139,12 +118,17 @@ bmm(const Tensor &a, const Tensor &b)
         [a, b, bs, m, n, k](const Tensor &g) {
             Tensor ga = Tensor::zeros(a.shape());
             Tensor gb = Tensor::zeros(b.shape());
-            for (std::int64_t i = 0; i < bs; ++i) {
-                gemmRaw(g.data() + i * m * n, b.data() + i * k * n,
-                        ga.data() + i * m * k, m, k, n, false, true);
-                gemmRaw(a.data() + i * m * k, g.data() + i * m * n,
-                        gb.data() + i * k * n, k, n, m, true, false);
-            }
+            const float *pa = a.data();
+            const float *pb = b.data();
+            const float *pg = g.data();
+            float *pga = ga.data();
+            float *pgb = gb.data();
+            forEachBatch(bs, [=](std::int64_t i) {
+                detail::gemm(pg + i * m * n, pb + i * k * n,
+                             pga + i * m * k, m, k, n, false, true);
+                detail::gemm(pa + i * m * k, pg + i * m * n,
+                             pgb + i * k * n, k, n, m, true, false);
+            });
             recordGemm(kn::sgemm_batched, bs * m, k, n);
             recordGemm(kn::sgemm_batched, bs * k, n, m);
             return std::vector<Tensor>{std::move(ga), std::move(gb)};
@@ -172,12 +156,34 @@ transposeLast2(const Tensor &a)
     Tensor out = Tensor::empty(out_shape);
     const float *pa = a.data();
     float *po = out.data();
-    for (std::int64_t b = 0; b < batch; ++b) {
-        const float *src = pa + b * r * c;
-        float *dst = po + b * r * c;
-        for (std::int64_t i = 0; i < r; ++i)
-            for (std::int64_t j = 0; j < c; ++j)
-                dst[j * r + i] = src[i * c + j];
+
+    // Cache-blocked transpose: copy TILE x TILE tiles so both the
+    // source rows and the destination columns stay resident.
+    constexpr std::int64_t TILE = 32;
+    auto transposeRows = [=](const float *src, float *dst,
+                             std::int64_t i0, std::int64_t i1) {
+        for (std::int64_t ii = i0; ii < i1; ii += TILE) {
+            const std::int64_t ie = std::min(ii + TILE, i1);
+            for (std::int64_t jj = 0; jj < c; jj += TILE) {
+                const std::int64_t je = std::min(jj + TILE, c);
+                for (std::int64_t i = ii; i < ie; ++i)
+                    for (std::int64_t j = jj; j < je; ++j)
+                        dst[j * r + i] = src[i * c + j];
+            }
+        }
+    };
+    if (batch > 1) {
+        core::parallelFor(0, batch, 1,
+                          [&](std::int64_t b0, std::int64_t b1) {
+                              for (std::int64_t b = b0; b < b1; ++b)
+                                  transposeRows(pa + b * r * c,
+                                                po + b * r * c, 0, r);
+                          });
+    } else {
+        core::parallelFor(0, r, TILE,
+                          [&](std::int64_t i0, std::int64_t i1) {
+                              transposeRows(pa, po, i0, i1);
+                          });
     }
     detail::recordArrange(static_cast<double>(a.numel()));
     return autograd::makeOutput(std::move(out), "transposeLast2", {a},

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Thread-pool unit tests: exact index coverage under static
+ * partitioning, chunk accounting, nested-call safety, exception
+ * propagation, and profiler-session propagation into workers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "core/thread_pool.h"
+#include "profiler/kernel_info.h"
+#include "profiler/trace.h"
+
+namespace {
+
+using aib::core::ThreadPool;
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce)
+{
+    for (const int threads : {1, 2, 4, 7}) {
+        ThreadPool pool(threads);
+        for (const std::int64_t range : {1, 2, 3, 63, 64, 1000}) {
+            std::vector<std::atomic<int>> hits(
+                static_cast<std::size_t>(range));
+            for (auto &h : hits)
+                h.store(0);
+            pool.parallelFor(0, range, 1,
+                             [&](std::int64_t b, std::int64_t e) {
+                                 for (std::int64_t i = b; i < e; ++i)
+                                     hits[static_cast<std::size_t>(i)]
+                                         .fetch_add(1);
+                             });
+            for (std::int64_t i = 0; i < range; ++i)
+                ASSERT_EQ(hits[static_cast<std::size_t>(i)].load(), 1)
+                    << "threads=" << threads << " range=" << range
+                    << " index=" << i;
+        }
+    }
+}
+
+TEST(ThreadPool, RespectsNonZeroBeginAndGrain)
+{
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(100);
+    for (auto &h : hits)
+        h.store(0);
+    pool.parallelFor(10, 90, 16, [&](std::int64_t b, std::int64_t e) {
+        for (std::int64_t i = b; i < e; ++i)
+            hits[static_cast<std::size_t>(i)].fetch_add(1);
+    });
+    for (std::int64_t i = 0; i < 100; ++i)
+        ASSERT_EQ(hits[static_cast<std::size_t>(i)].load(),
+                  (i >= 10 && i < 90) ? 1 : 0)
+            << "index " << i;
+}
+
+TEST(ThreadPool, ChunkIdsAreDenseAndBounded)
+{
+    ThreadPool pool(3);
+    const std::int64_t range = 50;
+    const int chunks = pool.numChunks(range, 1);
+    ASSERT_GT(chunks, 0);
+    ASSERT_LE(chunks, pool.numThreads());
+    std::vector<std::atomic<int>> seen(
+        static_cast<std::size_t>(chunks));
+    for (auto &s : seen)
+        s.store(0);
+    std::atomic<std::int64_t> covered{0};
+    pool.parallelForChunked(
+        0, range, 1, [&](int chunk, std::int64_t b, std::int64_t e) {
+            ASSERT_GE(chunk, 0);
+            ASSERT_LT(chunk, chunks);
+            seen[static_cast<std::size_t>(chunk)].fetch_add(1);
+            covered.fetch_add(e - b);
+        });
+    EXPECT_EQ(covered.load(), range);
+    for (int c = 0; c < chunks; ++c)
+        EXPECT_EQ(seen[static_cast<std::size_t>(c)].load(), 1);
+}
+
+TEST(ThreadPool, NumChunksAccounting)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.numChunks(0, 1), 0);
+    EXPECT_EQ(pool.numChunks(1, 1), 1);
+    EXPECT_EQ(pool.numChunks(3, 1), 3);
+    EXPECT_EQ(pool.numChunks(100, 1), pool.numThreads());
+    EXPECT_EQ(pool.numChunks(100, 100), 1);
+    EXPECT_EQ(pool.numChunks(100, 30), 4);
+}
+
+TEST(ThreadPool, NestedCallsRunInlineWithoutDeadlock)
+{
+    ThreadPool pool(4);
+    const std::int64_t outer = 8, inner = 16;
+    std::vector<std::atomic<int>> hits(
+        static_cast<std::size_t>(outer * inner));
+    for (auto &h : hits)
+        h.store(0);
+    pool.parallelFor(0, outer, 1, [&](std::int64_t b, std::int64_t e) {
+        for (std::int64_t o = b; o < e; ++o) {
+            EXPECT_TRUE(ThreadPool::inParallelRegion());
+            // Nested parallelFor on the same pool must run inline.
+            pool.parallelFor(
+                0, inner, 1, [&](std::int64_t ib, std::int64_t ie) {
+                    for (std::int64_t i = ib; i < ie; ++i)
+                        hits[static_cast<std::size_t>(o * inner + i)]
+                            .fetch_add(1);
+                });
+        }
+    });
+    for (const auto &h : hits)
+        ASSERT_EQ(h.load(), 1);
+    EXPECT_FALSE(ThreadPool::inParallelRegion());
+}
+
+TEST(ThreadPool, PropagatesExceptionsToCaller)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(
+        pool.parallelFor(0, 100, 1,
+                         [&](std::int64_t b, std::int64_t) {
+                             if (b == 0)
+                                 throw std::runtime_error("boom");
+                         }),
+        std::runtime_error);
+    // The pool must stay usable after an exception.
+    std::atomic<std::int64_t> covered{0};
+    pool.parallelFor(0, 10, 1, [&](std::int64_t b, std::int64_t e) {
+        covered.fetch_add(e - b);
+    });
+    EXPECT_EQ(covered.load(), 10);
+}
+
+TEST(ThreadPool, PropagatesProfilerSessionIntoWorkers)
+{
+    using namespace aib::profiler;
+    static constexpr char kName[] = "parallel_test_kernel";
+    ThreadPool pool(4);
+    TraceSession session;
+    {
+        ScopedTrace scope(session);
+        pool.parallelFor(0, 64, 1,
+                         [&](std::int64_t b, std::int64_t e) {
+                             for (std::int64_t i = b; i < e; ++i)
+                                 record(kName,
+                                        KernelCategory::Elementwise,
+                                        1.0, 4.0, 4.0, 1.0);
+                         });
+    }
+    const KernelStats *stats = session.find(kName);
+    ASSERT_NE(stats, nullptr);
+    EXPECT_EQ(stats->launches, 64u);
+    EXPECT_DOUBLE_EQ(stats->flops, 64.0);
+    EXPECT_EQ(session.totalLaunches(), 64u);
+}
+
+TEST(ThreadPool, GlobalPoolSingleton)
+{
+    ThreadPool &g1 = ThreadPool::global();
+    ThreadPool &g2 = ThreadPool::global();
+    EXPECT_EQ(&g1, &g2);
+    EXPECT_GE(g1.numThreads(), 1);
+    EXPECT_GE(ThreadPool::defaultThreads(), 1);
+}
+
+} // namespace

@@ -11,10 +11,13 @@
  *   aibench devices
  */
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "analysis/characterize.h"
 #include "core/cost.h"
@@ -22,7 +25,9 @@
 #include "core/registry.h"
 #include "core/runner.h"
 #include "core/subset.h"
+#include "core/thread_pool.h"
 #include "gpusim/report.h"
+#include "tensor/detail/gemm.h"
 
 using namespace aib;
 
@@ -45,7 +50,12 @@ usage()
         "                            throughput / energy per query\n"
         "  subset                    the affordable subset and its\n"
         "                            cost savings\n"
-        "  devices                   simulated device catalogue\n");
+        "  devices                   simulated device catalogue\n"
+        "  gemm-bench [--reps N] [--out FILE]\n"
+        "                            GEMM GFLOP/s sweep (sizes\n"
+        "                            64..1024); --out writes JSON\n"
+        "                            (e.g. BENCH_gemm.json) so the\n"
+        "                            perf trajectory can be tracked\n");
     return 2;
 }
 
@@ -225,6 +235,85 @@ cmdSubset()
     return 0;
 }
 
+const char *
+argString(int argc, char **argv, const char *flag, const char *fallback)
+{
+    for (int i = 0; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], flag) == 0)
+            return argv[i + 1];
+    }
+    return fallback;
+}
+
+int
+cmdGemmBench(int argc, char **argv)
+{
+    const int reps = std::max(
+        1, static_cast<int>(argValue(argc, argv, "--reps", 3)));
+    const char *out_path = argString(argc, argv, "--out", nullptr);
+
+    struct Point {
+        long n;
+        double seconds;
+        double gflops;
+    };
+    std::vector<Point> points;
+    std::vector<float> a, b, c;
+    std::printf("%-6s %12s %12s   (threads=%d, best of %d reps)\n",
+                "size", "seconds", "GFLOP/s", core::numThreads(), reps);
+    for (long n = 64; n <= 1024; n *= 2) {
+        const auto sz = static_cast<std::size_t>(n) *
+                        static_cast<std::size_t>(n);
+        a.assign(sz, 0.0f);
+        b.assign(sz, 0.0f);
+        for (std::size_t i = 0; i < sz; ++i) {
+            a[i] = static_cast<float>((i * 37 % 101) - 50) / 50.0f;
+            b[i] = static_cast<float>((i * 53 % 103) - 51) / 51.0f;
+        }
+        double best = -1.0;
+        for (int r = 0; r < reps; ++r) {
+            c.assign(sz, 0.0f);
+            const auto t0 = std::chrono::steady_clock::now();
+            aib::ops::detail::gemm(a.data(), b.data(), c.data(), n, n,
+                                   n, false, false);
+            const auto t1 = std::chrono::steady_clock::now();
+            const double s =
+                std::chrono::duration<double>(t1 - t0).count();
+            if (best < 0.0 || s < best)
+                best = s;
+        }
+        const double flops = 2.0 * static_cast<double>(n) * n * n;
+        points.push_back({n, best, flops / best * 1e-9});
+        std::printf("%-6ld %12.6f %12.2f\n", n, best,
+                    points.back().gflops);
+    }
+
+    if (out_path) {
+        std::FILE *f = std::fopen(out_path, "w");
+        if (!f) {
+            std::fprintf(stderr, "cannot write '%s'\n", out_path);
+            return 1;
+        }
+        std::fprintf(f,
+                     "{\n  \"benchmark\": \"gemm\",\n"
+                     "  \"threads\": %d,\n  \"reps\": %d,\n"
+                     "  \"sizes\": [\n",
+                     core::numThreads(), reps);
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            std::fprintf(
+                f,
+                "    {\"n\": %ld, \"seconds\": %.6f, "
+                "\"gflops\": %.3f}%s\n",
+                points[i].n, points[i].seconds, points[i].gflops,
+                i + 1 < points.size() ? "," : "");
+        }
+        std::fprintf(f, "  ]\n}\n");
+        std::fclose(f);
+        std::printf("wrote %s\n", out_path);
+    }
+    return 0;
+}
+
 int
 cmdDevices()
 {
@@ -259,5 +348,7 @@ main(int argc, char **argv)
         return cmdSubset();
     if (command == "devices")
         return cmdDevices();
+    if (command == "gemm-bench")
+        return cmdGemmBench(argc - 2, argv + 2);
     return usage();
 }
