@@ -1,6 +1,7 @@
 #include "core/thread_pool.h"
 
 #include <cstdlib>
+#include <memory>
 #include <stdexcept>
 
 #include "profiler/trace.h"
@@ -31,11 +32,29 @@ ThreadPool::defaultThreads()
     return hw >= 1 ? static_cast<int>(hw) : 1;
 }
 
+namespace {
+
+std::unique_ptr<ThreadPool> &
+globalSlot()
+{
+    static std::unique_ptr<ThreadPool> pool =
+        std::make_unique<ThreadPool>(0);
+    return pool;
+}
+
+} // namespace
+
 ThreadPool &
 ThreadPool::global()
 {
-    static ThreadPool pool(0);
-    return pool;
+    return *globalSlot();
+}
+
+int
+ThreadPool::setGlobalThreads(int threads)
+{
+    globalSlot() = std::make_unique<ThreadPool>(threads);
+    return globalSlot()->numThreads();
 }
 
 ThreadPool::ThreadPool(int threads)

@@ -88,6 +88,17 @@ class ThreadPool
     static ThreadPool &global();
 
     /**
+     * Replace the global pool with one of @p threads participants
+     * (0 = auto, as in the constructor) and return the new count.
+     *
+     * Test/benchmark seam equivalent to relaunching the process with
+     * AIBENCH_NUM_THREADS: the thread-count invariance suite uses it
+     * to run the same training twice under different pool sizes. Must
+     * not be called while any parallel region is executing.
+     */
+    static int setGlobalThreads(int threads);
+
+    /**
      * Thread count the global pool is created with:
      * AIBENCH_NUM_THREADS when set to a positive integer, otherwise
      * std::thread::hardware_concurrency() (at least 1).

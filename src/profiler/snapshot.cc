@@ -1,0 +1,259 @@
+#include "profiler/snapshot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace aib::profiler {
+
+namespace {
+
+constexpr std::string_view kHeader =
+    "# aibench kernel-trace snapshot v1";
+
+/** Inverse of categoryName(); -1 on unknown. */
+int
+categoryFromName(std::string_view name)
+{
+    for (int c = 0; c < kNumKernelCategories; ++c) {
+        if (name == categoryName(static_cast<KernelCategory>(c)))
+            return c;
+    }
+    return -1;
+}
+
+/** Round-trip-exact formatting of a double (shortest %.17g form). */
+std::string
+formatDouble(double v)
+{
+    char buf[64];
+    // %.17g always round-trips; prefer the shorter %.15g form when it
+    // parses back exactly, keeping the files readable.
+    std::snprintf(buf, sizeof buf, "%.15g", v);
+    if (std::strtod(buf, nullptr) != v)
+        std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
+/** Split a line into whitespace-separated fields. */
+std::vector<std::string_view>
+fields(std::string_view line)
+{
+    std::vector<std::string_view> out;
+    std::size_t i = 0;
+    while (i < line.size()) {
+        while (i < line.size() && (line[i] == ' ' || line[i] == '\t'))
+            ++i;
+        std::size_t j = i;
+        while (j < line.size() && line[j] != ' ' && line[j] != '\t')
+            ++j;
+        if (j > i)
+            out.push_back(line.substr(i, j - i));
+        i = j;
+    }
+    return out;
+}
+
+[[noreturn]] void
+malformed(std::size_t lineno, const std::string &what)
+{
+    throw std::runtime_error("trace snapshot line " +
+                             std::to_string(lineno) + ": " + what);
+}
+
+double
+parseDouble(std::string_view s, std::size_t lineno)
+{
+    char *end = nullptr;
+    const std::string copy(s);
+    const double v = std::strtod(copy.c_str(), &end);
+    if (end != copy.c_str() + copy.size())
+        malformed(lineno, "bad number '" + copy + "'");
+    return v;
+}
+
+/** True when |a - b| is within rel_tol of the larger magnitude. */
+bool
+closeEnough(double a, double b, double rel_tol)
+{
+    if (a == b)
+        return true;
+    const double scale = std::max(std::fabs(a), std::fabs(b));
+    return std::fabs(a - b) <= rel_tol * scale;
+}
+
+void
+appendValueDiff(std::string &out, const std::string &kernel,
+                const char *field, double golden, double actual)
+{
+    out += kernel;
+    out += ": ";
+    out += field;
+    out += ' ';
+    out += formatDouble(golden);
+    out += " -> ";
+    out += formatDouble(actual);
+    out += '\n';
+}
+
+} // namespace
+
+std::uint64_t
+TraceSnapshot::totalLaunches() const
+{
+    std::uint64_t total = 0;
+    for (const SnapshotRow &row : rows)
+        total += row.launches;
+    return total;
+}
+
+const SnapshotRow *
+TraceSnapshot::find(std::string_view kernel) const
+{
+    const auto it = std::lower_bound(
+        rows.begin(), rows.end(), kernel,
+        [](const SnapshotRow &row, std::string_view name) {
+            return row.kernel < name;
+        });
+    return it != rows.end() && it->kernel == kernel ? &*it : nullptr;
+}
+
+TraceSnapshot
+makeSnapshot(const TraceSession &session)
+{
+    TraceSnapshot snap;
+    for (const auto &[name, stats] : session.kernels()) {
+        SnapshotRow row;
+        row.kernel = std::string(name);
+        row.category = stats.category;
+        row.launches = stats.launches;
+        row.flops = stats.flops;
+        row.bytesRead = stats.bytesRead;
+        row.bytesWritten = stats.bytesWritten;
+        snap.rows.push_back(std::move(row));
+    }
+    // kernels() orders by FLOPs for reports; snapshots sort by name so
+    // near-equal FLOP totals can never reorder the file.
+    std::sort(snap.rows.begin(), snap.rows.end(),
+              [](const SnapshotRow &a, const SnapshotRow &b) {
+                  return a.kernel < b.kernel;
+              });
+    return snap;
+}
+
+std::string
+formatSnapshot(const TraceSnapshot &snapshot)
+{
+    std::string out(kHeader);
+    out += '\n';
+    for (const SnapshotRow &row : snapshot.rows) {
+        out += "kernel ";
+        out += row.kernel;
+        out += ' ';
+        out += std::string(categoryName(row.category));
+        out += ' ';
+        out += std::to_string(row.launches);
+        out += ' ';
+        out += formatDouble(row.flops);
+        out += ' ';
+        out += formatDouble(row.bytesRead);
+        out += ' ';
+        out += formatDouble(row.bytesWritten);
+        out += '\n';
+    }
+    return out;
+}
+
+TraceSnapshot
+parseSnapshot(std::string_view text)
+{
+    TraceSnapshot snap;
+    std::size_t lineno = 0;
+    bool saw_header = false;
+    std::size_t pos = 0;
+    while (pos <= text.size()) {
+        const std::size_t nl = text.find('\n', pos);
+        std::string_view line =
+            text.substr(pos, nl == std::string_view::npos ? text.size() - pos
+                                                          : nl - pos);
+        pos = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+        ++lineno;
+        if (line.empty())
+            continue;
+        if (!saw_header) {
+            if (line != kHeader)
+                malformed(lineno, "missing snapshot header");
+            saw_header = true;
+            continue;
+        }
+        if (line[0] == '#')
+            continue;
+        const auto f = fields(line);
+        if (f.size() != 7 || f[0] != "kernel")
+            malformed(lineno, "expected 'kernel <name> <category> "
+                              "<launches> <flops> <bytes_read> "
+                              "<bytes_written>'");
+        SnapshotRow row;
+        row.kernel = std::string(f[1]);
+        const int cat = categoryFromName(f[2]);
+        if (cat < 0)
+            malformed(lineno,
+                      "unknown category '" + std::string(f[2]) + "'");
+        row.category = static_cast<KernelCategory>(cat);
+        row.launches = static_cast<std::uint64_t>(
+            parseDouble(f[3], lineno));
+        row.flops = parseDouble(f[4], lineno);
+        row.bytesRead = parseDouble(f[5], lineno);
+        row.bytesWritten = parseDouble(f[6], lineno);
+        if (!snap.rows.empty() && !(snap.rows.back().kernel < row.kernel))
+            malformed(lineno, "rows not sorted by kernel name");
+        snap.rows.push_back(std::move(row));
+    }
+    if (!saw_header)
+        throw std::runtime_error(
+            "trace snapshot: empty input (missing header)");
+    return snap;
+}
+
+std::string
+diffSnapshots(const TraceSnapshot &golden, const TraceSnapshot &actual,
+              double rel_tol)
+{
+    std::string out;
+    for (const SnapshotRow &g : golden.rows) {
+        const SnapshotRow *a = actual.find(g.kernel);
+        if (!a) {
+            out += "missing kernel (in golden, not in run): " +
+                   g.kernel + '\n';
+            continue;
+        }
+        if (a->category != g.category) {
+            out += g.kernel + ": category " +
+                   std::string(categoryName(g.category)) + " -> " +
+                   std::string(categoryName(a->category)) + '\n';
+        }
+        if (a->launches != g.launches) {
+            out += g.kernel + ": launches " +
+                   std::to_string(g.launches) + " -> " +
+                   std::to_string(a->launches) + '\n';
+        }
+        if (!closeEnough(g.flops, a->flops, rel_tol))
+            appendValueDiff(out, g.kernel, "flops", g.flops, a->flops);
+        if (!closeEnough(g.bytesRead, a->bytesRead, rel_tol))
+            appendValueDiff(out, g.kernel, "bytes_read", g.bytesRead,
+                            a->bytesRead);
+        if (!closeEnough(g.bytesWritten, a->bytesWritten, rel_tol))
+            appendValueDiff(out, g.kernel, "bytes_written",
+                            g.bytesWritten, a->bytesWritten);
+    }
+    for (const SnapshotRow &a : actual.rows) {
+        if (!golden.find(a.kernel))
+            out += "new kernel (in run, not in golden): " + a.kernel +
+                   '\n';
+    }
+    return out;
+}
+
+} // namespace aib::profiler

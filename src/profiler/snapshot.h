@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Deterministic kernel-trace snapshots.
+ *
+ * A snapshot is the stable, diffable projection of a TraceSession:
+ * per-kernel (name, category, launch count, FLOP and byte totals),
+ * sorted by kernel name. The golden-trace tests serialize one
+ * snapshot per benchmark to a checked-in text file and diff fresh
+ * runs against it, so any silent change to the kernel mix that feeds
+ * the characterization figures (runtime breakdown, hotspot census,
+ * microarchitectural metrics) fails a test instead of skewing the
+ * figures. Regenerate goldens with `aibench trace-snapshot`.
+ */
+
+#ifndef AIB_PROFILER_SNAPSHOT_H
+#define AIB_PROFILER_SNAPSHOT_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "profiler/trace.h"
+
+namespace aib::profiler {
+
+/** One kernel's aggregate within a snapshot. */
+struct SnapshotRow {
+    std::string kernel;
+    KernelCategory category = KernelCategory::Elementwise;
+    std::uint64_t launches = 0;
+    double flops = 0.0;
+    double bytesRead = 0.0;
+    double bytesWritten = 0.0;
+};
+
+/** The diffable projection of a trace session. */
+struct TraceSnapshot {
+    /** Rows sorted by kernel name (lexicographic, unique). */
+    std::vector<SnapshotRow> rows;
+
+    /** Total launches across all rows. */
+    std::uint64_t totalLaunches() const;
+
+    /** Row for @p kernel, or nullptr. */
+    const SnapshotRow *find(std::string_view kernel) const;
+};
+
+/** Project a session into its snapshot. */
+TraceSnapshot makeSnapshot(const TraceSession &session);
+
+/**
+ * Serialize to the checked-in text format: a header line followed by
+ * one `kernel <name> <category> <launches> <flops> <bytes_read>
+ * <bytes_written>` line per row, in row order. Doubles are printed
+ * with round-trip precision; the output is byte-stable for equal
+ * snapshots.
+ */
+std::string formatSnapshot(const TraceSnapshot &snapshot);
+
+/**
+ * Parse the formatSnapshot text format.
+ * @throws std::runtime_error naming the offending line on malformed
+ *         input, unknown categories, or a missing/foreign header.
+ */
+TraceSnapshot parseSnapshot(std::string_view text);
+
+/**
+ * Compare @p actual against @p golden.
+ *
+ * Kernel sets, categories and launch counts must match exactly;
+ * FLOP/byte totals must agree within @p rel_tol relative error
+ * (tolerating accumulation-order jitter of the double totals while
+ * still catching any real change to the recorded work).
+ *
+ * @return an empty string when equivalent, otherwise a multi-line
+ *         human-readable description of every difference.
+ */
+std::string diffSnapshots(const TraceSnapshot &golden,
+                          const TraceSnapshot &actual,
+                          double rel_tol = 1e-9);
+
+} // namespace aib::profiler
+
+#endif // AIB_PROFILER_SNAPSHOT_H

@@ -21,12 +21,63 @@
 #define AIB_TENSOR_DETAIL_GEMM_H
 
 #include <cstdint>
+#include <string_view>
+#include <vector>
 
 namespace aib::core {
 class ThreadPool;
 }
 
 namespace aib::ops::detail {
+
+/**
+ * Selectable GEMM kernel implementations. @c Auto defers to the
+ * runtime CPU-feature pick (the widest compiled-in kernel the host
+ * supports); the others force one specific instantiation, which is
+ * how the differential tests exercise the portable path on wide-SIMD
+ * hosts and vice versa.
+ */
+enum class GemmBackend : int {
+    Auto = 0,
+    Generic,
+    Avx2,
+    Avx512,
+};
+
+/** Lower-case name of a backend ("auto", "generic", "avx2", "avx512"). */
+std::string_view gemmBackendName(GemmBackend backend);
+
+/**
+ * Parse a backend name as accepted by AIBENCH_GEMM_BACKEND.
+ * @return true and set @p out on success; false on unknown names.
+ */
+bool parseGemmBackend(std::string_view name, GemmBackend *out);
+
+/**
+ * Force the kernel gemm() dispatches to. @c Auto restores the runtime
+ * CPU pick. @return false (selection unchanged) when the requested
+ * backend is not compiled in or the running CPU lacks the ISA.
+ * Thread-safe; takes effect for subsequent gemm() calls.
+ */
+bool setGemmBackend(GemmBackend backend);
+
+/** The currently requested backend (Auto unless forced). */
+GemmBackend gemmBackend();
+
+/** The backend gemm() actually runs right now (Auto resolved). */
+GemmBackend resolvedGemmBackend();
+
+/** Backends runnable on this build + CPU, Generic first. */
+std::vector<GemmBackend> availableGemmBackends();
+
+/**
+ * Apply the AIBENCH_GEMM_BACKEND environment variable to the dispatch
+ * state (also done automatically on first gemm() use). @return false
+ * when the variable is set but names an unknown or unavailable
+ * backend, in which case the selection is left unchanged and a
+ * warning is printed to stderr.
+ */
+bool applyGemmBackendFromEnv();
 
 /**
  * C (M,N) += op(A) * op(B), with op controlled by the trans flags.

@@ -8,6 +8,10 @@
 
 #include "tensor/detail/gemm.h"
 
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
 #include "core/thread_pool.h"
 #include "tensor/detail/gemm_kernels.h"
 
@@ -15,20 +19,158 @@ namespace aib::ops::detail {
 
 namespace {
 
-GemmKernelFn
-pickKernel()
+/** The kernel Auto resolves to: widest ISA the host supports. */
+GemmBackend
+pickAutoBackend()
 {
 #if defined(AIB_GEMM_X86_VARIANTS)
     if (__builtin_cpu_supports("avx512f") &&
         __builtin_cpu_supports("fma"))
-        return gemmKernelAvx512;
+        return GemmBackend::Avx512;
     if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma"))
-        return gemmKernelAvx2;
+        return GemmBackend::Avx2;
 #endif
-    return gemmKernelGeneric;
+    return GemmBackend::Generic;
+}
+
+/** Kernel for a concrete (non-Auto) backend, or nullptr when the
+ * backend is not compiled in or the CPU lacks the ISA. */
+GemmKernelFn
+kernelFor(GemmBackend backend)
+{
+    switch (backend) {
+      case GemmBackend::Generic:
+        return gemmKernelGeneric;
+#if defined(AIB_GEMM_X86_VARIANTS)
+      case GemmBackend::Avx2:
+        if (__builtin_cpu_supports("avx2") &&
+            __builtin_cpu_supports("fma"))
+            return gemmKernelAvx2;
+        return nullptr;
+      case GemmBackend::Avx512:
+        if (__builtin_cpu_supports("avx512f") &&
+            __builtin_cpu_supports("fma"))
+            return gemmKernelAvx512;
+        return nullptr;
+#endif
+      default:
+        return nullptr;
+    }
+}
+
+// Dispatch state. The requested backend and the resolved kernel are
+// separate atomics so gemm() pays exactly one relaxed load on the hot
+// path; setGemmBackend writes both under no lock (last writer wins,
+// and both words are individually consistent).
+std::atomic<int> g_requested{static_cast<int>(GemmBackend::Auto)};
+std::atomic<GemmKernelFn> g_kernel{nullptr};
+
+/** One-time env application, piggy-backed on first dispatch. */
+bool
+envApplied()
+{
+    static const bool applied = [] {
+        applyGemmBackendFromEnv();
+        return true;
+    }();
+    return applied;
 }
 
 } // namespace
+
+std::string_view
+gemmBackendName(GemmBackend backend)
+{
+    switch (backend) {
+      case GemmBackend::Auto: return "auto";
+      case GemmBackend::Generic: return "generic";
+      case GemmBackend::Avx2: return "avx2";
+      case GemmBackend::Avx512: return "avx512";
+    }
+    return "unknown";
+}
+
+bool
+parseGemmBackend(std::string_view name, GemmBackend *out)
+{
+    for (const GemmBackend b :
+         {GemmBackend::Auto, GemmBackend::Generic, GemmBackend::Avx2,
+          GemmBackend::Avx512}) {
+        if (name == gemmBackendName(b)) {
+            *out = b;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+setGemmBackend(GemmBackend backend)
+{
+    const GemmBackend concrete =
+        backend == GemmBackend::Auto ? pickAutoBackend() : backend;
+    const GemmKernelFn kernel = kernelFor(concrete);
+    if (!kernel)
+        return false;
+    g_requested.store(static_cast<int>(backend),
+                      std::memory_order_relaxed);
+    g_kernel.store(kernel, std::memory_order_relaxed);
+    return true;
+}
+
+GemmBackend
+gemmBackend()
+{
+    envApplied();
+    return static_cast<GemmBackend>(
+        g_requested.load(std::memory_order_relaxed));
+}
+
+GemmBackend
+resolvedGemmBackend()
+{
+    const GemmBackend requested = gemmBackend();
+    return requested == GemmBackend::Auto ? pickAutoBackend()
+                                          : requested;
+}
+
+std::vector<GemmBackend>
+availableGemmBackends()
+{
+    std::vector<GemmBackend> out;
+    for (const GemmBackend b : {GemmBackend::Generic, GemmBackend::Avx2,
+                                GemmBackend::Avx512}) {
+        if (kernelFor(b))
+            out.push_back(b);
+    }
+    return out;
+}
+
+bool
+applyGemmBackendFromEnv()
+{
+    const char *env = std::getenv("AIBENCH_GEMM_BACKEND");
+    if (!env || env[0] == '\0')
+        return true;
+    GemmBackend backend;
+    if (!parseGemmBackend(env, &backend)) {
+        std::fprintf(stderr,
+                     "aibench: ignoring unknown AIBENCH_GEMM_BACKEND "
+                     "'%s' (valid: auto, generic, avx2, avx512)\n",
+                     env);
+        return false;
+    }
+    if (!setGemmBackend(backend)) {
+        std::fprintf(stderr,
+                     "aibench: AIBENCH_GEMM_BACKEND '%s' is not "
+                     "available on this build/CPU; keeping '%s'\n",
+                     env,
+                     std::string(gemmBackendName(resolvedGemmBackend()))
+                         .c_str());
+        return false;
+    }
+    return true;
+}
 
 void
 gemm(const float *a, const float *b, float *c, std::int64_t m,
@@ -37,7 +179,12 @@ gemm(const float *a, const float *b, float *c, std::int64_t m,
 {
     if (m <= 0 || n <= 0 || k <= 0)
         return;
-    static const GemmKernelFn kernel = pickKernel();
+    envApplied();
+    GemmKernelFn kernel = g_kernel.load(std::memory_order_relaxed);
+    if (!kernel) {
+        kernel = kernelFor(pickAutoBackend());
+        g_kernel.store(kernel, std::memory_order_relaxed);
+    }
     kernel(a, b, c, m, n, k, trans_a, trans_b,
            pool ? *pool : core::ThreadPool::global());
 }

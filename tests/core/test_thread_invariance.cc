@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Thread-count invariance (tier2): training is bitwise deterministic
+ * in the number of worker threads. Two traced training epochs of the
+ * subset benchmarks C1 (image classification) and C9 (recommendation)
+ * must produce exactly identical per-epoch quality at 1, 2 and 7
+ * global threads — the static chunk partitioning of the thread pool
+ * and the fixed reduction orders of the kernels guarantee it, and
+ * this test keeps it that way.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/registry.h"
+#include "core/runner.h"
+#include "core/thread_pool.h"
+
+namespace {
+
+using aib::core::ThreadPool;
+
+/** Restore the default global pool size after each test. */
+struct PoolGuard {
+    ~PoolGuard() { ThreadPool::setGlobalThreads(0); }
+};
+
+std::vector<double>
+qualityCurve(const aib::core::ComponentBenchmark &benchmark,
+             int threads)
+{
+    ThreadPool::setGlobalThreads(threads);
+    aib::core::RunOptions options;
+    options.maxEpochs = 2;
+    const aib::core::TrainResult result =
+        aib::core::trainToQuality(benchmark, 42, options);
+    return result.qualityByEpoch;
+}
+
+TEST(ThreadInvariance, TrainingLossesAreBitwiseIdentical)
+{
+    PoolGuard restore;
+    for (const char *id : {"DC-AI-C1", "DC-AI-C9"}) {
+        const auto *b = aib::core::findBenchmark(id);
+        ASSERT_NE(b, nullptr) << id;
+        const std::vector<double> base = qualityCurve(*b, 1);
+        ASSERT_FALSE(base.empty());
+        for (const int threads : {2, 7}) {
+            const std::vector<double> got = qualityCurve(*b, threads);
+            ASSERT_EQ(got.size(), base.size())
+                << id << " threads=" << threads;
+            for (std::size_t e = 0; e < base.size(); ++e) {
+                // Bitwise equality, not a tolerance: the quality
+                // curve must not depend on the thread count at all.
+                EXPECT_EQ(got[e], base[e])
+                    << id << " threads=" << threads << " epoch "
+                    << e + 1;
+            }
+        }
+    }
+}
+
+} // namespace

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Golden kernel-trace guard, forward passes: the single-sample
+ * inference trace of every registered benchmark (17 AIBench + 7
+ * MLPerf) must match its checked-in snapshot exactly — same kernel
+ * set, categories and launch counts, FLOP/byte totals to 1e-9
+ * relative. Any silent change to the kernel mix feeding the
+ * characterization figures fails here instead of skewing the
+ * figures. See docs/TESTING.md for the regeneration workflow.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/registry.h"
+#include "core/runner.h"
+#include "testing/golden_trace_util.h"
+
+namespace {
+
+TEST(GoldenTraces, ForwardPassKernelMixIsStable)
+{
+    const auto benchmarks = aib::core::allBenchmarks();
+    ASSERT_EQ(benchmarks.size(), 24u);
+    for (const auto *b : benchmarks) {
+        SCOPED_TRACE(b->info.id);
+        aib::testing::expectMatchesGolden(
+            aib::core::traceForwardPass(*b,
+                                        aib::testing::kGoldenSeed),
+            "forward", b->info.id);
+    }
+}
+
+} // namespace

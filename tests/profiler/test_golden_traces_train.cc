@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Golden kernel-trace guard, training epochs (tier2): one full
+ * traced training epoch per benchmark — forward, backward and
+ * optimizer kernels — diffed against the checked-in snapshots. This
+ * is the guard that catches backward-pass and optimizer kernel-mix
+ * drift the cheap forward-pass guard cannot see.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/registry.h"
+#include "core/runner.h"
+#include "testing/golden_trace_util.h"
+
+namespace {
+
+TEST(GoldenTraces, TrainingEpochKernelMixIsStable)
+{
+    const auto benchmarks = aib::core::allBenchmarks();
+    ASSERT_EQ(benchmarks.size(), 24u);
+    for (const auto *b : benchmarks) {
+        SCOPED_TRACE(b->info.id);
+        aib::testing::expectMatchesGolden(
+            aib::core::traceTrainingEpochs(
+                *b, aib::testing::kGoldenSeed, 0, 1),
+            "train", b->info.id);
+    }
+}
+
+} // namespace

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * The kernel-trace snapshot serializer and differ: projection from a
+ * TraceSession, byte-stable formatting, parse round trips, rejection
+ * of malformed files, and — most importantly — that the differ flags
+ * every class of kernel-mix change the golden-trace guards rely on
+ * (kernel appearing/disappearing, launch-count drift, category
+ * reassignment, FLOP/byte changes).
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "profiler/snapshot.h"
+#include "profiler/trace.h"
+
+namespace {
+
+using namespace aib::profiler;
+
+TraceSession
+sampleSession()
+{
+    TraceSession session;
+    session.record({"gemm_nn", KernelCategory::Gemm, 1.0e9, 4.0e6,
+                    2.0e6, 1024.0});
+    session.record({"gemm_nn", KernelCategory::Gemm, 2.0e9, 8.0e6,
+                    4.0e6, 1024.0});
+    session.record({"im2col", KernelCategory::DataArrangement, 0.0,
+                    3.0e6, 3.0e6, 256.0});
+    session.record({"relu_fwd", KernelCategory::Relu, 1.0e6, 8.0e6,
+                    4.0e6, 512.0});
+    return session;
+}
+
+TEST(TraceSnapshot, ProjectsAndSortsByName)
+{
+    const TraceSnapshot snap = makeSnapshot(sampleSession());
+    ASSERT_EQ(snap.rows.size(), 3u);
+    EXPECT_EQ(snap.rows[0].kernel, "gemm_nn");
+    EXPECT_EQ(snap.rows[1].kernel, "im2col");
+    EXPECT_EQ(snap.rows[2].kernel, "relu_fwd");
+    EXPECT_EQ(snap.rows[0].launches, 2u);
+    EXPECT_DOUBLE_EQ(snap.rows[0].flops, 3.0e9);
+    EXPECT_EQ(snap.totalLaunches(), 4u);
+    ASSERT_NE(snap.find("im2col"), nullptr);
+    EXPECT_EQ(snap.find("im2col")->category,
+              KernelCategory::DataArrangement);
+    EXPECT_EQ(snap.find("col2im"), nullptr);
+}
+
+TEST(TraceSnapshot, FormatParseRoundTripIsExact)
+{
+    const TraceSnapshot snap = makeSnapshot(sampleSession());
+    const std::string text = formatSnapshot(snap);
+    const TraceSnapshot parsed = parseSnapshot(text);
+    ASSERT_EQ(parsed.rows.size(), snap.rows.size());
+    for (std::size_t i = 0; i < snap.rows.size(); ++i) {
+        EXPECT_EQ(parsed.rows[i].kernel, snap.rows[i].kernel);
+        EXPECT_EQ(parsed.rows[i].category, snap.rows[i].category);
+        EXPECT_EQ(parsed.rows[i].launches, snap.rows[i].launches);
+        EXPECT_EQ(parsed.rows[i].flops, snap.rows[i].flops);
+        EXPECT_EQ(parsed.rows[i].bytesRead, snap.rows[i].bytesRead);
+        EXPECT_EQ(parsed.rows[i].bytesWritten,
+                  snap.rows[i].bytesWritten);
+    }
+    // Formatting the parse must reproduce the file byte for byte.
+    EXPECT_EQ(formatSnapshot(parsed), text);
+}
+
+TEST(TraceSnapshot, ParseRejectsMalformedInput)
+{
+    EXPECT_THROW(parseSnapshot(""), std::runtime_error);
+    EXPECT_THROW(parseSnapshot("kernel a GEMM 1 0 0 0\n"),
+                 std::runtime_error);
+    const std::string header = "# aibench kernel-trace snapshot v1\n";
+    EXPECT_THROW(parseSnapshot(header + "kernel a GEMM 1 0 0\n"),
+                 std::runtime_error);
+    EXPECT_THROW(
+        parseSnapshot(header + "kernel a NotACategory 1 0 0 0\n"),
+        std::runtime_error);
+    EXPECT_THROW(parseSnapshot(header + "kernel a GEMM x 0 0 0\n"),
+                 std::runtime_error);
+    EXPECT_THROW(parseSnapshot(header + "kernel b GEMM 1 0 0 0\n" +
+                               "kernel a GEMM 1 0 0 0\n"),
+                 std::runtime_error);
+    // Comments and blank lines are fine.
+    EXPECT_NO_THROW(parseSnapshot(header + "# comment\n\n" +
+                                  "kernel a GEMM 1 0 0 0\n"));
+}
+
+TEST(TraceSnapshot, DiffAcceptsEquivalentRuns)
+{
+    const TraceSnapshot snap = makeSnapshot(sampleSession());
+    EXPECT_EQ(diffSnapshots(snap, snap), "");
+    // Accumulation-order jitter within rel_tol passes.
+    TraceSnapshot jittered = snap;
+    jittered.rows[0].flops *= 1.0 + 1e-12;
+    EXPECT_EQ(diffSnapshots(snap, jittered), "");
+}
+
+TEST(TraceSnapshot, DiffFlagsEveryKernelMixChange)
+{
+    const TraceSnapshot golden = makeSnapshot(sampleSession());
+
+    TraceSnapshot missing = golden;
+    missing.rows.erase(missing.rows.begin() + 1); // drop im2col
+    EXPECT_NE(diffSnapshots(golden, missing).find("missing kernel"),
+              std::string::npos);
+    // The same comparison in the other direction is a new kernel.
+    EXPECT_NE(diffSnapshots(missing, golden).find("new kernel"),
+              std::string::npos);
+
+    TraceSnapshot relaunched = golden;
+    relaunched.rows[0].launches += 1;
+    EXPECT_NE(diffSnapshots(golden, relaunched).find("launches"),
+              std::string::npos);
+
+    TraceSnapshot recategorized = golden;
+    recategorized.rows[2].category = KernelCategory::Elementwise;
+    EXPECT_NE(diffSnapshots(golden, recategorized).find("category"),
+              std::string::npos);
+
+    TraceSnapshot more_flops = golden;
+    more_flops.rows[0].flops *= 1.01;
+    EXPECT_NE(diffSnapshots(golden, more_flops).find("flops"),
+              std::string::npos);
+
+    TraceSnapshot more_bytes = golden;
+    more_bytes.rows[1].bytesRead *= 2.0;
+    EXPECT_NE(diffSnapshots(golden, more_bytes).find("bytes_read"),
+              std::string::npos);
+}
+
+} // namespace

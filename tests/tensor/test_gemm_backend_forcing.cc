@@ -1,0 +1,146 @@
+/**
+ * @file
+ * The GEMM backend forcing hook: name parsing, the setGemmBackend /
+ * gemmBackend round trip, rejection of kernels the host cannot run,
+ * the AIBENCH_GEMM_BACKEND environment override, and a differential
+ * check that every compiled-in, runnable kernel agrees with the naive
+ * reference when forced.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/thread_pool.h"
+#include "tensor/detail/gemm.h"
+
+namespace {
+
+using aib::core::ThreadPool;
+using namespace aib::ops::detail;
+
+/** Restores automatic dispatch after each test. */
+struct BackendGuard {
+    ~BackendGuard() { setGemmBackend(GemmBackend::Auto); }
+};
+
+TEST(GemmBackendForcing, ParseRoundTripsEveryName)
+{
+    for (const GemmBackend backend :
+         {GemmBackend::Auto, GemmBackend::Generic, GemmBackend::Avx2,
+          GemmBackend::Avx512}) {
+        GemmBackend parsed = GemmBackend::Auto;
+        ASSERT_TRUE(parseGemmBackend(gemmBackendName(backend), &parsed))
+            << gemmBackendName(backend);
+        EXPECT_EQ(parsed, backend);
+    }
+    GemmBackend parsed = GemmBackend::Auto;
+    EXPECT_FALSE(parseGemmBackend("sse9", &parsed));
+    EXPECT_FALSE(parseGemmBackend("", &parsed));
+}
+
+TEST(GemmBackendForcing, GenericIsAlwaysAvailable)
+{
+    const std::vector<GemmBackend> backends = availableGemmBackends();
+    ASSERT_FALSE(backends.empty());
+    EXPECT_EQ(backends.front(), GemmBackend::Generic);
+}
+
+TEST(GemmBackendForcing, SetAndResolveRoundTrip)
+{
+    BackendGuard guard;
+    EXPECT_EQ(gemmBackend(), GemmBackend::Auto);
+    const GemmBackend resolved_auto = resolvedGemmBackend();
+    EXPECT_NE(resolved_auto, GemmBackend::Auto);
+
+    for (const GemmBackend backend : availableGemmBackends()) {
+        ASSERT_TRUE(setGemmBackend(backend));
+        EXPECT_EQ(gemmBackend(), backend);
+        EXPECT_EQ(resolvedGemmBackend(), backend);
+    }
+
+    ASSERT_TRUE(setGemmBackend(GemmBackend::Auto));
+    EXPECT_EQ(gemmBackend(), GemmBackend::Auto);
+    EXPECT_EQ(resolvedGemmBackend(), resolved_auto);
+}
+
+TEST(GemmBackendForcing, RejectsUnavailableBackends)
+{
+    BackendGuard guard;
+    const std::vector<GemmBackend> available = availableGemmBackends();
+    for (const GemmBackend backend :
+         {GemmBackend::Avx2, GemmBackend::Avx512}) {
+        bool is_available = false;
+        for (const GemmBackend a : available)
+            is_available = is_available || a == backend;
+        if (is_available)
+            continue;
+        EXPECT_FALSE(setGemmBackend(backend));
+        // A rejected request must leave dispatch untouched.
+        EXPECT_EQ(gemmBackend(), GemmBackend::Auto);
+    }
+}
+
+TEST(GemmBackendForcing, EnvOverrideForcesGeneric)
+{
+    BackendGuard guard;
+    ASSERT_EQ(setenv("AIBENCH_GEMM_BACKEND", "generic", 1), 0);
+    EXPECT_TRUE(applyGemmBackendFromEnv());
+    EXPECT_EQ(gemmBackend(), GemmBackend::Generic);
+
+    ASSERT_EQ(setenv("AIBENCH_GEMM_BACKEND", "not-a-kernel", 1), 0);
+    EXPECT_FALSE(applyGemmBackendFromEnv());
+    // A bad value leaves the previous (valid) selection in place.
+    EXPECT_EQ(gemmBackend(), GemmBackend::Generic);
+
+    // An unset variable is a no-op, not a reset: the environment must
+    // never clobber a selection forced through the API.
+    ASSERT_EQ(unsetenv("AIBENCH_GEMM_BACKEND"), 0);
+    EXPECT_TRUE(applyGemmBackendFromEnv());
+    EXPECT_EQ(gemmBackend(), GemmBackend::Generic);
+}
+
+TEST(GemmBackendForcing, EveryForcedKernelMatchesNaive)
+{
+    BackendGuard guard;
+    const std::int64_t m = 37, n = 29, k = 61;
+    std::vector<float> a(static_cast<std::size_t>(m * k));
+    std::vector<float> b(static_cast<std::size_t>(k * n));
+    std::uint32_t state = 12345u;
+    for (float &x : a) {
+        state = state * 1664525u + 1013904223u;
+        x = static_cast<float>(state >> 8) /
+                static_cast<float>(1u << 24) * 2.0f -
+            1.0f;
+    }
+    for (float &x : b) {
+        state = state * 1664525u + 1013904223u;
+        x = static_cast<float>(state >> 8) /
+                static_cast<float>(1u << 24) * 2.0f -
+            1.0f;
+    }
+
+    std::vector<float> want(static_cast<std::size_t>(m * n), 0.0f);
+    gemmNaive(a.data(), b.data(), want.data(), m, n, k, false, false);
+
+    ThreadPool pool(2);
+    for (const GemmBackend backend : availableGemmBackends()) {
+        ASSERT_TRUE(setGemmBackend(backend));
+        std::vector<float> got(static_cast<std::size_t>(m * n), 0.0f);
+        gemm(a.data(), b.data(), got.data(), m, n, k, false, false,
+             &pool);
+        for (std::size_t i = 0; i < got.size(); ++i) {
+            const float scale =
+                std::max(1.0f, std::abs(want[i]));
+            ASSERT_NEAR(got[i], want[i], 1e-4f * scale)
+                << gemmBackendName(backend) << " at " << i;
+        }
+    }
+}
+
+} // namespace

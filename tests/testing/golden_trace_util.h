@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Shared helper for the golden kernel-trace guard tests: load a
+ * checked-in snapshot, diff a freshly recorded trace against it, and
+ * fail with the full diff plus the regeneration command when the
+ * kernel mix has drifted.
+ */
+
+#ifndef AIB_TESTS_TESTING_GOLDEN_TRACE_UTIL_H
+#define AIB_TESTS_TESTING_GOLDEN_TRACE_UTIL_H
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "profiler/snapshot.h"
+#include "profiler/trace.h"
+
+namespace aib::testing {
+
+/** Seed every golden trace was recorded with. */
+inline constexpr std::uint64_t kGoldenSeed = 42;
+
+/**
+ * Diff @p trace against the golden at
+ * `AIB_GOLDEN_DIR/traces/<kind>/<id>.trace`. Produces one gtest
+ * failure per drifted benchmark, carrying the full diff.
+ */
+inline void
+expectMatchesGolden(const profiler::TraceSession &trace,
+                    const std::string &kind, const std::string &id)
+{
+    const std::string path = std::string(AIB_GOLDEN_DIR) + "/traces/" +
+                             kind + "/" + id + ".trace";
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good())
+        << "missing golden '" << path << "'; regenerate with: "
+        << "aibench trace-snapshot --out-dir tests/golden/traces";
+    std::ostringstream text;
+    text << in.rdbuf();
+
+    profiler::TraceSnapshot golden;
+    ASSERT_NO_THROW(golden = profiler::parseSnapshot(text.str()))
+        << "unparseable golden '" << path << "'";
+    const std::string diff = profiler::diffSnapshots(
+        golden, profiler::makeSnapshot(trace));
+    EXPECT_TRUE(diff.empty())
+        << id << " (" << kind << ") kernel mix drifted from '" << path
+        << "':\n"
+        << diff
+        << "if the change is intentional, regenerate the goldens "
+           "with: aibench trace-snapshot --out-dir tests/golden/traces";
+}
+
+} // namespace aib::testing
+
+#endif // AIB_TESTS_TESTING_GOLDEN_TRACE_UTIL_H

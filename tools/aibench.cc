@@ -9,6 +9,8 @@
  *   aibench inference <id> [--queries N]
  *   aibench subset
  *   aibench devices
+ *   aibench trace-snapshot [--mode forward|train|all] [--id ID]
+ *                          [--seed N] --out-dir DIR
  */
 
 #include <algorithm>
@@ -16,6 +18,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -27,6 +30,7 @@
 #include "core/subset.h"
 #include "core/thread_pool.h"
 #include "gpusim/report.h"
+#include "profiler/snapshot.h"
 #include "tensor/detail/gemm.h"
 
 using namespace aib;
@@ -55,7 +59,12 @@ usage()
         "                            GEMM GFLOP/s sweep (sizes\n"
         "                            64..1024); --out writes JSON\n"
         "                            (e.g. BENCH_gemm.json) so the\n"
-        "                            perf trajectory can be tracked\n");
+        "                            perf trajectory can be tracked\n"
+        "  trace-snapshot [--mode forward|train|all] [--id ID]\n"
+        "                 [--seed N] --out-dir DIR\n"
+        "                            write deterministic kernel-trace\n"
+        "                            snapshots (golden files for the\n"
+        "                            trace-guard tests)\n");
     return 2;
 }
 
@@ -314,6 +323,69 @@ cmdGemmBench(int argc, char **argv)
     return 0;
 }
 
+/**
+ * Write the deterministic kernel-trace snapshots that the golden
+ * tests in tests/profiler diff against. Pointing --out-dir at
+ * tests/golden/traces regenerates the checked-in goldens after an
+ * intentional kernel-mix change.
+ */
+int
+cmdTraceSnapshot(int argc, char **argv)
+{
+    const char *out_dir = argString(argc, argv, "--out-dir", nullptr);
+    if (!out_dir) {
+        std::fprintf(stderr,
+                     "trace-snapshot: --out-dir DIR is required\n");
+        return 2;
+    }
+    const std::string mode = argString(argc, argv, "--mode", "all");
+    if (mode != "forward" && mode != "train" && mode != "all") {
+        std::fprintf(stderr, "trace-snapshot: bad --mode '%s' (want "
+                             "forward, train or all)\n",
+                     mode.c_str());
+        return 2;
+    }
+    const char *only_id = argString(argc, argv, "--id", nullptr);
+    const auto seed = static_cast<std::uint64_t>(
+        argValue(argc, argv, "--seed", 42));
+
+    std::vector<const core::ComponentBenchmark *> benchmarks;
+    if (only_id)
+        benchmarks.push_back(requireBenchmark(only_id));
+    else
+        benchmarks = core::allBenchmarks();
+
+    const auto write_one = [&](const char *kind,
+                               const core::ComponentBenchmark &b,
+                               profiler::TraceSession trace) {
+        const std::filesystem::path dir =
+            std::filesystem::path(out_dir) / kind;
+        std::filesystem::create_directories(dir);
+        const std::filesystem::path path =
+            dir / (b.info.id + ".trace");
+        const std::string text = profiler::formatSnapshot(
+            profiler::makeSnapshot(trace));
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "cannot write '%s'\n",
+                         path.c_str());
+            std::exit(1);
+        }
+        std::fwrite(text.data(), 1, text.size(), f);
+        std::fclose(f);
+        std::printf("wrote %s\n", path.c_str());
+    };
+
+    for (const auto *b : benchmarks) {
+        if (mode == "forward" || mode == "all")
+            write_one("forward", *b, core::traceForwardPass(*b, seed));
+        if (mode == "train" || mode == "all")
+            write_one("train", *b,
+                      core::traceTrainingEpochs(*b, seed, 0, 1));
+    }
+    return 0;
+}
+
 int
 cmdDevices()
 {
@@ -350,5 +422,7 @@ main(int argc, char **argv)
         return cmdDevices();
     if (command == "gemm-bench")
         return cmdGemmBench(argc - 2, argv + 2);
+    if (command == "trace-snapshot")
+        return cmdTraceSnapshot(argc - 2, argv + 2);
     return usage();
 }
