@@ -1,0 +1,517 @@
+/**
+ * @file
+ * Static shape/FLOP/byte inference over captured ops.
+ *
+ * Every formula here mirrors the corresponding kernel-record site in
+ * src/tensor/ops_*.cc; the cross-check in auditBenchmark holds the
+ * two accountable to each other. When an operator's cost model
+ * changes there, it must change here — the per-benchmark agreement
+ * test will fail loudly otherwise.
+ */
+
+#include "analysis/graphlint/graphlint.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace aib::analysis::graphlint {
+
+namespace {
+
+using graph::CapturedOp;
+
+double
+dnumel(const Shape &s)
+{
+    return static_cast<double>(numel(s));
+}
+
+/** recordMap(n, inputs_per_element, flops_per_element) equivalent. */
+OpCost
+mapCost(double n, double inputs_per_element, double flops_per_element)
+{
+    OpCost c;
+    c.flops = flops_per_element * n;
+    c.bytesRead = 4.0 * inputs_per_element * n;
+    c.bytesWritten = 4.0 * n;
+    c.modeled = true;
+    return c;
+}
+
+/** recordCopy / recordArrange equivalent (pure data movement). */
+OpCost
+moveCost(double n)
+{
+    OpCost c;
+    c.bytesRead = 4.0 * n;
+    c.bytesWritten = 4.0 * n;
+    c.modeled = true;
+    return c;
+}
+
+/** recordGemm equivalent: C (M,N) = A (M,K) * B (K,N). */
+OpCost
+gemmCost(double m, double n, double k)
+{
+    OpCost c;
+    c.flops = 2.0 * m * n * k;
+    c.bytesRead = 4.0 * (m * k + k * n);
+    c.bytesWritten = 4.0 * m * n;
+    c.modeled = true;
+    return c;
+}
+
+/** recordConvGemm equivalent: batched GEMM with batch-scaled reads. */
+OpCost
+convGemmCost(double m, double n, double k, double batch)
+{
+    OpCost c;
+    c.flops = 2.0 * batch * m * n * k;
+    c.bytesRead = 4.0 * batch * (m * k + k * n);
+    c.bytesWritten = 4.0 * batch * m * n;
+    c.modeled = true;
+    return c;
+}
+
+OpCost &
+operator+=(OpCost &a, const OpCost &b)
+{
+    a.flops += b.flops;
+    a.bytesRead += b.bytesRead;
+    a.bytesWritten += b.bytesWritten;
+    return a;
+}
+
+bool
+isName(const CapturedOp &op, std::string_view name)
+{
+    return op.name == name;
+}
+
+ShapeCheck
+shapeOk()
+{
+    ShapeCheck c;
+    c.checked = true;
+    return c;
+}
+
+ShapeCheck
+shapeUnchecked()
+{
+    return ShapeCheck{};
+}
+
+ShapeCheck
+shapeExpect(const CapturedOp &op, const Shape &expected)
+{
+    ShapeCheck c;
+    c.checked = true;
+    if (op.outputShape != expected) {
+        c.ok = false;
+        c.message = std::string(op.name) + ": recorded output " +
+                    shapeToString(op.outputShape) + " != inferred " +
+                    shapeToString(expected);
+    }
+    return c;
+}
+
+ShapeCheck
+shapeFail(const CapturedOp &op, const std::string &why)
+{
+    ShapeCheck c;
+    c.checked = true;
+    c.ok = false;
+    c.message = std::string(op.name) + ": " + why;
+    return c;
+}
+
+} // namespace
+
+OpCost
+inferOpCost(const graph::CapturedOp &op)
+{
+    const Shape &out = op.outputShape;
+    const double out_n = dnumel(out);
+    const Shape in0 =
+        op.inputShapes.empty() ? Shape{} : op.inputShapes[0];
+    const double in_n = dnumel(in0);
+
+    // Binary element-wise: recordMap(out.numel, 2, 1).
+    if (isName(op, "add") || isName(op, "sub") || isName(op, "mul") ||
+        isName(op, "div"))
+        return mapCost(out_n, 2.0, 1.0);
+
+    // Scalar element-wise.
+    if (isName(op, "addScalar") || isName(op, "mulScalar"))
+        return mapCost(in_n, 1.0, 1.0);
+    if (isName(op, "affineScalar"))
+        return mapCost(in_n, 1.0, 2.0);
+
+    // Unary element-wise.
+    if (isName(op, "neg") || isName(op, "abs") || isName(op, "square") ||
+        isName(op, "relu") || isName(op, "leakyRelu"))
+        return mapCost(in_n, 1.0, 1.0);
+    if (isName(op, "clamp"))
+        return mapCost(in_n, 1.0, 2.0);
+    if (isName(op, "exp") || isName(op, "log") || isName(op, "tanh") ||
+        isName(op, "sigmoid"))
+        return mapCost(in_n, 1.0, 8.0);
+    if (isName(op, "sqrt"))
+        return mapCost(in_n, 1.0, 4.0);
+    if (isName(op, "dropout"))
+        return mapCost(in_n, 1.0, 2.0);
+
+    // Reductions.
+    if (isName(op, "sum") || isName(op, "sumDim") ||
+        isName(op, "maxLastDim") || isName(op, "argmaxLastDim"))
+        return mapCost(in_n, 1.0, 1.0);
+    if (isName(op, "softmax") || isName(op, "logSoftmax"))
+        return mapCost(in_n, 1.0, 5.0);
+    if (isName(op, "nllLoss")) {
+        const double rows = in0.empty() ? 1.0
+                                        : static_cast<double>(in0[0]);
+        return mapCost(rows, 1.0, 1.0);
+    }
+
+    // Linear algebra.
+    if (isName(op, "matmul")) {
+        if (in0.size() != 2 || op.inputShapes.size() < 2)
+            return {};
+        const Shape &in1 = op.inputShapes[1];
+        return gemmCost(static_cast<double>(in0[0]),
+                        static_cast<double>(in1[1]),
+                        static_cast<double>(in0[1]));
+    }
+    if (isName(op, "bmm")) {
+        if (in0.size() != 3 || op.inputShapes.size() < 2)
+            return {};
+        const Shape &in1 = op.inputShapes[1];
+        // recordGemm(bs * m, n, k): weight reads are not batch-scaled.
+        return gemmCost(static_cast<double>(in0[0] * in0[1]),
+                        static_cast<double>(in1[2]),
+                        static_cast<double>(in0[2]));
+    }
+    if (isName(op, "transposeLast2") || isName(op, "permute"))
+        return moveCost(in_n);
+
+    // Shape manipulation.
+    if (isName(op, "reshape"))
+        return moveCost(in_n);
+    if (isName(op, "sliceDim") || isName(op, "concat") ||
+        isName(op, "repeatRows") || isName(op, "embeddingLookup"))
+        return moveCost(out_n);
+
+    // Convolution / pooling / normalization.
+    if (isName(op, "conv2d")) {
+        if (in0.size() != 4 || op.inputShapes.size() < 2 ||
+            op.inputShapes[1].size() != 4 || out.size() != 4)
+            return {};
+        const Shape &w = op.inputShapes[1];
+        const double n = static_cast<double>(in0[0]);
+        const double f = static_cast<double>(w[0]);
+        const double ckk = static_cast<double>(w[1] * w[2] * w[3]);
+        const double hw_out = static_cast<double>(out[2] * out[3]);
+        OpCost c = moveCost(n * ckk * hw_out);     // im2col
+        c += convGemmCost(f, hw_out, ckk, n);      // conv GEMM
+        if (op.inputDefined(2))
+            c += mapCost(out_n, 1.0, 1.0);         // bias add
+        return c;
+    }
+    if (isName(op, "convTranspose2d")) {
+        if (in0.size() != 4 || op.inputShapes.size() < 2 ||
+            op.inputShapes[1].size() != 4)
+            return {};
+        const Shape &w = op.inputShapes[1]; // (C, F, K, K)
+        const double n = static_cast<double>(in0[0]);
+        const double c_in = static_cast<double>(in0[1]);
+        const double fkk = static_cast<double>(w[1] * w[2] * w[3]);
+        const double hw_in = static_cast<double>(in0[2] * in0[3]);
+        OpCost c = convGemmCost(fkk, hw_in, c_in, n); // col GEMM
+        c += moveCost(n * fkk * hw_in);               // col2im
+        if (op.inputDefined(2))
+            c += mapCost(out_n, 1.0, 1.0);            // bias add
+        return c;
+    }
+    if (isName(op, "maxPool2d") || isName(op, "avgPool2d")) {
+        const double kernel =
+            static_cast<double>(op.attr("kernel", 1));
+        OpCost c;
+        c.flops = out_n * kernel * kernel;
+        c.bytesRead = 4.0 * in_n;
+        c.bytesWritten = 4.0 * out_n;
+        c.modeled = true;
+        return c;
+    }
+    if (isName(op, "globalAvgPool2d")) {
+        OpCost c;
+        c.flops = in_n;
+        c.bytesRead = 4.0 * in_n;
+        c.bytesWritten = 4.0 * out_n;
+        c.modeled = true;
+        return c;
+    }
+    if (isName(op, "batchNorm2d") || isName(op, "layerNorm")) {
+        OpCost c;
+        c.flops = 5.0 * in_n;
+        c.bytesRead = 8.0 * in_n;
+        c.bytesWritten = 8.0 * in_n;
+        c.modeled = true;
+        return c;
+    }
+
+    // Spatial transformer.
+    if (isName(op, "affineGrid"))
+        return mapCost(out_n, 1.0, 3.0);
+    if (isName(op, "gridSample")) {
+        OpCost c;
+        c.flops = 8.0 * out_n;
+        c.bytesRead = 16.0 * out_n;
+        c.bytesWritten = 4.0 * out_n;
+        c.modeled = true;
+        return c;
+    }
+
+    // Non-kernel bookkeeping ops.
+    if (isName(op, "detach")) {
+        OpCost c;
+        c.modeled = true;
+        return c;
+    }
+    if (isName(op, "hostToDevice"))
+        return moveCost(in_n);
+
+    return {};
+}
+
+ShapeCheck
+checkOpShape(const graph::CapturedOp &op)
+{
+    const Shape in0 =
+        op.inputShapes.empty() ? Shape{} : op.inputShapes[0];
+
+    // Output mirrors the (first) input.
+    if (isName(op, "addScalar") || isName(op, "mulScalar") ||
+        isName(op, "affineScalar") || isName(op, "neg") ||
+        isName(op, "abs") || isName(op, "square") || isName(op, "relu") ||
+        isName(op, "leakyRelu") || isName(op, "clamp") ||
+        isName(op, "exp") || isName(op, "log") || isName(op, "tanh") ||
+        isName(op, "sigmoid") || isName(op, "sqrt") ||
+        isName(op, "dropout") || isName(op, "softmax") ||
+        isName(op, "logSoftmax") || isName(op, "detach") ||
+        isName(op, "hostToDevice"))
+        return shapeExpect(op, in0);
+    if (isName(op, "batchNorm2d") || isName(op, "layerNorm")) {
+        if (op.inputShapes.size() < 3)
+            return shapeFail(op, "expected gamma/beta inputs");
+        return shapeExpect(op, in0);
+    }
+
+    // Broadcasting binaries.
+    if (isName(op, "add") || isName(op, "sub") || isName(op, "mul") ||
+        isName(op, "div")) {
+        if (op.inputShapes.size() < 2)
+            return shapeFail(op, "expected two inputs");
+        try {
+            return shapeExpect(
+                op, broadcastShapes(in0, op.inputShapes[1]));
+        } catch (const std::invalid_argument &e) {
+            return shapeFail(op, e.what());
+        }
+    }
+
+    // Reductions.
+    if (isName(op, "sum") || isName(op, "nllLoss"))
+        return shapeExpect(op, Shape{});
+    if (isName(op, "sumDim")) {
+        const auto dim = op.attr("dim", -1);
+        if (dim < 0 || dim >= static_cast<std::int64_t>(in0.size()))
+            return shapeFail(op, "missing/invalid dim attribute");
+        Shape expected;
+        for (std::size_t i = 0; i < in0.size(); ++i) {
+            if (static_cast<std::int64_t>(i) == dim) {
+                if (op.attr("keepdim", 0) != 0)
+                    expected.push_back(1);
+            } else {
+                expected.push_back(in0[i]);
+            }
+        }
+        return shapeExpect(op, expected);
+    }
+    if (isName(op, "maxLastDim") || isName(op, "argmaxLastDim")) {
+        if (in0.empty())
+            return shapeFail(op, "expected rank >= 1 input");
+        return shapeExpect(op, Shape(in0.begin(), in0.end() - 1));
+    }
+
+    // Linear algebra.
+    if (isName(op, "matmul")) {
+        if (in0.size() != 2 || op.inputShapes.size() < 2 ||
+            op.inputShapes[1].size() != 2)
+            return shapeFail(op, "expected two 2-D inputs");
+        const Shape &in1 = op.inputShapes[1];
+        if (in0[1] != in1[0])
+            return shapeFail(op, "inner dimensions disagree");
+        return shapeExpect(op, {in0[0], in1[1]});
+    }
+    if (isName(op, "bmm")) {
+        if (in0.size() != 3 || op.inputShapes.size() < 2 ||
+            op.inputShapes[1].size() != 3)
+            return shapeFail(op, "expected two 3-D inputs");
+        const Shape &in1 = op.inputShapes[1];
+        if (in0[0] != in1[0] || in0[2] != in1[1])
+            return shapeFail(op, "batch/inner dimensions disagree");
+        return shapeExpect(op, {in0[0], in0[1], in1[2]});
+    }
+    if (isName(op, "transposeLast2")) {
+        if (in0.size() < 2)
+            return shapeFail(op, "expected rank >= 2 input");
+        Shape expected = in0;
+        std::swap(expected[expected.size() - 1],
+                  expected[expected.size() - 2]);
+        return shapeExpect(op, expected);
+    }
+
+    // Shape manipulation: structural invariants.
+    if (isName(op, "reshape") || isName(op, "permute")) {
+        if (numel(op.outputShape) != numel(in0))
+            return shapeFail(op, "element count not preserved");
+        if (isName(op, "permute")) {
+            Shape a = in0, b = op.outputShape;
+            std::sort(a.begin(), a.end());
+            std::sort(b.begin(), b.end());
+            if (a != b)
+                return shapeFail(op, "dimension multiset changed");
+        }
+        return shapeOk();
+    }
+    if (isName(op, "sliceDim")) {
+        const auto dim = op.attr("dim", -1);
+        if (dim < 0 || dim >= static_cast<std::int64_t>(in0.size()))
+            return shapeFail(op, "missing/invalid dim attribute");
+        Shape expected = in0;
+        expected[static_cast<std::size_t>(dim)] =
+            op.attr("stop", 0) - op.attr("start", 0);
+        return shapeExpect(op, expected);
+    }
+    if (isName(op, "concat")) {
+        const auto dim = op.attr("dim", -1);
+        if (dim < 0 || dim >= static_cast<std::int64_t>(in0.size()))
+            return shapeFail(op, "missing/invalid dim attribute");
+        Shape expected = in0;
+        std::int64_t total = 0;
+        for (const Shape &s : op.inputShapes) {
+            if (s.size() != in0.size())
+                return shapeFail(op, "input ranks disagree");
+            total += s[static_cast<std::size_t>(dim)];
+        }
+        expected[static_cast<std::size_t>(dim)] = total;
+        return shapeExpect(op, expected);
+    }
+    if (isName(op, "embeddingLookup")) {
+        if (in0.size() != 2 || op.outputShape.size() != 2 ||
+            op.outputShape[1] != in0[1])
+            return shapeFail(op, "row width not preserved");
+        return shapeOk();
+    }
+    if (isName(op, "repeatRows")) {
+        if (in0.empty() || op.outputShape.size() != in0.size())
+            return shapeFail(op, "rank changed");
+        for (std::size_t i = 1; i < in0.size(); ++i)
+            if (op.outputShape[i] != in0[i])
+                return shapeFail(op, "non-leading dimension changed");
+        return shapeOk();
+    }
+
+    // Convolution family.
+    if (isName(op, "conv2d") || isName(op, "convTranspose2d")) {
+        if (in0.size() != 4 || op.inputShapes.size() < 2 ||
+            op.inputShapes[1].size() != 4)
+            return shapeFail(op, "expected 4-D input/weight");
+        const Shape &w = op.inputShapes[1];
+        const std::int64_t kernel = op.attr("kernel", 0);
+        const std::int64_t stride = op.attr("stride", 1);
+        const std::int64_t padding = op.attr("padding", 0);
+        if (kernel <= 0)
+            return shapeFail(op, "missing kernel attribute");
+        Shape expected;
+        if (isName(op, "conv2d")) {
+            if (w[1] != in0[1])
+                return shapeFail(op, "weight channels disagree");
+            const std::int64_t ho =
+                (in0[2] + 2 * padding - kernel) / stride + 1;
+            const std::int64_t wo =
+                (in0[3] + 2 * padding - kernel) / stride + 1;
+            expected = {in0[0], w[0], ho, wo};
+        } else {
+            if (w[0] != in0[1])
+                return shapeFail(op, "weight channels disagree");
+            const std::int64_t ho =
+                (in0[2] - 1) * stride - 2 * padding + kernel;
+            const std::int64_t wo =
+                (in0[3] - 1) * stride - 2 * padding + kernel;
+            expected = {in0[0], w[1], ho, wo};
+        }
+        return shapeExpect(op, expected);
+    }
+    if (isName(op, "maxPool2d") || isName(op, "avgPool2d")) {
+        if (in0.size() != 4)
+            return shapeFail(op, "expected 4-D input");
+        const std::int64_t kernel = op.attr("kernel", 0);
+        const std::int64_t stride = op.attr("stride", 1);
+        if (kernel <= 0)
+            return shapeFail(op, "missing kernel attribute");
+        const std::int64_t ho = (in0[2] - kernel) / stride + 1;
+        const std::int64_t wo = (in0[3] - kernel) / stride + 1;
+        return shapeExpect(op, {in0[0], in0[1], ho, wo});
+    }
+    if (isName(op, "globalAvgPool2d")) {
+        if (in0.size() != 4)
+            return shapeFail(op, "expected 4-D input");
+        return shapeExpect(op, {in0[0], in0[1]});
+    }
+
+    // Spatial transformer.
+    if (isName(op, "affineGrid")) {
+        if (op.outputShape.size() != 4 || op.outputShape[3] != 2 ||
+            in0.size() != 3 || op.outputShape[0] != in0[0])
+            return shapeFail(op, "expected (N,H,W,2) grid from (N,2,3)");
+        return shapeOk();
+    }
+    if (isName(op, "gridSample")) {
+        if (in0.size() != 4 || op.inputShapes.size() < 2 ||
+            op.inputShapes[1].size() != 4)
+            return shapeFail(op, "expected 4-D input and grid");
+        const Shape &grid = op.inputShapes[1];
+        return shapeExpect(op, {in0[0], in0[1], grid[1], grid[2]});
+    }
+
+    return shapeUnchecked();
+}
+
+StaticTotals
+inferTotals(const graph::CapturedGraph &g)
+{
+    StaticTotals t;
+    for (const graph::CapturedOp &op : g.ops) {
+        ++t.ops;
+        const OpCost cost = inferOpCost(op);
+        if (cost.modeled) {
+            ++t.modeled;
+            t.flops += cost.flops;
+            t.bytesRead += cost.bytesRead;
+            t.bytesWritten += cost.bytesWritten;
+        } else {
+            t.unmodeled.push_back(std::string(op.name));
+        }
+        const ShapeCheck check = checkOpShape(op);
+        if (check.checked) {
+            ++t.shapeChecked;
+            if (!check.ok)
+                t.shapeMismatches.push_back(check.message);
+        }
+    }
+    return t;
+}
+
+} // namespace aib::analysis::graphlint

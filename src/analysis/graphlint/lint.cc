@@ -1,0 +1,315 @@
+/**
+ * @file
+ * Rule-based lint pass over a captured training graph.
+ *
+ * All flow analyses run over forward-phase ops only: backward-phase
+ * ops connect gradient tensors, not model values, and would fabricate
+ * reachability. Each rule is documented in docs/LINT.md together with
+ * the false-positive cases it is designed around (optional conv
+ * biases, intentional GAN detach, broadcast-by-design bias adds).
+ */
+
+#include "analysis/graphlint/graphlint.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace aib::analysis::graphlint {
+
+namespace {
+
+using graph::CapturedGraph;
+using graph::CapturedOp;
+using graph::Phase;
+using graph::TensorId;
+
+/** Op input positions where an undefined tensor is a documented
+ *  "no bias" convention rather than a bug. */
+bool
+undefinedInputAllowed(const CapturedOp &op, std::size_t index)
+{
+    return (op.name == "conv2d" || op.name == "convTranspose2d") &&
+           index == 2;
+}
+
+/**
+ * Tensor ids from which some backward root is forward-reachable,
+ * computed by walking producer edges backwards from the roots.
+ * @p tape_only restricts the walk to ops that recorded a Node.
+ */
+std::unordered_set<TensorId>
+reachesRoot(const CapturedGraph &g, bool tape_only)
+{
+    // Producer index: output id -> ops that produced it (an id can be
+    // re-produced, e.g. in-place style reuse never happens today, but
+    // keep the general form).
+    std::unordered_map<TensorId, std::vector<const CapturedOp *>>
+        producers;
+    for (const CapturedOp &op : g.ops) {
+        if (op.phase != Phase::Forward)
+            continue;
+        if (tape_only && !op.onTape)
+            continue;
+        if (op.outputId != 0)
+            producers[op.outputId].push_back(&op);
+    }
+
+    std::unordered_set<TensorId> reached;
+    std::vector<TensorId> stack(g.backwardRoots.begin(),
+                                g.backwardRoots.end());
+    for (TensorId id : stack)
+        reached.insert(id);
+    while (!stack.empty()) {
+        const TensorId id = stack.back();
+        stack.pop_back();
+        const auto found = producers.find(id);
+        if (found == producers.end())
+            continue;
+        for (const CapturedOp *op : found->second) {
+            for (TensorId input : op->inputIds) {
+                if (input != 0 && reached.insert(input).second)
+                    stack.push_back(input);
+            }
+        }
+    }
+    return reached;
+}
+
+/**
+ * Tensor ids reachable *from* @p start along tape edges — the live
+ * gradient-carrying frontier of a parameter.
+ */
+std::unordered_set<TensorId>
+tapeFrontier(const CapturedGraph &g, TensorId start)
+{
+    std::unordered_map<TensorId, std::vector<const CapturedOp *>>
+        consumers;
+    for (const CapturedOp &op : g.ops) {
+        if (op.phase != Phase::Forward || !op.onTape)
+            continue;
+        for (TensorId input : op.inputIds) {
+            if (input != 0)
+                consumers[input].push_back(&op);
+        }
+    }
+    std::unordered_set<TensorId> frontier{start};
+    std::vector<TensorId> stack{start};
+    while (!stack.empty()) {
+        const TensorId id = stack.back();
+        stack.pop_back();
+        const auto found = consumers.find(id);
+        if (found == consumers.end())
+            continue;
+        for (const CapturedOp *op : found->second) {
+            if (op->outputId != 0 &&
+                frontier.insert(op->outputId).second)
+                stack.push_back(op->outputId);
+        }
+    }
+    return frontier;
+}
+
+void
+lintParameterFlow(const LintInput &input, std::vector<Diagnostic> &out)
+{
+    const CapturedGraph &g = *input.training;
+    if (g.backwardRoots.empty())
+        return; // No loss was backpropagated; flow rules don't apply.
+
+    const auto reach_all = reachesRoot(g, /*tape_only=*/false);
+    const auto reach_tape = reachesRoot(g, /*tape_only=*/true);
+
+    for (const ParamRef &param : input.params) {
+        if (reach_tape.count(param.id))
+            continue; // Gradient-connected to some loss; healthy.
+        if (!reach_all.count(param.id)) {
+            Diagnostic d;
+            d.rule = "dead-parameter";
+            d.severity = Severity::Error;
+            d.subject = param.name;
+            d.message = "parameter '" + param.name + "' (" +
+                        std::to_string(param.numel) +
+                        " elements) never contributes to any "
+                        "backpropagated loss";
+            out.push_back(std::move(d));
+            continue;
+        }
+        // Forward-reachable but gradient-dead: find the op that
+        // severs the tape on some param-to-loss path.
+        std::string breaker;
+        const auto frontier = tapeFrontier(g, param.id);
+        for (const CapturedOp &op : g.ops) {
+            if (op.phase != Phase::Forward || op.onTape)
+                continue;
+            for (TensorId in_id : op.inputIds) {
+                if (in_id != 0 && frontier.count(in_id) &&
+                    reach_all.count(op.outputId)) {
+                    breaker = std::string(op.name);
+                    break;
+                }
+            }
+            if (!breaker.empty())
+                break;
+        }
+        Diagnostic d;
+        d.rule = "grad-flow-break";
+        d.severity = Severity::Error;
+        d.subject = param.name;
+        d.message = "parameter '" + param.name +
+                    "' reaches a loss in the forward graph but has no "
+                    "gradient path to any backward root";
+        if (!breaker.empty())
+            d.message += " (tape severed at op '" + breaker + "')";
+        out.push_back(std::move(d));
+    }
+}
+
+void
+lintBroadcastSurprise(const LintInput &input,
+                      std::vector<Diagnostic> &out)
+{
+    for (const CapturedOp &op : input.training->ops) {
+        if (op.phase != Phase::Forward)
+            continue;
+        if (op.name != "add" && op.name != "sub" && op.name != "mul" &&
+            op.name != "div")
+            continue;
+        if (op.inputShapes.size() < 2)
+            continue;
+        const std::int64_t n0 = numel(op.inputShapes[0]);
+        const std::int64_t n1 = numel(op.inputShapes[1]);
+        const std::int64_t no = numel(op.outputShape);
+        // Deliberate one-sided broadcasts (bias rows, per-channel
+        // scales, scalars) are idiomatic; flag only the mutual case
+        // where *both* operands get expanded and the result is larger
+        // than either — the (N,1) vs (N,) outer-product trap.
+        if (n0 > 1 && n1 > 1 && no > n0 && no > n1) {
+            Diagnostic d;
+            d.rule = "broadcast-surprise";
+            d.severity = Severity::Warning;
+            d.subject = std::string(op.name);
+            d.message = "op '" + std::string(op.name) +
+                        "' mutually broadcasts " +
+                        shapeToString(op.inputShapes[0]) + " with " +
+                        shapeToString(op.inputShapes[1]) + " to " +
+                        shapeToString(op.outputShape) +
+                        "; if intended, make the expansion explicit";
+            out.push_back(std::move(d));
+        }
+    }
+}
+
+void
+lintUndefinedInputs(const LintInput &input,
+                    std::vector<Diagnostic> &out)
+{
+    for (const CapturedOp &op : input.training->ops) {
+        if (op.phase != Phase::Forward || !op.differentiable)
+            continue;
+        for (std::size_t i = 0; i < op.inputIds.size(); ++i) {
+            if (op.inputIds[i] != 0 || undefinedInputAllowed(op, i))
+                continue;
+            Diagnostic d;
+            d.rule = "undefined-input";
+            d.severity = Severity::Error;
+            d.subject = std::string(op.name);
+            d.message = "op '" + std::string(op.name) +
+                        "' received an undefined tensor at input " +
+                        std::to_string(i) +
+                        "; only optional conv biases may be undefined";
+            out.push_back(std::move(d));
+        }
+    }
+}
+
+void
+lintTapeLeak(const LintInput &input, std::vector<Diagnostic> &out)
+{
+    if (input.leakedNodes == 0)
+        return;
+    Diagnostic d;
+    d.rule = "tape-leak";
+    d.severity = Severity::Warning;
+    d.subject = "autograd tape";
+    d.message = std::to_string(input.leakedNodes) +
+                " autograd node(s) still alive after backward() and "
+                "zero-grad; a task member is pinning the graph";
+    out.push_back(std::move(d));
+}
+
+void
+lintNumericRisk(const LintInput &input, std::vector<Diagnostic> &out)
+{
+    const CapturedGraph &g = *input.training;
+    std::unordered_map<TensorId, const CapturedOp *> producer;
+    for (const CapturedOp &op : g.ops) {
+        if (op.phase == Phase::Forward && op.outputId != 0)
+            producer[op.outputId] = &op;
+    }
+    auto producerName = [&](TensorId id) -> std::string_view {
+        const auto found = producer.find(id);
+        return found == producer.end() ? std::string_view{}
+                                       : found->second->name;
+    };
+
+    for (const CapturedOp &op : g.ops) {
+        if (op.phase != Phase::Forward || op.inputIds.empty())
+            continue;
+        const std::string_view feeder = producerName(op.inputIds[0]);
+        if (op.name == "log" &&
+            (feeder == "softmax" || feeder == "sigmoid")) {
+            Diagnostic d;
+            d.rule = "numeric-risk";
+            d.severity = Severity::Warning;
+            d.subject = "log";
+            d.message =
+                "log(" + std::string(feeder) +
+                "(x)) underflows for saturated inputs; use the fused "
+                "logSoftmax (or a log-sigmoid formulation) instead";
+            out.push_back(std::move(d));
+        }
+        if (op.name == "sqrt" &&
+            (feeder == "sum" || feeder == "sumDim")) {
+            Diagnostic d;
+            d.rule = "numeric-risk";
+            d.severity = Severity::Warning;
+            d.subject = "sqrt";
+            d.message =
+                "sqrt of a raw reduction has an unbounded gradient at "
+                "0; add an epsilon before the sqrt";
+            out.push_back(std::move(d));
+        }
+    }
+}
+
+} // namespace
+
+const char *
+severityName(Severity s)
+{
+    switch (s) {
+    case Severity::Info:
+        return "info";
+    case Severity::Warning:
+        return "warning";
+    case Severity::Error:
+        return "error";
+    }
+    return "unknown";
+}
+
+std::vector<Diagnostic>
+runRules(const LintInput &input)
+{
+    std::vector<Diagnostic> out;
+    if (input.training == nullptr)
+        return out;
+    lintParameterFlow(input, out);
+    lintBroadcastSurprise(input, out);
+    lintUndefinedInputs(input, out);
+    lintTapeLeak(input, out);
+    lintNumericRisk(input, out);
+    return out;
+}
+
+} // namespace aib::analysis::graphlint

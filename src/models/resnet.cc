@@ -1,5 +1,7 @@
 #include "models/resnet.h"
 
+#include <stdexcept>
+
 #include "tensor/ops.h"
 
 namespace aib::models {
@@ -34,7 +36,11 @@ ResidualBlock::forward(const Tensor &x)
 SmallResNet::SmallResNet(const ResNetConfig &config, Rng &rng)
     : stem_(config.inChannels, config.baseWidth, 3, 1, 1, rng, false),
       stemBn_(config.baseWidth),
-      head_(config.baseWidth << config.stages, config.classes, rng),
+      head_(config.classes > 0
+                ? std::make_unique<nn::Linear>(
+                      config.baseWidth << config.stages,
+                      config.classes, rng)
+                : nullptr),
       featureChannels_(config.baseWidth << config.stages)
 {
     registerModule("stem", &stem_);
@@ -48,7 +54,8 @@ SmallResNet::SmallResNet(const ResNetConfig &config, Rng &rng)
         blocks_.push_back(std::move(block));
         channels *= 2;
     }
-    registerModule("head", &head_);
+    if (head_)
+        registerModule("head", head_.get());
 }
 
 Tensor
@@ -63,8 +70,11 @@ SmallResNet::features(const Tensor &x)
 Tensor
 SmallResNet::forward(const Tensor &x)
 {
+    if (!head_)
+        throw std::logic_error(
+            "SmallResNet: headless backbone has no classifier");
     Tensor h = features(x);
-    return head_.forward(ops::globalAvgPool2d(h));
+    return head_->forward(ops::globalAvgPool2d(h));
 }
 
 } // namespace aib::models

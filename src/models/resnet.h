@@ -41,19 +41,21 @@ struct ResNetConfig {
     std::int64_t inChannels = 3;
     std::int64_t baseWidth = 8;
     int stages = 2;      ///< each stage halves the resolution
-    std::int64_t classes = 10;
+    std::int64_t classes = 10; ///< 0 = headless feature backbone
 };
 
 /**
  * The backbone + classifier. @c features() exposes the final feature
- * map for detection heads; @c forward() classifies.
+ * map for detection heads; @c forward() classifies. With
+ * @c classes == 0 no classifier head is built at all, so a detection
+ * wrapper that only calls @c features() carries no dead parameters.
  */
 class SmallResNet : public nn::Layer
 {
   public:
     SmallResNet(const ResNetConfig &config, Rng &rng);
 
-    /** Class logits (N, classes). */
+    /** Class logits (N, classes); throws on a headless backbone. */
     Tensor forward(const Tensor &x) override;
 
     /** Final feature map (N, C_out, H/2^stages, W/2^stages). */
@@ -66,7 +68,7 @@ class SmallResNet : public nn::Layer
     nn::Conv2d stem_;
     nn::BatchNorm2d stemBn_;
     std::vector<std::shared_ptr<ResidualBlock>> blocks_;
-    nn::Linear head_;
+    std::unique_ptr<nn::Linear> head_; ///< absent when classes == 0
     std::int64_t featureChannels_;
 };
 

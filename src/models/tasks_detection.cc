@@ -49,7 +49,9 @@ class GridDetector : public nn::Module
   public:
     GridDetector(const DetectorConfig &config, Rng &rng)
         : config_(config),
-          backbone_({3, config.baseWidth, config.stages, 1}, rng),
+          // classes = 0: detection only uses features(), so build the
+          // backbone headless rather than carrying dead parameters.
+          backbone_({3, config.baseWidth, config.stages, 0}, rng),
           head_(backbone_.featureChannels(),
                 5 + config.classes, 1, 1, 0, rng),
           roiHead_(9 * backbone_.featureChannels(),

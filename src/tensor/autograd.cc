@@ -1,12 +1,46 @@
 #include "tensor/autograd.h"
 
+#include <atomic>
 #include <cassert>
 #include <stdexcept>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "tensor/graph_capture.h"
+
 namespace aib::autograd {
+
+namespace {
+
+std::atomic<std::size_t> g_live_nodes{0};
+
+} // namespace
+
+namespace detail {
+
+LiveNodeToken::LiveNodeToken() noexcept
+{
+    g_live_nodes.fetch_add(1, std::memory_order_relaxed);
+}
+
+LiveNodeToken::LiveNodeToken(const LiveNodeToken &) noexcept
+{
+    g_live_nodes.fetch_add(1, std::memory_order_relaxed);
+}
+
+LiveNodeToken::~LiveNodeToken()
+{
+    g_live_nodes.fetch_sub(1, std::memory_order_relaxed);
+}
+
+} // namespace detail
+
+std::size_t
+liveNodeCount()
+{
+    return g_live_nodes.load(std::memory_order_relaxed);
+}
 
 bool
 needsGrad(const Tensor &t)
@@ -28,7 +62,12 @@ Tensor
 makeOutput(Tensor value, std::string_view name, std::vector<Tensor> inputs,
            std::function<std::vector<Tensor>(const Tensor &)> backward_fn)
 {
-    if (!gradModeEnabled() || !anyNeedsGrad(inputs))
+    const bool attach = gradModeEnabled() && anyNeedsGrad(inputs);
+    // Capture sees every op, including tape-less inference-mode ones;
+    // this must run before the inputs are moved into the node.
+    if (graph::captureActive())
+        graph::captureOp(name, inputs, value, attach);
+    if (!attach)
         return value;
     auto node = std::make_shared<Node>();
     node->name = name;
@@ -89,6 +128,9 @@ backward(const Tensor &root, const Tensor &grad)
 {
     if (!root.defined())
         throw std::logic_error("autograd::backward: undefined root");
+    // Registers the root with any active capture and tags ops run by
+    // the gradient closures below with the backward phase.
+    graph::detail::BackwardScope backward_scope(root);
     if (!root.gradFn()) {
         if (root.requiresGrad())
             root.impl()->grad = grad.impl();

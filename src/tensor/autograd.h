@@ -12,6 +12,7 @@
 #ifndef AIB_TENSOR_AUTOGRAD_H
 #define AIB_TENSOR_AUTOGRAD_H
 
+#include <cstddef>
 #include <functional>
 #include <string_view>
 #include <vector>
@@ -19,6 +20,26 @@
 #include "tensor/tensor.h"
 
 namespace aib::autograd {
+
+namespace detail {
+
+/**
+ * RAII token counting live Node objects; membership in Node keeps the
+ * process-wide census exact across copies and moves. The count backs
+ * the tape-leak lint rule (nodes still alive after backward + zero
+ * grad) in src/analysis/graphlint.
+ */
+struct LiveNodeToken {
+    LiveNodeToken() noexcept;
+    LiveNodeToken(const LiveNodeToken &) noexcept;
+    LiveNodeToken &operator=(const LiveNodeToken &) noexcept = default;
+    ~LiveNodeToken();
+};
+
+} // namespace detail
+
+/** Number of autograd Node objects currently alive (process-wide). */
+std::size_t liveNodeCount();
 
 /** One recorded operation in the autograd tape. */
 struct Node {
@@ -32,6 +53,8 @@ struct Node {
      * this input" (e.g. integer-like index inputs).
      */
     std::function<std::vector<Tensor>(const Tensor &grad_out)> backward;
+    /** Live-node census membership (tape-leak detection). */
+    detail::LiveNodeToken liveToken;
 };
 
 /**

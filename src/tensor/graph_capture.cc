@@ -1,0 +1,160 @@
+#include "tensor/graph_capture.h"
+
+#include <utility>
+
+namespace aib::graph {
+
+namespace {
+
+thread_local GraphCapture *t_active = nullptr;
+thread_local std::vector<OpAttr> t_pending_attrs;
+thread_local int t_backward_depth = 0;
+
+} // namespace
+
+std::int64_t
+CapturedOp::attr(std::string_view key, std::int64_t fallback) const
+{
+    for (const OpAttr &a : attrs) {
+        if (a.key == key)
+            return a.value;
+    }
+    return fallback;
+}
+
+/** Private bridge between the free-function hooks and the capture. */
+class CaptureAccess
+{
+  public:
+    static void
+    record(GraphCapture &c, CapturedOp op)
+    {
+        c.graph_.ops.push_back(std::move(op));
+    }
+
+    static void
+    pin(GraphCapture &c, const Tensor &t)
+    {
+        if (t.defined())
+            c.keep_alive_.push_back(t.impl());
+    }
+
+    static void
+    addRoot(GraphCapture &c, const Tensor &root)
+    {
+        pin(c, root);
+        c.graph_.backwardRoots.push_back(tensorId(root));
+    }
+};
+
+GraphCapture::GraphCapture() : previous_(t_active)
+{
+    t_active = this;
+}
+
+GraphCapture::~GraphCapture()
+{
+    t_active = previous_;
+}
+
+bool
+captureActive()
+{
+    return t_active != nullptr;
+}
+
+TensorId
+tensorId(const Tensor &t)
+{
+    return t.defined()
+               ? reinterpret_cast<TensorId>(t.impl().get())
+               : 0;
+}
+
+namespace {
+
+CapturedOp
+makeCapturedOp(std::string_view name, const Tensor &output, bool on_tape,
+               bool differentiable)
+{
+    CapturedOp op;
+    op.name = name;
+    if (output.defined())
+        op.outputShape = output.shape();
+    op.outputId = tensorId(output);
+    op.onTape = on_tape;
+    op.differentiable = differentiable;
+    op.phase = t_backward_depth > 0 ? Phase::Backward : Phase::Forward;
+    op.attrs = std::move(t_pending_attrs);
+    t_pending_attrs.clear();
+    return op;
+}
+
+void
+appendInput(GraphCapture &capture, CapturedOp &op, const Tensor &input)
+{
+    op.inputShapes.push_back(input.defined() ? input.shape() : Shape{});
+    op.inputIds.push_back(tensorId(input));
+    CaptureAccess::pin(capture, input);
+}
+
+} // namespace
+
+void
+captureOp(std::string_view name, const std::vector<Tensor> &inputs,
+          const Tensor &output, bool on_tape)
+{
+    if (t_active == nullptr) {
+        t_pending_attrs.clear();
+        return;
+    }
+    CapturedOp op = makeCapturedOp(name, output, on_tape, true);
+    op.inputShapes.reserve(inputs.size());
+    op.inputIds.reserve(inputs.size());
+    for (const Tensor &input : inputs)
+        appendInput(*t_active, op, input);
+    CaptureAccess::pin(*t_active, output);
+    CaptureAccess::record(*t_active, std::move(op));
+}
+
+void
+captureNonDiff(std::string_view name,
+               std::initializer_list<const Tensor *> inputs,
+               const Tensor &output)
+{
+    if (t_active == nullptr) {
+        t_pending_attrs.clear();
+        return;
+    }
+    CapturedOp op = makeCapturedOp(name, output, false, false);
+    for (const Tensor *input : inputs)
+        appendInput(*t_active, op, *input);
+    CaptureAccess::pin(*t_active, output);
+    CaptureAccess::record(*t_active, std::move(op));
+}
+
+void
+capturePendingAttrs(std::initializer_list<OpAttr> attrs)
+{
+    if (t_active == nullptr)
+        return;
+    t_pending_attrs.assign(attrs.begin(), attrs.end());
+}
+
+namespace detail {
+
+BackwardScope::BackwardScope(const Tensor &root)
+{
+    if (t_active != nullptr && t_backward_depth == 0)
+        CaptureAccess::addRoot(*t_active, root);
+    ++t_backward_depth;
+}
+
+BackwardScope::~BackwardScope()
+{
+    --t_backward_depth;
+}
+
+} // namespace detail
+
+} // namespace aib::graph

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Graph capture: records every tensor operation executed on the
+ * current thread into an inspectable IR.
+ *
+ * The capture hook lives inside @c autograd::makeOutput, which every
+ * differentiable operator calls unconditionally (even under
+ * NoGradGuard), so a capture sees inference-mode forward passes as
+ * well as training graphs. Non-differentiable operations that bypass
+ * makeOutput (argmax, detach, host-to-device copies) report
+ * themselves through @c captureNonDiff so the captured graph stays
+ * connected and its cost model stays complete.
+ *
+ * The IR is consumed by the static analyzer in
+ * src/analysis/graphlint, which re-derives shapes/FLOPs/bytes from it
+ * and lints it for model-definition bugs.
+ */
+
+#ifndef AIB_TENSOR_GRAPH_CAPTURE_H
+#define AIB_TENSOR_GRAPH_CAPTURE_H
+
+#include <cstdint>
+#include <initializer_list>
+#include <string_view>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace aib::graph {
+
+/** Execution phase an op was captured in. */
+enum class Phase { Forward, Backward };
+
+/**
+ * Stable identity of a tensor within one capture: the address of its
+ * TensorImpl. The active GraphCapture pins every impl it has seen, so
+ * ids are never reused while the capture is alive. 0 means undefined.
+ */
+using TensorId = std::uint64_t;
+
+/** One integer-valued op attribute (stride, padding, kernel, ...). */
+struct OpAttr {
+    std::string_view key;
+    std::int64_t value = 0;
+};
+
+/** One recorded tensor operation. */
+struct CapturedOp {
+    /** Operator name as passed to makeOutput ("conv2d", "add", ...). */
+    std::string_view name;
+    /** Element dtype; the substrate is float32-only today. */
+    std::string_view dtype = "f32";
+    std::vector<Shape> inputShapes;
+    /** Per-input tensor identity; 0 for undefined inputs. */
+    std::vector<TensorId> inputIds;
+    Shape outputShape;
+    TensorId outputId = 0;
+    /** True when an autograd Node was attached to the output. */
+    bool onTape = false;
+    /** False for non-differentiable ops (argmax, detach, memcpy). */
+    bool differentiable = true;
+    Phase phase = Phase::Forward;
+    /** Static attributes announced via capturePendingAttrs. */
+    std::vector<OpAttr> attrs;
+
+    bool inputDefined(std::size_t i) const
+    {
+        return i < inputIds.size() && inputIds[i] != 0;
+    }
+    /** Attribute lookup; @p fallback when absent. */
+    std::int64_t attr(std::string_view key, std::int64_t fallback) const;
+};
+
+/** The complete record of one captured region. */
+struct CapturedGraph {
+    std::vector<CapturedOp> ops;
+    /** Seed tensor of every backward() call, in call order. */
+    std::vector<TensorId> backwardRoots;
+};
+
+/**
+ * RAII capture of every tensor op executed on this thread while the
+ * object is alive. Captures nest; only the innermost one records.
+ * The capture keeps every tensor it has seen alive so TensorIds stay
+ * unique, which makes long captures memory-proportional to the work
+ * they observe — scope them tightly.
+ */
+class GraphCapture
+{
+  public:
+    GraphCapture();
+    ~GraphCapture();
+    GraphCapture(const GraphCapture &) = delete;
+    GraphCapture &operator=(const GraphCapture &) = delete;
+
+    const CapturedGraph &graph() const { return graph_; }
+
+  private:
+    friend class CaptureAccess;
+    CapturedGraph graph_;
+    /** Pins impls so TensorId (impl address) is never recycled. */
+    std::vector<std::shared_ptr<TensorImpl>> keep_alive_;
+    GraphCapture *previous_;
+};
+
+/** True when a GraphCapture is active on this thread. */
+bool captureActive();
+
+/** Identity of @p t (its impl address); 0 when undefined. */
+TensorId tensorId(const Tensor &t);
+
+/**
+ * Record one op. Called by autograd::makeOutput for every
+ * differentiable op; @p on_tape says whether a Node was attached.
+ * Consumes any pending attributes. No-op when no capture is active.
+ */
+void captureOp(std::string_view name, const std::vector<Tensor> &inputs,
+               const Tensor &output, bool on_tape);
+
+/**
+ * Record a non-differentiable op that bypasses makeOutput (argmax,
+ * detach, host-to-device copy). No-op when no capture is active.
+ */
+void captureNonDiff(std::string_view name,
+                    std::initializer_list<const Tensor *> inputs,
+                    const Tensor &output);
+
+/**
+ * Announce static attributes (stride, padding, kernel, dim, ...) for
+ * the *next* captured op on this thread. Operators with
+ * configuration that cannot be recovered from shapes alone call this
+ * immediately before their makeOutput. No-op when no capture is
+ * active.
+ */
+void capturePendingAttrs(std::initializer_list<OpAttr> attrs);
+
+namespace detail {
+
+/**
+ * Marks a backward() traversal: records the seed tensor as a root and
+ * tags ops run while alive (gradient kernels re-entering makeOutput
+ * under NoGradGuard) with Phase::Backward.
+ */
+class BackwardScope
+{
+  public:
+    explicit BackwardScope(const Tensor &root);
+    ~BackwardScope();
+    BackwardScope(const BackwardScope &) = delete;
+    BackwardScope &operator=(const BackwardScope &) = delete;
+};
+
+} // namespace detail
+
+} // namespace aib::graph
+
+#endif // AIB_TENSOR_GRAPH_CAPTURE_H

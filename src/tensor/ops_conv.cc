@@ -20,6 +20,7 @@
 #include "tensor/autograd.h"
 #include "tensor/detail/gemm.h"
 #include "tensor/detail/op_common.h"
+#include "tensor/graph_capture.h"
 
 namespace aib::ops {
 
@@ -213,6 +214,8 @@ conv2d(const Tensor &input, const Tensor &weight, const Tensor &bias,
                           static_cast<double>(out.numel()), 1.0, 1.0);
     }
 
+    graph::capturePendingAttrs(
+        {{"kernel", kernel}, {"stride", stride}, {"padding", padding}});
     return autograd::makeOutput(
         std::move(out), "conv2d", {input, weight, bias},
         [input, weight, has_bias = bias.defined(), n, c, h, w, f, kernel,
@@ -347,6 +350,8 @@ convTranspose2d(const Tensor &input, const Tensor &weight,
                           static_cast<double>(out.numel()), 1.0, 1.0);
     }
 
+    graph::capturePendingAttrs(
+        {{"kernel", kernel}, {"stride", stride}, {"padding", padding}});
     return autograd::makeOutput(
         std::move(out), "convTranspose2d", {input, weight, bias},
         [input, weight, has_bias = bias.defined(), n, c, h, w, f, kernel,
@@ -464,6 +469,7 @@ maxPool2d(const Tensor &input, int kernel, int stride)
                      4.0 * static_cast<double>(input.numel()),
                      4.0 * static_cast<double>(out.numel()),
                      static_cast<double>(out.numel()));
+    graph::capturePendingAttrs({{"kernel", kernel}, {"stride", stride}});
     return autograd::makeOutput(
         std::move(out), "maxPool2d", {input},
         [argmax, shape_in = input.shape()](const Tensor &g) {
@@ -520,6 +526,7 @@ avgPool2d(const Tensor &input, int kernel, int stride)
                      4.0 * static_cast<double>(input.numel()),
                      4.0 * static_cast<double>(out.numel()),
                      static_cast<double>(out.numel()));
+    graph::capturePendingAttrs({{"kernel", kernel}, {"stride", stride}});
     return autograd::makeOutput(
         std::move(out), "avgPool2d", {input},
         [shape_in = input.shape(), n, c, h, w, ho, wo, kernel, stride,

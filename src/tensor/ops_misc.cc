@@ -10,6 +10,7 @@
 
 #include "tensor/autograd.h"
 #include "tensor/detail/op_common.h"
+#include "tensor/graph_capture.h"
 
 namespace aib::ops {
 
@@ -260,6 +261,8 @@ recordHostToDeviceCopy(const Tensor &batch)
     const double bytes = 4.0 * static_cast<double>(batch.numel());
     profiler::record(kn::memcpy_h2d, KernelCategory::Memcpy, 0.0, bytes,
                      bytes, static_cast<double>(batch.numel()));
+    if (graph::captureActive())
+        graph::captureNonDiff("hostToDevice", {&batch}, batch);
 }
 
 } // namespace aib::ops

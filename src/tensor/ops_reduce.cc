@@ -11,6 +11,7 @@
 
 #include "tensor/autograd.h"
 #include "tensor/detail/op_common.h"
+#include "tensor/graph_capture.h"
 
 namespace aib::ops {
 
@@ -112,6 +113,7 @@ sumDim(const Tensor &a, int dim, bool keepdim)
     }
     detail::recordMap(kn::ew_reduce, KernelCategory::Elementwise,
                       static_cast<double>(a.numel()), 1.0, 1.0);
+    graph::capturePendingAttrs({{"dim", d}, {"keepdim", keepdim ? 1 : 0}});
     return autograd::makeOutput(
         std::move(out), "sumDim", {a},
         [a, d, outer, inner, len](const Tensor &g) {
@@ -155,6 +157,8 @@ maxLastDim(const Tensor &a)
     }
     detail::recordMap(kn::ew_reduce, KernelCategory::Elementwise,
                       static_cast<double>(a.numel()), 1.0, 1.0);
+    if (graph::captureActive())
+        graph::captureNonDiff("maxLastDim", {&a}, out);
     return out;
 }
 
@@ -180,6 +184,8 @@ argmaxLastDim(const Tensor &a)
     }
     detail::recordMap(kn::ew_reduce, KernelCategory::Elementwise,
                       static_cast<double>(a.numel()), 1.0, 1.0);
+    if (graph::captureActive())
+        graph::captureNonDiff("argmaxLastDim", {&a}, out);
     return out;
 }
 

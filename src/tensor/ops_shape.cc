@@ -10,6 +10,7 @@
 
 #include "tensor/autograd.h"
 #include "tensor/detail/op_common.h"
+#include "tensor/graph_capture.h"
 
 namespace aib::ops {
 
@@ -144,6 +145,8 @@ sliceDim(const Tensor &a, int dim, std::int64_t start, std::int64_t stop)
         std::copy(src, src + out_len * inner, dst);
     }
     detail::recordCopy(static_cast<double>(out.numel()));
+    graph::capturePendingAttrs(
+        {{"dim", dim}, {"start", start}, {"stop", stop}});
     return autograd::makeOutput(
         std::move(out), "sliceDim", {a},
         [shape_in = a.shape(), dim, start, outer, inner, len,
@@ -210,6 +213,7 @@ concat(const std::vector<Tensor> &parts, int dim)
     lens.reserve(parts.size());
     for (const Tensor &p : parts)
         lens.push_back(p.dim(dim));
+    graph::capturePendingAttrs({{"dim", dim}});
     return autograd::makeOutput(
         std::move(out), "concat", parts,
         [lens, dim](const Tensor &g) {

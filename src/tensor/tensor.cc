@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "tensor/autograd.h"
+#include "tensor/graph_capture.h"
 
 namespace aib {
 
@@ -308,7 +309,12 @@ Tensor::detach() const
     auto impl = std::make_shared<TensorImpl>();
     impl->shape = impl_->shape;
     impl->data = impl_->data;
-    return Tensor(std::move(impl));
+    Tensor out(std::move(impl));
+    // detach creates a fresh impl, so without this hook a captured
+    // graph would see the value chain silently end here.
+    if (graph::captureActive())
+        graph::captureNonDiff("detach", {this}, out);
+    return out;
 }
 
 Tensor

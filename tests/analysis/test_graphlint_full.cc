@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Tier-2 sweep: the full static-vs-traced cross-check and lint pass
+ * over every one of the 24 component benchmarks — the same gate CI
+ * applies via `aibench lint --all`, run in-process so a failure
+ * pinpoints the benchmark and diagnostic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/graphlint/graphlint.h"
+#include "core/registry.h"
+
+namespace aib::analysis::graphlint {
+namespace {
+
+TEST(GraphlintFullSuite, AllBenchmarksAuditClean)
+{
+    for (const core::ComponentBenchmark *b : core::allBenchmarks()) {
+        const BenchmarkAudit audit = auditBenchmark(*b, 42);
+        EXPECT_EQ(audit.staticParams, audit.tracedParams)
+            << b->info.id;
+        EXPECT_LE(audit.flopsRelativeError(), 0.01) << b->info.id;
+        EXPECT_LE(audit.bytesRelativeError(), 0.01) << b->info.id;
+        EXPECT_EQ(audit.modeledOps, audit.forwardOps) << b->info.id;
+        EXPECT_EQ(audit.shapeCheckedOps, audit.forwardOps)
+            << b->info.id;
+        for (const Diagnostic &d : audit.diagnostics)
+            ADD_FAILURE() << b->info.id << ": " << d.rule << " ("
+                          << d.subject << "): " << d.message;
+        EXPECT_TRUE(audit.clean()) << b->info.id;
+    }
+}
+
+} // namespace
+} // namespace aib::analysis::graphlint

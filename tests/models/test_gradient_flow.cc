@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Gradient-flow smoke test over all 24 component benchmarks: after
+ * one training epoch, every registered parameter must carry a
+ * defined, shape-matching, all-finite gradient. A parameter with no
+ * gradient is dead weight (see the dead-parameter lint rule in
+ * docs/LINT.md); a non-finite one means the loss or its backward
+ * closures are numerically broken at real training scale.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/registry.h"
+#include "nn/module.h"
+#include "tensor/random.h"
+
+namespace aib::core {
+namespace {
+
+class GradientFlow : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(GradientFlow, EveryParameterGetsAFiniteGradient)
+{
+    const ComponentBenchmark *b = findBenchmark(GetParam());
+    ASSERT_NE(b, nullptr);
+    seedGlobalRng(42);
+    auto task = b->makeTask(42);
+    task->runEpoch();
+    for (const nn::NamedParam &p : task->model().namedParameters()) {
+        const Tensor grad = p.tensor.grad();
+        ASSERT_TRUE(grad.defined())
+            << p.name << " has no gradient after a training epoch";
+        ASSERT_EQ(grad.shape(), p.tensor.shape()) << p.name;
+        for (float v : grad.toVector())
+            ASSERT_TRUE(std::isfinite(v))
+                << p.name << " has a non-finite gradient entry";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, GradientFlow,
+    ::testing::Values(
+        "DC-AI-C1", "DC-AI-C2", "DC-AI-C3", "DC-AI-C4", "DC-AI-C5",
+        "DC-AI-C6", "DC-AI-C7", "DC-AI-C8", "DC-AI-C9", "DC-AI-C10",
+        "DC-AI-C11", "DC-AI-C12", "DC-AI-C13", "DC-AI-C14",
+        "DC-AI-C15", "DC-AI-C16", "DC-AI-C17", "MLPerf-IC",
+        "MLPerf-OD-heavy", "MLPerf-OD-light", "MLPerf-NMT",
+        "MLPerf-Transformer", "MLPerf-NCF", "MLPerf-RL"),
+    [](const ::testing::TestParamInfo<const char *> &info) {
+        std::string name = info.param;
+        for (char &c : name)
+            if (c == '-')
+                c = '_';
+        return name;
+    });
+
+} // namespace
+} // namespace aib::core

@@ -1,16 +1,11 @@
 /**
  * @file
- * The `aibench` command-line tool: run, characterize and compare the
- * component benchmarks without writing any code.
+ * The `aibench` command-line tool: run, characterize, lint and
+ * compare the component benchmarks without writing any code.
  *
- *   aibench list
- *   aibench run <id> [--seed N] [--max-epochs N]
- *   aibench characterize <id> [--csv]
- *   aibench inference <id> [--queries N]
- *   aibench subset
- *   aibench devices
- *   aibench trace-snapshot [--mode forward|train|all] [--id ID]
- *                          [--seed N] --out-dir DIR
+ * Subcommands register themselves in the kCommands dispatch table;
+ * usage() is generated from that table, so adding a command is a
+ * one-entry change.
  */
 
 #include <algorithm>
@@ -23,6 +18,7 @@
 #include <vector>
 
 #include "analysis/characterize.h"
+#include "analysis/graphlint/graphlint.h"
 #include "core/cost.h"
 #include "core/inference.h"
 #include "core/registry.h"
@@ -37,36 +33,7 @@ using namespace aib;
 
 namespace {
 
-int
-usage()
-{
-    std::fprintf(
-        stderr,
-        "usage: aibench <command> [args]\n"
-        "  list                      all registered benchmarks\n"
-        "  run <id> [--seed N] [--max-epochs N]\n"
-        "                            entire training session to the\n"
-        "                            target quality\n"
-        "  characterize <id> [--csv] parameters, FLOPs, microarch\n"
-        "                            metrics, runtime breakdown\n"
-        "  inference <id> [--queries N]\n"
-        "                            latency / tail latency /\n"
-        "                            throughput / energy per query\n"
-        "  subset                    the affordable subset and its\n"
-        "                            cost savings\n"
-        "  devices                   simulated device catalogue\n"
-        "  gemm-bench [--reps N] [--out FILE]\n"
-        "                            GEMM GFLOP/s sweep (sizes\n"
-        "                            64..1024); --out writes JSON\n"
-        "                            (e.g. BENCH_gemm.json) so the\n"
-        "                            perf trajectory can be tracked\n"
-        "  trace-snapshot [--mode forward|train|all] [--id ID]\n"
-        "                 [--seed N] --out-dir DIR\n"
-        "                            write deterministic kernel-trace\n"
-        "                            snapshots (golden files for the\n"
-        "                            trace-guard tests)\n");
-    return 2;
-}
+int usage();
 
 long
 argValue(int argc, char **argv, const char *flag, long fallback)
@@ -78,6 +45,16 @@ argValue(int argc, char **argv, const char *flag, long fallback)
     return fallback;
 }
 
+const char *
+argString(int argc, char **argv, const char *flag, const char *fallback)
+{
+    for (int i = 0; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], flag) == 0)
+            return argv[i + 1];
+    }
+    return fallback;
+}
+
 bool
 hasFlag(int argc, char **argv, const char *flag)
 {
@@ -85,6 +62,31 @@ hasFlag(int argc, char **argv, const char *flag)
         if (std::strcmp(argv[i], flag) == 0)
             return true;
     return false;
+}
+
+/**
+ * First token that is neither a flag nor the value of a
+ * value-carrying flag (--seed, --out, --out-dir, --mode, --id).
+ */
+const char *
+positionalArg(int argc, char **argv)
+{
+    for (int i = 0; i < argc; ++i) {
+        if (argv[i][0] == '-') {
+            if (std::strcmp(argv[i], "--seed") == 0 ||
+                std::strcmp(argv[i], "--out") == 0 ||
+                std::strcmp(argv[i], "--out-dir") == 0 ||
+                std::strcmp(argv[i], "--mode") == 0 ||
+                std::strcmp(argv[i], "--id") == 0 ||
+                std::strcmp(argv[i], "--max-epochs") == 0 ||
+                std::strcmp(argv[i], "--queries") == 0 ||
+                std::strcmp(argv[i], "--reps") == 0)
+                ++i;
+            continue;
+        }
+        return argv[i];
+    }
+    return nullptr;
 }
 
 const core::ComponentBenchmark *
@@ -101,7 +103,7 @@ requireBenchmark(const char *id)
 }
 
 int
-cmdList()
+cmdList(int, char **)
 {
     std::printf("%-20s %-32s %-22s %-10s %s\n", "id", "task", "metric",
                 "target", "suite");
@@ -225,7 +227,7 @@ cmdInference(int argc, char **argv)
 }
 
 int
-cmdSubset()
+cmdSubset(int, char **)
 {
     std::printf("affordable subset (Sec. 5.4):\n");
     for (const auto *b : core::subsetBenchmarks())
@@ -242,16 +244,6 @@ cmdSubset()
     std::printf("paper-hour savings vs the full suite: %.1f%%\n",
                 core::reductionPct(subset, full));
     return 0;
-}
-
-const char *
-argString(int argc, char **argv, const char *flag, const char *fallback)
-{
-    for (int i = 0; i + 1 < argc; ++i) {
-        if (std::strcmp(argv[i], flag) == 0)
-            return argv[i + 1];
-    }
-    return fallback;
 }
 
 int
@@ -387,7 +379,7 @@ cmdTraceSnapshot(int argc, char **argv)
 }
 
 int
-cmdDevices()
+cmdDevices(int, char **)
 {
     for (const auto &d : {gpusim::titanXp(), gpusim::titanRtx()}) {
         std::printf("%s\n", d.name.c_str());
@@ -400,6 +392,121 @@ cmdDevices()
     return 0;
 }
 
+/**
+ * Run the graph auditor (static shape/FLOP inference + lint rules,
+ * see docs/LINT.md) over one benchmark or the whole suite. Exits
+ * non-zero when any audited benchmark is not clean, so CI can gate
+ * on it.
+ */
+int
+cmdLint(int argc, char **argv)
+{
+    const bool all = hasFlag(argc, argv, "--all");
+    const bool as_json = hasFlag(argc, argv, "--json");
+    const char *out_path = argString(argc, argv, "--out", nullptr);
+    const auto seed = static_cast<std::uint64_t>(
+        argValue(argc, argv, "--seed", 42));
+
+    std::vector<const core::ComponentBenchmark *> benchmarks;
+    if (all) {
+        benchmarks = core::allBenchmarks();
+    } else {
+        const char *id = positionalArg(argc, argv);
+        if (!id) {
+            std::fprintf(stderr,
+                         "lint: pass a benchmark id or --all\n");
+            return 2;
+        }
+        benchmarks.push_back(requireBenchmark(id));
+    }
+
+    std::vector<analysis::graphlint::BenchmarkAudit> audits;
+    audits.reserve(benchmarks.size());
+    bool all_clean = true;
+    for (const auto *b : benchmarks) {
+        audits.push_back(
+            analysis::graphlint::auditBenchmark(*b, seed));
+        if (!as_json)
+            std::printf(
+                "%s",
+                analysis::graphlint::auditToText(audits.back())
+                    .c_str());
+        all_clean = all_clean && audits.back().clean();
+    }
+
+    const std::string json = analysis::graphlint::auditsToJson(audits);
+    if (as_json)
+        std::printf("%s\n", json.c_str());
+    if (out_path) {
+        std::FILE *f = std::fopen(out_path, "w");
+        if (!f) {
+            std::fprintf(stderr, "cannot write '%s'\n", out_path);
+            return 1;
+        }
+        std::fwrite(json.data(), 1, json.size(), f);
+        std::fputc('\n', f);
+        std::fclose(f);
+        if (!as_json)
+            std::printf("wrote %s\n", out_path);
+    }
+    if (!as_json)
+        std::printf("%zu/%zu benchmarks clean\n",
+                    static_cast<std::size_t>(std::count_if(
+                        audits.begin(), audits.end(),
+                        [](const auto &a) { return a.clean(); })),
+                    audits.size());
+    return all_clean ? 0 : 1;
+}
+
+/** One dispatch-table entry; usage() is generated from these. */
+struct Command {
+    const char *name;
+    /** Argument synopsis shown in usage, e.g. "<id> [--seed N]". */
+    const char *args;
+    /** One-line description shown in usage. */
+    const char *help;
+    int (*handler)(int argc, char **argv);
+};
+
+constexpr Command kCommands[] = {
+    {"list", "", "all registered benchmarks", cmdList},
+    {"run", "<id> [--seed N] [--max-epochs N]",
+     "entire training session to the target quality", cmdRun},
+    {"characterize", "<id> [--csv]",
+     "parameters, FLOPs, microarch metrics, runtime breakdown",
+     cmdCharacterize},
+    {"inference", "<id> [--queries N]",
+     "latency / tail latency / throughput / energy per query",
+     cmdInference},
+    {"lint", "[--all | <id>] [--seed N] [--json] [--out FILE]",
+     "graph auditor: static FLOP/shape cross-check + lint rules",
+     cmdLint},
+    {"subset", "", "the affordable subset and its cost savings",
+     cmdSubset},
+    {"devices", "", "simulated device catalogue", cmdDevices},
+    {"gemm-bench", "[--reps N] [--out FILE]",
+     "GEMM GFLOP/s sweep (sizes 64..1024); --out writes JSON",
+     cmdGemmBench},
+    {"trace-snapshot",
+     "[--mode forward|train|all] [--id ID] [--seed N] --out-dir DIR",
+     "write deterministic kernel-trace snapshots (golden files)",
+     cmdTraceSnapshot},
+};
+
+int
+usage()
+{
+    std::fprintf(stderr, "usage: aibench <command> [args]\n");
+    for (const Command &c : kCommands) {
+        if (c.args[0] != '\0')
+            std::fprintf(stderr, "  %s %s\n", c.name, c.args);
+        else
+            std::fprintf(stderr, "  %s\n", c.name);
+        std::fprintf(stderr, "        %s\n", c.help);
+    }
+    return 2;
+}
+
 } // namespace
 
 int
@@ -407,22 +514,9 @@ main(int argc, char **argv)
 {
     if (argc < 2)
         return usage();
-    const std::string command = argv[1];
-    if (command == "list")
-        return cmdList();
-    if (command == "run")
-        return cmdRun(argc - 2, argv + 2);
-    if (command == "characterize")
-        return cmdCharacterize(argc - 2, argv + 2);
-    if (command == "inference")
-        return cmdInference(argc - 2, argv + 2);
-    if (command == "subset")
-        return cmdSubset();
-    if (command == "devices")
-        return cmdDevices();
-    if (command == "gemm-bench")
-        return cmdGemmBench(argc - 2, argv + 2);
-    if (command == "trace-snapshot")
-        return cmdTraceSnapshot(argc - 2, argv + 2);
+    for (const Command &c : kCommands) {
+        if (std::strcmp(argv[1], c.name) == 0)
+            return c.handler(argc - 2, argv + 2);
+    }
     return usage();
 }
