@@ -15,11 +15,17 @@
 
 #include <functional>
 #include <memory>
+#include <stdexcept>
 #include <string>
 
 #include "nn/module.h"
 
 namespace aib::core {
+
+namespace ckpt {
+class StateWriter;
+class StateReader;
+} // namespace ckpt
 
 /** Whether larger or smaller metric values are better. */
 enum class Direction {
@@ -57,6 +63,32 @@ class TrainableTask
      * "FLOPs of a single forward computation").
      */
     virtual void forwardOnce() = 0;
+
+    /**
+     * Serialize every piece of state that evolves after construction
+     * (modules, optimizers, RNGs, generator cursors, extra scalars)
+     * into @p out, such that loadState on a freshly built task of
+     * the same benchmark+seed reproduces subsequent training
+     * bitwise. Constructor-derived immutable state (eval sets,
+     * latent mappings) is deliberately NOT saved — rebuilding the
+     * task from its seed replays it deterministically.
+     *
+     * Default implementation throws: benchmarks opt in per task.
+     */
+    virtual void
+    saveState(ckpt::StateWriter & /*out*/) const
+    {
+        throw std::logic_error(
+            "this task does not support checkpointing");
+    }
+
+    /** Restore state captured by @c saveState (see its contract). */
+    virtual void
+    loadState(ckpt::StateReader & /*in*/)
+    {
+        throw std::logic_error(
+            "this task does not support checkpointing");
+    }
 };
 
 /** Static description + metadata of one component benchmark. */

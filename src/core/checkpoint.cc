@@ -1,0 +1,458 @@
+#include "core/checkpoint.h"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "core/faultinject.h"
+#include "nn/detail/stream_io.h"
+#include "nn/lr_schedule.h"
+#include "nn/optim.h"
+#include "nn/serialize.h"
+
+namespace fs = std::filesystem;
+
+namespace aib::core::ckpt {
+
+namespace {
+
+constexpr char kMagic[8] = {'A', 'I', 'B', 'S', 'E', 'S', 'S', '1'};
+constexpr std::uint32_t kVersion = 1;
+constexpr const char *kPrefix = "ckpt-";
+constexpr const char *kSuffix = ".aibck";
+
+const char *
+tagName(Tag t)
+{
+    switch (t) {
+    case Tag::U32: return "u32";
+    case Tag::I64: return "i64";
+    case Tag::U64: return "u64";
+    case Tag::F32: return "f32";
+    case Tag::F64: return "f64";
+    case Tag::Str: return "str";
+    case Tag::F64Vec: return "f64vec";
+    case Tag::RngState: return "rng";
+    case Tag::Generator: return "generator";
+    case Tag::Module: return "module";
+    case Tag::Optimizer: return "optimizer";
+    case Tag::Scheduler: return "scheduler";
+    }
+    return "unknown";
+}
+
+std::array<std::uint32_t, 256>
+makeCrcTable()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+        table[i] = c;
+    }
+    return table;
+}
+
+} // namespace
+
+std::uint32_t
+crc32(const void *data, std::size_t size)
+{
+    static const std::array<std::uint32_t, 256> table = makeCrcTable();
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    std::uint32_t crc = 0xFFFFFFFFu;
+    for (std::size_t i = 0; i < size; ++i)
+        crc = table[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
+    return crc ^ 0xFFFFFFFFu;
+}
+
+// --- StateWriter ----------------------------------------------------
+
+void
+StateWriter::tag(Tag t)
+{
+    const auto b = static_cast<char>(t);
+    out_.write(&b, 1);
+}
+
+void
+StateWriter::tagged(Tag t, const std::string &blob)
+{
+    tag(t);
+    nn::detail::writeString(out_, blob);
+}
+
+void
+StateWriter::u32(std::uint32_t v)
+{
+    tag(Tag::U32);
+    nn::detail::writeU32(out_, v);
+}
+
+void
+StateWriter::i64(std::int64_t v)
+{
+    tag(Tag::I64);
+    nn::detail::writeI64(out_, v);
+}
+
+void
+StateWriter::u64(std::uint64_t v)
+{
+    tag(Tag::U64);
+    nn::detail::writeU64(out_, v);
+}
+
+void
+StateWriter::f32(float v)
+{
+    tag(Tag::F32);
+    nn::detail::writeF32(out_, v);
+}
+
+void
+StateWriter::f64(double v)
+{
+    tag(Tag::F64);
+    nn::detail::writeF64(out_, v);
+}
+
+void
+StateWriter::str(const std::string &s)
+{
+    tagged(Tag::Str, s);
+}
+
+void
+StateWriter::f64vec(const std::vector<double> &v)
+{
+    tag(Tag::F64Vec);
+    nn::detail::writeF64Vec(out_, v);
+}
+
+void
+StateWriter::rng(const Rng &r)
+{
+    tagged(Tag::RngState, r.state());
+}
+
+void
+StateWriter::module(const nn::Module &m)
+{
+    std::ostringstream blob;
+    nn::writeModuleState(m, blob);
+    tagged(Tag::Module, blob.str());
+}
+
+void
+StateWriter::optimizer(const nn::Optimizer &o)
+{
+    std::ostringstream blob;
+    o.saveState(blob);
+    tagged(Tag::Optimizer, blob.str());
+}
+
+void
+StateWriter::scheduler(const nn::LrScheduler &s)
+{
+    std::ostringstream blob;
+    s.saveState(blob);
+    tagged(Tag::Scheduler, blob.str());
+}
+
+// --- StateReader ----------------------------------------------------
+
+StateReader::StateReader(std::string payload)
+    : payload_(std::move(payload)), in_(payload_)
+{}
+
+void
+StateReader::expect(Tag t)
+{
+    const auto offset = static_cast<std::int64_t>(in_.tellg());
+    char b = 0;
+    in_.read(&b, 1);
+    if (!in_)
+        throw CheckpointError(
+            "checkpoint: payload ended while expecting " +
+            std::string(tagName(t)) + " at offset " +
+            std::to_string(offset));
+    const Tag found = static_cast<Tag>(b);
+    if (found != t)
+        throw CheckpointError("checkpoint: expected " +
+                              std::string(tagName(t)) + " but found " +
+                              tagName(found) + " at offset " +
+                              std::to_string(offset));
+}
+
+std::string
+StateReader::tagged(Tag t)
+{
+    expect(t);
+    return nn::detail::readString(in_, tagName(t));
+}
+
+std::uint32_t
+StateReader::u32()
+{
+    expect(Tag::U32);
+    return nn::detail::readU32(in_);
+}
+
+std::int64_t
+StateReader::i64()
+{
+    expect(Tag::I64);
+    return nn::detail::readI64(in_);
+}
+
+std::uint64_t
+StateReader::u64()
+{
+    expect(Tag::U64);
+    return nn::detail::readU64(in_);
+}
+
+float
+StateReader::f32()
+{
+    expect(Tag::F32);
+    return nn::detail::readF32(in_);
+}
+
+double
+StateReader::f64()
+{
+    expect(Tag::F64);
+    return nn::detail::readF64(in_);
+}
+
+std::string
+StateReader::str()
+{
+    return tagged(Tag::Str);
+}
+
+std::vector<double>
+StateReader::f64vec()
+{
+    expect(Tag::F64Vec);
+    return nn::detail::readF64Vec(in_);
+}
+
+void
+StateReader::rng(Rng &r)
+{
+    r.setState(tagged(Tag::RngState));
+}
+
+void
+StateReader::module(nn::Module &m)
+{
+    std::istringstream blob(tagged(Tag::Module));
+    nn::readModuleState(m, blob);
+}
+
+void
+StateReader::optimizer(nn::Optimizer &o)
+{
+    std::istringstream blob(tagged(Tag::Optimizer));
+    o.loadState(blob);
+}
+
+void
+StateReader::scheduler(nn::LrScheduler &s)
+{
+    std::istringstream blob(tagged(Tag::Scheduler));
+    s.loadState(blob);
+}
+
+void
+StateReader::expectEnd()
+{
+    const auto pos = static_cast<std::size_t>(in_.tellg());
+    if (pos != payload_.size())
+        throw CheckpointError("checkpoint: " +
+                              std::to_string(payload_.size() - pos) +
+                              " unconsumed payload bytes at offset " +
+                              std::to_string(pos));
+}
+
+// --- file container -------------------------------------------------
+
+void
+writeCheckpointFile(const std::string &path, const std::string &payload)
+{
+    std::ostringstream composed;
+    composed.write(kMagic, sizeof(kMagic));
+    nn::detail::writeU32(composed, kVersion);
+    nn::detail::writeU64(composed, payload.size());
+    nn::detail::writeU32(composed, crc32(payload.data(), payload.size()));
+    composed.write(payload.data(),
+                   static_cast<std::streamsize>(payload.size()));
+    std::string bytes = composed.str();
+
+    // Wound the file on request: the fault parameter is read before
+    // fires() because firing disarms the point.
+    const long truncateTo = fault::param("checkpoint.truncate", -1);
+    if (fault::fires("checkpoint.truncate"))
+        bytes.resize(std::min(bytes.size(),
+                              static_cast<std::size_t>(
+                                  std::max(truncateTo, 0L))));
+    const long corruptAt = fault::param("checkpoint.corrupt", 0);
+    if (fault::fires("checkpoint.corrupt") && !bytes.empty())
+        bytes[static_cast<std::size_t>(corruptAt) % bytes.size()] ^=
+            static_cast<char>(0xFF);
+
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            throw CheckpointError("checkpoint: cannot open " + tmp);
+        out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+        out.flush();
+        if (!out)
+            throw CheckpointError("checkpoint: write failed for " + tmp);
+    }
+    // Die between temp write and publish: the final name must never
+    // see a partial file.
+    fault::maybeThrow("checkpoint.abort");
+    fs::rename(tmp, path);
+}
+
+std::string
+readCheckpointFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw CheckpointError("checkpoint: cannot open " + path);
+    char magic[8] = {};
+    in.read(magic, sizeof(magic));
+    if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+        throw CheckpointError("checkpoint: bad magic in " + path);
+    std::uint32_t version = 0;
+    std::uint64_t size = 0;
+    std::uint32_t crc = 0;
+    try {
+        version = nn::detail::readU32(in, "version");
+        size = nn::detail::readU64(in, "payload size");
+        crc = nn::detail::readU32(in, "payload crc");
+    } catch (const std::runtime_error &e) {
+        throw CheckpointError(std::string(e.what()) + " in " + path);
+    }
+    if (version != kVersion)
+        throw CheckpointError("checkpoint: unsupported version " +
+                              std::to_string(version) + " in " + path);
+    std::string payload(static_cast<std::size_t>(size), '\0');
+    in.read(payload.data(), static_cast<std::streamsize>(payload.size()));
+    if (!in || static_cast<std::uint64_t>(in.gcount()) != size)
+        throw CheckpointError("checkpoint: truncated payload in " + path);
+    const std::uint32_t actual = crc32(payload.data(), payload.size());
+    if (actual != crc)
+        throw CheckpointError("checkpoint: CRC mismatch in " + path);
+    return payload;
+}
+
+// --- CheckpointManager ----------------------------------------------
+
+namespace {
+
+/** Parse "ckpt-NNNNNN.aibck"; returns -1 when the name differs. */
+int
+parseEpoch(const std::string &filename)
+{
+    const std::string prefix = kPrefix;
+    const std::string suffix = kSuffix;
+    if (filename.size() <= prefix.size() + suffix.size())
+        return -1;
+    if (filename.compare(0, prefix.size(), prefix) != 0)
+        return -1;
+    if (filename.compare(filename.size() - suffix.size(), suffix.size(),
+                         suffix) != 0)
+        return -1;
+    const std::string digits = filename.substr(
+        prefix.size(), filename.size() - prefix.size() - suffix.size());
+    for (char c : digits)
+        if (c < '0' || c > '9')
+            return -1;
+    try {
+        return std::stoi(digits);
+    } catch (const std::exception &) {
+        return -1;
+    }
+}
+
+} // namespace
+
+CheckpointManager::CheckpointManager(std::string dir, int retain)
+    : dir_(std::move(dir)), retain_(retain)
+{
+    if (dir_.empty())
+        throw CheckpointError("checkpoint: empty directory name");
+    if (retain_ < 1)
+        throw CheckpointError("checkpoint: retain must be >= 1");
+    fs::create_directories(dir_);
+}
+
+std::string
+CheckpointManager::write(int epoch, const std::string &payload)
+{
+    char name[32];
+    std::snprintf(name, sizeof(name), "%s%06d%s", kPrefix, epoch, kSuffix);
+    const std::string path = (fs::path(dir_) / name).string();
+    writeCheckpointFile(path, payload);
+
+    // Retain-last-K rotation by epoch number.
+    auto existing = entries();
+    while (existing.size() > static_cast<std::size_t>(retain_)) {
+        std::error_code ec;
+        fs::remove(existing.front().path, ec);
+        existing.erase(existing.begin());
+    }
+    return path;
+}
+
+std::vector<CheckpointEntry>
+CheckpointManager::entries() const
+{
+    std::vector<CheckpointEntry> out;
+    std::error_code ec;
+    for (const auto &de : fs::directory_iterator(dir_, ec)) {
+        if (!de.is_regular_file())
+            continue;
+        const int epoch = parseEpoch(de.path().filename().string());
+        if (epoch >= 0)
+            out.push_back(CheckpointEntry{de.path().string(), epoch});
+    }
+    std::sort(out.begin(), out.end(),
+              [](const CheckpointEntry &a, const CheckpointEntry &b) {
+                  return a.epoch < b.epoch;
+              });
+    return out;
+}
+
+LoadedCheckpoint
+CheckpointManager::loadLatestValid(std::vector<std::string> *errors) const
+{
+    auto all = entries();
+    for (auto it = all.rbegin(); it != all.rend(); ++it) {
+        try {
+            LoadedCheckpoint loaded;
+            loaded.payload = readCheckpointFile(it->path);
+            loaded.valid = true;
+            loaded.epoch = it->epoch;
+            loaded.path = it->path;
+            return loaded;
+        } catch (const CheckpointError &e) {
+            if (errors != nullptr)
+                errors->push_back(e.what());
+        }
+    }
+    return LoadedCheckpoint{};
+}
+
+} // namespace aib::core::ckpt

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Full-session training checkpoints (docs/CHECKPOINT.md).
+ *
+ * Two layers:
+ *
+ * 1. A typed, tagged state stream (@c StateWriter / @c StateReader)
+ *    that tasks and the runner use to serialize *complete* training
+ *    state: scalars, RNG streams, data-generator cursors, module
+ *    parameters+buffers (via nn/serialize), optimizer moments and LR
+ *    schedule positions. Every value is preceded by a one-byte type
+ *    tag, so a reader that drifts out of sync with the writer fails
+ *    loudly with the mismatching tag and byte offset instead of
+ *    reinterpreting bytes.
+ *
+ * 2. A CRC-checked file container + @c CheckpointManager handling
+ *    atomic writes (temp file + rename), retain-last-K rotation and
+ *    newest-to-oldest fallback across corrupted files.
+ *
+ * File container layout (little-endian):
+ *   magic "AIBSESS1"
+ *   u32 format version (currently 1)
+ *   u64 payload size in bytes
+ *   u32 CRC-32 of the payload (polynomial 0xEDB88320)
+ *   payload bytes (a StateWriter stream)
+ */
+
+#ifndef AIB_CORE_CHECKPOINT_H
+#define AIB_CORE_CHECKPOINT_H
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "tensor/random.h"
+
+namespace aib::nn {
+class Module;
+class Optimizer;
+class LrScheduler;
+} // namespace aib::nn
+
+namespace aib::core::ckpt {
+
+/** Any checkpoint format, integrity or availability failure. */
+class CheckpointError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** Type tag preceding every value in a state stream. */
+enum class Tag : std::uint8_t {
+    U32 = 1,
+    I64 = 2,
+    U64 = 3,
+    F32 = 4,
+    F64 = 5,
+    Str = 6,
+    F64Vec = 7,
+    RngState = 8,
+    Generator = 9,
+    Module = 10,
+    Optimizer = 11,
+    Scheduler = 12,
+};
+
+/** CRC-32 (polynomial 0xEDB88320) of @p size bytes at @p data. */
+std::uint32_t crc32(const void *data, std::size_t size);
+
+/** Typed serializer producing a checkpoint payload. */
+class StateWriter
+{
+  public:
+    void u32(std::uint32_t v);
+    void i64(std::int64_t v);
+    void u64(std::uint64_t v);
+    void f32(float v);
+    void f64(double v);
+    void str(const std::string &s);
+    void f64vec(const std::vector<double> &v);
+
+    /** Capture a generator's engine state. */
+    void rng(const Rng &r);
+
+    /** Capture any object exposing state() (data generators). */
+    template <typename G>
+    void
+    generator(const G &g)
+    {
+        tagged(Tag::Generator, g.state());
+    }
+
+    /** Capture a module's parameters + buffers (nn/serialize). */
+    void module(const nn::Module &m);
+
+    /** Capture an optimizer's moments / step counters. */
+    void optimizer(const nn::Optimizer &o);
+
+    /** Capture an LR schedule's position. */
+    void scheduler(const nn::LrScheduler &s);
+
+    /** The serialized payload. */
+    std::string payload() const { return out_.str(); }
+
+  private:
+    void tag(Tag t);
+    void tagged(Tag t, const std::string &blob);
+
+    std::ostringstream out_;
+};
+
+/** Typed deserializer over a checkpoint payload. */
+class StateReader
+{
+  public:
+    explicit StateReader(std::string payload);
+
+    std::uint32_t u32();
+    std::int64_t i64();
+    std::uint64_t u64();
+    float f32();
+    double f64();
+    std::string str();
+    std::vector<double> f64vec();
+
+    /** Restore a generator's engine state. */
+    void rng(Rng &r);
+
+    /** Restore any object exposing setState() (data generators). */
+    template <typename G>
+    void
+    generator(G &g)
+    {
+        g.setState(tagged(Tag::Generator));
+    }
+
+    /** Restore a module's parameters + buffers (nn/serialize). */
+    void module(nn::Module &m);
+
+    /** Restore an optimizer's moments / step counters. */
+    void optimizer(nn::Optimizer &o);
+
+    /** Restore an LR schedule's position. */
+    void scheduler(nn::LrScheduler &s);
+
+    /**
+     * Assert the whole payload has been consumed — catches writer /
+     * reader drift that happens to stay tag-aligned.
+     * @throws CheckpointError when bytes remain.
+     */
+    void expectEnd();
+
+  private:
+    /** Consume and validate the next tag. */
+    void expect(Tag t);
+    std::string tagged(Tag t);
+
+    std::string payload_;
+    std::istringstream in_;
+};
+
+/**
+ * Atomically write a checkpoint file: the container is composed in
+ * memory, written to "<path>.tmp" and renamed over @p path, so a
+ * crash mid-write never leaves a half-written file under the final
+ * name. Consults the checkpoint.truncate / checkpoint.corrupt /
+ * checkpoint.abort fault points (core/faultinject.h).
+ */
+void writeCheckpointFile(const std::string &path,
+                         const std::string &payload);
+
+/**
+ * Read and verify a checkpoint file.
+ * @throws CheckpointError on missing file, bad magic/version,
+ *         truncation or CRC mismatch.
+ */
+std::string readCheckpointFile(const std::string &path);
+
+/** One retained checkpoint file. */
+struct CheckpointEntry {
+    std::string path;
+    int epoch = -1;
+};
+
+/** A checkpoint loaded (or not) by @c CheckpointManager. */
+struct LoadedCheckpoint {
+    bool valid = false;
+    int epoch = -1;
+    std::string path;
+    std::string payload;
+};
+
+/**
+ * Rotating checkpoint directory: files are named "ckpt-NNNNNN.aibck"
+ * (NNNNNN = epoch), the newest @c retain are kept, and loading falls
+ * back newest-to-oldest across files that fail CRC or format checks.
+ */
+class CheckpointManager
+{
+  public:
+    explicit CheckpointManager(std::string dir, int retain = 3);
+
+    /** Atomically write epoch @p epoch and rotate; returns the path. */
+    std::string write(int epoch, const std::string &payload);
+
+    /** Retained checkpoints, sorted by ascending epoch. */
+    std::vector<CheckpointEntry> entries() const;
+
+    /**
+     * Newest checkpoint that passes integrity checks; invalid files
+     * are skipped (their failure messages appended to @p errors) and
+     * the result has valid=false when none load — including the
+     * empty/missing-directory cold-start case.
+     */
+    LoadedCheckpoint
+    loadLatestValid(std::vector<std::string> *errors = nullptr) const;
+
+    const std::string &dir() const { return dir_; }
+    int retain() const { return retain_; }
+
+  private:
+    std::string dir_;
+    int retain_;
+};
+
+} // namespace aib::core::ckpt
+
+#endif // AIB_CORE_CHECKPOINT_H

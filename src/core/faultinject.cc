@@ -1,0 +1,170 @@
+#include "core/faultinject.h"
+
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+namespace aib::core::fault {
+
+namespace detail {
+std::atomic<int> armedCount{0};
+} // namespace detail
+
+namespace {
+
+struct Point {
+    bool armed = false;
+    long fireAt = 1;
+    long param = 0;
+    long hits = 0;
+};
+
+std::mutex g_mutex;
+std::map<std::string, Point> &
+points()
+{
+    static std::map<std::string, Point> p;
+    return p;
+}
+
+} // namespace
+
+void
+arm(const std::string &point, long fire_at, long param)
+{
+    if (fire_at < 1)
+        throw std::invalid_argument("fault::arm: fire_at must be >= 1 for '" +
+                                    point + "'");
+    std::lock_guard<std::mutex> lock(g_mutex);
+    Point &p = points()[point];
+    if (!p.armed)
+        detail::armedCount.fetch_add(1, std::memory_order_relaxed);
+    p.armed = true;
+    p.fireAt = fire_at;
+    p.param = param;
+    p.hits = 0;
+}
+
+void
+disarm(const std::string &point)
+{
+    std::lock_guard<std::mutex> lock(g_mutex);
+    auto it = points().find(point);
+    if (it != points().end() && it->second.armed) {
+        it->second.armed = false;
+        detail::armedCount.fetch_sub(1, std::memory_order_relaxed);
+    }
+}
+
+void
+resetAll()
+{
+    std::lock_guard<std::mutex> lock(g_mutex);
+    for (auto &[name, p] : points())
+        if (p.armed)
+            detail::armedCount.fetch_sub(1, std::memory_order_relaxed);
+    points().clear();
+}
+
+bool
+fires(const std::string &point)
+{
+    if (!anyArmed())
+        return false;
+    std::lock_guard<std::mutex> lock(g_mutex);
+    auto it = points().find(point);
+    if (it == points().end() || !it->second.armed)
+        return false;
+    Point &p = it->second;
+    ++p.hits;
+    if (p.hits < p.fireAt)
+        return false;
+    // One-shot: disarm so a resumed session does not re-trip.
+    p.armed = false;
+    detail::armedCount.fetch_sub(1, std::memory_order_relaxed);
+    return true;
+}
+
+void
+maybeThrow(const std::string &point)
+{
+    if (fires(point))
+        throw FaultInjected(point);
+}
+
+long
+param(const std::string &point, long fallback)
+{
+    std::lock_guard<std::mutex> lock(g_mutex);
+    auto it = points().find(point);
+    if (it == points().end() || !it->second.armed)
+        return fallback;
+    return it->second.param;
+}
+
+long
+hits(const std::string &point)
+{
+    std::lock_guard<std::mutex> lock(g_mutex);
+    auto it = points().find(point);
+    return it == points().end() ? 0 : it->second.hits;
+}
+
+void
+armSpec(const std::string &spec)
+{
+    // "point@N" or "point@N:param"
+    auto at = spec.find('@');
+    if (at == std::string::npos || at == 0)
+        throw std::invalid_argument("fault::armSpec: expected 'point@N[:param]', got '" +
+                                    spec + "'");
+    const std::string point = spec.substr(0, at);
+    std::string rest = spec.substr(at + 1);
+    long fireAt = 0;
+    long prm = 0;
+    try {
+        std::size_t consumed = 0;
+        fireAt = std::stol(rest, &consumed);
+        if (consumed < rest.size()) {
+            if (rest[consumed] != ':')
+                throw std::invalid_argument("trailing garbage");
+            std::string tail = rest.substr(consumed + 1);
+            std::size_t tailConsumed = 0;
+            prm = std::stol(tail, &tailConsumed);
+            if (tailConsumed != tail.size())
+                throw std::invalid_argument("trailing garbage");
+        }
+    } catch (const std::exception &) {
+        throw std::invalid_argument("fault::armSpec: bad count/param in '" +
+                                    spec + "'");
+    }
+    if (fireAt < 1)
+        throw std::invalid_argument("fault::armSpec: count must be >= 1 in '" +
+                                    spec + "'");
+    arm(point, fireAt, prm);
+}
+
+int
+armFromEnv()
+{
+    const char *env = std::getenv("AIBENCH_FAULTS");
+    if (env == nullptr || *env == '\0')
+        return 0;
+    int count = 0;
+    std::string specs(env);
+    std::size_t start = 0;
+    while (start <= specs.size()) {
+        std::size_t end = specs.find(';', start);
+        if (end == std::string::npos)
+            end = specs.size();
+        std::string spec = specs.substr(start, end - start);
+        if (!spec.empty()) {
+            armSpec(spec);
+            ++count;
+        }
+        start = end + 1;
+    }
+    return count;
+}
+
+} // namespace aib::core::fault

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Scriptable fault injection for the fault-tolerance tests
+ * (docs/CHECKPOINT.md): named fault points scattered through the
+ * training stack (epoch loop, optimizer steps, tensor allocation,
+ * checkpoint writes) consult a process-global registry, so tests and
+ * the CLI can deterministically kill, wound and resurrect a training
+ * session.
+ *
+ * A point is armed with a 1-based trigger count and an optional
+ * integer parameter; the Nth pass through the point fires it, and a
+ * fired point disarms itself so a resumed session does not trip over
+ * the same trap again. Points can be armed programmatically or from
+ * the AIBENCH_FAULTS environment variable
+ * ("point@N" or "point@N:param", ';'-separated).
+ *
+ * Fault-point catalog (where each is consulted):
+ *   runner.epoch        - start of each training epoch (throws)
+ *   optim.step          - every optimizer step (throws; mid-epoch kill)
+ *   tensor.alloc        - every tensor allocation (throws bad_alloc)
+ *   checkpoint.truncate - checkpoint writer: keep only `param` bytes
+ *   checkpoint.corrupt  - checkpoint writer: flip byte at `param`
+ *   checkpoint.abort    - checkpoint writer: die between temp write
+ *                         and the atomic rename
+ */
+
+#ifndef AIB_CORE_FAULTINJECT_H
+#define AIB_CORE_FAULTINJECT_H
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+
+namespace aib::core::fault {
+
+/** Thrown by a firing fault point armed with a throwing action. */
+class FaultInjected : public std::runtime_error
+{
+  public:
+    explicit FaultInjected(const std::string &point)
+        : std::runtime_error("fault injected at '" + point + "'"),
+          point_(point)
+    {}
+
+    const std::string &point() const { return point_; }
+
+  private:
+    std::string point_;
+};
+
+/**
+ * Arm @p point to fire on its @p fire_at -th pass (1-based).
+ * @p param is a point-specific integer (byte offset, byte count...).
+ * Re-arming an armed point resets its pass counter.
+ */
+void arm(const std::string &point, long fire_at = 1, long param = 0);
+
+/** Disarm @p point (no-op when not armed). */
+void disarm(const std::string &point);
+
+/** Disarm every point and forget all counters. */
+void resetAll();
+
+/**
+ * Count one pass through @p point. Returns true exactly when the
+ * armed trigger count is reached; the point then disarms itself
+ * (one-shot), so resumed sessions run clean. Unarmed points cost one
+ * relaxed atomic load.
+ */
+bool fires(const std::string &point);
+
+/** @c fires(), then throw @c FaultInjected when the point fired. */
+void maybeThrow(const std::string &point);
+
+/** The armed parameter of @p point, or @p fallback when not armed. */
+long param(const std::string &point, long fallback = 0);
+
+/** Passes counted so far for @p point (0 when never armed). */
+long hits(const std::string &point);
+
+/**
+ * Arm a single "point@N" / "point@N:param" spec.
+ * @throws std::invalid_argument on a malformed spec.
+ */
+void armSpec(const std::string &spec);
+
+/**
+ * Arm every ';'-separated spec in $AIBENCH_FAULTS. Returns the
+ * number of points armed (0 when the variable is unset or empty).
+ */
+int armFromEnv();
+
+namespace detail {
+extern std::atomic<int> armedCount;
+} // namespace detail
+
+/** Fast inline guard: true when at least one point is armed. */
+inline bool
+anyArmed()
+{
+    return detail::armedCount.load(std::memory_order_relaxed) > 0;
+}
+
+/** Inline wrapper keeping the hot path to one atomic load. */
+inline void
+checkPoint(const char *point)
+{
+    if (anyArmed())
+        maybeThrow(point);
+}
+
+} // namespace aib::core::fault
+
+#endif // AIB_CORE_FAULTINJECT_H

@@ -2,6 +2,11 @@
 
 #include <chrono>
 #include <cmath>
+#include <memory>
+#include <sstream>
+
+#include "core/checkpoint.h"
+#include "core/faultinject.h"
 
 namespace aib::core {
 
@@ -15,6 +20,66 @@ secondsSince(Clock::time_point start)
     return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
+/**
+ * Serialize the complete session state after @p completed_epochs:
+ * identity (benchmark id + seed, validated on resume), the session
+ * counters TrainResult is rebuilt from, the global RNG stream and
+ * the task's own evolving state.
+ */
+std::string
+sessionPayload(const ComponentBenchmark &benchmark, std::uint64_t seed,
+               int completed_epochs, int epochs_after_target,
+               const TrainResult &result, const TrainableTask &task)
+{
+    ckpt::StateWriter out;
+    out.str(benchmark.info.id);
+    out.u64(seed);
+    out.i64(completed_epochs);
+    out.i64(result.epochsToTarget);
+    out.i64(epochs_after_target);
+    out.f64(result.trainSeconds);
+    out.f64vec(result.qualityByEpoch);
+    out.rng(globalRng());
+    task.saveState(out);
+    return out.payload();
+}
+
+/**
+ * Restore session state from @p loaded into the out-parameters.
+ * @throws ckpt::CheckpointError when the checkpoint belongs to a
+ *         different benchmark or seed.
+ */
+void
+restoreSession(const ckpt::LoadedCheckpoint &loaded,
+               const ComponentBenchmark &benchmark, std::uint64_t seed,
+               int *completed_epochs, int *epochs_after_target,
+               TrainResult *result, TrainableTask *task)
+{
+    ckpt::StateReader in(loaded.payload);
+    const std::string id = in.str();
+    if (id != benchmark.info.id) {
+        throw ckpt::CheckpointError(
+            "resume: checkpoint " + loaded.path + " is for benchmark '" +
+            id + "', not '" + benchmark.info.id + "'");
+    }
+    const std::uint64_t saved_seed = in.u64();
+    if (saved_seed != seed) {
+        throw ckpt::CheckpointError(
+            "resume: checkpoint " + loaded.path + " was trained with seed " +
+            std::to_string(saved_seed) + ", not " + std::to_string(seed));
+    }
+    *completed_epochs = static_cast<int>(in.i64());
+    result->epochsToTarget = static_cast<int>(in.i64());
+    *epochs_after_target = static_cast<int>(in.i64());
+    result->trainSeconds = in.f64();
+    result->qualityByEpoch = in.f64vec();
+    if (!result->qualityByEpoch.empty())
+        result->finalQuality = result->qualityByEpoch.back();
+    in.rng(globalRng());
+    task->loadState(in);
+    in.expectEnd();
+}
+
 } // namespace
 
 TrainResult
@@ -25,19 +90,61 @@ trainToQuality(const ComponentBenchmark &benchmark, std::uint64_t seed,
     auto task = benchmark.makeTask(seed);
     TrainResult result;
     int epochs_after_target = 0;
-    for (int epoch = 1; epoch <= options.maxEpochs; ++epoch) {
+    int start_epoch = 1;
+
+    std::unique_ptr<ckpt::CheckpointManager> manager;
+    if (!options.checkpointDir.empty()) {
+        manager = std::make_unique<ckpt::CheckpointManager>(
+            options.checkpointDir, options.checkpointRetain);
+    }
+    if (manager && options.resume) {
+        std::vector<std::string> errors;
+        ckpt::LoadedCheckpoint loaded = manager->loadLatestValid(&errors);
+        if (loaded.valid) {
+            int completed = 0;
+            restoreSession(loaded, benchmark, seed, &completed,
+                           &epochs_after_target, &result, task.get());
+            start_epoch = completed + 1;
+            // A checkpoint of a session that already ran out of
+            // patience is final: resuming must not train extra epochs.
+            if (result.epochsToTarget >= 0 &&
+                epochs_after_target > options.patienceAfterTarget)
+                start_epoch = options.maxEpochs + 1;
+        } else if (!manager->entries().empty()) {
+            std::string detail;
+            for (const std::string &e : errors)
+                detail += "\n  " + e;
+            throw ckpt::CheckpointError(
+                "resume: no valid checkpoint in " + options.checkpointDir +
+                detail);
+        }
+        // Empty directory: cold start.
+    }
+
+    for (int epoch = start_epoch; epoch <= options.maxEpochs; ++epoch) {
+        fault::checkPoint("runner.epoch");
         const auto start = Clock::now();
         task->runEpoch();
         result.trainSeconds += secondsSince(start);
         const double quality = task->evaluate();
         result.qualityByEpoch.push_back(quality);
         result.finalQuality = quality;
+        bool done = false;
         if (benchmark.info.metTarget(quality)) {
             if (result.epochsToTarget < 0)
                 result.epochsToTarget = epoch;
-            if (++epochs_after_target > options.patienceAfterTarget)
-                break;
+            done = ++epochs_after_target > options.patienceAfterTarget;
         }
+        if (manager &&
+            (done || epoch == options.maxEpochs ||
+             (epoch - start_epoch + 1) % options.checkpointEveryEpochs ==
+                 0)) {
+            manager->write(
+                epoch, sessionPayload(benchmark, seed, epoch,
+                                      epochs_after_target, result, *task));
+        }
+        if (done)
+            break;
     }
     if (!result.qualityByEpoch.empty()) {
         result.secondsPerEpoch =

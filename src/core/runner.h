@@ -11,6 +11,7 @@
 #define AIB_CORE_RUNNER_H
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/benchmark.h"
@@ -39,6 +40,26 @@ struct RunOptions {
     int maxEpochs = 40;
     /** Keep training after the target for this many extra epochs. */
     int patienceAfterTarget = 0;
+
+    /**
+     * When non-empty, snapshot the full training state (session
+     * counters, global RNG, task state) into this directory after
+     * every @c checkpointEveryEpochs-th epoch and at session end
+     * (docs/CHECKPOINT.md). Retains the newest @c checkpointRetain
+     * files.
+     */
+    std::string checkpointDir;
+    int checkpointEveryEpochs = 1;
+    int checkpointRetain = 3;
+
+    /**
+     * Resume from the newest valid checkpoint in @c checkpointDir.
+     * An empty directory is a cold start; a directory whose files
+     * are all corrupt throws @c ckpt::CheckpointError. The resumed
+     * session reproduces the uninterrupted run's TrainResult bitwise
+     * (except trainSeconds, which is wall clock).
+     */
+    bool resume = false;
 };
 
 /**

@@ -50,6 +50,11 @@ class UtteranceGenerator
      */
     static std::vector<int> collapse(const std::vector<int> &frames);
 
+    /** Evolving state (RNG stream) for checkpointing; the spectral
+     *  templates are seed-derived and rebuilt by the ctor. */
+    std::string state() const { return rng_.state(); }
+    void setState(const std::string &s) { rng_.setState(s); }
+
   private:
     int classes_;
     int featureDim_;

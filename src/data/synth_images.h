@@ -67,6 +67,10 @@ class ShapeImageGenerator
     /** Render a clean (noise-free, centered) exemplar of a class. */
     Tensor exemplar(int label);
 
+    /** Evolving state (RNG stream) for checkpointing. */
+    std::string state() const { return rng_.state(); }
+    void setState(const std::string &s) { rng_.setState(s); }
+
   private:
     void renderShape(float *img, int label, float cx, float cy,
                      float scale, float brightness, int color) const;
@@ -104,6 +108,11 @@ class IdentityImageGenerator
 
     int identities() const { return identities_; }
 
+    /** Evolving state (RNG stream) for checkpointing; identity
+     *  prototypes are seed-derived and rebuilt by the ctor. */
+    std::string state() const { return rng_.state(); }
+    void setState(const std::string &s) { rng_.setState(s); }
+
   private:
     int identities_;
     int channels_;
@@ -134,6 +143,10 @@ class DetectionSceneGenerator
     int classes() const { return classes_; }
     int size() const { return size_; }
 
+    /** Evolving state (RNG stream) for checkpointing. */
+    std::string state() const { return rng_.state(); }
+    void setState(const std::string &s) { rng_.setState(s); }
+
   private:
     int classes_;
     int size_;
@@ -163,6 +176,10 @@ class PairedDomainGenerator
 
     int classes() const { return classes_; }
 
+    /** Evolving state (RNG stream) for checkpointing. */
+    std::string state() const { return rng_.state(); }
+    void setState(const std::string &s) { rng_.setState(s); }
+
   private:
     int classes_;
     int size_;
@@ -185,6 +202,10 @@ class TranslatedGlyphGenerator
     ImageBatch batch(int n);
 
     int classes() const { return classes_; }
+
+    /** Evolving state (RNG stream) for checkpointing. */
+    std::string state() const { return rng_.state(); }
+    void setState(const std::string &s) { rng_.setState(s); }
 
   private:
     int classes_;

@@ -67,6 +67,11 @@ class InteractionGenerator
     int users() const { return users_; }
     int items() const { return items_; }
 
+    /** Evolving state (RNG stream) for checkpointing; factors and
+     *  interaction sets are seed-derived and rebuilt by the ctor. */
+    std::string state() const { return rng_.state(); }
+    void setState(const std::string &s) { rng_.setState(s); }
+
   private:
     int users_;
     int items_;

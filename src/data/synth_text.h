@@ -40,6 +40,11 @@ class TranslationPairGenerator
 
     int vocab() const { return vocab_; }
 
+    /** Evolving state (RNG stream) for checkpointing; the hidden
+     *  mapping is seed-derived and reconstructed by the ctor. */
+    std::string state() const { return rng_.state(); }
+    void setState(const std::string &s) { rng_.setState(s); }
+
   private:
     int vocab_;
     int minLen_, maxLen_;
@@ -63,6 +68,10 @@ class SummarizationGenerator
     int vocab() const { return vocab_; }
     int docLen() const { return docLen_; }
     int summaryLen() const { return summaryLen_; }
+
+    /** Evolving state (RNG stream) for checkpointing. */
+    std::string state() const { return rng_.state(); }
+    void setState(const std::string &s) { rng_.setState(s); }
 
   private:
     int vocab_;
@@ -88,6 +97,25 @@ class MarkovTextGenerator
 
     /** Entropy-rate perplexity of the underlying chain. */
     double idealPerplexity() const;
+
+    /** Evolving state (stream cursor + RNG) for checkpointing; the
+     *  transition matrix is seed-derived and rebuilt by the ctor. */
+    std::string
+    state() const
+    {
+        return std::to_string(state_) + "\n" + rng_.state();
+    }
+
+    void
+    setState(const std::string &s)
+    {
+        const auto nl = s.find('\n');
+        if (nl == std::string::npos)
+            throw std::runtime_error(
+                "MarkovTextGenerator::setState: malformed state");
+        state_ = std::stoi(s.substr(0, nl));
+        rng_.setState(s.substr(nl + 1));
+    }
 
   private:
     int vocab_;

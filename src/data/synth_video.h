@@ -35,6 +35,10 @@ class MovingSpriteGenerator
     int size() const { return size_; }
     int frames() const { return frames_; }
 
+    /** Evolving state (RNG stream) for checkpointing. */
+    std::string state() const { return rng_.state(); }
+    void setState(const std::string &s) { rng_.setState(s); }
+
   private:
     int size_;
     int frames_;

@@ -37,6 +37,10 @@ class VoxelShapeGenerator
     int resolution() const { return resolution_; }
     int families() const { return families_; }
 
+    /** Evolving state (RNG stream) for checkpointing. */
+    std::string state() const { return rng_.state(); }
+    void setState(const std::string &s) { rng_.setState(s); }
+
   private:
     int resolution_;
     int families_;

@@ -16,6 +16,7 @@
 #include <cmath>
 #include <memory>
 
+#include "core/checkpoint.h"
 #include "data/synth_images.h"
 #include "metrics/detection.h"
 #include "models/resnet.h"
@@ -164,6 +165,26 @@ class ObjectDetectionTask : public TrainableTask
         data::DetectionScene s = gen_.sample();
         (void)net_.forward(ops::reshape(
             s.image, {1, 3, config_.imageSize, config_.imageSize}));
+    }
+
+    void
+    saveState(core::ckpt::StateWriter &out) const override
+    {
+        // evalScenes_ is drawn in the constructor before any
+        // training, so it replays deterministically from the seed.
+        out.rng(rng_);
+        out.generator(gen_);
+        out.module(net_);
+        out.optimizer(opt_);
+    }
+
+    void
+    loadState(core::ckpt::StateReader &in) override
+    {
+        in.rng(rng_);
+        in.generator(gen_);
+        in.module(net_);
+        in.optimizer(opt_);
     }
 
   private:

@@ -11,6 +11,7 @@
 #include <memory>
 #include <unordered_set>
 
+#include "core/checkpoint.h"
 #include "data/synth_images.h"
 #include "data/synth_ratings.h"
 #include "metrics/ranking.h"
@@ -133,6 +134,26 @@ class FaceEmbeddingTask : public TrainableTask
         detail::EvalGuard guard(net_);
         NoGradGuard no_grad;
         (void)net_.forward(asBatch(gen_.sampleOf(0)));
+    }
+
+    void
+    saveState(core::ckpt::StateWriter &out) const override
+    {
+        // The verification pairs are drawn in the constructor
+        // before training, so they replay from the seed.
+        out.rng(rng_);
+        out.generator(gen_);
+        out.module(net_);
+        out.optimizer(opt_);
+    }
+
+    void
+    loadState(core::ckpt::StateReader &in) override
+    {
+        in.rng(rng_);
+        in.generator(gen_);
+        in.module(net_);
+        in.optimizer(opt_);
     }
 
   private:
@@ -268,6 +289,26 @@ class RecommendationTask : public TrainableTask
         (void)net_.forward({0}, {0});
     }
 
+    void
+    saveState(core::ckpt::StateWriter &out) const override
+    {
+        // evalNegatives_ is pre-sampled in the constructor before
+        // training, so it replays from the seed.
+        out.rng(rng_);
+        out.generator(gen_);
+        out.module(net_);
+        out.optimizer(opt_);
+    }
+
+    void
+    loadState(core::ckpt::StateReader &in) override
+    {
+        in.rng(rng_);
+        in.generator(gen_);
+        in.module(net_);
+        in.optimizer(opt_);
+    }
+
   private:
     Rng rng_;
     data::InteractionGenerator gen_;
@@ -399,6 +440,27 @@ class LearningToRankTask : public TrainableTask
         detail::EvalGuard guard(student_);
         NoGradGuard no_grad;
         (void)student_.forward({0}, {0});
+    }
+
+    void
+    saveState(core::ckpt::StateWriter &out) const override
+    {
+        // The teacher is trained to completion in the constructor
+        // from the fixed seed and never updates afterwards, so only
+        // the student side and the RNG stream carry evolving state.
+        out.rng(rng_);
+        out.generator(gen_);
+        out.module(student_);
+        out.optimizer(studentOpt_);
+    }
+
+    void
+    loadState(core::ckpt::StateReader &in) override
+    {
+        in.rng(rng_);
+        in.generator(gen_);
+        in.module(student_);
+        in.optimizer(studentOpt_);
     }
 
   private:

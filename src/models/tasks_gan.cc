@@ -16,6 +16,7 @@
 
 #include <memory>
 
+#include "core/checkpoint.h"
 #include "data/synth_images.h"
 #include "metrics/image.h"
 #include "metrics/ranking.h"
@@ -129,6 +130,26 @@ class WganTask : public TrainableTask
     {
         NoGradGuard no_grad;
         (void)generate(1);
+    }
+
+    void
+    saveState(core::ckpt::StateWriter &out) const override
+    {
+        out.rng(rng_);
+        out.module(generator_);
+        out.module(critic_);
+        out.optimizer(genOpt_);
+        out.optimizer(criticOpt_);
+    }
+
+    void
+    loadState(core::ckpt::StateReader &in) override
+    {
+        in.rng(rng_);
+        in.module(generator_);
+        in.module(critic_);
+        in.optimizer(genOpt_);
+        in.optimizer(criticOpt_);
     }
 
   private:
@@ -294,6 +315,32 @@ class CycleGanTask : public TrainableTask
         NoGradGuard no_grad;
         data::PairedScene s = gen_.sample();
         (void)gAB_.forward(ops::reshape(s.domainA, {1, 3, 16, 16}));
+    }
+
+    void
+    saveState(core::ckpt::StateWriter &out) const override
+    {
+        out.rng(rng_);
+        out.generator(gen_);
+        out.module(gAB_);
+        out.module(gBA_);
+        out.module(dA_);
+        out.module(dB_);
+        out.optimizer(genOpt_);
+        out.optimizer(discOpt_);
+    }
+
+    void
+    loadState(core::ckpt::StateReader &in) override
+    {
+        in.rng(rng_);
+        in.generator(gen_);
+        in.module(gAB_);
+        in.module(gBA_);
+        in.module(dA_);
+        in.module(dB_);
+        in.optimizer(genOpt_);
+        in.optimizer(discOpt_);
     }
 
   private:

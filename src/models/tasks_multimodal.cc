@@ -8,6 +8,7 @@
 
 #include <memory>
 
+#include "core/checkpoint.h"
 #include "data/synth_audio.h"
 #include "data/synth_images.h"
 #include "data/synth_text.h"
@@ -136,6 +137,25 @@ class ImageToTextTask : public TrainableTask
         NoGradGuard no_grad;
         data::ImageBatch b = gen_.batch(1);
         (void)logitsFor(b);
+    }
+
+    void
+    saveState(core::ckpt::StateWriter &out) const override
+    {
+        // captions_ is stateless (pure function of the label).
+        out.rng(rng_);
+        out.generator(gen_);
+        out.module(net_);
+        out.optimizer(opt_);
+    }
+
+    void
+    loadState(core::ckpt::StateReader &in) override
+    {
+        in.rng(rng_);
+        in.generator(gen_);
+        in.module(net_);
+        in.optimizer(opt_);
     }
 
   private:
@@ -294,6 +314,24 @@ class SpeechRecognitionTask : public TrainableTask
         NoGradGuard no_grad;
         data::Utterance utt = gen_.sample();
         (void)net_.forward(utt.frames);
+    }
+
+    void
+    saveState(core::ckpt::StateWriter &out) const override
+    {
+        out.rng(rng_);
+        out.generator(gen_);
+        out.module(net_);
+        out.optimizer(opt_);
+    }
+
+    void
+    loadState(core::ckpt::StateReader &in) override
+    {
+        in.rng(rng_);
+        in.generator(gen_);
+        in.module(net_);
+        in.optimizer(opt_);
     }
 
   private:

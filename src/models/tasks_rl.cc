@@ -13,6 +13,7 @@
 
 #include <memory>
 
+#include "core/checkpoint.h"
 #include "models/task_common.h"
 #include "models/tasks.h"
 #include "nn/layers.h"
@@ -98,6 +99,24 @@ class ReinforcementLearningTask : public TrainableTask
         detail::EvalGuard guard(net_);
         NoGradGuard no_grad;
         (void)net_.forward(0);
+    }
+
+    void
+    saveState(core::ckpt::StateWriter &out) const override
+    {
+        out.rng(rng_);
+        out.module(net_);
+        out.optimizer(opt_);
+        out.f64(baseline_);
+    }
+
+    void
+    loadState(core::ckpt::StateReader &in) override
+    {
+        in.rng(rng_);
+        in.module(net_);
+        in.optimizer(opt_);
+        baseline_ = in.f64();
     }
 
   private:

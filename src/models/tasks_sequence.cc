@@ -10,6 +10,7 @@
 #include <cmath>
 #include <memory>
 
+#include "core/checkpoint.h"
 #include "data/synth_text.h"
 #include "metrics/classification.h"
 #include "metrics/text.h"
@@ -200,6 +201,24 @@ class TransformerTranslationTask : public TranslationTaskBase
         (void)net_.forward(samplePairs(gen_, 1));
     }
 
+    void
+    saveState(core::ckpt::StateWriter &out) const override
+    {
+        out.rng(rng_);
+        out.generator(gen_);
+        out.module(net_);
+        out.optimizer(opt_);
+    }
+
+    void
+    loadState(core::ckpt::StateReader &in) override
+    {
+        in.rng(rng_);
+        in.generator(gen_);
+        in.module(net_);
+        in.optimizer(opt_);
+    }
+
   protected:
     Tensor
     logitsFor(const PairBatch &batch) override
@@ -307,6 +326,24 @@ class LstmTranslationTask : public TranslationTaskBase
         detail::EvalGuard guard(net_);
         NoGradGuard no_grad;
         (void)net_.forward(samplePairs(gen_, 1));
+    }
+
+    void
+    saveState(core::ckpt::StateWriter &out) const override
+    {
+        out.rng(rng_);
+        out.generator(gen_);
+        out.module(net_);
+        out.optimizer(opt_);
+    }
+
+    void
+    loadState(core::ckpt::StateReader &in) override
+    {
+        in.rng(rng_);
+        in.generator(gen_);
+        in.module(net_);
+        in.optimizer(opt_);
     }
 
   protected:
@@ -467,6 +504,24 @@ class SummarizationTask : public TrainableTask
         NoGradGuard no_grad;
         data::SeqPair p = gen_.sample();
         (void)net_.forward({p.source}, nullptr);
+    }
+
+    void
+    saveState(core::ckpt::StateWriter &out) const override
+    {
+        out.rng(rng_);
+        out.generator(gen_);
+        out.module(net_);
+        out.optimizer(opt_);
+    }
+
+    void
+    loadState(core::ckpt::StateReader &in) override
+    {
+        in.rng(rng_);
+        in.generator(gen_);
+        in.module(net_);
+        in.optimizer(opt_);
     }
 
   private:
@@ -647,6 +702,30 @@ class NasTask : public TrainableTask
         NoGradGuard no_grad;
         auto tokens = gen_.sampleTokens(24);
         (void)child_.forward(tokens, 0, 1);
+    }
+
+    void
+    saveState(core::ckpt::StateWriter &out) const override
+    {
+        out.rng(rng_);
+        out.generator(gen_);
+        out.module(child_);
+        out.module(controller_);
+        out.optimizer(childOpt_);
+        out.optimizer(ctrlOpt_);
+        out.f64(baseline_);
+    }
+
+    void
+    loadState(core::ckpt::StateReader &in) override
+    {
+        in.rng(rng_);
+        in.generator(gen_);
+        in.module(child_);
+        in.module(controller_);
+        in.optimizer(childOpt_);
+        in.optimizer(ctrlOpt_);
+        baseline_ = in.f64();
     }
 
   private:

@@ -8,6 +8,7 @@
 
 #include <memory>
 
+#include "core/checkpoint.h"
 #include "data/synth_video.h"
 #include "data/synth_voxel.h"
 #include "metrics/image.h"
@@ -141,6 +142,26 @@ class VideoPredictionTask : public TrainableTask
             ops::reshape(clip.frames, {1, 6, 1, 16, 16}));
     }
 
+    void
+    saveState(core::ckpt::StateWriter &out) const override
+    {
+        // evalClips_ is drawn in the constructor before training,
+        // so it replays from the seed.
+        out.rng(rng_);
+        out.generator(gen_);
+        out.module(net_);
+        out.optimizer(opt_);
+    }
+
+    void
+    loadState(core::ckpt::StateReader &in) override
+    {
+        in.rng(rng_);
+        in.generator(gen_);
+        in.module(net_);
+        in.optimizer(opt_);
+    }
+
   private:
     Tensor
     batchClips(int n)
@@ -265,6 +286,26 @@ class Reconstruction3dTask : public TrainableTask
         NoGradGuard no_grad;
         data::VoxelSample s = gen_.sample();
         (void)net_.forward(ops::reshape(s.view, {1, 1, 12, 12}));
+    }
+
+    void
+    saveState(core::ckpt::StateWriter &out) const override
+    {
+        // evalSet_ is drawn in the constructor before training,
+        // so it replays from the seed.
+        out.rng(rng_);
+        out.generator(gen_);
+        out.module(net_);
+        out.optimizer(opt_);
+    }
+
+    void
+    loadState(core::ckpt::StateReader &in) override
+    {
+        in.rng(rng_);
+        in.generator(gen_);
+        in.module(net_);
+        in.optimizer(opt_);
     }
 
   private:

@@ -7,6 +7,7 @@
 
 #include <memory>
 
+#include "core/checkpoint.h"
 #include "data/synth_images.h"
 #include "metrics/classification.h"
 #include "metrics/image.h"
@@ -73,6 +74,24 @@ class ImageClassificationTask : public TrainableTask
         detail::EvalGuard guard(net_);
         NoGradGuard no_grad;
         (void)net_.forward(asBatch(gen_.exemplar(0)));
+    }
+
+    void
+    saveState(core::ckpt::StateWriter &out) const override
+    {
+        out.rng(rng_);
+        out.generator(gen_);
+        out.module(net_);
+        out.optimizer(opt_);
+    }
+
+    void
+    loadState(core::ckpt::StateReader &in) override
+    {
+        in.rng(rng_);
+        in.generator(gen_);
+        in.module(net_);
+        in.optimizer(opt_);
     }
 
   private:
@@ -145,6 +164,24 @@ class Face3dTask : public TrainableTask
         detail::EvalGuard guard(net_);
         NoGradGuard no_grad;
         (void)net_.forward(asBatch(gen_.sampleOf(0)));
+    }
+
+    void
+    saveState(core::ckpt::StateWriter &out) const override
+    {
+        out.rng(rng_);
+        out.generator(gen_);
+        out.module(net_);
+        out.optimizer(opt_);
+    }
+
+    void
+    loadState(core::ckpt::StateReader &in) override
+    {
+        in.rng(rng_);
+        in.generator(gen_);
+        in.module(net_);
+        in.optimizer(opt_);
     }
 
   private:
@@ -245,6 +282,24 @@ class SpatialTransformerTask : public TrainableTask
         NoGradGuard no_grad;
         data::ImageBatch b = gen_.batch(1);
         (void)net_.forward(b.images);
+    }
+
+    void
+    saveState(core::ckpt::StateWriter &out) const override
+    {
+        out.rng(rng_);
+        out.generator(gen_);
+        out.module(net_);
+        out.optimizer(opt_);
+    }
+
+    void
+    loadState(core::ckpt::StateReader &in) override
+    {
+        in.rng(rng_);
+        in.generator(gen_);
+        in.module(net_);
+        in.optimizer(opt_);
     }
 
   private:
@@ -350,6 +405,24 @@ class ImageCompressionTask : public TrainableTask
         detail::EvalGuard guard(net_);
         NoGradGuard no_grad;
         (void)net_.forward(asBatch(gen_.exemplar(0)));
+    }
+
+    void
+    saveState(core::ckpt::StateWriter &out) const override
+    {
+        out.rng(rng_);
+        out.generator(gen_);
+        out.module(net_);
+        out.optimizer(opt_);
+    }
+
+    void
+    loadState(core::ckpt::StateReader &in) override
+    {
+        in.rng(rng_);
+        in.generator(gen_);
+        in.module(net_);
+        in.optimizer(opt_);
     }
 
   private:

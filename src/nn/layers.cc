@@ -85,8 +85,8 @@ BatchNorm2d::BatchNorm2d(std::int64_t channels, float eps,
 {
     gamma = registerParameter("gamma", Tensor::ones({channels}));
     beta = registerParameter("beta", Tensor::zeros({channels}));
-    runningMean = Tensor::zeros({channels});
-    runningVar = Tensor::ones({channels});
+    runningMean = registerBuffer("running_mean", Tensor::zeros({channels}));
+    runningVar = registerBuffer("running_var", Tensor::ones({channels}));
 }
 
 Tensor

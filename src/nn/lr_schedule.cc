@@ -3,7 +3,29 @@
 #include <algorithm>
 #include <cmath>
 
+#include "nn/detail/stream_io.h"
+
 namespace aib::nn {
+
+void
+LrScheduler::saveState(std::ostream &out) const
+{
+    detail::writeString(out, "lr_schedule");
+    detail::writeI64(out, epoch_);
+}
+
+void
+LrScheduler::loadState(std::istream &in)
+{
+    const std::string kind = detail::readString(in, "scheduler kind");
+    if (kind != "lr_schedule")
+        throw std::runtime_error(
+            "scheduler state: kind mismatch: expected 'lr_schedule', found '" +
+            kind + "'");
+    epoch_ = static_cast<int>(detail::readI64(in, "scheduler epoch"));
+    // Reapply the scheduled rate so optimizer and schedule agree.
+    optimizer_.setLearningRate(learningRateAt(epoch_));
+}
 
 float
 StepDecay::learningRateAt(int epoch) const

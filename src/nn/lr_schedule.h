@@ -8,6 +8,8 @@
 #ifndef AIB_NN_LR_SCHEDULE_H
 #define AIB_NN_LR_SCHEDULE_H
 
+#include <iosfwd>
+
 #include "nn/optim.h"
 
 namespace aib::nn {
@@ -34,6 +36,15 @@ class LrScheduler
 
     /** The schedule function (epoch 0 = initial rate). */
     virtual float learningRateAt(int epoch) const = 0;
+
+    /** Serialize the schedule position (the epoch counter). */
+    void saveState(std::ostream &out) const;
+
+    /**
+     * Restore a position saved by @c saveState and reapply the
+     * scheduled rate to the attached optimizer.
+     */
+    void loadState(std::istream &in);
 
   protected:
     float baseLearningRate() const { return baseLr_; }

@@ -30,6 +30,21 @@ Module::namedParameters() const
     return out;
 }
 
+std::vector<NamedParam>
+Module::namedBuffers() const
+{
+    std::vector<NamedParam> out;
+    for (const NamedParam &b : buffers_)
+        out.push_back(b);
+    for (const ChildEntry &c : children_) {
+        for (NamedParam sub : c.module->namedBuffers()) {
+            sub.name = c.name + "." + sub.name;
+            out.push_back(std::move(sub));
+        }
+    }
+    return out;
+}
+
 std::int64_t
 Module::parameterCount() const
 {
@@ -60,6 +75,13 @@ Module::registerParameter(std::string name, Tensor t)
 {
     t.setRequiresGrad(true);
     params_.push_back(NamedParam{std::move(name), t});
+    return t;
+}
+
+Tensor
+Module::registerBuffer(std::string name, Tensor t)
+{
+    buffers_.push_back(NamedParam{std::move(name), t});
     return t;
 }
 

@@ -42,6 +42,14 @@ class Module
     /** All parameters with hierarchical dotted names. */
     std::vector<NamedParam> namedParameters() const;
 
+    /**
+     * All non-trainable state tensors (e.g. BatchNorm running
+     * statistics) with hierarchical dotted names. Buffers evolve
+     * during training and must be checkpointed alongside parameters
+     * for bitwise-deterministic resume.
+     */
+    std::vector<NamedParam> namedBuffers() const;
+
     /** Total learnable scalar count (the paper's "parameters" axis). */
     std::int64_t parameterCount() const;
 
@@ -66,6 +74,14 @@ class Module
      */
     Tensor registerParameter(std::string name, Tensor t);
 
+    /**
+     * Register a non-trainable state tensor (no requires-grad). The
+     * returned tensor shares storage with the registered entry, so
+     * in-place updates (BatchNorm running stats) are visible to
+     * namedBuffers() and checkpointing.
+     */
+    Tensor registerBuffer(std::string name, Tensor t);
+
     /** Register a child module (non-owning; member lifetime). */
     void registerModule(std::string name, Module *child);
 
@@ -78,6 +94,7 @@ class Module
         Module *module;
     };
     std::vector<NamedParam> params_;
+    std::vector<NamedParam> buffers_;
     std::vector<ChildEntry> children_;
     bool training_ = true;
 };

@@ -2,6 +2,9 @@
 
 #include <cmath>
 
+#include "core/faultinject.h"
+#include "nn/detail/stream_io.h"
+
 namespace aib::nn {
 
 float
@@ -31,6 +34,54 @@ Optimizer::clipGradNorm(float max_norm)
     return norm;
 }
 
+namespace {
+
+// Shared layout for the per-parameter float-vector state all three
+// optimizers keep (velocity / moments / squared averages). A vector
+// may legitimately be empty: they are lazily sized on first use.
+void
+writeSlotVectors(std::ostream &out, const char *kind,
+                 const std::vector<std::vector<float>> &slots)
+{
+    detail::writeString(out, kind);
+    detail::writeU64(out, slots.size());
+    for (const auto &slot : slots)
+        detail::writeF32Vec(out, slot);
+}
+
+void
+readSlotVectors(std::istream &in, const char *kind,
+                std::vector<std::vector<float>> &slots)
+{
+    const std::string found = detail::readString(in, "optimizer kind");
+    if (found != kind)
+        throw std::runtime_error("optimizer state: kind mismatch: expected '" +
+                                 std::string(kind) + "', found '" + found +
+                                 "'");
+    const std::uint64_t count = detail::readU64(in, "optimizer slot count");
+    if (count != slots.size())
+        throw std::runtime_error(
+            "optimizer state: parameter count mismatch: optimizer has " +
+            std::to_string(slots.size()) + " slots, checkpoint has " +
+            std::to_string(count));
+    for (auto &slot : slots)
+        slot = detail::readF32Vec(in, "optimizer slot");
+}
+
+} // namespace
+
+void
+Optimizer::saveState(std::ostream &) const
+{
+    throw std::logic_error("this optimizer does not support state serialization");
+}
+
+void
+Optimizer::loadState(std::istream &)
+{
+    throw std::logic_error("this optimizer does not support state serialization");
+}
+
 Sgd::Sgd(std::vector<Tensor> params, float lr, float momentum,
          float weight_decay)
     : Optimizer(std::move(params), lr), momentum_(momentum),
@@ -40,8 +91,21 @@ Sgd::Sgd(std::vector<Tensor> params, float lr, float momentum,
 }
 
 void
+Sgd::saveState(std::ostream &out) const
+{
+    writeSlotVectors(out, "sgd", velocity_);
+}
+
+void
+Sgd::loadState(std::istream &in)
+{
+    readSlotVectors(in, "sgd", velocity_);
+}
+
+void
 Sgd::step()
 {
+    core::fault::checkPoint("optim.step");
     for (std::size_t i = 0; i < params_.size(); ++i) {
         Tensor &p = params_[i];
         Tensor g = p.grad();
@@ -77,8 +141,34 @@ Adam::Adam(std::vector<Tensor> params, float lr, float beta1,
 }
 
 void
+Adam::saveState(std::ostream &out) const
+{
+    writeSlotVectors(out, "adam", m_);
+    detail::writeI64(out, t_);
+    detail::writeU64(out, v_.size());
+    for (const auto &slot : v_)
+        detail::writeF32Vec(out, slot);
+}
+
+void
+Adam::loadState(std::istream &in)
+{
+    readSlotVectors(in, "adam", m_);
+    t_ = detail::readI64(in, "adam step count");
+    const std::uint64_t count = detail::readU64(in, "adam v count");
+    if (count != v_.size())
+        throw std::runtime_error(
+            "optimizer state: parameter count mismatch: optimizer has " +
+            std::to_string(v_.size()) + " slots, checkpoint has " +
+            std::to_string(count));
+    for (auto &slot : v_)
+        slot = detail::readF32Vec(in, "adam v slot");
+}
+
+void
 Adam::step()
 {
+    core::fault::checkPoint("optim.step");
     ++t_;
     const float bias1 =
         1.0f - std::pow(beta1_, static_cast<float>(t_));
@@ -118,8 +208,21 @@ RmsProp::RmsProp(std::vector<Tensor> params, float lr, float alpha,
 }
 
 void
+RmsProp::saveState(std::ostream &out) const
+{
+    writeSlotVectors(out, "rmsprop", sq_);
+}
+
+void
+RmsProp::loadState(std::istream &in)
+{
+    readSlotVectors(in, "rmsprop", sq_);
+}
+
+void
 RmsProp::step()
 {
+    core::fault::checkPoint("optim.step");
     for (std::size_t i = 0; i < params_.size(); ++i) {
         Tensor &p = params_[i];
         Tensor g = p.grad();

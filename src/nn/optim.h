@@ -10,6 +10,7 @@
 #ifndef AIB_NN_OPTIM_H
 #define AIB_NN_OPTIM_H
 
+#include <iosfwd>
 #include <vector>
 
 #include "tensor/tensor.h"
@@ -44,6 +45,21 @@ class Optimizer
      */
     float clipGradNorm(float max_norm);
 
+    /**
+     * Serialize the evolving state (moments, step counts) to a
+     * binary stream. Hyperparameters and the parameter list are NOT
+     * saved — they are reconstructed by the owning task's
+     * constructor; loadState restores only what training mutates.
+     */
+    virtual void saveState(std::ostream &out) const;
+
+    /**
+     * Restore state written by the same optimizer kind over the same
+     * parameter list.
+     * @throws std::runtime_error on kind or parameter-count mismatch.
+     */
+    virtual void loadState(std::istream &in);
+
   protected:
     std::vector<Tensor> params_;
     float lr_;
@@ -57,6 +73,8 @@ class Sgd : public Optimizer
         float weight_decay = 0.0f);
 
     void step() override;
+    void saveState(std::ostream &out) const override;
+    void loadState(std::istream &in) override;
 
   private:
     float momentum_;
@@ -73,6 +91,8 @@ class Adam : public Optimizer
          float weight_decay = 0.0f);
 
     void step() override;
+    void saveState(std::ostream &out) const override;
+    void loadState(std::istream &in) override;
 
   private:
     float beta1_, beta2_, eps_, weightDecay_;
@@ -88,6 +108,8 @@ class RmsProp : public Optimizer
             float eps = 1e-8f);
 
     void step() override;
+    void saveState(std::ostream &out) const override;
+    void loadState(std::istream &in) override;
 
   private:
     float alpha_, eps_;

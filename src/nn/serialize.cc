@@ -3,47 +3,155 @@
 #include <cstdint>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "nn/detail/stream_io.h"
 
 namespace aib::nn {
 
 namespace {
 
-constexpr char kMagic[8] = {'A', 'I', 'B', 'C', 'K', 'P', 'T', '1'};
+constexpr char kMagic[8] = {'A', 'I', 'B', 'C', 'K', 'P', 'T', '2'};
+
+struct Entry {
+    Shape shape;
+    std::vector<float> data;
+};
 
 void
-writeU32(std::ostream &out, std::uint32_t v)
+writeEntries(std::ostream &out, const std::vector<NamedParam> &entries)
 {
-    out.write(reinterpret_cast<const char *>(&v), sizeof(v));
+    detail::writeU32(out, static_cast<std::uint32_t>(entries.size()));
+    for (const NamedParam &p : entries) {
+        detail::writeString(out, p.name);
+        const Shape &shape = p.tensor.shape();
+        detail::writeU32(out, static_cast<std::uint32_t>(shape.size()));
+        for (std::int64_t d : shape)
+            detail::writeI64(out, d);
+        out.write(reinterpret_cast<const char *>(p.tensor.data()),
+                  static_cast<std::streamsize>(p.tensor.numel() *
+                                               sizeof(float)));
+    }
 }
 
+std::map<std::string, Entry>
+readEntries(std::istream &in, const char *section)
+{
+    std::map<std::string, Entry> entries;
+    const std::uint32_t count = detail::readU32(in, section);
+    for (std::uint32_t i = 0; i < count; ++i) {
+        std::string name = detail::readString(in, section);
+        const std::uint32_t rank = detail::readU32(in, section);
+        Entry e;
+        e.shape.resize(rank);
+        std::int64_t n = 1;
+        for (std::uint32_t d = 0; d < rank; ++d) {
+            e.shape[d] = detail::readI64(in, section);
+            n *= e.shape[d];
+        }
+        e.data.resize(static_cast<std::size_t>(n));
+        in.read(reinterpret_cast<char *>(e.data.data()),
+                static_cast<std::streamsize>(e.data.size() * sizeof(float)));
+        if (!in)
+            throw std::runtime_error(
+                std::string("checkpoint: truncated data in ") + section);
+        if (entries.count(name) != 0)
+            throw std::runtime_error("checkpoint: duplicate entry '" + name +
+                                     "' in " + section);
+        entries.emplace(std::move(name), std::move(e));
+    }
+    return entries;
+}
+
+/**
+ * Validate @p saved against the module-side @p live entries and
+ * collect every mismatch into @p problems. Matching is by name;
+ * entries agreeing in name and shape are appended to @p matched.
+ */
 void
-writeI64(std::ostream &out, std::int64_t v)
+matchEntries(const std::vector<NamedParam> &live,
+             std::map<std::string, Entry> &saved, const char *section,
+             std::vector<std::string> &problems,
+             std::vector<std::pair<Tensor, const Entry *>> &matched)
 {
-    out.write(reinterpret_cast<const char *>(&v), sizeof(v));
-}
-
-std::uint32_t
-readU32(std::istream &in)
-{
-    std::uint32_t v = 0;
-    in.read(reinterpret_cast<char *>(&v), sizeof(v));
-    if (!in)
-        throw std::runtime_error("checkpoint: truncated file");
-    return v;
-}
-
-std::int64_t
-readI64(std::istream &in)
-{
-    std::int64_t v = 0;
-    in.read(reinterpret_cast<char *>(&v), sizeof(v));
-    if (!in)
-        throw std::runtime_error("checkpoint: truncated file");
-    return v;
+    for (const NamedParam &p : live) {
+        auto it = saved.find(p.name);
+        if (it == saved.end()) {
+            problems.push_back(std::string("missing from checkpoint (") +
+                               section + "): '" + p.name + "' " +
+                               shapeToString(p.tensor.shape()));
+            continue;
+        }
+        if (it->second.shape != p.tensor.shape()) {
+            problems.push_back(std::string("shape mismatch (") + section +
+                               "): '" + p.name + "' module " +
+                               shapeToString(p.tensor.shape()) +
+                               " vs checkpoint " +
+                               shapeToString(it->second.shape));
+            continue;
+        }
+        matched.emplace_back(p.tensor, &it->second);
+    }
+    std::map<std::string, int> liveNames;
+    for (const NamedParam &p : live)
+        ++liveNames[p.name];
+    for (const auto &[name, entry] : saved) {
+        if (liveNames.count(name) == 0)
+            problems.push_back(std::string("unexpected in checkpoint (") +
+                               section + "): '" + name + "' " +
+                               shapeToString(entry.shape));
+    }
 }
 
 } // namespace
+
+void
+writeModuleState(const Module &module, std::ostream &out)
+{
+    out.write(kMagic, sizeof(kMagic));
+    writeEntries(out, module.namedParameters());
+    writeEntries(out, module.namedBuffers());
+    if (!out)
+        throw std::runtime_error("checkpoint: module state write failed");
+}
+
+void
+readModuleState(Module &module, std::istream &in)
+{
+    char magic[8] = {};
+    in.read(magic, sizeof(magic));
+    if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+        throw std::runtime_error("checkpoint: bad module-state magic");
+
+    auto savedParams = readEntries(in, "parameters");
+    auto savedBuffers = readEntries(in, "buffers");
+
+    // Validate everything before mutating anything, so a rejected
+    // checkpoint leaves the module untouched.
+    std::vector<std::string> problems;
+    std::vector<std::pair<Tensor, const Entry *>> matched;
+    matchEntries(module.namedParameters(), savedParams, "parameters",
+                 problems, matched);
+    matchEntries(module.namedBuffers(), savedBuffers, "buffers", problems,
+                 matched);
+    if (!problems.empty()) {
+        std::string msg = "checkpoint: state does not match module (" +
+                          std::to_string(problems.size()) + " problem" +
+                          (problems.size() == 1 ? "" : "s") + "):";
+        for (const std::string &p : problems)
+            msg += "\n  " + p;
+        throw std::runtime_error(msg);
+    }
+
+    for (auto &[tensor, entry] : matched) {
+        Tensor t = tensor;
+        std::memcpy(t.data(), entry->data.data(),
+                    entry->data.size() * sizeof(float));
+    }
+}
 
 void
 saveCheckpoint(const Module &module, const std::string &path)
@@ -51,24 +159,9 @@ saveCheckpoint(const Module &module, const std::string &path)
     std::ofstream out(path, std::ios::binary | std::ios::trunc);
     if (!out)
         throw std::runtime_error("checkpoint: cannot open " + path);
-    out.write(kMagic, sizeof(kMagic));
-    const auto params = module.namedParameters();
-    writeU32(out, static_cast<std::uint32_t>(params.size()));
-    for (const NamedParam &p : params) {
-        writeU32(out, static_cast<std::uint32_t>(p.name.size()));
-        out.write(p.name.data(),
-                  static_cast<std::streamsize>(p.name.size()));
-        const Shape &shape = p.tensor.shape();
-        writeU32(out, static_cast<std::uint32_t>(shape.size()));
-        for (std::int64_t d : shape)
-            writeI64(out, d);
-        out.write(reinterpret_cast<const char *>(p.tensor.data()),
-                  static_cast<std::streamsize>(p.tensor.numel() *
-                                               sizeof(float)));
-    }
+    writeModuleState(module, out);
     if (!out)
-        throw std::runtime_error("checkpoint: write failed for " +
-                                 path);
+        throw std::runtime_error("checkpoint: write failed for " + path);
 }
 
 void
@@ -77,37 +170,7 @@ loadCheckpoint(Module &module, const std::string &path)
     std::ifstream in(path, std::ios::binary);
     if (!in)
         throw std::runtime_error("checkpoint: cannot open " + path);
-    char magic[8] = {};
-    in.read(magic, sizeof(magic));
-    if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
-        throw std::runtime_error("checkpoint: bad magic in " + path);
-
-    auto params = module.namedParameters();
-    const std::uint32_t count = readU32(in);
-    if (count != params.size())
-        throw std::runtime_error(
-            "checkpoint: parameter count mismatch");
-    for (NamedParam &p : params) {
-        const std::uint32_t name_len = readU32(in);
-        std::string name(name_len, '\0');
-        in.read(name.data(), name_len);
-        if (!in || name != p.name)
-            throw std::runtime_error(
-                "checkpoint: parameter name mismatch: expected '" +
-                p.name + "', found '" + name + "'");
-        const std::uint32_t rank = readU32(in);
-        Shape shape(rank);
-        for (std::uint32_t d = 0; d < rank; ++d)
-            shape[d] = readI64(in);
-        if (shape != p.tensor.shape())
-            throw std::runtime_error(
-                "checkpoint: shape mismatch for '" + p.name + "'");
-        in.read(reinterpret_cast<char *>(p.tensor.data()),
-                static_cast<std::streamsize>(p.tensor.numel() *
-                                             sizeof(float)));
-        if (!in)
-            throw std::runtime_error("checkpoint: truncated data");
-    }
+    readModuleState(module, in);
 }
 
 } // namespace aib::nn

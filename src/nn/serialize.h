@@ -1,34 +1,55 @@
 /**
  * @file
- * Checkpoint serialization: save/load a module's named parameters to
- * a simple self-describing binary format. Supports the paper's
+ * Module state serialization: save/load a module's named parameters
+ * AND named buffers (BatchNorm running statistics) to a
+ * self-describing binary format. Supports the paper's
  * reimplementation workflow — a reference implementation's weights
  * can be saved, reloaded, and resumed (retraining a *different*
- * model is what the rules forbid, not checkpointing).
+ * model is what the rules forbid, not checkpointing) — and is the
+ * module section of the full-session checkpoints described in
+ * docs/CHECKPOINT.md.
  *
- * Format (little-endian):
- *   magic "AIBCKPT1"
+ * Format (little-endian), magic "AIBCKPT2":
+ *   magic
  *   u32 parameter count
  *   per parameter: u32 name length, name bytes,
  *                  u32 rank, i64 dims..., f32 data...
+ *   u32 buffer count
+ *   per buffer:    same entry layout
+ *
+ * Loading matches entries BY NAME and validates the complete
+ * checkpoint against the complete module before touching any tensor:
+ * a mismatch error lists every missing, unexpected and
+ * shape-mismatched entry, and the module is left untouched.
  */
 
 #ifndef AIB_NN_SERIALIZE_H
 #define AIB_NN_SERIALIZE_H
 
+#include <iosfwd>
 #include <string>
 
 #include "nn/module.h"
 
 namespace aib::nn {
 
-/** Save every named parameter of @p module to @p path.
+/** Write @p module's parameters and buffers to a binary stream. */
+void writeModuleState(const Module &module, std::ostream &out);
+
+/**
+ * Read module state from a binary stream into @p module.
+ * @throws std::runtime_error on format error or any name/shape
+ *         mismatch; the error message lists all offending entries
+ *         and @p module is left unmodified.
+ */
+void readModuleState(Module &module, std::istream &in);
+
+/** Save every named parameter and buffer of @p module to @p path.
  *  @throws std::runtime_error on I/O failure. */
 void saveCheckpoint(const Module &module, const std::string &path);
 
 /**
- * Load a checkpoint into @p module. Parameter names and shapes must
- * match exactly.
+ * Load a checkpoint file into @p module (see readModuleState).
  * @throws std::runtime_error on I/O failure, format error, or
  *         name/shape mismatch.
  */

@@ -14,6 +14,9 @@
 
 #include <cstdint>
 #include <random>
+#include <sstream>
+#include <stdexcept>
+#include <string>
 
 namespace aib {
 
@@ -66,6 +69,30 @@ class Rng
 
     /** Underlying engine, for std::shuffle and distributions. */
     std::mt19937_64 &engine() { return engine_; }
+
+    /**
+     * Complete engine state as text (std::mt19937_64 stream format).
+     * All distributions are constructed fresh per draw, so the engine
+     * state is the entire state of this generator; restoring it with
+     * @c setState reproduces the subsequent draw sequence bitwise.
+     */
+    std::string
+    state() const
+    {
+        std::ostringstream out;
+        out << engine_;
+        return out.str();
+    }
+
+    /** Restore a state captured by @c state(). */
+    void
+    setState(const std::string &s)
+    {
+        std::istringstream in(s);
+        in >> engine_;
+        if (!in)
+            throw std::runtime_error("Rng::setState: malformed engine state");
+    }
 
   private:
     std::mt19937_64 engine_;

@@ -1,8 +1,10 @@
 #include "tensor/tensor.h"
 
 #include <cassert>
+#include <new>
 #include <stdexcept>
 
+#include "core/faultinject.h"
 #include "tensor/autograd.h"
 #include "tensor/graph_capture.h"
 
@@ -17,6 +19,10 @@ Rng g_global_rng{0x5eedULL};
 std::shared_ptr<TensorImpl>
 makeImpl(const Shape &shape)
 {
+    // Fail-nth-allocation fault point: every tensor allocation in the
+    // suite funnels through here.
+    if (core::fault::anyArmed() && core::fault::fires("tensor.alloc"))
+        throw std::bad_alloc();
     auto impl = std::make_shared<TensorImpl>();
     impl->shape = shape;
     impl->data.resize(static_cast<std::size_t>(numel(shape)));

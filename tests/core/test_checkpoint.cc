@@ -1,0 +1,550 @@
+/**
+ * @file
+ * Unit tests for the checkpoint subsystem (core/checkpoint.h): the
+ * tagged state stream, round trips of every serialized component in
+ * isolation (RNG streams, data-generator cursors, optimizer moments,
+ * LR-schedule positions, module buffers), the CRC-checked file
+ * container, and the rotating CheckpointManager with its
+ * corruption fallback.
+ */
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/checkpoint.h"
+#include "core/faultinject.h"
+#include "data/synth_text.h"
+#include "nn/layers.h"
+#include "nn/lr_schedule.h"
+#include "nn/optim.h"
+#include "tensor/random.h"
+#include "tensor/tensor.h"
+
+using namespace aib;
+namespace ckpt = aib::core::ckpt;
+namespace fault = aib::core::fault;
+namespace fs = std::filesystem;
+
+namespace {
+
+/** Unique fresh temp directory per test, removed on destruction. */
+class TempDir
+{
+  public:
+    explicit TempDir(const std::string &name)
+        : path_((fs::temp_directory_path() /
+                 ("aib_ckpt_test_" + name +
+                  std::to_string(::getpid())))
+                    .string())
+    {
+        fs::remove_all(path_);
+    }
+    ~TempDir() { fs::remove_all(path_); }
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+class CheckpointStreamTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { fault::resetAll(); }
+    void TearDown() override { fault::resetAll(); }
+};
+
+TEST_F(CheckpointStreamTest, ScalarsRoundTripExactly)
+{
+    ckpt::StateWriter out;
+    out.u32(0xDEADBEEFu);
+    out.i64(-1234567890123LL);
+    out.u64(0xFFFFFFFFFFFFFFFFULL);
+    out.f32(3.14159265f);
+    out.f64(-2.718281828459045);
+    out.str("hello checkpoint");
+    out.f64vec({0.25, -1.0, 1e300});
+
+    ckpt::StateReader in(out.payload());
+    EXPECT_EQ(in.u32(), 0xDEADBEEFu);
+    EXPECT_EQ(in.i64(), -1234567890123LL);
+    EXPECT_EQ(in.u64(), 0xFFFFFFFFFFFFFFFFULL);
+    EXPECT_EQ(in.f32(), 3.14159265f);
+    EXPECT_EQ(in.f64(), -2.718281828459045);
+    EXPECT_EQ(in.str(), "hello checkpoint");
+    EXPECT_EQ(in.f64vec(), (std::vector<double>{0.25, -1.0, 1e300}));
+    EXPECT_NO_THROW(in.expectEnd());
+}
+
+TEST_F(CheckpointStreamTest, TagMismatchReportsBothTagsAndOffset)
+{
+    ckpt::StateWriter out;
+    out.i64(7);
+    ckpt::StateReader in(out.payload());
+    try {
+        (void)in.f64();
+        FAIL() << "expected CheckpointError";
+    } catch (const ckpt::CheckpointError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("expected f64"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("found i64"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("offset 0"), std::string::npos) << msg;
+    }
+}
+
+TEST_F(CheckpointStreamTest, ReadingPastTheEndFailsLoudly)
+{
+    ckpt::StateWriter out;
+    out.u32(1);
+    ckpt::StateReader in(out.payload());
+    (void)in.u32();
+    EXPECT_THROW((void)in.u32(), ckpt::CheckpointError);
+}
+
+TEST_F(CheckpointStreamTest, ExpectEndRejectsUnconsumedBytes)
+{
+    ckpt::StateWriter out;
+    out.u32(1);
+    out.u32(2);
+    ckpt::StateReader in(out.payload());
+    (void)in.u32();
+    EXPECT_THROW(in.expectEnd(), ckpt::CheckpointError);
+}
+
+TEST_F(CheckpointStreamTest, RngRoundTripReproducesDrawsBitwise)
+{
+    Rng source(1234);
+    for (int i = 0; i < 100; ++i)
+        (void)source.normal();
+
+    ckpt::StateWriter out;
+    out.rng(source);
+    ckpt::StateReader in(out.payload());
+    Rng restored(999); // different seed: state must fully overwrite
+    in.rng(restored);
+
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(source.uniform(), restored.uniform());
+        EXPECT_EQ(source.normal(), restored.normal());
+        EXPECT_EQ(source.uniformInt(0, 1000),
+                  restored.uniformInt(0, 1000));
+    }
+}
+
+TEST_F(CheckpointStreamTest, MarkovGeneratorRoundTripKeepsCursor)
+{
+    data::MarkovTextGenerator source(16, 3, 77);
+    (void)source.sampleTokens(37); // advance cursor + RNG
+
+    ckpt::StateWriter out;
+    out.generator(source);
+    ckpt::StateReader in(out.payload());
+    data::MarkovTextGenerator restored(16, 3, 77);
+    in.generator(restored);
+
+    EXPECT_EQ(source.sampleTokens(50), restored.sampleTokens(50));
+}
+
+TEST_F(CheckpointStreamTest, TranslationGeneratorRoundTrip)
+{
+    data::TranslationPairGenerator source(20, 3, 8, 42);
+    for (int i = 0; i < 5; ++i)
+        (void)source.sample();
+
+    ckpt::StateWriter out;
+    out.generator(source);
+    ckpt::StateReader in(out.payload());
+    data::TranslationPairGenerator restored(20, 3, 8, 42);
+    in.generator(restored);
+
+    for (int i = 0; i < 5; ++i) {
+        const auto a = source.sample();
+        const auto b = restored.sample();
+        EXPECT_EQ(a.source, b.source);
+        EXPECT_EQ(a.target, b.target);
+    }
+}
+
+/** Tiny net: Linear + BatchNorm so buffers are exercised too. */
+class TinyNet : public nn::Module
+{
+  public:
+    explicit TinyNet(Rng &rng) : fc_(4, 8, rng), bn_(2)
+    {
+        registerModule("fc", &fc_);
+        registerModule("bn", &bn_);
+    }
+
+    nn::Linear fc_;
+    nn::BatchNorm2d bn_;
+};
+
+/** Train @p steps steps of a fixed synthetic regression problem. */
+void
+trainSteps(TinyNet &net, nn::Optimizer &opt, int steps, Rng &rng)
+{
+    for (int s = 0; s < steps; ++s) {
+        Tensor x = Tensor::empty({3, 4});
+        for (std::int64_t i = 0; i < x.numel(); ++i)
+            x.data()[i] = rng.normal();
+        Tensor img = Tensor::empty({3, 2, 2, 2});
+        for (std::int64_t i = 0; i < img.numel(); ++i)
+            img.data()[i] = rng.normal();
+        opt.zeroGrad();
+        Tensor loss = ops::add(
+            ops::mseLoss(net.fc_.forward(x), Tensor::zeros({3, 8})),
+            ops::mseLoss(net.bn_.forward(img),
+                         Tensor::zeros({3, 2, 2, 2})));
+        loss.backward();
+        opt.step();
+    }
+}
+
+/** All parameter + buffer floats of a module, flattened. */
+std::vector<float>
+flatState(const nn::Module &m)
+{
+    std::vector<float> out;
+    for (const auto &p : m.namedParameters())
+        out.insert(out.end(), p.tensor.data(),
+                   p.tensor.data() + p.tensor.numel());
+    for (const auto &b : m.namedBuffers())
+        out.insert(out.end(), b.tensor.data(),
+                   b.tensor.data() + b.tensor.numel());
+    return out;
+}
+
+template <typename OptT>
+void
+expectOptimizerRoundTripContinuesBitwise()
+{
+    // Train A for 6 steps; checkpoint at step 3 into B; both must
+    // agree bitwise after the remaining 3 steps.
+    Rng rngA(5);
+    TinyNet netA(rngA);
+    OptT optA(netA.parameters(), 0.05f);
+    Rng dataA(99);
+    trainSteps(netA, optA, 3, dataA);
+
+    ckpt::StateWriter out;
+    out.module(netA);
+    out.optimizer(optA);
+    out.rng(dataA);
+
+    Rng rngB(5);
+    TinyNet netB(rngB);
+    OptT optB(netB.parameters(), 0.05f);
+    Rng dataB(1); // overwritten by the checkpoint
+    ckpt::StateReader in(out.payload());
+    in.module(netB);
+    in.optimizer(optB);
+    in.rng(dataB);
+    in.expectEnd();
+
+    trainSteps(netA, optA, 3, dataA);
+    trainSteps(netB, optB, 3, dataB);
+    EXPECT_EQ(flatState(netA), flatState(netB));
+}
+
+TEST_F(CheckpointStreamTest, SgdRoundTripContinuesBitwise)
+{
+    expectOptimizerRoundTripContinuesBitwise<nn::Sgd>();
+}
+
+TEST_F(CheckpointStreamTest, AdamRoundTripContinuesBitwise)
+{
+    expectOptimizerRoundTripContinuesBitwise<nn::Adam>();
+}
+
+TEST_F(CheckpointStreamTest, RmsPropRoundTripContinuesBitwise)
+{
+    expectOptimizerRoundTripContinuesBitwise<nn::RmsProp>();
+}
+
+TEST_F(CheckpointStreamTest, OptimizerKindMismatchIsRejected)
+{
+    Rng rng(5);
+    TinyNet net(rng);
+    nn::Sgd sgd(net.parameters(), 0.1f, 0.9f);
+    ckpt::StateWriter out;
+    out.optimizer(sgd);
+
+    nn::Adam adam(net.parameters(), 0.1f);
+    ckpt::StateReader in(out.payload());
+    try {
+        in.optimizer(adam);
+        FAIL() << "expected kind mismatch";
+    } catch (const std::runtime_error &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("kind mismatch"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("sgd"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("adam"), std::string::npos) << msg;
+    }
+}
+
+TEST_F(CheckpointStreamTest, OptimizerParamCountMismatchIsRejected)
+{
+    Rng rng(5);
+    TinyNet netA(rng), netB(rng);
+    nn::Adam optA(netA.parameters(), 0.1f);
+    ckpt::StateWriter out;
+    out.optimizer(optA);
+
+    auto fewer = netB.parameters();
+    fewer.pop_back();
+    nn::Adam optB(fewer, 0.1f);
+    ckpt::StateReader in(out.payload());
+    EXPECT_THROW(in.optimizer(optB), std::runtime_error);
+}
+
+TEST_F(CheckpointStreamTest, LrSchedulerRoundTripRestoresPositionAndRate)
+{
+    Rng rng(5);
+    TinyNet net(rng);
+    nn::Sgd opt(net.parameters(), 1.0f);
+    nn::StepDecay sched(opt, 0.5f, 2);
+    for (int i = 0; i < 5; ++i)
+        sched.step();
+    const float rate = opt.learningRate();
+
+    ckpt::StateWriter out;
+    out.scheduler(sched);
+
+    nn::Sgd opt2(net.parameters(), 1.0f);
+    nn::StepDecay sched2(opt2, 0.5f, 2);
+    ckpt::StateReader in(out.payload());
+    in.scheduler(sched2);
+    EXPECT_EQ(sched2.epoch(), 5);
+    EXPECT_EQ(opt2.learningRate(), rate);
+
+    sched.step();
+    sched2.step();
+    EXPECT_EQ(opt2.learningRate(), opt.learningRate());
+}
+
+TEST_F(CheckpointStreamTest, BatchNormBuffersAreCheckpointed)
+{
+    Rng rngA(5);
+    TinyNet netA(rngA);
+    nn::Sgd optA(netA.parameters(), 0.01f);
+    Rng dataA(7);
+    trainSteps(netA, optA, 4, dataA); // moves running stats off init
+
+    bool buffer_nontrivial = false;
+    for (const auto &b : netA.namedBuffers())
+        for (std::int64_t i = 0; i < b.tensor.numel(); ++i)
+            buffer_nontrivial |= b.tensor.data()[i] != 0.0f &&
+                                 b.tensor.data()[i] != 1.0f;
+    ASSERT_TRUE(buffer_nontrivial)
+        << "training did not move the BatchNorm running stats";
+
+    ckpt::StateWriter out;
+    out.module(netA);
+
+    Rng rngB(6);
+    TinyNet netB(rngB);
+    ckpt::StateReader in(out.payload());
+    in.module(netB);
+    EXPECT_EQ(flatState(netA), flatState(netB));
+}
+
+// --- file container -------------------------------------------------
+
+class CheckpointFileTest : public CheckpointStreamTest
+{};
+
+TEST_F(CheckpointFileTest, FileRoundTrip)
+{
+    TempDir dir("file_roundtrip");
+    fs::create_directories(dir.path());
+    const std::string path = dir.path() + "/one.aibck";
+    const std::string payload = "some payload bytes \x01\x02\x03";
+    ckpt::writeCheckpointFile(path, payload);
+    EXPECT_EQ(ckpt::readCheckpointFile(path), payload);
+    EXPECT_FALSE(fs::exists(path + ".tmp"));
+}
+
+TEST_F(CheckpointFileTest, MissingFileThrows)
+{
+    EXPECT_THROW(ckpt::readCheckpointFile("/nonexistent/nope.aibck"),
+                 ckpt::CheckpointError);
+}
+
+TEST_F(CheckpointFileTest, BadMagicThrows)
+{
+    TempDir dir("bad_magic");
+    fs::create_directories(dir.path());
+    const std::string path = dir.path() + "/bad.aibck";
+    std::ofstream(path, std::ios::binary) << "NOTMAGIC-and-more-bytes";
+    try {
+        (void)ckpt::readCheckpointFile(path);
+        FAIL() << "expected CheckpointError";
+    } catch (const ckpt::CheckpointError &e) {
+        EXPECT_NE(std::string(e.what()).find("bad magic"),
+                  std::string::npos);
+    }
+}
+
+TEST_F(CheckpointFileTest, FlippedByteFailsCrc)
+{
+    TempDir dir("flip");
+    fs::create_directories(dir.path());
+    const std::string path = dir.path() + "/flip.aibck";
+    ckpt::writeCheckpointFile(path, std::string(64, 'x'));
+
+    std::fstream f(path, std::ios::in | std::ios::out |
+                             std::ios::binary);
+    f.seekp(30); // inside the payload (header is 24 bytes)
+    char c = 0;
+    f.seekg(30);
+    f.read(&c, 1);
+    c = static_cast<char>(c ^ 0xFF);
+    f.seekp(30);
+    f.write(&c, 1);
+    f.close();
+
+    try {
+        (void)ckpt::readCheckpointFile(path);
+        FAIL() << "expected CRC mismatch";
+    } catch (const ckpt::CheckpointError &e) {
+        EXPECT_NE(std::string(e.what()).find("CRC mismatch"),
+                  std::string::npos);
+    }
+}
+
+TEST_F(CheckpointFileTest, TruncatedFileIsDetected)
+{
+    TempDir dir("trunc");
+    fs::create_directories(dir.path());
+    const std::string path = dir.path() + "/trunc.aibck";
+    ckpt::writeCheckpointFile(path, std::string(64, 'y'));
+    fs::resize_file(path, 40); // header + partial payload
+    EXPECT_THROW((void)ckpt::readCheckpointFile(path),
+                 ckpt::CheckpointError);
+}
+
+TEST_F(CheckpointFileTest, TruncateFaultPointWoundsTheFile)
+{
+    TempDir dir("fault_trunc");
+    fs::create_directories(dir.path());
+    const std::string path = dir.path() + "/wounded.aibck";
+    fault::arm("checkpoint.truncate", 1, 10);
+    ckpt::writeCheckpointFile(path, std::string(64, 'z'));
+    EXPECT_EQ(fs::file_size(path), 10u);
+    EXPECT_THROW((void)ckpt::readCheckpointFile(path),
+                 ckpt::CheckpointError);
+}
+
+TEST_F(CheckpointFileTest, CorruptFaultPointFlipsOneByte)
+{
+    TempDir dir("fault_corrupt");
+    fs::create_directories(dir.path());
+    const std::string path = dir.path() + "/corrupt.aibck";
+    fault::arm("checkpoint.corrupt", 1, 30);
+    ckpt::writeCheckpointFile(path, std::string(64, 'w'));
+    EXPECT_THROW((void)ckpt::readCheckpointFile(path),
+                 ckpt::CheckpointError);
+}
+
+TEST_F(CheckpointFileTest, AbortFaultLeavesNoFinalFile)
+{
+    TempDir dir("fault_abort");
+    fs::create_directories(dir.path());
+    const std::string path = dir.path() + "/aborted.aibck";
+    fault::arm("checkpoint.abort", 1);
+    EXPECT_THROW(ckpt::writeCheckpointFile(path, "payload"),
+                 fault::FaultInjected);
+    EXPECT_FALSE(fs::exists(path));
+    EXPECT_TRUE(fs::exists(path + ".tmp"));
+}
+
+// --- CheckpointManager ----------------------------------------------
+
+class CheckpointManagerTest : public CheckpointStreamTest
+{};
+
+TEST_F(CheckpointManagerTest, EmptyDirectoryIsValidColdStart)
+{
+    TempDir dir("mgr_empty");
+    ckpt::CheckpointManager mgr(dir.path(), 3);
+    EXPECT_TRUE(mgr.entries().empty());
+    EXPECT_FALSE(mgr.loadLatestValid().valid);
+}
+
+TEST_F(CheckpointManagerTest, RotationKeepsTheNewestK)
+{
+    TempDir dir("mgr_rotate");
+    ckpt::CheckpointManager mgr(dir.path(), 2);
+    for (int e = 1; e <= 5; ++e)
+        mgr.write(e, "payload " + std::to_string(e));
+    const auto entries = mgr.entries();
+    ASSERT_EQ(entries.size(), 2u);
+    EXPECT_EQ(entries[0].epoch, 4);
+    EXPECT_EQ(entries[1].epoch, 5);
+
+    const auto loaded = mgr.loadLatestValid();
+    ASSERT_TRUE(loaded.valid);
+    EXPECT_EQ(loaded.epoch, 5);
+    EXPECT_EQ(loaded.payload, "payload 5");
+}
+
+TEST_F(CheckpointManagerTest, FallsBackPastACorruptNewestFile)
+{
+    TempDir dir("mgr_fallback");
+    ckpt::CheckpointManager mgr(dir.path(), 3);
+    mgr.write(1, "payload 1");
+    fault::arm("checkpoint.corrupt", 1, 30);
+    mgr.write(2, "payload 2"); // written corrupted
+
+    std::vector<std::string> errors;
+    const auto loaded = mgr.loadLatestValid(&errors);
+    ASSERT_TRUE(loaded.valid);
+    EXPECT_EQ(loaded.epoch, 1);
+    EXPECT_EQ(loaded.payload, "payload 1");
+    ASSERT_EQ(errors.size(), 1u);
+    EXPECT_NE(errors[0].find("CRC mismatch"), std::string::npos);
+}
+
+TEST_F(CheckpointManagerTest, AllCorruptMeansNoValidCheckpoint)
+{
+    TempDir dir("mgr_all_corrupt");
+    ckpt::CheckpointManager mgr(dir.path(), 3);
+    for (int e = 1; e <= 3; ++e) {
+        fault::arm("checkpoint.corrupt", 1, 28 + e);
+        mgr.write(e, "payload " + std::to_string(e));
+    }
+    std::vector<std::string> errors;
+    const auto loaded = mgr.loadLatestValid(&errors);
+    EXPECT_FALSE(loaded.valid);
+    EXPECT_EQ(errors.size(), 3u);
+    EXPECT_EQ(mgr.entries().size(), 3u);
+}
+
+TEST_F(CheckpointManagerTest, ForeignFilesAreIgnored)
+{
+    TempDir dir("mgr_foreign");
+    ckpt::CheckpointManager mgr(dir.path(), 3);
+    mgr.write(7, "real");
+    std::ofstream(dir.path() + "/notes.txt") << "not a checkpoint";
+    std::ofstream(dir.path() + "/ckpt-xyz.aibck") << "bad name";
+    const auto entries = mgr.entries();
+    ASSERT_EQ(entries.size(), 1u);
+    EXPECT_EQ(entries[0].epoch, 7);
+}
+
+TEST_F(CheckpointManagerTest, RejectsBadConfiguration)
+{
+    EXPECT_THROW(ckpt::CheckpointManager("", 3),
+                 ckpt::CheckpointError);
+    TempDir dir("mgr_bad_retain");
+    EXPECT_THROW(ckpt::CheckpointManager(dir.path(), 0),
+                 ckpt::CheckpointError);
+}
+
+} // namespace

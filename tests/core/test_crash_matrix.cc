@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Tier-1 crash matrix (docs/CHECKPOINT.md): kill DC-AI-C1 and
+ * MLPerf-NCF training sessions at characteristic points — before any
+ * checkpoint exists, mid-epoch, and right after a checkpoint — then
+ * resume and assert the session reproduces the uninterrupted run's
+ * quality trajectory AND final model/optimizer/RNG state bitwise.
+ * Also covers the corrupted-checkpoint fallback end to end: a
+ * resumed session must skip a wounded newest checkpoint, restart
+ * from the previous valid one, and still land on the identical final
+ * state; when no checkpoint is valid it must fail with a clean error.
+ */
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/checkpoint.h"
+#include "core/faultinject.h"
+#include "core/registry.h"
+#include "core/runner.h"
+#include "testing/checkpoint_canon.h"
+
+using namespace aib;
+namespace ckpt = aib::core::ckpt;
+namespace fault = aib::core::fault;
+
+namespace {
+
+constexpr std::uint64_t kSeed = 42;
+constexpr int kMaxEpochs = 4;
+
+class CrashMatrixTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { fault::resetAll(); }
+    void TearDown() override { fault::resetAll(); }
+};
+
+core::RunOptions
+checkpointedOptions(const std::string &dir)
+{
+    core::RunOptions options;
+    options.maxEpochs = kMaxEpochs;
+    options.checkpointDir = dir;
+    options.checkpointEveryEpochs = 1;
+    return options;
+}
+
+std::string
+newestCanonicalState(const core::ComponentBenchmark &benchmark,
+                     const std::string &dir)
+{
+    ckpt::CheckpointManager manager(dir, 3);
+    const auto loaded = manager.loadLatestValid();
+    EXPECT_TRUE(loaded.valid) << "no valid checkpoint in " << dir;
+    return testutil::canonicalSessionState(benchmark, kSeed,
+                                          loaded.payload);
+}
+
+/**
+ * Kill a session with @p fault_spec, resume it, and require the
+ * resumed run to be indistinguishable from the uninterrupted one.
+ */
+void
+expectKilledAndResumedMatchesUninterrupted(
+    const char *benchmark_id, const std::string &fault_spec)
+{
+    const auto *b = core::findBenchmark(benchmark_id);
+    ASSERT_NE(b, nullptr);
+
+    testutil::TempDir ref_dir(std::string(benchmark_id) + "_ref");
+    const core::TrainResult expected =
+        core::trainToQuality(*b, kSeed, checkpointedOptions(ref_dir.path()));
+    const std::string expected_state =
+        newestCanonicalState(*b, ref_dir.path());
+
+    testutil::TempDir crash_dir(std::string(benchmark_id) + "_crash");
+    fault::armSpec(fault_spec);
+    try {
+        core::trainToQuality(*b, kSeed,
+                             checkpointedOptions(crash_dir.path()));
+    } catch (const fault::FaultInjected &) {
+        // The expected kill. (A session that converges before the
+        // fault's trigger count completes instead; the comparison
+        // below holds either way.)
+    }
+    fault::resetAll();
+
+    core::RunOptions resume = checkpointedOptions(crash_dir.path());
+    resume.resume = true;
+    const core::TrainResult resumed =
+        core::trainToQuality(*b, kSeed, resume);
+
+    EXPECT_EQ(resumed.epochsToTarget, expected.epochsToTarget)
+        << benchmark_id << " " << fault_spec;
+    EXPECT_EQ(resumed.qualityByEpoch, expected.qualityByEpoch)
+        << benchmark_id << " " << fault_spec;
+    EXPECT_EQ(resumed.finalQuality, expected.finalQuality);
+    EXPECT_EQ(newestCanonicalState(*b, crash_dir.path()),
+              expected_state)
+        << benchmark_id << " " << fault_spec
+        << ": resumed final state differs bitwise";
+}
+
+// DC-AI-C1 runs 20 optimizer steps per epoch; MLPerf-NCF runs 8.
+// The mid-epoch trigger counts below land inside the second epoch,
+// after the first checkpoint exists.
+
+TEST_F(CrashMatrixTest, C1KilledBeforeFirstCheckpoint)
+{
+    expectKilledAndResumedMatchesUninterrupted("DC-AI-C1",
+                                               "runner.epoch@1");
+}
+
+TEST_F(CrashMatrixTest, C1KilledMidEpoch)
+{
+    expectKilledAndResumedMatchesUninterrupted("DC-AI-C1",
+                                               "optim.step@25");
+}
+
+TEST_F(CrashMatrixTest, C1KilledRightAfterCheckpoint)
+{
+    expectKilledAndResumedMatchesUninterrupted("DC-AI-C1",
+                                               "runner.epoch@3");
+}
+
+TEST_F(CrashMatrixTest, NcfKilledBeforeFirstCheckpoint)
+{
+    expectKilledAndResumedMatchesUninterrupted("MLPerf-NCF",
+                                               "runner.epoch@1");
+}
+
+TEST_F(CrashMatrixTest, NcfKilledMidEpoch)
+{
+    expectKilledAndResumedMatchesUninterrupted("MLPerf-NCF",
+                                               "optim.step@11");
+}
+
+TEST_F(CrashMatrixTest, NcfKilledRightAfterCheckpoint)
+{
+    expectKilledAndResumedMatchesUninterrupted("MLPerf-NCF",
+                                               "runner.epoch@3");
+}
+
+TEST_F(CrashMatrixTest, ResumeFallsBackPastCorruptNewestCheckpoint)
+{
+    const auto *b = core::findBenchmark("MLPerf-NCF");
+    ASSERT_NE(b, nullptr);
+
+    testutil::TempDir ref_dir("ncf_fallback_ref");
+    const core::TrainResult expected =
+        core::trainToQuality(*b, kSeed, checkpointedOptions(ref_dir.path()));
+    const std::string expected_state =
+        newestCanonicalState(*b, ref_dir.path());
+
+    // Train two epochs, then wound the newest checkpoint.
+    testutil::TempDir dir("ncf_fallback");
+    core::RunOptions two = checkpointedOptions(dir.path());
+    two.maxEpochs = 2;
+    (void)core::trainToQuality(*b, kSeed, two);
+    ckpt::CheckpointManager manager(dir.path(), 3);
+    auto entries = manager.entries();
+    ASSERT_EQ(entries.size(), 2u);
+    testutil::flipByteAt(entries.back().path, 40);
+
+    // Resume must fall back to epoch 1 and still converge onto the
+    // uninterrupted run's exact trajectory and final state.
+    core::RunOptions resume = checkpointedOptions(dir.path());
+    resume.resume = true;
+    const core::TrainResult resumed =
+        core::trainToQuality(*b, kSeed, resume);
+    EXPECT_EQ(resumed.qualityByEpoch, expected.qualityByEpoch);
+    EXPECT_EQ(resumed.epochsToTarget, expected.epochsToTarget);
+    EXPECT_EQ(newestCanonicalState(*b, dir.path()), expected_state);
+}
+
+TEST_F(CrashMatrixTest, ResumeWithAllCheckpointsCorruptFailsCleanly)
+{
+    const auto *b = core::findBenchmark("MLPerf-NCF");
+    ASSERT_NE(b, nullptr);
+
+    testutil::TempDir dir("ncf_all_corrupt");
+    core::RunOptions two = checkpointedOptions(dir.path());
+    two.maxEpochs = 2;
+    (void)core::trainToQuality(*b, kSeed, two);
+
+    ckpt::CheckpointManager manager(dir.path(), 3);
+    for (const auto &entry : manager.entries())
+        testutil::flipByteAt(entry.path, 40);
+
+    core::RunOptions resume = checkpointedOptions(dir.path());
+    resume.resume = true;
+    try {
+        (void)core::trainToQuality(*b, kSeed, resume);
+        FAIL() << "expected CheckpointError";
+    } catch (const ckpt::CheckpointError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("no valid checkpoint"), std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find("CRC mismatch"), std::string::npos) << msg;
+    }
+}
+
+TEST_F(CrashMatrixTest, ResumeRejectsCheckpointFromOtherBenchmark)
+{
+    const auto *ncf = core::findBenchmark("MLPerf-NCF");
+    const auto *c16 = core::findBenchmark("DC-AI-C16");
+    ASSERT_NE(ncf, nullptr);
+    ASSERT_NE(c16, nullptr);
+
+    testutil::TempDir dir("wrong_benchmark");
+    core::RunOptions one = checkpointedOptions(dir.path());
+    one.maxEpochs = 1;
+    (void)core::trainToQuality(*ncf, kSeed, one);
+
+    core::RunOptions resume = checkpointedOptions(dir.path());
+    resume.resume = true;
+    try {
+        (void)core::trainToQuality(*c16, kSeed, resume);
+        FAIL() << "expected CheckpointError";
+    } catch (const ckpt::CheckpointError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("MLPerf-NCF"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("DC-AI-C16"), std::string::npos) << msg;
+    }
+}
+
+TEST_F(CrashMatrixTest, ResumeRejectsCheckpointFromOtherSeed)
+{
+    const auto *b = core::findBenchmark("MLPerf-NCF");
+    ASSERT_NE(b, nullptr);
+
+    testutil::TempDir dir("wrong_seed");
+    core::RunOptions one = checkpointedOptions(dir.path());
+    one.maxEpochs = 1;
+    (void)core::trainToQuality(*b, kSeed, one);
+
+    core::RunOptions resume = checkpointedOptions(dir.path());
+    resume.resume = true;
+    EXPECT_THROW((void)core::trainToQuality(*b, kSeed + 1, resume),
+                 ckpt::CheckpointError);
+}
+
+} // namespace

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Tier-2 crash sweep (docs/CHECKPOINT.md): for EVERY registered
+ * benchmark, kill a short training session at the start of its
+ * second epoch, resume it, and require the resumed session to
+ * reproduce the uninterrupted session's quality trajectory and final
+ * model/optimizer/RNG state bitwise. Benchmarks that converge inside
+ * the first epoch simply complete before the fault fires; the
+ * comparison holds either way.
+ */
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/checkpoint.h"
+#include "core/faultinject.h"
+#include "core/registry.h"
+#include "core/runner.h"
+#include "testing/checkpoint_canon.h"
+
+using namespace aib;
+namespace ckpt = aib::core::ckpt;
+namespace fault = aib::core::fault;
+
+namespace {
+
+constexpr std::uint64_t kSeed = 42;
+
+class CrashMatrixFullTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { fault::resetAll(); }
+    void TearDown() override { fault::resetAll(); }
+};
+
+TEST_F(CrashMatrixFullTest, EveryBenchmarkResumesBitwise)
+{
+    const auto benchmarks = core::allBenchmarks();
+    ASSERT_EQ(benchmarks.size(), 24u);
+
+    for (const auto *b : benchmarks) {
+        SCOPED_TRACE(b->info.id);
+
+        core::RunOptions options;
+        options.maxEpochs = 2;
+        options.checkpointEveryEpochs = 1;
+
+        testutil::TempDir ref_dir(b->info.id + "_full_ref");
+        options.checkpointDir = ref_dir.path();
+        const core::TrainResult expected =
+            core::trainToQuality(*b, kSeed, options);
+        ckpt::CheckpointManager ref_manager(ref_dir.path(), 3);
+        const auto ref_loaded = ref_manager.loadLatestValid();
+        ASSERT_TRUE(ref_loaded.valid);
+        const std::string expected_state =
+            testutil::canonicalSessionState(*b, kSeed,
+                                            ref_loaded.payload);
+
+        // Kill at the start of epoch 2, right after the first
+        // checkpoint (sessions done after epoch 1 never get there).
+        testutil::TempDir crash_dir(b->info.id + "_full_crash");
+        options.checkpointDir = crash_dir.path();
+        fault::armSpec("runner.epoch@2");
+        try {
+            (void)core::trainToQuality(*b, kSeed, options);
+        } catch (const fault::FaultInjected &) {
+            // The expected kill.
+        }
+        fault::resetAll();
+
+        options.resume = true;
+        const core::TrainResult resumed =
+            core::trainToQuality(*b, kSeed, options);
+        options.resume = false;
+
+        EXPECT_EQ(resumed.epochsToTarget, expected.epochsToTarget);
+        EXPECT_EQ(resumed.qualityByEpoch, expected.qualityByEpoch);
+        EXPECT_EQ(resumed.finalQuality, expected.finalQuality);
+
+        ckpt::CheckpointManager crash_manager(crash_dir.path(), 3);
+        const auto crash_loaded = crash_manager.loadLatestValid();
+        ASSERT_TRUE(crash_loaded.valid);
+        EXPECT_EQ(testutil::canonicalSessionState(*b, kSeed,
+                                                  crash_loaded.payload),
+                  expected_state)
+            << "resumed final state differs bitwise";
+    }
+}
+
+} // namespace

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Shared helpers for the crash-matrix tests: canonicalizing session
+ * checkpoints for bitwise comparison, wounding checkpoint files, and
+ * temp-directory management.
+ */
+
+#ifndef AIB_TESTS_TESTING_CHECKPOINT_CANON_H
+#define AIB_TESTS_TESTING_CHECKPOINT_CANON_H
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <unistd.h>
+
+#include "core/benchmark.h"
+#include "core/checkpoint.h"
+#include "tensor/random.h"
+
+namespace aib::testutil {
+
+/** Unique fresh temp directory per test, removed on destruction. */
+class TempDir
+{
+  public:
+    explicit TempDir(const std::string &name)
+        : path_((std::filesystem::temp_directory_path() /
+                 ("aib_crash_test_" + name + "_" +
+                  std::to_string(::getpid())))
+                    .string())
+    {
+        std::filesystem::remove_all(path_);
+    }
+    ~TempDir() { std::filesystem::remove_all(path_); }
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+/**
+ * Re-serialize a session checkpoint payload with the wall-clock
+ * trainSeconds field zeroed out, so two payloads from runs that did
+ * the same *training* compare bitwise equal. The task-state section
+ * is canonicalized by loading it into a freshly built task of the
+ * same benchmark+seed and saving it again — which also validates
+ * that the payload round-trips through the task.
+ */
+inline std::string
+canonicalSessionState(const core::ComponentBenchmark &benchmark,
+                      std::uint64_t seed, const std::string &payload)
+{
+    core::ckpt::StateReader in(payload);
+    core::ckpt::StateWriter out;
+    out.str(in.str()); // benchmark id
+    out.u64(in.u64()); // seed
+    out.i64(in.i64()); // completed epochs
+    out.i64(in.i64()); // epochsToTarget
+    out.i64(in.i64()); // epochsAfterTarget
+    (void)in.f64();    // trainSeconds: wall clock, excluded
+    out.f64vec(in.f64vec()); // qualityByEpoch
+    Rng global(0);
+    in.rng(global);
+    out.rng(global);
+    auto task = benchmark.makeTask(seed);
+    task->loadState(in);
+    in.expectEnd();
+    task->saveState(out);
+    return out.payload();
+}
+
+/** XOR one byte of @p path at @p offset (corruption for the tests). */
+inline void
+flipByteAt(const std::string &path, std::streamoff offset)
+{
+    std::fstream f(path, std::ios::in | std::ios::out |
+                             std::ios::binary);
+    f.seekg(offset);
+    char c = 0;
+    f.read(&c, 1);
+    c = static_cast<char>(c ^ 0xFF);
+    f.seekp(offset);
+    f.write(&c, 1);
+}
+
+} // namespace aib::testutil
+
+#endif // AIB_TESTS_TESTING_CHECKPOINT_CANON_H

@@ -19,7 +19,9 @@
 
 #include "analysis/characterize.h"
 #include "analysis/graphlint/graphlint.h"
+#include "core/checkpoint.h"
 #include "core/cost.h"
+#include "core/faultinject.h"
 #include "core/inference.h"
 #include "core/registry.h"
 #include "core/runner.h"
@@ -80,7 +82,11 @@ positionalArg(int argc, char **argv)
                 std::strcmp(argv[i], "--id") == 0 ||
                 std::strcmp(argv[i], "--max-epochs") == 0 ||
                 std::strcmp(argv[i], "--queries") == 0 ||
-                std::strcmp(argv[i], "--reps") == 0)
+                std::strcmp(argv[i], "--reps") == 0 ||
+                std::strcmp(argv[i], "--checkpoint-dir") == 0 ||
+                std::strcmp(argv[i], "--checkpoint-every") == 0 ||
+                std::strcmp(argv[i], "--checkpoint-retain") == 0 ||
+                std::strcmp(argv[i], "--fault") == 0)
                 ++i;
             continue;
         }
@@ -151,6 +157,66 @@ cmdRun(int argc, char **argv)
         std::printf("target not reached in %d epochs (final %.4f)\n",
                     options.maxEpochs, result.finalQuality);
     return result.reached() ? 0 : 1;
+}
+
+/**
+ * Fault-tolerant training session: like `run`, plus periodic
+ * full-state checkpoints, resume, and scriptable fault injection
+ * (docs/CHECKPOINT.md). The quality trajectory is printed with 17
+ * significant digits so resumed runs can be diffed bitwise against
+ * uninterrupted ones.
+ */
+int
+cmdTrain(int argc, char **argv)
+{
+    if (argc < 1)
+        return usage();
+    const auto *b = requireBenchmark(argv[0]);
+    core::RunOptions options;
+    options.maxEpochs =
+        static_cast<int>(argValue(argc, argv, "--max-epochs", 40));
+    options.checkpointDir =
+        argString(argc, argv, "--checkpoint-dir", "");
+    options.checkpointEveryEpochs = static_cast<int>(
+        argValue(argc, argv, "--checkpoint-every", 1));
+    options.checkpointRetain = static_cast<int>(
+        argValue(argc, argv, "--checkpoint-retain", 3));
+    options.resume = hasFlag(argc, argv, "--resume");
+    const auto seed = static_cast<std::uint64_t>(
+        argValue(argc, argv, "--seed", 42));
+
+    try {
+        core::fault::armFromEnv();
+        for (int i = 0; i + 1 < argc; ++i)
+            if (std::strcmp(argv[i], "--fault") == 0)
+                core::fault::armSpec(argv[i + 1]);
+    } catch (const std::invalid_argument &e) {
+        std::fprintf(stderr, "train: %s\n", e.what());
+        return 2;
+    }
+
+    try {
+        core::TrainResult result =
+            core::trainToQuality(*b, seed, options);
+        for (std::size_t e = 0; e < result.qualityByEpoch.size(); ++e)
+            std::printf("  epoch %2zu: %.17g\n", e + 1,
+                        result.qualityByEpoch[e]);
+        if (result.reached())
+            std::printf("converged in %d epochs (final %.17g)\n",
+                        result.epochsToTarget, result.finalQuality);
+        else
+            std::printf(
+                "target not reached in %d epochs (final %.17g)\n",
+                options.maxEpochs, result.finalQuality);
+        return 0;
+    } catch (const core::fault::FaultInjected &e) {
+        std::fprintf(stderr, "train: injected fault fired: %s\n",
+                     e.what());
+        return 3;
+    } catch (const core::ckpt::CheckpointError &e) {
+        std::fprintf(stderr, "train: %s\n", e.what());
+        return 1;
+    }
 }
 
 int
@@ -472,6 +538,12 @@ constexpr Command kCommands[] = {
     {"list", "", "all registered benchmarks", cmdList},
     {"run", "<id> [--seed N] [--max-epochs N]",
      "entire training session to the target quality", cmdRun},
+    {"train",
+     "<id> [--seed N] [--max-epochs N] [--checkpoint-dir DIR] "
+     "[--checkpoint-every N] [--checkpoint-retain N] [--resume] "
+     "[--fault point@N[:param]]",
+     "fault-tolerant session: checkpoints, resume, fault injection",
+     cmdTrain},
     {"characterize", "<id> [--csv]",
      "parameters, FLOPs, microarch metrics, runtime breakdown",
      cmdCharacterize},
