@@ -17,6 +17,7 @@
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "nn/module.h"
 
@@ -63,6 +64,34 @@ class TrainableTask
      * "FLOPs of a single forward computation").
      */
     virtual void forwardOnce() = 0;
+
+    /**
+     * Serve one dynamic batch of queries: run inference for the
+     * requests identified by @p ids (one single-sample query each)
+     * in as few forward passes as the task supports, and return a
+     * deterministic digest of the model outputs.
+     *
+     * Tasks overriding this (see @c supportsBatchedServe) concat the
+     * per-request canonical inputs — request i's input is a pure
+     * function of ids[i], independent of serving history — into one
+     * (n, ...) batch and run a single forward pass; the digest is a
+     * fixed-order sum over the output tensor, so the same batch
+     * composition on the same weights reproduces it bitwise (the
+     * serving determinism suite's contract). The default falls back
+     * to ids.size() sequential @c forwardOnce calls and returns 0,
+     * which keeps every benchmark servable but forfeits both the
+     * batching speedup and the digest claim.
+     */
+    virtual double
+    serveBatch(const std::vector<int> &ids)
+    {
+        for (std::size_t i = 0; i < ids.size(); ++i)
+            forwardOnce();
+        return 0.0;
+    }
+
+    /** True when @c serveBatch runs a genuinely batched forward. */
+    virtual bool supportsBatchedServe() const { return false; }
 
     /**
      * Serialize every piece of state that evolves after construction

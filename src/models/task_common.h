@@ -29,6 +29,21 @@ class EvalGuard
     nn::Module &module_;
 };
 
+/**
+ * Bitwise-deterministic digest of a model output for the serving
+ * determinism suite: a fixed-order double sum over the elements.
+ * Same batch composition on the same weights -> same digest bitwise.
+ */
+inline double
+outputDigest(const Tensor &t)
+{
+    double sum = 0.0;
+    const float *p = t.data();
+    for (std::int64_t i = 0; i < t.numel(); ++i)
+        sum += static_cast<double>(p[i]);
+    return sum;
+}
+
 /** L2-normalize rows of a (N, D) tensor (for embedding models). */
 inline Tensor
 l2NormalizeRows(const Tensor &x)

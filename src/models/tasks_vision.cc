@@ -30,6 +30,30 @@ asBatch(const Tensor &img)
                         {1, img.dim(0), img.dim(1), img.dim(2)});
 }
 
+/**
+ * Stack one pure exemplar per request id into an (n,C,H,W) serving
+ * batch. Exemplars are a pure function of the id (no generator
+ * state), which is what makes serveBatch digests reproducible
+ * regardless of how requests were batched before.
+ */
+Tensor
+exemplarBatch(data::ShapeImageGenerator &gen,
+              const std::vector<int> &ids, int classes)
+{
+    Tensor first = gen.exemplar(0);
+    const auto n = static_cast<std::int64_t>(ids.size());
+    Tensor batch = Tensor::empty(
+        {n, first.dim(0), first.dim(1), first.dim(2)});
+    const std::int64_t stride = first.numel();
+    for (std::int64_t i = 0; i < n; ++i) {
+        Tensor img = gen.exemplar(
+            ids[static_cast<std::size_t>(i)] % classes);
+        std::copy(img.data(), img.data() + stride,
+                  batch.data() + i * stride);
+    }
+    return batch;
+}
+
 /** DC-AI-C1: ResNet on synthetic shape images (ImageNet stand-in). */
 class ImageClassificationTask : public TrainableTask
 {
@@ -75,6 +99,18 @@ class ImageClassificationTask : public TrainableTask
         NoGradGuard no_grad;
         (void)net_.forward(asBatch(gen_.exemplar(0)));
     }
+
+    double
+    serveBatch(const std::vector<int> &ids) override
+    {
+        detail::EvalGuard guard(net_);
+        NoGradGuard no_grad;
+        Tensor batch = exemplarBatch(gen_, ids, 10);
+        ops::recordHostToDeviceCopy(batch);
+        return detail::outputDigest(net_.forward(batch));
+    }
+
+    bool supportsBatchedServe() const override { return true; }
 
     void
     saveState(core::ckpt::StateWriter &out) const override
@@ -406,6 +442,18 @@ class ImageCompressionTask : public TrainableTask
         NoGradGuard no_grad;
         (void)net_.forward(asBatch(gen_.exemplar(0)));
     }
+
+    double
+    serveBatch(const std::vector<int> &ids) override
+    {
+        detail::EvalGuard guard(net_);
+        NoGradGuard no_grad;
+        Tensor batch = exemplarBatch(gen_, ids, 10);
+        ops::recordHostToDeviceCopy(batch);
+        return detail::outputDigest(net_.forward(batch));
+    }
+
+    bool supportsBatchedServe() const override { return true; }
 
     void
     saveState(core::ckpt::StateWriter &out) const override

@@ -1,0 +1,127 @@
+#include "serve/batcher.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace aib::serve {
+
+std::vector<BatchPlan>
+planBatches(const std::vector<double> &arrivalUs,
+            const BatchPolicy &policy)
+{
+    if (policy.maxBatch < 1)
+        throw std::invalid_argument("planBatches: maxBatch must be >= 1");
+    if (policy.maxDelayUs < 0)
+        throw std::invalid_argument("planBatches: negative maxDelayUs");
+    std::vector<BatchPlan> plans;
+    const int n = static_cast<int>(arrivalUs.size());
+    int i = 0;
+    while (i < n) {
+        BatchPlan plan;
+        const double t0 = arrivalUs[static_cast<std::size_t>(i)];
+        const double deadline =
+            t0 + static_cast<double>(policy.maxDelayUs);
+        int j = i;
+        while (j < n &&
+               static_cast<int>(plan.ids.size()) < policy.maxBatch &&
+               arrivalUs[static_cast<std::size_t>(j)] <= deadline) {
+            plan.ids.push_back(j);
+            ++j;
+        }
+        plan.closeUs =
+            static_cast<int>(plan.ids.size()) == policy.maxBatch
+                ? arrivalUs[static_cast<std::size_t>(j - 1)]
+                : deadline;
+        plans.push_back(std::move(plan));
+        i = j;
+    }
+    return plans;
+}
+
+AdmissionQueue::AdmissionQueue(int capacity)
+    : capacity_(std::max(1, capacity))
+{}
+
+bool
+AdmissionQueue::push(const Request &request)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (closed_ ||
+            static_cast<int>(queue_.size()) >= capacity_) {
+            rejected_ += 1;
+            return false;
+        }
+        queue_.push_back(request);
+        peakDepth_ =
+            std::max(peakDepth_, static_cast<int>(queue_.size()));
+    }
+    nonEmpty_.notify_one();
+    return true;
+}
+
+bool
+AdmissionQueue::popBatch(const BatchPolicy &policy,
+                         std::vector<Request> *out)
+{
+    out->clear();
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        nonEmpty_.wait(lock,
+                       [&] { return closed_ || !queue_.empty(); });
+        if (queue_.empty())
+            return false; // closed and drained
+        // A batch is ready when full or when the oldest member has
+        // aged past the delay window; otherwise wait for more
+        // arrivals, but no later than that member's deadline.
+        const auto deadline =
+            queue_.front().enqueue +
+            std::chrono::microseconds(policy.maxDelayUs);
+        if (static_cast<int>(queue_.size()) < policy.maxBatch &&
+            !closed_) {
+            // Either the batch fills (or the queue closes) before the
+            // deadline, or the deadline passes and we dispatch what
+            // we have.
+            nonEmpty_.wait_until(lock, deadline, [&] {
+                return closed_ || static_cast<int>(queue_.size()) >=
+                                      policy.maxBatch;
+            });
+        }
+        if (queue_.empty())
+            continue; // raced with another consumer
+        const int take =
+            std::min(policy.maxBatch, static_cast<int>(queue_.size()));
+        out->reserve(static_cast<std::size_t>(take));
+        for (int k = 0; k < take; ++k) {
+            out->push_back(queue_.front());
+            queue_.pop_front();
+        }
+        return true;
+    }
+}
+
+void
+AdmissionQueue::close()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        closed_ = true;
+    }
+    nonEmpty_.notify_all();
+}
+
+std::uint64_t
+AdmissionQueue::rejected() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return rejected_;
+}
+
+int
+AdmissionQueue::peakDepth() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return peakDepth_;
+}
+
+} // namespace aib::serve

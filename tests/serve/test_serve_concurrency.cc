@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Thread-safety regression suite for the serving path, written to
+ * run under TSan (tier1, which the TSan CI preset executes):
+ *
+ *  - profiler::TraceSession attachment across thread-pool workers
+ *    when only SOME participants attach a session — the remaining
+ *    workers inherit the caller's binding (or none at all) and must
+ *    neither crash nor cross-record;
+ *  - the serving engine's per-worker sessions while the calling
+ *    thread has no session attached, and while it has one;
+ *  - the AdmissionQueue under multi-producer multi-consumer stress.
+ */
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/registry.h"
+#include "core/thread_pool.h"
+#include "profiler/trace.h"
+#include "serve/batcher.h"
+#include "serve/engine.h"
+
+using namespace aib;
+
+namespace {
+
+constexpr int kRecordsPerChunk = 1000;
+
+void
+recordMany()
+{
+    for (int i = 0; i < kRecordsPerChunk; ++i)
+        profiler::record("serve.test.kernel",
+                         profiler::KernelCategory::Elementwise,
+                         /*flops=*/2.0, /*bytes_read=*/8.0,
+                         /*bytes_written=*/4.0, /*threads=*/1.0);
+}
+
+} // namespace
+
+TEST(ServeConcurrency, MixedSessionAttachmentAcrossWorkers)
+{
+    // Even chunks attach their own session; odd chunks run with
+    // whatever the pool propagated from the caller. With a caller
+    // session bound, odd-chunk records land there concurrently from
+    // several workers — TraceSession must take that safely.
+    constexpr int kChunks = 8;
+    profiler::TraceSession caller_session;
+    std::vector<profiler::TraceSession> own(kChunks);
+
+    {
+        profiler::ScopedTrace callerScope(caller_session);
+        // One participant per chunk, exactly like the serving
+        // engine's worker dispatch.
+        core::ThreadPool pool(kChunks);
+        pool.parallelForChunked(
+            0, kChunks, 1, [&](int chunk, std::int64_t, std::int64_t) {
+                if (chunk % 2 == 0) {
+                    profiler::ScopedTrace scope(
+                        own[static_cast<std::size_t>(chunk)]);
+                    recordMany();
+                } else {
+                    recordMany();
+                }
+            });
+    }
+
+    for (int chunk = 0; chunk < kChunks; ++chunk) {
+        const auto &session = own[static_cast<std::size_t>(chunk)];
+        if (chunk % 2 == 0)
+            EXPECT_EQ(session.totalLaunches(),
+                      static_cast<std::uint64_t>(kRecordsPerChunk))
+                << "chunk " << chunk;
+        else
+            EXPECT_EQ(session.totalLaunches(), 0u)
+                << "chunk " << chunk;
+    }
+    EXPECT_EQ(caller_session.totalLaunches(),
+              static_cast<std::uint64_t>(kChunks / 2) *
+                  kRecordsPerChunk);
+}
+
+TEST(ServeConcurrency, NoSessionAnywhereDropsRecordsSafely)
+{
+    ASSERT_EQ(profiler::activeSession(), nullptr);
+    core::ThreadPool pool(4);
+    pool.parallelForChunked(0, 8, 1,
+                            [&](int chunk, std::int64_t, std::int64_t) {
+                                (void)chunk;
+                                recordMany();
+                            });
+    EXPECT_EQ(profiler::activeSession(), nullptr);
+}
+
+TEST(ServeConcurrency, EngineWorkersWithNoCallerSession)
+{
+    ASSERT_EQ(profiler::activeSession(), nullptr);
+    const auto *b = core::findBenchmark("DC-AI-C1");
+    ASSERT_NE(b, nullptr);
+    serve::ServingOptions options;
+    options.workers = 4;
+    options.queries = 16;
+    options.policy.maxBatch = 4;
+    const serve::ServingReport report =
+        serve::serveBenchmark(*b, options);
+    EXPECT_EQ(report.completed, 16);
+    EXPECT_EQ(profiler::activeSession(), nullptr);
+}
+
+TEST(ServeConcurrency, EngineUnderCallerSessionRestoresBinding)
+{
+    const auto *b = core::findBenchmark("DC-AI-C1");
+    ASSERT_NE(b, nullptr);
+    profiler::TraceSession outer;
+    {
+        profiler::ScopedTrace scope(outer);
+        serve::ServingOptions options;
+        options.workers = 3;
+        options.queries = 12;
+        const serve::ServingReport report =
+            serve::serveBenchmark(*b, options);
+        EXPECT_EQ(report.completed, 12);
+        EXPECT_EQ(profiler::activeSession(), &outer);
+    }
+    EXPECT_EQ(profiler::activeSession(), nullptr);
+}
+
+TEST(ServeConcurrency, AdmissionQueueMpmcStress)
+{
+    constexpr int kProducers = 3;
+    constexpr int kConsumers = 3;
+    constexpr int kPerProducer = 400;
+    constexpr int kTotal = kProducers * kPerProducer;
+
+    serve::AdmissionQueue queue(64);
+    serve::BatchPolicy policy;
+    policy.maxBatch = 7;
+    policy.maxDelayUs = 200;
+
+    std::vector<std::atomic<int>> seen(kTotal);
+    for (auto &s : seen)
+        s.store(0);
+    std::atomic<int> accepted{0};
+
+    std::vector<std::thread> threads;
+    for (int p = 0; p < kProducers; ++p)
+        threads.emplace_back([&, p] {
+            for (int i = 0; i < kPerProducer; ++i) {
+                serve::Request r;
+                r.id = p * kPerProducer + i;
+                r.enqueue = std::chrono::steady_clock::now();
+                if (queue.push(r))
+                    accepted.fetch_add(1,
+                                       std::memory_order_relaxed);
+            }
+        });
+    std::vector<std::thread> consumers;
+    for (int c = 0; c < kConsumers; ++c)
+        consumers.emplace_back([&] {
+            std::vector<serve::Request> batch;
+            while (queue.popBatch(policy, &batch))
+                for (const serve::Request &r : batch)
+                    seen[static_cast<std::size_t>(r.id)].fetch_add(
+                        1, std::memory_order_relaxed);
+        });
+
+    for (auto &t : threads)
+        t.join();
+    queue.close();
+    for (auto &t : consumers)
+        t.join();
+
+    int delivered = 0;
+    for (const auto &s : seen) {
+        const int n = s.load();
+        ASSERT_LE(n, 1); // never duplicated
+        delivered += n;
+    }
+    EXPECT_EQ(delivered, accepted.load());
+    EXPECT_EQ(static_cast<std::uint64_t>(kTotal - accepted.load()),
+              queue.rejected());
+}

@@ -29,6 +29,9 @@
 #include "core/thread_pool.h"
 #include "gpusim/report.h"
 #include "profiler/snapshot.h"
+#include "serve/engine.h"
+#include "serve/loadgen.h"
+#include "serve/report.h"
 #include "tensor/detail/gemm.h"
 
 using namespace aib;
@@ -86,7 +89,14 @@ positionalArg(int argc, char **argv)
                 std::strcmp(argv[i], "--checkpoint-dir") == 0 ||
                 std::strcmp(argv[i], "--checkpoint-every") == 0 ||
                 std::strcmp(argv[i], "--checkpoint-retain") == 0 ||
-                std::strcmp(argv[i], "--fault") == 0)
+                std::strcmp(argv[i], "--fault") == 0 ||
+                std::strcmp(argv[i], "--qps") == 0 ||
+                std::strcmp(argv[i], "--batch") == 0 ||
+                std::strcmp(argv[i], "--delay-us") == 0 ||
+                std::strcmp(argv[i], "--workers") == 0 ||
+                std::strcmp(argv[i], "--queue-cap") == 0 ||
+                std::strcmp(argv[i], "--concurrency") == 0 ||
+                std::strcmp(argv[i], "--train-epochs") == 0)
                 ++i;
             continue;
         }
@@ -109,8 +119,34 @@ requireBenchmark(const char *id)
 }
 
 int
-cmdList(int, char **)
+cmdList(int argc, char **argv)
 {
+    if (hasFlag(argc, argv, "--json")) {
+        const auto benchmarks = core::allBenchmarks();
+        std::printf("{\n  \"schema\": \"aib.list/1\",\n"
+                    "  \"benchmarks\": [\n");
+        for (std::size_t i = 0; i < benchmarks.size(); ++i) {
+            const auto &info = benchmarks[i]->info;
+            std::printf(
+                "    {\"id\": \"%s\", \"name\": \"%s\", "
+                "\"model\": \"%s\", \"dataset\": \"%s\", "
+                "\"metric\": \"%s\", \"target\": %.6g, "
+                "\"direction\": \"%s\", \"suite\": \"%s\", "
+                "\"subset\": %s}%s\n",
+                info.id.c_str(), info.name.c_str(),
+                info.model.c_str(), info.dataset.c_str(),
+                info.metric.c_str(), info.target,
+                info.direction == core::Direction::HigherIsBetter
+                    ? "higher"
+                    : "lower",
+                info.suite == core::Suite::AIBench ? "AIBench"
+                                                   : "MLPerf",
+                info.inSubset ? "true" : "false",
+                i + 1 < benchmarks.size() ? "," : "");
+        }
+        std::printf("  ]\n}\n");
+        return 0;
+    }
     std::printf("%-20s %-32s %-22s %-10s %s\n", "id", "task", "metric",
                 "target", "suite");
     for (const auto *b : core::allBenchmarks()) {
@@ -524,6 +560,100 @@ cmdLint(int argc, char **argv)
     return all_clean ? 0 : 1;
 }
 
+/**
+ * Online serving sweep: drive one benchmark (positional id), the
+ * affordable subset (--subset) or the whole suite (default) through
+ * the aib::serve engine and report tail latency, throughput,
+ * batch-size distribution, shedding and energy per query.
+ */
+int
+cmdServe(int argc, char **argv)
+{
+    serve::ServingOptions options;
+    options.workers =
+        static_cast<int>(argValue(argc, argv, "--workers", 3));
+    options.policy.maxBatch =
+        static_cast<int>(argValue(argc, argv, "--batch", 8));
+    options.policy.maxDelayUs =
+        argValue(argc, argv, "--delay-us", 2000);
+    options.queueCapacity =
+        static_cast<int>(argValue(argc, argv, "--queue-cap", 64));
+    options.queries =
+        static_cast<int>(argValue(argc, argv, "--queries", 120));
+    options.concurrency =
+        static_cast<int>(argValue(argc, argv, "--concurrency", 0));
+    options.trainEpochs =
+        static_cast<int>(argValue(argc, argv, "--train-epochs", 0));
+    options.seed = static_cast<std::uint64_t>(
+        argValue(argc, argv, "--seed", 42));
+
+    const char *qps_str = argString(argc, argv, "--qps", nullptr);
+    const bool closed = hasFlag(argc, argv, "--closed");
+    if (qps_str && closed) {
+        std::fprintf(stderr,
+                     "serve: --qps and --closed are exclusive\n");
+        return 2;
+    }
+    if (qps_str) {
+        options.mode = serve::DriveMode::OpenLoop;
+        options.qps = std::strtod(qps_str, nullptr);
+        if (!(options.qps > 0.0)) {
+            std::fprintf(stderr, "serve: --qps must be > 0\n");
+            return 2;
+        }
+    } else {
+        options.mode = serve::DriveMode::ClosedLoop;
+    }
+
+    std::vector<const core::ComponentBenchmark *> benchmarks;
+    if (hasFlag(argc, argv, "--subset")) {
+        benchmarks = core::subsetBenchmarks();
+    } else if (const char *id = positionalArg(argc, argv)) {
+        benchmarks.push_back(requireBenchmark(id));
+    } else {
+        benchmarks = core::allBenchmarks();
+    }
+
+    const bool as_json = hasFlag(argc, argv, "--json");
+    const char *out_path = argString(argc, argv, "--out", nullptr);
+
+    std::vector<serve::ServingReport> reports;
+    reports.reserve(benchmarks.size());
+    if (!as_json)
+        std::printf("%-20s %-7s %6s %5s %9s %8s %8s %8s %6s %8s\n",
+                    "id", "mode", "done", "rej", "qps", "p50ms",
+                    "p95ms", "p99ms", "batch", "mJ/query");
+    for (const auto *b : benchmarks) {
+        reports.push_back(serve::serveBenchmark(*b, options));
+        const auto &r = reports.back();
+        if (!as_json)
+            std::printf("%-20s %-7s %6d %5d %9.1f %8.3f %8.3f "
+                        "%8.3f %6.2f %8.3f\n",
+                        r.benchmarkId.c_str(), r.mode.c_str(),
+                        r.completed, r.rejected, r.throughputQps,
+                        r.latencyMsP(50), r.latencyMsP(95),
+                        r.latencyMsP(99), r.meanBatchSize(),
+                        r.energyPerQueryMj);
+    }
+
+    const std::string json = serve::reportsToJson(reports);
+    if (as_json)
+        std::printf("%s\n", json.c_str());
+    if (out_path) {
+        std::FILE *f = std::fopen(out_path, "w");
+        if (!f) {
+            std::fprintf(stderr, "cannot write '%s'\n", out_path);
+            return 1;
+        }
+        std::fwrite(json.data(), 1, json.size(), f);
+        std::fputc('\n', f);
+        std::fclose(f);
+        if (!as_json)
+            std::printf("wrote %s\n", out_path);
+    }
+    return 0;
+}
+
 /** One dispatch-table entry; usage() is generated from these. */
 struct Command {
     const char *name;
@@ -535,7 +665,14 @@ struct Command {
 };
 
 constexpr Command kCommands[] = {
-    {"list", "", "all registered benchmarks", cmdList},
+    {"list", "[--json]", "all registered benchmarks", cmdList},
+    {"serve",
+     "[<id> | --subset] [--qps Q | --closed] [--batch N] "
+     "[--delay-us D] [--workers N] [--queries N] [--queue-cap N] "
+     "[--concurrency N] [--train-epochs N] [--seed N] [--json] "
+     "[--out FILE]",
+     "online serving: dynamic batching, tail latency, throughput",
+     cmdServe},
     {"run", "<id> [--seed N] [--max-epochs N]",
      "entire training session to the target quality", cmdRun},
     {"train",
