@@ -38,7 +38,24 @@ enum class Direction {
 enum class Suite {
     AIBench,
     MLPerf,
+    /** Composed end-to-end application pipeline (docs/SCENARIOS.md). */
+    Scenario,
 };
+
+/** Printable suite name. */
+inline const char *
+suiteName(Suite suite)
+{
+    switch (suite) {
+    case Suite::AIBench:
+        return "AIBench";
+    case Suite::MLPerf:
+        return "MLPerf";
+    case Suite::Scenario:
+        return "Scenario";
+    }
+    return "?";
+}
 
 /**
  * One runnable training task: a freshly initialized model plus a

@@ -22,6 +22,8 @@
  *   checkpoint.corrupt  - checkpoint writer: flip byte at `param`
  *   checkpoint.abort    - checkpoint writer: die between temp write
  *                         and the atomic rename
+ *   dag.stage           - scenario DAG executor: before each stage
+ *                         runs (throws; kills a pipeline mid-stage)
  */
 
 #ifndef AIB_CORE_FAULTINJECT_H

@@ -1,0 +1,192 @@
+#include "dag/executor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+
+#include "core/faultinject.h"
+#include "dag/nodes.h"
+
+namespace aib::dag {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double microsSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double, std::micro>(Clock::now() - t0)
+        .count();
+}
+
+} // namespace
+
+Executor::Executor(Graph &graph, int workers)
+    : graph_(graph),
+      workers_(std::clamp(workers, 1, std::max(1, graph.size()))),
+      pool_(workers_),
+      stageLatency_(static_cast<std::size_t>(graph.size())),
+      stageTraces_(static_cast<std::size_t>(graph.size()))
+{
+    if (!graph_.validated()) {
+        throw GraphError("Executor requires a validated graph");
+    }
+}
+
+ExecResult Executor::execute(const std::vector<int> &sourceIds)
+{
+    const int n = graph_.size();
+
+    // Inject the request batch into every source stage. execute() is
+    // externally serialized per executor, so this is race-free.
+    for (NodeId id : graph_.topoOrder()) {
+        Node &node = graph_.node(id);
+        if (node.isSource()) {
+            static_cast<InputNode &>(node).setBatch(sourceIds);
+        }
+    }
+
+    std::vector<Value> values(static_cast<std::size_t>(n));
+    std::vector<double> stageUs(static_cast<std::size_t>(n), 0.0);
+    std::vector<double> stageDigests(static_cast<std::size_t>(n), 0.0);
+    std::vector<int> pending(static_cast<std::size_t>(n), 0);
+    std::deque<NodeId> ready;
+    std::mutex mutex;
+    std::condition_variable cv;
+    int done = 0;
+    int inflight = 0;
+    ExecAccounting acct;
+    std::exception_ptr error;
+
+    for (NodeId id = 0; id < n; ++id) {
+        pending[static_cast<std::size_t>(id)] = graph_.node(id).arity();
+        if (graph_.node(id).arity() == 0) {
+            ready.push_back(id);
+        }
+    }
+
+    const auto start = Clock::now();
+    // One chunk per worker. Inside an enclosing parallel region (e.g.
+    // a serve-engine worker) the pool runs chunks inline and serially,
+    // which degrades gracefully to a single-threaded topo walk.
+    pool_.parallelForChunked(
+        0, workers_, 1, [&](int, std::int64_t, std::int64_t) {
+            std::unique_lock<std::mutex> lock(mutex);
+            for (;;) {
+                cv.wait(lock, [&] {
+                    return !ready.empty() ||
+                           (inflight == 0 &&
+                            (done == n || error != nullptr));
+                });
+                if (ready.empty()) {
+                    return; // pipeline quiesced: complete or failed
+                }
+                const NodeId id = ready.front();
+                ready.pop_front();
+                if (error) {
+                    // A stage already failed: drain without running.
+                    ++acct.skipped;
+                    ++done;
+                    continue;
+                }
+                ++inflight;
+                lock.unlock();
+
+                bool ok = true;
+                Value out;
+                std::exception_ptr stageError;
+                profiler::TraceSession local;
+                const auto t0 = Clock::now();
+                try {
+                    core::fault::checkPoint("dag.stage");
+                    profiler::ScopedTrace scope(local);
+                    const auto &prods = graph_.producers(id);
+                    std::vector<const Value *> in;
+                    in.reserve(prods.size());
+                    for (NodeId p : prods) {
+                        in.push_back(&values[static_cast<std::size_t>(p)]);
+                    }
+                    out = graph_.node(id).run(in);
+                } catch (...) {
+                    ok = false;
+                    stageError = std::current_exception();
+                }
+                const double us = microsSince(t0);
+
+                // Kernels flow both into the per-stage accumulator and
+                // into the session that is active on this worker (the
+                // caller's, propagated by the pool), so an enclosing
+                // serve engine still sees the full kernel stream.
+                stageTraces_[static_cast<std::size_t>(id)].merge(local);
+                if (profiler::TraceSession *outer =
+                        profiler::activeSession()) {
+                    outer->merge(local);
+                }
+
+                lock.lock();
+                if (ok) {
+                    values[static_cast<std::size_t>(id)] = std::move(out);
+                    stageUs[static_cast<std::size_t>(id)] = us;
+                    if (graph_.node(id).isTask()) {
+                        stageDigests[static_cast<std::size_t>(id)] =
+                            values[static_cast<std::size_t>(id)].scalar;
+                    }
+                    stageLatency_[static_cast<std::size_t>(id)].record(us);
+                    ++acct.executed;
+                    for (NodeId c : graph_.consumers(id)) {
+                        if (--pending[static_cast<std::size_t>(c)] == 0) {
+                            ready.push_back(c);
+                        }
+                    }
+                } else {
+                    ++acct.failed;
+                    if (!error) {
+                        error = stageError;
+                    }
+                }
+                --inflight;
+                ++done;
+                cv.notify_all();
+            }
+        });
+
+    acct.unreached = n - done;
+    accounting_ = acct;
+    ++executions_;
+    if (error) {
+        std::rethrow_exception(error);
+    }
+
+    ExecResult result;
+    result.e2eUs = microsSince(start);
+    e2e_.record(result.e2eUs);
+    result.stageUs = std::move(stageUs);
+    result.stageDigests = std::move(stageDigests);
+    result.output = values[static_cast<std::size_t>(graph_.sink())];
+
+    // Fixed topo-order fold: bitwise identical at any worker count.
+    double digest = 0.0;
+    int taskIndex = 0;
+    for (NodeId id : graph_.topoOrder()) {
+        if (graph_.node(id).isTask()) {
+            ++taskIndex;
+            digest += result.stageDigests[static_cast<std::size_t>(id)] *
+                      static_cast<double>(2 * taskIndex - 1);
+        }
+    }
+    result.digest = digest;
+    return result;
+}
+
+void Executor::mergeStats(const Executor &other)
+{
+    for (std::size_t i = 0; i < stageLatency_.size(); ++i) {
+        stageLatency_[i].merge(other.stageLatency_[i]);
+        stageTraces_[i].merge(other.stageTraces_[i]);
+    }
+    e2e_.merge(other.e2e_);
+}
+
+} // namespace aib::dag

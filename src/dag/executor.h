@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Async per-node scenario executor.
+ *
+ * Executes a validated @c Graph over @c core::ThreadPool workers with
+ * a topological ready queue: a stage becomes runnable the moment all
+ * of its producers finish, so independent branches of a diamond
+ * pipeline overlap. Because every stage is a pure function of its
+ * inputs and each stage runs exactly once per batch, the results —
+ * stage digests, routed ids, the folded scenario digest — are
+ * bitwise identical at any worker count; only wall-clock latency
+ * changes.
+ *
+ * Observability: each stage accumulates its own
+ * @c profiler::TraceSession and host-side @c serve::LatencyHistogram,
+ * and every recorded kernel is also merged into the session that was
+ * active when @c execute was called, so an enclosing serve engine
+ * still sees the full kernel stream (energy accounting and replay
+ * service times keep working unchanged).
+ *
+ * Fault injection: the executor guards every stage with the
+ * @c dag.stage fault point. On a mid-stage failure the first error is
+ * captured, the ready queue drains without running further stages,
+ * in-flight stages finish, and the error is rethrown on the calling
+ * thread — no hangs, no leaked queue slots; the executor remains
+ * usable for subsequent batches.
+ */
+
+#ifndef AIB_DAG_EXECUTOR_H
+#define AIB_DAG_EXECUTOR_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/thread_pool.h"
+#include "dag/graph.h"
+#include "profiler/trace.h"
+#include "serve/histogram.h"
+
+namespace aib::dag {
+
+/** Result of executing one batch through the pipeline. */
+struct ExecResult {
+    /** Fixed topo-order fold over task-stage digests. */
+    double digest = 0.0;
+    /** End-to-end host latency of this execution in microseconds. */
+    double e2eUs = 0.0;
+    /** Per-node stage digests (task nodes; 0 for transforms). */
+    std::vector<double> stageDigests;
+    /** Per-node host latency in microseconds. */
+    std::vector<double> stageUs;
+    /** The sink stage's output value. */
+    Value output;
+};
+
+/** Accounting for the most recent execution (fault tests). */
+struct ExecAccounting {
+    int executed = 0;  ///< stages that ran to completion
+    int failed = 0;    ///< stages that threw
+    int skipped = 0;   ///< stages drained from the ready queue unrun
+    int unreached = 0; ///< stages whose producers never completed
+};
+
+/** Runs batches through a validated graph; see file comment. */
+class Executor
+{
+  public:
+    /**
+     * @param graph validated graph; must outlive the executor.
+     * @param workers concurrent stage workers (clamped to [1, size]).
+     */
+    explicit Executor(Graph &graph, int workers = 2);
+
+    /**
+     * Execute one request batch. Rethrows the first stage error after
+     * the pipeline has fully quiesced.
+     */
+    ExecResult execute(const std::vector<int> &sourceIds);
+
+    int workers() const { return workers_; }
+    std::uint64_t executions() const { return executions_; }
+
+    /** Accounting for the most recent execute() call. */
+    const ExecAccounting &lastAccounting() const { return accounting_; }
+
+    /** Accumulated host latency of stage @p id across executions. */
+    const serve::LatencyHistogram &stageLatency(NodeId id) const
+    {
+        return stageLatency_[static_cast<std::size_t>(id)];
+    }
+
+    /** Accumulated end-to-end host latency across executions. */
+    const serve::LatencyHistogram &endToEndLatency() const { return e2e_; }
+
+    /** Accumulated kernel trace of stage @p id across executions. */
+    const profiler::TraceSession &stageTrace(NodeId id) const
+    {
+        return stageTraces_[static_cast<std::size_t>(id)];
+    }
+
+    /** Merge another executor's per-stage statistics into this one. */
+    void mergeStats(const Executor &other);
+
+  private:
+    Graph &graph_;
+    int workers_;
+    core::ThreadPool pool_;
+    std::vector<serve::LatencyHistogram> stageLatency_;
+    std::vector<profiler::TraceSession> stageTraces_;
+    serve::LatencyHistogram e2e_;
+    ExecAccounting accounting_;
+    std::uint64_t executions_ = 0;
+};
+
+} // namespace aib::dag
+
+#endif // AIB_DAG_EXECUTOR_H

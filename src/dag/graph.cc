@@ -1,0 +1,221 @@
+#include "dag/graph.h"
+
+#include <algorithm>
+#include <queue>
+#include <sstream>
+
+namespace aib::dag {
+
+const char *valueKindName(ValueKind kind)
+{
+    switch (kind) {
+    case ValueKind::Ids:
+        return "ids";
+    case ValueKind::Tensor:
+        return "tensor";
+    case ValueKind::Scalar:
+        return "scalar";
+    }
+    return "?";
+}
+
+bool PortSpec::accepts(const PortSpec &produced) const
+{
+    if (kind != produced.kind) {
+        return false;
+    }
+    if (kind != ValueKind::Tensor) {
+        return true;
+    }
+    if (dims.size() != produced.dims.size()) {
+        return false;
+    }
+    for (std::size_t i = 0; i < dims.size(); ++i) {
+        if (dims[i] >= 0 && produced.dims[i] >= 0 &&
+            dims[i] != produced.dims[i]) {
+            return false;
+        }
+    }
+    return true;
+}
+
+std::string PortSpec::toString() const
+{
+    std::ostringstream out;
+    out << valueKindName(kind);
+    if (kind == ValueKind::Tensor) {
+        out << '[';
+        for (std::size_t i = 0; i < dims.size(); ++i) {
+            if (i > 0) {
+                out << ", ";
+            }
+            out << dims[i];
+        }
+        out << ']';
+    }
+    return out.str();
+}
+
+void Graph::requireMutable(const char *op) const
+{
+    if (validated_) {
+        throw GraphError(std::string(op) +
+                         ": graph is frozen after validate()");
+    }
+}
+
+void Graph::requireKnown(NodeId id, const char *role) const
+{
+    if (id < 0 || id >= size()) {
+        std::ostringstream out;
+        out << "unknown " << role << " node id " << id;
+        throw GraphError(out.str());
+    }
+}
+
+NodeId Graph::add(std::unique_ptr<Node> node)
+{
+    requireMutable("add");
+    const NodeId id = size();
+    producers_.emplace_back(
+        std::vector<NodeId>(static_cast<std::size_t>(node->arity()), -1));
+    consumers_.emplace_back();
+    nodes_.push_back(std::move(node));
+    return id;
+}
+
+void Graph::connect(NodeId from, NodeId to, int port)
+{
+    requireMutable("connect");
+    requireKnown(from, "producer");
+    requireKnown(to, "consumer");
+    Node &dst = node(to);
+    if (port < 0 || port >= dst.arity()) {
+        std::ostringstream out;
+        out << "node '" << dst.name() << "' has no input port " << port
+            << " (arity " << dst.arity() << ")";
+        throw GraphError(out.str());
+    }
+    NodeId &slot = producers_[static_cast<std::size_t>(to)]
+                             [static_cast<std::size_t>(port)];
+    if (slot != -1) {
+        std::ostringstream out;
+        out << "input port already bound: " << dst.name() << ".in[" << port
+            << "] fed by both '" << node(slot).name() << "' and '"
+            << node(from).name() << "'";
+        throw GraphError(out.str());
+    }
+    slot = from;
+    consumers_[static_cast<std::size_t>(from)].push_back(to);
+}
+
+void Graph::validate()
+{
+    requireMutable("validate");
+    if (nodes_.empty()) {
+        throw GraphError("graph has no nodes");
+    }
+
+    // Every input port bound.
+    for (NodeId id = 0; id < size(); ++id) {
+        const auto &prods = producers_[static_cast<std::size_t>(id)];
+        for (std::size_t p = 0; p < prods.size(); ++p) {
+            if (prods[p] == -1) {
+                std::ostringstream out;
+                out << "dangling input port: " << node(id).name() << ".in["
+                    << p << "] has no producer";
+                throw GraphError(out.str());
+            }
+        }
+    }
+
+    // Exactly one sink keeps the pipeline output well defined.
+    std::vector<NodeId> sinks;
+    for (NodeId id = 0; id < size(); ++id) {
+        if (consumers_[static_cast<std::size_t>(id)].empty()) {
+            sinks.push_back(id);
+        }
+    }
+    if (sinks.size() != 1) {
+        std::ostringstream out;
+        out << "graph must have exactly one sink, found " << sinks.size();
+        for (NodeId id : sinks) {
+            out << " '" << node(id).name() << "'";
+        }
+        throw GraphError(out.str());
+    }
+
+    // Kahn's algorithm with a min-id ready queue: the topological
+    // order is a pure function of construction order, which keeps
+    // digest folds and report layouts deterministic.
+    std::vector<int> indeg(static_cast<std::size_t>(size()), 0);
+    for (NodeId id = 0; id < size(); ++id) {
+        indeg[static_cast<std::size_t>(id)] = node(id).arity();
+    }
+    std::priority_queue<NodeId, std::vector<NodeId>, std::greater<>> ready;
+    for (NodeId id = 0; id < size(); ++id) {
+        if (indeg[static_cast<std::size_t>(id)] == 0) {
+            ready.push(id);
+        }
+    }
+    std::vector<NodeId> topo;
+    topo.reserve(static_cast<std::size_t>(size()));
+    while (!ready.empty()) {
+        const NodeId id = ready.top();
+        ready.pop();
+        topo.push_back(id);
+        for (NodeId c : consumers_[static_cast<std::size_t>(id)]) {
+            if (--indeg[static_cast<std::size_t>(c)] == 0) {
+                ready.push(c);
+            }
+        }
+    }
+    if (static_cast<int>(topo.size()) != size()) {
+        std::ostringstream out;
+        out << "cycle detected through";
+        for (NodeId id = 0; id < size(); ++id) {
+            if (indeg[static_cast<std::size_t>(id)] > 0) {
+                out << " '" << node(id).name() << "'";
+            }
+        }
+        throw GraphError(out.str());
+    }
+
+    // Static spec propagation in topological order.
+    specs_.assign(static_cast<std::size_t>(size()), PortSpec{});
+    for (NodeId id : topo) {
+        Node &n = node(id);
+        std::vector<PortSpec> inputs;
+        inputs.reserve(static_cast<std::size_t>(n.arity()));
+        for (int p = 0; p < n.arity(); ++p) {
+            const NodeId prod = producers_[static_cast<std::size_t>(id)]
+                                          [static_cast<std::size_t>(p)];
+            const PortSpec &got = specs_[static_cast<std::size_t>(prod)];
+            const PortSpec want = n.inputSpec(p);
+            if (!want.sameKind(got)) {
+                std::ostringstream out;
+                out << "type mismatch at " << n.name() << ".in[" << p
+                    << "]: expects " << want.toString() << ", got "
+                    << got.toString() << " from '" << node(prod).name()
+                    << "'";
+                throw GraphError(out.str());
+            }
+            if (!want.accepts(got)) {
+                std::ostringstream out;
+                out << "shape mismatch at " << n.name() << ".in[" << p
+                    << "]: expects " << want.toString() << ", got "
+                    << got.toString() << " from '" << node(prod).name()
+                    << "'";
+                throw GraphError(out.str());
+            }
+            inputs.push_back(got);
+        }
+        specs_[static_cast<std::size_t>(id)] = n.outputSpec(inputs);
+    }
+
+    topo_ = std::move(topo);
+    sink_ = sinks.front();
+    validated_ = true;
+}
+
+} // namespace aib::dag

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Scenario graph: typed DAG of pipeline stages.
+ *
+ * A @c Graph owns a set of @c Node stages and the edges between them.
+ * Construction is two-phase: @c add() / @c connect() wire the
+ * topology, then @c validate() freezes it — running cycle detection,
+ * dangling-port checks and static spec propagation in one pass so
+ * every kind/shape mismatch surfaces before the first batch executes
+ * (mirroring the graph auditor's build-time checks, docs/LINT.md).
+ * After validation the graph is immutable and safe to execute
+ * concurrently from a single @c Executor at a time.
+ */
+
+#ifndef AIB_DAG_GRAPH_H
+#define AIB_DAG_GRAPH_H
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "dag/value.h"
+
+namespace aib::dag {
+
+/** Raised on any topology or typing violation. */
+class GraphError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** Index of a node within its graph. */
+using NodeId = int;
+
+/**
+ * One pipeline stage. Subclasses declare their input arity and port
+ * specs (build time) and implement @c run (execution time). @c run
+ * must be a pure function of its inputs and the node's construction
+ * state: no global RNG, no wall-clock reads — this is what makes
+ * scenario digests bitwise worker-count-invariant.
+ */
+class Node
+{
+  public:
+    explicit Node(std::string name)
+        : name_(std::move(name))
+    {}
+    virtual ~Node() = default;
+
+    Node(const Node &) = delete;
+    Node &operator=(const Node &) = delete;
+
+    const std::string &name() const { return name_; }
+
+    /** Number of input ports. */
+    virtual int arity() const = 0;
+
+    /** Build-time spec accepted by input port @p port. */
+    virtual PortSpec inputSpec(int port) const = 0;
+
+    /**
+     * Build-time output spec given the (already accepted) producer
+     * specs bound to each input port. May refine dynamic dimensions;
+     * throws @c GraphError on an inconsistent combination.
+     */
+    virtual PortSpec outputSpec(const std::vector<PortSpec> &inputs) const = 0;
+
+    /** Execute the stage. @c inputs.size() == arity(). */
+    virtual Value run(const std::vector<const Value *> &inputs) = 0;
+
+    /**
+     * True for stages wrapping a component benchmark; their per-batch
+     * digests fold into the scenario digest.
+     */
+    virtual bool isTask() const { return false; }
+
+    /** True for source nodes fed by the executor's request batch. */
+    virtual bool isSource() const { return false; }
+
+  private:
+    std::string name_;
+};
+
+/** Typed DAG of stages; see file comment for the build protocol. */
+class Graph
+{
+  public:
+    Graph() = default;
+    Graph(const Graph &) = delete;
+    Graph &operator=(const Graph &) = delete;
+
+    /** Add a stage; returns its id. Rejected after validate(). */
+    NodeId add(std::unique_ptr<Node> node);
+
+    /**
+     * Wire @p from's output into input port @p port of @p to.
+     * Throws @c GraphError on unknown ids, an out-of-range port, or a
+     * port that is already bound.
+     */
+    void connect(NodeId from, NodeId to, int port);
+
+    /**
+     * Freeze and fully validate the topology: every input port bound,
+     * no cycles, exactly one sink, and static specs propagate through
+     * every stage without a kind or shape mismatch.
+     * Throws @c GraphError; on success the graph is immutable.
+     */
+    void validate();
+
+    bool validated() const { return validated_; }
+    int size() const { return static_cast<int>(nodes_.size()); }
+    Node &node(NodeId id) { return *nodes_[static_cast<std::size_t>(id)]; }
+    const Node &node(NodeId id) const
+    {
+        return *nodes_[static_cast<std::size_t>(id)];
+    }
+
+    /** Deterministic topological order (valid after validate()). */
+    const std::vector<NodeId> &topoOrder() const { return topo_; }
+
+    /** Inferred output spec of @p id (valid after validate()). */
+    const PortSpec &outputSpec(NodeId id) const
+    {
+        return specs_[static_cast<std::size_t>(id)];
+    }
+
+    /** The unique node no other stage consumes (valid after validate()). */
+    NodeId sink() const { return sink_; }
+
+    /** Producer node bound to each input port of @p id, in port order. */
+    const std::vector<NodeId> &producers(NodeId id) const
+    {
+        return producers_[static_cast<std::size_t>(id)];
+    }
+
+    /** Nodes consuming @p id's output (one entry per bound port). */
+    const std::vector<NodeId> &consumers(NodeId id) const
+    {
+        return consumers_[static_cast<std::size_t>(id)];
+    }
+
+  private:
+    void requireMutable(const char *op) const;
+    void requireKnown(NodeId id, const char *role) const;
+
+    std::vector<std::unique_ptr<Node>> nodes_;
+    /** producers_[n][p] = id feeding port p of node n (-1 unbound). */
+    std::vector<std::vector<NodeId>> producers_;
+    std::vector<std::vector<NodeId>> consumers_;
+    std::vector<PortSpec> specs_;
+    std::vector<NodeId> topo_;
+    NodeId sink_ = -1;
+    bool validated_ = false;
+};
+
+} // namespace aib::dag
+
+#endif // AIB_DAG_GRAPH_H

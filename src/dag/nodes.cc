@@ -1,0 +1,213 @@
+#include "dag/nodes.h"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+
+#include "profiler/trace.h"
+#include "tensor/ops.h"
+
+namespace aib::dag {
+namespace {
+
+/** Route a request id through a stage digest's bit pattern. */
+int routeId(int id, double digest, int pool)
+{
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &digest, sizeof(bits));
+    const std::uint64_t mixed = detail::splitmix64(
+        static_cast<std::uint64_t>(static_cast<unsigned>(id)) ^ bits);
+    return static_cast<int>(mixed % static_cast<std::uint64_t>(pool));
+}
+
+} // namespace
+
+TaskNode::TaskNode(const core::ComponentBenchmark &benchmark,
+                   std::uint64_t seed, int routePool)
+    : Node(benchmark.info.id),
+      benchmarkId_(benchmark.info.id),
+      task_(benchmark.makeTask(seed)),
+      routePool_(routePool)
+{
+    if (!task_->supportsBatchedServe()) {
+        throw GraphError("benchmark '" + benchmarkId_ +
+                         "' does not support batched serving and cannot "
+                         "anchor a scenario stage");
+    }
+    if (routePool_ <= 0) {
+        throw GraphError("TaskNode route pool must be positive");
+    }
+}
+
+Value TaskNode::run(const std::vector<const Value *> &inputs)
+{
+    const std::vector<int> &ids = inputs[0]->ids;
+    const double digest = task_->serveBatch(ids);
+    Value out;
+    out.kind = ValueKind::Ids;
+    out.ids.reserve(ids.size());
+    for (int id : ids) {
+        out.ids.push_back(routeId(id, digest, routePool_));
+    }
+    out.scalar = digest;
+    return out;
+}
+
+HashEmbedNode::HashEmbedNode(int dim)
+    : Node("hash_embed"),
+      dim_(dim)
+{
+    if (dim <= 0) {
+        throw GraphError("HashEmbedNode dim must be positive");
+    }
+}
+
+Value HashEmbedNode::run(const std::vector<const Value *> &inputs)
+{
+    const std::vector<int> &ids = inputs[0]->ids;
+    const std::int64_t n = static_cast<std::int64_t>(ids.size());
+    Tensor out = Tensor::empty({n, dim_});
+    float *data = out.data();
+    for (std::int64_t i = 0; i < n; ++i) {
+        const std::uint64_t base =
+            detail::splitmix64(static_cast<std::uint64_t>(
+                                   static_cast<unsigned>(ids[static_cast<
+                                       std::size_t>(i)])) *
+                               0x9E3779B97F4A7C15ULL);
+        for (int j = 0; j < dim_; ++j) {
+            data[i * dim_ + j] =
+                detail::hashUnit(base + static_cast<std::uint64_t>(j));
+        }
+    }
+    const double elems = static_cast<double>(n) * dim_;
+    profiler::record("dag::hash_embed",
+                     profiler::KernelCategory::DataArrangement, 2.0 * elems,
+                     0.0, 4.0 * elems, elems);
+    return Value::ofTensor(out);
+}
+
+ProjectNode::ProjectNode(int inDim, int outDim)
+    : Node("project"),
+      inDim_(inDim),
+      outDim_(outDim)
+{
+    if (inDim <= 0 || outDim <= 0) {
+        throw GraphError("ProjectNode dims must be positive");
+    }
+    weight_ = Tensor::empty({inDim_, outDim_});
+    float *w = weight_.data();
+    for (std::int64_t i = 0; i < weight_.numel(); ++i) {
+        w[i] = detail::hashUnit(0xA5A5A5A5ULL + static_cast<std::uint64_t>(i)) *
+               0.25f;
+    }
+}
+
+Value ProjectNode::run(const std::vector<const Value *> &inputs)
+{
+    NoGradGuard guard;
+    return Value::ofTensor(ops::matmul(inputs[0]->tensor, weight_));
+}
+
+Value NormalizeNode::run(const std::vector<const Value *> &inputs)
+{
+    NoGradGuard guard;
+    const Tensor &x = inputs[0]->tensor;
+    Tensor norm = ops::sqrt(
+        ops::addScalar(ops::sumDim(ops::square(x), 1, /*keepdim=*/true),
+                       1e-8f));
+    return Value::ofTensor(ops::div(x, norm));
+}
+
+TopKNode::TopKNode(int k)
+    : Node("topk"),
+      k_(k)
+{
+    if (k <= 0) {
+        throw GraphError("TopKNode k must be positive");
+    }
+}
+
+Value TopKNode::run(const std::vector<const Value *> &inputs)
+{
+    const Tensor &x = inputs[0]->tensor;
+    const std::int64_t n = x.dim(0);
+    const std::int64_t d = x.dim(1);
+    const float *data = x.data();
+    std::vector<double> scores(static_cast<std::size_t>(n), 0.0);
+    for (std::int64_t i = 0; i < n; ++i) {
+        double s = 0.0; // fixed-order accumulation: bitwise reproducible
+        for (std::int64_t j = 0; j < d; ++j) {
+            s += static_cast<double>(data[i * d + j]);
+        }
+        scores[static_cast<std::size_t>(i)] = s;
+    }
+    std::vector<int> order(static_cast<std::size_t>(n));
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+        return scores[static_cast<std::size_t>(a)] >
+               scores[static_cast<std::size_t>(b)];
+    });
+    const std::size_t k = std::min<std::size_t>(
+        static_cast<std::size_t>(k_), order.size());
+    order.resize(k);
+    const double elems = static_cast<double>(n) * static_cast<double>(d);
+    profiler::record("dag::topk", profiler::KernelCategory::DataArrangement,
+                     elems, 4.0 * elems, 4.0 * static_cast<double>(k),
+                     static_cast<double>(n));
+    return Value::ofIds(std::move(order));
+}
+
+FanOutNode::FanOutNode(int k, int pool)
+    : Node("fan_out"),
+      k_(k),
+      pool_(pool)
+{
+    if (k <= 0 || pool <= 0) {
+        throw GraphError("FanOutNode k and pool must be positive");
+    }
+}
+
+Value FanOutNode::run(const std::vector<const Value *> &inputs)
+{
+    const std::vector<int> &ids = inputs[0]->ids;
+    Value out;
+    out.kind = ValueKind::Ids;
+    out.ids.reserve(ids.size() * static_cast<std::size_t>(k_));
+    for (int id : ids) {
+        for (int j = 0; j < k_; ++j) {
+            const std::uint64_t h = detail::splitmix64(
+                static_cast<std::uint64_t>(static_cast<unsigned>(id)) * 31U +
+                static_cast<std::uint64_t>(j));
+            out.ids.push_back(
+                static_cast<int>(h % static_cast<std::uint64_t>(pool_)));
+        }
+    }
+    return out;
+}
+
+Value MergeNode::run(const std::vector<const Value *> &inputs)
+{
+    Value out;
+    out.kind = ValueKind::Ids;
+    out.ids = inputs[0]->ids;
+    out.ids.insert(out.ids.end(), inputs[1]->ids.begin(),
+                   inputs[1]->ids.end());
+    return out;
+}
+
+PortSpec ConcatNode::outputSpec(const std::vector<PortSpec> &inputs) const
+{
+    const std::int64_t a = inputs[0].dims[1];
+    const std::int64_t b = inputs[1].dims[1];
+    const std::int64_t joined = (a >= 0 && b >= 0) ? a + b : -1;
+    return PortSpec::tensor({-1, joined});
+}
+
+Value ConcatNode::run(const std::vector<const Value *> &inputs)
+{
+    NoGradGuard guard;
+    return Value::ofTensor(
+        ops::concat({inputs[0]->tensor, inputs[1]->tensor}, 1));
+}
+
+} // namespace aib::dag

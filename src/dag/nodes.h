@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Stage library for scenario graphs.
+ *
+ * Two families of stages compose a pipeline:
+ *
+ *  - @c TaskNode wraps a registered component benchmark and serves a
+ *    batch through @c TrainableTask::serveBatch, so a scenario stage
+ *    exercises exactly the model a standalone `aibench serve` would.
+ *    Its output ids are re-routed through the stage digest, making
+ *    every downstream stage genuinely data-dependent on the upstream
+ *    model's numerical output.
+ *
+ *  - Transform nodes (hash embedding, projection, normalisation,
+ *    top-k, fan-out, merge, concat) are pure hash/tensor functions of
+ *    their inputs — no global RNG, no hidden state — so pipelines stay
+ *    bitwise deterministic at any worker count.
+ */
+
+#ifndef AIB_DAG_NODES_H
+#define AIB_DAG_NODES_H
+
+#include <cstdint>
+#include <memory>
+
+#include "core/benchmark.h"
+#include "dag/graph.h"
+#include "tensor/tensor.h"
+
+namespace aib::dag {
+
+namespace detail {
+/** splitmix64: the fixed mixing function behind all hash transforms. */
+inline std::uint64_t splitmix64(std::uint64_t x)
+{
+    x += 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return x ^ (x >> 31);
+}
+
+/** Hash to a float in [-1, 1). */
+inline float hashUnit(std::uint64_t x)
+{
+    return static_cast<float>(splitmix64(x) >> 11) * 0x1p-52f * 2.0f - 1.0f;
+}
+} // namespace detail
+
+/** Source stage; the executor injects the request batch. */
+class InputNode : public Node
+{
+  public:
+    InputNode()
+        : Node("input")
+    {}
+    int arity() const override { return 0; }
+    PortSpec inputSpec(int) const override { return PortSpec::ids(); }
+    PortSpec outputSpec(const std::vector<PortSpec> &) const override
+    {
+        return PortSpec::ids();
+    }
+    Value run(const std::vector<const Value *> &) override
+    {
+        return Value::ofIds(batch_);
+    }
+    bool isSource() const override { return true; }
+
+    /** Set by the executor before each execution (never concurrently). */
+    void setBatch(std::vector<int> ids) { batch_ = std::move(ids); }
+
+  private:
+    std::vector<int> batch_;
+};
+
+/**
+ * Component-benchmark stage: ids -> ids.
+ *
+ * Serves the batch through the wrapped task and emits one routed id
+ * per request, mixing the request id with the bit pattern of the
+ * stage digest. The construction-time task seed is derived
+ * deterministically by the caller, so replicas are bitwise clones.
+ */
+class TaskNode : public Node
+{
+  public:
+    /**
+     * @param benchmark registered component to wrap (must support
+     *        batched serving).
+     * @param seed task construction seed.
+     * @param routePool output ids fall in [0, routePool).
+     */
+    TaskNode(const core::ComponentBenchmark &benchmark, std::uint64_t seed,
+             int routePool = 1024);
+
+    int arity() const override { return 1; }
+    PortSpec inputSpec(int) const override { return PortSpec::ids(); }
+    PortSpec outputSpec(const std::vector<PortSpec> &) const override
+    {
+        return PortSpec::ids();
+    }
+    Value run(const std::vector<const Value *> &inputs) override;
+    bool isTask() const override { return true; }
+
+    const std::string &benchmarkId() const { return benchmarkId_; }
+    core::TrainableTask &task() { return *task_; }
+
+  private:
+    std::string benchmarkId_;
+    std::unique_ptr<core::TrainableTask> task_;
+    int routePool_;
+};
+
+/** ids -> tensor[-1, dim]: fixed hash features per request id. */
+class HashEmbedNode : public Node
+{
+  public:
+    explicit HashEmbedNode(int dim);
+    int arity() const override { return 1; }
+    PortSpec inputSpec(int) const override { return PortSpec::ids(); }
+    PortSpec outputSpec(const std::vector<PortSpec> &) const override
+    {
+        return PortSpec::tensor({-1, dim_});
+    }
+    Value run(const std::vector<const Value *> &inputs) override;
+
+  private:
+    int dim_;
+};
+
+/**
+ * tensor[-1, inDim] -> tensor[-1, outDim]: dense projection through a
+ * fixed hash-initialised weight matrix (a real GEMM, so the stage
+ * contributes honest FLOPs to the per-stage breakdown).
+ */
+class ProjectNode : public Node
+{
+  public:
+    ProjectNode(int inDim, int outDim);
+    int arity() const override { return 1; }
+    PortSpec inputSpec(int) const override
+    {
+        return PortSpec::tensor({-1, inDim_});
+    }
+    PortSpec outputSpec(const std::vector<PortSpec> &) const override
+    {
+        return PortSpec::tensor({-1, outDim_});
+    }
+    Value run(const std::vector<const Value *> &inputs) override;
+
+  private:
+    int inDim_;
+    int outDim_;
+    aib::Tensor weight_;
+};
+
+/** tensor[-1, d] -> tensor[-1, d]: L2-normalise each row. */
+class NormalizeNode : public Node
+{
+  public:
+    NormalizeNode()
+        : Node("normalize")
+    {}
+    int arity() const override { return 1; }
+    PortSpec inputSpec(int) const override
+    {
+        return PortSpec::tensor({-1, -1});
+    }
+    PortSpec outputSpec(const std::vector<PortSpec> &inputs) const override
+    {
+        return inputs[0];
+    }
+    Value run(const std::vector<const Value *> &inputs) override;
+};
+
+/**
+ * tensor[-1, d] -> ids: indices of the k highest-scoring rows
+ * (fixed-order row sums; ties break to the lower index).
+ */
+class TopKNode : public Node
+{
+  public:
+    explicit TopKNode(int k);
+    int arity() const override { return 1; }
+    PortSpec inputSpec(int) const override
+    {
+        return PortSpec::tensor({-1, -1});
+    }
+    PortSpec outputSpec(const std::vector<PortSpec> &) const override
+    {
+        return PortSpec::ids();
+    }
+    Value run(const std::vector<const Value *> &inputs) override;
+
+  private:
+    int k_;
+};
+
+/** ids -> ids: k hash-derived candidates per input id. */
+class FanOutNode : public Node
+{
+  public:
+    FanOutNode(int k, int pool);
+    int arity() const override { return 1; }
+    PortSpec inputSpec(int) const override { return PortSpec::ids(); }
+    PortSpec outputSpec(const std::vector<PortSpec> &) const override
+    {
+        return PortSpec::ids();
+    }
+    Value run(const std::vector<const Value *> &inputs) override;
+
+  private:
+    int k_;
+    int pool_;
+};
+
+/** (ids, ids) -> ids: concatenation in port order. */
+class MergeNode : public Node
+{
+  public:
+    MergeNode()
+        : Node("merge")
+    {}
+    int arity() const override { return 2; }
+    PortSpec inputSpec(int) const override { return PortSpec::ids(); }
+    PortSpec outputSpec(const std::vector<PortSpec> &) const override
+    {
+        return PortSpec::ids();
+    }
+    Value run(const std::vector<const Value *> &inputs) override;
+};
+
+/** (tensor[n, d1], tensor[n, d2]) -> tensor[n, d1 + d2]. */
+class ConcatNode : public Node
+{
+  public:
+    ConcatNode()
+        : Node("concat")
+    {}
+    int arity() const override { return 2; }
+    PortSpec inputSpec(int) const override
+    {
+        return PortSpec::tensor({-1, -1});
+    }
+    PortSpec outputSpec(const std::vector<PortSpec> &inputs) const override;
+    Value run(const std::vector<const Value *> &inputs) override;
+};
+
+} // namespace aib::dag
+
+#endif // AIB_DAG_NODES_H

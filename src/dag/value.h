@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Typed values flowing along scenario-DAG edges.
+ *
+ * Every edge in a scenario graph carries exactly one of three value
+ * kinds: a batch of request ids (the currency of
+ * @c TrainableTask::serveBatch), a dense tensor, or a scalar. Each
+ * node declares a static @c PortSpec for its inputs and output so the
+ * whole pipeline type-checks at graph-build time, before anything
+ * executes — the DAG analogue of the graph auditor's static shape
+ * inference (docs/LINT.md).
+ */
+
+#ifndef AIB_DAG_VALUE_H
+#define AIB_DAG_VALUE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace aib::dag {
+
+/** Kind of payload carried by an edge. */
+enum class ValueKind {
+    Ids,    ///< batch of request ids (vector<int>)
+    Tensor, ///< dense float tensor
+    Scalar, ///< single double (digests, scores)
+};
+
+/** Printable name of a value kind. */
+const char *valueKindName(ValueKind kind);
+
+/**
+ * Static type of one port: a kind plus, for tensors, a shape template
+ * where -1 marks a dynamic dimension (conventionally the batch axis).
+ */
+struct PortSpec {
+    ValueKind kind = ValueKind::Ids;
+    /** Tensor kind only: per-dimension extents, -1 for dynamic. */
+    std::vector<std::int64_t> dims;
+
+    static PortSpec ids() { return PortSpec{ValueKind::Ids, {}}; }
+    static PortSpec scalar() { return PortSpec{ValueKind::Scalar, {}}; }
+    static PortSpec tensor(std::vector<std::int64_t> dims)
+    {
+        return PortSpec{ValueKind::Tensor, std::move(dims)};
+    }
+
+    /** Same kind as @p produced. */
+    bool sameKind(const PortSpec &produced) const
+    {
+        return kind == produced.kind;
+    }
+
+    /**
+     * True when a value of spec @p produced may bind to this input
+     * spec: kinds equal and, for tensors, equal rank with every
+     * static (non-negative) dimension matching. A -1 on either side
+     * accepts any extent.
+     */
+    bool accepts(const PortSpec &produced) const;
+
+    /** Human-readable form, e.g. "tensor[-1, 32]" or "ids". */
+    std::string toString() const;
+};
+
+/** One runtime payload travelling along an edge. */
+struct Value {
+    ValueKind kind = ValueKind::Ids;
+    std::vector<int> ids;
+    aib::Tensor tensor;
+    double scalar = 0.0;
+
+    static Value ofIds(std::vector<int> ids)
+    {
+        Value v;
+        v.kind = ValueKind::Ids;
+        v.ids = std::move(ids);
+        return v;
+    }
+    static Value ofTensor(aib::Tensor t)
+    {
+        Value v;
+        v.kind = ValueKind::Tensor;
+        v.tensor = std::move(t);
+        return v;
+    }
+    static Value ofScalar(double s)
+    {
+        Value v;
+        v.kind = ValueKind::Scalar;
+        v.scalar = s;
+        return v;
+    }
+};
+
+} // namespace aib::dag
+
+#endif // AIB_DAG_VALUE_H

@@ -8,6 +8,24 @@ namespace aib::data {
 
 namespace {
 
+/** splitmix64 mixer for the pure exemplar paths. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return x ^ (x >> 31);
+}
+
+/** Advance @p h and map it to a float in [-1, 1). */
+float
+hashSigned(std::uint64_t &h)
+{
+    h = mix64(h);
+    return static_cast<float>(h >> 11) * 0x1p-52f - 1.0f;
+}
+
 /** Class-dependent base color (RGB in [0,1]). */
 void
 classColor(int label, float *rgb)
@@ -210,6 +228,48 @@ IdentityImageGenerator::sampleOf(int identity)
     return image;
 }
 
+Tensor
+IdentityImageGenerator::exemplarOf(int identity, int variant) const
+{
+    if (identity < 0 || identity >= identities_)
+        throw std::out_of_range("IdentityImageGenerator: bad identity");
+    const auto &proto = prototypes_[static_cast<std::size_t>(identity)];
+    std::uint64_t h =
+        mix64(static_cast<std::uint64_t>(static_cast<unsigned>(identity)) *
+                  0x9E3779B97F4A7C15ULL ^
+              static_cast<std::uint64_t>(static_cast<unsigned>(variant)));
+    const float px = poseNoise_ * hashSigned(h);
+    const float py = poseNoise_ * hashSigned(h);
+    const float lighting = 1.0f + 0.2f * hashSigned(h);
+    Tensor image = Tensor::empty({channels_, size_, size_});
+    float *img = image.data();
+    for (int c = 0; c < channels_; ++c) {
+        for (int y = 0; y < size_; ++y) {
+            for (int x = 0; x < size_; ++x) {
+                const float fx =
+                    (static_cast<float>(x) / size_ + px) * 6.2832f;
+                const float fy =
+                    (static_cast<float>(y) / size_ + py) * 6.2832f;
+                float v = proto[0] * std::sin(fx) +
+                          proto[1] * std::cos(fy) +
+                          proto[2] * std::sin(fx + fy) +
+                          proto[3] * std::cos(fx - fy) +
+                          proto[4] * std::sin(2.0f * fx) +
+                          proto[5] * std::cos(2.0f * fy) +
+                          proto[6] * std::sin(2.0f * (fx + fy)) +
+                          proto[7];
+                // No per-pixel noise: the exemplar must be a pure
+                // function of (identity, variant).
+                v = v * 0.15f * lighting + 0.5f +
+                    0.05f * static_cast<float>(c);
+                img[(c * size_ + y) * size_ + x] =
+                    std::clamp(v, 0.0f, 1.0f);
+            }
+        }
+    }
+    return image;
+}
+
 ImageSample
 IdentityImageGenerator::sample()
 {
@@ -249,7 +309,8 @@ IdentityImageGenerator::tripletBatch(int n)
 DetectionSceneGenerator::DetectionSceneGenerator(int classes, int size,
                                                  float noise,
                                                  std::uint64_t seed)
-    : classes_(classes), size_(size), noise_(noise), rng_(seed)
+    : classes_(classes), size_(size), noise_(noise), seed_(seed),
+      rng_(seed)
 {
     if (classes < 1 || classes > 10)
         throw std::invalid_argument(
@@ -259,18 +320,33 @@ DetectionSceneGenerator::DetectionSceneGenerator(int classes, int size,
 DetectionScene
 DetectionSceneGenerator::sample()
 {
+    return sampleWith(rng_);
+}
+
+DetectionScene
+DetectionSceneGenerator::exemplarScene(int variant) const
+{
+    Rng rng(mix64(seed_ ^ (static_cast<std::uint64_t>(
+                               static_cast<unsigned>(variant)) *
+                           0x9E3779B97F4A7C15ULL)));
+    return sampleWith(rng);
+}
+
+DetectionScene
+DetectionSceneGenerator::sampleWith(Rng &rng) const
+{
     DetectionScene scene;
     scene.image = Tensor::zeros({3, size_, size_});
     float *img = scene.image.data();
 
-    const int objects = static_cast<int>(rng_.uniformInt(1, 2));
+    const int objects = static_cast<int>(rng.uniformInt(1, 2));
     for (int o = 0; o < objects; ++o) {
         const int label =
-            static_cast<int>(rng_.uniformInt(0, classes_ - 1));
-        const float w = rng_.uniform(0.25f, 0.5f) * size_;
-        const float h = rng_.uniform(0.25f, 0.5f) * size_;
-        float x1 = rng_.uniform(0.0f, size_ - w);
-        float y1 = rng_.uniform(0.0f, size_ - h);
+            static_cast<int>(rng.uniformInt(0, classes_ - 1));
+        const float w = rng.uniform(0.25f, 0.5f) * size_;
+        const float h = rng.uniform(0.25f, 0.5f) * size_;
+        float x1 = rng.uniform(0.0f, size_ - w);
+        float y1 = rng.uniform(0.0f, size_ - h);
         // Keep object centers apart so grid-cell assignments do not
         // collide (two centers in one cell would make conflicting
         // training targets).
@@ -283,8 +359,8 @@ DetectionSceneGenerator::sample()
             if (std::fabs(cx - pcx) >= min_sep ||
                 std::fabs(cy - pcy) >= min_sep)
                 break;
-            x1 = rng_.uniform(0.0f, size_ - w);
-            y1 = rng_.uniform(0.0f, size_ - h);
+            x1 = rng.uniform(0.0f, size_ - w);
+            y1 = rng.uniform(0.0f, size_ - h);
         }
         float rgb[3];
         classColor(label, rgb);
@@ -304,7 +380,7 @@ DetectionSceneGenerator::sample()
     if (noise_ > 0.0f) {
         for (std::int64_t i = 0; i < scene.image.numel(); ++i)
             img[i] =
-                std::clamp(img[i] + noise_ * rng_.normal(), 0.0f, 1.0f);
+                std::clamp(img[i] + noise_ * rng.normal(), 0.0f, 1.0f);
     }
     return scene;
 }

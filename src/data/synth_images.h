@@ -97,6 +97,14 @@ class IdentityImageGenerator
     /** Sample an image of the given identity. */
     Tensor sampleOf(int identity);
 
+    /**
+     * Pure exemplar image of @p identity: pose and lighting are
+     * hash-derived from (identity, variant) and no per-pixel noise is
+     * added, so the result is a pure function of the arguments and no
+     * generator state is consumed (the serveBatch contract).
+     */
+    Tensor exemplarOf(int identity, int variant = 0) const;
+
     /** Sample a random identity; label is the identity index. */
     ImageSample sample();
 
@@ -140,6 +148,14 @@ class DetectionSceneGenerator
 
     DetectionScene sample();
 
+    /**
+     * Pure exemplar scene for @p variant: drawn from a local RNG
+     * seeded by (ctor seed, variant), so the result is a pure
+     * function of the arguments and no generator state is consumed
+     * (the serveBatch contract).
+     */
+    DetectionScene exemplarScene(int variant) const;
+
     int classes() const { return classes_; }
     int size() const { return size_; }
 
@@ -148,9 +164,12 @@ class DetectionSceneGenerator
     void setState(const std::string &s) { rng_.setState(s); }
 
   private:
+    DetectionScene sampleWith(Rng &rng) const;
+
     int classes_;
     int size_;
     float noise_;
+    std::uint64_t seed_;
     Rng rng_;
 };
 

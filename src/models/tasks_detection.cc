@@ -167,6 +167,30 @@ class ObjectDetectionTask : public TrainableTask
             s.image, {1, 3, config_.imageSize, config_.imageSize}));
     }
 
+    double
+    serveBatch(const std::vector<int> &ids) override
+    {
+        detail::EvalGuard guard(net_);
+        NoGradGuard no_grad;
+        // Request i's scene is a pure function of ids[i] (exemplar
+        // scenes leave the generator's RNG stream untouched).
+        const auto n = static_cast<std::int64_t>(ids.size());
+        const std::int64_t side = config_.imageSize;
+        Tensor batch = Tensor::empty({n, 3, side, side});
+        const std::int64_t stride = 3 * side * side;
+        for (std::int64_t i = 0; i < n; ++i) {
+            Tensor img =
+                gen_.exemplarScene(ids[static_cast<std::size_t>(i)])
+                    .image;
+            std::copy(img.data(), img.data() + stride,
+                      batch.data() + i * stride);
+        }
+        ops::recordHostToDeviceCopy(batch);
+        return detail::outputDigest(net_.forward(batch));
+    }
+
+    bool supportsBatchedServe() const override { return true; }
+
     void
     saveState(core::ckpt::StateWriter &out) const override
     {

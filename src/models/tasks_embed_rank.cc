@@ -136,6 +136,29 @@ class FaceEmbeddingTask : public TrainableTask
         (void)net_.forward(asBatch(gen_.sampleOf(0)));
     }
 
+    double
+    serveBatch(const std::vector<int> &ids) override
+    {
+        detail::EvalGuard guard(net_);
+        NoGradGuard no_grad;
+        // Request i's face is a pure function of ids[i]: identity
+        // and pose variant both derive from the id alone.
+        const auto n = static_cast<std::int64_t>(ids.size());
+        Tensor batch = Tensor::empty({n, 3, 12, 12});
+        const std::int64_t stride = 3 * 12 * 12;
+        for (std::int64_t i = 0; i < n; ++i) {
+            const int id = ids[static_cast<std::size_t>(i)];
+            Tensor img =
+                gen_.exemplarOf(id % gen_.identities(), id);
+            std::copy(img.data(), img.data() + stride,
+                      batch.data() + i * stride);
+        }
+        ops::recordHostToDeviceCopy(batch);
+        return detail::outputDigest(net_.forward(batch));
+    }
+
+    bool supportsBatchedServe() const override { return true; }
+
     void
     saveState(core::ckpt::StateWriter &out) const override
     {
@@ -289,6 +312,28 @@ class RecommendationTask : public TrainableTask
         (void)net_.forward({0}, {0});
     }
 
+    double
+    serveBatch(const std::vector<int> &ids) override
+    {
+        detail::EvalGuard guard(net_);
+        NoGradGuard no_grad;
+        // Request i's (user, item) pair is a pure function of ids[i].
+        std::vector<int> users, items;
+        users.reserve(ids.size());
+        items.reserve(ids.size());
+        for (int id : ids) {
+            const auto u = static_cast<unsigned>(id);
+            users.push_back(
+                static_cast<int>(u % static_cast<unsigned>(gen_.users())));
+            items.push_back(static_cast<int>(
+                (u / static_cast<unsigned>(gen_.users())) %
+                static_cast<unsigned>(gen_.items())));
+        }
+        return detail::outputDigest(net_.forward(users, items));
+    }
+
+    bool supportsBatchedServe() const override { return true; }
+
     void
     saveState(core::ckpt::StateWriter &out) const override
     {
@@ -441,6 +486,28 @@ class LearningToRankTask : public TrainableTask
         NoGradGuard no_grad;
         (void)student_.forward({0}, {0});
     }
+
+    double
+    serveBatch(const std::vector<int> &ids) override
+    {
+        detail::EvalGuard guard(student_);
+        NoGradGuard no_grad;
+        // Request i's (user, item) pair is a pure function of ids[i].
+        std::vector<int> users, items;
+        users.reserve(ids.size());
+        items.reserve(ids.size());
+        for (int id : ids) {
+            const auto u = static_cast<unsigned>(id);
+            users.push_back(
+                static_cast<int>(u % static_cast<unsigned>(gen_.users())));
+            items.push_back(static_cast<int>(
+                (u / static_cast<unsigned>(gen_.users())) %
+                static_cast<unsigned>(gen_.items())));
+        }
+        return detail::outputDigest(student_.forward(users, items));
+    }
+
+    bool supportsBatchedServe() const override { return true; }
 
     void
     saveState(core::ckpt::StateWriter &out) const override

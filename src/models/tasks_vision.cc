@@ -202,6 +202,29 @@ class Face3dTask : public TrainableTask
         (void)net_.forward(asBatch(gen_.sampleOf(0)));
     }
 
+    double
+    serveBatch(const std::vector<int> &ids) override
+    {
+        detail::EvalGuard guard(net_);
+        NoGradGuard no_grad;
+        // Request i's input is a pure function of ids[i]: identity
+        // and pose variant both derive from the id alone.
+        const auto n = static_cast<std::int64_t>(ids.size());
+        Tensor batch = Tensor::empty({n, 4, 12, 12});
+        const std::int64_t stride = 4 * 12 * 12;
+        for (std::int64_t i = 0; i < n; ++i) {
+            const int id = ids[static_cast<std::size_t>(i)];
+            Tensor img =
+                gen_.exemplarOf(id % gen_.identities(), id);
+            std::copy(img.data(), img.data() + stride,
+                      batch.data() + i * stride);
+        }
+        ops::recordHostToDeviceCopy(batch);
+        return detail::outputDigest(net_.forward(batch));
+    }
+
+    bool supportsBatchedServe() const override { return true; }
+
     void
     saveState(core::ckpt::StateWriter &out) const override
     {

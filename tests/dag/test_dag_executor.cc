@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Executor behaviour over validated scenario graphs:
+ *
+ *  - transform stages are pure (bitwise-repeatable) functions;
+ *  - executing a linear pipeline equals composing the nodes by hand;
+ *  - a diamond pipeline with a real component stage produces a
+ *    bitwise-identical digest and sink output at any worker count;
+ *  - per-stage histograms/traces and the end-to-end histogram
+ *    accumulate one entry per execution, with honest kernel FLOPs;
+ *  - kernels recorded inside stages are also merged into the
+ *    caller's ambient TraceSession (the serve engine's contract);
+ *  - the executor refuses an unvalidated graph.
+ */
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/registry.h"
+#include "dag/executor.h"
+#include "dag/graph.h"
+#include "dag/nodes.h"
+#include "profiler/trace.h"
+#include "tensor/random.h"
+
+using namespace aib;
+using dag::ExecResult;
+using dag::Graph;
+using dag::NodeId;
+using dag::Value;
+
+namespace {
+
+constexpr std::uint64_t kSeed = 1234;
+
+/** in -> task(DC-AI-C1) -> {fan_out, fan_out} -> merge. */
+struct Diamond {
+    Graph graph;
+    NodeId in = -1, task = -1, left = -1, right = -1, merge = -1;
+
+    Diamond()
+    {
+        const auto *c1 = core::findBenchmark("DC-AI-C1");
+        EXPECT_NE(c1, nullptr);
+        in = graph.add(std::make_unique<dag::InputNode>());
+        // Same replica contract as the serve engine: reseed the
+        // global RNG before constructing the task so clones built
+        // from the same seed are bitwise identical.
+        aib::seedGlobalRng(kSeed);
+        task = graph.add(std::make_unique<dag::TaskNode>(*c1, kSeed, 256));
+        left = graph.add(std::make_unique<dag::FanOutNode>(2, 256));
+        right = graph.add(std::make_unique<dag::FanOutNode>(3, 256));
+        merge = graph.add(std::make_unique<dag::MergeNode>());
+        graph.connect(in, task, 0);
+        graph.connect(task, left, 0);
+        graph.connect(task, right, 0);
+        graph.connect(left, merge, 0);
+        graph.connect(right, merge, 1);
+        graph.validate();
+    }
+};
+
+} // namespace
+
+TEST(DagExecutor, TransformStagesArePure)
+{
+    dag::HashEmbedNode embed(8);
+    const Value ids = Value::ofIds({3, 1, 4, 1, 5});
+    const Value a = embed.run({&ids});
+    const Value b = embed.run({&ids});
+    ASSERT_EQ(a.tensor.numel(), 5 * 8);
+    ASSERT_EQ(a.tensor.numel(), b.tensor.numel());
+    // Bitwise, not approximate: hash features have no entropy source.
+    EXPECT_EQ(std::memcmp(a.tensor.data(), b.tensor.data(),
+                          sizeof(float) *
+                              static_cast<std::size_t>(a.tensor.numel())),
+              0);
+}
+
+TEST(DagExecutor, LinearPipelineMatchesManualComposition)
+{
+    Graph g;
+    const NodeId in = g.add(std::make_unique<dag::InputNode>());
+    const NodeId embed = g.add(std::make_unique<dag::HashEmbedNode>(8));
+    const NodeId topk = g.add(std::make_unique<dag::TopKNode>(3));
+    g.connect(in, embed, 0);
+    g.connect(embed, topk, 0);
+    g.validate();
+
+    const std::vector<int> batch{0, 1, 2, 3, 4, 5};
+    dag::Executor exec(g, /*workers=*/2);
+    const ExecResult result = exec.execute(batch);
+
+    // Compose the same stages by hand.
+    dag::HashEmbedNode embed2(8);
+    dag::TopKNode topk2(3);
+    const Value ids = Value::ofIds(batch);
+    const Value features = embed2.run({&ids});
+    const Value expected = topk2.run({&features});
+
+    ASSERT_EQ(result.output.kind, dag::ValueKind::Ids);
+    EXPECT_EQ(result.output.ids, expected.ids);
+    // No task stages: the scenario digest folds to zero.
+    EXPECT_EQ(result.digest, 0.0);
+    EXPECT_EQ(result.stageUs.size(), static_cast<std::size_t>(g.size()));
+}
+
+TEST(DagExecutor, DiamondDigestIsWorkerCountInvariant)
+{
+    const std::vector<int> batch{7, 11, 13, 17};
+    bool have_reference = false;
+    double referenceDigest = 0.0;
+    std::vector<int> referenceIds;
+    std::vector<double> referenceStageDigests;
+
+    for (const int workers : {1, 2, 4}) {
+        Diamond d; // fresh clone per worker count, same seed
+        dag::Executor exec(d.graph, workers);
+        const ExecResult result = exec.execute(batch);
+        ASSERT_EQ(result.output.kind, dag::ValueKind::Ids);
+        if (!have_reference) {
+            have_reference = true;
+            referenceDigest = result.digest;
+            referenceIds = result.output.ids;
+            referenceStageDigests = result.stageDigests;
+            EXPECT_NE(referenceDigest, 0.0);
+            continue;
+        }
+        // Bitwise: stages are pure and run exactly once per batch,
+        // so only wall-clock may change with the worker count.
+        EXPECT_EQ(result.digest, referenceDigest) << workers;
+        EXPECT_EQ(result.output.ids, referenceIds) << workers;
+        EXPECT_EQ(result.stageDigests, referenceStageDigests) << workers;
+    }
+}
+
+TEST(DagExecutor, StageStatsAccumulatePerExecution)
+{
+    Diamond d;
+    dag::Executor exec(d.graph, /*workers=*/2);
+    constexpr int kRuns = 3;
+    for (int r = 0; r < kRuns; ++r)
+        exec.execute({r, r + 1, r + 2});
+
+    EXPECT_EQ(exec.executions(), static_cast<std::uint64_t>(kRuns));
+    EXPECT_EQ(exec.endToEndLatency().count(),
+              static_cast<std::uint64_t>(kRuns));
+    for (NodeId id = 0; id < d.graph.size(); ++id)
+        EXPECT_EQ(exec.stageLatency(id).count(),
+                  static_cast<std::uint64_t>(kRuns))
+            << "stage " << id;
+
+    // The component stage ran a real forward pass every time.
+    EXPECT_GT(exec.stageTrace(d.task).totalLaunches(), 0u);
+    EXPECT_GT(exec.stageTrace(d.task).totalFlops(), 0.0);
+
+    const auto &acct = exec.lastAccounting();
+    EXPECT_EQ(acct.executed, d.graph.size());
+    EXPECT_EQ(acct.failed + acct.skipped + acct.unreached, 0);
+}
+
+TEST(DagExecutor, StageKernelsMergeIntoAmbientSession)
+{
+    Diamond d;
+    dag::Executor exec(d.graph, /*workers=*/2);
+
+    profiler::TraceSession outer;
+    {
+        profiler::ScopedTrace scope(outer);
+        exec.execute({1, 2, 3});
+    }
+    // An enclosing serve engine must still see the full kernel
+    // stream (energy accounting, replay service times).
+    EXPECT_GT(outer.totalLaunches(), 0u);
+    EXPECT_GT(outer.totalFlops(), 0.0);
+    // No double counting: the ambient stream is exactly the union of
+    // the per-stage streams.
+    std::uint64_t perStage = 0;
+    for (NodeId id = 0; id < d.graph.size(); ++id)
+        perStage += exec.stageTrace(id).totalLaunches();
+    EXPECT_EQ(outer.totalLaunches(), perStage);
+}
+
+TEST(DagExecutor, RequiresValidatedGraph)
+{
+    Graph g;
+    g.add(std::make_unique<dag::InputNode>());
+    EXPECT_THROW(dag::Executor exec(g), dag::GraphError);
+}

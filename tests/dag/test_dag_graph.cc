@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Topology validation for scenario graphs (graphlint style: every
+ * rule gets a failing negative and a quiet positive):
+ *
+ *  - connect-time rejection of unknown ids, out-of-range ports and
+ *    double-bound ports;
+ *  - validate-time rejection of empty graphs, dangling input ports,
+ *    multiple sinks, cycles, kind mismatches and shape mismatches —
+ *    each with an actionable message naming the offending stage;
+ *  - quiet positives: PortSpec::accepts semantics, Concat shape
+ *    refinement, a linear pipeline whose inferred specs / topo order /
+ *    sink all come out right, freeze-after-validate, and every
+ *    shipped scenario graph building and validating cleanly.
+ */
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "dag/graph.h"
+#include "dag/nodes.h"
+#include "dag/scenario.h"
+
+using namespace aib;
+using dag::Graph;
+using dag::GraphError;
+using dag::NodeId;
+using dag::PortSpec;
+using dag::ValueKind;
+
+namespace {
+
+/** Runs @p fn, expecting a GraphError; returns its message. */
+template <typename Fn>
+std::string
+graphErrorOf(Fn &&fn)
+{
+    try {
+        fn();
+    } catch (const GraphError &e) {
+        return e.what();
+    }
+    ADD_FAILURE() << "expected GraphError";
+    return "";
+}
+
+void
+expectContains(const std::string &message, const std::string &needle)
+{
+    EXPECT_NE(message.find(needle), std::string::npos)
+        << "message was: " << message;
+}
+
+} // namespace
+
+TEST(DagGraph, PortSpecAcceptsSemantics)
+{
+    // Kinds must match exactly.
+    EXPECT_TRUE(PortSpec::ids().accepts(PortSpec::ids()));
+    EXPECT_FALSE(PortSpec::ids().accepts(PortSpec::scalar()));
+    EXPECT_FALSE(PortSpec::ids().accepts(PortSpec::tensor({-1, 8})));
+
+    // Tensors: equal rank, static dims equal, -1 matches anything.
+    EXPECT_TRUE(
+        PortSpec::tensor({-1, 8}).accepts(PortSpec::tensor({4, 8})));
+    EXPECT_TRUE(
+        PortSpec::tensor({-1, -1}).accepts(PortSpec::tensor({4, 8})));
+    EXPECT_TRUE(
+        PortSpec::tensor({4, 8}).accepts(PortSpec::tensor({-1, 8})));
+    EXPECT_FALSE(
+        PortSpec::tensor({-1, 8}).accepts(PortSpec::tensor({4, 16})));
+    EXPECT_FALSE(
+        PortSpec::tensor({-1, 8}).accepts(PortSpec::tensor({4, 8, 1})));
+
+    EXPECT_EQ(PortSpec::tensor({-1, 32}).toString(), "tensor[-1, 32]");
+    EXPECT_EQ(PortSpec::ids().toString(), "ids");
+}
+
+TEST(DagGraph, ConcatRefinesOutputShape)
+{
+    dag::ConcatNode concat;
+    const PortSpec out = concat.outputSpec(
+        {PortSpec::tensor({-1, 8}), PortSpec::tensor({-1, 8})});
+    ASSERT_EQ(out.kind, ValueKind::Tensor);
+    ASSERT_EQ(out.dims.size(), 2u);
+    EXPECT_EQ(out.dims[0], -1);
+    EXPECT_EQ(out.dims[1], 16);
+}
+
+TEST(DagGraph, ConnectRejectsUnknownIdsAndBadPorts)
+{
+    Graph g;
+    const NodeId in = g.add(std::make_unique<dag::InputNode>());
+    const NodeId fan = g.add(std::make_unique<dag::FanOutNode>(2, 64));
+
+    expectContains(graphErrorOf([&] { g.connect(in, 99, 0); }),
+                   "unknown consumer node id 99");
+    expectContains(graphErrorOf([&] { g.connect(-3, fan, 0); }),
+                   "unknown producer node id -3");
+    // Out-of-range port names the stage and its arity.
+    expectContains(graphErrorOf([&] { g.connect(in, fan, 1); }),
+                   "has no input port 1 (arity 1)");
+
+    // Binding the same port twice is an error, not a silent rewire.
+    g.connect(in, fan, 0);
+    expectContains(graphErrorOf([&] { g.connect(in, fan, 0); }),
+                   "input port already bound");
+}
+
+TEST(DagGraph, ValidateRejectsEmptyGraph)
+{
+    Graph g;
+    expectContains(graphErrorOf([&] { g.validate(); }),
+                   "graph has no nodes");
+}
+
+TEST(DagGraph, ValidateRejectsDanglingInputPort)
+{
+    Graph g;
+    const NodeId in = g.add(std::make_unique<dag::InputNode>());
+    const NodeId merge = g.add(std::make_unique<dag::MergeNode>());
+    g.connect(in, merge, 0);
+    // merge.in[1] never bound.
+    expectContains(graphErrorOf([&] { g.validate(); }),
+                   "dangling input port: merge.in[1]");
+}
+
+TEST(DagGraph, ValidateRejectsMultipleSinks)
+{
+    Graph g;
+    const NodeId in = g.add(std::make_unique<dag::InputNode>());
+    const NodeId a = g.add(std::make_unique<dag::FanOutNode>(2, 64));
+    const NodeId b = g.add(std::make_unique<dag::FanOutNode>(3, 64));
+    g.connect(in, a, 0);
+    g.connect(in, b, 0);
+    expectContains(graphErrorOf([&] { g.validate(); }),
+                   "graph must have exactly one sink, found 2");
+}
+
+TEST(DagGraph, ValidateRejectsCycle)
+{
+    Graph g;
+    // Source is the sole sink; f1 and f2 feed each other, so the
+    // sink check passes and Kahn's algorithm exposes the cycle.
+    (void)g.add(std::make_unique<dag::InputNode>());
+    const NodeId f1 = g.add(std::make_unique<dag::FanOutNode>(2, 64));
+    const NodeId f2 = g.add(std::make_unique<dag::FanOutNode>(2, 64));
+    g.connect(f1, f2, 0);
+    g.connect(f2, f1, 0);
+    expectContains(graphErrorOf([&] { g.validate(); }),
+                   "cycle detected through");
+}
+
+TEST(DagGraph, ValidateRejectsKindMismatch)
+{
+    Graph g;
+    const NodeId in = g.add(std::make_unique<dag::InputNode>());
+    const NodeId embed = g.add(std::make_unique<dag::HashEmbedNode>(16));
+    const NodeId fan = g.add(std::make_unique<dag::FanOutNode>(2, 64));
+    g.connect(in, embed, 0);
+    g.connect(embed, fan, 0); // tensor[-1, 16] into an ids port
+    const std::string message = graphErrorOf([&] { g.validate(); });
+    expectContains(message, "type mismatch at fan_out.in[0]");
+    expectContains(message, "expects ids, got tensor[-1, 16]");
+}
+
+TEST(DagGraph, ValidateRejectsShapeMismatch)
+{
+    Graph g;
+    const NodeId in = g.add(std::make_unique<dag::InputNode>());
+    const NodeId embed = g.add(std::make_unique<dag::HashEmbedNode>(32));
+    const NodeId proj =
+        g.add(std::make_unique<dag::ProjectNode>(64, 8));
+    g.connect(in, embed, 0);
+    g.connect(embed, proj, 0); // tensor[-1, 32] into tensor[-1, 64]
+    const std::string message = graphErrorOf([&] { g.validate(); });
+    expectContains(message, "shape mismatch at project.in[0]");
+    expectContains(message, "expects tensor[-1, 64], got tensor[-1, 32]");
+}
+
+TEST(DagGraph, LinearPipelineValidatesQuietly)
+{
+    Graph g;
+    const NodeId in = g.add(std::make_unique<dag::InputNode>());
+    const NodeId embed = g.add(std::make_unique<dag::HashEmbedNode>(16));
+    const NodeId proj =
+        g.add(std::make_unique<dag::ProjectNode>(16, 8));
+    const NodeId topk = g.add(std::make_unique<dag::TopKNode>(4));
+    g.connect(in, embed, 0);
+    g.connect(embed, proj, 0);
+    g.connect(proj, topk, 0);
+
+    ASSERT_NO_THROW(g.validate());
+    EXPECT_TRUE(g.validated());
+    EXPECT_EQ(g.size(), 4);
+    EXPECT_EQ(g.sink(), topk);
+    EXPECT_EQ(g.topoOrder(), (std::vector<NodeId>{in, embed, proj, topk}));
+
+    // Inferred specs propagated stage by stage.
+    EXPECT_EQ(g.outputSpec(in).kind, ValueKind::Ids);
+    EXPECT_EQ(g.outputSpec(embed).dims,
+              (std::vector<std::int64_t>{-1, 16}));
+    EXPECT_EQ(g.outputSpec(proj).dims,
+              (std::vector<std::int64_t>{-1, 8}));
+    EXPECT_EQ(g.outputSpec(topk).kind, ValueKind::Ids);
+
+    EXPECT_EQ(g.producers(topk), (std::vector<NodeId>{proj}));
+    EXPECT_EQ(g.consumers(embed), (std::vector<NodeId>{proj}));
+
+    // Frozen: no further mutation once validated.
+    expectContains(
+        graphErrorOf(
+            [&] { g.add(std::make_unique<dag::InputNode>()); }),
+        "frozen after validate()");
+    expectContains(graphErrorOf([&] { g.connect(in, topk, 0); }),
+                   "frozen after validate()");
+    expectContains(graphErrorOf([&] { g.validate(); }),
+                   "frozen after validate()");
+}
+
+TEST(DagGraph, AllShippedScenarioGraphsValidate)
+{
+    const auto &specs = dag::scenarioSpecs();
+    ASSERT_GE(specs.size(), 3u);
+    for (const dag::ScenarioSpec &spec : specs) {
+        Graph g;
+        spec.build(g, /*seed=*/7);
+        ASSERT_NO_THROW(g.validate()) << spec.id;
+        EXPECT_GE(g.size(), 3) << spec.id;
+
+        // Each listed component appears as a task stage.
+        int tasks = 0;
+        for (NodeId id = 0; id < g.size(); ++id)
+            if (g.node(id).isTask())
+                ++tasks;
+        EXPECT_EQ(tasks, static_cast<int>(spec.components.size()))
+            << spec.id;
+    }
+}

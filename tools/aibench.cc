@@ -27,6 +27,7 @@
 #include "core/runner.h"
 #include "core/subset.h"
 #include "core/thread_pool.h"
+#include "dag/scenario.h"
 #include "gpusim/report.h"
 #include "profiler/snapshot.h"
 #include "serve/engine.h"
@@ -96,7 +97,9 @@ positionalArg(int argc, char **argv)
                 std::strcmp(argv[i], "--workers") == 0 ||
                 std::strcmp(argv[i], "--queue-cap") == 0 ||
                 std::strcmp(argv[i], "--concurrency") == 0 ||
-                std::strcmp(argv[i], "--train-epochs") == 0)
+                std::strcmp(argv[i], "--train-epochs") == 0 ||
+                std::strcmp(argv[i], "--run") == 0 ||
+                std::strcmp(argv[i], "--dag-workers") == 0)
                 ++i;
             continue;
         }
@@ -116,6 +119,21 @@ requireBenchmark(const char *id)
         std::exit(2);
     }
     return b;
+}
+
+/** Resolve a component benchmark or a scenario (serve paths). */
+const core::ComponentBenchmark *
+requireServable(const char *id)
+{
+    if (const auto *b = core::findBenchmark(id))
+        return b;
+    if (const auto *s = dag::findScenario(id))
+        return s;
+    std::fprintf(stderr,
+                 "unknown benchmark or scenario '%s' (try: aibench "
+                 "list)\n",
+                 id);
+    std::exit(2);
 }
 
 int
@@ -139,10 +157,22 @@ cmdList(int argc, char **argv)
                 info.direction == core::Direction::HigherIsBetter
                     ? "higher"
                     : "lower",
-                info.suite == core::Suite::AIBench ? "AIBench"
-                                                   : "MLPerf",
+                core::suiteName(info.suite),
                 info.inSubset ? "true" : "false",
                 i + 1 < benchmarks.size() ? "," : "");
+        }
+        std::printf("  ],\n  \"scenarios\": [\n");
+        const auto &scenarios = dag::scenarioSpecs();
+        for (std::size_t i = 0; i < scenarios.size(); ++i) {
+            const auto &spec = scenarios[i];
+            std::printf("    {\"id\": \"%s\", \"name\": \"%s\", "
+                        "\"components\": [",
+                        spec.id.c_str(), spec.name.c_str());
+            for (std::size_t c = 0; c < spec.components.size(); ++c)
+                std::printf("%s\"%s\"", c > 0 ? ", " : "",
+                            spec.components[c].c_str());
+            std::printf("]}%s\n",
+                        i + 1 < scenarios.size() ? "," : "");
         }
         std::printf("  ]\n}\n");
         return 0;
@@ -153,9 +183,20 @@ cmdList(int argc, char **argv)
         std::printf("%-20s %-32s %-22s %-10.4g %s%s\n",
                     b->info.id.c_str(), b->info.name.c_str(),
                     b->info.metric.c_str(), b->info.target,
-                    b->info.suite == core::Suite::AIBench ? "AIBench"
-                                                          : "MLPerf",
+                    core::suiteName(b->info.suite),
                     b->info.inSubset ? " [subset]" : "");
+    }
+    std::printf("\nscenarios (aibench scenario --run <id>, "
+                "aibench serve <id>):\n");
+    for (const auto &spec : dag::scenarioSpecs()) {
+        std::string components;
+        for (std::size_t c = 0; c < spec.components.size(); ++c) {
+            if (c > 0)
+                components += " -> ";
+            components += spec.components[c];
+        }
+        std::printf("%-20s %-32s %s\n", spec.id.c_str(),
+                    spec.name.c_str(), components.c_str());
     }
     return 0;
 }
@@ -609,7 +650,7 @@ cmdServe(int argc, char **argv)
     if (hasFlag(argc, argv, "--subset")) {
         benchmarks = core::subsetBenchmarks();
     } else if (const char *id = positionalArg(argc, argv)) {
-        benchmarks.push_back(requireBenchmark(id));
+        benchmarks.push_back(requireServable(id));
     } else {
         benchmarks = core::allBenchmarks();
     }
@@ -654,6 +695,102 @@ cmdServe(int argc, char **argv)
     return 0;
 }
 
+/**
+ * `aibench scenario`: the end-to-end application pipelines
+ * (docs/SCENARIOS.md). --list prints the catalog; --run executes one
+ * scenario over a fixed request stream and reports per-stage and
+ * end-to-end latency plus the FLOP split (aib.scenario/1 JSON with
+ * --json/--out).
+ */
+int
+cmdScenario(int argc, char **argv)
+{
+    const char *run_id = argString(argc, argv, "--run", nullptr);
+    if (hasFlag(argc, argv, "--list") || !run_id) {
+        std::printf("%-20s %-24s %-40s %s\n", "id", "name", "pipeline",
+                    "components");
+        for (const auto &spec : dag::scenarioSpecs()) {
+            std::string components;
+            for (std::size_t c = 0; c < spec.components.size(); ++c) {
+                if (c > 0)
+                    components += ", ";
+                components += spec.components[c];
+            }
+            std::printf("%-20s %-24s %-40s %s\n", spec.id.c_str(),
+                        spec.name.c_str(), spec.description.c_str(),
+                        components.c_str());
+        }
+        return 0;
+    }
+
+    const dag::ScenarioSpec *spec = dag::findScenarioSpec(run_id);
+    if (!spec) {
+        std::fprintf(stderr,
+                     "unknown scenario '%s' (try: aibench scenario "
+                     "--list)\n",
+                     run_id);
+        return 2;
+    }
+    dag::ScenarioRunOptions options;
+    options.queries =
+        static_cast<int>(argValue(argc, argv, "--queries", 64));
+    options.batch = static_cast<int>(argValue(argc, argv, "--batch", 8));
+    options.workers =
+        static_cast<int>(argValue(argc, argv, "--workers", 2));
+    options.dagWorkers =
+        static_cast<int>(argValue(argc, argv, "--dag-workers", 2));
+    options.seed = static_cast<std::uint64_t>(
+        argValue(argc, argv, "--seed", 42));
+
+    const dag::ScenarioRunReport report = dag::runScenario(*spec, options);
+    const bool as_json = hasFlag(argc, argv, "--json");
+    const char *out_path = argString(argc, argv, "--out", nullptr);
+    if (!as_json) {
+        std::printf("%s (%s): %d queries, batch %d, %d workers\n",
+                    report.scenarioId.c_str(), report.name.c_str(),
+                    report.queries, report.batch, report.workers);
+        std::printf("digest %.17g, %.1f q/s\n", report.digest,
+                    report.throughputQps);
+        std::printf("%-4s %-12s %-12s %8s %8s %8s %8s %10s\n", "node",
+                    "stage", "task", "p50ms", "p95ms", "p99ms",
+                    "meanms", "gflops");
+        for (const auto &stage : report.stages)
+            std::printf("%-4d %-12s %-12s %8.3f %8.3f %8.3f %8.3f "
+                        "%10.4f\n",
+                        stage.node, stage.stage.c_str(),
+                        stage.benchmarkId.empty()
+                            ? "-"
+                            : stage.benchmarkId.c_str(),
+                        stage.latency.percentileUs(50) / 1000.0,
+                        stage.latency.percentileUs(95) / 1000.0,
+                        stage.latency.percentileUs(99) / 1000.0,
+                        stage.latency.meanUs() / 1000.0,
+                        stage.flops / 1e9);
+        std::printf("%-4s %-12s %-12s %8.3f %8.3f %8.3f %8.3f\n", "-",
+                    "end-to-end", "-",
+                    report.endToEnd.percentileUs(50) / 1000.0,
+                    report.endToEnd.percentileUs(95) / 1000.0,
+                    report.endToEnd.percentileUs(99) / 1000.0,
+                    report.endToEnd.meanUs() / 1000.0);
+    }
+    const std::string json = dag::scenarioReportToJson(report);
+    if (as_json)
+        std::printf("%s\n", json.c_str());
+    if (out_path) {
+        std::FILE *f = std::fopen(out_path, "w");
+        if (!f) {
+            std::fprintf(stderr, "cannot write '%s'\n", out_path);
+            return 1;
+        }
+        std::fwrite(json.data(), 1, json.size(), f);
+        std::fputc('\n', f);
+        std::fclose(f);
+        if (!as_json)
+            std::printf("wrote %s\n", out_path);
+    }
+    return 0;
+}
+
 /** One dispatch-table entry; usage() is generated from these. */
 struct Command {
     const char *name;
@@ -673,6 +810,11 @@ constexpr Command kCommands[] = {
      "[--out FILE]",
      "online serving: dynamic batching, tail latency, throughput",
      cmdServe},
+    {"scenario",
+     "[--list | --run <id>] [--queries N] [--batch N] [--workers N] "
+     "[--dag-workers N] [--seed N] [--json] [--out FILE]",
+     "end-to-end application pipelines (per-stage latency/FLOPs)",
+     cmdScenario},
     {"run", "<id> [--seed N] [--max-epochs N]",
      "entire training session to the target quality", cmdRun},
     {"train",
