@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Determinism lint: walks the serve/digest path of a captured region
+ * and flags results that could depend on reduction order or on the
+ * process-global RNG (see analyze.h).
+ *
+ * The serving contract (docs/SERVING.md) is that the same batch on
+ * the same weights reproduces its digest bitwise, at any thread
+ * count. Statically that requires every accumulating op feeding the
+ * digest to combine float partials in a fixed order — kernels declare
+ * this with the "ordered" attribute at their capture site — and the
+ * region to be RNG-free.
+ */
+
+#include "analysis/graphlint/analyze.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace aib::analysis::graphlint {
+
+namespace {
+
+/** Ops whose float accumulation order shapes the result bitwise.
+ *  max-reductions (maxPool2d, maxLastDim, argmaxLastDim) are exact in
+ *  any order and deliberately absent. */
+bool
+isAccumulating(std::string_view name)
+{
+    static const std::unordered_set<std::string_view> kSet = {
+        "sum",           "sumDim",       "softmax",
+        "logSoftmax",    "nllLoss",      "avgPool2d",
+        "globalAvgPool2d", "batchNorm2d", "layerNorm",
+        "matmul",        "bmm",          "conv2d",
+        "convTranspose2d", "dagTopK",
+    };
+    return kSet.count(name) != 0;
+}
+
+/** Ops that consume randomness. */
+bool
+isRngSourced(std::string_view name)
+{
+    return name == "dropout" || name == "randn" || name == "rand";
+}
+
+} // namespace
+
+DeterminismReport
+checkDeterminism(const DeterminismInput &input)
+{
+    DeterminismReport report;
+    if (input.rngAdvanced) {
+        Diagnostic d;
+        d.rule = "rng-in-serve-region";
+        d.severity = Severity::Error;
+        d.subject = "globalRng";
+        d.message =
+            "the process-global RNG advanced inside the serve region: "
+            "the digest depends on serving history, breaking the "
+            "bitwise-replay contract (inputs must be pure functions "
+            "of request ids)";
+        report.diagnostics.push_back(std::move(d));
+    }
+    if (input.graph == nullptr || input.graph->ops.empty())
+        return report;
+
+    std::vector<const graph::CapturedOp *> fwd;
+    for (const graph::CapturedOp &op : input.graph->ops) {
+        if (op.phase == graph::Phase::Forward)
+            fwd.push_back(&op);
+    }
+    if (fwd.empty())
+        return report;
+
+    // First producer wins: ids are unique within a capture, and the
+    // only re-definition is the hostToDevice in == out alias.
+    std::unordered_map<graph::TensorId, int> producer;
+    for (int k = 0; k < static_cast<int>(fwd.size()); ++k) {
+        if (fwd[k]->outputId != 0)
+            producer.emplace(fwd[k]->outputId, k);
+    }
+
+    // The digest folds over the final op's output; everything that
+    // reaches it backwards is on the digest path.
+    std::unordered_set<int> visited;
+    std::vector<graph::TensorId> stack = {fwd.back()->outputId};
+    while (!stack.empty()) {
+        const graph::TensorId id = stack.back();
+        stack.pop_back();
+        const auto it = producer.find(id);
+        if (it == producer.end())
+            continue; // region input
+        const int k = it->second;
+        if (!visited.insert(k).second)
+            continue;
+        const graph::CapturedOp &op = *fwd[static_cast<std::size_t>(k)];
+        ++report.digestPathOps;
+        if (isAccumulating(op.name)) {
+            if (op.attr("ordered", 0) != 0) {
+                ++report.orderedReductions;
+            } else {
+                Diagnostic d;
+                d.rule = "unordered-reduction";
+                d.severity = Severity::Warning;
+                d.subject = std::string(op.name);
+                d.message =
+                    "op #" + std::to_string(k) + " ('" +
+                    std::string(op.name) +
+                    "') accumulates floats on the digest path without "
+                    "declaring a fixed order; audit the kernel's "
+                    "accumulation order and announce it with the "
+                    "'ordered' capture attribute (docs/ANALYSIS.md)";
+                report.diagnostics.push_back(std::move(d));
+            }
+        }
+        if (isRngSourced(op.name)) {
+            Diagnostic d;
+            d.rule = "rng-op-on-digest-path";
+            d.severity = Severity::Error;
+            d.subject = std::string(op.name);
+            d.message = "op #" + std::to_string(k) + " ('" +
+                        std::string(op.name) +
+                        "') injects randomness into the digest path; "
+                        "serve paths must run in eval mode";
+            report.diagnostics.push_back(std::move(d));
+        }
+        for (std::size_t i = 0; i < op.inputIds.size(); ++i) {
+            // The hostToDevice alias records itself as its own input;
+            // skip the self-edge.
+            if (op.inputIds[i] != 0 && op.inputIds[i] != op.outputId)
+                stack.push_back(op.inputIds[i]);
+        }
+    }
+    return report;
+}
+
+} // namespace aib::analysis::graphlint

@@ -22,6 +22,10 @@
 #include "core/benchmark.h"
 #include "tensor/graph_capture.h"
 
+namespace aib::dag {
+struct ScenarioSpec;
+} // namespace aib::dag
+
 namespace aib::analysis::graphlint {
 
 /** @name Static inference
@@ -153,6 +157,14 @@ struct BenchmarkAudit {
  */
 BenchmarkAudit auditBenchmark(const core::ComponentBenchmark &benchmark,
                               std::uint64_t seed = 42);
+
+/**
+ * Audit one scenario pipeline, DAG-expanded: the task is built with a
+ * single stage worker so every stage op lands in the calling thread's
+ * capture, and parameters span all component stages.
+ */
+BenchmarkAudit auditScenario(const dag::ScenarioSpec &spec,
+                             std::uint64_t seed = 42);
 
 /** Render audits as machine-readable JSON. */
 std::string auditsToJson(const std::vector<BenchmarkAudit> &audits);

@@ -272,13 +272,31 @@ inferOpCost(const graph::CapturedOp &op)
         return c;
     }
 
+    // DAG utility stages (src/dag/nodes.cc) that bypass the tensor
+    // operators and self-report to capture.
+    if (isName(op, "dagHashEmbed")) {
+        OpCost c;
+        c.flops = 2.0 * out_n;
+        c.bytesWritten = 4.0 * out_n;
+        c.modeled = true;
+        return c;
+    }
+    if (isName(op, "dagTopK")) {
+        OpCost c;
+        c.flops = in_n;
+        c.bytesRead = 4.0 * in_n;
+        c.bytesWritten = 4.0 * static_cast<double>(op.attr("k", 0));
+        c.modeled = true;
+        return c;
+    }
+
     // Non-kernel bookkeeping ops.
     if (isName(op, "detach")) {
         OpCost c;
         c.modeled = true;
         return c;
     }
-    if (isName(op, "hostToDevice"))
+    if (isName(op, "hostToDevice") || isName(op, "deviceToHost"))
         return moveCost(in_n);
 
     return {};
@@ -299,8 +317,14 @@ checkOpShape(const graph::CapturedOp &op)
         isName(op, "sigmoid") || isName(op, "sqrt") ||
         isName(op, "dropout") || isName(op, "softmax") ||
         isName(op, "logSoftmax") || isName(op, "detach") ||
-        isName(op, "hostToDevice"))
+        isName(op, "hostToDevice") || isName(op, "deviceToHost") ||
+        isName(op, "dagTopK"))
         return shapeExpect(op, in0);
+    if (isName(op, "dagHashEmbed")) {
+        if (op.outputShape.size() != 2)
+            return shapeFail(op, "expected (N, dim) embedding output");
+        return shapeOk();
+    }
     if (isName(op, "batchNorm2d") || isName(op, "layerNorm")) {
         if (op.inputShapes.size() < 3)
             return shapeFail(op, "expected gamma/beta inputs");

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Tiny shared JSON emission helpers for the graphlint report writers
+ * (audit.cc and analyze.cc). Internal to src/analysis/graphlint.
+ */
+
+#ifndef AIB_ANALYSIS_GRAPHLINT_JSONUTIL_H
+#define AIB_ANALYSIS_GRAPHLINT_JSONUTIL_H
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/graphlint/graphlint.h"
+
+namespace aib::analysis::graphlint::detail {
+
+inline std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        default:
+            out += c;
+        }
+    }
+    return out;
+}
+
+inline void
+appendDiagnosticsJson(std::ostringstream &os,
+                      const std::vector<Diagnostic> &diagnostics)
+{
+    os << "[";
+    for (std::size_t i = 0; i < diagnostics.size(); ++i) {
+        const Diagnostic &d = diagnostics[i];
+        if (i)
+            os << ",";
+        os << "{\"rule\":\"" << jsonEscape(d.rule) << "\","
+           << "\"severity\":\"" << severityName(d.severity) << "\","
+           << "\"subject\":\"" << jsonEscape(d.subject) << "\","
+           << "\"message\":\"" << jsonEscape(d.message) << "\"}";
+    }
+    os << "]";
+}
+
+} // namespace aib::analysis::graphlint::detail
+
+#endif // AIB_ANALYSIS_GRAPHLINT_JSONUTIL_H

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Redundant-compute pass: common-subexpression candidates — forward
+ * ops with non-zero cost whose (name, attributes, inputs) key occurs
+ * more than once in a captured region (see analyze.h).
+ */
+
+#include "analysis/graphlint/analyze.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace aib::analysis::graphlint {
+
+namespace {
+
+/**
+ * Structural identity of one op: same operator, same static
+ * attributes, same input tensors (by identity — ids are never reused
+ * within a capture), same shapes. Two ops with equal keys compute the
+ * same value.
+ */
+std::string
+opKey(const graph::CapturedOp &op)
+{
+    std::ostringstream key;
+    key << op.name << '|' << op.dtype;
+    std::vector<graph::OpAttr> attrs(op.attrs.begin(), op.attrs.end());
+    std::sort(attrs.begin(), attrs.end(),
+              [](const graph::OpAttr &a, const graph::OpAttr &b) {
+                  return a.key < b.key;
+              });
+    for (const graph::OpAttr &a : attrs)
+        key << '|' << a.key << '=' << a.value;
+    key << '#';
+    for (std::size_t i = 0; i < op.inputIds.size(); ++i) {
+        key << op.inputIds[i] << ':';
+        if (i < op.inputShapes.size())
+            key << shapeToString(op.inputShapes[i]);
+        key << ',';
+    }
+    return key.str();
+}
+
+} // namespace
+
+RedundancyReport
+findRedundantCompute(const graph::CapturedGraph &g)
+{
+    RedundancyReport report;
+    struct Bucket {
+        std::vector<int> ops;
+        double flopsEach = 0.0;
+        std::string name;
+    };
+    std::map<std::string, Bucket> buckets;
+    int k = -1;
+    for (const graph::CapturedOp &op : g.ops) {
+        if (op.phase != graph::Phase::Forward)
+            continue;
+        ++k;
+        const OpCost cost = inferOpCost(op);
+        if (!cost.modeled || cost.flops <= 0.0)
+            continue; // pure data movement is cheap to repeat
+        Bucket &b = buckets[opKey(op)];
+        b.ops.push_back(k);
+        b.flopsEach = cost.flops;
+        b.name = std::string(op.name);
+    }
+    for (auto &entry : buckets) {
+        Bucket &b = entry.second;
+        if (b.ops.size() < 2)
+            continue;
+        RedundancyGroup group;
+        group.name = b.name;
+        group.count = static_cast<int>(b.ops.size());
+        group.wastedFlops =
+            static_cast<double>(b.ops.size() - 1) * b.flopsEach;
+        group.opIndices = b.ops;
+        report.wastedFlops += group.wastedFlops;
+        report.groups.push_back(std::move(group));
+    }
+    std::sort(report.groups.begin(), report.groups.end(),
+              [](const RedundancyGroup &a, const RedundancyGroup &b) {
+                  return a.wastedFlops > b.wastedFlops;
+              });
+    for (const RedundancyGroup &group : report.groups) {
+        Diagnostic d;
+        d.rule = "redundant-compute";
+        d.severity = Severity::Warning;
+        d.subject = group.name;
+        std::ostringstream msg;
+        msg << "'" << group.name << "' runs " << group.count
+            << " times on identical inputs and attributes; hoisting "
+               "the first result would save "
+            << group.wastedFlops << " flops";
+        d.message = msg.str();
+        report.diagnostics.push_back(std::move(d));
+    }
+    return report;
+}
+
+} // namespace aib::analysis::graphlint

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Compile-time concurrency-safety annotations: thin wrappers over
+ * Clang's thread-safety attributes plus an annotated mutex shim, so
+ * lock discipline is checked statically under
+ * `-Wthread-safety -Werror=thread-safety` (CMake option
+ * AIB_THREAD_SAFETY, see the thread-safety CI job).
+ *
+ * Usage convention (docs/ANALYSIS.md):
+ *  - every mutex-protected field is declared with
+ *    `AIB_GUARDED_BY(mutex_)`;
+ *  - private helpers that assume the lock is held take
+ *    `AIB_REQUIRES(mutex_)` instead of re-locking;
+ *  - condition-variable waits use core::MutexLock and an explicit
+ *    while loop (the analysis cannot see through wait-predicate
+ *    lambdas);
+ *  - `AIB_EXCLUDES(mutex_)` marks public entry points that must not
+ *    be called with the lock held (self-deadlock guard).
+ *
+ * Under GCC (or any compiler without the attributes) every macro
+ * expands to nothing and core::Mutex degrades to std::mutex plus an
+ * empty shell, so this header imposes zero cost outside clang builds.
+ */
+
+#ifndef AIB_CORE_ANNOTATIONS_H
+#define AIB_CORE_ANNOTATIONS_H
+
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define AIB_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+
+#ifndef AIB_THREAD_ANNOTATION
+#define AIB_THREAD_ANNOTATION(x) // no-op outside clang
+#endif
+
+/** Type is a lockable capability (mutexes). */
+#define AIB_CAPABILITY(x) AIB_THREAD_ANNOTATION(capability(x))
+/** RAII type that acquires on construction, releases on destruction. */
+#define AIB_SCOPED_CAPABILITY AIB_THREAD_ANNOTATION(scoped_lockable)
+/** Field may only be touched while holding @p x. */
+#define AIB_GUARDED_BY(x) AIB_THREAD_ANNOTATION(guarded_by(x))
+/** Pointee may only be touched while holding @p x. */
+#define AIB_PT_GUARDED_BY(x) AIB_THREAD_ANNOTATION(pt_guarded_by(x))
+/** Caller must hold the listed capabilities. */
+#define AIB_REQUIRES(...) \
+    AIB_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+/** Function acquires the listed capabilities. */
+#define AIB_ACQUIRE(...) \
+    AIB_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+/** Function releases the listed capabilities. */
+#define AIB_RELEASE(...) \
+    AIB_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+/** Function acquires the capability iff it returns @p ret. */
+#define AIB_TRY_ACQUIRE(ret, ...) \
+    AIB_THREAD_ANNOTATION(try_acquire_capability(ret, __VA_ARGS__))
+/** Caller must NOT hold the listed capabilities (deadlock guard). */
+#define AIB_EXCLUDES(...) \
+    AIB_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+/** Function returns a reference to the named capability. */
+#define AIB_RETURN_CAPABILITY(x) \
+    AIB_THREAD_ANNOTATION(lock_returned(x))
+/** Escape hatch; use only with a comment explaining why. */
+#define AIB_NO_THREAD_SAFETY_ANALYSIS \
+    AIB_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace aib::core {
+
+/**
+ * std::mutex with the capability attribute, so fields can be declared
+ * AIB_GUARDED_BY(mutex_). native() exposes the wrapped mutex for
+ * std::unique_lock / condition_variable interop.
+ */
+class AIB_CAPABILITY("mutex") Mutex {
+  public:
+    void lock() AIB_ACQUIRE() { m_.lock(); }
+    void unlock() AIB_RELEASE() { m_.unlock(); }
+    bool try_lock() AIB_TRY_ACQUIRE(true) { return m_.try_lock(); }
+    std::mutex &native() { return m_; }
+
+  private:
+    std::mutex m_;
+};
+
+/**
+ * Scoped lock over core::Mutex, annotated so the analysis tracks the
+ * critical section. Holds a std::unique_lock internally; native()
+ * hands it to condition_variable::wait. The wait temporarily releases
+ * and re-acquires the mutex, which the analysis models as the lock
+ * being held across the call — exactly the guarantee wait provides on
+ * return.
+ */
+class AIB_SCOPED_CAPABILITY MutexLock {
+  public:
+    explicit MutexLock(Mutex &mutex) AIB_ACQUIRE(mutex)
+        : lock_(mutex.native())
+    {
+    }
+    ~MutexLock() AIB_RELEASE() = default;
+
+    MutexLock(const MutexLock &) = delete;
+    MutexLock &operator=(const MutexLock &) = delete;
+
+    /** Temporarily drop the lock (e.g. around a long stage body). */
+    void unlock() AIB_RELEASE() { lock_.unlock(); }
+
+    /** Re-acquire after unlock(). */
+    void lock() AIB_ACQUIRE() { lock_.lock(); }
+
+    /** The underlying unique_lock, for condition_variable::wait. */
+    std::unique_lock<std::mutex> &native() { return lock_; }
+
+  private:
+    std::unique_lock<std::mutex> lock_;
+};
+
+} // namespace aib::core
+
+#endif // AIB_CORE_ANNOTATIONS_H

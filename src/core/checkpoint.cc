@@ -404,10 +404,13 @@ CheckpointManager::write(int epoch, const std::string &payload)
     char name[32];
     std::snprintf(name, sizeof(name), "%s%06d%s", kPrefix, epoch, kSuffix);
     const std::string path = (fs::path(dir_) / name).string();
+
+    MutexLock lock(mutex_);
     writeCheckpointFile(path, payload);
+    lastWrittenEpoch_ = epoch;
 
     // Retain-last-K rotation by epoch number.
-    auto existing = entries();
+    auto existing = scan();
     while (existing.size() > static_cast<std::size_t>(retain_)) {
         std::error_code ec;
         fs::remove(existing.front().path, ec);
@@ -416,8 +419,22 @@ CheckpointManager::write(int epoch, const std::string &payload)
     return path;
 }
 
+int
+CheckpointManager::lastWrittenEpoch() const
+{
+    MutexLock lock(mutex_);
+    return lastWrittenEpoch_;
+}
+
 std::vector<CheckpointEntry>
 CheckpointManager::entries() const
+{
+    MutexLock lock(mutex_);
+    return scan();
+}
+
+std::vector<CheckpointEntry>
+CheckpointManager::scan() const
 {
     std::vector<CheckpointEntry> out;
     std::error_code ec;
@@ -438,7 +455,10 @@ CheckpointManager::entries() const
 LoadedCheckpoint
 CheckpointManager::loadLatestValid(std::vector<std::string> *errors) const
 {
-    auto all = entries();
+    // Hold the lock across the reads too: rotation must not delete a
+    // file between the scan and its readCheckpointFile.
+    MutexLock lock(mutex_);
+    auto all = scan();
     for (auto it = all.rbegin(); it != all.rend(); ++it) {
         try {
             LoadedCheckpoint loaded;

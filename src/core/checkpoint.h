@@ -34,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "core/annotations.h"
 #include "tensor/random.h"
 
 namespace aib::nn {
@@ -197,6 +198,11 @@ struct LoadedCheckpoint {
  * Rotating checkpoint directory: files are named "ckpt-NNNNNN.aibck"
  * (NNNNNN = epoch), the newest @c retain are kept, and loading falls
  * back newest-to-oldest across files that fail CRC or format checks.
+ *
+ * Writes, rotation and directory scans serialize on an internal
+ * mutex, so a background checkpoint thread and a shutdown flush
+ * cannot race the retain-last-K bookkeeping (e.g. double-removing a
+ * rotated file, or loading a file mid-deletion).
  */
 class CheckpointManager
 {
@@ -204,10 +210,11 @@ class CheckpointManager
     explicit CheckpointManager(std::string dir, int retain = 3);
 
     /** Atomically write epoch @p epoch and rotate; returns the path. */
-    std::string write(int epoch, const std::string &payload);
+    std::string write(int epoch, const std::string &payload)
+        AIB_EXCLUDES(mutex_);
 
     /** Retained checkpoints, sorted by ascending epoch. */
-    std::vector<CheckpointEntry> entries() const;
+    std::vector<CheckpointEntry> entries() const AIB_EXCLUDES(mutex_);
 
     /**
      * Newest checkpoint that passes integrity checks; invalid files
@@ -216,14 +223,23 @@ class CheckpointManager
      * empty/missing-directory cold-start case.
      */
     LoadedCheckpoint
-    loadLatestValid(std::vector<std::string> *errors = nullptr) const;
+    loadLatestValid(std::vector<std::string> *errors = nullptr) const
+        AIB_EXCLUDES(mutex_);
+
+    /** Epoch of the last successful write(); -1 before any write. */
+    int lastWrittenEpoch() const AIB_EXCLUDES(mutex_);
 
     const std::string &dir() const { return dir_; }
     int retain() const { return retain_; }
 
   private:
+    /** Directory scan; callers hold the lock for a stable snapshot. */
+    std::vector<CheckpointEntry> scan() const AIB_REQUIRES(mutex_);
+
     std::string dir_;
     int retain_;
+    mutable Mutex mutex_;
+    int lastWrittenEpoch_ AIB_GUARDED_BY(mutex_) = -1;
 };
 
 } // namespace aib::core::ckpt

@@ -2,7 +2,8 @@
 
 #include <cstdlib>
 #include <map>
-#include <mutex>
+
+#include "core/annotations.h"
 
 namespace aib::core::fault {
 
@@ -19,13 +20,11 @@ struct Point {
     long hits = 0;
 };
 
-std::mutex g_mutex;
-std::map<std::string, Point> &
-points()
-{
-    static std::map<std::string, Point> p;
-    return p;
-}
+// Namespace-scope (not a function-local static) so the registry can
+// carry a lock annotation; nothing touches it before main, so there
+// is no init-order concern to hide behind a Meyers singleton.
+Mutex g_mutex;
+std::map<std::string, Point> g_points AIB_GUARDED_BY(g_mutex);
 
 } // namespace
 
@@ -35,8 +34,8 @@ arm(const std::string &point, long fire_at, long param)
     if (fire_at < 1)
         throw std::invalid_argument("fault::arm: fire_at must be >= 1 for '" +
                                     point + "'");
-    std::lock_guard<std::mutex> lock(g_mutex);
-    Point &p = points()[point];
+    MutexLock lock(g_mutex);
+    Point &p = g_points[point];
     if (!p.armed)
         detail::armedCount.fetch_add(1, std::memory_order_relaxed);
     p.armed = true;
@@ -48,9 +47,9 @@ arm(const std::string &point, long fire_at, long param)
 void
 disarm(const std::string &point)
 {
-    std::lock_guard<std::mutex> lock(g_mutex);
-    auto it = points().find(point);
-    if (it != points().end() && it->second.armed) {
+    MutexLock lock(g_mutex);
+    auto it = g_points.find(point);
+    if (it != g_points.end() && it->second.armed) {
         it->second.armed = false;
         detail::armedCount.fetch_sub(1, std::memory_order_relaxed);
     }
@@ -59,11 +58,11 @@ disarm(const std::string &point)
 void
 resetAll()
 {
-    std::lock_guard<std::mutex> lock(g_mutex);
-    for (auto &[name, p] : points())
+    MutexLock lock(g_mutex);
+    for (auto &[name, p] : g_points)
         if (p.armed)
             detail::armedCount.fetch_sub(1, std::memory_order_relaxed);
-    points().clear();
+    g_points.clear();
 }
 
 bool
@@ -71,9 +70,9 @@ fires(const std::string &point)
 {
     if (!anyArmed())
         return false;
-    std::lock_guard<std::mutex> lock(g_mutex);
-    auto it = points().find(point);
-    if (it == points().end() || !it->second.armed)
+    MutexLock lock(g_mutex);
+    auto it = g_points.find(point);
+    if (it == g_points.end() || !it->second.armed)
         return false;
     Point &p = it->second;
     ++p.hits;
@@ -95,9 +94,9 @@ maybeThrow(const std::string &point)
 long
 param(const std::string &point, long fallback)
 {
-    std::lock_guard<std::mutex> lock(g_mutex);
-    auto it = points().find(point);
-    if (it == points().end() || !it->second.armed)
+    MutexLock lock(g_mutex);
+    auto it = g_points.find(point);
+    if (it == g_points.end() || !it->second.armed)
         return fallback;
     return it->second.param;
 }
@@ -105,9 +104,9 @@ param(const std::string &point, long fallback)
 long
 hits(const std::string &point)
 {
-    std::lock_guard<std::mutex> lock(g_mutex);
-    auto it = points().find(point);
-    return it == points().end() ? 0 : it->second.hits;
+    MutexLock lock(g_mutex);
+    auto it = g_points.find(point);
+    return it == g_points.end() ? 0 : it->second.hits;
 }
 
 void

@@ -69,7 +69,7 @@ ThreadPool::ThreadPool(int threads)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         stop_ = true;
     }
     wake_.notify_all();
@@ -117,7 +117,7 @@ ThreadPool::runChunks(const Job &job, int participant) noexcept
         try {
             (*job.body)(c, b, e);
         } catch (...) {
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(mutex_);
             if (!firstError_)
                 firstError_ = std::current_exception();
         }
@@ -133,10 +133,12 @@ ThreadPool::workerLoop(int worker_id)
     for (;;) {
         Job job;
         {
-            std::unique_lock<std::mutex> lock(mutex_);
-            wake_.wait(lock, [&] {
-                return stop_ || generation_ != seen;
-            });
+            // Explicit while-wait: the analysis cannot look through a
+            // wait-predicate lambda, but it tracks the lock across
+            // wait(lock.native()) just fine.
+            MutexLock lock(mutex_);
+            while (!stop_ && generation_ == seen)
+                wake_.wait(lock.native());
             if (stop_)
                 return;
             seen = generation_;
@@ -147,7 +149,7 @@ ThreadPool::workerLoop(int worker_id)
             runChunks(job, participant);
             bool last = false;
             {
-                std::lock_guard<std::mutex> lock(mutex_);
+                MutexLock lock(mutex_);
                 last = --pending_ == 0;
             }
             if (last)
@@ -192,9 +194,9 @@ ThreadPool::parallelForChunked(
     job.participants =
         job.chunks < numThreads() ? job.chunks : numThreads();
 
-    std::lock_guard<std::mutex> submit(submitMutex_);
+    MutexLock submit(submitMutex_);
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         job_ = job;
         pending_ = job.participants - 1;
         ++generation_;
@@ -203,8 +205,9 @@ ThreadPool::parallelForChunked(
     runChunks(job, 0);
     std::exception_ptr err;
     {
-        std::unique_lock<std::mutex> lock(mutex_);
-        done_.wait(lock, [&] { return pending_ == 0; });
+        MutexLock lock(mutex_);
+        while (pending_ != 0)
+            done_.wait(lock.native());
         std::swap(err, firstError_);
     }
     if (err)

@@ -33,9 +33,10 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "core/annotations.h"
 
 namespace aib::core {
 
@@ -74,12 +75,14 @@ class ThreadPool
      */
     void parallelForChunked(
         std::int64_t begin, std::int64_t end, std::int64_t grain,
-        const std::function<void(int, std::int64_t, std::int64_t)> &body);
+        const std::function<void(int, std::int64_t, std::int64_t)> &body)
+        AIB_EXCLUDES(submitMutex_, mutex_);
 
     /** parallelForChunked without the chunk index. */
     void parallelFor(
         std::int64_t begin, std::int64_t end, std::int64_t grain,
-        const std::function<void(std::int64_t, std::int64_t)> &body);
+        const std::function<void(std::int64_t, std::int64_t)> &body)
+        AIB_EXCLUDES(submitMutex_, mutex_);
 
     /** True while the current thread executes a parallelFor body. */
     static bool inParallelRegion();
@@ -123,15 +126,15 @@ class ThreadPool
                      std::int64_t *e) const;
 
     std::vector<std::thread> workers_;
-    std::mutex submitMutex_; // one job in flight at a time
-    mutable std::mutex mutex_;
+    Mutex submitMutex_; // one job in flight at a time
+    mutable Mutex mutex_;
     std::condition_variable wake_;
     std::condition_variable done_;
-    Job job_;
-    std::uint64_t generation_ = 0;
-    int pending_ = 0;
-    bool stop_ = false;
-    std::exception_ptr firstError_;
+    Job job_ AIB_GUARDED_BY(mutex_);
+    std::uint64_t generation_ AIB_GUARDED_BY(mutex_) = 0;
+    int pending_ AIB_GUARDED_BY(mutex_) = 0;
+    bool stop_ AIB_GUARDED_BY(mutex_) = false;
+    std::exception_ptr firstError_ AIB_GUARDED_BY(mutex_);
 };
 
 /** Convenience: thread count of the global pool. */

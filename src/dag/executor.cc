@@ -5,8 +5,8 @@
 #include <condition_variable>
 #include <deque>
 #include <exception>
-#include <mutex>
 
+#include "core/annotations.h"
 #include "core/faultinject.h"
 #include "dag/nodes.h"
 
@@ -20,6 +20,35 @@ double microsSince(Clock::time_point t0)
     return std::chrono::duration<double, std::micro>(Clock::now() - t0)
         .count();
 }
+
+/**
+ * Cross-worker coordination for one execute() call. Everything the
+ * ready-queue protocol touches is guarded by one mutex; a value slot
+ * is written exactly once (under the lock, before its consumers become
+ * ready), so stage bodies may read producer slots through pointers
+ * snapshotted while locked.
+ */
+struct ExecState {
+    explicit ExecState(int n)
+        : values(static_cast<std::size_t>(n)),
+          stageUs(static_cast<std::size_t>(n), 0.0),
+          stageDigests(static_cast<std::size_t>(n), 0.0),
+          pending(static_cast<std::size_t>(n), 0)
+    {
+    }
+
+    core::Mutex mutex;
+    std::condition_variable cv;
+    std::vector<Value> values AIB_GUARDED_BY(mutex);
+    std::vector<double> stageUs AIB_GUARDED_BY(mutex);
+    std::vector<double> stageDigests AIB_GUARDED_BY(mutex);
+    std::vector<int> pending AIB_GUARDED_BY(mutex);
+    std::deque<NodeId> ready AIB_GUARDED_BY(mutex);
+    int done AIB_GUARDED_BY(mutex) = 0;
+    int inflight AIB_GUARDED_BY(mutex) = 0;
+    ExecAccounting acct AIB_GUARDED_BY(mutex);
+    std::exception_ptr error AIB_GUARDED_BY(mutex);
+};
 
 } // namespace
 
@@ -48,22 +77,15 @@ ExecResult Executor::execute(const std::vector<int> &sourceIds)
         }
     }
 
-    std::vector<Value> values(static_cast<std::size_t>(n));
-    std::vector<double> stageUs(static_cast<std::size_t>(n), 0.0);
-    std::vector<double> stageDigests(static_cast<std::size_t>(n), 0.0);
-    std::vector<int> pending(static_cast<std::size_t>(n), 0);
-    std::deque<NodeId> ready;
-    std::mutex mutex;
-    std::condition_variable cv;
-    int done = 0;
-    int inflight = 0;
-    ExecAccounting acct;
-    std::exception_ptr error;
-
-    for (NodeId id = 0; id < n; ++id) {
-        pending[static_cast<std::size_t>(id)] = graph_.node(id).arity();
-        if (graph_.node(id).arity() == 0) {
-            ready.push_back(id);
+    ExecState st(n);
+    {
+        core::MutexLock lock(st.mutex);
+        for (NodeId id = 0; id < n; ++id) {
+            st.pending[static_cast<std::size_t>(id)] =
+                graph_.node(id).arity();
+            if (graph_.node(id).arity() == 0) {
+                st.ready.push_back(id);
+            }
         }
     }
 
@@ -73,25 +95,36 @@ ExecResult Executor::execute(const std::vector<int> &sourceIds)
     // which degrades gracefully to a single-threaded topo walk.
     pool_.parallelForChunked(
         0, workers_, 1, [&](int, std::int64_t, std::int64_t) {
-            std::unique_lock<std::mutex> lock(mutex);
+            core::MutexLock lock(st.mutex);
             for (;;) {
-                cv.wait(lock, [&] {
-                    return !ready.empty() ||
-                           (inflight == 0 &&
-                            (done == n || error != nullptr));
-                });
-                if (ready.empty()) {
+                // Explicit while-wait: the thread-safety analysis
+                // cannot look inside wait-predicate lambdas.
+                while (st.ready.empty() &&
+                       !(st.inflight == 0 &&
+                         (st.done == n || st.error != nullptr))) {
+                    st.cv.wait(lock.native());
+                }
+                if (st.ready.empty()) {
                     return; // pipeline quiesced: complete or failed
                 }
-                const NodeId id = ready.front();
-                ready.pop_front();
-                if (error) {
+                const NodeId id = st.ready.front();
+                st.ready.pop_front();
+                if (st.error) {
                     // A stage already failed: drain without running.
-                    ++acct.skipped;
-                    ++done;
+                    ++st.acct.skipped;
+                    ++st.done;
                     continue;
                 }
-                ++inflight;
+                ++st.inflight;
+                // Snapshot the input pointers while still locked; the
+                // pointees are immutable once published, so the stage
+                // itself runs unlocked.
+                const auto &prods = graph_.producers(id);
+                std::vector<const Value *> in;
+                in.reserve(prods.size());
+                for (NodeId p : prods) {
+                    in.push_back(&st.values[static_cast<std::size_t>(p)]);
+                }
                 lock.unlock();
 
                 bool ok = true;
@@ -102,12 +135,6 @@ ExecResult Executor::execute(const std::vector<int> &sourceIds)
                 try {
                     core::fault::checkPoint("dag.stage");
                     profiler::ScopedTrace scope(local);
-                    const auto &prods = graph_.producers(id);
-                    std::vector<const Value *> in;
-                    in.reserve(prods.size());
-                    for (NodeId p : prods) {
-                        in.push_back(&values[static_cast<std::size_t>(p)]);
-                    }
                     out = graph_.node(id).run(in);
                 } catch (...) {
                     ok = false;
@@ -127,44 +154,49 @@ ExecResult Executor::execute(const std::vector<int> &sourceIds)
 
                 lock.lock();
                 if (ok) {
-                    values[static_cast<std::size_t>(id)] = std::move(out);
-                    stageUs[static_cast<std::size_t>(id)] = us;
+                    st.values[static_cast<std::size_t>(id)] =
+                        std::move(out);
+                    st.stageUs[static_cast<std::size_t>(id)] = us;
                     if (graph_.node(id).isTask()) {
-                        stageDigests[static_cast<std::size_t>(id)] =
-                            values[static_cast<std::size_t>(id)].scalar;
+                        st.stageDigests[static_cast<std::size_t>(id)] =
+                            st.values[static_cast<std::size_t>(id)].scalar;
                     }
                     stageLatency_[static_cast<std::size_t>(id)].record(us);
-                    ++acct.executed;
+                    ++st.acct.executed;
                     for (NodeId c : graph_.consumers(id)) {
-                        if (--pending[static_cast<std::size_t>(c)] == 0) {
-                            ready.push_back(c);
+                        if (--st.pending[static_cast<std::size_t>(c)] ==
+                            0) {
+                            st.ready.push_back(c);
                         }
                     }
                 } else {
-                    ++acct.failed;
-                    if (!error) {
-                        error = stageError;
+                    ++st.acct.failed;
+                    if (!st.error) {
+                        st.error = stageError;
                     }
                 }
-                --inflight;
-                ++done;
-                cv.notify_all();
+                --st.inflight;
+                ++st.done;
+                st.cv.notify_all();
             }
         });
 
-    acct.unreached = n - done;
-    accounting_ = acct;
+    // The pool has joined, but lock anyway so the analysis can check
+    // the epilogue's reads of the guarded state.
+    core::MutexLock lock(st.mutex);
+    st.acct.unreached = n - st.done;
+    accounting_ = st.acct;
     ++executions_;
-    if (error) {
-        std::rethrow_exception(error);
+    if (st.error) {
+        std::rethrow_exception(st.error);
     }
 
     ExecResult result;
     result.e2eUs = microsSince(start);
     e2e_.record(result.e2eUs);
-    result.stageUs = std::move(stageUs);
-    result.stageDigests = std::move(stageDigests);
-    result.output = values[static_cast<std::size_t>(graph_.sink())];
+    result.stageUs = std::move(st.stageUs);
+    result.stageDigests = std::move(st.stageDigests);
+    result.output = st.values[static_cast<std::size_t>(graph_.sink())];
 
     // Fixed topo-order fold: bitwise identical at any worker count.
     double digest = 0.0;

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "profiler/trace.h"
+#include "tensor/graph_capture.h"
 #include "tensor/ops.h"
 
 namespace aib::dag {
@@ -83,6 +84,11 @@ Value HashEmbedNode::run(const std::vector<const Value *> &inputs)
     profiler::record("dag::hash_embed",
                      profiler::KernelCategory::DataArrangement, 2.0 * elems,
                      0.0, 4.0 * elems, elems);
+    // The hash loop bypasses the tensor operators, so report it to an
+    // active graph capture by hand or the static cost model loses the
+    // stage (mirrored in graphlint/infer.cc).
+    if (graph::captureActive())
+        graph::captureNonDiff("dagHashEmbed", {}, out);
     return Value::ofTensor(out);
 }
 
@@ -154,6 +160,14 @@ Value TopKNode::run(const std::vector<const Value *> &inputs)
     profiler::record("dag::topk", profiler::KernelCategory::DataArrangement,
                      elems, 4.0 * elems, 4.0 * static_cast<double>(k),
                      static_cast<double>(n));
+    // Ids leave tensor space here; record a self-alias op (like
+    // deviceToHost) so capture sees the consumption of x. The row sums
+    // accumulate serially, hence the "ordered" declaration.
+    if (graph::captureActive()) {
+        graph::capturePendingAttrs(
+            {{"k", static_cast<std::int64_t>(k)}, {"ordered", 1}});
+        graph::captureNonDiff("dagTopK", {&x}, x);
+    }
     return Value::ofIds(std::move(order));
 }
 

@@ -37,6 +37,11 @@ class EvalGuard
 inline double
 outputDigest(const Tensor &t)
 {
+    // The fold reads the payload host-side; tell any active graph
+    // capture so liveness knows the buffer is consumed here rather
+    // than dead (a scenario stage's terminal tensor has no in-capture
+    // reader otherwise).
+    ops::recordDeviceToHostRead(t);
     double sum = 0.0;
     const float *p = t.data();
     for (std::int64_t i = 0; i < t.numel(); ++i)

@@ -426,6 +426,9 @@ class Seq2SeqSummarizer : public nn::Module
                 Tensor am = ops::argmaxLastDim(ops::reshape(
                     step_logits, {b, static_cast<std::int64_t>(
                                          vocab_)}));
+                // Token ids cross back to the host to drive the next
+                // decode step.
+                ops::recordDeviceToHostRead(am);
                 for (std::int64_t i = 0; i < b; ++i)
                     prev[static_cast<std::size_t>(i)] =
                         static_cast<int>(am.data()[i]);

@@ -117,8 +117,14 @@ BatchNorm2d::forward(const Tensor &input)
         ps[i] = 1.0f / std::sqrt(rv[i] + eps_);
     Tensor gamma_b = ops::reshape(gamma, {1, c, 1, 1});
     Tensor beta_b = ops::reshape(beta, {1, c, 1, 1});
-    Tensor xhat = ops::mul(ops::sub(input, mean_b), scale);
-    return ops::add(ops::mul(xhat, gamma_b), beta_b);
+    // Rebind step by step so each intermediate feature map is freed
+    // as soon as its successor exists: the nested-expression form
+    // kept four full-size maps co-resident at the eval-path peak
+    // (found by the analyze liveness pass; aibench analyze).
+    Tensor y = ops::sub(input, mean_b);
+    y = ops::mul(y, scale);
+    y = ops::mul(y, gamma_b);
+    return ops::add(y, beta_b);
 }
 
 LayerNorm::LayerNorm(std::int64_t dim, float eps) : eps_(eps)

@@ -28,7 +28,7 @@ categoryName(KernelCategory category)
 
 TraceSession::TraceSession(const TraceSession &other)
 {
-    std::lock_guard<std::mutex> lock(other.mutex_);
+    core::MutexLock lock(other.mutex_);
     stats_ = other.stats_;
     totalLaunches_ = other.totalLaunches_;
     totalFlops_ = other.totalFlops_;
@@ -40,18 +40,36 @@ TraceSession::operator=(const TraceSession &other)
 {
     if (this == &other)
         return *this;
-    std::scoped_lock lock(mutex_, other.mutex_);
+    // Address-ordered acquisition: concurrent cross-assignments (or an
+    // assignment racing a merge) lock the two sessions in the same
+    // order and cannot deadlock. The branches are explicit because the
+    // thread-safety analysis cannot see through std::scoped_lock's
+    // deadlock avoidance.
+    if (this < &other) {
+        core::MutexLock mine(mutex_);
+        core::MutexLock theirs(other.mutex_);
+        assignLocked(other);
+    } else {
+        core::MutexLock theirs(other.mutex_);
+        core::MutexLock mine(mutex_);
+        assignLocked(other);
+    }
+    return *this;
+}
+
+void
+TraceSession::assignLocked(const TraceSession &other)
+{
     stats_ = other.stats_;
     totalLaunches_ = other.totalLaunches_;
     totalFlops_ = other.totalFlops_;
     totalBytes_ = other.totalBytes_;
-    return *this;
 }
 
 void
 TraceSession::record(const KernelLaunch &launch)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    core::MutexLock lock(mutex_);
     KernelStats &stats = stats_[launch.name];
     stats.category = launch.category;
     stats.launches += 1;
@@ -68,7 +86,7 @@ TraceSession::record(const KernelLaunch &launch)
 void
 TraceSession::clear()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    core::MutexLock lock(mutex_);
     stats_.clear();
     totalLaunches_ = 0;
     totalFlops_ = 0.0;
@@ -78,35 +96,35 @@ TraceSession::clear()
 std::size_t
 TraceSession::kernelCount() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    core::MutexLock lock(mutex_);
     return stats_.size();
 }
 
 std::uint64_t
 TraceSession::totalLaunches() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    core::MutexLock lock(mutex_);
     return totalLaunches_;
 }
 
 double
 TraceSession::totalFlops() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    core::MutexLock lock(mutex_);
     return totalFlops_;
 }
 
 double
 TraceSession::totalBytes() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    core::MutexLock lock(mutex_);
     return totalBytes_;
 }
 
 const KernelStats *
 TraceSession::find(std::string_view name) const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    core::MutexLock lock(mutex_);
     auto it = stats_.find(name);
     return it == stats_.end() ? nullptr : &it->second;
 }
@@ -114,7 +132,7 @@ TraceSession::find(std::string_view name) const
 std::vector<std::pair<std::string_view, KernelStats>>
 TraceSession::kernels() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    core::MutexLock lock(mutex_);
     std::vector<std::pair<std::string_view, KernelStats>> out(
         stats_.begin(), stats_.end());
     std::sort(out.begin(), out.end(), [](const auto &a, const auto &b) {
@@ -128,7 +146,7 @@ TraceSession::kernels() const
 std::vector<KernelStats>
 TraceSession::categoryTotals() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    core::MutexLock lock(mutex_);
     std::vector<KernelStats> totals(kNumKernelCategories);
     for (int i = 0; i < kNumKernelCategories; ++i)
         totals[i].category = static_cast<KernelCategory>(i);
@@ -148,7 +166,21 @@ TraceSession::merge(const TraceSession &other)
 {
     if (this == &other)
         return;
-    std::scoped_lock lock(mutex_, other.mutex_);
+    // Same address-ordered two-session locking as operator=.
+    if (this < &other) {
+        core::MutexLock mine(mutex_);
+        core::MutexLock theirs(other.mutex_);
+        mergeLocked(other);
+    } else {
+        core::MutexLock theirs(other.mutex_);
+        core::MutexLock mine(mutex_);
+        mergeLocked(other);
+    }
+}
+
+void
+TraceSession::mergeLocked(const TraceSession &other)
+{
     for (const auto &[name, stats] : other.stats_) {
         KernelStats &mine = stats_[name];
         mine.category = stats.category;

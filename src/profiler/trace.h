@@ -16,12 +16,12 @@
 #define AIB_PROFILER_TRACE_H
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "core/annotations.h"
 #include "profiler/kernel_info.h"
 
 namespace aib::profiler {
@@ -68,44 +68,56 @@ class TraceSession
     TraceSession &operator=(const TraceSession &other);
 
     /** Record one kernel launch into the aggregate. */
-    void record(const KernelLaunch &launch);
+    void record(const KernelLaunch &launch) AIB_EXCLUDES(mutex_);
 
     /** Drop all recorded statistics. */
-    void clear();
+    void clear() AIB_EXCLUDES(mutex_);
 
     /** Number of distinct kernels observed. */
-    std::size_t kernelCount() const;
+    std::size_t kernelCount() const AIB_EXCLUDES(mutex_);
 
     /** Total launches across all kernels. */
-    std::uint64_t totalLaunches() const;
+    std::uint64_t totalLaunches() const AIB_EXCLUDES(mutex_);
 
     /** Total FLOPs across all kernels. */
-    double totalFlops() const;
+    double totalFlops() const AIB_EXCLUDES(mutex_);
 
     /** Total bytes moved across all kernels. */
-    double totalBytes() const;
+    double totalBytes() const AIB_EXCLUDES(mutex_);
 
     /** Stats for one kernel name, or nullptr if never launched. */
-    const KernelStats *find(std::string_view name) const;
+    const KernelStats *find(std::string_view name) const
+        AIB_EXCLUDES(mutex_);
 
     /**
      * Snapshot of all kernels as (name, stats) pairs, sorted by
      * descending FLOPs then name for deterministic output.
      */
-    std::vector<std::pair<std::string_view, KernelStats>> kernels() const;
+    std::vector<std::pair<std::string_view, KernelStats>> kernels() const
+        AIB_EXCLUDES(mutex_);
 
     /** Per-category totals (indexed by KernelCategory). */
-    std::vector<KernelStats> categoryTotals() const;
+    std::vector<KernelStats> categoryTotals() const AIB_EXCLUDES(mutex_);
 
     /** Merge another session's aggregates into this one. */
-    void merge(const TraceSession &other);
+    void merge(const TraceSession &other)
+        AIB_EXCLUDES(mutex_, other.mutex_);
 
   private:
-    mutable std::mutex mutex_;
-    std::unordered_map<std::string_view, KernelStats> stats_;
-    std::uint64_t totalLaunches_ = 0;
-    double totalFlops_ = 0.0;
-    double totalBytes_ = 0.0;
+    /** Fold @p other's aggregates in; both sessions locked. */
+    void mergeLocked(const TraceSession &other)
+        AIB_REQUIRES(mutex_, other.mutex_);
+
+    /** Replace this session's aggregates; both sessions locked. */
+    void assignLocked(const TraceSession &other)
+        AIB_REQUIRES(mutex_, other.mutex_);
+
+    mutable core::Mutex mutex_;
+    std::unordered_map<std::string_view, KernelStats> stats_
+        AIB_GUARDED_BY(mutex_);
+    std::uint64_t totalLaunches_ AIB_GUARDED_BY(mutex_) = 0;
+    double totalFlops_ AIB_GUARDED_BY(mutex_) = 0.0;
+    double totalBytes_ AIB_GUARDED_BY(mutex_) = 0.0;
 };
 
 /**

@@ -46,7 +46,7 @@ bool
 AdmissionQueue::push(const Request &request)
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        core::MutexLock lock(mutex_);
         if (closed_ ||
             static_cast<int>(queue_.size()) >= capacity_) {
             rejected_ += 1;
@@ -65,27 +65,27 @@ AdmissionQueue::popBatch(const BatchPolicy &policy,
                          std::vector<Request> *out)
 {
     out->clear();
-    std::unique_lock<std::mutex> lock(mutex_);
+    // Explicit while-waits throughout: the thread-safety analysis
+    // cannot look inside wait-predicate lambdas, but it tracks the
+    // lock across wait(lock.native()).
+    core::MutexLock lock(mutex_);
     for (;;) {
-        nonEmpty_.wait(lock,
-                       [&] { return closed_ || !queue_.empty(); });
+        while (!closed_ && queue_.empty())
+            nonEmpty_.wait(lock.native());
         if (queue_.empty())
             return false; // closed and drained
         // A batch is ready when full or when the oldest member has
         // aged past the delay window; otherwise wait for more
-        // arrivals, but no later than that member's deadline.
+        // arrivals, but no later than that member's deadline. Either
+        // the batch fills (or the queue closes) before the deadline,
+        // or the deadline passes and we dispatch what we have.
         const auto deadline =
             queue_.front().enqueue +
             std::chrono::microseconds(policy.maxDelayUs);
-        if (static_cast<int>(queue_.size()) < policy.maxBatch &&
-            !closed_) {
-            // Either the batch fills (or the queue closes) before the
-            // deadline, or the deadline passes and we dispatch what
-            // we have.
-            nonEmpty_.wait_until(lock, deadline, [&] {
-                return closed_ || static_cast<int>(queue_.size()) >=
-                                      policy.maxBatch;
-            });
+        while (!closed_ &&
+               static_cast<int>(queue_.size()) < policy.maxBatch &&
+               nonEmpty_.wait_until(lock.native(), deadline) !=
+                   std::cv_status::timeout) {
         }
         if (queue_.empty())
             continue; // raced with another consumer
@@ -104,7 +104,7 @@ void
 AdmissionQueue::close()
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        core::MutexLock lock(mutex_);
         closed_ = true;
     }
     nonEmpty_.notify_all();
@@ -113,14 +113,14 @@ AdmissionQueue::close()
 std::uint64_t
 AdmissionQueue::rejected() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    core::MutexLock lock(mutex_);
     return rejected_;
 }
 
 int
 AdmissionQueue::peakDepth() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    core::MutexLock lock(mutex_);
     return peakDepth_;
 }
 

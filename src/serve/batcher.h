@@ -28,8 +28,9 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <vector>
+
+#include "core/annotations.h"
 
 namespace aib::serve {
 
@@ -73,7 +74,7 @@ class AdmissionQueue
      * Admit a request. Returns false (and drops it) when the queue
      * already holds @c capacity requests — the overload signal.
      */
-    bool push(const Request &request);
+    bool push(const Request &request) AIB_EXCLUDES(mutex_);
 
     /**
      * Dequeue the next batch into @p out (cleared first): blocks
@@ -81,25 +82,26 @@ class AdmissionQueue
      * queued request has waited @c policy.maxDelayUs, or the queue
      * is closed. Returns false only when closed and drained.
      */
-    bool popBatch(const BatchPolicy &policy, std::vector<Request> *out);
+    bool popBatch(const BatchPolicy &policy, std::vector<Request> *out)
+        AIB_EXCLUDES(mutex_);
 
     /** No further pushes; wakes all waiting consumers. */
-    void close();
+    void close() AIB_EXCLUDES(mutex_);
 
     /** Requests rejected by push so far. */
-    std::uint64_t rejected() const;
+    std::uint64_t rejected() const AIB_EXCLUDES(mutex_);
 
     /** Largest queue depth observed at admission time. */
-    int peakDepth() const;
+    int peakDepth() const AIB_EXCLUDES(mutex_);
 
   private:
     const int capacity_;
-    mutable std::mutex mutex_;
+    mutable core::Mutex mutex_;
     std::condition_variable nonEmpty_;
-    std::deque<Request> queue_;
-    bool closed_ = false;
-    std::uint64_t rejected_ = 0;
-    int peakDepth_ = 0;
+    std::deque<Request> queue_ AIB_GUARDED_BY(mutex_);
+    bool closed_ AIB_GUARDED_BY(mutex_) = false;
+    std::uint64_t rejected_ AIB_GUARDED_BY(mutex_) = 0;
+    int peakDepth_ AIB_GUARDED_BY(mutex_) = 0;
 };
 
 } // namespace aib::serve

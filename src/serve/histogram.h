@@ -15,6 +15,12 @@
  * default 8 sub-buckets per octave). Exact minimum, maximum, count
  * and sum are tracked on the side, so mean/min/max are precise and
  * only interior percentiles are quantized.
+ *
+ * Deliberately unsynchronized (no mutex, no annotations): an instance
+ * is confined to one serving worker, and merging happens on the
+ * coordinator thread after the worker pool has joined. Sharing an
+ * instance across threads is a bug in the caller, not a missing lock
+ * here.
  */
 
 #ifndef AIB_SERVE_HISTOGRAM_H

@@ -1,0 +1,94 @@
+#include "tensor/alloctrack.h"
+
+#include <atomic>
+#include <mutex>
+#include <utility>
+
+namespace aib::alloctrack {
+
+namespace {
+
+std::atomic<std::uint64_t> g_live_bytes{0};
+std::atomic<std::uint64_t> g_peak_bytes{0};
+std::atomic<std::uint64_t> g_total_bytes{0};
+std::atomic<std::uint64_t> g_live_tensors{0};
+std::atomic<std::uint64_t> g_total_tensors{0};
+
+std::atomic<bool> g_logging{false};
+std::mutex g_log_mutex;
+std::vector<Event> g_log;
+
+void
+record(const void *key, std::int64_t bytes, bool alloc)
+{
+    std::lock_guard<std::mutex> lock(g_log_mutex);
+    g_log.push_back({key, bytes, alloc});
+}
+
+} // namespace
+
+void
+beginEventLog()
+{
+    std::lock_guard<std::mutex> lock(g_log_mutex);
+    g_log.clear();
+    g_logging.store(true, std::memory_order_release);
+}
+
+std::vector<Event>
+endEventLog()
+{
+    g_logging.store(false, std::memory_order_release);
+    std::lock_guard<std::mutex> lock(g_log_mutex);
+    return std::move(g_log);
+}
+
+Stats
+snapshot()
+{
+    Stats s;
+    s.liveBytes = g_live_bytes.load(std::memory_order_relaxed);
+    s.peakBytes = g_peak_bytes.load(std::memory_order_relaxed);
+    s.totalBytes = g_total_bytes.load(std::memory_order_relaxed);
+    s.liveTensors = g_live_tensors.load(std::memory_order_relaxed);
+    s.totalTensors = g_total_tensors.load(std::memory_order_relaxed);
+    return s;
+}
+
+void
+resetPeak()
+{
+    g_peak_bytes.store(g_live_bytes.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+}
+
+void
+onAcquire(std::size_t bytes, const void *key)
+{
+    const std::uint64_t live =
+        g_live_bytes.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    g_total_bytes.fetch_add(bytes, std::memory_order_relaxed);
+    g_live_tensors.fetch_add(1, std::memory_order_relaxed);
+    g_total_tensors.fetch_add(1, std::memory_order_relaxed);
+    // Racy-max update: good enough for a high-water mark (the analyze
+    // driver measures from a single thread anyway).
+    std::uint64_t peak = g_peak_bytes.load(std::memory_order_relaxed);
+    while (live > peak &&
+           !g_peak_bytes.compare_exchange_weak(
+               peak, live, std::memory_order_relaxed,
+               std::memory_order_relaxed)) {
+    }
+    if (g_logging.load(std::memory_order_acquire))
+        record(key, static_cast<std::int64_t>(bytes), true);
+}
+
+void
+onRelease(std::size_t bytes, const void *key)
+{
+    g_live_bytes.fetch_sub(bytes, std::memory_order_relaxed);
+    g_live_tensors.fetch_sub(1, std::memory_order_relaxed);
+    if (g_logging.load(std::memory_order_acquire))
+        record(key, static_cast<std::int64_t>(bytes), false);
+}
+
+} // namespace aib::alloctrack

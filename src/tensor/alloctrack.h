@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Process-wide tensor-allocation accounting.
+ *
+ * Every TensorImpl registers its storage bytes on creation and
+ * deregisters them on destruction, maintaining live/peak/cumulative
+ * counters. The static analyzer (src/analysis/graphlint/analyze.cc)
+ * uses the high-water mark as the measured ground truth its
+ * interval-based peak-live-bytes inference is cross-checked against,
+ * the same two-independent-paths discipline the FLOP auditor applies
+ * to cost models.
+ *
+ * The counters are relaxed atomics: they impose no ordering on the
+ * tensor hot path and cost two fetch-adds per tensor lifetime. Only
+ * tensor storage (the float payload) is counted — op-internal scratch
+ * (im2col columns, packed GEMM panels) lives in plain std::vector and
+ * is deliberately invisible on both the measured and the static side,
+ * so the cross-check compares like with like.
+ */
+
+#ifndef AIB_TENSOR_ALLOCTRACK_H
+#define AIB_TENSOR_ALLOCTRACK_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace aib::alloctrack {
+
+/** Snapshot of the allocation counters. */
+struct Stats {
+    /** Bytes of tensor storage currently alive. */
+    std::uint64_t liveBytes = 0;
+    /** High-water mark of liveBytes since the last resetPeak(). */
+    std::uint64_t peakBytes = 0;
+    /** Cumulative bytes ever registered (monotonic). */
+    std::uint64_t totalBytes = 0;
+    /** Tensors currently alive / ever created. */
+    std::uint64_t liveTensors = 0;
+    std::uint64_t totalTensors = 0;
+};
+
+/** Read all counters. */
+Stats snapshot();
+
+/**
+ * Reset the high-water mark to the current live level, so the next
+ * snapshot().peakBytes measures the maximum over the region that
+ * follows. Call from a quiesced point (no concurrent tensor churn)
+ * for an exact region measurement.
+ */
+void resetPeak();
+
+/**
+ * One allocation or deallocation, in program order. @c key is the
+ * TensorImpl address at event time; addresses are reused by the heap,
+ * so the stable identity of a buffer across runs is its *allocation
+ * ordinal*, not its key.
+ */
+struct Event {
+    const void *key = nullptr;
+    std::int64_t bytes = 0;
+    bool alloc = false;
+};
+
+/**
+ * Start recording alloc/free events (single recording at a time;
+ * the analyze driver records from one thread). Recording adds a
+ * mutex acquisition per tensor lifetime — leave it off outside
+ * analysis runs.
+ */
+void beginEventLog();
+
+/** Stop recording and return the events in order. */
+std::vector<Event> endEventLog();
+
+/** @name TensorImpl hooks (called from src/tensor/tensor.cc only).
+ * @{
+ */
+void onAcquire(std::size_t bytes, const void *key = nullptr);
+void onRelease(std::size_t bytes, const void *key = nullptr);
+/** @} */
+
+} // namespace aib::alloctrack
+
+#endif // AIB_TENSOR_ALLOCTRACK_H

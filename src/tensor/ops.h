@@ -180,6 +180,14 @@ Tensor dropout(const Tensor &a, float p, bool training, Rng &rng);
 Tensor mseLoss(const Tensor &a, const Tensor &b);
 /** Record a host-to-device style copy for a freshly loaded batch. */
 void recordHostToDeviceCopy(const Tensor &batch);
+
+/**
+ * Mark a host-side read of @p t's payload (token fetch after argmax,
+ * digest fold) for graph capture, so dataflow analyses know the
+ * buffer is consumed at the host boundary. Records a "deviceToHost"
+ * alias op when a capture is active; otherwise free.
+ */
+void recordDeviceToHostRead(const Tensor &t);
 /** @} */
 
 } // namespace aib::ops

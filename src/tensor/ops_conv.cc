@@ -21,6 +21,7 @@
 #include "tensor/detail/gemm.h"
 #include "tensor/detail/op_common.h"
 #include "tensor/graph_capture.h"
+#include "tensor/graph_capture.h"
 
 namespace aib::ops {
 
@@ -214,8 +215,10 @@ conv2d(const Tensor &input, const Tensor &weight, const Tensor &bias,
                           static_cast<double>(out.numel()), 1.0, 1.0);
     }
 
-    graph::capturePendingAttrs(
-        {{"kernel", kernel}, {"stride", stride}, {"padding", padding}});
+    graph::capturePendingAttrs({{"kernel", kernel},
+                                {"stride", stride},
+                                {"padding", padding},
+                                {"ordered", 1}});
     return autograd::makeOutput(
         std::move(out), "conv2d", {input, weight, bias},
         [input, weight, has_bias = bias.defined(), n, c, h, w, f, kernel,
@@ -350,8 +353,10 @@ convTranspose2d(const Tensor &input, const Tensor &weight,
                           static_cast<double>(out.numel()), 1.0, 1.0);
     }
 
-    graph::capturePendingAttrs(
-        {{"kernel", kernel}, {"stride", stride}, {"padding", padding}});
+    graph::capturePendingAttrs({{"kernel", kernel},
+                                {"stride", stride},
+                                {"padding", padding},
+                                {"ordered", 1}});
     return autograd::makeOutput(
         std::move(out), "convTranspose2d", {input, weight, bias},
         [input, weight, has_bias = bias.defined(), n, c, h, w, f, kernel,
@@ -526,7 +531,8 @@ avgPool2d(const Tensor &input, int kernel, int stride)
                      4.0 * static_cast<double>(input.numel()),
                      4.0 * static_cast<double>(out.numel()),
                      static_cast<double>(out.numel()));
-    graph::capturePendingAttrs({{"kernel", kernel}, {"stride", stride}});
+    graph::capturePendingAttrs(
+        {{"kernel", kernel}, {"stride", stride}, {"ordered", 1}});
     return autograd::makeOutput(
         std::move(out), "avgPool2d", {input},
         [shape_in = input.shape(), n, c, h, w, ho, wo, kernel, stride,
@@ -586,6 +592,7 @@ globalAvgPool2d(const Tensor &input)
                      4.0 * static_cast<double>(input.numel()),
                      4.0 * static_cast<double>(out.numel()),
                      static_cast<double>(out.numel()));
+    graph::capturePendingAttrs({{"ordered", 1}}); // fixed H*W scan
     return autograd::makeOutput(
         std::move(out), "globalAvgPool2d", {input},
         [shape_in = input.shape(), n, c, hw, inv](const Tensor &g) {
@@ -677,6 +684,7 @@ batchNorm2d(const Tensor &input, const Tensor &gamma, const Tensor &beta,
                      8.0 * static_cast<double>(input.numel()),
                      static_cast<double>(input.numel()));
 
+    graph::capturePendingAttrs({{"ordered", 1}}); // fixed N*H*W moments
     return autograd::makeOutput(
         std::move(out), "batchNorm2d", {input, gamma, beta},
         [xhat, gamma, inv_std, n, c, hw, count,
@@ -784,6 +792,7 @@ layerNorm(const Tensor &input, const Tensor &gamma, const Tensor &beta,
                      8.0 * static_cast<double>(input.numel()),
                      static_cast<double>(input.numel()));
 
+    graph::capturePendingAttrs({{"ordered", 1}}); // fixed row moments
     return autograd::makeOutput(
         std::move(out), "layerNorm", {input, gamma, beta},
         [xhat, inv_std, gamma, rows, c,

@@ -18,6 +18,7 @@
 #include "tensor/autograd.h"
 #include "tensor/detail/gemm.h"
 #include "tensor/detail/op_common.h"
+#include "tensor/graph_capture.h"
 
 namespace aib::ops {
 
@@ -77,6 +78,10 @@ matmul(const Tensor &a, const Tensor &b)
     Tensor out = Tensor::zeros({m, n});
     detail::gemm(a.data(), b.data(), out.data(), m, n, k, false, false);
     recordGemm(kn::sgemm_nn, m, n, k);
+    // The blocked GEMM partitions over M/N only; each dot product
+    // walks K in a fixed order regardless of thread count, hence
+    // "ordered" (the determinism lint's contract, docs/ANALYSIS.md).
+    graph::capturePendingAttrs({{"ordered", 1}});
     return autograd::makeOutput(
         std::move(out), "matmul", {a, b},
         [a, b, m, n, k](const Tensor &g) {
@@ -113,6 +118,7 @@ bmm(const Tensor &a, const Tensor &b)
         });
     }
     recordGemm(kn::sgemm_batched, bs * m, n, k);
+    graph::capturePendingAttrs({{"ordered", 1}}); // fixed K-order GEMMs
     return autograd::makeOutput(
         std::move(out), "bmm", {a, b},
         [a, b, bs, m, n, k](const Tensor &g) {

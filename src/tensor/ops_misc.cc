@@ -265,4 +265,17 @@ recordHostToDeviceCopy(const Tensor &batch)
         graph::captureNonDiff("hostToDevice", {&batch}, batch);
 }
 
+void
+recordDeviceToHostRead(const Tensor &t)
+{
+    // Capture-only annotation: records that host code reads @p t's
+    // payload (greedy-decode token fetch, digest fold), so dataflow
+    // passes see the consumption. Deliberately no profiler::record —
+    // the kernel-trace golden files predate the marker, and the
+    // transfer cost is surfaced on the static side (moveCost in
+    // graphlint/infer.cc) instead.
+    if (graph::captureActive())
+        graph::captureNonDiff("deviceToHost", {&t}, t);
+}
+
 } // namespace aib::ops

@@ -65,6 +65,13 @@ sum(const Tensor &a)
     detail::recordMap(kn::ew_reduce, KernelCategory::Elementwise,
                       static_cast<double>(n), 1.0, 1.0);
     Tensor out = Tensor::scalar(static_cast<float>(acc));
+    // "ordered" declares that this kernel combines its float partials
+    // in a fixed, data-independent order, so the result is bitwise
+    // reproducible. The determinism lint (docs/ANALYSIS.md) requires
+    // the declaration from every accumulating op on a serve/digest
+    // path; a new reduction kernel without it gets flagged until its
+    // accumulation order has been audited.
+    graph::capturePendingAttrs({{"ordered", 1}});
     return autograd::makeOutput(
         std::move(out), "sum", {a}, [a](const Tensor &g) {
             return std::vector<Tensor>{
@@ -113,7 +120,8 @@ sumDim(const Tensor &a, int dim, bool keepdim)
     }
     detail::recordMap(kn::ew_reduce, KernelCategory::Elementwise,
                       static_cast<double>(a.numel()), 1.0, 1.0);
-    graph::capturePendingAttrs({{"dim", d}, {"keepdim", keepdim ? 1 : 0}});
+    graph::capturePendingAttrs(
+        {{"dim", d}, {"keepdim", keepdim ? 1 : 0}, {"ordered", 1}});
     return autograd::makeOutput(
         std::move(out), "sumDim", {a},
         [a, d, outer, inner, len](const Tensor &g) {
@@ -203,6 +211,7 @@ softmax(const Tensor &a)
                      static_cast<double>(rows));
     // Backward recomputes the softmax from the saved *input* — the
     // output must not be captured in its own node (shared_ptr cycle).
+    graph::capturePendingAttrs({{"ordered", 1}}); // fixed-order row sums
     return autograd::makeOutput(
         std::move(out), "softmax", {a},
         [a, c, rows](const Tensor &g) {
@@ -259,6 +268,7 @@ logSoftmax(const Tensor &a)
                      4.0 * static_cast<double>(a.numel()),
                      static_cast<double>(rows));
     // As with softmax: recompute in backward from the input.
+    graph::capturePendingAttrs({{"ordered", 1}}); // fixed-order row sums
     return autograd::makeOutput(
         std::move(out), "logSoftmax", {a},
         [a, c, rows](const Tensor &g) {
@@ -304,6 +314,7 @@ nllLoss(const Tensor &log_probs, const std::vector<int> &targets)
     detail::recordMap(kn::ew_reduce, KernelCategory::Elementwise,
                       static_cast<double>(n), 1.0, 1.0);
     Tensor out = Tensor::scalar(static_cast<float>(acc / n));
+    graph::capturePendingAttrs({{"ordered", 1}}); // sequential row fold
     return autograd::makeOutput(
         std::move(out), "nllLoss", {log_probs},
         [targets, n, c, shape = log_probs.shape()](const Tensor &g) {

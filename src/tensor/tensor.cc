@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "core/faultinject.h"
+#include "tensor/alloctrack.h"
 #include "tensor/autograd.h"
 #include "tensor/graph_capture.h"
 
@@ -16,6 +17,14 @@ thread_local bool tl_grad_mode = true;
 
 Rng g_global_rng{0x5eedULL};
 
+/** Register @p impl's storage with the allocation tracker. */
+void
+trackImpl(TensorImpl &impl)
+{
+    impl.accountedBytes = impl.data.size() * sizeof(float);
+    alloctrack::onAcquire(impl.accountedBytes, &impl);
+}
+
 std::shared_ptr<TensorImpl>
 makeImpl(const Shape &shape)
 {
@@ -26,10 +35,17 @@ makeImpl(const Shape &shape)
     auto impl = std::make_shared<TensorImpl>();
     impl->shape = shape;
     impl->data.resize(static_cast<std::size_t>(numel(shape)));
+    trackImpl(*impl);
     return impl;
 }
 
 } // namespace
+
+TensorImpl::~TensorImpl()
+{
+    if (accountedBytes != 0)
+        alloctrack::onRelease(accountedBytes, this);
+}
 
 Shape
 broadcastShapes(const Shape &a, const Shape &b)
@@ -100,6 +116,7 @@ Tensor::fromVector(const Shape &shape, std::vector<float> values)
     auto impl = std::make_shared<TensorImpl>();
     impl->shape = shape;
     impl->data = std::move(values);
+    trackImpl(*impl);
     return Tensor(std::move(impl));
 }
 
@@ -286,6 +303,7 @@ Tensor::accumulateGrad(const Tensor &g)
         auto grad_impl = std::make_shared<TensorImpl>();
         grad_impl->shape = impl_->shape;
         grad_impl->data = g.impl()->data;
+        trackImpl(*grad_impl);
         impl_->grad = std::move(grad_impl);
         return;
     }
@@ -315,6 +333,7 @@ Tensor::detach() const
     auto impl = std::make_shared<TensorImpl>();
     impl->shape = impl_->shape;
     impl->data = impl_->data;
+    trackImpl(*impl);
     Tensor out(std::move(impl));
     // detach creates a fresh impl, so without this hook a captured
     // graph would see the value chain silently end here.

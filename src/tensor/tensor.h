@@ -122,11 +122,22 @@ class Tensor
 
 /** Tensor storage and autograd metadata. */
 struct TensorImpl {
+    TensorImpl() = default;
+    ~TensorImpl(); ///< deregisters accountedBytes (alloctrack.h)
+    TensorImpl(const TensorImpl &) = delete;
+    TensorImpl &operator=(const TensorImpl &) = delete;
+
     Shape shape;
     std::vector<float> data;
     bool requiresGrad = false;
     std::shared_ptr<TensorImpl> grad;
     std::shared_ptr<autograd::Node> gradFn;
+    /**
+     * Storage bytes registered with alloctrack. Set once by the
+     * creation sites in tensor.cc after @c data is sized; 0 for impls
+     * that never registered.
+     */
+    std::size_t accountedBytes = 0;
 };
 
 /**

@@ -1,0 +1,412 @@
+/**
+ * @file
+ * IR dataflow analyzer tests (docs/ANALYSIS.md): one failing negative
+ * test per analyzer rule plus a quiet positive for each exemption,
+ * mirroring the test_graphlint.cc style. Each negative builds the
+ * smallest captured region that violates one rule and asserts that
+ * exactly that rule fires. The driver-level cross-check (static peak
+ * vs enacted allocator high-water) runs here on one fast benchmark;
+ * the full sweep is `aibench analyze --all` (tier2 / CI).
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/graphlint/analyze.h"
+#include "core/registry.h"
+#include "tensor/alloctrack.h"
+#include "tensor/graph_capture.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace aib::analysis::graphlint {
+namespace {
+
+/** Diagnostics emitted for @p rule. */
+std::vector<Diagnostic>
+byRule(const std::vector<Diagnostic> &all, const std::string &rule)
+{
+    std::vector<Diagnostic> out;
+    for (const Diagnostic &d : all)
+        if (d.rule == rule)
+            out.push_back(d);
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Buffer liveness
+// ---------------------------------------------------------------------------
+
+TEST(Liveness, DeadBufferFiresForUnreadMidRegionOutput)
+{
+    Tensor x = Tensor::fromVector({4}, {1, 2, 3, 4});
+    Tensor y = Tensor::fromVector({4}, {4, 3, 2, 1});
+    graph::GraphCapture capture;
+    Tensor a = ops::add(x, y);  // op 0: read by op 2
+    Tensor dead = ops::mul(x, y); // op 1: never read, mid-region
+    Tensor z = ops::add(a, x);  // op 2: keeps the epoch open past op 1
+    (void)dead;
+    (void)z;
+
+    const LivenessReport report =
+        analyzeLiveness(capture.graph(), {});
+    const auto hits = byRule(report.diagnostics, "dead-buffer");
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_EQ(hits[0].subject, "mul");
+    EXPECT_EQ(hits[0].severity, Severity::Warning);
+    EXPECT_NE(hits[0].message.find("op #1"), std::string::npos)
+        << hits[0].message;
+}
+
+TEST(Liveness, RegionTerminalOutputIsExempt)
+{
+    Tensor x = Tensor::fromVector({4}, {1, 2, 3, 4});
+    graph::GraphCapture capture;
+    Tensor a = ops::relu(x);
+    Tensor out = ops::mul(a, a); // region output: unread inside,
+    (void)out;                   // consumed by the caller outside
+
+    const LivenessReport report =
+        analyzeLiveness(capture.graph(), {});
+    EXPECT_TRUE(byRule(report.diagnostics, "dead-buffer").empty());
+}
+
+TEST(Liveness, StageBoundaryEpochCutExemptsHandedOffOutputs)
+{
+    // Two pipeline stages in one capture: stage 1's terminal tensor is
+    // never read inside the region (a DAG executor hands it to the
+    // digest fold), and stage 2 restarts on fresh sources. The epoch
+    // cut between ops 1 and 2 must exempt stage 1's output.
+    Tensor x = Tensor::fromVector({4}, {1, 2, 3, 4});
+    Tensor u = Tensor::fromVector({4}, {5, 6, 7, 8});
+    graph::GraphCapture capture;
+    Tensor a = ops::relu(x);
+    Tensor stage1 = ops::mul(a, a); // op 1: handed off, unread here
+    Tensor b = ops::relu(u);        // op 2: fresh source only
+    Tensor stage2 = ops::mul(b, b); // op 3: terminal
+    (void)stage1;
+    (void)stage2;
+
+    const LivenessReport report =
+        analyzeLiveness(capture.graph(), {});
+    EXPECT_TRUE(byRule(report.diagnostics, "dead-buffer").empty());
+}
+
+TEST(Liveness, DeviceToHostMarkerCountsAsARead)
+{
+    // Without the marker, stage1 below would be flagged: op 3 reads
+    // `a` (defined before stage1), so the epoch never cuts. The
+    // explicit device-to-host read (the digest-fold marker in
+    // models/task_common.h) is the principled exemption.
+    Tensor x = Tensor::fromVector({4}, {1, 2, 3, 4});
+    graph::GraphCapture capture;
+    Tensor a = ops::relu(x);            // op 0
+    Tensor stage1 = ops::mul(a, a);     // op 1
+    ops::recordDeviceToHostRead(stage1); // op 2: host-side consumption
+    Tensor tail = ops::add(a, x);       // op 3: keeps the epoch open
+    (void)tail;
+
+    const LivenessReport report =
+        analyzeLiveness(capture.graph(), {});
+    EXPECT_TRUE(byRule(report.diagnostics, "dead-buffer").empty());
+}
+
+TEST(Liveness, PeakReuseAndResidencyOnAChain)
+{
+    Tensor x = Tensor::fromVector({4}, {1, -2, 3, -4});
+    graph::GraphCapture capture;
+    Tensor t1 = ops::relu(x);  // op 0: dies at op 1
+    Tensor t2 = ops::relu(t1); // op 1: dies at op 2
+    Tensor t3 = ops::relu(t2); // op 2: terminal
+    (void)t3;
+
+    const graph::TensorId xid = graph::tensorId(x);
+    const LivenessReport report =
+        analyzeLiveness(capture.graph(), {xid});
+
+    // x is resident; at any op exactly two activations coexist.
+    EXPECT_EQ(report.residentBytes, 16);
+    EXPECT_EQ(report.peakLiveBytes, 32);
+    EXPECT_EQ(report.totalAllocBytes, 48);
+    // Two same-sized live ranges never overlap -> arena of two slots.
+    EXPECT_EQ(report.arenaBytes, 32);
+    // t1 dies (op 1) before t3 is defined (op 2): reusable storage.
+    ASSERT_FALSE(report.reuse.empty());
+    EXPECT_EQ(report.reuse[0].from, graph::tensorId(t1));
+    EXPECT_EQ(report.reuse[0].into, graph::tensorId(t3));
+    EXPECT_EQ(report.reuse[0].bytes, 16);
+}
+
+// ---------------------------------------------------------------------------
+// Redundant compute
+// ---------------------------------------------------------------------------
+
+TEST(Redundancy, DuplicatedSubexpressionFires)
+{
+    Tensor a = Tensor::fromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+    Tensor b = Tensor::fromVector({3, 2}, {6, 5, 4, 3, 2, 1});
+    graph::GraphCapture capture;
+    Tensor m1 = ops::matmul(a, b);
+    Tensor m2 = ops::matmul(a, b); // identical (op, attrs, inputs)
+    (void)ops::add(m1, m2);
+
+    const RedundancyReport report =
+        findRedundantCompute(capture.graph());
+    ASSERT_EQ(report.groups.size(), 1u);
+    EXPECT_EQ(report.groups[0].name, "matmul");
+    EXPECT_EQ(report.groups[0].count, 2);
+    // One wasted (2, 3) x (3, 2) matmul: 2*M*N*K flops.
+    EXPECT_DOUBLE_EQ(report.groups[0].wastedFlops, 2.0 * 2 * 2 * 3);
+    EXPECT_DOUBLE_EQ(report.wastedFlops, 2.0 * 2 * 2 * 3);
+    const auto hits =
+        byRule(report.diagnostics, "redundant-compute");
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_EQ(hits[0].subject, "matmul");
+}
+
+TEST(Redundancy, DistinctInputsDoNotFire)
+{
+    Tensor a = Tensor::fromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+    Tensor b = Tensor::fromVector({3, 2}, {6, 5, 4, 3, 2, 1});
+    Tensor c = Tensor::fromVector({3, 2}, {1, 1, 1, 1, 1, 1});
+    graph::GraphCapture capture;
+    (void)ops::matmul(a, b);
+    (void)ops::matmul(a, c); // same shapes, different tensor identity
+
+    const RedundancyReport report =
+        findRedundantCompute(capture.graph());
+    EXPECT_TRUE(report.groups.empty());
+    EXPECT_EQ(report.wastedFlops, 0.0);
+}
+
+TEST(Redundancy, RepeatedDataMovementIsIgnored)
+{
+    Tensor t = Tensor::fromVector({4}, {1, 2, 3, 4});
+    graph::GraphCapture capture;
+    ops::recordDeviceToHostRead(t); // zero-flop marker ops: cheap to
+    ops::recordDeviceToHostRead(t); // repeat, not CSE candidates
+
+    const RedundancyReport report =
+        findRedundantCompute(capture.graph());
+    EXPECT_TRUE(report.groups.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Determinism lint
+// ---------------------------------------------------------------------------
+
+/** One-op synthetic digest region producing output id 2 from input 1. */
+graph::CapturedGraph
+oneOpRegion(std::string_view name,
+            std::vector<graph::OpAttr> attrs = {})
+{
+    graph::CapturedGraph g;
+    graph::CapturedOp op;
+    op.name = name;
+    op.inputShapes = {{4}};
+    op.inputIds = {1};
+    op.outputShape = {};
+    op.outputId = 2;
+    op.attrs = std::move(attrs);
+    g.ops.push_back(std::move(op));
+    return g;
+}
+
+TEST(Determinism, UnorderedReductionOnDigestPathFires)
+{
+    const graph::CapturedGraph g = oneOpRegion("sum");
+    DeterminismInput input;
+    input.graph = &g;
+    const DeterminismReport report = checkDeterminism(input);
+    EXPECT_EQ(report.digestPathOps, 1);
+    EXPECT_EQ(report.orderedReductions, 0);
+    const auto hits =
+        byRule(report.diagnostics, "unordered-reduction");
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_EQ(hits[0].subject, "sum");
+    EXPECT_EQ(hits[0].severity, Severity::Warning);
+}
+
+TEST(Determinism, OrderedDeclarationSilencesTheWarning)
+{
+    const graph::CapturedGraph g =
+        oneOpRegion("sum", {{"ordered", 1}});
+    DeterminismInput input;
+    input.graph = &g;
+    const DeterminismReport report = checkDeterminism(input);
+    EXPECT_EQ(report.orderedReductions, 1);
+    EXPECT_TRUE(report.diagnostics.empty());
+}
+
+TEST(Determinism, RealSumKernelDeclaresItsOrder)
+{
+    // The production reduction kernels announce "ordered" at their
+    // capture sites; a real captured sum must lint clean.
+    Tensor x = Tensor::fromVector({4}, {1, 2, 3, 4});
+    graph::GraphCapture capture;
+    (void)ops::sum(x);
+    DeterminismInput input;
+    input.graph = &capture.graph();
+    const DeterminismReport report = checkDeterminism(input);
+    EXPECT_GE(report.orderedReductions, 1);
+    EXPECT_TRUE(report.diagnostics.empty());
+}
+
+TEST(Determinism, DagTopKIsAnAccumulatingOp)
+{
+    const graph::CapturedGraph bare = oneOpRegion("dagTopK");
+    DeterminismInput input;
+    input.graph = &bare;
+    EXPECT_EQ(
+        byRule(checkDeterminism(input).diagnostics,
+               "unordered-reduction")
+            .size(),
+        1u);
+
+    const graph::CapturedGraph ordered =
+        oneOpRegion("dagTopK", {{"k", 2}, {"ordered", 1}});
+    input.graph = &ordered;
+    EXPECT_TRUE(checkDeterminism(input).diagnostics.empty());
+}
+
+TEST(Determinism, RngAdvancingInServeRegionIsAnError)
+{
+    DeterminismInput input;
+    input.rngAdvanced = true;
+    const DeterminismReport report = checkDeterminism(input);
+    const auto hits =
+        byRule(report.diagnostics, "rng-in-serve-region");
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_EQ(hits[0].severity, Severity::Error);
+}
+
+TEST(Determinism, RngOpOnDigestPathIsAnError)
+{
+    const graph::CapturedGraph g = oneOpRegion("dropout");
+    DeterminismInput input;
+    input.graph = &g;
+    const DeterminismReport report = checkDeterminism(input);
+    const auto hits =
+        byRule(report.diagnostics, "rng-op-on-digest-path");
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_EQ(hits[0].subject, "dropout");
+    EXPECT_EQ(hits[0].severity, Severity::Error);
+}
+
+TEST(Determinism, OffDigestPathReductionIsIgnored)
+{
+    // op 0: unordered sum feeding nothing; op 1: the digest terminal
+    // on an unrelated input. The walk starts at the terminal and must
+    // never reach op 0.
+    graph::CapturedGraph g = oneOpRegion("sum");
+    graph::CapturedOp tail;
+    tail.name = "relu";
+    tail.inputShapes = {{4}};
+    tail.inputIds = {3};
+    tail.outputShape = {4};
+    tail.outputId = 4;
+    g.ops.push_back(std::move(tail));
+
+    DeterminismInput input;
+    input.graph = &g;
+    const DeterminismReport report = checkDeterminism(input);
+    EXPECT_EQ(report.digestPathOps, 1);
+    EXPECT_TRUE(report.diagnostics.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Driver: static peak vs enacted allocator high-water (one fast
+// benchmark; the 28-target sweep is `aibench analyze --all`).
+// ---------------------------------------------------------------------------
+
+TEST(AnalyzeDriver, StaticPeakMatchesEnactedMeasurementAndIsClean)
+{
+    const core::ComponentBenchmark *b =
+        core::findBenchmark("DC-AI-C16");
+    ASSERT_NE(b, nullptr);
+    const BenchmarkAnalysis analysis = analyzeBenchmark(*b, 42);
+    EXPECT_GT(analysis.forwardOps, 0);
+    EXPECT_GT(analysis.serveOps, 0);
+    EXPECT_GT(analysis.measuredPeakBytes, 0);
+    EXPECT_GT(analysis.liveness.peakLiveBytes, 0);
+    EXPECT_LE(analysis.peakRelativeError(), 0.01);
+    // The un-gated process peak can only retain more than the plan.
+    EXPECT_GE(analysis.processPeakBytes, analysis.staticPeakBytes);
+    for (const Diagnostic &d : analysis.allDiagnostics())
+        ADD_FAILURE() << d.rule << " (" << d.subject
+                      << "): " << d.message;
+    EXPECT_TRUE(analysis.clean());
+}
+
+TEST(AnalyzeDriver, AnalysisIsDeterministicForASeed)
+{
+    const core::ComponentBenchmark *b =
+        core::findBenchmark("DC-AI-C16");
+    ASSERT_NE(b, nullptr);
+    const BenchmarkAnalysis first = analyzeBenchmark(*b, 7);
+    const BenchmarkAnalysis second = analyzeBenchmark(*b, 7);
+    EXPECT_EQ(first.staticPeakBytes, second.staticPeakBytes);
+    EXPECT_EQ(first.measuredPeakBytes, second.measuredPeakBytes);
+    EXPECT_EQ(first.liveness.intervals.size(),
+              second.liveness.intervals.size());
+    EXPECT_EQ(first.determinism.digestPathOps,
+              second.determinism.digestPathOps);
+}
+
+TEST(AnalyzeDriver, JsonCarriesTheSchemaAndCrossCheck)
+{
+    const core::ComponentBenchmark *b =
+        core::findBenchmark("DC-AI-C16");
+    ASSERT_NE(b, nullptr);
+    const std::string json =
+        analysesToJson({analyzeBenchmark(*b, 42)});
+    EXPECT_NE(json.find("\"schema\":\"aib.analysis/1\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"id\":\"DC-AI-C16\""), std::string::npos);
+    EXPECT_NE(json.find("\"static_peak_bytes\":"), std::string::npos);
+    EXPECT_NE(json.find("\"measured_peak_bytes\":"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"clean\":true"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Allocation tracker (the measured side of the cross-check)
+// ---------------------------------------------------------------------------
+
+TEST(AllocTrack, PeakTracksARegionAfterReset)
+{
+    alloctrack::resetPeak();
+    const auto before = alloctrack::snapshot();
+    {
+        Tensor big = Tensor::zeros({1024}); // 4 KiB
+        const auto during = alloctrack::snapshot();
+        EXPECT_GE(during.liveBytes, before.liveBytes + 4096);
+        EXPECT_GE(during.peakBytes, before.liveBytes + 4096);
+    }
+    const auto after = alloctrack::snapshot();
+    EXPECT_EQ(after.liveBytes, before.liveBytes);
+    EXPECT_GE(after.peakBytes, before.liveBytes + 4096);
+}
+
+TEST(AllocTrack, EventLogSeesAllocAndFreeInOrder)
+{
+    alloctrack::beginEventLog();
+    {
+        Tensor t = Tensor::zeros({8}); // 32 bytes
+    }
+    const std::vector<alloctrack::Event> events =
+        alloctrack::endEventLog();
+    bool sawAlloc = false, sawFree = false;
+    for (const alloctrack::Event &e : events) {
+        if (e.bytes != 32)
+            continue;
+        if (e.alloc && !sawAlloc)
+            sawAlloc = true;
+        else if (!e.alloc && sawAlloc)
+            sawFree = true;
+    }
+    EXPECT_TRUE(sawAlloc);
+    EXPECT_TRUE(sawFree);
+}
+
+} // namespace
+} // namespace aib::analysis::graphlint

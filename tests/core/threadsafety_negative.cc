@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Compile-FAIL fixture for the thread-safety gate: touching an
+ * AIB_GUARDED_BY field without holding its mutex. Never linked into a
+ * test binary — test_threadsafety_negative runs the compiler on this
+ * file with `-Wthread-safety -Werror=thread-safety` and expects the
+ * compilation to be rejected (CTest WILL_FAIL). If this file ever
+ * compiles under that gate, the annotations have stopped guarding
+ * anything. The companion threadsafety_positive.cc holds the
+ * corrected code and must compile.
+ */
+
+#include "core/annotations.h"
+
+namespace {
+
+class Counter
+{
+  public:
+    void
+    bump()
+    {
+        ++value_; // BAD: guarded field, no lock held
+    }
+
+    int
+    value()
+    {
+        aib::core::MutexLock lock(mutex_);
+        return value_;
+    }
+
+  private:
+    aib::core::Mutex mutex_;
+    int value_ AIB_GUARDED_BY(mutex_) = 0;
+};
+
+} // namespace
+
+int
+main()
+{
+    Counter c;
+    c.bump();
+    return c.value();
+}

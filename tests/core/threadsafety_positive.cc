@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Compile-PASS companion to threadsafety_negative.cc: the same
+ * guarded counter with the lock discipline done right, plus the
+ * annotation idioms the codebase relies on (AIB_REQUIRES helper,
+ * AIB_EXCLUDES entry point, explicit while-wait through
+ * MutexLock::native()). test_threadsafety_positive compiles this file
+ * under `-Wthread-safety -Werror=thread-safety` and expects success,
+ * proving the gate rejects the negative fixture for the right reason
+ * and not because the harness or flags are broken.
+ */
+
+#include <condition_variable>
+
+#include "core/annotations.h"
+
+namespace {
+
+class Counter
+{
+  public:
+    void
+    bump() AIB_EXCLUDES(mutex_)
+    {
+        aib::core::MutexLock lock(mutex_);
+        bumpLocked();
+        ready_.notify_all();
+    }
+
+    int
+    waitFor(int target) AIB_EXCLUDES(mutex_)
+    {
+        aib::core::MutexLock lock(mutex_);
+        while (value_ < target)
+            ready_.wait(lock.native());
+        return value_;
+    }
+
+  private:
+    void
+    bumpLocked() AIB_REQUIRES(mutex_)
+    {
+        ++value_;
+    }
+
+    aib::core::Mutex mutex_;
+    std::condition_variable ready_;
+    int value_ AIB_GUARDED_BY(mutex_) = 0;
+};
+
+} // namespace
+
+int
+main()
+{
+    Counter c;
+    c.bump();
+    return c.waitFor(1) - 1;
+}

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "analysis/characterize.h"
+#include "analysis/graphlint/analyze.h"
 #include "analysis/graphlint/graphlint.h"
 #include "core/checkpoint.h"
 #include "core/cost.h"
@@ -537,9 +538,9 @@ cmdDevices(int, char **)
 
 /**
  * Run the graph auditor (static shape/FLOP inference + lint rules,
- * see docs/LINT.md) over one benchmark or the whole suite. Exits
- * non-zero when any audited benchmark is not clean, so CI can gate
- * on it.
+ * see docs/LINT.md) over one benchmark or scenario, or the whole
+ * suite plus the scenario pipelines (--all). Exits non-zero when any
+ * audited target is not clean, so CI can gate on it.
  */
 int
 cmdLint(int argc, char **argv)
@@ -551,31 +552,39 @@ cmdLint(int argc, char **argv)
         argValue(argc, argv, "--seed", 42));
 
     std::vector<const core::ComponentBenchmark *> benchmarks;
+    std::vector<const dag::ScenarioSpec *> scenarios;
     if (all) {
         benchmarks = core::allBenchmarks();
+        for (const auto &spec : dag::scenarioSpecs())
+            scenarios.push_back(&spec);
     } else {
         const char *id = positionalArg(argc, argv);
         if (!id) {
             std::fprintf(stderr,
-                         "lint: pass a benchmark id or --all\n");
+                         "lint: pass a benchmark or scenario id, or "
+                         "--all\n");
             return 2;
         }
-        benchmarks.push_back(requireBenchmark(id));
+        if (const auto *spec = dag::findScenarioSpec(id))
+            scenarios.push_back(spec);
+        else
+            benchmarks.push_back(requireBenchmark(id));
     }
 
     std::vector<analysis::graphlint::BenchmarkAudit> audits;
-    audits.reserve(benchmarks.size());
+    audits.reserve(benchmarks.size() + scenarios.size());
     bool all_clean = true;
-    for (const auto *b : benchmarks) {
-        audits.push_back(
-            analysis::graphlint::auditBenchmark(*b, seed));
+    const auto report = [&](analysis::graphlint::BenchmarkAudit a) {
         if (!as_json)
-            std::printf(
-                "%s",
-                analysis::graphlint::auditToText(audits.back())
-                    .c_str());
-        all_clean = all_clean && audits.back().clean();
-    }
+            std::printf("%s",
+                        analysis::graphlint::auditToText(a).c_str());
+        all_clean = all_clean && a.clean();
+        audits.push_back(std::move(a));
+    };
+    for (const auto *b : benchmarks)
+        report(analysis::graphlint::auditBenchmark(*b, seed));
+    for (const auto *spec : scenarios)
+        report(analysis::graphlint::auditScenario(*spec, seed));
 
     const std::string json = analysis::graphlint::auditsToJson(audits);
     if (as_json)
@@ -598,6 +607,84 @@ cmdLint(int argc, char **argv)
                         audits.begin(), audits.end(),
                         [](const auto &a) { return a.clean(); })),
                     audits.size());
+    return all_clean ? 0 : 1;
+}
+
+/**
+ * Run the IR dataflow analyzer (buffer liveness, redundant compute,
+ * determinism lint — see docs/ANALYSIS.md) over one benchmark or
+ * scenario, or everything (--all). The static peak-live-bytes is
+ * cross-checked against the measured allocator high-water mark; exits
+ * non-zero when any analyzed target is not clean.
+ */
+int
+cmdAnalyze(int argc, char **argv)
+{
+    const bool all = hasFlag(argc, argv, "--all");
+    const bool as_json = hasFlag(argc, argv, "--json");
+    const char *out_path = argString(argc, argv, "--out", nullptr);
+    const auto seed = static_cast<std::uint64_t>(
+        argValue(argc, argv, "--seed", 42));
+
+    std::vector<const core::ComponentBenchmark *> benchmarks;
+    std::vector<const dag::ScenarioSpec *> scenarios;
+    if (all) {
+        benchmarks = core::allBenchmarks();
+        for (const auto &spec : dag::scenarioSpecs())
+            scenarios.push_back(&spec);
+    } else {
+        const char *id = positionalArg(argc, argv);
+        if (!id) {
+            std::fprintf(stderr,
+                         "analyze: pass a benchmark or scenario id, "
+                         "or --all\n");
+            return 2;
+        }
+        if (const auto *spec = dag::findScenarioSpec(id))
+            scenarios.push_back(spec);
+        else
+            benchmarks.push_back(requireBenchmark(id));
+    }
+
+    std::vector<analysis::graphlint::BenchmarkAnalysis> analyses;
+    analyses.reserve(benchmarks.size() + scenarios.size());
+    bool all_clean = true;
+    const auto report =
+        [&](analysis::graphlint::BenchmarkAnalysis a) {
+            if (!as_json)
+                std::printf(
+                    "%s",
+                    analysis::graphlint::analysisToText(a).c_str());
+            all_clean = all_clean && a.clean();
+            analyses.push_back(std::move(a));
+        };
+    for (const auto *b : benchmarks)
+        report(analysis::graphlint::analyzeBenchmark(*b, seed));
+    for (const auto *spec : scenarios)
+        report(analysis::graphlint::analyzeScenario(*spec, seed));
+
+    const std::string json =
+        analysis::graphlint::analysesToJson(analyses);
+    if (as_json)
+        std::printf("%s\n", json.c_str());
+    if (out_path) {
+        std::FILE *f = std::fopen(out_path, "w");
+        if (!f) {
+            std::fprintf(stderr, "cannot write '%s'\n", out_path);
+            return 1;
+        }
+        std::fwrite(json.data(), 1, json.size(), f);
+        std::fputc('\n', f);
+        std::fclose(f);
+        if (!as_json)
+            std::printf("wrote %s\n", out_path);
+    }
+    if (!as_json)
+        std::printf("%zu/%zu targets clean\n",
+                    static_cast<std::size_t>(std::count_if(
+                        analyses.begin(), analyses.end(),
+                        [](const auto &a) { return a.clean(); })),
+                    analyses.size());
     return all_clean ? 0 : 1;
 }
 
@@ -829,9 +916,13 @@ constexpr Command kCommands[] = {
     {"inference", "<id> [--queries N]",
      "latency / tail latency / throughput / energy per query",
      cmdInference},
-    {"lint", "[--all | <id>] [--seed N] [--json] [--out FILE]",
+    {"lint", "[--all | <id> | SCN-*] [--seed N] [--json] [--out FILE]",
      "graph auditor: static FLOP/shape cross-check + lint rules",
      cmdLint},
+    {"analyze",
+     "[--all | <id> | SCN-*] [--seed N] [--json] [--out FILE]",
+     "IR dataflow: buffer liveness, redundant compute, determinism",
+     cmdAnalyze},
     {"subset", "", "the affordable subset and its cost savings",
      cmdSubset},
     {"devices", "", "simulated device catalogue", cmdDevices},

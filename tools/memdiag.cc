@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Memory-model diagnostic for the analyze cross-check: replays the
+ * allocator event log of a measured forward region, finds the
+ * high-water moment, and labels every buffer live at that moment with
+ * its identity in the captured twin region (op output, region source,
+ * or invisible to the capture). Buffers are matched across the two
+ * runs by allocation ordinal — the i-th allocation of the measured
+ * run and of the captured run are the same logical buffer, because
+ * both runs execute the identical code path from the same seed.
+ *
+ * Developer tool: `memdiag <benchmark-id> [seed]`. Not part of the
+ * benchmark surface; exists to attribute static-vs-measured peak
+ * disagreements to specific buffers when evolving the liveness model
+ * in src/analysis/graphlint/liveness.cc.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/graphlint/analyze.h"
+#include "core/registry.h"
+#include "dag/scenario.h"
+#include "tensor/alloctrack.h"
+#include "tensor/graph_capture.h"
+#include "tensor/random.h"
+
+using namespace aib;
+
+namespace {
+
+std::unique_ptr<core::TrainableTask>
+makeTask(const std::string &id, std::uint64_t seed)
+{
+    if (const auto *spec = dag::findScenarioSpec(id))
+        return std::make_unique<dag::ScenarioTask>(*spec, seed, 1);
+    const auto *b = core::findBenchmark(id);
+    if (!b) {
+        std::fprintf(stderr, "unknown benchmark '%s'\n", id.c_str());
+        std::exit(2);
+    }
+    return b->makeTask(seed);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr, "usage: memdiag <id> [seed]\n");
+        return 2;
+    }
+    const std::string id = argv[1];
+    const std::uint64_t seed =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 42;
+
+    // Measured region: real lifetimes, logged.
+    seedGlobalRng(seed);
+    auto task = makeTask(id, seed);
+    alloctrack::beginEventLog();
+    task->forwardOnce();
+    const std::vector<alloctrack::Event> mlog =
+        alloctrack::endEventLog();
+
+    // Captured twin: same allocation stream, plus the op graph.
+    seedGlobalRng(seed);
+    auto task2 = makeTask(id, seed);
+    graph::CapturedGraph g;
+    std::vector<alloctrack::Event> clog;
+    {
+        graph::GraphCapture capture;
+        alloctrack::beginEventLog();
+        task2->forwardOnce();
+        clog = alloctrack::endEventLog();
+        g = capture.graph();
+    }
+
+    // key -> label, from the captured graph.
+    std::unordered_map<graph::TensorId, std::string> label;
+    int k = -1;
+    for (const graph::CapturedOp &op : g.ops) {
+        if (op.phase != graph::Phase::Forward)
+            continue;
+        ++k;
+        for (const graph::TensorId in : op.inputIds) {
+            if (in != 0 && !label.count(in))
+                label.emplace(in, "source(first use op#" +
+                                      std::to_string(k) + " " +
+                                      std::string(op.name) + ")");
+        }
+        if (op.outputId != 0) {
+            label[op.outputId] = "op#" + std::to_string(k) + " " +
+                                 std::string(op.name) + " -> " +
+                                 shapeToString(op.outputShape);
+        }
+    }
+
+    // Captured-run allocation ordinal -> key.
+    std::vector<const void *> ordinal_key;
+    for (const alloctrack::Event &e : clog)
+        if (e.alloc)
+            ordinal_key.push_back(e.key);
+
+    std::size_t m_allocs = 0;
+    for (const alloctrack::Event &e : mlog)
+        if (e.alloc)
+            ++m_allocs;
+    std::printf("allocs: measured %zu, captured %zu%s\n", m_allocs,
+                ordinal_key.size(),
+                m_allocs == ordinal_key.size()
+                    ? ""
+                    : "  [MISMATCH: ordinal mapping unreliable]");
+
+    // Replay the measured log; find the peak moment.
+    std::map<const void *, std::pair<std::size_t, std::int64_t>> live;
+    std::int64_t live_bytes = 0, peak = 0;
+    std::size_t ordinal = 0, peak_event = 0;
+    std::vector<alloctrack::Event> replay = mlog;
+    for (std::size_t i = 0; i < replay.size(); ++i) {
+        const alloctrack::Event &e = replay[i];
+        if (e.alloc) {
+            live[e.key] = {ordinal++, e.bytes};
+            live_bytes += e.bytes;
+            if (live_bytes > peak) {
+                peak = live_bytes;
+                peak_event = i;
+            }
+        } else {
+            auto it = live.find(e.key);
+            if (it != live.end()) {
+                live_bytes -= it->second.second;
+                live.erase(it);
+            }
+        }
+    }
+
+    // Re-replay up to the peak event and dump the live set.
+    live.clear();
+    ordinal = 0;
+    for (std::size_t i = 0; i <= peak_event; ++i) {
+        const alloctrack::Event &e = replay[i];
+        if (e.alloc)
+            live[e.key] = {ordinal++, e.bytes};
+        else
+            live.erase(e.key);
+    }
+    std::printf("peak %lld bytes at event %zu; %zu buffers live:\n",
+                static_cast<long long>(peak), peak_event,
+                live.size());
+    std::multimap<std::int64_t, std::string,
+                  std::greater<std::int64_t>>
+        rows;
+    for (const auto &entry : live) {
+        const std::size_t ord = entry.second.first;
+        const std::int64_t bytes = entry.second.second;
+        std::string what = "untracked-by-capture";
+        if (ord < ordinal_key.size()) {
+            const auto it = label.find(
+                reinterpret_cast<graph::TensorId>(ordinal_key[ord]));
+            if (it != label.end())
+                what = it->second;
+        }
+        rows.emplace(bytes, "ord#" + std::to_string(ord) + " " + what);
+    }
+    for (const auto &row : rows)
+        std::printf("  %10lld  %s\n",
+                    static_cast<long long>(row.first),
+                    row.second.c_str());
+    return 0;
+}
