@@ -88,6 +88,27 @@ isName(const CapturedOp &op, std::string_view name)
     return op.name == name;
 }
 
+/**
+ * Flops the activation epilogue of a fused op contributes per
+ * element, keyed by the op's "act" attribute (ops::Act values).
+ * Mirrors detail::actFlopsPerElement in src/tensor/ops_fused.cc.
+ */
+double
+actFpe(const CapturedOp &op)
+{
+    switch (op.attr("act", 0)) {
+    case 1: // Relu
+    case 2: // LeakyRelu
+        return 1.0;
+    case 3: // Sigmoid
+    case 4: // Tanh
+    case 5: // Gelu
+        return 8.0;
+    default:
+        return 0.0;
+    }
+}
+
 ShapeCheck
 shapeOk()
 {
@@ -142,6 +163,12 @@ inferOpCost(const graph::CapturedOp &op)
         isName(op, "div"))
         return mapCost(out_n, 2.0, 1.0);
 
+    // Fused element-wise (graphopt; src/tensor/ops_fused.cc).
+    if (isName(op, "addAct"))
+        return mapCost(out_n, 2.0, 1.0 + actFpe(op));
+    if (isName(op, "normScale"))
+        return mapCost(out_n, 5.0, 4.0);
+
     // Scalar element-wise.
     if (isName(op, "addScalar") || isName(op, "mulScalar"))
         return mapCost(in_n, 1.0, 1.0);
@@ -155,7 +182,7 @@ inferOpCost(const graph::CapturedOp &op)
     if (isName(op, "clamp"))
         return mapCost(in_n, 1.0, 2.0);
     if (isName(op, "exp") || isName(op, "log") || isName(op, "tanh") ||
-        isName(op, "sigmoid"))
+        isName(op, "sigmoid") || isName(op, "gelu"))
         return mapCost(in_n, 1.0, 8.0);
     if (isName(op, "sqrt"))
         return mapCost(in_n, 1.0, 4.0);
@@ -203,7 +230,7 @@ inferOpCost(const graph::CapturedOp &op)
         return moveCost(out_n);
 
     // Convolution / pooling / normalization.
-    if (isName(op, "conv2d")) {
+    if (isName(op, "conv2d") || isName(op, "conv2dAct")) {
         if (in0.size() != 4 || op.inputShapes.size() < 2 ||
             op.inputShapes[1].size() != 4 || out.size() != 4)
             return {};
@@ -214,11 +241,17 @@ inferOpCost(const graph::CapturedOp &op)
         const double hw_out = static_cast<double>(out[2] * out[3]);
         OpCost c = moveCost(n * ckk * hw_out);     // im2col
         c += convGemmCost(f, hw_out, ckk, n);      // conv GEMM
+        // Epilogue: plain bias add, fused bias+activation, or (for
+        // a bias-free fused conv) an activation-only pass. Mirrors
+        // conv2dImpl's recordMap calls in src/tensor/ops_conv.cc.
         if (op.inputDefined(2))
-            c += mapCost(out_n, 1.0, 1.0);         // bias add
+            c += mapCost(out_n, 1.0, 1.0 + actFpe(op));
+        else if (isName(op, "conv2dAct"))
+            c += mapCost(out_n, 1.0, actFpe(op));
         return c;
     }
-    if (isName(op, "convTranspose2d")) {
+    if (isName(op, "convTranspose2d") ||
+        isName(op, "convTranspose2dAct")) {
         if (in0.size() != 4 || op.inputShapes.size() < 2 ||
             op.inputShapes[1].size() != 4)
             return {};
@@ -230,7 +263,9 @@ inferOpCost(const graph::CapturedOp &op)
         OpCost c = convGemmCost(fkk, hw_in, c_in, n); // col GEMM
         c += moveCost(n * fkk * hw_in);               // col2im
         if (op.inputDefined(2))
-            c += mapCost(out_n, 1.0, 1.0);            // bias add
+            c += mapCost(out_n, 1.0, 1.0 + actFpe(op));
+        else if (isName(op, "convTranspose2dAct"))
+            c += mapCost(out_n, 1.0, actFpe(op));
         return c;
     }
     if (isName(op, "maxPool2d") || isName(op, "avgPool2d")) {
@@ -314,7 +349,8 @@ checkOpShape(const graph::CapturedOp &op)
         isName(op, "abs") || isName(op, "square") || isName(op, "relu") ||
         isName(op, "leakyRelu") || isName(op, "clamp") ||
         isName(op, "exp") || isName(op, "log") || isName(op, "tanh") ||
-        isName(op, "sigmoid") || isName(op, "sqrt") ||
+        isName(op, "sigmoid") || isName(op, "gelu") ||
+        isName(op, "sqrt") ||
         isName(op, "dropout") || isName(op, "softmax") ||
         isName(op, "logSoftmax") || isName(op, "detach") ||
         isName(op, "hostToDevice") || isName(op, "deviceToHost") ||
@@ -331,9 +367,20 @@ checkOpShape(const graph::CapturedOp &op)
         return shapeExpect(op, in0);
     }
 
+    // Fused inference batch-norm: output mirrors the data input; the
+    // four per-channel parameter tensors must agree among themselves.
+    if (isName(op, "normScale")) {
+        if (op.inputShapes.size() < 5)
+            return shapeFail(op, "expected x/mean/scale/gamma/beta");
+        for (std::size_t i = 2; i < 5; ++i)
+            if (op.inputShapes[i] != op.inputShapes[1])
+                return shapeFail(op, "parameter shapes disagree");
+        return shapeExpect(op, in0);
+    }
+
     // Broadcasting binaries.
     if (isName(op, "add") || isName(op, "sub") || isName(op, "mul") ||
-        isName(op, "div")) {
+        isName(op, "div") || isName(op, "addAct")) {
         if (op.inputShapes.size() < 2)
             return shapeFail(op, "expected two inputs");
         try {
@@ -448,7 +495,9 @@ checkOpShape(const graph::CapturedOp &op)
     }
 
     // Convolution family.
-    if (isName(op, "conv2d") || isName(op, "convTranspose2d")) {
+    if (isName(op, "conv2d") || isName(op, "conv2dAct") ||
+        isName(op, "convTranspose2d") ||
+        isName(op, "convTranspose2dAct")) {
         if (in0.size() != 4 || op.inputShapes.size() < 2 ||
             op.inputShapes[1].size() != 4)
             return shapeFail(op, "expected 4-D input/weight");
@@ -459,7 +508,7 @@ checkOpShape(const graph::CapturedOp &op)
         if (kernel <= 0)
             return shapeFail(op, "missing kernel attribute");
         Shape expected;
-        if (isName(op, "conv2d")) {
+        if (isName(op, "conv2d") || isName(op, "conv2dAct")) {
             if (w[1] != in0[1])
                 return shapeFail(op, "weight channels disagree");
             const std::int64_t ho =

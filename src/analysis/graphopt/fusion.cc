@@ -1,0 +1,290 @@
+/**
+ * @file
+ * Fusion pass: plan and apply the element-wise fusion rewrite over a
+ * baseline capture (rules R1/R2/R3, see graphopt.h). The pass is
+ * driven by anchor attributes the fused-op fallback paths record
+ * (`fuseact` on add/conv anchors, `bnchain` on the batch-norm chain
+ * head), so the rewrite reproduces — op for op — the capture the
+ * runtime takes with fusion enabled. The driver (optimize.cc)
+ * enforces that equivalence at zero relative error.
+ */
+
+#include "analysis/graphopt/graphopt.h"
+
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace aib::analysis::graphopt {
+
+namespace {
+
+/** Static-storage fused-op names (CapturedOp::name is a view). */
+constexpr std::string_view kAddAct = "addAct";
+constexpr std::string_view kConv2dAct = "conv2dAct";
+constexpr std::string_view kConvTranspose2dAct = "convTranspose2dAct";
+constexpr std::string_view kNormScale = "normScale";
+
+/** Capture name of the activation op for an ops::Act enum value. */
+std::string_view
+actOpName(std::int64_t act)
+{
+    switch (act) {
+    case 1:
+        return "relu";
+    case 2:
+        return "leakyRelu";
+    case 3:
+        return "sigmoid";
+    case 4:
+        return "tanh";
+    case 5:
+        return "gelu";
+    default:
+        return {};
+    }
+}
+
+std::int64_t
+outputBytes(const graph::CapturedOp &op)
+{
+    return 4 * numel(op.outputShape);
+}
+
+/** Forward-phase consumer indices per produced tensor id. */
+class ConsumerIndex
+{
+  public:
+    explicit ConsumerIndex(const graph::CapturedGraph &g)
+    {
+        for (std::size_t k = 0; k < g.ops.size(); ++k) {
+            const graph::CapturedOp &op = g.ops[k];
+            if (op.phase != graph::Phase::Forward)
+                continue;
+            for (const graph::TensorId id : op.inputIds) {
+                if (id != 0)
+                    consumers_[id].push_back(static_cast<int>(k));
+            }
+        }
+    }
+
+    /**
+     * The single forward consumer of @p id after op @p producer, or
+     * -1 when the id has no consumer or more than one.
+     */
+    int
+    soleConsumerAfter(graph::TensorId id, int producer) const
+    {
+        auto it = consumers_.find(id);
+        if (it == consumers_.end())
+            return -1;
+        int found = -1;
+        for (const int k : it->second) {
+            if (k <= producer)
+                continue;
+            if (found >= 0)
+                return -1;
+            found = k;
+        }
+        return found;
+    }
+
+  private:
+    std::unordered_map<graph::TensorId, std::vector<int>> consumers_;
+};
+
+/** True when @p op is an unclaimed forward op named @p name. */
+bool
+matches(const graph::CapturedGraph &g,
+        const std::unordered_set<int> &claimed, int k,
+        std::string_view name)
+{
+    if (k < 0 || claimed.count(k) != 0)
+        return false;
+    const graph::CapturedOp &op = g.ops[static_cast<std::size_t>(k)];
+    return op.phase == graph::Phase::Forward && op.name == name;
+}
+
+} // namespace
+
+FusionPlan
+planFusion(const graph::CapturedGraph &g)
+{
+    FusionPlan plan;
+    const ConsumerIndex consumers(g);
+    std::unordered_set<int> claimed;
+
+    for (const graph::CapturedOp &op : g.ops) {
+        if (op.phase == graph::Phase::Forward)
+            ++plan.opsBefore;
+    }
+
+    auto claim = [&](FusionGroup group) {
+        for (const int k : group.opIndices)
+            claimed.insert(k);
+        plan.eliminatedBytes += group.eliminatedBytes;
+        plan.groups.push_back(std::move(group));
+    };
+
+    // R3 first: the chain's trailing add must not be mistaken for an
+    // R1 anchor (it carries no fuseact tag, but claiming is cheap
+    // insurance against rule drift).
+    for (std::size_t k = 0; k < g.ops.size(); ++k) {
+        const graph::CapturedOp &op = g.ops[k];
+        if (op.phase != graph::Phase::Forward || op.name != "sub" ||
+            op.attr("bnchain", 0) != 1 || op.onTape ||
+            claimed.count(static_cast<int>(k)) != 0)
+            continue;
+        const int anchor = static_cast<int>(k);
+        const int m1 = consumers.soleConsumerAfter(op.outputId, anchor);
+        if (!matches(g, claimed, m1, "mul"))
+            continue;
+        const graph::CapturedOp &mul1 =
+            g.ops[static_cast<std::size_t>(m1)];
+        const int m2 = consumers.soleConsumerAfter(mul1.outputId, m1);
+        if (!matches(g, claimed, m2, "mul"))
+            continue;
+        const graph::CapturedOp &mul2 =
+            g.ops[static_cast<std::size_t>(m2)];
+        const int m3 = consumers.soleConsumerAfter(mul2.outputId, m2);
+        if (!matches(g, claimed, m3, "add"))
+            continue;
+        const graph::CapturedOp &add =
+            g.ops[static_cast<std::size_t>(m3)];
+        if (mul1.onTape || mul2.onTape || add.onTape)
+            continue;
+        // The chain feeds left to right: each link's first input is
+        // the previous link's output.
+        if (mul1.inputIds.empty() || mul1.inputIds[0] != op.outputId ||
+            mul2.inputIds.empty() || mul2.inputIds[0] != mul1.outputId ||
+            add.inputIds.empty() || add.inputIds[0] != mul2.outputId)
+            continue;
+        FusionGroup group;
+        group.fusedName = kNormScale;
+        group.opIndices = {anchor, m1, m2, m3};
+        group.eliminatedBytes = outputBytes(op) + outputBytes(mul1) +
+                                outputBytes(mul2);
+        claim(std::move(group));
+        ++plan.normScaleFused;
+    }
+
+    // R1 (add+act) and R2 (conv epilogues): anchors tagged by the
+    // fused-op fallback paths.
+    for (std::size_t k = 0; k < g.ops.size(); ++k) {
+        const graph::CapturedOp &op = g.ops[k];
+        if (op.phase != graph::Phase::Forward ||
+            claimed.count(static_cast<int>(k)) != 0)
+            continue;
+        const std::int64_t act = op.attr("fuseact", 0);
+        if (act <= 0)
+            continue;
+        std::string_view fused_name;
+        if (op.name == "add")
+            fused_name = kAddAct;
+        else if (op.name == "conv2d")
+            fused_name = kConv2dAct;
+        else if (op.name == "convTranspose2d")
+            fused_name = kConvTranspose2dAct;
+        else
+            continue;
+        const int anchor = static_cast<int>(k);
+        const int consumer =
+            consumers.soleConsumerAfter(op.outputId, anchor);
+        if (!matches(g, claimed, consumer, actOpName(act)))
+            continue;
+        FusionGroup group;
+        group.fusedName = fused_name;
+        group.opIndices = {anchor, consumer};
+        group.act = act;
+        group.eliminatedBytes = outputBytes(op);
+        claim(std::move(group));
+        if (fused_name == kAddAct)
+            ++plan.addActFused;
+        else
+            ++plan.convActFused;
+    }
+
+    int removed = 0;
+    for (const FusionGroup &group : plan.groups)
+        removed += static_cast<int>(group.opIndices.size()) - 1;
+    plan.opsAfter = plan.opsBefore - removed;
+    return plan;
+}
+
+graph::CapturedGraph
+rewriteGraph(const graph::CapturedGraph &g, const FusionPlan &plan)
+{
+    // Anchor index -> group; every other group member is dropped.
+    std::unordered_map<int, const FusionGroup *> anchors;
+    std::unordered_set<int> dropped;
+    for (const FusionGroup &group : plan.groups) {
+        anchors.emplace(group.opIndices.front(), &group);
+        for (std::size_t i = 1; i < group.opIndices.size(); ++i)
+            dropped.insert(group.opIndices[i]);
+    }
+
+    graph::CapturedGraph out;
+    out.backwardRoots = g.backwardRoots;
+    out.ops.reserve(g.ops.size());
+    for (std::size_t k = 0; k < g.ops.size(); ++k) {
+        const int idx = static_cast<int>(k);
+        if (dropped.count(idx) != 0)
+            continue;
+        auto it = anchors.find(idx);
+        if (it == anchors.end()) {
+            out.ops.push_back(g.ops[k]);
+            continue;
+        }
+        const FusionGroup &group = *it->second;
+        const graph::CapturedOp &anchor = g.ops[k];
+        const graph::CapturedOp &last = g.ops[static_cast<std::size_t>(
+            group.opIndices.back())];
+        graph::CapturedOp fused;
+        fused.dtype = anchor.dtype;
+        fused.outputShape = last.outputShape;
+        fused.outputId = last.outputId;
+        fused.onTape = anchor.onTape;
+        fused.differentiable = true;
+        fused.phase = graph::Phase::Forward;
+        if (group.fusedName == kNormScale) {
+            // Inputs [x, mean, scale, gamma, beta]: the chain head's
+            // two inputs plus each link's second operand.
+            fused.name = kNormScale;
+            const graph::CapturedOp &mul1 = g.ops[static_cast<
+                std::size_t>(group.opIndices[1])];
+            const graph::CapturedOp &mul2 = g.ops[static_cast<
+                std::size_t>(group.opIndices[2])];
+            const graph::CapturedOp &add = last;
+            const graph::CapturedOp *sources[5] = {&anchor, &anchor,
+                                                   &mul1, &mul2, &add};
+            const std::size_t operand[5] = {0, 1, 1, 1, 1};
+            for (int i = 0; i < 5; ++i) {
+                fused.inputIds.push_back(
+                    sources[i]->inputIds[operand[i]]);
+                fused.inputShapes.push_back(
+                    sources[i]->inputShapes[operand[i]]);
+            }
+            // The runtime fused kernel records no attributes.
+        } else {
+            // R1/R2: the anchor's inputs carry over; attributes are
+            // the anchor's (minus the fuseact tag) plus the `act`
+            // attribute the fused kernel captures.
+            fused.name = group.fusedName == kAddAct
+                             ? kAddAct
+                             : (group.fusedName == kConv2dAct
+                                    ? kConv2dAct
+                                    : kConvTranspose2dAct);
+            fused.inputIds = anchor.inputIds;
+            fused.inputShapes = anchor.inputShapes;
+            for (const graph::OpAttr &a : anchor.attrs) {
+                if (a.key != "fuseact")
+                    fused.attrs.push_back(a);
+            }
+            fused.attrs.push_back({"act", group.act});
+        }
+        out.ops.push_back(std::move(fused));
+    }
+    return out;
+}
+
+} // namespace aib::analysis::graphopt

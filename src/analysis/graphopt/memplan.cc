@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Static arena memory planner: pack the liveness pass's buffer
+ * intervals into concrete 64-aligned arena offsets, validate the
+ * plan's invariants, enact it through the production arena allocator
+ * (the high-water mark must equal the planned size exactly), and
+ * simulate the runtime first-fit allocator over a recorded allocation
+ * event log to derive the capacity a real arena-enabled run needs.
+ */
+
+#include "analysis/graphopt/graphopt.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+#include "tensor/arena.h"
+
+namespace aib::analysis::graphopt {
+
+namespace {
+
+/** Padded extent of a planned buffer ([offset, offset + padded)). */
+std::size_t
+paddedBytes(const PlannedBuffer &b)
+{
+    return arena::alignUp(static_cast<std::size_t>(b.bytes));
+}
+
+bool
+lifetimesOverlap(const PlannedBuffer &a, const PlannedBuffer &b)
+{
+    return a.def <= b.lastUse && b.def <= a.lastUse;
+}
+
+} // namespace
+
+MemoryPlan
+planArena(const graphlint::LivenessReport &liveness)
+{
+    // The buffers a planner-grade executor owns: op outputs with a
+    // payload, excluding resident parameters/buffers — the same
+    // filter the analyzer's packing applies (liveness.cc).
+    std::vector<PlannedBuffer> buffers;
+    for (const graphlint::BufferInterval &interval :
+         liveness.intervals) {
+        if (interval.resident || interval.def < 0 ||
+            interval.bytes <= 0)
+            continue;
+        PlannedBuffer b;
+        b.id = interval.id;
+        b.bytes = interval.bytes;
+        b.def = interval.def;
+        b.lastUse = std::max(interval.lastUse, interval.def);
+        buffers.push_back(b);
+    }
+
+    // First-fit: largest first (ties by earliest definition), each at
+    // the lowest aligned offset clear of every lifetime-overlapping
+    // placement.
+    std::vector<std::size_t> order(buffers.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  if (buffers[a].bytes != buffers[b].bytes)
+                      return buffers[a].bytes > buffers[b].bytes;
+                  if (buffers[a].def != buffers[b].def)
+                      return buffers[a].def < buffers[b].def;
+                  return a < b;
+              });
+
+    MemoryPlan plan;
+    std::vector<std::size_t> placed; // indices into buffers, by pass
+    for (const std::size_t i : order) {
+        PlannedBuffer &b = buffers[i];
+        std::vector<const PlannedBuffer *> conflicts;
+        for (const std::size_t j : placed) {
+            if (lifetimesOverlap(buffers[j], b))
+                conflicts.push_back(&buffers[j]);
+        }
+        std::sort(conflicts.begin(), conflicts.end(),
+                  [](const PlannedBuffer *a, const PlannedBuffer *c) {
+                      return a->offset < c->offset;
+                  });
+        std::size_t offset = 0;
+        for (const PlannedBuffer *c : conflicts) {
+            if (offset + paddedBytes(b) <= c->offset)
+                break;
+            offset = std::max(offset, c->offset + paddedBytes(*c));
+        }
+        b.offset = offset;
+        placed.push_back(i);
+        plan.arenaBytes = std::max(
+            plan.arenaBytes,
+            static_cast<std::int64_t>(offset) + b.bytes);
+    }
+
+    // Report in definition order (stable, def then id).
+    std::sort(buffers.begin(), buffers.end(),
+              [](const PlannedBuffer &a, const PlannedBuffer &b) {
+                  if (a.def != b.def)
+                      return a.def < b.def;
+                  return a.id < b.id;
+              });
+    plan.buffers = std::move(buffers);
+    return plan;
+}
+
+std::string
+validatePlan(const MemoryPlan &plan)
+{
+    std::ostringstream os;
+    std::int64_t tight = 0;
+    for (std::size_t i = 0; i < plan.buffers.size(); ++i) {
+        const PlannedBuffer &b = plan.buffers[i];
+        if (b.offset % arena::kAlignment != 0) {
+            os << "buffer " << b.id << " offset " << b.offset
+               << " is not " << arena::kAlignment << "-aligned";
+            return os.str();
+        }
+        const std::int64_t end =
+            static_cast<std::int64_t>(b.offset) + b.bytes;
+        if (end > plan.arenaBytes) {
+            os << "buffer " << b.id << " ends at " << end
+               << ", past the planned arena size " << plan.arenaBytes;
+            return os.str();
+        }
+        tight = std::max(tight, end);
+        for (std::size_t j = i + 1; j < plan.buffers.size(); ++j) {
+            const PlannedBuffer &c = plan.buffers[j];
+            if (!lifetimesOverlap(b, c))
+                continue;
+            const bool disjoint =
+                b.offset + paddedBytes(b) <= c.offset ||
+                c.offset + paddedBytes(c) <= b.offset;
+            if (!disjoint) {
+                os << "buffers " << b.id << " and " << c.id
+                   << " are live together (ops [" << b.def << ","
+                   << b.lastUse << "] vs [" << c.def << ","
+                   << c.lastUse << "]) and overlap at offsets "
+                   << b.offset << "/" << c.offset;
+                return os.str();
+            }
+        }
+    }
+    if (!plan.buffers.empty() && tight != plan.arenaBytes) {
+        os << "planned arena size " << plan.arenaBytes
+           << " is not tight (max buffer end " << tight << ")";
+        return os.str();
+    }
+    return {};
+}
+
+std::int64_t
+enactPlan(const MemoryPlan &plan)
+{
+    int n = 0;
+    for (const PlannedBuffer &b : plan.buffers)
+        n = std::max(n, b.lastUse + 1);
+    std::vector<std::vector<const PlannedBuffer *>> start_at(
+        static_cast<std::size_t>(n) + 1);
+    std::vector<std::vector<const PlannedBuffer *>> stop_at(
+        static_cast<std::size_t>(n) + 1);
+    for (const PlannedBuffer &b : plan.buffers) {
+        start_at[static_cast<std::size_t>(b.def)].push_back(&b);
+        stop_at[static_cast<std::size_t>(b.lastUse)].push_back(&b);
+    }
+
+    arena::configure(static_cast<std::size_t>(plan.arenaBytes));
+    arena::resetStats();
+    std::unordered_map<const PlannedBuffer *, void *> live;
+    for (int k = 0; k < n; ++k) {
+        // Allocate before freeing: an op's inputs and its output
+        // coexist at its index, exactly as the liveness sweep (and
+        // therefore the packing) counts them.
+        for (const PlannedBuffer *b :
+             start_at[static_cast<std::size_t>(k)]) {
+            live.emplace(b, arena::allocateAt(
+                                b->offset,
+                                static_cast<std::size_t>(b->bytes)));
+        }
+        for (const PlannedBuffer *b :
+             stop_at[static_cast<std::size_t>(k)]) {
+            auto it = live.find(b);
+            arena::deallocate(it->second,
+                              static_cast<std::size_t>(b->bytes));
+            live.erase(it);
+        }
+    }
+    const std::int64_t peak =
+        static_cast<std::int64_t>(arena::stats().highWaterBytes);
+    arena::configure(0);
+    return peak;
+}
+
+std::int64_t
+simulateFirstFit(const std::vector<alloctrack::Event> &events)
+{
+    arena::FirstFitLayout layout; // unbounded
+    std::unordered_map<const void *, std::size_t> offsets;
+    for (const alloctrack::Event &e : events) {
+        if (e.bytes <= 0)
+            continue; // empty tensors never reach the allocator
+        if (e.alloc) {
+            offsets[e.key] = layout.reserve(
+                static_cast<std::size_t>(e.bytes));
+        } else {
+            // Frees of buffers allocated before the log began have no
+            // recorded offset; the runtime arena likewise routes them
+            // to the heap (it does not own the pointer).
+            auto it = offsets.find(e.key);
+            if (it == offsets.end())
+                continue;
+            layout.release(it->second);
+            offsets.erase(it);
+        }
+    }
+    return static_cast<std::int64_t>(layout.highWater());
+}
+
+} // namespace aib::analysis::graphopt

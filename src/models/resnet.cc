@@ -30,7 +30,7 @@ ResidualBlock::forward(const Tensor &x)
     Tensor h = ops::relu(bn1_.forward(conv1_.forward(x)));
     h = bn2_.forward(conv2_.forward(h));
     Tensor identity = shortcut_ ? shortcut_->forward(x) : x;
-    return ops::relu(ops::add(h, identity));
+    return ops::fused::addAct(h, identity, ops::Act::Relu);
 }
 
 SmallResNet::SmallResNet(const ResNetConfig &config, Rng &rng)

@@ -43,8 +43,8 @@ class EmbeddingNet : public nn::Module
     Tensor
     forward(const Tensor &images)
     {
-        Tensor h = ops::relu(conv1_.forward(images));
-        h = ops::relu(conv2_.forward(h));
+        Tensor h = conv1_.forward(images, ops::Act::Relu);
+        h = conv2_.forward(h, ops::Act::Relu);
         Tensor e = fc_.forward(ops::globalAvgPool2d(h));
         return detail::l2NormalizeRows(e);
     }
@@ -223,8 +223,8 @@ class NcfNet : public nn::Module
                               itemEmbed_.forward(items));
         Tensor mlp_in = ops::concat(
             {userMlp_.forward(users), itemMlp_.forward(items)}, 1);
-        Tensor mlp = ops::relu(mlp2_.forward(
-            ops::relu(mlp1_.forward(mlp_in))));
+        Tensor mlp = mlp2_.forward(
+            mlp1_.forward(mlp_in, ops::Act::Relu), ops::Act::Relu);
         Tensor fused = fuse_.forward(ops::concat({gmf, mlp}, 1));
         return ops::reshape(fused,
                             {static_cast<std::int64_t>(users.size())});

@@ -50,11 +50,11 @@ class Mlp4 : public nn::Layer
     Tensor
     forward(const Tensor &x) override
     {
-        Tensor h = ops::relu(l1_.forward(x));
-        h = ops::relu(l2_.forward(h));
-        h = ops::relu(l3_.forward(h));
-        Tensor out = l4_.forward(h);
-        return sigmoidOut_ ? ops::sigmoid(out) : out;
+        Tensor h = l1_.forward(x, ops::Act::Relu);
+        h = l2_.forward(h, ops::Act::Relu);
+        h = l3_.forward(h, ops::Act::Relu);
+        return sigmoidOut_ ? l4_.forward(h, ops::Act::Sigmoid)
+                           : l4_.forward(h);
     }
 
   private:
@@ -208,9 +208,9 @@ class ConvTranslator : public nn::Layer
     Tensor
     forward(const Tensor &x) override
     {
-        Tensor h = ops::relu(c1_.forward(x));
-        h = ops::relu(c2_.forward(h));
-        return ops::sigmoid(c3_.forward(h));
+        Tensor h = c1_.forward(x, ops::Act::Relu);
+        h = c2_.forward(h, ops::Act::Relu);
+        return c3_.forward(h, ops::Act::Sigmoid);
     }
 
   private:
@@ -232,7 +232,8 @@ class PatchDiscriminator : public nn::Layer
     Tensor
     forward(const Tensor &x) override
     {
-        return c2_.forward(ops::leakyRelu(c1_.forward(x), 0.2f));
+        return c2_.forward(
+            c1_.forward(x, ops::Act::LeakyRelu, 0.2f));
     }
 
   private:

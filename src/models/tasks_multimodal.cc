@@ -54,9 +54,9 @@ class CaptionerNet : public nn::Module
     Tensor
     encode(const Tensor &images)
     {
-        Tensor h = ops::relu(conv1_.forward(images));
-        h = ops::relu(conv2_.forward(h));
-        return ops::tanh(proj_.forward(ops::globalAvgPool2d(h)));
+        Tensor h = conv1_.forward(images, ops::Act::Relu);
+        h = conv2_.forward(h, ops::Act::Relu);
+        return proj_.forward(ops::globalAvgPool2d(h), ops::Act::Tanh);
     }
 
     /**
@@ -229,7 +229,7 @@ class SpeechNet : public nn::Module
             context_steps.push_back(ctx);
         }
         Tensor stacked = ops::concat(context_steps, 0); // (T, 3D)
-        Tensor features = ops::relu(input_.forward(stacked));
+        Tensor features = input_.forward(stacked, ops::Act::Relu);
 
         // Bidirectional GRU over frames (batch of one utterance).
         std::vector<Tensor> steps;

@@ -46,7 +46,7 @@ class PolicyNet : public nn::Module
     {
         Tensor state = Tensor::zeros({1, kStates});
         state.data()[agent_cell] = 1.0f;
-        return fc2_.forward(ops::tanh(fc1_.forward(state)));
+        return fc2_.forward(fc1_.forward(state, ops::Act::Tanh));
     }
 
   private:

@@ -574,12 +574,22 @@ class SharedChildLm : public nn::Module
         for (std::int64_t i = 0; i < t; ++i) {
             Tensor x = embed_.forward({tokens[
                 static_cast<std::size_t>(i)]});
-            Tensor pre = ops::add(wx_.forward(x), wh_.forward(h));
+            Tensor wx_out = wx_.forward(x);
+            Tensor wh_out = wh_.forward(h);
             Tensor act;
             switch (activation) {
-              case 0: act = ops::tanh(pre); break;
-              case 1: act = ops::sigmoid(pre); break;
-              default: act = ops::tanh(ops::relu(pre)); break;
+              case 0:
+                act = ops::fused::addAct(wx_out, wh_out,
+                                         ops::Act::Tanh);
+                break;
+              case 1:
+                act = ops::fused::addAct(wx_out, wh_out,
+                                         ops::Act::Sigmoid);
+                break;
+              default:
+                act = ops::tanh(ops::fused::addAct(wx_out, wh_out,
+                                                   ops::Act::Relu));
+                break;
             }
             if (hidden < maxHidden_) {
                 // Narrow architecture: zero the upper half by slicing

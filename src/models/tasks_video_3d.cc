@@ -64,14 +64,14 @@ class VideoPredictorNet : public nn::Module
         for (std::int64_t i = 0; i + 1 < t; ++i) {
             Tensor frame = ops::reshape(
                 ops::sliceDim(clip, 1, i, i + 1), {n, 1, 16, 16});
-            Tensor z = ops::relu(enc2_.forward(
-                ops::relu(enc1_.forward(frame))));
+            Tensor z = enc2_.forward(
+                enc1_.forward(frame, ops::Act::Relu), ops::Act::Relu);
             h = cell_.forward(ops::reshape(z, {n, 8 * 4 * 4}), h);
             Tensor latent = ops::reshape(
-                ops::relu(proj_.forward(h)), {n, 8, 4, 4});
+                proj_.forward(h, ops::Act::Relu), {n, 8, 4, 4});
             // Bounded motion delta in [-1, 1], applied to the frame.
-            Tensor delta = ops::tanh(dec2_.forward(
-                ops::relu(dec1_.forward(latent))));
+            Tensor delta = dec2_.forward(
+                dec1_.forward(latent, ops::Act::Relu), ops::Act::Tanh);
             Tensor next =
                 ops::clamp(ops::add(frame, delta), 0.0f, 1.0f);
             outputs.push_back(
@@ -213,12 +213,12 @@ class Reconstruction3dNet : public nn::Module
     Tensor
     forward(const Tensor &views)
     {
-        Tensor h = ops::relu(conv1_.forward(views));
-        h = ops::relu(conv2_.forward(h));
-        h = ops::relu(fc_.forward(
-            ops::reshape(h, {views.dim(0), 32 * 3 * 3})));
+        Tensor h = conv1_.forward(views, ops::Act::Relu);
+        h = conv2_.forward(h, ops::Act::Relu);
+        h = fc_.forward(ops::reshape(h, {views.dim(0), 32 * 3 * 3}),
+                        ops::Act::Relu);
         h = ops::reshape(h, {views.dim(0), 32, 3, 3});
-        h = ops::relu(up1_.forward(h));
+        h = up1_.forward(h, ops::Act::Relu);
         return ops::reshape(up2_.forward(h),
                             {views.dim(0), 12 * 12 * 12});
     }

@@ -283,14 +283,15 @@ class SpatialTransformerNet : public nn::Module
     forward(const Tensor &x)
     {
         const std::int64_t n = x.dim(0);
-        Tensor loc = ops::relu(locConv_.forward(x));
+        Tensor loc = locConv_.forward(x, ops::Act::Relu);
         loc = ops::reshape(loc, {n, -1});
-        Tensor theta = locFc2_.forward(ops::relu(locFc1_.forward(loc)));
+        Tensor theta =
+            locFc2_.forward(locFc1_.forward(loc, ops::Act::Relu));
         theta = ops::reshape(theta, {n, 2, 3});
         Tensor grid = ops::affineGrid(theta, n, x.dim(2), x.dim(3));
         Tensor warped = ops::gridSample(x, grid);
-        Tensor h = ops::relu(clsConv1_.forward(warped));
-        h = ops::relu(clsConv2_.forward(h));
+        Tensor h = clsConv1_.forward(warped, ops::Act::Relu);
+        h = clsConv2_.forward(h, ops::Act::Relu);
         return clsFc_.forward(ops::reshape(h, {n, -1}));
     }
 
@@ -391,10 +392,10 @@ class CompressionNet : public nn::Module
     Tensor
     reconstructOnce(const Tensor &x)
     {
-        Tensor code =
-            ops::tanh(enc2_.forward(ops::relu(enc1_.forward(x))));
-        Tensor h = ops::relu(dec1_.forward(code));
-        return ops::sigmoid(dec2_.forward(h));
+        Tensor code = enc2_.forward(enc1_.forward(x, ops::Act::Relu),
+                                    ops::Act::Tanh);
+        Tensor h = dec1_.forward(code, ops::Act::Relu);
+        return dec2_.forward(h, ops::Act::Sigmoid);
     }
 
     /**

@@ -74,7 +74,8 @@ TransformerBlock::forward(const Tensor &x, const Tensor &mask)
     Tensor h = norm1_.forward(x);
     Tensor attended = attn_.forward(h, h, h, mask);
     Tensor y = ops::add(x, attended);
-    Tensor ff = ff2_.forward(ops::relu(ff1_.forward(norm2_.forward(y))));
+    Tensor ff =
+        ff2_.forward(ff1_.forward(norm2_.forward(y), ops::Act::Relu));
     return ops::add(y, ff);
 }
 
@@ -104,7 +105,7 @@ TransformerDecoderBlock::forward(const Tensor &x, const Tensor &memory,
     Tensor h2 = norm2_.forward(y);
     Tensor y2 = ops::add(y, crossAttn_.forward(h2, memory, memory));
     Tensor ff =
-        ff2_.forward(ops::relu(ff1_.forward(norm3_.forward(y2))));
+        ff2_.forward(ff1_.forward(norm3_.forward(y2), ops::Act::Relu));
     return ops::add(y2, ff);
 }
 

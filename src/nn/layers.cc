@@ -38,6 +38,25 @@ Linear::forward(const Tensor &input)
     return y;
 }
 
+Tensor
+Linear::forward(const Tensor &input, ops::Act act, float slope)
+{
+    Tensor x = input;
+    if (x.ndim() != 2)
+        x = ops::reshape(x, {-1, inFeatures_});
+    Tensor y = ops::matmul(x, weight);
+    if (bias.defined())
+        y = ops::fused::addAct(y, bias, act, slope);
+    else
+        y = ops::applyAct(y, act, slope);
+    if (input.ndim() != 2) {
+        Shape out_shape = input.shape();
+        out_shape.back() = weight.dim(1);
+        y = ops::reshape(y, out_shape);
+    }
+    return y;
+}
+
 Conv2d::Conv2d(std::int64_t in_channels, std::int64_t out_channels,
                int kernel, int stride, int padding, Rng &rng,
                bool use_bias)
@@ -56,6 +75,13 @@ Tensor
 Conv2d::forward(const Tensor &input)
 {
     return ops::conv2d(input, weight, bias, stride_, padding_);
+}
+
+Tensor
+Conv2d::forward(const Tensor &input, ops::Act act, float slope)
+{
+    return ops::fused::conv2dAct(input, weight, bias, stride_, padding_,
+                                 act, slope);
 }
 
 ConvTranspose2d::ConvTranspose2d(std::int64_t in_channels,
@@ -77,6 +103,13 @@ Tensor
 ConvTranspose2d::forward(const Tensor &input)
 {
     return ops::convTranspose2d(input, weight, bias, stride_, padding_);
+}
+
+Tensor
+ConvTranspose2d::forward(const Tensor &input, ops::Act act, float slope)
+{
+    return ops::fused::convTranspose2dAct(input, weight, bias, stride_,
+                                          padding_, act, slope);
 }
 
 BatchNorm2d::BatchNorm2d(std::int64_t channels, float eps,
@@ -117,14 +150,12 @@ BatchNorm2d::forward(const Tensor &input)
         ps[i] = 1.0f / std::sqrt(rv[i] + eps_);
     Tensor gamma_b = ops::reshape(gamma, {1, c, 1, 1});
     Tensor beta_b = ops::reshape(beta, {1, c, 1, 1});
-    // Rebind step by step so each intermediate feature map is freed
-    // as soon as its successor exists: the nested-expression form
-    // kept four full-size maps co-resident at the eval-path peak
-    // (found by the analyze liveness pass; aibench analyze).
-    Tensor y = ops::sub(input, mean_b);
-    y = ops::mul(y, scale);
-    y = ops::mul(y, gamma_b);
-    return ops::add(y, beta_b);
+    // normScale collapses the normalize+scale chain to one kernel
+    // under graphopt; unfused it rebinds step by step so each
+    // intermediate feature map is freed as soon as its successor
+    // exists (the nested-expression form kept four full-size maps
+    // co-resident at the eval-path peak; aibench analyze).
+    return ops::fused::normScale(input, mean_b, scale, gamma_b, beta_b);
 }
 
 LayerNorm::LayerNorm(std::int64_t dim, float eps) : eps_(eps)

@@ -24,6 +24,14 @@ class Linear : public Layer
 
     Tensor forward(const Tensor &input) override;
 
+    /**
+     * Forward with an activation epilogue. Routes the bias add through
+     * ops::fused::addAct so the graph optimizer can collapse the
+     * add+activation pair into one kernel (identical bits either way).
+     */
+    Tensor forward(const Tensor &input, ops::Act act,
+                   float slope = 0.01f);
+
     Tensor weight; ///< (in, out)
     Tensor bias;   ///< (out) or undefined
 
@@ -40,6 +48,10 @@ class Conv2d : public Layer
            bool bias = true);
 
     Tensor forward(const Tensor &input) override;
+
+    /** Forward with a fused bias+activation epilogue (graphopt). */
+    Tensor forward(const Tensor &input, ops::Act act,
+                   float slope = 0.01f);
 
     Tensor weight; ///< (out, in, k, k)
     Tensor bias;   ///< (out) or undefined
@@ -58,6 +70,10 @@ class ConvTranspose2d : public Layer
                     bool bias = true);
 
     Tensor forward(const Tensor &input) override;
+
+    /** Forward with a fused bias+activation epilogue (graphopt). */
+    Tensor forward(const Tensor &input, ops::Act act,
+                   float slope = 0.01f);
 
     Tensor weight; ///< (in, out, k, k)
     Tensor bias;   ///< (out) or undefined

@@ -25,14 +25,18 @@ GRUCell::forward(const Tensor &x, const Tensor &h)
     Tensor gates_x = ops::add(ops::matmul(x, wx), bias);
     Tensor gates_h = ops::matmul(h, wh);
 
-    Tensor r = ops::sigmoid(ops::add(ops::sliceDim(gates_x, 1, 0, hs),
-                                     ops::sliceDim(gates_h, 1, 0, hs)));
+    Tensor r =
+        ops::fused::addAct(ops::sliceDim(gates_x, 1, 0, hs),
+                           ops::sliceDim(gates_h, 1, 0, hs),
+                           ops::Act::Sigmoid);
     Tensor z =
-        ops::sigmoid(ops::add(ops::sliceDim(gates_x, 1, hs, 2 * hs),
-                              ops::sliceDim(gates_h, 1, hs, 2 * hs)));
-    Tensor n = ops::tanh(ops::add(
+        ops::fused::addAct(ops::sliceDim(gates_x, 1, hs, 2 * hs),
+                           ops::sliceDim(gates_h, 1, hs, 2 * hs),
+                           ops::Act::Sigmoid);
+    Tensor n = ops::fused::addAct(
         ops::sliceDim(gates_x, 1, 2 * hs, 3 * hs),
-        ops::mul(r, ops::sliceDim(gates_h, 1, 2 * hs, 3 * hs))));
+        ops::mul(r, ops::sliceDim(gates_h, 1, 2 * hs, 3 * hs)),
+        ops::Act::Tanh);
     // h' = (1 - z) * n + z * h
     Tensor one_minus_z = ops::affineScalar(z, -1.0f, 1.0f);
     return ops::add(ops::mul(one_minus_z, n), ops::mul(z, h));

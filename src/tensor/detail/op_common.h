@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "profiler/trace.h"
+#include "tensor/ops.h"
 #include "tensor/tensor.h"
 
 namespace aib::ops::detail {
@@ -58,6 +59,15 @@ inline constexpr char relu_fwd[] = "maxwell_scudnn_128x128_relu_small_nn";
 inline constexpr char relu_bwd[] =
     "maxwell_scudnn_128x128_relu_interior_nn";
 inline constexpr char relu_leaky[] = "maxwell_scudnn_128x32_relu_interior_nn";
+
+// Fused graphopt kernels (docs/GRAPHOPT.md): single-launch versions
+// of add+activation, the conv bias+activation epilogue, inference
+// batch-norm (normalize+scale collapsed), and GELU.
+inline constexpr char ew_add_act[] =
+    "fused_elementwise_add_activation_kernel";
+inline constexpr char bias_act[] = "cudnn_add_bias_activation_fw_kernel";
+inline constexpr char bn_inf[] = "cudnn_bn_fw_inf_1C11_kernel_NCHW";
+inline constexpr char gelu_fwd[] = "gelu_forward_kernel";
 
 // Element-wise
 inline constexpr char ew_add[] = "elementwise_add_kernel";
@@ -111,6 +121,27 @@ recordArrange(double n)
 }
 
 /**
+ * @name Fused-activation helpers (ops_fused.cc)
+ *
+ * Per-element forward/backward expressions for an Act epilogue,
+ * bitwise-matching the standalone ops in ops_unary.cc, plus the flop
+ * count the activation contributes to a fused kernel's record (must
+ * stay in sync with the static cost model in graphlint/infer.cc).
+ * @{
+ */
+float actFlopsPerElement(Act act);
+float actForward(float x, Act act, float slope);
+float actBackwardFromInput(float x, Act act, float slope);
+/**
+ * Derivative from the activation *output* y = act(x); bitwise-equal
+ * to the from-input form for Relu/LeakyRelu/Sigmoid/Tanh (used by the
+ * conv epilogues, which keep y but not x). Gelu has no output-only
+ * form and is rejected by the conv entry points.
+ */
+float actBackwardFromOutput(float y, Act act, float slope);
+/** @} */
+
+/**
  * Strides of @p shape broadcast against @p out_shape: 0 where the
  * input dimension is 1 (or missing), the contiguous stride otherwise.
  */
@@ -122,6 +153,84 @@ inline bool
 noBroadcastNeeded(const Shape &shape, const Shape &out)
 {
     return shape == out;
+}
+
+/**
+ * Apply @p fn element-wise over the broadcast of @p a and @p b.
+ * Fast paths cover the same-shape and scalar cases; the general path
+ * walks an incremental multi-index with zero-strides on broadcast
+ * dimensions. Shared between the plain binary ops and the fused
+ * add+activation kernels so both traverse elements identically (the
+ * fused path must stay bitwise-equal to the unfused chain).
+ */
+template <typename Fn>
+Tensor
+broadcastBinary(const Tensor &a, const Tensor &b, Fn fn)
+{
+    const Shape out_shape = broadcastShapes(a.shape(), b.shape());
+    Tensor out = Tensor::empty(out_shape);
+    const std::int64_t n = out.numel();
+    const float *pa = a.data();
+    const float *pb = b.data();
+    float *po = out.data();
+
+    if (a.shape() == out_shape && b.shape() == out_shape) {
+        for (std::int64_t i = 0; i < n; ++i)
+            po[i] = fn(pa[i], pb[i]);
+        return out;
+    }
+    if (b.numel() == 1) {
+        const float s = pb[0];
+        for (std::int64_t i = 0; i < n; ++i)
+            po[i] = fn(pa[i], s);
+        return out;
+    }
+    if (a.numel() == 1) {
+        const float s = pa[0];
+        for (std::int64_t i = 0; i < n; ++i)
+            po[i] = fn(s, pb[i]);
+        return out;
+    }
+    // Trailing broadcast: b's shape equals the trailing dims of out
+    // and a is full-shape (the common bias-add pattern).
+    if (a.shape() == out_shape) {
+        const std::int64_t bn = b.numel();
+        bool trailing = true;
+        const Shape &bs = b.shape();
+        const std::size_t off = out_shape.size() - bs.size();
+        for (std::size_t i = 0; i < bs.size(); ++i) {
+            if (bs[i] != out_shape[off + i]) {
+                trailing = false;
+                break;
+            }
+        }
+        if (trailing && n % bn == 0) {
+            for (std::int64_t i = 0; i < n; ++i)
+                po[i] = fn(pa[i], pb[i % bn]);
+            return out;
+        }
+    }
+
+    // General strided walk.
+    const auto sa = broadcastStrides(a.shape(), out_shape);
+    const auto sb = broadcastStrides(b.shape(), out_shape);
+    const int nd = static_cast<int>(out_shape.size());
+    std::vector<std::int64_t> index(nd, 0);
+    std::int64_t oa = 0, ob = 0;
+    for (std::int64_t i = 0; i < n; ++i) {
+        po[i] = fn(pa[oa], pb[ob]);
+        for (int d = nd - 1; d >= 0; --d) {
+            ++index[d];
+            oa += sa[d];
+            ob += sb[d];
+            if (index[d] < out_shape[d])
+                break;
+            index[d] = 0;
+            oa -= sa[d] * out_shape[d];
+            ob -= sb[d] * out_shape[d];
+        }
+    }
+    return out;
 }
 
 } // namespace aib::ops::detail

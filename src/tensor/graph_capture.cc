@@ -45,6 +45,16 @@ class CaptureAccess
         pin(c, root);
         c.graph_.backwardRoots.push_back(tensorId(root));
     }
+
+    static void
+    amendLast(GraphCapture &c, std::initializer_list<OpAttr> attrs)
+    {
+        if (c.graph_.ops.empty())
+            return;
+        CapturedOp &op = c.graph_.ops.back();
+        for (const OpAttr &a : attrs)
+            op.attrs.push_back(a);
+    }
 };
 
 GraphCapture::GraphCapture() : previous_(t_active)
@@ -139,6 +149,14 @@ capturePendingAttrs(std::initializer_list<OpAttr> attrs)
     if (t_active == nullptr)
         return;
     t_pending_attrs.assign(attrs.begin(), attrs.end());
+}
+
+void
+captureAmendLastOp(std::initializer_list<OpAttr> attrs)
+{
+    if (t_active == nullptr)
+        return;
+    CaptureAccess::amendLast(*t_active, attrs);
 }
 
 namespace detail {

@@ -134,6 +134,16 @@ void captureNonDiff(std::string_view name,
  */
 void capturePendingAttrs(std::initializer_list<OpAttr> attrs);
 
+/**
+ * Append attributes to the most recently captured op on this thread.
+ * Used by the fused-op fallback paths to tag the unfused anchor op
+ * (e.g. `fuseact` on an `add` that fused::addAct would collapse) so
+ * the IR fusion planner (src/analysis/graphopt) can predict the
+ * optimized capture exactly. No-op when no capture is active or no op
+ * has been captured yet.
+ */
+void captureAmendLastOp(std::initializer_list<OpAttr> attrs);
+
 namespace detail {
 
 /**

@@ -1,0 +1,76 @@
+#include "tensor/graphopt_mode.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+
+namespace aib::graphopt {
+
+namespace {
+
+std::atomic<bool> g_fuse{false};
+std::atomic<bool> g_arena{false};
+std::once_flag g_env_once;
+
+void
+initFromEnv()
+{
+    const char *spec = std::getenv("AIBENCH_GRAPHOPT");
+    if (spec == nullptr)
+        return;
+    Mode m = parseMode(spec);
+    g_fuse.store(m.fuse, std::memory_order_release);
+    g_arena.store(m.arena, std::memory_order_release);
+}
+
+} // namespace
+
+Mode
+parseMode(std::string_view spec)
+{
+    Mode m;
+    while (!spec.empty()) {
+        std::size_t comma = spec.find(',');
+        std::string_view token = spec.substr(0, comma);
+        spec = comma == std::string_view::npos ? std::string_view{}
+                                               : spec.substr(comma + 1);
+        if (token == "on" || token == "1") {
+            m.fuse = true;
+            m.arena = true;
+        } else if (token == "off" || token == "0") {
+            m = Mode{};
+        } else if (token == "fuse") {
+            m.fuse = true;
+        } else if (token == "arena") {
+            m.arena = true;
+        }
+    }
+    return m;
+}
+
+Mode
+mode()
+{
+    std::call_once(g_env_once, initFromEnv);
+    Mode m;
+    m.fuse = g_fuse.load(std::memory_order_acquire);
+    m.arena = g_arena.load(std::memory_order_acquire);
+    return m;
+}
+
+void
+setMode(Mode m)
+{
+    std::call_once(g_env_once, initFromEnv); // pin env before override
+    g_fuse.store(m.fuse, std::memory_order_release);
+    g_arena.store(m.arena, std::memory_order_release);
+}
+
+bool
+fuseEnabled()
+{
+    std::call_once(g_env_once, initFromEnv);
+    return g_fuse.load(std::memory_order_acquire);
+}
+
+} // namespace aib::graphopt

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Process-wide graph-optimizer mode switch (docs/GRAPHOPT.md).
+ *
+ * Two independent features:
+ *  - fuse:  ops::fused entry points execute single fused kernels
+ *           instead of the literal unfused op chains;
+ *  - arena: TensorImpl storage is served from the static arena
+ *           allocator (arena.h) instead of the heap.
+ *
+ * Resolved lazily from AIBENCH_GRAPHOPT on first query
+ * ("off"/"0", "on"/"1" (= fuse,arena), "fuse", "arena", "fuse,arena"),
+ * overridable at runtime via setMode() (`--graphopt` in the CLI and
+ * the optimizer's A/B measurement loop).
+ */
+
+#ifndef AIB_TENSOR_GRAPHOPT_MODE_H
+#define AIB_TENSOR_GRAPHOPT_MODE_H
+
+#include <string_view>
+
+namespace aib::graphopt {
+
+/** Feature toggles; value-semantic snapshot of the global switch. */
+struct Mode {
+    bool fuse = false;
+    bool arena = false;
+
+    bool any() const { return fuse || arena; }
+    friend bool
+    operator==(const Mode &a, const Mode &b)
+    {
+        return a.fuse == b.fuse && a.arena == b.arena;
+    }
+};
+
+/** Parse an AIBENCH_GRAPHOPT-style spec. Unknown tokens are ignored. */
+Mode parseMode(std::string_view spec);
+
+/** Current mode (first call consults AIBENCH_GRAPHOPT). */
+Mode mode();
+
+/**
+ * Override the mode. Does NOT touch the arena enable switch — the
+ * arena is enabled explicitly (arena::setEnabled) once a capacity is
+ * configured, so `arena` here only expresses intent for run drivers.
+ */
+void setMode(Mode m);
+
+/** Fast path for kernel call sites: is fusion on? */
+bool fuseEnabled();
+
+/** RAII override, restoring the previous mode on destruction. */
+class ModeGuard
+{
+  public:
+    explicit ModeGuard(Mode m) : previous_(mode()) { setMode(m); }
+    ~ModeGuard() { setMode(previous_); }
+    ModeGuard(const ModeGuard &) = delete;
+    ModeGuard &operator=(const ModeGuard &) = delete;
+
+  private:
+    Mode previous_;
+};
+
+} // namespace aib::graphopt
+
+#endif // AIB_TENSOR_GRAPHOPT_MODE_H

@@ -49,6 +49,8 @@ Tensor tanh(const Tensor &a);
 Tensor sigmoid(const Tensor &a);
 Tensor relu(const Tensor &a);
 Tensor leakyRelu(const Tensor &a, float slope = 0.01f);
+/** GELU, tanh approximation (the BERT reference formulation). */
+Tensor gelu(const Tensor &a);
 Tensor abs(const Tensor &a);
 /** Element-wise square. */
 Tensor square(const Tensor &a);
@@ -178,6 +180,58 @@ Tensor gridSample(const Tensor &input, const Tensor &grid);
 Tensor dropout(const Tensor &a, float p, bool training, Rng &rng);
 /** Mean squared error between two same-shape tensors. */
 Tensor mseLoss(const Tensor &a, const Tensor &b);
+/** @name Fused kernels (graphopt; docs/GRAPHOPT.md)
+ *
+ * Each entry point executes the literal unfused op chain while
+ * fusion is off (graphopt::fuseEnabled() == false), and a single
+ * fused kernel — bitwise-identical values, one traversal, one
+ * capture/profiler record — while it is on. Call sites therefore
+ * route through these unconditionally; the mode switch picks the
+ * execution strategy per run.
+ * @{
+ */
+
+/** Epilogue activation a fused kernel can apply to its result. */
+enum class Act : std::int8_t {
+    None = 0,
+    Relu = 1,
+    LeakyRelu = 2,
+    Sigmoid = 3,
+    Tanh = 4,
+    Gelu = 5,
+};
+
+/** Apply @p act as a standalone unfused op; identity for None. */
+Tensor applyAct(const Tensor &a, Act act, float slope = 0.01f);
+
+namespace fused {
+
+/** act(a + b) with broadcasting (bias-add/residual epilogues). */
+Tensor addAct(const Tensor &a, const Tensor &b, Act act,
+              float slope = 0.01f);
+
+/**
+ * Inference batch-norm chain ((x - mean) * scale) * gamma + beta with
+ * per-channel parameters, collapsed to one kernel. Inference-only:
+ * falls back to the unfused chain whenever grad mode is active.
+ */
+Tensor normScale(const Tensor &x, const Tensor &mean,
+                 const Tensor &scale, const Tensor &gamma,
+                 const Tensor &beta);
+
+/** conv2d with a fused bias+activation epilogue. */
+Tensor conv2dAct(const Tensor &input, const Tensor &weight,
+                 const Tensor &bias, int stride, int padding, Act act,
+                 float slope = 0.01f);
+
+/** convTranspose2d with a fused bias+activation epilogue. */
+Tensor convTranspose2dAct(const Tensor &input, const Tensor &weight,
+                          const Tensor &bias, int stride, int padding,
+                          Act act, float slope = 0.01f);
+
+} // namespace fused
+/** @} */
+
 /** Record a host-to-device style copy for a freshly loaded batch. */
 void recordHostToDeviceCopy(const Tensor &batch);
 

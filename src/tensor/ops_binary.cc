@@ -17,82 +17,9 @@ namespace {
 
 using detail::KernelCategory;
 namespace kn = detail::kn;
-
-/**
- * Apply @p fn element-wise over the broadcast of @p a and @p b.
- * Fast paths cover the same-shape and scalar cases; the general path
- * walks an incremental multi-index with zero-strides on broadcast
- * dimensions.
- */
-template <typename Fn>
-Tensor
-broadcastBinary(const Tensor &a, const Tensor &b, Fn fn)
-{
-    const Shape out_shape = broadcastShapes(a.shape(), b.shape());
-    Tensor out = Tensor::empty(out_shape);
-    const std::int64_t n = out.numel();
-    const float *pa = a.data();
-    const float *pb = b.data();
-    float *po = out.data();
-
-    if (a.shape() == out_shape && b.shape() == out_shape) {
-        for (std::int64_t i = 0; i < n; ++i)
-            po[i] = fn(pa[i], pb[i]);
-        return out;
-    }
-    if (b.numel() == 1) {
-        const float s = pb[0];
-        for (std::int64_t i = 0; i < n; ++i)
-            po[i] = fn(pa[i], s);
-        return out;
-    }
-    if (a.numel() == 1) {
-        const float s = pa[0];
-        for (std::int64_t i = 0; i < n; ++i)
-            po[i] = fn(s, pb[i]);
-        return out;
-    }
-    // Trailing broadcast: b's shape equals the trailing dims of out
-    // and a is full-shape (the common bias-add pattern).
-    if (a.shape() == out_shape) {
-        const std::int64_t bn = b.numel();
-        bool trailing = true;
-        const Shape &bs = b.shape();
-        const std::size_t off = out_shape.size() - bs.size();
-        for (std::size_t i = 0; i < bs.size(); ++i) {
-            if (bs[i] != out_shape[off + i]) {
-                trailing = false;
-                break;
-            }
-        }
-        if (trailing && n % bn == 0) {
-            for (std::int64_t i = 0; i < n; ++i)
-                po[i] = fn(pa[i], pb[i % bn]);
-            return out;
-        }
-    }
-
-    // General strided walk.
-    const auto sa = detail::broadcastStrides(a.shape(), out_shape);
-    const auto sb = detail::broadcastStrides(b.shape(), out_shape);
-    const int nd = static_cast<int>(out_shape.size());
-    std::vector<std::int64_t> index(nd, 0);
-    std::int64_t oa = 0, ob = 0;
-    for (std::int64_t i = 0; i < n; ++i) {
-        po[i] = fn(pa[oa], pb[ob]);
-        for (int d = nd - 1; d >= 0; --d) {
-            ++index[d];
-            oa += sa[d];
-            ob += sb[d];
-            if (index[d] < out_shape[d])
-                break;
-            index[d] = 0;
-            oa -= sa[d] * out_shape[d];
-            ob -= sb[d] * out_shape[d];
-        }
-    }
-    return out;
-}
+// broadcastBinary lives in detail/op_common.h, shared with the fused
+// add+activation kernels (ops_fused.cc) so both traverse identically.
+using detail::broadcastBinary;
 
 } // namespace
 

@@ -21,7 +21,7 @@
 #include "tensor/detail/gemm.h"
 #include "tensor/detail/op_common.h"
 #include "tensor/graph_capture.h"
-#include "tensor/graph_capture.h"
+#include "tensor/graphopt_mode.h"
 
 namespace aib::ops {
 
@@ -158,11 +158,60 @@ recordCol2im(double elements)
                      4.0 * elements, 4.0 * elements, elements);
 }
 
-} // namespace
-
+/**
+ * Multiply @p g by act'(y) element-wise from the saved output @p y
+ * (the fused epilogue's backward entry step). Mirrors the standalone
+ * activation backward exactly, including its relu_bwd record.
+ */
 Tensor
-conv2d(const Tensor &input, const Tensor &weight, const Tensor &bias,
-       int stride, int padding)
+actBackwardFromSavedOutput(const Tensor &g, const Tensor &y, Act act,
+                           float slope)
+{
+    Tensor gz = Tensor::empty(g.shape());
+    const float *pg = g.data();
+    const float *py = y.data();
+    float *po = gz.data();
+    const std::int64_t n = g.numel();
+    for (std::int64_t i = 0; i < n; ++i)
+        po[i] =
+            pg[i] * detail::actBackwardFromOutput(py[i], act, slope);
+    if (act == Act::Relu || act == Act::LeakyRelu) {
+        profiler::record(kn::relu_bwd, KernelCategory::Relu,
+                         static_cast<double>(n),
+                         8.0 * static_cast<double>(n),
+                         4.0 * static_cast<double>(n),
+                         static_cast<double>(n));
+    }
+    return gz;
+}
+
+/** Capture attributes for a conv-family op, with the act epilogue. */
+void
+captureConvAttrs(int kernel, int stride, int padding, Act act)
+{
+    if (act == Act::None) {
+        graph::capturePendingAttrs({{"kernel", kernel},
+                                    {"stride", stride},
+                                    {"padding", padding},
+                                    {"ordered", 1}});
+    } else {
+        graph::capturePendingAttrs(
+            {{"kernel", kernel},
+             {"stride", stride},
+             {"padding", padding},
+             {"ordered", 1},
+             {"act", static_cast<std::int64_t>(act)}});
+    }
+}
+
+/**
+ * conv2d body, optionally applying an Act epilogue fused into the
+ * bias pass. With act == None this is byte-for-byte the historical
+ * conv2d (same records, same capture, same bits).
+ */
+Tensor
+conv2dImpl(const Tensor &input, const Tensor &weight, const Tensor &bias,
+           int stride, int padding, Act act, float slope)
 {
     if (input.ndim() != 4 || weight.ndim() != 4)
         throw std::invalid_argument("conv2d: expected 4-D input/weight");
@@ -204,25 +253,59 @@ conv2d(const Tensor &input, const Tensor &weight, const Tensor &bias,
         if (bias.numel() != f)
             throw std::invalid_argument("conv2d: bias size mismatch");
         const float *pb = bias.data();
-        for (std::int64_t i = 0; i < n; ++i)
-            for (std::int64_t ff = 0; ff < f; ++ff) {
-                float *row = po + (i * f + ff) * hw_out;
-                const float b = pb[ff];
-                for (std::int64_t j = 0; j < hw_out; ++j)
-                    row[j] += b;
-            }
-        detail::recordMap(kn::ew_add, KernelCategory::Elementwise,
-                          static_cast<double>(out.numel()), 1.0, 1.0);
+        if (act == Act::None) {
+            for (std::int64_t i = 0; i < n; ++i)
+                for (std::int64_t ff = 0; ff < f; ++ff) {
+                    float *row = po + (i * f + ff) * hw_out;
+                    const float b = pb[ff];
+                    for (std::int64_t j = 0; j < hw_out; ++j)
+                        row[j] += b;
+                }
+            detail::recordMap(kn::ew_add, KernelCategory::Elementwise,
+                              static_cast<double>(out.numel()), 1.0,
+                              1.0);
+        } else {
+            for (std::int64_t i = 0; i < n; ++i)
+                for (std::int64_t ff = 0; ff < f; ++ff) {
+                    float *row = po + (i * f + ff) * hw_out;
+                    const float b = pb[ff];
+                    for (std::int64_t j = 0; j < hw_out; ++j)
+                        row[j] = detail::actForward(row[j] + b, act,
+                                                    slope);
+                }
+            detail::recordMap(
+                kn::bias_act, KernelCategory::Elementwise,
+                static_cast<double>(out.numel()), 1.0,
+                1.0 + detail::actFlopsPerElement(act));
+        }
+    } else if (act != Act::None) {
+        const std::int64_t total = out.numel();
+        for (std::int64_t j = 0; j < total; ++j)
+            po[j] = detail::actForward(po[j], act, slope);
+        detail::recordMap(kn::bias_act, KernelCategory::Elementwise,
+                          static_cast<double>(out.numel()), 1.0,
+                          detail::actFlopsPerElement(act));
     }
 
-    graph::capturePendingAttrs({{"kernel", kernel},
-                                {"stride", stride},
-                                {"padding", padding},
-                                {"ordered", 1}});
+    // The backward derives act' from the saved output; weak so the
+    // closure does not keep the activation buffer alive in inference.
+    std::weak_ptr<TensorImpl> saved_out = out.impl();
+    captureConvAttrs(kernel, stride, padding, act);
     return autograd::makeOutput(
-        std::move(out), "conv2d", {input, weight, bias},
+        std::move(out), act == Act::None ? "conv2d" : "conv2dAct",
+        {input, weight, bias},
         [input, weight, has_bias = bias.defined(), n, c, h, w, f, kernel,
-         stride, padding, ho, wo, ckk, hw_out](const Tensor &g) {
+         stride, padding, ho, wo, ckk, hw_out, act, slope,
+         saved_out](const Tensor &g0) {
+            Tensor g = g0;
+            if (act != Act::None) {
+                auto y = saved_out.lock();
+                if (!y)
+                    throw std::logic_error(
+                        "conv2dAct: saved output expired in backward");
+                g = actBackwardFromSavedOutput(g0, Tensor(y), act,
+                                               slope);
+            }
             Tensor gx = Tensor::zeros(input.shape());
             Tensor gw = Tensor::zeros(weight.shape());
             Tensor gb;
@@ -297,9 +380,11 @@ conv2d(const Tensor &input, const Tensor &weight, const Tensor &bias,
         });
 }
 
+/** convTranspose2d body with an optional fused Act epilogue. */
 Tensor
-convTranspose2d(const Tensor &input, const Tensor &weight,
-                const Tensor &bias, int stride, int padding)
+convTranspose2dImpl(const Tensor &input, const Tensor &weight,
+                    const Tensor &bias, int stride, int padding, Act act,
+                    float slope)
 {
     if (input.ndim() != 4 || weight.ndim() != 4)
         throw std::invalid_argument(
@@ -343,24 +428,56 @@ convTranspose2d(const Tensor &input, const Tensor &weight,
     if (bias.defined()) {
         const float *pb = bias.data();
         const std::int64_t hw_out = ho * wo;
-        for (std::int64_t i = 0; i < n; ++i)
-            for (std::int64_t ff = 0; ff < f; ++ff) {
-                float *row = po + (i * f + ff) * hw_out;
-                for (std::int64_t j = 0; j < hw_out; ++j)
-                    row[j] += pb[ff];
-            }
-        detail::recordMap(kn::ew_add, KernelCategory::Elementwise,
-                          static_cast<double>(out.numel()), 1.0, 1.0);
+        if (act == Act::None) {
+            for (std::int64_t i = 0; i < n; ++i)
+                for (std::int64_t ff = 0; ff < f; ++ff) {
+                    float *row = po + (i * f + ff) * hw_out;
+                    for (std::int64_t j = 0; j < hw_out; ++j)
+                        row[j] += pb[ff];
+                }
+            detail::recordMap(kn::ew_add, KernelCategory::Elementwise,
+                              static_cast<double>(out.numel()), 1.0,
+                              1.0);
+        } else {
+            for (std::int64_t i = 0; i < n; ++i)
+                for (std::int64_t ff = 0; ff < f; ++ff) {
+                    float *row = po + (i * f + ff) * hw_out;
+                    for (std::int64_t j = 0; j < hw_out; ++j)
+                        row[j] = detail::actForward(row[j] + pb[ff],
+                                                    act, slope);
+                }
+            detail::recordMap(
+                kn::bias_act, KernelCategory::Elementwise,
+                static_cast<double>(out.numel()), 1.0,
+                1.0 + detail::actFlopsPerElement(act));
+        }
+    } else if (act != Act::None) {
+        const std::int64_t total = out.numel();
+        for (std::int64_t j = 0; j < total; ++j)
+            po[j] = detail::actForward(po[j], act, slope);
+        detail::recordMap(kn::bias_act, KernelCategory::Elementwise,
+                          static_cast<double>(out.numel()), 1.0,
+                          detail::actFlopsPerElement(act));
     }
 
-    graph::capturePendingAttrs({{"kernel", kernel},
-                                {"stride", stride},
-                                {"padding", padding},
-                                {"ordered", 1}});
+    std::weak_ptr<TensorImpl> saved_out = out.impl();
+    captureConvAttrs(kernel, stride, padding, act);
     return autograd::makeOutput(
-        std::move(out), "convTranspose2d", {input, weight, bias},
+        std::move(out),
+        act == Act::None ? "convTranspose2d" : "convTranspose2dAct",
+        {input, weight, bias},
         [input, weight, has_bias = bias.defined(), n, c, h, w, f, kernel,
-         stride, padding, ho, wo, fkk, hw_in](const Tensor &g) {
+         stride, padding, ho, wo, fkk, hw_in, act, slope,
+         saved_out](const Tensor &g0) {
+            Tensor g = g0;
+            if (act != Act::None) {
+                auto y = saved_out.lock();
+                if (!y)
+                    throw std::logic_error("convTranspose2dAct: saved "
+                                           "output expired in backward");
+                g = actBackwardFromSavedOutput(g0, Tensor(y), act,
+                                               slope);
+            }
             Tensor gx = Tensor::zeros(input.shape());
             Tensor gw = Tensor::zeros(weight.shape());
             Tensor gb;
@@ -423,6 +540,70 @@ convTranspose2d(const Tensor &input, const Tensor &weight,
                                        std::move(gb)};
         });
 }
+
+} // namespace
+
+Tensor
+conv2d(const Tensor &input, const Tensor &weight, const Tensor &bias,
+       int stride, int padding)
+{
+    return conv2dImpl(input, weight, bias, stride, padding, Act::None,
+                      0.0f);
+}
+
+Tensor
+convTranspose2d(const Tensor &input, const Tensor &weight,
+                const Tensor &bias, int stride, int padding)
+{
+    return convTranspose2dImpl(input, weight, bias, stride, padding,
+                               Act::None, 0.0f);
+}
+
+namespace fused {
+
+Tensor
+conv2dAct(const Tensor &input, const Tensor &weight, const Tensor &bias,
+          int stride, int padding, Act act, float slope)
+{
+    if (act == Act::Gelu)
+        throw std::invalid_argument(
+            "conv2dAct: Gelu epilogue unsupported (no output-only "
+            "derivative; see docs/GRAPHOPT.md)");
+    if (act == Act::None)
+        return conv2d(input, weight, bias, stride, padding);
+    if (!graphopt::fuseEnabled()) {
+        Tensor out = conv2d(input, weight, bias, stride, padding);
+        // Anchor tag for fusion rule R2 (src/analysis/graphopt).
+        graph::captureAmendLastOp(
+            {{"fuseact", static_cast<std::int64_t>(act)}});
+        return applyAct(out, act, slope);
+    }
+    return conv2dImpl(input, weight, bias, stride, padding, act, slope);
+}
+
+Tensor
+convTranspose2dAct(const Tensor &input, const Tensor &weight,
+                   const Tensor &bias, int stride, int padding, Act act,
+                   float slope)
+{
+    if (act == Act::Gelu)
+        throw std::invalid_argument(
+            "convTranspose2dAct: Gelu epilogue unsupported (no "
+            "output-only derivative; see docs/GRAPHOPT.md)");
+    if (act == Act::None)
+        return convTranspose2d(input, weight, bias, stride, padding);
+    if (!graphopt::fuseEnabled()) {
+        Tensor out = convTranspose2d(input, weight, bias, stride, padding);
+        // Anchor tag for fusion rule R2 (src/analysis/graphopt).
+        graph::captureAmendLastOp(
+            {{"fuseact", static_cast<std::int64_t>(act)}});
+        return applyAct(out, act, slope);
+    }
+    return convTranspose2dImpl(input, weight, bias, stride, padding, act,
+                               slope);
+}
+
+} // namespace fused
 
 Tensor
 maxPool2d(const Tensor &input, int kernel, int stride)

@@ -185,6 +185,38 @@ leakyRelu(const Tensor &a, float slope)
         });
 }
 
+namespace {
+
+/** sqrt(2/pi) and the cubic coefficient of the tanh-GELU. */
+constexpr float kGeluAlpha = 0.7978845608028654f;
+constexpr float kGeluBeta = 0.044715f;
+
+} // namespace
+
+Tensor
+gelu(const Tensor &a)
+{
+    Tensor out = mapUnary(a, [](float x) {
+        const float u = kGeluAlpha * (x + kGeluBeta * x * x * x);
+        return 0.5f * x * (1.0f + std::tanh(u));
+    });
+    detail::recordMap(kn::gelu_fwd, KernelCategory::Elementwise,
+                      static_cast<double>(a.numel()), 1.0, 8.0);
+    return autograd::makeOutput(
+        std::move(out), "gelu", {a}, [a](const Tensor &g) {
+            return std::vector<Tensor>{
+                mapGrad(g, a, a, [](float x, float) {
+                    const float u =
+                        kGeluAlpha * (x + kGeluBeta * x * x * x);
+                    const float th = std::tanh(u);
+                    const float du =
+                        kGeluAlpha * (1.0f + 3.0f * kGeluBeta * x * x);
+                    return 0.5f * (1.0f + th) +
+                           0.5f * x * (1.0f - th * th) * du;
+                })};
+        });
+}
+
 Tensor
 abs(const Tensor &a)
 {

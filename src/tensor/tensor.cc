@@ -115,7 +115,9 @@ Tensor::fromVector(const Shape &shape, std::vector<float> values)
     }
     auto impl = std::make_shared<TensorImpl>();
     impl->shape = shape;
-    impl->data = std::move(values);
+    // Copy: the storage buffer may live in the arena (FloatBuffer's
+    // allocator differs from std::vector's), so adoption can't move.
+    impl->data.assign(values.begin(), values.end());
     trackImpl(*impl);
     return Tensor(std::move(impl));
 }
@@ -250,7 +252,7 @@ std::vector<float>
 Tensor::toVector() const
 {
     assert(impl_);
-    return impl_->data;
+    return {impl_->data.begin(), impl_->data.end()};
 }
 
 bool

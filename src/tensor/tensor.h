@@ -17,6 +17,7 @@
 #include <memory>
 #include <vector>
 
+#include "tensor/arena.h"
 #include "tensor/random.h"
 #include "tensor/shape.h"
 
@@ -120,6 +121,13 @@ class Tensor
     std::shared_ptr<TensorImpl> impl_;
 };
 
+/**
+ * Tensor storage buffer. Routed through the static arena allocator
+ * when graphopt's arena mode is enabled (arena.h), plain heap
+ * otherwise; value semantics are identical either way.
+ */
+using FloatBuffer = std::vector<float, arena::TensorAllocator<float>>;
+
 /** Tensor storage and autograd metadata. */
 struct TensorImpl {
     TensorImpl() = default;
@@ -128,7 +136,7 @@ struct TensorImpl {
     TensorImpl &operator=(const TensorImpl &) = delete;
 
     Shape shape;
-    std::vector<float> data;
+    FloatBuffer data;
     bool requiresGrad = false;
     std::shared_ptr<TensorImpl> grad;
     std::shared_ptr<autograd::Node> gradFn;

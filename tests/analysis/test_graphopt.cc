@@ -1,0 +1,489 @@
+/**
+ * @file
+ * Graph-IR optimizer tests (docs/GRAPHOPT.md): fusion-rule units on
+ * synthetic captures (positives plus the negatives each guard
+ * implies), a real-capture rewrite-prediction round trip, randomized
+ * property tests for the static arena planner (no lifetime-overlap
+ * collisions, alignment, exact enacted high water) and the first-fit
+ * event-log simulator, and the end-to-end optimize driver on a fast
+ * benchmark.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/graphlint/analyze.h"
+#include "analysis/graphopt/graphopt.h"
+#include "core/benchmark.h"
+#include "core/registry.h"
+#include "tensor/arena.h"
+#include "tensor/graph_capture.h"
+#include "tensor/graphopt_mode.h"
+#include "tensor/ops.h"
+#include "tensor/random.h"
+#include "tensor/tensor.h"
+
+namespace aib::analysis::graphopt {
+namespace {
+
+// Act enum values as captured in op attributes.
+constexpr std::int64_t kRelu = 1;
+constexpr std::int64_t kSigmoid = 3;
+constexpr std::int64_t kTanh = 4;
+
+/** Synthetic forward op for planner units. */
+graph::CapturedOp
+makeOp(std::string_view name, std::vector<graph::TensorId> inputs,
+       graph::TensorId output, std::vector<graph::OpAttr> attrs = {},
+       bool on_tape = false)
+{
+    graph::CapturedOp op;
+    op.name = name;
+    op.inputIds = std::move(inputs);
+    op.inputShapes.assign(op.inputIds.size(), Shape{2, 2});
+    op.outputShape = {2, 2};
+    op.outputId = output;
+    op.onTape = on_tape;
+    op.attrs = std::move(attrs);
+    return op;
+}
+
+// ---------------------------------------------------------------------------
+// Fusion rules on synthetic captures
+// ---------------------------------------------------------------------------
+
+TEST(FusionPlan, R1CollapsesTaggedAddActPairs)
+{
+    graph::CapturedGraph g;
+    g.ops.push_back(makeOp("add", {1, 2}, 10, {{"fuseact", kSigmoid}}));
+    g.ops.push_back(makeOp("sigmoid", {10}, 11));
+
+    const FusionPlan plan = planFusion(g);
+    ASSERT_EQ(plan.groups.size(), 1u);
+    EXPECT_EQ(plan.addActFused, 1);
+    EXPECT_EQ(plan.opsBefore, 2);
+    EXPECT_EQ(plan.opsAfter, 1);
+    EXPECT_EQ(plan.groups[0].fusedName, "addAct");
+    EXPECT_EQ(plan.groups[0].act, kSigmoid);
+    // The eliminated intermediate is the add's 2x2 f32 output.
+    EXPECT_EQ(plan.groups[0].eliminatedBytes, 16);
+
+    const graph::CapturedGraph out = rewriteGraph(g, plan);
+    ASSERT_EQ(out.ops.size(), 1u);
+    EXPECT_EQ(out.ops[0].name, "addAct");
+    EXPECT_EQ(out.ops[0].inputIds, (std::vector<graph::TensorId>{1, 2}));
+    EXPECT_EQ(out.ops[0].outputId, 11u);
+    EXPECT_EQ(out.ops[0].attr("act", 0), kSigmoid);
+    EXPECT_EQ(out.ops[0].attr("fuseact", -1), -1);
+}
+
+TEST(FusionPlan, R1RequiresTheAnchorTag)
+{
+    // An untagged add followed by a sole-consumer activation is some
+    // other computation that merely looks like the fallback chain; the
+    // planner must not invent work the runtime would not fuse.
+    graph::CapturedGraph g;
+    g.ops.push_back(makeOp("add", {1, 2}, 10));
+    g.ops.push_back(makeOp("sigmoid", {10}, 11));
+    EXPECT_TRUE(planFusion(g).groups.empty());
+}
+
+TEST(FusionPlan, R1RequiresASoleForwardConsumer)
+{
+    graph::CapturedGraph g;
+    g.ops.push_back(makeOp("add", {1, 2}, 10, {{"fuseact", kSigmoid}}));
+    g.ops.push_back(makeOp("sigmoid", {10}, 11));
+    g.ops.push_back(makeOp("mul", {10, 3}, 12)); // second consumer
+    EXPECT_TRUE(planFusion(g).groups.empty());
+}
+
+TEST(FusionPlan, R1RequiresTheMatchingActivation)
+{
+    graph::CapturedGraph g;
+    g.ops.push_back(makeOp("add", {1, 2}, 10, {{"fuseact", kSigmoid}}));
+    g.ops.push_back(makeOp("tanh", {10}, 11));
+    EXPECT_TRUE(planFusion(g).groups.empty());
+}
+
+TEST(FusionPlan, R2CollapsesConvEpiloguesAndKeepsConvAttrs)
+{
+    graph::CapturedGraph g;
+    g.ops.push_back(makeOp("conv2d", {1, 2, 3}, 10,
+                           {{"kernel", 3},
+                            {"stride", 1},
+                            {"padding", 1},
+                            {"fuseact", kRelu}}));
+    g.ops.push_back(makeOp("relu", {10}, 11));
+    g.ops.push_back(makeOp("convTranspose2d", {11, 4, 5}, 12,
+                           {{"kernel", 3},
+                            {"stride", 2},
+                            {"padding", 1},
+                            {"fuseact", kTanh}}));
+    g.ops.push_back(makeOp("tanh", {12}, 13));
+
+    const FusionPlan plan = planFusion(g);
+    EXPECT_EQ(plan.convActFused, 2);
+    EXPECT_EQ(plan.opsAfter, 2);
+
+    const graph::CapturedGraph out = rewriteGraph(g, plan);
+    ASSERT_EQ(out.ops.size(), 2u);
+    EXPECT_EQ(out.ops[0].name, "conv2dAct");
+    EXPECT_EQ(out.ops[0].attr("kernel", 0), 3);
+    EXPECT_EQ(out.ops[0].attr("act", 0), kRelu);
+    EXPECT_EQ(out.ops[0].attr("fuseact", -1), -1);
+    EXPECT_EQ(out.ops[1].name, "convTranspose2dAct");
+    EXPECT_EQ(out.ops[1].attr("stride", 0), 2);
+    EXPECT_EQ(out.ops[1].attr("act", 0), kTanh);
+}
+
+TEST(FusionPlan, R3CollapsesTheInferenceBatchNormChain)
+{
+    graph::CapturedGraph g;
+    g.ops.push_back(makeOp("sub", {1, 2}, 10, {{"bnchain", 1}}));
+    g.ops.push_back(makeOp("mul", {10, 3}, 11));
+    g.ops.push_back(makeOp("mul", {11, 4}, 12));
+    g.ops.push_back(makeOp("add", {12, 5}, 13));
+
+    const FusionPlan plan = planFusion(g);
+    ASSERT_EQ(plan.groups.size(), 1u);
+    EXPECT_EQ(plan.normScaleFused, 1);
+    EXPECT_EQ(plan.groups[0].opIndices,
+              (std::vector<int>{0, 1, 2, 3}));
+    EXPECT_EQ(plan.opsAfter, 1);
+
+    const graph::CapturedGraph out = rewriteGraph(g, plan);
+    ASSERT_EQ(out.ops.size(), 1u);
+    EXPECT_EQ(out.ops[0].name, "normScale");
+    // x, mean, scale, gamma, beta — reassembled from the chain.
+    EXPECT_EQ(out.ops[0].inputIds,
+              (std::vector<graph::TensorId>{1, 2, 3, 4, 5}));
+    EXPECT_EQ(out.ops[0].outputId, 13u);
+}
+
+TEST(FusionPlan, R3RejectsGradGatedAndOnTapeChains)
+{
+    // bnchain == 2: the runtime's grad gate keeps the chain unfused.
+    graph::CapturedGraph gated;
+    gated.ops.push_back(makeOp("sub", {1, 2}, 10, {{"bnchain", 2}}));
+    gated.ops.push_back(makeOp("mul", {10, 3}, 11));
+    gated.ops.push_back(makeOp("mul", {11, 4}, 12));
+    gated.ops.push_back(makeOp("add", {12, 5}, 13));
+    EXPECT_TRUE(planFusion(gated).groups.empty());
+
+    // A taped link means gradients flow through the chain.
+    graph::CapturedGraph taped;
+    taped.ops.push_back(makeOp("sub", {1, 2}, 10, {{"bnchain", 1}}));
+    taped.ops.push_back(makeOp("mul", {10, 3}, 11, {}, /*on_tape=*/true));
+    taped.ops.push_back(makeOp("mul", {11, 4}, 12));
+    taped.ops.push_back(makeOp("add", {12, 5}, 13));
+    EXPECT_TRUE(planFusion(taped).groups.empty());
+}
+
+TEST(FusionPlan, BackwardPhaseOpsNeverParticipate)
+{
+    graph::CapturedGraph g;
+    g.ops.push_back(makeOp("add", {1, 2}, 10, {{"fuseact", kSigmoid}}));
+    g.ops.push_back(makeOp("sigmoid", {10}, 11));
+    for (graph::CapturedOp &op : g.ops)
+        op.phase = graph::Phase::Backward;
+    const FusionPlan plan = planFusion(g);
+    EXPECT_TRUE(plan.groups.empty());
+    EXPECT_EQ(plan.opsBefore, 0);
+}
+
+TEST(FusionPlan, RewritePredictsTheRealFusedCapture)
+{
+    // Capture the fallback chains, rewrite, and compare op-for-op
+    // against the capture the runtime takes with fusion enabled —
+    // the exactness gate `aibench optimize` enforces per target.
+    Rng rng(20260809);
+    const Tensor a = Tensor::randn({2, 3, 4, 4}, rng);
+    const Tensor b = Tensor::randn({3, 1, 1}, rng);
+    const Tensor p = Tensor::randn({3, 1, 1}, rng);
+    NoGradGuard inference;
+
+    auto run = [&] {
+        Tensor y = ops::fused::addAct(a, b, ops::Act::Gelu);
+        y = ops::fused::normScale(y, p, p, p, p);
+        (void)ops::relu(y); // bystander op must survive untouched
+    };
+
+    graph::CapturedGraph baseline, fused_real;
+    {
+        aib::graphopt::ModeGuard guard(aib::graphopt::Mode{false, false});
+        graph::GraphCapture capture;
+        run();
+        baseline = capture.graph();
+    }
+    {
+        aib::graphopt::ModeGuard guard(aib::graphopt::Mode{true, false});
+        graph::GraphCapture capture;
+        run();
+        fused_real = capture.graph();
+    }
+
+    const FusionPlan plan = planFusion(baseline);
+    EXPECT_EQ(plan.addActFused, 1);
+    EXPECT_EQ(plan.normScaleFused, 1);
+    const graph::CapturedGraph predicted = rewriteGraph(baseline, plan);
+    ASSERT_EQ(predicted.ops.size(), fused_real.ops.size());
+    for (std::size_t i = 0; i < predicted.ops.size(); ++i) {
+        EXPECT_EQ(predicted.ops[i].name, fused_real.ops[i].name)
+            << "op " << i;
+        EXPECT_EQ(predicted.ops[i].outputShape,
+                  fused_real.ops[i].outputShape)
+            << "op " << i;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Static arena planner: randomized properties
+// ---------------------------------------------------------------------------
+
+graphlint::BufferInterval
+interval(graph::TensorId id, std::int64_t bytes, int def, int last_use,
+         bool resident = false)
+{
+    graphlint::BufferInterval b;
+    b.id = id;
+    b.bytes = bytes;
+    b.def = def;
+    b.lastUse = last_use;
+    b.resident = resident;
+    return b;
+}
+
+bool
+lifetimesOverlap(const PlannedBuffer &a, const PlannedBuffer &b)
+{
+    return a.def <= b.lastUse && b.def <= a.lastUse;
+}
+
+TEST(ArenaPlanner, RandomizedPlansHoldEveryInvariant)
+{
+    Rng rng(20260807);
+    for (int round = 0; round < 20; ++round) {
+        graphlint::LivenessReport liveness;
+        const int n = static_cast<int>(rng.uniformInt(1, 40));
+        for (int i = 0; i < n; ++i) {
+            const int def = static_cast<int>(rng.uniformInt(0, 30));
+            const int last =
+                def + static_cast<int>(rng.uniformInt(0, 10));
+            liveness.intervals.push_back(interval(
+                static_cast<graph::TensorId>(i + 1),
+                rng.uniformInt(1, 5000), def, last));
+        }
+        // Residents and sources never enter the plan.
+        liveness.intervals.push_back(
+            interval(9001, 4096, 0, 30, /*resident=*/true));
+        liveness.intervals.push_back(interval(9002, 4096, -1, 30));
+
+        const MemoryPlan plan = planArena(liveness);
+        EXPECT_EQ(validatePlan(plan), "");
+        ASSERT_EQ(plan.buffers.size(), static_cast<std::size_t>(n));
+
+        std::int64_t tight = 0;
+        for (const PlannedBuffer &buf : plan.buffers) {
+            EXPECT_NE(buf.id, 9001u);
+            EXPECT_NE(buf.id, 9002u);
+            EXPECT_EQ(buf.offset % arena::kAlignment, 0u);
+            tight = std::max(
+                tight,
+                static_cast<std::int64_t>(buf.offset) + buf.bytes);
+        }
+        EXPECT_EQ(plan.arenaBytes, tight);
+
+        // Lifetime-overlapping buffers occupy disjoint padded ranges.
+        for (std::size_t i = 0; i < plan.buffers.size(); ++i) {
+            for (std::size_t j = i + 1; j < plan.buffers.size(); ++j) {
+                const PlannedBuffer &x = plan.buffers[i];
+                const PlannedBuffer &y = plan.buffers[j];
+                if (!lifetimesOverlap(x, y))
+                    continue;
+                const std::size_t xe =
+                    x.offset + arena::alignUp(
+                                   static_cast<std::size_t>(x.bytes));
+                const std::size_t ye =
+                    y.offset + arena::alignUp(
+                                   static_cast<std::size_t>(y.bytes));
+                EXPECT_TRUE(xe <= y.offset || ye <= x.offset)
+                    << "round " << round << ": buffers " << x.id
+                    << " and " << y.id << " collide";
+            }
+        }
+
+        // Enacting through the production allocator reproduces the
+        // planned slab size exactly.
+        EXPECT_EQ(enactPlan(plan), plan.arenaBytes)
+            << "round " << round;
+    }
+}
+
+TEST(ArenaPlanner, ValidatePlanFlagsEachCorruption)
+{
+    graphlint::LivenessReport liveness;
+    liveness.intervals.push_back(interval(1, 100, 0, 3));
+    liveness.intervals.push_back(interval(2, 200, 1, 4));
+    liveness.intervals.push_back(interval(3, 50, 5, 6));
+    const MemoryPlan plan = planArena(liveness);
+    ASSERT_EQ(validatePlan(plan), "");
+    ASSERT_EQ(plan.buffers.size(), 3u);
+
+    MemoryPlan unaligned = plan;
+    unaligned.buffers[0].offset += 1;
+    EXPECT_NE(validatePlan(unaligned), "");
+
+    MemoryPlan colliding = plan;
+    // Buffers 1 and 2 overlap in time; forcing equal offsets collides.
+    colliding.buffers[1].offset = colliding.buffers[0].offset;
+    EXPECT_NE(validatePlan(colliding), "");
+
+    MemoryPlan small = plan;
+    small.arenaBytes -= 1;
+    EXPECT_NE(validatePlan(small), "");
+
+    MemoryPlan loose = plan;
+    loose.arenaBytes += arena::kAlignment;
+    EXPECT_NE(validatePlan(loose), "");
+}
+
+// ---------------------------------------------------------------------------
+// First-fit event-log simulation
+// ---------------------------------------------------------------------------
+
+const void *
+key(std::uintptr_t v)
+{
+    return reinterpret_cast<const void *>(v);
+}
+
+TEST(FirstFitSimulation, ReplaysTheLogThroughTheArenaPolicy)
+{
+    std::vector<alloctrack::Event> events = {
+        {key(0), 0, true},     // zero-byte: ignored
+        {key(99), 64, false},  // free of a pre-log buffer: ignored
+        {key(1), 100, true},   // -> offset 0 (pads to 128)
+        {key(2), 200, true},   // -> offset 128
+        {key(1), 100, false},  // frees [0, 128)
+        {key(3), 50, true},    // reuses offset 0
+    };
+    // Minimal capacity = max live end = 128 + 200.
+    EXPECT_EQ(simulateFirstFit(events), 328);
+    EXPECT_EQ(simulateFirstFit({}), 0);
+}
+
+TEST(FirstFitSimulation, DerivedCapacityAdmitsTheStreamWithoutFallback)
+{
+    // Property: a FirstFitLayout bounded by the simulated high water
+    // must place the same randomized stream without a single rejection
+    // — this is the capacity gate `aibench optimize` runs against the
+    // real arena.
+    Rng rng(20260806);
+    for (int round = 0; round < 10; ++round) {
+        std::vector<alloctrack::Event> events;
+        std::vector<std::pair<std::uintptr_t, std::int64_t>> live;
+        std::uintptr_t next = 1;
+        for (int step = 0; step < 200; ++step) {
+            const bool do_free =
+                !live.empty() && rng.uniformInt(0, 2) == 0;
+            if (do_free) {
+                const std::size_t pick = static_cast<std::size_t>(
+                    rng.uniformInt(0,
+                                   static_cast<std::int64_t>(
+                                       live.size()) -
+                                       1));
+                events.push_back(
+                    {key(live[pick].first), live[pick].second, false});
+                live.erase(live.begin() +
+                           static_cast<std::ptrdiff_t>(pick));
+            } else {
+                const std::int64_t bytes = rng.uniformInt(1, 4096);
+                events.push_back({key(next), bytes, true});
+                live.emplace_back(next, bytes);
+                ++next;
+            }
+        }
+        const std::int64_t capacity = simulateFirstFit(events);
+        ASSERT_GT(capacity, 0);
+
+        arena::FirstFitLayout layout(
+            static_cast<std::size_t>(capacity));
+        std::vector<std::pair<const void *, std::size_t>> offsets;
+        for (const alloctrack::Event &e : events) {
+            if (e.alloc) {
+                const std::size_t at = layout.reserve(
+                    static_cast<std::size_t>(e.bytes));
+                ASSERT_NE(at, arena::FirstFitLayout::npos)
+                    << "round " << round;
+                offsets.emplace_back(e.key, at);
+            } else {
+                for (auto it = offsets.begin(); it != offsets.end();
+                     ++it) {
+                    if (it->first == e.key) {
+                        layout.release(it->second);
+                        offsets.erase(it);
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end driver
+// ---------------------------------------------------------------------------
+
+TEST(OptimizeDriver, FastBenchmarkComesOutClean)
+{
+    const core::ComponentBenchmark *b = core::findBenchmark("DC-AI-C16");
+    ASSERT_NE(b, nullptr);
+    const TargetReport report = optimizeBenchmark(*b, {});
+    EXPECT_TRUE(report.clean());
+    EXPECT_TRUE(report.sequenceMatch);
+    EXPECT_EQ(report.staticRelErr, 0.0);
+    EXPECT_TRUE(report.planExact);
+    EXPECT_EQ(report.planError, "");
+    EXPECT_EQ(report.enactedPeakBytes, report.planArenaBytes);
+    EXPECT_TRUE(report.runtimeFits);
+    EXPECT_EQ(report.heapFallbackAllocs, 0);
+    EXPECT_TRUE(report.digestMatch);
+    EXPECT_LE(report.opsAfter, report.opsBefore);
+    EXPECT_EQ(report.unmodeledOps, 0);
+    EXPECT_EQ(report.shapeMismatches, 0);
+}
+
+TEST(OptimizeDriver, StructuralResultsAreDeterministicForASeed)
+{
+    const core::ComponentBenchmark *b = core::findBenchmark("DC-AI-C16");
+    ASSERT_NE(b, nullptr);
+    OptimizeOptions opts;
+    opts.seed = 7;
+    const TargetReport first = optimizeBenchmark(*b, opts);
+    const TargetReport second = optimizeBenchmark(*b, opts);
+    EXPECT_EQ(first.opsBefore, second.opsBefore);
+    EXPECT_EQ(first.opsAfter, second.opsAfter);
+    EXPECT_EQ(first.addActFused, second.addActFused);
+    EXPECT_EQ(first.normScaleFused, second.normScaleFused);
+    EXPECT_EQ(first.eliminatedBytes, second.eliminatedBytes);
+    EXPECT_EQ(first.planArenaBytes, second.planArenaBytes);
+    EXPECT_EQ(first.runtimeArenaBytes, second.runtimeArenaBytes);
+}
+
+TEST(OptimizeDriver, JsonCarriesTheSchemaAndGates)
+{
+    const core::ComponentBenchmark *b = core::findBenchmark("DC-AI-C16");
+    ASSERT_NE(b, nullptr);
+    const std::string json = reportsToJson({optimizeBenchmark(*b, {})});
+    EXPECT_NE(json.find("\"schema\":\"aib.graphopt/1\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"sequence_match\":true"), std::string::npos);
+    EXPECT_NE(json.find("\"plan_exact\":true"), std::string::npos);
+    EXPECT_NE(json.find("\"digest_match\":true"), std::string::npos);
+}
+
+} // namespace
+} // namespace aib::analysis::graphopt

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Bitwise determinism of the graph optimizer across whole runs
+ * (docs/GRAPHOPT.md): training trajectories and serve digests with
+ * fusion + arena enabled must match the unoptimized run bit for bit.
+ * This is the whole-program composition of the per-kernel bitwise
+ * guarantees pinned by tests/tensor/test_fused_ops.cc. Short
+ * two-epoch sessions here (tier1); full-length C1/C9 sessions in
+ * test_graphopt_determinism_full.cc (tier2).
+ */
+
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/benchmark.h"
+#include "core/registry.h"
+#include "core/runner.h"
+#include "tensor/arena.h"
+#include "tensor/graphopt_mode.h"
+#include "tensor/random.h"
+#include "testing/graphopt_run_util.h"
+
+namespace aib::core {
+namespace {
+
+class GraphoptDeterminismShort
+    : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(GraphoptDeterminismShort, TrajectoryAndDigestMatchBitwise)
+{
+    const ComponentBenchmark *b = findBenchmark(GetParam());
+    ASSERT_NE(b, nullptr);
+    const testing::RunArtifacts baseline =
+        testing::runTrainAndServe(*b, /*seed=*/42, /*max_epochs=*/2,
+                                  /*optimized=*/false);
+    const testing::RunArtifacts optimized =
+        testing::runTrainAndServe(*b, /*seed=*/42, /*max_epochs=*/2,
+                                  /*optimized=*/true);
+    testing::expectArtifactsBitwiseEqual(optimized, baseline,
+                                         GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Benchmarks, GraphoptDeterminismShort,
+                         ::testing::Values("DC-AI-C1", "DC-AI-C9",
+                                           "DC-AI-C16"));
+
+} // namespace
+} // namespace aib::core

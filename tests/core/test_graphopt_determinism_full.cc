@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Full-length graph-optimizer determinism (tier2, docs/GRAPHOPT.md):
+ * complete DC-AI-C1 and DC-AI-C9 training sessions — train to the
+ * quality target under the runner's default epoch budget — plus a
+ * serve batch, with fusion and a real arena on, must reproduce the
+ * unoptimized run bit for bit. The two-epoch tier1 variant lives in
+ * test_graphopt_determinism.cc.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/benchmark.h"
+#include "core/registry.h"
+#include "core/runner.h"
+#include "testing/graphopt_run_util.h"
+
+namespace aib::core {
+namespace {
+
+class GraphoptDeterminismFull
+    : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(GraphoptDeterminismFull, FullSessionMatchesBitwise)
+{
+    const ComponentBenchmark *b = findBenchmark(GetParam());
+    ASSERT_NE(b, nullptr);
+    const testing::RunArtifacts baseline = testing::runTrainAndServe(
+        *b, /*seed=*/21, /*max_epochs=*/0, /*optimized=*/false);
+    const testing::RunArtifacts optimized = testing::runTrainAndServe(
+        *b, /*seed=*/21, /*max_epochs=*/0, /*optimized=*/true);
+    // The optimized run must not change convergence at all.
+    EXPECT_EQ(optimized.train.reached(), baseline.train.reached())
+        << GetParam();
+    testing::expectArtifactsBitwiseEqual(optimized, baseline,
+                                         GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Benchmarks, GraphoptDeterminismFull,
+                         ::testing::Values("DC-AI-C1", "DC-AI-C9"));
+
+} // namespace
+} // namespace aib::core

@@ -27,6 +27,8 @@
 #include "dag/nodes.h"
 #include "dag/scenario.h"
 #include "serve/engine.h"
+#include "tensor/arena.h"
+#include "tensor/graphopt_mode.h"
 
 using namespace aib;
 using core::fault::FaultInjected;
@@ -160,6 +162,44 @@ TEST_F(DagFaultTest, ScenarioTaskPropagatesAndRecovers)
     // Self-disarming: the same task serves the same batch again and
     // reproduces the digest bitwise.
     EXPECT_EQ(task.serveBatch(ids), reference);
+}
+
+TEST_F(DagFaultTest, ScenarioFaultMatrixWithGraphOptimizerOn)
+{
+    // Graph-optimizer composition (ASan/TSan): inject the same stage
+    // faults while fused kernels run from arena-backed storage. The
+    // unwind path frees arena blocks mid-pipeline; afterwards the
+    // task must serve again and reproduce the BASELINE digest bitwise
+    // — fusion, arena placement and a recovered fault may not change
+    // a single bit of the result.
+    const dag::ScenarioSpec *spec = dag::findScenarioSpec("SCN-MEDIA");
+    ASSERT_NE(spec, nullptr);
+    const std::vector<int> ids{0, 1, 2, 3};
+
+    double baseline = 0.0;
+    {
+        dag::ScenarioTask task(*spec, /*seed=*/42, /*dagWorkers=*/2);
+        baseline = task.serveBatch(ids);
+    }
+
+    graphopt::ModeGuard guard(graphopt::Mode{true, true});
+    arena::configure(8u << 20);
+    arena::resetStats();
+    arena::setEnabled(true);
+    {
+        dag::ScenarioTask task(*spec, /*seed=*/42, /*dagWorkers=*/2);
+        EXPECT_EQ(task.serveBatch(ids), baseline);
+
+        for (int k = 1; k <= 3; ++k) {
+            core::fault::arm("dag.stage", /*fire_at=*/k);
+            EXPECT_THROW(task.serveBatch(ids), FaultInjected)
+                << "k=" << k;
+            EXPECT_EQ(task.serveBatch(ids), baseline) << "k=" << k;
+        }
+    }
+    arena::setEnabled(false);
+    arena::configure(0);
+    EXPECT_EQ(arena::stats().liveBytes, 0u);
 }
 
 TEST_F(DagFaultTest, ServingSessionDiesCleanlyAndRecovers)

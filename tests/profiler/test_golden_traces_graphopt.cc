@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Golden kernel-trace guard, optimized path: the forward trace of
+ * every registered benchmark with the graph optimizer's kernel fusion
+ * enabled must match its checked-in snapshot under
+ * tests/golden/traces/graphopt/ exactly. A companion negative test
+ * proves the guard has teeth: a fusion-disabled trace must NOT match
+ * the optimized golden, so a silently dropped fusion cannot slip
+ * through. See docs/TESTING.md for the regeneration workflow.
+ */
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/registry.h"
+#include "core/runner.h"
+#include "profiler/snapshot.h"
+#include "tensor/graphopt_mode.h"
+#include "testing/golden_trace_util.h"
+
+namespace {
+
+using aib::graphopt::Mode;
+using aib::graphopt::ModeGuard;
+
+TEST(GoldenTracesGraphopt, OptimizedKernelMixIsStable)
+{
+    // The arena changes no kernels, so fusion alone defines the mix.
+    ModeGuard guard(Mode{true, false});
+    const auto benchmarks = aib::core::allBenchmarks();
+    ASSERT_EQ(benchmarks.size(), 24u);
+    for (const auto *b : benchmarks) {
+        SCOPED_TRACE(b->info.id);
+        aib::testing::expectMatchesGolden(
+            aib::core::traceForwardPass(*b,
+                                        aib::testing::kGoldenSeed),
+            "graphopt", b->info.id);
+    }
+}
+
+TEST(GoldenTracesGraphopt, GuardFailsWhenFusionIsDisabled)
+{
+    const auto *b = aib::core::findBenchmark("DC-AI-C1");
+    ASSERT_NE(b, nullptr);
+
+    const std::string path = std::string(AIB_GOLDEN_DIR) +
+                             "/traces/graphopt/DC-AI-C1.trace";
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good()) << "missing golden '" << path << "'";
+    std::ostringstream text;
+    text << in.rdbuf();
+    const aib::profiler::TraceSnapshot golden =
+        aib::profiler::parseSnapshot(text.str());
+
+    ModeGuard guard(Mode{false, false});
+    const std::string diff = aib::profiler::diffSnapshots(
+        golden, aib::profiler::makeSnapshot(aib::core::traceForwardPass(
+                    *b, aib::testing::kGoldenSeed)));
+    // The unfused trace must be rejected, and precisely because the
+    // fused kernel is absent from it.
+    EXPECT_FALSE(diff.empty());
+    EXPECT_NE(diff.find("fused_elementwise_add_activation_kernel"),
+              std::string::npos)
+        << diff;
+}
+
+} // namespace

@@ -23,6 +23,8 @@
 #include "profiler/trace.h"
 #include "serve/batcher.h"
 #include "serve/engine.h"
+#include "tensor/arena.h"
+#include "tensor/graphopt_mode.h"
 
 using namespace aib;
 
@@ -127,6 +129,36 @@ TEST(ServeConcurrency, EngineUnderCallerSessionRestoresBinding)
         EXPECT_EQ(profiler::activeSession(), &outer);
     }
     EXPECT_EQ(profiler::activeSession(), nullptr);
+}
+
+TEST(ServeConcurrency, EngineWithGraphOptimizerAndTinyArena)
+{
+    // Graph-optimizer composition under the worker pool (TSan/ASan):
+    // fused kernels plus the shared arena allocator must stay
+    // race-free while several engine workers allocate concurrently.
+    // The slab is deliberately far too small for DC-AI-C1, so workers
+    // race through BOTH the slab path and the heap-fallback path, and
+    // cross-thread frees hit blocks another worker placed.
+    graphopt::ModeGuard guard(graphopt::Mode{true, true});
+    arena::configure(64u << 10);
+    arena::resetStats();
+    arena::setEnabled(true);
+
+    const auto *b = core::findBenchmark("DC-AI-C1");
+    ASSERT_NE(b, nullptr);
+    serve::ServingOptions options;
+    options.workers = 4;
+    options.queries = 16;
+    options.policy.maxBatch = 4;
+    const serve::ServingReport report =
+        serve::serveBenchmark(*b, options);
+    EXPECT_EQ(report.completed, 16);
+    // The tiny slab guarantees the fallback path actually ran.
+    EXPECT_GT(arena::stats().heapFallbackAllocs, 0u);
+
+    arena::setEnabled(false);
+    arena::configure(0);
+    EXPECT_EQ(arena::stats().liveBytes, 0u);
 }
 
 TEST(ServeConcurrency, AdmissionQueueMpmcStress)

@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Static arena allocator tests (docs/GRAPHOPT.md): FirstFitLayout
+ * placement-policy units, the process-wide arena front end
+ * (allocate / allocateAt / deallocate / owns / configure / stats,
+ * heap fallback on exhaustion, slab retirement with live blocks),
+ * and TensorAllocator routing under the enable switch.
+ *
+ * Every test leaves the arena unconfigured and disabled, so test
+ * order never matters.
+ */
+
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tensor/arena.h"
+#include "tensor/tensor.h"
+
+namespace aib::arena {
+namespace {
+
+/** RAII: leave the arena disabled and unconfigured. */
+struct ArenaGuard {
+    ~ArenaGuard()
+    {
+        setEnabled(false);
+        configure(0);
+    }
+};
+
+// ---------------------------------------------------------------------------
+// FirstFitLayout: pure placement policy
+// ---------------------------------------------------------------------------
+
+TEST(FirstFitLayout, PlacesSequentiallyAndAligns)
+{
+    FirstFitLayout layout(1024);
+    EXPECT_EQ(layout.reserve(10), 0u);
+    // 10 pads to 64, so the next block starts one alignment unit in.
+    EXPECT_EQ(layout.reserve(100), 64u);
+    EXPECT_EQ(layout.reserve(1), 64u + 128u);
+    EXPECT_EQ(layout.liveBlocks(), 3u);
+    EXPECT_EQ(layout.liveBytes(), 111u);
+    // High water tracks requested (unpadded) block ends.
+    EXPECT_EQ(layout.highWater(), 64u + 128u + 1u);
+}
+
+TEST(FirstFitLayout, ReusesTheLowestFreedGap)
+{
+    FirstFitLayout layout(1024);
+    const std::size_t a = layout.reserve(64);
+    const std::size_t b = layout.reserve(64);
+    const std::size_t c = layout.reserve(64);
+    ASSERT_EQ(a, 0u);
+    ASSERT_EQ(b, 64u);
+    ASSERT_EQ(c, 128u);
+    layout.release(b);
+    // A block that fits the gap lands in it; a larger one goes past
+    // the end.
+    EXPECT_EQ(layout.reserve(64), 64u);
+    EXPECT_EQ(layout.reserve(128), 192u);
+}
+
+TEST(FirstFitLayout, CapacityBoundsPlacement)
+{
+    FirstFitLayout layout(128);
+    EXPECT_EQ(layout.reserve(64), 0u);
+    EXPECT_EQ(layout.reserve(65), FirstFitLayout::npos);
+    EXPECT_EQ(layout.reserve(64), 64u);
+    EXPECT_EQ(layout.reserve(1), FirstFitLayout::npos);
+    layout.release(0);
+    EXPECT_EQ(layout.reserve(30), 0u);
+}
+
+TEST(FirstFitLayout, ReserveAtEnforcesCollisionAndAlignment)
+{
+    FirstFitLayout layout(512);
+    EXPECT_TRUE(layout.reserveAt(64, 64));
+    // Unaligned, colliding and overflowing placements are rejected.
+    EXPECT_FALSE(layout.reserveAt(32, 16));
+    EXPECT_FALSE(layout.reserveAt(64, 16));
+    EXPECT_FALSE(layout.reserveAt(448, 128));
+    // Disjoint aligned placement below an existing block works.
+    EXPECT_TRUE(layout.reserveAt(0, 64));
+    EXPECT_EQ(layout.blockSize(0), 64u);
+    EXPECT_EQ(layout.blockSize(64), 64u);
+    EXPECT_EQ(layout.blockSize(128), FirstFitLayout::npos);
+}
+
+TEST(FirstFitLayout, ZeroByteReservationsOccupyASlot)
+{
+    // bytes==0 becomes 1 so distinct blocks never share an offset.
+    FirstFitLayout layout(256);
+    EXPECT_EQ(layout.reserve(0), 0u);
+    EXPECT_EQ(layout.reserve(0), 64u);
+    EXPECT_EQ(layout.liveBlocks(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Process-wide arena front end
+// ---------------------------------------------------------------------------
+
+TEST(Arena, AllocServedFromSlabAndCounted)
+{
+    ArenaGuard guard;
+    configure(4096);
+    resetStats();
+    setEnabled(true);
+
+    void *p = allocate(100);
+    ASSERT_NE(p, nullptr);
+    EXPECT_TRUE(owns(p));
+    const Stats s = stats();
+    EXPECT_EQ(s.arenaAllocs, 1u);
+    EXPECT_EQ(s.arenaAllocBytes, 100u);
+    EXPECT_EQ(s.heapFallbackAllocs, 0u);
+    EXPECT_EQ(s.liveBytes, 100u);
+    EXPECT_EQ(s.highWaterBytes, 100u);
+
+    // Arena memory is real writable memory.
+    std::memset(p, 0xab, 100);
+    deallocate(p, 100);
+    EXPECT_EQ(stats().liveBytes, 0u);
+    EXPECT_EQ(stats().highWaterBytes, 100u);
+}
+
+TEST(Arena, ExhaustionFallsBackToHeapWithoutFailing)
+{
+    ArenaGuard guard;
+    configure(128);
+    resetStats();
+    setEnabled(true);
+
+    void *a = allocate(128);
+    void *b = allocate(64); // slab full -> heap
+    ASSERT_NE(b, nullptr);
+    EXPECT_TRUE(owns(a));
+    EXPECT_FALSE(owns(b));
+    const Stats s = stats();
+    EXPECT_EQ(s.arenaAllocs, 1u);
+    EXPECT_EQ(s.heapFallbackAllocs, 1u);
+    EXPECT_EQ(s.heapFallbackBytes, 64u);
+    deallocate(a, 128);
+    deallocate(b, 64);
+}
+
+TEST(Arena, RoutedAllocationsFollowTheEnableSwitch)
+{
+    // detail::allocateRouted is the TensorAllocator backend: slab
+    // while enabled, heap while disabled, frees by ownership.
+    ArenaGuard guard;
+    configure(4096);
+    resetStats();
+    setEnabled(true);
+    void *arena_block = detail::allocateRouted(64);
+    ASSERT_TRUE(owns(arena_block));
+
+    setEnabled(false);
+    void *heap_block = detail::allocateRouted(64);
+    EXPECT_FALSE(owns(heap_block));
+    // A disabled routed allocation never touches the arena, so it is
+    // not a counted fallback either.
+    EXPECT_EQ(stats().heapFallbackAllocs, 0u);
+
+    // Frees route by ownership, not by the switch.
+    detail::deallocateRouted(arena_block, 64);
+    detail::deallocateRouted(heap_block, 64);
+    EXPECT_EQ(stats().liveBytes, 0u);
+}
+
+TEST(Arena, AllocateAtEnactsExactOffsets)
+{
+    ArenaGuard guard;
+    configure(1024);
+    resetStats();
+
+    void *a = allocateAt(0, 64);
+    void *b = allocateAt(128, 100);
+    EXPECT_EQ(static_cast<char *>(b) - static_cast<char *>(a), 128);
+    EXPECT_EQ(stats().highWaterBytes, 228u);
+    EXPECT_THROW(allocateAt(128, 8), std::bad_alloc);   // collision
+    EXPECT_THROW(allocateAt(960, 128), std::bad_alloc); // overflow
+    EXPECT_THROW(allocateAt(33, 8), std::bad_alloc);    // unaligned
+    deallocate(a, 64);
+    deallocate(b, 100);
+}
+
+TEST(Arena, ReconfigureRetiresSlabWithLiveBlocks)
+{
+    ArenaGuard guard;
+    configure(1024);
+    resetStats();
+    setEnabled(true);
+    void *old_block = allocate(256);
+    ASSERT_TRUE(owns(old_block));
+    std::memset(old_block, 0x5a, 256);
+
+    // Resizing with a live block must keep that storage valid.
+    configure(2048);
+    EXPECT_TRUE(owns(old_block));
+    for (int i = 0; i < 256; ++i)
+        EXPECT_EQ(static_cast<unsigned char *>(old_block)[i], 0x5a);
+
+    void *new_block = allocate(64);
+    EXPECT_TRUE(owns(new_block));
+    deallocate(old_block, 256);
+    deallocate(new_block, 64);
+}
+
+TEST(Arena, ResetStatsRederivesHighWaterFromLiveLayout)
+{
+    ArenaGuard guard;
+    configure(1024);
+    resetStats();
+    setEnabled(true);
+    void *a = allocate(64);
+    void *b = allocate(64);
+    deallocate(b, 64);
+    EXPECT_EQ(stats().highWaterBytes, 128u);
+    resetStats();
+    // Counters zero; the layout's mark survives while blocks live.
+    EXPECT_EQ(stats().arenaAllocs, 0u);
+    EXPECT_EQ(stats().highWaterBytes, 128u);
+    deallocate(a, 64);
+    resetStats();
+    // Nothing live: the mark finally drops to zero.
+    EXPECT_EQ(stats().highWaterBytes, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// TensorAllocator routing
+// ---------------------------------------------------------------------------
+
+TEST(Arena, TensorStorageRoutesThroughTheSwitch)
+{
+    ArenaGuard guard;
+    configure(1 << 20);
+    resetStats();
+
+    Tensor heap_t = Tensor::zeros({64});
+    EXPECT_FALSE(owns(heap_t.data()));
+
+    setEnabled(true);
+    Tensor arena_t = Tensor::zeros({64});
+    EXPECT_TRUE(owns(arena_t.data()));
+    EXPECT_GE(stats().arenaAllocBytes, 64u * sizeof(float));
+    setEnabled(false);
+
+    // Values are unaffected by placement.
+    for (std::int64_t i = 0; i < 64; ++i)
+        EXPECT_EQ(arena_t.data()[i], 0.0f);
+}
+
+TEST(Arena, ArenaTensorsOutliveDisableAndReconfigure)
+{
+    ArenaGuard guard;
+    configure(1 << 20);
+    resetStats();
+    setEnabled(true);
+    Tensor t = Tensor::fromVector({4}, {1, 2, 3, 4});
+    ASSERT_TRUE(owns(t.data()));
+    setEnabled(false);
+    configure(0); // retire the slab under the live tensor
+    EXPECT_TRUE(owns(t.data()));
+    EXPECT_EQ(t.data()[3], 4.0f);
+    // Destruction after retirement must free cleanly (ASan-checked).
+}
+
+} // namespace
+} // namespace aib::arena

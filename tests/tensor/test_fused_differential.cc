@@ -1,0 +1,303 @@
+/**
+ * @file
+ * Differential checks of the fused graph-optimizer kernels
+ * (ops::fused addAct / normScale / conv2dAct / convTranspose2dAct,
+ * plus the gelu epilogue primitive) against the double-precision
+ * references in testing/refkernels.h.
+ *
+ * Every case runs in BOTH optimizer modes — the fused kernel and the
+ * unfused fallback chain it replaces — under every forced GEMM
+ * backend and global thread counts 1, 2 and 7, over broadcast-heavy
+ * and ragged shapes. ULP budgets (documented in docs/TESTING.md):
+ * algebraic epilogues (Relu/LeakyRelu) ride on the producer's budget;
+ * transcendental epilogues (Sigmoid/Tanh/Gelu) add 64 ULPs for the
+ * float exp/tanh vs the double reference; conv accumulation uses
+ * accumulationBudget(C*K*K) as in the unfused conv sweep.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/thread_pool.h"
+#include "tensor/detail/gemm.h"
+#include "tensor/graphopt_mode.h"
+#include "tensor/ops.h"
+#include "tensor/random.h"
+#include "tensor/tensor.h"
+#include "testing/refkernels.h"
+
+namespace {
+
+using aib::NoGradGuard;
+using aib::Rng;
+using aib::Shape;
+using aib::Tensor;
+using aib::core::ThreadPool;
+using aib::graphopt::Mode;
+using aib::graphopt::ModeGuard;
+using aib::ops::Act;
+using aib::ops::detail::availableGemmBackends;
+using aib::ops::detail::GemmBackend;
+using aib::ops::detail::gemmBackendName;
+using aib::ops::detail::setGemmBackend;
+using namespace aib::testing;
+
+constexpr float kLeakySlope = 0.01f;
+
+/** RAII restore of the forced backend and global pool size. */
+struct DispatchGuard {
+    ~DispatchGuard()
+    {
+        setGemmBackend(GemmBackend::Auto);
+        ThreadPool::setGlobalThreads(0);
+    }
+};
+
+const std::vector<Act> &
+allActs()
+{
+    static const std::vector<Act> acts = {Act::Relu, Act::LeakyRelu,
+                                          Act::Sigmoid, Act::Tanh,
+                                          Act::Gelu};
+    return acts;
+}
+
+const char *
+actName(Act act)
+{
+    switch (act) {
+    case Act::None:
+        return "none";
+    case Act::Relu:
+        return "relu";
+    case Act::LeakyRelu:
+        return "leakyRelu";
+    case Act::Sigmoid:
+        return "sigmoid";
+    case Act::Tanh:
+        return "tanh";
+    case Act::Gelu:
+        return "gelu";
+    }
+    return "?";
+}
+
+/** Extra ULPs a float transcendental epilogue may cost on top of the
+ * producer's budget; zero for the piecewise-linear activations. */
+double
+actUlps(Act act)
+{
+    return (act == Act::Relu || act == Act::LeakyRelu) ? 0.0 : 64.0;
+}
+
+std::string
+modeLabel(bool fused, int threads)
+{
+    return std::string(fused ? "fused" : "fallback") +
+           " threads=" + std::to_string(threads);
+}
+
+TEST(FusedDifferential, AddActBothModesAcrossThreadsAndShapes)
+{
+    NoGradGuard no_grad;
+    DispatchGuard restore;
+    struct Case {
+        Shape a, b;
+    };
+    // Same-shape, conv-bias, row-bias, ragged-prime and two-sided
+    // broadcast patterns.
+    const std::vector<Case> cases = {
+        {{3, 5}, {3, 5}},          {{2, 3, 9, 9}, {3, 1, 1}},
+        {{5, 130}, {130}},         {{1, 1, 257}, {1, 1, 1}},
+        {{31, 1, 7}, {1, 33, 1}},
+    };
+    for (const Case &c : cases) {
+        Rng rng(static_cast<std::uint64_t>(c.a.size() * 131 +
+                                           c.b.size()));
+        const Tensor a = Tensor::rand(c.a, rng, -3.0f, 3.0f);
+        const Tensor b = Tensor::rand(c.b, rng, -3.0f, 3.0f);
+        for (const Act act : allActs()) {
+            const std::vector<double> want =
+                refAddAct(a, b, act, kLeakySlope);
+            // One float add, then the epilogue.
+            UlpBudget budget{4.0 + actUlps(act)};
+            for (const bool fused : {false, true}) {
+                ModeGuard guard(Mode{fused, false});
+                for (const int threads : {1, 2, 7}) {
+                    ThreadPool::setGlobalThreads(threads);
+                    const Tensor got =
+                        aib::ops::fused::addAct(a, b, act, kLeakySlope);
+                    expectUlpClose(got.data(), want, budget,
+                                   (std::string("addAct ") +
+                                    actName(act) + " " +
+                                    modeLabel(fused, threads))
+                                       .c_str());
+                }
+                ThreadPool::setGlobalThreads(0);
+            }
+        }
+    }
+}
+
+TEST(FusedDifferential, NormScaleBothModesAcrossThreadsAndShapes)
+{
+    NoGradGuard no_grad;
+    DispatchGuard restore;
+    struct Case {
+        Shape x, p;
+    };
+    const std::vector<Case> cases = {
+        {{2, 3, 8, 8}, {3, 1, 1}},
+        {{1, 7, 5, 5}, {7, 1, 1}},
+        {{4, 1, 9, 9}, {1, 1, 1}},
+        {{2, 130}, {130}},
+    };
+    for (const Case &c : cases) {
+        Rng rng(static_cast<std::uint64_t>(c.x[0] * 977 + c.p.size()));
+        const Tensor x = Tensor::rand(c.x, rng, -3.0f, 3.0f);
+        const Tensor mean = Tensor::rand(c.p, rng, -1.0f, 1.0f);
+        const Tensor scale = Tensor::rand(c.p, rng, 0.25f, 4.0f);
+        const Tensor gamma = Tensor::rand(c.p, rng, -2.0f, 2.0f);
+        const Tensor beta = Tensor::rand(c.p, rng, -1.0f, 1.0f);
+        const std::vector<double> want =
+            refNormScale(x, mean, scale, gamma, beta);
+        // Four chained float ops: well under the default budget.
+        const UlpBudget budget{16.0};
+        for (const bool fused : {false, true}) {
+            ModeGuard guard(Mode{fused, false});
+            for (const int threads : {1, 2, 7}) {
+                ThreadPool::setGlobalThreads(threads);
+                const Tensor got = aib::ops::fused::normScale(
+                    x, mean, scale, gamma, beta);
+                expectUlpClose(got.data(), want, budget,
+                               (std::string("normScale ") +
+                                modeLabel(fused, threads))
+                                   .c_str());
+            }
+            ThreadPool::setGlobalThreads(0);
+        }
+    }
+}
+
+TEST(FusedDifferential, GeluMatchesDoubleReference)
+{
+    NoGradGuard no_grad;
+    DispatchGuard restore;
+    Rng rng(20260809);
+    for (const Shape &shape :
+         {Shape{1}, Shape{130}, Shape{3, 31, 7}}) {
+        const Tensor x = Tensor::rand(shape, rng, -6.0f, 6.0f);
+        const std::vector<double> want = refGelu(x);
+        for (const int threads : {1, 2, 7}) {
+            ThreadPool::setGlobalThreads(threads);
+            const Tensor got = aib::ops::gelu(x);
+            expectUlpClose(
+                got.data(), want, UlpBudget{64.0},
+                ("gelu threads=" + std::to_string(threads)).c_str());
+        }
+        ThreadPool::setGlobalThreads(0);
+    }
+}
+
+/** conv reference with the activation epilogue applied in double. */
+std::vector<double>
+refConvAct(std::vector<double> conv, Act act)
+{
+    for (double &v : conv)
+        v = refActivation(v, act, kLeakySlope);
+    return conv;
+}
+
+TEST(FusedDifferential, Conv2dActBothModesAcrossBackendsAndThreads)
+{
+    NoGradGuard no_grad;
+    DispatchGuard restore;
+    struct Case {
+        std::int64_t n, c, h, w, f;
+        int kernel, stride, padding;
+    };
+    const std::vector<Case> cases = {
+        {1, 1, 1, 1, 1, 1, 1, 0},
+        {2, 3, 8, 8, 4, 3, 1, 1},
+        {1, 2, 7, 7, 3, 3, 2, 0},
+    };
+    // Gelu is rejected by the conv epilogue (no output-only
+    // derivative), so the sweep covers the other four.
+    const std::vector<Act> conv_acts = {Act::Relu, Act::LeakyRelu,
+                                        Act::Sigmoid, Act::Tanh};
+    for (const Case &cc : cases) {
+        Rng rng(static_cast<std::uint64_t>(cc.c * 31 + cc.kernel));
+        const Tensor x =
+            Tensor::rand({cc.n, cc.c, cc.h, cc.w}, rng, -1.0f, 1.0f);
+        const Tensor w = Tensor::rand(
+            {cc.f, cc.c, cc.kernel, cc.kernel}, rng, -1.0f, 1.0f);
+        const Tensor bias = Tensor::rand({cc.f}, rng, -1.0f, 1.0f);
+        for (const Act act : conv_acts) {
+            const std::vector<double> want = refConvAct(
+                refConv2d(x, w, bias, cc.stride, cc.padding), act);
+            UlpBudget budget =
+                accumulationBudget(cc.c * cc.kernel * cc.kernel);
+            budget.ulps += actUlps(act);
+            for (const bool fused : {false, true}) {
+                ModeGuard guard(Mode{fused, false});
+                for (const GemmBackend backend :
+                     availableGemmBackends()) {
+                    ASSERT_TRUE(setGemmBackend(backend));
+                    for (const int threads : {1, 2, 7}) {
+                        ThreadPool::setGlobalThreads(threads);
+                        const Tensor got = aib::ops::fused::conv2dAct(
+                            x, w, bias, cc.stride, cc.padding, act,
+                            kLeakySlope);
+                        expectUlpClose(
+                            got.data(), want, budget,
+                            (std::string("conv2dAct ") + actName(act) +
+                             " " +
+                             std::string(gemmBackendName(backend)) +
+                             " " + modeLabel(fused, threads))
+                                .c_str());
+                    }
+                    ThreadPool::setGlobalThreads(0);
+                }
+                setGemmBackend(GemmBackend::Auto);
+            }
+        }
+    }
+}
+
+TEST(FusedDifferential, ConvTranspose2dActBothModesAcrossThreads)
+{
+    NoGradGuard no_grad;
+    DispatchGuard restore;
+    Rng rng(20260808);
+    const Tensor x = Tensor::rand({2, 3, 5, 5}, rng, -1.0f, 1.0f);
+    const Tensor w = Tensor::rand({3, 2, 3, 3}, rng, -1.0f, 1.0f);
+    const Tensor bias = Tensor::rand({2}, rng, -1.0f, 1.0f);
+    const int stride = 2, padding = 1;
+    for (const Act act : {Act::Relu, Act::Sigmoid, Act::Tanh}) {
+        std::vector<double> want =
+            refConvTranspose2d(x, w, bias, stride, padding);
+        want = refConvAct(std::move(want), act);
+        // Each output pixel accumulates at most C * K * K taps.
+        UlpBudget budget = accumulationBudget(3 * 3 * 3);
+        budget.ulps += actUlps(act);
+        for (const bool fused : {false, true}) {
+            ModeGuard guard(Mode{fused, false});
+            for (const int threads : {1, 2, 7}) {
+                ThreadPool::setGlobalThreads(threads);
+                const Tensor got = aib::ops::fused::convTranspose2dAct(
+                    x, w, bias, stride, padding, act, kLeakySlope);
+                expectUlpClose(got.data(), want, budget,
+                               (std::string("convTranspose2dAct ") +
+                                actName(act) + " " +
+                                modeLabel(fused, threads))
+                                   .c_str());
+            }
+            ThreadPool::setGlobalThreads(0);
+        }
+    }
+}
+
+} // namespace

@@ -1,0 +1,381 @@
+/**
+ * @file
+ * Fused-kernel equivalence suite (docs/GRAPHOPT.md): every fused
+ * entry point (ops::fused) must produce bitwise-identical results to
+ * the unfused chain it replaces — forward AND backward, every
+ * activation, broadcast and ragged shapes — because the optimizer's
+ * whole-trajectory determinism guarantee rests on it. Also pins the
+ * capture-level contract the fusion pass keys on: the fallback tags
+ * its anchor ops (`fuseact`, `bnchain`) and the fused path captures
+ * the single op the rewrite predicts.
+ */
+
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tensor/graph_capture.h"
+#include "tensor/graphopt_mode.h"
+#include "tensor/ops.h"
+#include "tensor/random.h"
+#include "tensor/tensor.h"
+
+namespace aib {
+namespace {
+
+using graphopt::Mode;
+using graphopt::ModeGuard;
+
+const std::vector<ops::Act> kActs = {
+    ops::Act::Relu, ops::Act::LeakyRelu, ops::Act::Sigmoid,
+    ops::Act::Tanh, ops::Act::Gelu};
+
+void
+expectBitwiseEqual(const Tensor &got, const Tensor &want,
+                   const char *context)
+{
+    ASSERT_EQ(got.shape(), want.shape()) << context;
+    EXPECT_EQ(std::memcmp(got.data(), want.data(),
+                          static_cast<std::size_t>(got.numel()) *
+                              sizeof(float)),
+              0)
+        << context;
+}
+
+/** Fresh pair of broadcastable operands for one sweep case. */
+struct AddCase {
+    Tensor a;
+    Tensor b;
+    const char *label;
+};
+
+std::vector<AddCase>
+addCases()
+{
+    Rng rng(20260809);
+    std::vector<AddCase> cases;
+    cases.push_back({Tensor::randn({3, 5}, rng),
+                     Tensor::randn({3, 5}, rng), "same-shape"});
+    cases.push_back({Tensor::randn({2, 3, 2, 2}, rng),
+                     Tensor::randn({3, 1, 1}, rng), "conv-bias"});
+    cases.push_back({Tensor::randn({4, 7}, rng),
+                     Tensor::randn({7}, rng), "row-bias"});
+    cases.push_back({Tensor::randn({1}, rng), Tensor::randn({1}, rng),
+                     "scalar"});
+    cases.push_back({Tensor::randn({5, 1, 3}, rng),
+                     Tensor::randn({1, 4, 1}, rng), "two-sided"});
+    return cases;
+}
+
+// ---------------------------------------------------------------------------
+// addAct
+// ---------------------------------------------------------------------------
+
+TEST(FusedOps, AddActForwardBitwiseEveryActAndShape)
+{
+    for (const AddCase &c : addCases()) {
+        for (const ops::Act act : kActs) {
+            Tensor unfused, fused;
+            {
+                ModeGuard guard(Mode{false, false});
+                unfused = ops::fused::addAct(c.a, c.b, act);
+            }
+            {
+                ModeGuard guard(Mode{true, false});
+                fused = ops::fused::addAct(c.a, c.b, act);
+            }
+            expectBitwiseEqual(fused, unfused, c.label);
+        }
+    }
+}
+
+TEST(FusedOps, AddActBackwardBitwiseEveryActAndShape)
+{
+    for (const AddCase &c : addCases()) {
+        for (const ops::Act act : kActs) {
+            Tensor ga_unfused, gb_unfused, ga_fused, gb_fused;
+            {
+                ModeGuard guard(Mode{false, false});
+                Tensor a = c.a.clone().setRequiresGrad(true);
+                Tensor b = c.b.clone().setRequiresGrad(true);
+                ops::sum(ops::fused::addAct(a, b, act)).backward();
+                ga_unfused = a.grad();
+                gb_unfused = b.grad();
+            }
+            {
+                ModeGuard guard(Mode{true, false});
+                Tensor a = c.a.clone().setRequiresGrad(true);
+                Tensor b = c.b.clone().setRequiresGrad(true);
+                ops::sum(ops::fused::addAct(a, b, act)).backward();
+                ga_fused = a.grad();
+                gb_fused = b.grad();
+            }
+            expectBitwiseEqual(ga_fused, ga_unfused, c.label);
+            expectBitwiseEqual(gb_fused, gb_unfused, c.label);
+        }
+    }
+}
+
+TEST(FusedOps, AddActNoneDegeneratesToPlainAdd)
+{
+    Rng rng(7);
+    Tensor a = Tensor::randn({4}, rng);
+    Tensor b = Tensor::randn({4}, rng);
+    ModeGuard guard(Mode{true, false});
+    graph::GraphCapture capture;
+    Tensor out = ops::fused::addAct(a, b, ops::Act::None);
+    (void)out;
+    ASSERT_EQ(capture.graph().ops.size(), 1u);
+    EXPECT_EQ(capture.graph().ops[0].name, "add");
+}
+
+TEST(FusedOps, AddActCaptureContractMatchesTheRewriteRule)
+{
+    Rng rng(11);
+    Tensor a = Tensor::randn({2, 3}, rng);
+    Tensor b = Tensor::randn({3}, rng);
+
+    // Fallback: add tagged with the fuseact anchor attr, then the act.
+    {
+        ModeGuard guard(Mode{false, false});
+        graph::GraphCapture capture;
+        (void)ops::fused::addAct(a, b, ops::Act::Sigmoid);
+        const auto &ops_seq = capture.graph().ops;
+        ASSERT_EQ(ops_seq.size(), 2u);
+        EXPECT_EQ(ops_seq[0].name, "add");
+        EXPECT_EQ(ops_seq[0].attr("fuseact", 0),
+                  static_cast<std::int64_t>(ops::Act::Sigmoid));
+        EXPECT_EQ(ops_seq[1].name, "sigmoid");
+    }
+    // Fused: the single op the rewrite predicts, carrying `act`.
+    {
+        ModeGuard guard(Mode{true, false});
+        graph::GraphCapture capture;
+        (void)ops::fused::addAct(a, b, ops::Act::Sigmoid);
+        const auto &ops_seq = capture.graph().ops;
+        ASSERT_EQ(ops_seq.size(), 1u);
+        EXPECT_EQ(ops_seq[0].name, "addAct");
+        EXPECT_EQ(ops_seq[0].attr("act", 0),
+                  static_cast<std::int64_t>(ops::Act::Sigmoid));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// normScale (inference batch-norm chain)
+// ---------------------------------------------------------------------------
+
+TEST(FusedOps, NormScaleForwardBitwiseInference)
+{
+    Rng rng(13);
+    Tensor x = Tensor::randn({2, 3, 4, 4}, rng);
+    Tensor mean = Tensor::randn({3, 1, 1}, rng);
+    Tensor scale = Tensor::rand({3, 1, 1}, rng, 0.5f, 2.0f);
+    Tensor gamma = Tensor::randn({3, 1, 1}, rng);
+    Tensor beta = Tensor::randn({3, 1, 1}, rng);
+
+    NoGradGuard inference;
+    Tensor unfused, fused;
+    {
+        ModeGuard guard(Mode{false, false});
+        unfused = ops::fused::normScale(x, mean, scale, gamma, beta);
+    }
+    {
+        ModeGuard guard(Mode{true, false});
+        fused = ops::fused::normScale(x, mean, scale, gamma, beta);
+    }
+    expectBitwiseEqual(fused, unfused, "normScale");
+}
+
+TEST(FusedOps, NormScaleCaptureContractMatchesTheRewriteRule)
+{
+    Rng rng(17);
+    Tensor x = Tensor::randn({2, 2, 2, 2}, rng);
+    Tensor p = Tensor::randn({2, 1, 1}, rng);
+
+    NoGradGuard inference;
+    {
+        ModeGuard guard(Mode{false, false});
+        graph::GraphCapture capture;
+        (void)ops::fused::normScale(x, p, p, p, p);
+        const auto &ops_seq = capture.graph().ops;
+        ASSERT_EQ(ops_seq.size(), 4u);
+        EXPECT_EQ(ops_seq[0].name, "sub");
+        EXPECT_EQ(ops_seq[0].attr("bnchain", 0), 1);
+        EXPECT_EQ(ops_seq[1].name, "mul");
+        EXPECT_EQ(ops_seq[2].name, "mul");
+        EXPECT_EQ(ops_seq[3].name, "add");
+    }
+    {
+        ModeGuard guard(Mode{true, false});
+        graph::GraphCapture capture;
+        (void)ops::fused::normScale(x, p, p, p, p);
+        ASSERT_EQ(capture.graph().ops.size(), 1u);
+        EXPECT_EQ(capture.graph().ops[0].name, "normScale");
+    }
+}
+
+TEST(FusedOps, NormScaleGradModeStaysUnfusedAndTagsTheGate)
+{
+    Rng rng(19);
+    Tensor x = Tensor::randn({1, 2, 2, 2}, rng).setRequiresGrad(true);
+    Tensor p = Tensor::randn({2, 1, 1}, rng);
+
+    ModeGuard guard(Mode{true, false});
+    graph::GraphCapture capture;
+    Tensor out = ops::fused::normScale(x, p, p, p, p);
+    // Grad mode forces the chain; bnchain == 2 tells the planner the
+    // grad gate (not the mode switch) kept it unfused.
+    ASSERT_EQ(capture.graph().ops.size(), 4u);
+    EXPECT_EQ(capture.graph().ops[0].attr("bnchain", 0), 2);
+
+    // And the chain is differentiable as usual.
+    ops::sum(out).backward();
+    EXPECT_EQ(x.grad().numel(), x.numel());
+}
+
+TEST(FusedOps, NormScaleRejectsNonBroadcastableParameters)
+{
+    Rng rng(23);
+    Tensor x = Tensor::randn({2, 3, 2, 2}, rng);
+    Tensor bad = Tensor::randn({4, 1, 1}, rng);
+    Tensor ok = Tensor::randn({3, 1, 1}, rng);
+    NoGradGuard inference;
+    ModeGuard guard(Mode{true, false});
+    EXPECT_THROW(ops::fused::normScale(x, bad, bad, bad, bad),
+                 std::invalid_argument);
+    EXPECT_THROW(ops::fused::normScale(x, ok, ok, ok,
+                                       ops::reshape(bad, {2, 2, 1})),
+                 std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// conv2dAct / convTranspose2dAct
+// ---------------------------------------------------------------------------
+
+TEST(FusedOps, Conv2dActForwardAndBackwardBitwise)
+{
+    Rng rng(29);
+    const std::vector<ops::Act> conv_acts = {
+        ops::Act::Relu, ops::Act::LeakyRelu, ops::Act::Sigmoid,
+        ops::Act::Tanh};
+    for (const ops::Act act : conv_acts) {
+        Tensor input = Tensor::randn({2, 3, 5, 5}, rng);
+        Tensor weight = Tensor::randn({4, 3, 3, 3}, rng);
+        Tensor bias = Tensor::randn({4}, rng);
+
+        Tensor unfused, fused;
+        Tensor gi_unfused, gw_unfused, gb_unfused;
+        Tensor gi_fused, gw_fused, gb_fused;
+        {
+            ModeGuard guard(Mode{false, false});
+            Tensor i = input.clone().setRequiresGrad(true);
+            Tensor w = weight.clone().setRequiresGrad(true);
+            Tensor b = bias.clone().setRequiresGrad(true);
+            Tensor out = ops::fused::conv2dAct(i, w, b, /*stride=*/2,
+                                               /*padding=*/1, act);
+            unfused = out;
+            ops::sum(out).backward();
+            gi_unfused = i.grad();
+            gw_unfused = w.grad();
+            gb_unfused = b.grad();
+        }
+        {
+            ModeGuard guard(Mode{true, false});
+            Tensor i = input.clone().setRequiresGrad(true);
+            Tensor w = weight.clone().setRequiresGrad(true);
+            Tensor b = bias.clone().setRequiresGrad(true);
+            Tensor out = ops::fused::conv2dAct(i, w, b, /*stride=*/2,
+                                               /*padding=*/1, act);
+            fused = out;
+            ops::sum(out).backward();
+            gi_fused = i.grad();
+            gw_fused = w.grad();
+            gb_fused = b.grad();
+        }
+        expectBitwiseEqual(fused, unfused, "conv2dAct forward");
+        expectBitwiseEqual(gi_fused, gi_unfused, "conv2dAct d/input");
+        expectBitwiseEqual(gw_fused, gw_unfused, "conv2dAct d/weight");
+        expectBitwiseEqual(gb_fused, gb_unfused, "conv2dAct d/bias");
+    }
+}
+
+TEST(FusedOps, ConvTranspose2dActForwardBitwise)
+{
+    Rng rng(31);
+    Tensor input = Tensor::randn({1, 3, 4, 4}, rng);
+    Tensor weight = Tensor::randn({3, 2, 3, 3}, rng);
+    Tensor bias = Tensor::randn({2}, rng);
+    for (const ops::Act act :
+         {ops::Act::Relu, ops::Act::Sigmoid, ops::Act::Tanh}) {
+        Tensor unfused, fused;
+        {
+            ModeGuard guard(Mode{false, false});
+            unfused = ops::fused::convTranspose2dAct(
+                input, weight, bias, /*stride=*/2, /*padding=*/1, act);
+        }
+        {
+            ModeGuard guard(Mode{true, false});
+            fused = ops::fused::convTranspose2dAct(
+                input, weight, bias, /*stride=*/2, /*padding=*/1, act);
+        }
+        expectBitwiseEqual(fused, unfused, "convTranspose2dAct");
+    }
+}
+
+TEST(FusedOps, ConvActRejectsGeluEpilogue)
+{
+    // Gelu has no output-only derivative, so the conv epilogue (which
+    // recomputes activation gradients from the saved output) rejects
+    // it in both modes rather than silently diverging.
+    Rng rng(37);
+    Tensor input = Tensor::randn({1, 2, 4, 4}, rng);
+    Tensor weight = Tensor::randn({2, 2, 3, 3}, rng);
+    Tensor bias = Tensor::randn({2}, rng);
+    {
+        ModeGuard guard(Mode{true, false});
+        EXPECT_THROW(ops::fused::conv2dAct(input, weight, bias, 1, 1,
+                                           ops::Act::Gelu),
+                     std::invalid_argument);
+    }
+    {
+        ModeGuard guard(Mode{false, false});
+        EXPECT_THROW(ops::fused::conv2dAct(input, weight, bias, 1, 1,
+                                           ops::Act::Gelu),
+                     std::invalid_argument);
+    }
+}
+
+TEST(FusedOps, Conv2dActCaptureContractMatchesTheRewriteRule)
+{
+    Rng rng(41);
+    Tensor input = Tensor::randn({1, 2, 4, 4}, rng);
+    Tensor weight = Tensor::randn({2, 2, 3, 3}, rng);
+    Tensor bias = Tensor::randn({2}, rng);
+    {
+        ModeGuard guard(Mode{false, false});
+        graph::GraphCapture capture;
+        (void)ops::fused::conv2dAct(input, weight, bias, 1, 1,
+                                    ops::Act::Relu);
+        const auto &ops_seq = capture.graph().ops;
+        ASSERT_EQ(ops_seq.size(), 2u);
+        EXPECT_EQ(ops_seq[0].name, "conv2d");
+        EXPECT_EQ(ops_seq[0].attr("fuseact", 0),
+                  static_cast<std::int64_t>(ops::Act::Relu));
+        EXPECT_EQ(ops_seq[1].name, "relu");
+    }
+    {
+        ModeGuard guard(Mode{true, false});
+        graph::GraphCapture capture;
+        (void)ops::fused::conv2dAct(input, weight, bias, 1, 1,
+                                    ops::Act::Relu);
+        const auto &ops_seq = capture.graph().ops;
+        ASSERT_EQ(ops_seq.size(), 1u);
+        EXPECT_EQ(ops_seq[0].name, "conv2dAct");
+        EXPECT_EQ(ops_seq[0].attr("act", 0),
+                  static_cast<std::int64_t>(ops::Act::Relu));
+    }
+}
+
+} // namespace
+} // namespace aib

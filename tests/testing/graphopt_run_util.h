@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Shared harness for the graph-optimizer whole-run determinism tests:
+ * run one training session plus one serve batch for a benchmark, in
+ * baseline or optimized (fusion + arena) mode, and compare the
+ * resulting trajectories and digests bitwise.
+ */
+
+#ifndef AIB_TESTS_TESTING_GRAPHOPT_RUN_UTIL_H
+#define AIB_TESTS_TESTING_GRAPHOPT_RUN_UTIL_H
+
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/benchmark.h"
+#include "core/runner.h"
+#include "tensor/arena.h"
+#include "tensor/graphopt_mode.h"
+#include "tensor/random.h"
+
+namespace aib::testing {
+
+/** Deterministic outputs of one train + serve run. */
+struct RunArtifacts {
+    core::TrainResult train;
+    double digest = 0.0;
+};
+
+/**
+ * Train @p benchmark for @p max_epochs (<= 0: the runner default)
+ * and serve one four-query batch from a fresh task, either baseline
+ * or with the graph optimizer fully on (fused kernels + a real 64 MiB
+ * arena). Leaves the global mode and arena as found.
+ */
+inline RunArtifacts
+runTrainAndServe(const core::ComponentBenchmark &benchmark,
+                 std::uint64_t seed, int max_epochs, bool optimized)
+{
+    graphopt::ModeGuard guard(graphopt::Mode{optimized, optimized});
+    if (optimized) {
+        arena::configure(64u << 20);
+        arena::setEnabled(true);
+    }
+    RunArtifacts out;
+    {
+        core::RunOptions options;
+        if (max_epochs > 0)
+            options.maxEpochs = max_epochs;
+        out.train = core::trainToQuality(benchmark, seed, options);
+        seedGlobalRng(seed);
+        auto task = benchmark.makeTask(seed);
+        out.digest = task->serveBatch({0, 1, 2, 3});
+    }
+    if (optimized) {
+        arena::setEnabled(false);
+        arena::configure(0);
+    }
+    return out;
+}
+
+/** Bitwise comparison of every deterministic artifact. */
+inline void
+expectArtifactsBitwiseEqual(const RunArtifacts &got,
+                            const RunArtifacts &want,
+                            const char *context)
+{
+    EXPECT_EQ(got.train.epochsToTarget, want.train.epochsToTarget)
+        << context;
+    ASSERT_EQ(got.train.qualityByEpoch.size(),
+              want.train.qualityByEpoch.size())
+        << context;
+    if (!want.train.qualityByEpoch.empty()) {
+        EXPECT_EQ(std::memcmp(got.train.qualityByEpoch.data(),
+                              want.train.qualityByEpoch.data(),
+                              want.train.qualityByEpoch.size() *
+                                  sizeof(double)),
+                  0)
+            << context << ": per-epoch quality diverged";
+    }
+    EXPECT_EQ(std::memcmp(&got.train.finalQuality,
+                          &want.train.finalQuality, sizeof(double)),
+              0)
+        << context << ": final quality diverged";
+    EXPECT_EQ(std::memcmp(&got.digest, &want.digest, sizeof(double)),
+              0)
+        << context << ": serve digest diverged";
+}
+
+} // namespace aib::testing
+
+#endif // AIB_TESTS_TESTING_GRAPHOPT_RUN_UTIL_H

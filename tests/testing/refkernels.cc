@@ -306,6 +306,135 @@ refMeanDim(const Tensor &a, int dim)
     return out;
 }
 
+namespace {
+
+/**
+ * Element index into @p shape for the right-aligned broadcast of
+ * @p shape into @p out_shape at flat output index @p flat.
+ */
+std::size_t
+broadcastSourceIndex(std::int64_t flat,
+                     const std::vector<std::int64_t> &out_shape,
+                     const std::vector<std::int64_t> &shape)
+{
+    const int nd = static_cast<int>(out_shape.size());
+    const int offset = nd - static_cast<int>(shape.size());
+    std::int64_t index = 0;
+    std::int64_t stride = 1;
+    std::int64_t rem = flat;
+    // Walk dims last-to-first, accumulating the source stride.
+    std::vector<std::int64_t> coords(static_cast<std::size_t>(nd));
+    for (int d = nd - 1; d >= 0; --d) {
+        coords[static_cast<std::size_t>(d)] = rem % out_shape[d];
+        rem /= out_shape[d];
+    }
+    for (int d = nd - 1; d >= offset; --d) {
+        const std::int64_t sd = shape[static_cast<std::size_t>(d - offset)];
+        if (sd != 1)
+            index += coords[static_cast<std::size_t>(d)] * stride;
+        stride *= sd;
+    }
+    return static_cast<std::size_t>(index);
+}
+
+} // namespace
+
+double
+refActivation(double x, ops::Act act, double slope)
+{
+    switch (act) {
+    case ops::Act::None:
+        return x;
+    case ops::Act::Relu:
+        return x > 0.0 ? x : 0.0;
+    case ops::Act::LeakyRelu:
+        return x > 0.0 ? x : slope * x;
+    case ops::Act::Sigmoid:
+        return 1.0 / (1.0 + std::exp(-x));
+    case ops::Act::Tanh:
+        return std::tanh(x);
+    case ops::Act::Gelu: {
+        // Tanh approximation, same constants as the float kernel.
+        const double alpha = 0.7978845608028654;
+        const double beta = 0.044715;
+        return 0.5 * x * (1.0 + std::tanh(alpha * (x + beta * x * x * x)));
+    }
+    }
+    return x;
+}
+
+std::vector<double>
+refGelu(const Tensor &a)
+{
+    const float *px = a.data();
+    std::vector<double> out(static_cast<std::size_t>(a.numel()));
+    for (std::int64_t i = 0; i < a.numel(); ++i)
+        out[static_cast<std::size_t>(i)] = refActivation(
+            static_cast<double>(px[i]), ops::Act::Gelu, 0.0);
+    return out;
+}
+
+std::vector<double>
+refAddAct(const Tensor &a, const Tensor &b, ops::Act act, double slope)
+{
+    // Right-aligned broadcast output shape.
+    const auto &sa = a.shape();
+    const auto &sb = b.shape();
+    const std::size_t nd = std::max(sa.size(), sb.size());
+    std::vector<std::int64_t> out_shape(nd, 1);
+    for (std::size_t i = 0; i < nd; ++i) {
+        const std::int64_t da =
+            i < nd - sa.size() ? 1 : sa[i - (nd - sa.size())];
+        const std::int64_t db =
+            i < nd - sb.size() ? 1 : sb[i - (nd - sb.size())];
+        out_shape[i] = std::max(da, db);
+    }
+    std::int64_t n = 1;
+    for (const std::int64_t d : out_shape)
+        n *= d;
+    const float *pa = a.data();
+    const float *pb = b.data();
+    const std::vector<std::int64_t> va(sa.begin(), sa.end());
+    const std::vector<std::int64_t> vb(sb.begin(), sb.end());
+    std::vector<double> out(static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i) {
+        const double sum =
+            static_cast<double>(
+                pa[broadcastSourceIndex(i, out_shape, va)]) +
+            static_cast<double>(
+                pb[broadcastSourceIndex(i, out_shape, vb)]);
+        out[static_cast<std::size_t>(i)] =
+            refActivation(sum, act, slope);
+    }
+    return out;
+}
+
+std::vector<double>
+refNormScale(const Tensor &x, const Tensor &mean, const Tensor &scale,
+             const Tensor &gamma, const Tensor &beta)
+{
+    const auto &xs = x.shape();
+    const std::vector<std::int64_t> out_shape(xs.begin(), xs.end());
+    const std::vector<std::int64_t> ps(mean.shape().begin(),
+                                       mean.shape().end());
+    const float *px = x.data();
+    const float *pm = mean.data();
+    const float *psc = scale.data();
+    const float *pg = gamma.data();
+    const float *pb = beta.data();
+    std::vector<double> out(static_cast<std::size_t>(x.numel()));
+    for (std::int64_t i = 0; i < x.numel(); ++i) {
+        const std::size_t p = broadcastSourceIndex(i, out_shape, ps);
+        out[static_cast<std::size_t>(i)] =
+            ((static_cast<double>(px[i]) -
+              static_cast<double>(pm[p])) *
+             static_cast<double>(psc[p])) *
+                static_cast<double>(pg[p]) +
+            static_cast<double>(pb[p]);
+    }
+    return out;
+}
+
 std::vector<double>
 refAttention(const Tensor &q, const Tensor &k, const Tensor &v)
 {

@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "tensor/ops.h"
 #include "tensor/tensor.h"
 
 namespace aib::testing {
@@ -110,6 +111,29 @@ std::vector<double> refMeanDim(const Tensor &a, int dim);
  */
 std::vector<double> refAttention(const Tensor &q, const Tensor &k,
                                  const Tensor &v);
+
+/** One activation value (the epilogues the fused kernels apply). */
+double refActivation(double x, ops::Act act, double slope);
+
+/** Tanh-approximation GELU, elementwise (same form as ops::gelu). */
+std::vector<double> refGelu(const Tensor &a);
+
+/**
+ * act(a + b) with right-aligned broadcasting — the reference for
+ * ops::fused::addAct and for the addAct graph-rewrite kernel.
+ */
+std::vector<double> refAddAct(const Tensor &a, const Tensor &b,
+                              ops::Act act, double slope);
+
+/**
+ * ((x - mean) * scale) * gamma + beta with the per-channel parameters
+ * broadcast into @p x — the reference for ops::fused::normScale. All
+ * four parameter tensors share one shape.
+ */
+std::vector<double> refNormScale(const Tensor &x, const Tensor &mean,
+                                 const Tensor &scale,
+                                 const Tensor &gamma,
+                                 const Tensor &beta);
 
 /** @} */
 

@@ -20,6 +20,7 @@
 #include "analysis/characterize.h"
 #include "analysis/graphlint/analyze.h"
 #include "analysis/graphlint/graphlint.h"
+#include "analysis/graphopt/graphopt.h"
 #include "core/checkpoint.h"
 #include "core/cost.h"
 #include "core/faultinject.h"
@@ -34,7 +35,9 @@
 #include "serve/engine.h"
 #include "serve/loadgen.h"
 #include "serve/report.h"
+#include "tensor/arena.h"
 #include "tensor/detail/gemm.h"
+#include "tensor/graphopt_mode.h"
 
 using namespace aib;
 
@@ -107,6 +110,22 @@ positionalArg(int argc, char **argv)
         return argv[i];
     }
     return nullptr;
+}
+
+/**
+ * Honor --graphopt on run commands: turn on kernel fusion and route
+ * tensor storage through a modestly sized arena (heap fallback stays
+ * available, so capacity only affects placement, never correctness).
+ * AIBENCH_GRAPHOPT=... selects the same modes without the flag.
+ */
+void
+applyGraphoptFlag(int argc, char **argv)
+{
+    if (!hasFlag(argc, argv, "--graphopt"))
+        return;
+    aib::graphopt::setMode({true, true});
+    arena::configure(64u << 20);
+    arena::setEnabled(true);
 }
 
 const core::ComponentBenchmark *
@@ -250,6 +269,7 @@ cmdTrain(int argc, char **argv)
     if (argc < 1)
         return usage();
     const auto *b = requireBenchmark(argv[0]);
+    applyGraphoptFlag(argc, argv);
     core::RunOptions options;
     options.maxEpochs =
         static_cast<int>(argValue(argc, argv, "--max-epochs", 40));
@@ -475,9 +495,10 @@ cmdTraceSnapshot(int argc, char **argv)
         return 2;
     }
     const std::string mode = argString(argc, argv, "--mode", "all");
-    if (mode != "forward" && mode != "train" && mode != "all") {
+    if (mode != "forward" && mode != "train" && mode != "graphopt" &&
+        mode != "all") {
         std::fprintf(stderr, "trace-snapshot: bad --mode '%s' (want "
-                             "forward, train or all)\n",
+                             "forward, train, graphopt or all)\n",
                      mode.c_str());
         return 2;
     }
@@ -518,6 +539,13 @@ cmdTraceSnapshot(int argc, char **argv)
         if (mode == "train" || mode == "all")
             write_one("train", *b,
                       core::traceTrainingEpochs(*b, seed, 0, 1));
+        if (mode == "graphopt" || mode == "all") {
+            // Forward kernel mix with the graph optimizer's kernel
+            // fusion enabled (the arena changes no kernels).
+            aib::graphopt::ModeGuard guard({true, false});
+            write_one("graphopt", *b,
+                      core::traceForwardPass(*b, seed));
+        }
     }
     return 0;
 }
@@ -689,6 +717,87 @@ cmdAnalyze(int argc, char **argv)
 }
 
 /**
+ * Run the graph optimizer (element-wise kernel fusion + static arena
+ * memory planning, see docs/GRAPHOPT.md) over one benchmark or
+ * scenario, or everything (--all). Every fusion prediction is
+ * cross-checked op-by-op against a real fused capture, and both arena
+ * gates (enacted plan, runtime first-fit) must hold exactly; exits
+ * non-zero when any optimized target is not clean.
+ */
+int
+cmdOptimize(int argc, char **argv)
+{
+    const bool all = hasFlag(argc, argv, "--all");
+    const bool as_json = hasFlag(argc, argv, "--json");
+    const char *out_path = argString(argc, argv, "--out", nullptr);
+    analysis::graphopt::OptimizeOptions options;
+    options.seed = static_cast<std::uint64_t>(
+        argValue(argc, argv, "--seed", 42));
+    options.reps = std::max(
+        1, static_cast<int>(
+               argValue(argc, argv, "--reps", options.reps)));
+
+    std::vector<const core::ComponentBenchmark *> benchmarks;
+    std::vector<const dag::ScenarioSpec *> scenarios;
+    if (all) {
+        benchmarks = core::allBenchmarks();
+        for (const auto &spec : dag::scenarioSpecs())
+            scenarios.push_back(&spec);
+    } else {
+        const char *id = positionalArg(argc, argv);
+        if (!id) {
+            std::fprintf(stderr,
+                         "optimize: pass a benchmark or scenario id, "
+                         "or --all\n");
+            return 2;
+        }
+        if (const auto *spec = dag::findScenarioSpec(id))
+            scenarios.push_back(spec);
+        else
+            benchmarks.push_back(requireBenchmark(id));
+    }
+
+    std::vector<analysis::graphopt::TargetReport> reports;
+    reports.reserve(benchmarks.size() + scenarios.size());
+    bool all_clean = true;
+    const auto report = [&](analysis::graphopt::TargetReport r) {
+        if (!as_json)
+            std::printf(
+                "%s", analysis::graphopt::reportToText(r).c_str());
+        all_clean = all_clean && r.clean();
+        reports.push_back(std::move(r));
+    };
+    for (const auto *b : benchmarks)
+        report(analysis::graphopt::optimizeBenchmark(*b, options));
+    for (const auto *spec : scenarios)
+        report(analysis::graphopt::optimizeScenario(*spec, options));
+
+    const std::string json =
+        analysis::graphopt::reportsToJson(reports);
+    if (as_json)
+        std::printf("%s\n", json.c_str());
+    if (out_path) {
+        std::FILE *f = std::fopen(out_path, "w");
+        if (!f) {
+            std::fprintf(stderr, "cannot write '%s'\n", out_path);
+            return 1;
+        }
+        std::fwrite(json.data(), 1, json.size(), f);
+        std::fputc('\n', f);
+        std::fclose(f);
+        if (!as_json)
+            std::printf("wrote %s\n", out_path);
+    }
+    if (!as_json)
+        std::printf("%zu/%zu targets clean\n",
+                    static_cast<std::size_t>(std::count_if(
+                        reports.begin(), reports.end(),
+                        [](const auto &r) { return r.clean(); })),
+                    reports.size());
+    return all_clean ? 0 : 1;
+}
+
+/**
  * Online serving sweep: drive one benchmark (positional id), the
  * affordable subset (--subset) or the whole suite (default) through
  * the aib::serve engine and report tail latency, throughput,
@@ -697,6 +806,7 @@ cmdAnalyze(int argc, char **argv)
 int
 cmdServe(int argc, char **argv)
 {
+    applyGraphoptFlag(argc, argv);
     serve::ServingOptions options;
     options.workers =
         static_cast<int>(argValue(argc, argv, "--workers", 3));
@@ -792,6 +902,7 @@ cmdServe(int argc, char **argv)
 int
 cmdScenario(int argc, char **argv)
 {
+    applyGraphoptFlag(argc, argv);
     const char *run_id = argString(argc, argv, "--run", nullptr);
     if (hasFlag(argc, argv, "--list") || !run_id) {
         std::printf("%-20s %-24s %-40s %s\n", "id", "name", "pipeline",
@@ -893,13 +1004,14 @@ constexpr Command kCommands[] = {
     {"serve",
      "[<id> | --subset] [--qps Q | --closed] [--batch N] "
      "[--delay-us D] [--workers N] [--queries N] [--queue-cap N] "
-     "[--concurrency N] [--train-epochs N] [--seed N] [--json] "
-     "[--out FILE]",
+     "[--concurrency N] [--train-epochs N] [--seed N] [--graphopt] "
+     "[--json] [--out FILE]",
      "online serving: dynamic batching, tail latency, throughput",
      cmdServe},
     {"scenario",
      "[--list | --run <id>] [--queries N] [--batch N] [--workers N] "
-     "[--dag-workers N] [--seed N] [--json] [--out FILE]",
+     "[--dag-workers N] [--seed N] [--graphopt] [--json] "
+     "[--out FILE]",
      "end-to-end application pipelines (per-stage latency/FLOPs)",
      cmdScenario},
     {"run", "<id> [--seed N] [--max-epochs N]",
@@ -907,7 +1019,7 @@ constexpr Command kCommands[] = {
     {"train",
      "<id> [--seed N] [--max-epochs N] [--checkpoint-dir DIR] "
      "[--checkpoint-every N] [--checkpoint-retain N] [--resume] "
-     "[--fault point@N[:param]]",
+     "[--fault point@N[:param]] [--graphopt]",
      "fault-tolerant session: checkpoints, resume, fault injection",
      cmdTrain},
     {"characterize", "<id> [--csv]",
@@ -923,6 +1035,11 @@ constexpr Command kCommands[] = {
      "[--all | <id> | SCN-*] [--seed N] [--json] [--out FILE]",
      "IR dataflow: buffer liveness, redundant compute, determinism",
      cmdAnalyze},
+    {"optimize",
+     "[--all | <id> | SCN-*] [--seed N] [--reps N] [--json] "
+     "[--out FILE]",
+     "graph optimizer: kernel fusion + arena plan, proven on runs",
+     cmdOptimize},
     {"subset", "", "the affordable subset and its cost savings",
      cmdSubset},
     {"devices", "", "simulated device catalogue", cmdDevices},
@@ -930,7 +1047,8 @@ constexpr Command kCommands[] = {
      "GEMM GFLOP/s sweep (sizes 64..1024); --out writes JSON",
      cmdGemmBench},
     {"trace-snapshot",
-     "[--mode forward|train|all] [--id ID] [--seed N] --out-dir DIR",
+     "[--mode forward|train|graphopt|all] [--id ID] [--seed N] "
+     "--out-dir DIR",
      "write deterministic kernel-trace snapshots (golden files)",
      cmdTraceSnapshot},
 };
