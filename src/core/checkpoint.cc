@@ -5,9 +5,10 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
-#include <fstream>
+#include <sstream>
 
 #include "core/faultinject.h"
+#include "core/sysio.h"
 #include "nn/detail/stream_io.h"
 #include "nn/lr_schedule.h"
 #include "nn/optim.h"
@@ -308,16 +309,13 @@ writeCheckpointFile(const std::string &path, const std::string &payload)
         bytes[static_cast<std::size_t>(corruptAt) % bytes.size()] ^=
             static_cast<char>(0xFF);
 
+    // EINTR-safe full write through the shared sysio wrappers: a
+    // checkpoint interrupted by a profiling or job-control signal must
+    // not come out short (that is checkpoint.truncate's job).
     const std::string tmp = path + ".tmp";
-    {
-        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-        if (!out)
-            throw CheckpointError("checkpoint: cannot open " + tmp);
-        out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-        out.flush();
-        if (!out)
-            throw CheckpointError("checkpoint: write failed for " + tmp);
-    }
+    std::string io_err;
+    if (!sysio::writeFile(tmp, bytes.data(), bytes.size(), &io_err))
+        throw CheckpointError("checkpoint: " + io_err);
     // Die between temp write and publish: the final name must never
     // see a partial file.
     fault::maybeThrow("checkpoint.abort");
@@ -327,9 +325,14 @@ writeCheckpointFile(const std::string &path, const std::string &payload)
 std::string
 readCheckpointFile(const std::string &path)
 {
-    std::ifstream in(path, std::ios::binary);
-    if (!in)
-        throw CheckpointError("checkpoint: cannot open " + path);
+    // Slurp the container through the EINTR-safe reader, then parse
+    // from memory: header fields and payload see one consistent byte
+    // sequence even when signals interrupt the reads.
+    std::string bytes;
+    std::string io_err;
+    if (!sysio::readFile(path, &bytes, &io_err))
+        throw CheckpointError("checkpoint: " + io_err);
+    std::istringstream in(bytes);
     char magic[8] = {};
     in.read(magic, sizeof(magic));
     if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)

@@ -24,6 +24,8 @@
  *                         and the atomic rename
  *   dag.stage           - scenario DAG executor: before each stage
  *                         runs (throws; kills a pipeline mid-stage)
+ *   net.conn            - netserve: per decoded Query frame (throws;
+ *                         kills exactly that client connection)
  */
 
 #ifndef AIB_CORE_FAULTINJECT_H

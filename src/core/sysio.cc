@@ -1,0 +1,146 @@
+#include "core/sysio.h"
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <mutex>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace aib::core::sysio {
+
+void
+ignoreSigpipe()
+{
+    static std::once_flag once;
+    std::call_once(once, [] {
+        struct sigaction current {};
+        if (::sigaction(SIGPIPE, nullptr, &current) == 0 &&
+            current.sa_handler != SIG_DFL)
+            return; // somebody installed a real handler; keep it
+        struct sigaction ignore {};
+        ignore.sa_handler = SIG_IGN;
+        ::sigaction(SIGPIPE, &ignore, nullptr);
+    });
+}
+
+IoResult
+readFull(int fd, void *buf, std::size_t size, std::size_t *got)
+{
+    auto *p = static_cast<unsigned char *>(buf);
+    std::size_t done = 0;
+    while (done < size) {
+        const ssize_t n = ::read(fd, p + done, size - done);
+        if (n > 0) {
+            done += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n == 0) {
+            if (got)
+                *got = done;
+            return IoResult::Eof;
+        }
+        if (errno == EINTR)
+            continue;
+        if (got)
+            *got = done;
+        return IoResult::Error;
+    }
+    if (got)
+        *got = done;
+    return IoResult::Ok;
+}
+
+IoResult
+writeFull(int fd, const void *buf, std::size_t size)
+{
+    const auto *p = static_cast<const unsigned char *>(buf);
+    std::size_t done = 0;
+    while (done < size) {
+        const ssize_t n = ::write(fd, p + done, size - done);
+        if (n >= 0) {
+            done += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (errno == EINTR)
+            continue;
+        return IoResult::Error;
+    }
+    return IoResult::Ok;
+}
+
+namespace {
+
+std::string
+errnoReason(const std::string &what, const std::string &path)
+{
+    return what + " '" + path + "': " + std::strerror(errno);
+}
+
+} // namespace
+
+bool
+readFile(const std::string &path, std::string *out, std::string *err)
+{
+    int fd;
+    do {
+        fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    } while (fd < 0 && errno == EINTR);
+    if (fd < 0) {
+        if (err)
+            *err = errnoReason("cannot open", path);
+        return false;
+    }
+    out->clear();
+    char buf[1 << 16];
+    for (;;) {
+        const ssize_t n = ::read(fd, buf, sizeof(buf));
+        if (n > 0) {
+            out->append(buf, static_cast<std::size_t>(n));
+            continue;
+        }
+        if (n == 0)
+            break;
+        if (errno == EINTR)
+            continue;
+        if (err)
+            *err = errnoReason("read failed for", path);
+        ::close(fd);
+        return false;
+    }
+    ::close(fd);
+    return true;
+}
+
+bool
+writeFile(const std::string &path, const void *data, std::size_t size,
+          std::string *err)
+{
+    int fd;
+    do {
+        fd = ::open(path.c_str(),
+                    O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    } while (fd < 0 && errno == EINTR);
+    if (fd < 0) {
+        if (err)
+            *err = errnoReason("cannot open", path);
+        return false;
+    }
+    if (writeFull(fd, data, size) != IoResult::Ok) {
+        if (err)
+            *err = errnoReason("write failed for", path);
+        ::close(fd);
+        return false;
+    }
+    // close() is deliberately not retried on EINTR: POSIX leaves the
+    // descriptor state unspecified and Linux always releases it.
+    if (::close(fd) != 0 && errno != EINTR) {
+        if (err)
+            *err = errnoReason("close failed for", path);
+        return false;
+    }
+    return true;
+}
+
+} // namespace aib::core::sysio

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Interruption-safe POSIX IO primitives, installed once for the whole
+ * process.
+ *
+ * Every subsystem that talks to a file descriptor — the checkpoint
+ * container, the network serving stack, report writers — faces the
+ * same three POSIX sharp edges:
+ *
+ *  - @c EINTR: any slow read/write may return early when a signal is
+ *    delivered; a correct caller retries, and a short read across a
+ *    syscall boundary is normal on sockets and pipes even without
+ *    signals.
+ *  - @c SIGPIPE: writing to a peer-closed socket or pipe kills the
+ *    process by default; a server that sheds a dead connection wants
+ *    the @c EPIPE errno instead.
+ *  - partial transfer: read()/write() may move fewer bytes than
+ *    asked, so every framed protocol needs a loop.
+ *
+ * The wrappers here centralize those loops so they are written (and
+ * annotated, and tested) exactly once. docs/NETSERVE.md describes how
+ * the network stack layers frames on top of them.
+ */
+
+#ifndef AIB_CORE_SYSIO_H
+#define AIB_CORE_SYSIO_H
+
+#include <cstddef>
+#include <string>
+
+namespace aib::core::sysio {
+
+/**
+ * Ignore SIGPIPE process-wide (idempotent, thread-safe). Call before
+ * writing to sockets or pipes whose peer may vanish: writes then fail
+ * with @c EPIPE instead of killing the process. Never overrides a
+ * handler the embedding application installed itself.
+ */
+void ignoreSigpipe();
+
+/** Outcome of a full-buffer transfer. */
+enum class IoResult {
+    Ok,    ///< every requested byte moved
+    Eof,   ///< peer closed before the buffer was filled (reads only)
+    Error, ///< a syscall failed; errno identifies the cause
+};
+
+/**
+ * Read exactly @p size bytes into @p buf, retrying on EINTR and on
+ * short reads. Returns @c Ok when the buffer is full, @c Eof on
+ * end-of-stream (with @p *got holding the bytes read so far when
+ * non-null), @c Error on a syscall failure.
+ */
+IoResult readFull(int fd, void *buf, std::size_t size,
+                  std::size_t *got = nullptr);
+
+/**
+ * Write exactly @p size bytes from @p buf, retrying on EINTR and on
+ * short writes. Returns @c Ok or @c Error (a write past a closed peer
+ * reports @c Error with errno == EPIPE once @c ignoreSigpipe ran).
+ */
+IoResult writeFull(int fd, const void *buf, std::size_t size);
+
+/**
+ * Read the whole file at @p path into @p out (replacing its
+ * contents). Returns false with a human-readable reason in @p err
+ * (when non-null) on any failure. EINTR-safe; no size limit beyond
+ * memory.
+ */
+bool readFile(const std::string &path, std::string *out,
+              std::string *err = nullptr);
+
+/**
+ * Create/truncate @p path and write @p size bytes to it, EINTR-safe.
+ * Returns false with a reason in @p err (when non-null) on failure;
+ * the file may then exist with partial contents — callers needing
+ * atomicity write a temp name and rename, as the checkpoint container
+ * does.
+ */
+bool writeFile(const std::string &path, const void *data,
+               std::size_t size, std::string *err = nullptr);
+
+} // namespace aib::core::sysio
+
+#endif // AIB_CORE_SYSIO_H

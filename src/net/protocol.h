@@ -1,0 +1,204 @@
+/**
+ * @file
+ * The aib.net/1 wire protocol: the compact binary framing the
+ * network serving path speaks (docs/NETSERVE.md).
+ *
+ * Redis-style benchmarking across a real socket needs a protocol
+ * cheap enough that encoding never becomes the bottleneck the
+ * client-side saturation check guards against: every frame is a
+ * fixed 10-byte header (magic, version, frame type, payload length)
+ * followed by a little-endian payload packed with @c core::bytes.
+ * Queries carry only a request id and an exemplar index — the
+ * payload proper is synthesized server-side as a pure function of
+ * the exemplar index, exactly like the in-process serving path, so
+ * the wire stays narrow and the digest contract is unchanged.
+ *
+ * Message flow on one connection:
+ *
+ *   client                          server
+ *     Hello(config fingerprint) ->
+ *                                <- HelloAck | Error(ConfigMismatch)
+ *     Query(requestId, exemplar) ->            (repeated, pipelined)
+ *                                <- Reply(requestId, digest, ...)
+ *                                <- Error(Shed | Draining | ...)
+ *     Bye(sent)                 ->
+ *                                <- ByeAck(served, shed)
+ *
+ * Errors are typed (@c StatusCode), request-scoped when they carry a
+ * request id and connection-fatal otherwise. @c FrameParser is the
+ * incremental decoder: it consumes bytes in whatever chunks the
+ * kernel delivers them and yields complete frames, turning torn
+ * headers, bad magic and oversized lengths into clean parse errors
+ * instead of desynchronized streams.
+ */
+
+#ifndef AIB_NET_PROTOCOL_H
+#define AIB_NET_PROTOCOL_H
+
+#include <cstdint>
+#include <string>
+
+namespace aib::net {
+
+/** "AIBN", little-endian, first on the wire. */
+constexpr std::uint32_t kNetMagic = 0x4E424941u;
+constexpr std::uint8_t kNetVersion = 1;
+/** Header: magic u32 + version u8 + type u8 + payload length u32. */
+constexpr std::size_t kHeaderSize = 10;
+/** Frames advertising a larger payload are a protocol error. */
+constexpr std::uint32_t kMaxPayload = 1u << 20;
+
+enum class FrameType : std::uint8_t {
+    Hello = 1,
+    HelloAck = 2,
+    Query = 3,
+    Reply = 4,
+    Error = 5,
+    Bye = 6,
+    ByeAck = 7,
+};
+
+/** True when @p t is a defined frame type. */
+bool knownFrameType(std::uint8_t t);
+
+/** Typed error statuses carried by Error frames. */
+enum class StatusCode : std::uint16_t {
+    Ok = 0,
+    BadFrame = 1,        ///< malformed payload for the frame type
+    UnknownBenchmark = 2,///< server does not host that benchmark
+    ConfigMismatch = 3,  ///< Hello fingerprint != server config
+    Shed = 4,            ///< admission queue full (dynamic mode)
+    Draining = 5,        ///< server is draining; no new queries
+    UnknownId = 6,       ///< planned mode: id outside the plan
+    Internal = 7,        ///< unexpected server-side failure
+};
+
+/** Printable status name (for logs and reports). */
+const char *statusName(StatusCode code);
+
+/** One decoded frame: type plus raw payload bytes. */
+struct Frame {
+    FrameType type = FrameType::Error;
+    std::string payload;
+};
+
+/**
+ * Connection-config fingerprint. The server compares every field
+ * against its own configuration: in planned mode both sides must
+ * derive the same batch plan from (seed, qps, queries, policy), so a
+ * mismatch is detected at handshake instead of as a digest
+ * divergence at the end of the run.
+ */
+struct HelloMsg {
+    std::string benchmarkId;
+    std::uint64_t seed = 0;
+    std::uint32_t queries = 0;   ///< M, the whole run's query count
+    double qps = 0.0;            ///< compared as IEEE-754 bits
+    std::uint32_t maxBatch = 0;
+    std::uint64_t maxDelayUs = 0;
+    std::uint8_t batching = 0;   ///< 0 dynamic, 1 planned
+};
+
+struct HelloAckMsg {
+    std::string benchmarkId;
+    std::uint64_t seed = 0;
+    std::uint32_t workers = 0;
+    std::uint8_t batching = 0;
+};
+
+struct QueryMsg {
+    /** Client correlation id, echoed in the Reply. Must be non-zero:
+     *  requestId 0 in an Error frame means connection-fatal, so
+     *  netbench sends exemplar + 1. */
+    std::uint64_t requestId = 0;
+    std::uint32_t exemplar = 0;  ///< payload seed / exemplar index
+};
+
+struct ReplyMsg {
+    std::uint64_t requestId = 0;
+    std::uint32_t exemplar = 0;
+    double batchDigest = 0.0;
+    std::uint32_t batchSize = 0;
+    /** 1-based planned batch index; 0 in dynamic mode. */
+    std::uint64_t batchIndexPlus1 = 0;
+    double serverLatencyUs = 0.0;
+};
+
+struct ErrorMsg {
+    StatusCode status = StatusCode::Internal;
+    /** Request the error is scoped to; 0 = connection-fatal. */
+    std::uint64_t requestId = 0;
+    std::string message;
+};
+
+struct ByeMsg {
+    std::uint64_t sent = 0; ///< queries the client sent on this conn
+};
+
+struct ByeAckMsg {
+    std::uint64_t served = 0; ///< replies the server sent back
+    std::uint64_t shed = 0;   ///< request-scoped errors sent back
+};
+
+// ---- encoding: message -> complete frame (header + payload) ----
+
+std::string encodeHello(const HelloMsg &m);
+std::string encodeHelloAck(const HelloAckMsg &m);
+std::string encodeQuery(const QueryMsg &m);
+std::string encodeReply(const ReplyMsg &m);
+std::string encodeError(const ErrorMsg &m);
+std::string encodeBye(const ByeMsg &m);
+std::string encodeByeAck(const ByeAckMsg &m);
+
+/** Wrap an already-encoded payload in a frame header. */
+std::string encodeFrame(FrameType type, const std::string &payload);
+
+// ---- decoding: frame payload -> message (false = malformed) ----
+
+bool decodeHello(const std::string &payload, HelloMsg *out);
+bool decodeHelloAck(const std::string &payload, HelloAckMsg *out);
+bool decodeQuery(const std::string &payload, QueryMsg *out);
+bool decodeReply(const std::string &payload, ReplyMsg *out);
+bool decodeError(const std::string &payload, ErrorMsg *out);
+bool decodeBye(const std::string &payload, ByeMsg *out);
+bool decodeByeAck(const std::string &payload, ByeAckMsg *out);
+
+/**
+ * Incremental frame decoder. Feed it bytes as they arrive — in any
+ * chunking, down to one byte at a time — and pull complete frames.
+ * The first malformed header (bad magic, unknown version or type,
+ * payload length above @c kMaxPayload) poisons the parser: a
+ * desynchronized binary stream cannot be resynchronized, so every
+ * later @c next returns @c Corrupt with a stable reason.
+ */
+class FrameParser
+{
+  public:
+    enum class Result {
+        Frame,    ///< *out holds the next complete frame
+        NeedMore, ///< no complete frame buffered yet
+        Corrupt,  ///< stream is poisoned; see error()
+    };
+
+    /** Append @p n raw bytes from the wire. */
+    void feed(const void *data, std::size_t n);
+
+    /** Extract the next complete frame, if any. */
+    Result next(Frame *out);
+
+    /** Parse-error reason once Corrupt. */
+    const std::string &error() const { return error_; }
+
+    /** Bytes buffered but not yet consumed as frames. */
+    std::size_t buffered() const { return buf_.size() - pos_; }
+
+  private:
+    std::string buf_;
+    std::size_t pos_ = 0;
+    bool corrupt_ = false;
+    std::string error_;
+};
+
+} // namespace aib::net
+
+#endif // AIB_NET_PROTOCOL_H

@@ -1,0 +1,369 @@
+#include "serve/endpoint.h"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "core/thread_pool.h"
+#include "tensor/random.h"
+
+namespace aib::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+microsSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double, std::micro>(Clock::now() - t0)
+        .count();
+}
+
+} // namespace
+
+std::unique_ptr<core::TrainableTask>
+buildReplica(const core::ComponentBenchmark &benchmark,
+             std::uint64_t seed, int trainEpochs, int warmupQueries)
+{
+    seedGlobalRng(seed);
+    std::unique_ptr<core::TrainableTask> task = benchmark.makeTask(seed);
+    for (int e = 0; e < trainEpochs; ++e)
+        task->runEpoch();
+    for (int q = 0; q < warmupQueries; ++q)
+        task->forwardOnce();
+    return task;
+}
+
+/** Private serving state of one worker; never shared across workers. */
+struct ServingEndpoint::WorkerState {
+    std::unique_ptr<core::TrainableTask> task;
+    LatencyHistogram latency;
+    std::vector<std::uint64_t> batchSizeCounts;
+    std::uint64_t served = 0;
+    std::uint64_t batches = 0;
+    /** Dynamic mode: digest fold in this worker's dispatch order. */
+    double digestFold = 0.0;
+    /** Planned mode: slot bi belongs to the worker executing batch
+     *  bi; distinct slots, so no synchronization is needed. */
+    std::vector<double> *plannedDigests = nullptr;
+    std::vector<unsigned char> *plannedRan = nullptr;
+};
+
+struct ServingEndpoint::PlannedBatch {
+    std::vector<Request> arrived;
+    int expected = 0;
+    bool enqueued = false; ///< pushed to ready_ (complete or flushed)
+};
+
+ServingEndpoint::ServingEndpoint(
+    const core::ComponentBenchmark &benchmark, EndpointOptions options,
+    EndpointCallback onComplete)
+    : benchmark_(benchmark), options_(std::move(options)),
+      onComplete_(std::move(onComplete))
+{
+    if (options_.workers < 1)
+        throw std::invalid_argument("endpoint: workers must be >= 1");
+    if (options_.policy.maxBatch < 1)
+        throw std::invalid_argument("endpoint: maxBatch must be >= 1");
+    if (options_.batching == BatchingMode::Planned) {
+        if (options_.plan.empty())
+            throw std::invalid_argument(
+                "endpoint: planned batching needs a non-empty plan");
+        pending_.resize(options_.plan.size());
+        std::unordered_map<int, int> seen;
+        for (std::size_t b = 0; b < options_.plan.size(); ++b) {
+            if (options_.plan[b].ids.empty())
+                throw std::invalid_argument(
+                    "endpoint: plan contains an empty batch");
+            pending_[b].expected =
+                static_cast<int>(options_.plan[b].ids.size());
+            for (const int id : options_.plan[b].ids)
+                if (!seen.emplace(id, static_cast<int>(b)).second)
+                    throw std::invalid_argument(
+                        "endpoint: plan repeats id " +
+                        std::to_string(id));
+        }
+    } else {
+        queue_ = std::make_unique<AdmissionQueue>(
+            options_.queueCapacity);
+    }
+
+    int maxSize = options_.policy.maxBatch;
+    for (const BatchPlan &p : options_.plan)
+        maxSize = std::max(maxSize, static_cast<int>(p.ids.size()));
+    batchSizeCounts_.assign(static_cast<std::size_t>(maxSize), 0);
+
+    const int workers = options_.workers;
+    plannedDigestSlots_.assign(options_.plan.size(), 0.0);
+    plannedRanSlots_.assign(options_.plan.size(), 0);
+    workers_.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) {
+        auto state = std::make_unique<WorkerState>();
+        // Replicas are built sequentially here: constructors and
+        // runEpoch draw from the process-global RNG.
+        state->task = buildReplica(benchmark_, options_.seed,
+                                   options_.trainEpochs,
+                                   options_.warmupQueries);
+        state->batchSizeCounts.assign(
+            static_cast<std::size_t>(maxSize), 0);
+        state->plannedDigests = &plannedDigestSlots_;
+        state->plannedRan = &plannedRanSlots_;
+        workers_.push_back(std::move(state));
+    }
+
+    // The worker loops run as chunks of one parallel region on a
+    // dedicated pool (engine-style): every tensor op inside a loop
+    // executes inline on its worker, giving inter-query parallelism
+    // without oversubscribing the global tensor pool.
+    coordinator_ = std::thread([this, workers] {
+        try {
+            core::ThreadPool pool(workers);
+            pool.parallelForChunked(
+                0, workers, 1,
+                [this](int chunk, std::int64_t, std::int64_t) {
+                    try {
+                        workerLoop(*workers_[static_cast<std::size_t>(
+                            chunk)]);
+                    } catch (...) {
+                        // Unblock peers before propagating.
+                        if (queue_)
+                            queue_->close();
+                        {
+                            core::MutexLock lock(mutex_);
+                            closed_ = true;
+                        }
+                        readyCv_.notify_all();
+                        throw;
+                    }
+                });
+        } catch (...) {
+            workerError_ = std::current_exception();
+        }
+    });
+}
+
+ServingEndpoint::~ServingEndpoint()
+{
+    try {
+        drain();
+    } catch (...) {
+        // Destructor swallows what drain() would have reported.
+    }
+}
+
+SubmitResult
+ServingEndpoint::submit(const Request &request)
+{
+    if (options_.batching == BatchingMode::Dynamic) {
+        {
+            core::MutexLock lock(mutex_);
+            if (closed_)
+                return SubmitResult::Closed;
+        }
+        return queue_->push(request) ? SubmitResult::Accepted
+                                     : SubmitResult::Shed;
+    }
+
+    int readyIndex = -1;
+    {
+        core::MutexLock lock(mutex_);
+        if (closed_)
+            return SubmitResult::Closed;
+        int batch = -1;
+        int slot = -1;
+        for (std::size_t b = 0;
+             b < options_.plan.size() && batch < 0; ++b) {
+            const auto &ids = options_.plan[b].ids;
+            for (std::size_t k = 0; k < ids.size(); ++k) {
+                if (ids[k] == request.id) {
+                    batch = static_cast<int>(b);
+                    slot = static_cast<int>(k);
+                    break;
+                }
+            }
+        }
+        (void)slot;
+        if (batch < 0) {
+            plannedRejected_ += 1;
+            return SubmitResult::UnknownId;
+        }
+        PlannedBatch &p = pending_[static_cast<std::size_t>(batch)];
+        for (const Request &r : p.arrived)
+            if (r.id == request.id) {
+                plannedRejected_ += 1;
+                return SubmitResult::UnknownId; // duplicate
+            }
+        if (p.enqueued) {
+            plannedRejected_ += 1;
+            return SubmitResult::Closed; // batch already flushed
+        }
+        p.arrived.push_back(request);
+        if (static_cast<int>(p.arrived.size()) == p.expected) {
+            p.enqueued = true;
+            ready_.push_back(batch);
+            readyIndex = batch;
+        }
+    }
+    if (readyIndex >= 0)
+        readyCv_.notify_one();
+    return SubmitResult::Accepted;
+}
+
+bool
+ServingEndpoint::nextPlannedBatch(int *batchIndex,
+                                  std::vector<Request> *members)
+{
+    core::MutexLock lock(mutex_);
+    while (!closed_ && ready_.empty())
+        readyCv_.wait(lock.native());
+    if (ready_.empty())
+        return false; // closed and drained
+    const int bi = ready_.front();
+    ready_.pop_front();
+    PlannedBatch &p = pending_[static_cast<std::size_t>(bi)];
+    *batchIndex = bi;
+    *members = std::move(p.arrived);
+    p.arrived.clear();
+    return true;
+}
+
+void
+ServingEndpoint::workerLoop(WorkerState &w)
+{
+    if (options_.batching == BatchingMode::Dynamic) {
+        std::vector<Request> batch;
+        std::vector<int> ids;
+        while (queue_->popBatch(options_.policy, &batch)) {
+            ids.clear();
+            for (const Request &r : batch)
+                ids.push_back(r.id);
+            const double digest = w.task->serveBatch(ids);
+            w.digestFold += digest;
+            w.batchSizeCounts[batch.size() - 1] += 1;
+            w.batches += 1;
+            for (const Request &r : batch) {
+                const double lat = microsSince(r.enqueue);
+                w.latency.record(lat);
+                w.served += 1;
+                if (onComplete_)
+                    onComplete_({r.id, digest, -1,
+                                 static_cast<int>(batch.size()),
+                                 lat});
+            }
+        }
+        return;
+    }
+
+    int bi = -1;
+    std::vector<Request> members;
+    std::vector<int> ids;
+    while (nextPlannedBatch(&bi, &members)) {
+        const auto &planned =
+            options_.plan[static_cast<std::size_t>(bi)].ids;
+        if (members.size() == planned.size()) {
+            // Complete batch: execute the exact planned composition,
+            // in plan order — the replay-digest contract.
+            ids = planned;
+        } else {
+            // Drain-flushed partial batch: the arrived subset, in
+            // plan order (deterministic given who arrived).
+            ids.clear();
+            for (const int id : planned)
+                for (const Request &r : members)
+                    if (r.id == id) {
+                        ids.push_back(id);
+                        break;
+                    }
+        }
+        const double digest = w.task->serveBatch(ids);
+        (*w.plannedDigests)[static_cast<std::size_t>(bi)] = digest;
+        (*w.plannedRan)[static_cast<std::size_t>(bi)] = 1;
+        w.batchSizeCounts[ids.size() - 1] += 1;
+        w.batches += 1;
+        for (const Request &r : members) {
+            const double lat = microsSince(r.enqueue);
+            w.latency.record(lat);
+            w.served += 1;
+            if (onComplete_)
+                onComplete_({r.id, digest, bi,
+                             static_cast<int>(ids.size()), lat});
+        }
+    }
+}
+
+void
+ServingEndpoint::finish()
+{
+    for (const auto &w : workers_) {
+        latency_.merge(w->latency);
+        for (std::size_t s = 0; s < w->batchSizeCounts.size(); ++s)
+            batchSizeCounts_[s] += w->batchSizeCounts[s];
+        completed_ += w->served;
+        batchesServed_ += w->batches;
+    }
+    if (options_.batching == BatchingMode::Planned) {
+        // Batch-index-order fold, regardless of execution order.
+        sessionDigest_ = 0.0;
+        for (std::size_t b = 0; b < plannedDigestSlots_.size(); ++b)
+            if (plannedRanSlots_[b])
+                sessionDigest_ += plannedDigestSlots_[b];
+    } else {
+        for (const auto &w : workers_)
+            sessionDigest_ += w->digestFold;
+    }
+}
+
+void
+ServingEndpoint::drain()
+{
+    if (drained_)
+        return;
+    if (options_.batching == BatchingMode::Dynamic) {
+        {
+            core::MutexLock lock(mutex_);
+            closed_ = true;
+        }
+        queue_->close();
+    } else {
+        {
+            core::MutexLock lock(mutex_);
+            closed_ = true;
+            // Flush partially-arrived batches: a connection that died
+            // mid-trace must not wedge the drain. Empty batches are
+            // simply skipped.
+            for (std::size_t b = 0; b < pending_.size(); ++b) {
+                PlannedBatch &p = pending_[b];
+                if (!p.enqueued && !p.arrived.empty()) {
+                    p.enqueued = true;
+                    ready_.push_back(static_cast<int>(b));
+                }
+            }
+        }
+        readyCv_.notify_all();
+    }
+    if (coordinator_.joinable())
+        coordinator_.join();
+    finish();
+    drained_ = true;
+    if (workerError_)
+        std::rethrow_exception(workerError_);
+}
+
+std::uint64_t
+ServingEndpoint::rejected() const
+{
+    if (queue_)
+        return queue_->rejected();
+    core::MutexLock lock(mutex_);
+    return plannedRejected_;
+}
+
+int
+ServingEndpoint::peakQueueDepth() const
+{
+    return queue_ ? queue_->peakDepth() : 0;
+}
+
+} // namespace aib::serve

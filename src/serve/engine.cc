@@ -10,6 +10,7 @@
 #include "core/thread_pool.h"
 #include "gpusim/kernel_model.h"
 #include "profiler/trace.h"
+#include "serve/endpoint.h"
 #include "serve/loadgen.h"
 #include "tensor/random.h"
 
@@ -59,12 +60,9 @@ buildWorkers(const core::ComponentBenchmark &benchmark,
 {
     std::vector<WorkerState> state(static_cast<std::size_t>(workers));
     for (WorkerState &w : state) {
-        seedGlobalRng(options.seed);
-        w.task = benchmark.makeTask(options.seed);
-        for (int e = 0; e < options.trainEpochs; ++e)
-            w.task->runEpoch();
-        for (int q = 0; q < options.warmupQueries; ++q)
-            w.task->forwardOnce();
+        w.task = buildReplica(benchmark, options.seed,
+                              options.trainEpochs,
+                              options.warmupQueries);
         w.batchSizeCounts.assign(
             static_cast<std::size_t>(options.policy.maxBatch), 0);
     }

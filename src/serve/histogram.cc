@@ -3,7 +3,17 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/bytes.h"
+
 namespace aib::serve {
+
+namespace {
+
+/** "AIBH" + format version; bumping the version breaks decoding. */
+constexpr std::uint32_t kHistMagic = 0x48424941u;
+constexpr std::uint16_t kHistVersion = 1;
+
+} // namespace
 
 LatencyHistogram::LatencyHistogram()
     : counts_(static_cast<std::size_t>(numBuckets()), 0)
@@ -72,6 +82,85 @@ LatencyHistogram::clear()
     sumUs_ = 0.0;
     minUs_ = 0.0;
     maxUs_ = 0.0;
+}
+
+std::string
+LatencyHistogram::encode() const
+{
+    namespace by = core::bytes;
+    std::string out;
+    by::putU32(&out, kHistMagic);
+    by::putU16(&out, kHistVersion);
+    by::putU16(&out, static_cast<std::uint16_t>(kSubBuckets));
+    by::putU16(&out, static_cast<std::uint16_t>(kOctaves));
+    by::putU64(&out, count_);
+    by::putF64(&out, sumUs_);
+    by::putF64(&out, minUs_);
+    by::putF64(&out, maxUs_);
+    std::uint32_t nonZero = 0;
+    for (const std::uint64_t c : counts_)
+        nonZero += c != 0 ? 1 : 0;
+    by::putU32(&out, nonZero);
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        if (counts_[i] == 0)
+            continue;
+        by::putU16(&out, static_cast<std::uint16_t>(i));
+        by::putU64(&out, counts_[i]);
+    }
+    return out;
+}
+
+bool
+LatencyHistogram::decode(const std::string &bytes,
+                         LatencyHistogram *out, std::string *error)
+{
+    const auto fail = [&](const char *why) {
+        if (error)
+            *error = why;
+        return false;
+    };
+    core::bytes::Reader in(bytes);
+    std::uint32_t magic = 0;
+    std::uint16_t version = 0, sub = 0, oct = 0;
+    if (!in.getU32(&magic) || !in.getU16(&version) ||
+        !in.getU16(&sub) || !in.getU16(&oct))
+        return fail("histogram: truncated header");
+    if (magic != kHistMagic)
+        return fail("histogram: bad magic");
+    if (version != kHistVersion)
+        return fail("histogram: unsupported version");
+    if (sub != kSubBuckets || oct != kOctaves)
+        return fail("histogram: bucket geometry mismatch");
+
+    LatencyHistogram h;
+    std::uint32_t nonZero = 0;
+    if (!in.getU64(&h.count_) || !in.getF64(&h.sumUs_) ||
+        !in.getF64(&h.minUs_) || !in.getF64(&h.maxUs_) ||
+        !in.getU32(&nonZero))
+        return fail("histogram: truncated totals");
+    std::uint64_t total = 0;
+    int prev = -1;
+    for (std::uint32_t i = 0; i < nonZero; ++i) {
+        std::uint16_t bucket = 0;
+        std::uint64_t c = 0;
+        if (!in.getU16(&bucket) || !in.getU64(&c))
+            return fail("histogram: truncated bucket entry");
+        if (bucket >= static_cast<std::uint16_t>(numBuckets()))
+            return fail("histogram: bucket index out of range");
+        if (static_cast<int>(bucket) <= prev)
+            return fail("histogram: non-canonical bucket order");
+        if (c == 0)
+            return fail("histogram: zero-count bucket entry");
+        prev = bucket;
+        h.counts_[bucket] = c;
+        total += c;
+    }
+    if (in.remaining() != 0)
+        return fail("histogram: trailing bytes");
+    if (total != h.count_)
+        return fail("histogram: count disagrees with bucket totals");
+    *out = std::move(h);
+    return true;
 }
 
 double

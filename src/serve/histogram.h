@@ -27,6 +27,7 @@
 #define AIB_SERVE_HISTOGRAM_H
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace aib::serve {
@@ -66,6 +67,28 @@ class LatencyHistogram
      * clamped to the exact observed min/max. 0 when empty.
      */
     double percentileUs(double pct) const;
+
+    /**
+     * Serialize into a compact canonical byte string (little-endian,
+     * non-zero buckets only, ascending index): the transport format
+     * netbench worker processes use to ship their private histograms
+     * over a pipe to the merging parent. The encoding is byte-exact:
+     * encode(decode(encode(h))) == encode(h), doubles travel as bit
+     * patterns, and merge commutes with the codec — so
+     * "merge then encode" and "encode, ship, decode, merge" agree
+     * bitwise (the merge-associativity contract of the tests).
+     */
+    std::string encode() const;
+
+    /**
+     * Decode @p bytes (as produced by @c encode) into @p *out,
+     * replacing its contents. Returns false — with a reason in
+     * @p *error when non-null — on bad magic, version or bucket
+     * geometry mismatch, truncation, non-canonical bucket order, or a
+     * count that disagrees with the bucket totals.
+     */
+    static bool decode(const std::string &bytes, LatencyHistogram *out,
+                       std::string *error = nullptr);
 
     /** Number of internal buckets (for tests). */
     static constexpr int numBuckets() { return kSubBuckets * kOctaves + 1; }

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * The EINTR-safe IO primitives (core/sysio.h) under the conditions
+ * they exist for: short reads across pipe capacity, signals landing
+ * mid-read (real EINTR, forced with a no-SA_RESTART handler), a peer
+ * vanishing mid-write (EPIPE instead of SIGPIPE death), and the
+ * whole-file helpers' round trips and failure reporting.
+ */
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <fcntl.h>
+#include <pthread.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "core/sysio.h"
+
+namespace sysio = aib::core::sysio;
+using sysio::IoResult;
+
+namespace {
+
+struct Pipe {
+    int fds[2] = {-1, -1};
+    Pipe() { EXPECT_EQ(::pipe(fds), 0); }
+    ~Pipe()
+    {
+        closeRead();
+        closeWrite();
+    }
+    int readEnd() const { return fds[0]; }
+    int writeEnd() const { return fds[1]; }
+    void closeRead()
+    {
+        if (fds[0] >= 0)
+            ::close(fds[0]);
+        fds[0] = -1;
+    }
+    void closeWrite()
+    {
+        if (fds[1] >= 0)
+            ::close(fds[1]);
+        fds[1] = -1;
+    }
+};
+
+std::string
+patternBytes(std::size_t n)
+{
+    std::string out(n, '\0');
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = static_cast<char>((i * 131 + 17) & 0xFF);
+    return out;
+}
+
+} // namespace
+
+TEST(Sysio, ReadFullAssemblesDribbledWrites)
+{
+    Pipe p;
+    const std::string want = patternBytes(64 * 1024);
+    std::thread writer([&] {
+        // Many small writes force readFull through its short-read
+        // loop; 64 KiB also exceeds the default pipe buffer.
+        for (std::size_t at = 0; at < want.size(); at += 977) {
+            const std::size_t n = std::min<std::size_t>(
+                977, want.size() - at);
+            ASSERT_EQ(sysio::writeFull(p.writeEnd(), want.data() + at,
+                                       n),
+                      IoResult::Ok);
+        }
+        p.closeWrite();
+    });
+    std::string got(want.size(), '\0');
+    EXPECT_EQ(sysio::readFull(p.readEnd(), got.data(), got.size()),
+              IoResult::Ok);
+    writer.join();
+    EXPECT_EQ(got, want);
+}
+
+TEST(Sysio, ReadFullReportsEofWithPartialCount)
+{
+    Pipe p;
+    ASSERT_EQ(sysio::writeFull(p.writeEnd(), "abc", 3), IoResult::Ok);
+    p.closeWrite();
+    char buf[16] = {};
+    std::size_t got = 99;
+    EXPECT_EQ(sysio::readFull(p.readEnd(), buf, sizeof buf, &got),
+              IoResult::Eof);
+    EXPECT_EQ(got, 3u);
+    EXPECT_EQ(std::string(buf, 3), "abc");
+}
+
+TEST(Sysio, ReadFullZeroBytesIsTriviallyOk)
+{
+    Pipe p;
+    EXPECT_EQ(sysio::readFull(p.readEnd(), nullptr, 0), IoResult::Ok);
+    EXPECT_EQ(sysio::writeFull(p.writeEnd(), nullptr, 0),
+              IoResult::Ok);
+}
+
+namespace {
+
+void
+noopHandler(int)
+{
+}
+
+} // namespace
+
+TEST(Sysio, ReadFullSurvivesRealEintr)
+{
+    // Install a USR1 handler WITHOUT SA_RESTART so a blocked read()
+    // genuinely returns EINTR, then pelt the blocked reader with
+    // signals before (and while) the data arrives.
+    struct sigaction sa = {};
+    sa.sa_handler = noopHandler;
+    sa.sa_flags = 0;
+    struct sigaction old = {};
+    ASSERT_EQ(::sigaction(SIGUSR1, &sa, &old), 0);
+
+    Pipe p;
+    const std::string want = patternBytes(4096);
+    std::string got(want.size(), '\0');
+    IoResult result = IoResult::Error;
+    std::thread reader([&] {
+        result =
+            sysio::readFull(p.readEnd(), got.data(), got.size());
+    });
+    const pthread_t target = reader.native_handle();
+    for (int i = 0; i < 20; ++i) {
+        ::pthread_kill(target, SIGUSR1);
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    // Trickle the payload with more signals in between.
+    for (std::size_t at = 0; at < want.size(); at += 512) {
+        ASSERT_EQ(sysio::writeFull(p.writeEnd(), want.data() + at,
+                                   512),
+                  IoResult::Ok);
+        ::pthread_kill(target, SIGUSR1);
+    }
+    reader.join();
+    ASSERT_EQ(::sigaction(SIGUSR1, &old, nullptr), 0);
+
+    EXPECT_EQ(result, IoResult::Ok);
+    EXPECT_EQ(got, want);
+}
+
+TEST(Sysio, WriteToClosedPipeIsEpipeNotDeath)
+{
+    sysio::ignoreSigpipe();
+    Pipe p;
+    p.closeRead();
+    // Without ignoreSigpipe this write would kill the process; with
+    // it the error surfaces as EPIPE and the test keeps running.
+    errno = 0;
+    EXPECT_EQ(sysio::writeFull(p.writeEnd(), "dead", 4),
+              IoResult::Error);
+    EXPECT_EQ(errno, EPIPE);
+}
+
+TEST(Sysio, IgnoreSigpipeIsIdempotent)
+{
+    sysio::ignoreSigpipe();
+    sysio::ignoreSigpipe();
+    struct sigaction current = {};
+    ASSERT_EQ(::sigaction(SIGPIPE, nullptr, &current), 0);
+    EXPECT_EQ(current.sa_handler, SIG_IGN);
+}
+
+TEST(Sysio, FileRoundTripPreservesBinaryBytes)
+{
+    const std::string path =
+        ::testing::TempDir() + "sysio_roundtrip.bin";
+    const std::string want = patternBytes(70000) + '\0' + "tail";
+    std::string err;
+    ASSERT_TRUE(
+        sysio::writeFile(path, want.data(), want.size(), &err))
+        << err;
+    std::string got;
+    ASSERT_TRUE(sysio::readFile(path, &got, &err)) << err;
+    EXPECT_EQ(got, want);
+    ::unlink(path.c_str());
+}
+
+TEST(Sysio, EmptyFileRoundTrips)
+{
+    const std::string path = ::testing::TempDir() + "sysio_empty";
+    ASSERT_TRUE(sysio::writeFile(path, nullptr, 0));
+    std::string got = "stale";
+    ASSERT_TRUE(sysio::readFile(path, &got));
+    EXPECT_TRUE(got.empty());
+    ::unlink(path.c_str());
+}
+
+TEST(Sysio, MissingFileReportsReason)
+{
+    std::string got;
+    std::string err;
+    EXPECT_FALSE(sysio::readFile(
+        "/nonexistent/dir/for/sysio_test", &got, &err));
+    EXPECT_FALSE(err.empty());
+    err.clear();
+    EXPECT_FALSE(sysio::writeFile("/nonexistent/dir/for/sysio_test",
+                                  "x", 1, &err));
+    EXPECT_FALSE(err.empty());
+}

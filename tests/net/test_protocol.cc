@@ -1,0 +1,361 @@
+/**
+ * @file
+ * The aib.net/1 wire codec: bit-exact message round trips, the frame
+ * header layout, the incremental FrameParser under adversarial
+ * chunking (one byte at a time, torn headers), and the negative
+ * space — bad magic, unknown version/type, oversized lengths,
+ * truncated and over-long payloads — every one of which must be a
+ * clean typed failure, never a desynchronized stream. The socket
+ * half (readFrame/writeFrame) runs over a real socketpair, including
+ * a peer dying mid-frame.
+ */
+
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "net/framing.h"
+#include "net/protocol.h"
+
+using namespace aib::net;
+
+namespace {
+
+std::uint64_t
+bitsOf(double d)
+{
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &d, sizeof bits);
+    return bits;
+}
+
+/** Payload of an encoded frame (strip the 10-byte header). */
+std::string
+payloadOf(const std::string &frame)
+{
+    EXPECT_GE(frame.size(), kHeaderSize);
+    return frame.substr(kHeaderSize);
+}
+
+} // namespace
+
+TEST(NetProtocol, FrameHeaderLayout)
+{
+    const std::string f = encodeFrame(FrameType::Query, "abcd");
+    ASSERT_EQ(f.size(), kHeaderSize + 4);
+    // Little-endian magic "AIBN".
+    EXPECT_EQ(f[0], 'A');
+    EXPECT_EQ(f[1], 'I');
+    EXPECT_EQ(f[2], 'B');
+    EXPECT_EQ(f[3], 'N');
+    EXPECT_EQ(static_cast<std::uint8_t>(f[4]), kNetVersion);
+    EXPECT_EQ(static_cast<std::uint8_t>(f[5]),
+              static_cast<std::uint8_t>(FrameType::Query));
+    EXPECT_EQ(static_cast<std::uint8_t>(f[6]), 4); // len LE
+    EXPECT_EQ(static_cast<std::uint8_t>(f[7]), 0);
+    EXPECT_EQ(f.substr(kHeaderSize), "abcd");
+}
+
+TEST(NetProtocol, HelloRoundTripIsBitExact)
+{
+    HelloMsg m;
+    m.benchmarkId = "DC-AI-C1";
+    m.seed = 0xDEADBEEFCAFEBABEull;
+    m.queries = 4096;
+    m.qps = 333.3333333333333; // must survive as IEEE-754 bits
+    m.maxBatch = 8;
+    m.maxDelayUs = 2000;
+    m.batching = 1;
+
+    HelloMsg back;
+    ASSERT_TRUE(decodeHello(payloadOf(encodeHello(m)), &back));
+    EXPECT_EQ(back.benchmarkId, m.benchmarkId);
+    EXPECT_EQ(back.seed, m.seed);
+    EXPECT_EQ(back.queries, m.queries);
+    EXPECT_EQ(bitsOf(back.qps), bitsOf(m.qps));
+    EXPECT_EQ(back.maxBatch, m.maxBatch);
+    EXPECT_EQ(back.maxDelayUs, m.maxDelayUs);
+    EXPECT_EQ(back.batching, m.batching);
+}
+
+TEST(NetProtocol, AllMessageTypesRoundTrip)
+{
+    HelloAckMsg ha{"SCN-MEDIA", 7, 3, 1};
+    HelloAckMsg ha2;
+    ASSERT_TRUE(decodeHelloAck(payloadOf(encodeHelloAck(ha)), &ha2));
+    EXPECT_EQ(ha2.benchmarkId, "SCN-MEDIA");
+    EXPECT_EQ(ha2.seed, 7u);
+    EXPECT_EQ(ha2.workers, 3u);
+    EXPECT_EQ(ha2.batching, 1);
+
+    QueryMsg q{123456789012345ull, 42};
+    QueryMsg q2;
+    ASSERT_TRUE(decodeQuery(payloadOf(encodeQuery(q)), &q2));
+    EXPECT_EQ(q2.requestId, q.requestId);
+    EXPECT_EQ(q2.exemplar, q.exemplar);
+
+    ReplyMsg r;
+    r.requestId = 9;
+    r.exemplar = 4;
+    r.batchDigest = -0.0; // signed zero must survive
+    r.batchSize = 8;
+    r.batchIndexPlus1 = 17;
+    r.serverLatencyUs = 1234.5;
+    ReplyMsg r2;
+    ASSERT_TRUE(decodeReply(payloadOf(encodeReply(r)), &r2));
+    EXPECT_EQ(r2.requestId, r.requestId);
+    EXPECT_EQ(bitsOf(r2.batchDigest), bitsOf(r.batchDigest));
+    EXPECT_EQ(r2.batchIndexPlus1, r.batchIndexPlus1);
+    EXPECT_DOUBLE_EQ(r2.serverLatencyUs, r.serverLatencyUs);
+
+    ErrorMsg e{StatusCode::Shed, 77, "queue full"};
+    ErrorMsg e2;
+    ASSERT_TRUE(decodeError(payloadOf(encodeError(e)), &e2));
+    EXPECT_EQ(e2.status, StatusCode::Shed);
+    EXPECT_EQ(e2.requestId, 77u);
+    EXPECT_EQ(e2.message, "queue full");
+
+    ByeMsg b{55};
+    ByeMsg b2;
+    ASSERT_TRUE(decodeBye(payloadOf(encodeBye(b)), &b2));
+    EXPECT_EQ(b2.sent, 55u);
+
+    ByeAckMsg ba{50, 5};
+    ByeAckMsg ba2;
+    ASSERT_TRUE(decodeByeAck(payloadOf(encodeByeAck(ba)), &ba2));
+    EXPECT_EQ(ba2.served, 50u);
+    EXPECT_EQ(ba2.shed, 5u);
+}
+
+TEST(NetProtocol, DecodersRejectTruncatedAndOverLongPayloads)
+{
+    HelloMsg h;
+    h.benchmarkId = "X";
+    const std::string hello = payloadOf(encodeHello(h));
+    const std::string query = payloadOf(encodeQuery({1, 2}));
+    const std::string reply = payloadOf(encodeReply({}));
+    const std::string error =
+        payloadOf(encodeError({StatusCode::Ok, 0, "m"}));
+
+    HelloMsg ho;
+    QueryMsg qo;
+    ReplyMsg ro;
+    ErrorMsg eo;
+    for (std::size_t len = 0; len < hello.size(); ++len)
+        EXPECT_FALSE(decodeHello(hello.substr(0, len), &ho)) << len;
+    for (std::size_t len = 0; len < query.size(); ++len)
+        EXPECT_FALSE(decodeQuery(query.substr(0, len), &qo)) << len;
+    for (std::size_t len = 0; len < reply.size(); ++len)
+        EXPECT_FALSE(decodeReply(reply.substr(0, len), &ro)) << len;
+    for (std::size_t len = 0; len < error.size(); ++len)
+        EXPECT_FALSE(decodeError(error.substr(0, len), &eo)) << len;
+
+    // Trailing garbage is as malformed as truncation.
+    EXPECT_FALSE(decodeHello(hello + '\0', &ho));
+    EXPECT_FALSE(decodeQuery(query + '\0', &qo));
+    EXPECT_FALSE(decodeReply(reply + '\0', &ro));
+    EXPECT_FALSE(decodeError(error + '\0', &eo));
+}
+
+TEST(NetProtocol, ParserYieldsFramesFromByteDribble)
+{
+    std::string stream;
+    stream += encodeQuery({1, 10});
+    stream += encodeReply({1, 10, 3.5, 4, 2, 100.0});
+    stream += encodeBye({1});
+
+    FrameParser parser;
+    std::vector<Frame> frames;
+    for (const char byte : stream) {
+        parser.feed(&byte, 1);
+        Frame f;
+        while (parser.next(&f) == FrameParser::Result::Frame)
+            frames.push_back(f);
+    }
+    ASSERT_EQ(frames.size(), 3u);
+    EXPECT_EQ(frames[0].type, FrameType::Query);
+    EXPECT_EQ(frames[1].type, FrameType::Reply);
+    EXPECT_EQ(frames[2].type, FrameType::Bye);
+    EXPECT_EQ(parser.buffered(), 0u);
+
+    QueryMsg q;
+    ASSERT_TRUE(decodeQuery(frames[0].payload, &q));
+    EXPECT_EQ(q.exemplar, 10u);
+}
+
+TEST(NetProtocol, ParserHandlesTornHeaderAcrossFeeds)
+{
+    const std::string frame = encodeQuery({5, 6});
+    FrameParser parser;
+    Frame out;
+    // Feed half the header: no frame, no corruption.
+    parser.feed(frame.data(), 5);
+    EXPECT_EQ(parser.next(&out), FrameParser::Result::NeedMore);
+    parser.feed(frame.data() + 5, frame.size() - 5);
+    EXPECT_EQ(parser.next(&out), FrameParser::Result::Frame);
+    EXPECT_EQ(out.type, FrameType::Query);
+}
+
+TEST(NetProtocol, ParserPoisonsOnBadMagic)
+{
+    std::string frame = encodeQuery({1, 1});
+    frame[0] = 'X';
+    FrameParser parser;
+    parser.feed(frame.data(), frame.size());
+    Frame out;
+    EXPECT_EQ(parser.next(&out), FrameParser::Result::Corrupt);
+    EXPECT_FALSE(parser.error().empty());
+
+    // Poisoned for good: even a pristine frame afterwards stays
+    // Corrupt — a binary stream cannot resynchronize.
+    const std::string good = encodeQuery({2, 2});
+    parser.feed(good.data(), good.size());
+    EXPECT_EQ(parser.next(&out), FrameParser::Result::Corrupt);
+}
+
+TEST(NetProtocol, ParserPoisonsOnVersionTypeAndLength)
+{
+    {
+        std::string f = encodeQuery({1, 1});
+        f[4] = 99; // version
+        FrameParser p;
+        p.feed(f.data(), f.size());
+        Frame out;
+        EXPECT_EQ(p.next(&out), FrameParser::Result::Corrupt);
+    }
+    {
+        std::string f = encodeQuery({1, 1});
+        f[5] = 0; // not a FrameType
+        FrameParser p;
+        p.feed(f.data(), f.size());
+        Frame out;
+        EXPECT_EQ(p.next(&out), FrameParser::Result::Corrupt);
+    }
+    {
+        std::string f = encodeQuery({1, 1});
+        f[9] = 0x7F; // length high byte -> way past kMaxPayload
+        FrameParser p;
+        p.feed(f.data(), f.size());
+        Frame out;
+        EXPECT_EQ(p.next(&out), FrameParser::Result::Corrupt);
+        EXPECT_NE(p.error().find("payload"), std::string::npos);
+    }
+}
+
+TEST(NetProtocol, KnownFrameTypeMatchesEnum)
+{
+    EXPECT_FALSE(knownFrameType(0));
+    for (std::uint8_t t = 1; t <= 7; ++t)
+        EXPECT_TRUE(knownFrameType(t)) << int(t);
+    EXPECT_FALSE(knownFrameType(8));
+    EXPECT_FALSE(knownFrameType(255));
+}
+
+TEST(NetProtocol, StatusNamesAreStable)
+{
+    EXPECT_STREQ(statusName(StatusCode::Ok), "ok");
+    EXPECT_STREQ(statusName(StatusCode::Shed), "shed");
+    EXPECT_STREQ(statusName(StatusCode::Draining), "draining");
+}
+
+// ---- fd-level transport over a real socketpair ----
+
+namespace {
+
+struct SocketPair {
+    int fds[2] = {-1, -1};
+    SocketPair()
+    {
+        EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    }
+    ~SocketPair()
+    {
+        close(0);
+        close(1);
+    }
+    void close(int which)
+    {
+        if (fds[which] >= 0)
+            ::close(fds[which]);
+        fds[which] = -1;
+    }
+};
+
+} // namespace
+
+TEST(NetFraming, WriteThenReadAcrossSocket)
+{
+    SocketPair sp;
+    const std::string frame = encodeReply({7, 3, 1.25, 2, 1, 50.0});
+    ASSERT_EQ(writeFrame(sp.fds[0], frame), IoStatus::Ok);
+    Frame got;
+    ASSERT_EQ(readFrame(sp.fds[1], &got), IoStatus::Ok);
+    EXPECT_EQ(got.type, FrameType::Reply);
+    ReplyMsg r;
+    ASSERT_TRUE(decodeReply(got.payload, &r));
+    EXPECT_EQ(r.requestId, 7u);
+    EXPECT_DOUBLE_EQ(r.batchDigest, 1.25);
+}
+
+TEST(NetFraming, ReadReassemblesPartialWrites)
+{
+    SocketPair sp;
+    const std::string frame = encodeError(
+        {StatusCode::Internal, 0, std::string(300, 'z')});
+    std::thread writer([&] {
+        for (std::size_t at = 0; at < frame.size(); at += 7) {
+            const std::size_t n =
+                std::min<std::size_t>(7, frame.size() - at);
+            ASSERT_EQ(::send(sp.fds[0], frame.data() + at, n, 0),
+                      static_cast<ssize_t>(n));
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(200));
+        }
+    });
+    Frame got;
+    ASSERT_EQ(readFrame(sp.fds[1], &got), IoStatus::Ok);
+    writer.join();
+    ErrorMsg e;
+    ASSERT_TRUE(decodeError(got.payload, &e));
+    EXPECT_EQ(e.message.size(), 300u);
+}
+
+TEST(NetFraming, CleanCloseIsEofMidFrameCloseIsCorrupt)
+{
+    {
+        SocketPair sp;
+        sp.close(0); // nothing ever sent
+        Frame got;
+        EXPECT_EQ(readFrame(sp.fds[1], &got), IoStatus::Eof);
+    }
+    {
+        SocketPair sp;
+        const std::string frame = encodeQuery({1, 1});
+        // Half a frame, then the peer dies.
+        ASSERT_EQ(::send(sp.fds[0], frame.data(), 6, 0), 6);
+        sp.close(0);
+        Frame got;
+        std::string error;
+        EXPECT_EQ(readFrame(sp.fds[1], &got, &error),
+                  IoStatus::Corrupt);
+        EXPECT_FALSE(error.empty());
+    }
+}
+
+TEST(NetFraming, ReadRejectsCorruptHeaderFromSocket)
+{
+    SocketPair sp;
+    std::string frame = encodeQuery({1, 1});
+    frame[2] = '!';
+    ASSERT_EQ(::send(sp.fds[0], frame.data(), frame.size(), 0),
+              static_cast<ssize_t>(frame.size()));
+    Frame got;
+    EXPECT_EQ(readFrame(sp.fds[1], &got), IoStatus::Corrupt);
+}

@@ -240,3 +240,148 @@ TEST(LatencyHistogram, ClearResets)
     h.record(7.0);
     EXPECT_DOUBLE_EQ(h.percentileUs(50.0), 7.0);
 }
+
+// ---- wire codec (the netbench worker->parent transport) ----
+
+namespace {
+
+std::vector<double>
+mixedSamples(unsigned seed, int n)
+{
+    std::mt19937_64 rng(seed);
+    std::exponential_distribution<double> expo(1.0 / 1200.0);
+    std::vector<double> out;
+    for (int i = 0; i < n; ++i)
+        out.push_back(expo(rng));
+    out.push_back(0.0);    // underflow bucket
+    out.push_back(0.4);    // sub-microsecond
+    out.push_back(1e13);   // overflow bucket
+    return out;
+}
+
+} // namespace
+
+TEST(HistogramCodec, RoundTripIsByteExact)
+{
+    const LatencyHistogram h = histogramOf(mixedSamples(11, 4000));
+    const std::string wire = h.encode();
+
+    LatencyHistogram back;
+    std::string error;
+    ASSERT_TRUE(LatencyHistogram::decode(wire, &back, &error))
+        << error;
+    // Byte-exact: re-encoding the decoded histogram reproduces the
+    // wire string bit for bit (doubles travel as bit patterns).
+    EXPECT_EQ(back.encode(), wire);
+    EXPECT_EQ(back.count(), h.count());
+    EXPECT_DOUBLE_EQ(back.meanUs(), h.meanUs());
+    EXPECT_DOUBLE_EQ(back.minUs(), h.minUs());
+    EXPECT_DOUBLE_EQ(back.maxUs(), h.maxUs());
+    for (const double pct : {1.0, 50.0, 99.0, 99.9})
+        EXPECT_DOUBLE_EQ(back.percentileUs(pct), h.percentileUs(pct));
+}
+
+TEST(HistogramCodec, EmptyHistogramRoundTrips)
+{
+    const LatencyHistogram h;
+    LatencyHistogram back;
+    back.record(5.0); // decode must replace, not merge
+    ASSERT_TRUE(LatencyHistogram::decode(h.encode(), &back));
+    EXPECT_EQ(back.count(), 0u);
+    EXPECT_EQ(back.encode(), h.encode());
+}
+
+TEST(HistogramCodec, DecodeReplacesExistingContents)
+{
+    LatencyHistogram src;
+    src.record(100.0);
+    LatencyHistogram dst;
+    for (int i = 0; i < 50; ++i)
+        dst.record(1e6);
+    ASSERT_TRUE(LatencyHistogram::decode(src.encode(), &dst));
+    EXPECT_EQ(dst.count(), 1u);
+    EXPECT_DOUBLE_EQ(dst.maxUs(), 100.0);
+}
+
+TEST(HistogramCodec, MergeCommutesWithCodec)
+{
+    const LatencyHistogram a = histogramOf(mixedSamples(21, 1500));
+    const LatencyHistogram b = histogramOf(mixedSamples(22, 2500));
+
+    // Path 1: merge locally, then encode.
+    LatencyHistogram local = a;
+    local.merge(b);
+
+    // Path 2: encode both sides, ship, decode, merge — the netbench
+    // parent's path. Must agree bitwise with path 1.
+    LatencyHistogram shippedA, shippedB;
+    ASSERT_TRUE(LatencyHistogram::decode(a.encode(), &shippedA));
+    ASSERT_TRUE(LatencyHistogram::decode(b.encode(), &shippedB));
+    shippedA.merge(shippedB);
+
+    EXPECT_EQ(shippedA.encode(), local.encode());
+}
+
+TEST(HistogramCodec, RejectsTruncationAtEveryLength)
+{
+    const LatencyHistogram h = histogramOf(mixedSamples(31, 300));
+    const std::string wire = h.encode();
+    LatencyHistogram out;
+    for (std::size_t len = 0; len < wire.size(); ++len) {
+        std::string error;
+        EXPECT_FALSE(LatencyHistogram::decode(wire.substr(0, len),
+                                              &out, &error))
+            << "prefix of " << len << " bytes decoded";
+        EXPECT_FALSE(error.empty());
+    }
+}
+
+TEST(HistogramCodec, RejectsBadMagicVersionAndTrailingBytes)
+{
+    const std::string wire = histogramOf({10.0, 20.0}).encode();
+    LatencyHistogram out;
+
+    std::string badMagic = wire;
+    badMagic[0] ^= 0x5A;
+    EXPECT_FALSE(LatencyHistogram::decode(badMagic, &out));
+
+    std::string badVersion = wire;
+    badVersion[4] ^= 0x01; // u16 version follows the u32 magic
+    EXPECT_FALSE(LatencyHistogram::decode(badVersion, &out));
+
+    std::string trailing = wire;
+    trailing.push_back('\0');
+    EXPECT_FALSE(LatencyHistogram::decode(trailing, &out));
+}
+
+TEST(HistogramCodec, RejectsNonCanonicalBucketOrder)
+{
+    // Two samples in well-separated buckets -> exactly two non-zero
+    // (index, count) pairs after the fixed 46-byte prefix. Swapping
+    // them breaks the ascending-index canonical form.
+    LatencyHistogram h;
+    h.record(2.0);
+    h.record(1e6);
+    const std::string wire = h.encode();
+    constexpr std::size_t kPairsAt = 46, kPairSize = 10;
+    ASSERT_EQ(wire.size(), kPairsAt + 2 * kPairSize);
+
+    std::string swapped = wire;
+    for (std::size_t i = 0; i < kPairSize; ++i)
+        std::swap(swapped[kPairsAt + i],
+                  swapped[kPairsAt + kPairSize + i]);
+    LatencyHistogram out;
+    std::string error;
+    EXPECT_FALSE(LatencyHistogram::decode(swapped, &out, &error));
+}
+
+TEST(HistogramCodec, RejectsCountDisagreeingWithBuckets)
+{
+    LatencyHistogram h;
+    h.record(5.0);
+    h.record(6.0);
+    std::string wire = h.encode();
+    wire[10] ^= 0x01; // low byte of the u64 total-count field
+    LatencyHistogram out;
+    EXPECT_FALSE(LatencyHistogram::decode(wire, &out));
+}

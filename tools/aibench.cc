@@ -9,12 +9,15 @@
  */
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "analysis/characterize.h"
@@ -29,8 +32,12 @@
 #include "core/runner.h"
 #include "core/subset.h"
 #include "core/thread_pool.h"
+#include "core/sysio.h"
 #include "dag/scenario.h"
 #include "gpusim/report.h"
+#include "net/client.h"
+#include "net/report.h"
+#include "net/server.h"
 #include "profiler/snapshot.h"
 #include "serve/engine.h"
 #include "serve/loadgen.h"
@@ -103,7 +110,17 @@ positionalArg(int argc, char **argv)
                 std::strcmp(argv[i], "--concurrency") == 0 ||
                 std::strcmp(argv[i], "--train-epochs") == 0 ||
                 std::strcmp(argv[i], "--run") == 0 ||
-                std::strcmp(argv[i], "--dag-workers") == 0)
+                std::strcmp(argv[i], "--dag-workers") == 0 ||
+                std::strcmp(argv[i], "--host") == 0 ||
+                std::strcmp(argv[i], "--port") == 0 ||
+                std::strcmp(argv[i], "--port-file") == 0 ||
+                std::strcmp(argv[i], "--io") == 0 ||
+                std::strcmp(argv[i], "--batching") == 0 ||
+                std::strcmp(argv[i], "--processes") == 0 ||
+                std::strcmp(argv[i], "--connections") == 0 ||
+                std::strcmp(argv[i], "--inflight") == 0 ||
+                std::strcmp(argv[i], "--grace-ms") == 0 ||
+                std::strcmp(argv[i], "--max-conns") == 0)
                 ++i;
             continue;
         }
@@ -160,11 +177,19 @@ int
 cmdList(int argc, char **argv)
 {
     if (hasFlag(argc, argv, "--json")) {
-        const auto benchmarks = core::allBenchmarks();
+        // The registry of servable targets is the component
+        // benchmarks PLUS the Suite::Scenario entries (SCN-*) —
+        // they are deliberately kept out of core::allBenchmarks(),
+        // so fold them in here with the same metadata shape.
+        std::vector<const core::BenchmarkInfo *> infos;
+        for (const auto *b : core::allBenchmarks())
+            infos.push_back(&b->info);
+        for (const auto &s : dag::scenarioSuite())
+            infos.push_back(&s.info);
         std::printf("{\n  \"schema\": \"aib.list/1\",\n"
                     "  \"benchmarks\": [\n");
-        for (std::size_t i = 0; i < benchmarks.size(); ++i) {
-            const auto &info = benchmarks[i]->info;
+        for (std::size_t i = 0; i < infos.size(); ++i) {
+            const auto &info = *infos[i];
             std::printf(
                 "    {\"id\": \"%s\", \"name\": \"%s\", "
                 "\"model\": \"%s\", \"dataset\": \"%s\", "
@@ -179,7 +204,7 @@ cmdList(int argc, char **argv)
                     : "lower",
                 core::suiteName(info.suite),
                 info.inSubset ? "true" : "false",
-                i + 1 < benchmarks.size() ? "," : "");
+                i + 1 < infos.size() ? "," : "");
         }
         std::printf("  ],\n  \"scenarios\": [\n");
         const auto &scenarios = dag::scenarioSpecs();
@@ -892,6 +917,283 @@ cmdServe(int argc, char **argv)
     return 0;
 }
 
+// ---- network serving (docs/NETSERVE.md) ----
+
+std::atomic<net::NetServer *> g_netserver{nullptr};
+
+void
+netserveSignal(int)
+{
+    // requestStop is a relaxed store plus one pipe write — both
+    // async-signal-safe.
+    if (net::NetServer *server = g_netserver.load())
+        server->requestStop();
+}
+
+/** Shared netserve/netbench option parsing. */
+bool
+parseBatchingFlag(int argc, char **argv, serve::BatchingMode *out)
+{
+    const std::string text =
+        argString(argc, argv, "--batching", "planned");
+    if (text == "planned") {
+        *out = serve::BatchingMode::Planned;
+        return true;
+    }
+    if (text == "dynamic") {
+        *out = serve::BatchingMode::Dynamic;
+        return true;
+    }
+    std::fprintf(stderr,
+                 "bad --batching '%s' (want planned or dynamic)\n",
+                 text.c_str());
+    return false;
+}
+
+double
+parseQps(int argc, char **argv, double fallback)
+{
+    const char *text = argString(argc, argv, "--qps", nullptr);
+    return text ? std::strtod(text, nullptr) : fallback;
+}
+
+/**
+ * `aibench netserve <id>`: host a benchmark (or SCN-* scenario)
+ * behind the aib.net/1 protocol until SIGTERM/SIGINT (graceful
+ * drain) — or until the last client disconnects with
+ * --exit-after-last-client, which is what the CI smoke uses. Prints
+ * a JSON summary of the session on exit; --port-file publishes the
+ * bound (possibly ephemeral) port for clients to discover.
+ */
+int
+cmdNetserve(int argc, char **argv)
+{
+    if (argc < 1)
+        return usage();
+    const auto *b = requireServable(argv[0]);
+
+    net::NetServerOptions options;
+    options.host = argString(argc, argv, "--host", "127.0.0.1");
+    options.port =
+        static_cast<int>(argValue(argc, argv, "--port", 0));
+    options.maxConnections =
+        static_cast<int>(argValue(argc, argv, "--max-conns", 16));
+    options.drainGraceMs = argValue(argc, argv, "--grace-ms", 2000);
+    options.exitAfterLastClient =
+        hasFlag(argc, argv, "--exit-after-last-client");
+    if (!net::parseIoMode(argString(argc, argv, "--io", "epoll"),
+                          &options.io)) {
+        std::fprintf(stderr, "bad --io (want epoll or threads)\n");
+        return 2;
+    }
+
+    serve::EndpointOptions &ep = options.endpoint;
+    ep.workers =
+        static_cast<int>(argValue(argc, argv, "--workers", 2));
+    ep.policy.maxBatch =
+        static_cast<int>(argValue(argc, argv, "--batch", 8));
+    ep.policy.maxDelayUs = argValue(argc, argv, "--delay-us", 2000);
+    ep.queueCapacity =
+        static_cast<int>(argValue(argc, argv, "--queue-cap", 256));
+    ep.trainEpochs =
+        static_cast<int>(argValue(argc, argv, "--train-epochs", 0));
+    ep.seed = static_cast<std::uint64_t>(
+        argValue(argc, argv, "--seed", 42));
+    if (!parseBatchingFlag(argc, argv, &ep.batching))
+        return 2;
+
+    const int queries =
+        static_cast<int>(argValue(argc, argv, "--queries", 256));
+    const double qps = parseQps(argc, argv, 500.0);
+    if (ep.batching == serve::BatchingMode::Planned) {
+        // Both sides derive this plan; the Hello fingerprint pins it.
+        ep.plan = serve::planBatches(
+            serve::poissonTrace(ep.seed, qps, queries), ep.policy);
+        options.helloQueries = static_cast<std::uint32_t>(queries);
+        options.helloQps = qps;
+    }
+
+    const net::IoMode io = options.io;
+    const char *batchingName =
+        ep.batching == serve::BatchingMode::Planned ? "planned"
+                                                    : "dynamic";
+    net::NetServer server(*b, std::move(options));
+    try {
+        server.start();
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "netserve: %s\n", e.what());
+        return 1;
+    }
+    g_netserver.store(&server);
+    std::signal(SIGTERM, netserveSignal);
+    std::signal(SIGINT, netserveSignal);
+
+    std::fprintf(stderr, "netserve: %s on %s:%d (%s io, %s)\n",
+                 b->info.id.c_str(),
+                 argString(argc, argv, "--host", "127.0.0.1"),
+                 server.boundPort(), net::ioModeName(io),
+                 batchingName);
+    if (const char *port_file =
+            argString(argc, argv, "--port-file", nullptr)) {
+        // Write-then-rename so a polling client never reads a
+        // half-written port number.
+        const std::string tmp = std::string(port_file) + ".tmp";
+        const std::string text = std::to_string(server.boundPort());
+        std::string err;
+        if (!core::sysio::writeFile(tmp, text.data(), text.size(),
+                                    &err) ||
+            std::rename(tmp.c_str(), port_file) != 0) {
+            std::fprintf(stderr, "netserve: cannot write %s\n",
+                         port_file);
+            server.stop();
+            return 1;
+        }
+    }
+
+    server.waitStopped();
+    const net::NetServerStats stats = server.stop();
+    g_netserver.store(nullptr);
+
+    std::printf("{\n  \"schema\": \"aib.netserve.server/1\",\n");
+    std::printf("  \"benchmark\": \"%s\",\n", b->info.id.c_str());
+    std::printf("  \"accepted\": %llu,\n",
+                static_cast<unsigned long long>(stats.accepted));
+    std::printf("  \"completed\": %llu,\n",
+                static_cast<unsigned long long>(stats.completed));
+    std::printf("  \"shed\": %llu,\n",
+                static_cast<unsigned long long>(stats.shed));
+    std::printf("  \"batches\": %llu,\n",
+                static_cast<unsigned long long>(stats.batches));
+    std::printf("  \"digest\": %.17g,\n", stats.sessionDigest);
+    std::printf("  \"latency_q99_us\": %.3f,\n",
+                stats.serverLatency.percentileUs(99.0));
+    std::printf("  \"connections\": [\n");
+    for (std::size_t i = 0; i < stats.connections.size(); ++i) {
+        const net::ConnectionStats &c = stats.connections[i];
+        std::printf("    {\"queries\": %llu, \"replies\": %llu, "
+                    "\"errors\": %llu, \"bytes_in\": %llu, "
+                    "\"bytes_out\": %llu, \"bye\": %s, "
+                    "\"fault_killed\": %s}%s\n",
+                    static_cast<unsigned long long>(c.queries),
+                    static_cast<unsigned long long>(c.replies),
+                    static_cast<unsigned long long>(c.errorsSent),
+                    static_cast<unsigned long long>(c.bytesIn),
+                    static_cast<unsigned long long>(c.bytesOut),
+                    c.sawBye ? "true" : "false",
+                    c.faultKilled ? "true" : "false",
+                    i + 1 < stats.connections.size() ? "," : "");
+    }
+    std::printf("  ]\n}\n");
+    return 0;
+}
+
+/**
+ * `aibench netbench <id>`: the multi-process traffic generator.
+ * Discovers the server port (--port or --port-file, waiting for the
+ * file to appear), drives the load, merges the per-worker
+ * histograms, runs the in-process reference (replay digest gate +
+ * open-loop latency baseline, unless --no-compare) and emits the
+ * aib.netserve/1 report. Exit codes: 0 ok, 1 transport/option
+ * errors, 3 digest-gate failure, 4 client-side bottleneck.
+ */
+int
+cmdNetbench(int argc, char **argv)
+{
+    if (argc < 1)
+        return usage();
+    const auto *b = requireServable(argv[0]);
+
+    net::NetBenchOptions options;
+    options.benchmarkId = b->info.id;
+    options.host = argString(argc, argv, "--host", "127.0.0.1");
+    options.port =
+        static_cast<int>(argValue(argc, argv, "--port", 0));
+    options.processes =
+        static_cast<int>(argValue(argc, argv, "--processes", 2));
+    options.connections =
+        static_cast<int>(argValue(argc, argv, "--connections", 8));
+    options.queries =
+        static_cast<int>(argValue(argc, argv, "--queries", 256));
+    options.inflight =
+        static_cast<int>(argValue(argc, argv, "--inflight", 4));
+    options.seed = static_cast<std::uint64_t>(
+        argValue(argc, argv, "--seed", 42));
+    options.policy.maxBatch =
+        static_cast<int>(argValue(argc, argv, "--batch", 8));
+    options.policy.maxDelayUs =
+        argValue(argc, argv, "--delay-us", 2000);
+    options.qps = parseQps(argc, argv, 500.0);
+    options.mode = hasFlag(argc, argv, "--closed")
+                       ? net::LoadMode::Closed
+                       : net::LoadMode::Open;
+    if (!parseBatchingFlag(argc, argv, &options.batching))
+        return 2;
+    if (options.mode == net::LoadMode::Closed)
+        options.batching = serve::BatchingMode::Dynamic;
+
+    if (const char *port_file =
+            argString(argc, argv, "--port-file", nullptr)) {
+        // The server publishes its ephemeral port here; give it a
+        // few seconds to come up.
+        std::string text;
+        for (int spin = 0; spin < 100; ++spin) {
+            if (core::sysio::readFile(port_file, &text) &&
+                !text.empty())
+                break;
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(100));
+        }
+        if (text.empty()) {
+            std::fprintf(stderr, "netbench: no port file at %s\n",
+                         port_file);
+            return 1;
+        }
+        options.port =
+            static_cast<int>(std::strtol(text.c_str(), nullptr, 10));
+    }
+
+    net::NetBenchResult result;
+    try {
+        result = net::runNetBench(options);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "netbench: %s\n", e.what());
+        return 1;
+    }
+
+    const bool compare = !hasFlag(argc, argv, "--no-compare");
+    const net::NetserveReport report = net::buildNetserveReport(
+        *b, options, result, argString(argc, argv, "--io", ""),
+        compare);
+    const std::string json = net::netserveReportToJson(report);
+    std::printf("%s\n", json.c_str());
+    if (const char *out_path =
+            argString(argc, argv, "--out", nullptr)) {
+        std::string err;
+        if (!core::sysio::writeFile(out_path, json.data(),
+                                    json.size(), &err)) {
+            std::fprintf(stderr, "netbench: %s\n", err.c_str());
+            return 1;
+        }
+    }
+    if (compare &&
+        options.batching == serve::BatchingMode::Planned &&
+        !report.digestMatch) {
+        std::fprintf(stderr, "netbench: digest gate FAILED "
+                             "(network %.17g vs replay %.17g)\n",
+                     result.digest, report.replayDigest);
+        return 3;
+    }
+    if (result.clientBottleneck) {
+        std::fprintf(stderr,
+                     "netbench: client-side bottleneck (headroom "
+                     "%.1f, late fraction %.3f) — results measure "
+                     "the generator, not the server\n",
+                     result.headroom, result.lateFraction);
+        return 4;
+    }
+    return 0;
+}
+
 /**
  * `aibench scenario`: the end-to-end application pipelines
  * (docs/SCENARIOS.md). --list prints the catalog; --run executes one
@@ -1008,6 +1310,22 @@ constexpr Command kCommands[] = {
      "[--json] [--out FILE]",
      "online serving: dynamic batching, tail latency, throughput",
      cmdServe},
+    {"netserve",
+     "<id> [--port P] [--port-file FILE] [--io epoll|threads] "
+     "[--batching planned|dynamic] [--qps Q] [--queries N] "
+     "[--batch N] [--delay-us D] [--workers N] [--queue-cap N] "
+     "[--train-epochs N] [--seed N] [--max-conns N] [--grace-ms D] "
+     "[--exit-after-last-client]",
+     "host a benchmark behind the aib.net/1 binary protocol",
+     cmdNetserve},
+    {"netbench",
+     "<id> [--host H] [--port P | --port-file FILE] [--processes N] "
+     "[--connections N] [--queries N] [--qps Q | --closed] "
+     "[--inflight N] [--batching planned|dynamic] [--batch N] "
+     "[--delay-us D] [--seed N] [--io LABEL] [--no-compare] "
+     "[--out FILE]",
+     "multi-process traffic generator + digest gate vs in-process",
+     cmdNetbench},
     {"scenario",
      "[--list | --run <id>] [--queries N] [--batch N] [--workers N] "
      "[--dag-workers N] [--seed N] [--graphopt] [--json] "
